@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the corresponding rows (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them).  The experiments are deterministic simulations, so one
+round with one iteration measures the harness's wall-clock cost while
+the *simulated* results are exact and asserted qualitatively.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,19 @@
+"""Ablation A6: batched unplug (the paper's Section 6.1.1 future work).
+
+Per-block unplug pays fixed offline/remove/madvise costs for every
+128 MiB block, so latency grows linearly with the request; offlining a
+free partition's contiguous blocks as one operation flattens the curve.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_batching(run_once):
+    result = run_once(ablations.run_batching_ablation)
+    print()
+    print(result.render())
+    # Batching wins, and wins more at larger requests.
+    assert result.values["1/batched"] < result.values["1/per_block"]
+    gain_small = result.values["1/per_block"] / result.values["1/batched"]
+    gain_large = result.values["8/per_block"] / result.values["8/batched"]
+    assert gain_large > gain_small

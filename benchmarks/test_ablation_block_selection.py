@@ -1,0 +1,14 @@
+"""Ablation A3: unplug block-selection policy × allocator placement."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_block_selection(run_once):
+    result = run_once(ablations.run_selection_ablation)
+    print()
+    print(result.render())
+    # Under scatter interleaving, selection cannot help (HotMem's thesis).
+    scatter_gap = (
+        result.values["scatter/linear"] / result.values["scatter/emptiest_first"]
+    )
+    assert 0.75 < scatter_gap < 1.35

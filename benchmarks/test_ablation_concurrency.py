@@ -1,0 +1,12 @@
+"""Ablation A4: HotMem reclaim throughput vs concurrency factor N."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_concurrency(run_once):
+    result = run_once(ablations.run_concurrency_ablation)
+    print()
+    print(result.render())
+    for row in result.rows():
+        assert row[1] > 0  # throughput
+        assert row[3] == 0  # oom failures

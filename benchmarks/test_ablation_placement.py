@@ -1,0 +1,10 @@
+"""Ablation A1: allocator placement policy vs vanilla unplug cost."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_placement(run_once):
+    result = run_once(ablations.run_placement_ablation)
+    print()
+    print(result.render())
+    assert result.values["sequential"] < result.values["scatter"]

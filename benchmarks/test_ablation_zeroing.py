@@ -1,0 +1,17 @@
+"""Ablation A2: zeroing mode (init_on_alloc / init_on_free / none)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_zeroing(run_once):
+    result = run_once(ablations.run_zeroing_ablation)
+    print()
+    print(result.render())
+    # HotMem's zero-skip makes it immune to the zeroing mode.
+    assert result.values["init_on_free/hotmem/plug"] == result.values[
+        "none/hotmem/plug"
+    ]
+    assert (
+        result.values["init_on_free/vanilla/plug"]
+        > result.values["none/vanilla/plug"]
+    )

@@ -1,0 +1,23 @@
+"""Ablation A5: all four elasticity interfaces on one reclaim scenario.
+
+Extends the paper's comparison (virtio-mem vs HotMem) with the two
+related-work baselines of Section 7: virtio-balloon and ACPI DIMM
+hotplug, in both a relaxed and a memory-pressure scenario.
+"""
+
+from repro.experiments import baselines_comparison as bc
+
+
+def test_baselines_comparison(run_once):
+    def both():
+        return bc.run(), bc.run(bc.BaselinesConfig.pressure())
+
+    relaxed, pressure = run_once(both)
+    print()
+    print(relaxed.render())
+    print()
+    print("Under pressure (freed 512MiB, asked 1536MiB, 95% usage):")
+    print(pressure.render())
+    assert relaxed.speedup_over("virtio-mem") > 5.0
+    assert pressure.by_mechanism["balloon"].balloon_retries > 0
+    assert pressure.by_mechanism["hotmem"].latency_ms < 100

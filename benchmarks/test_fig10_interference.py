@@ -1,0 +1,25 @@
+"""Figure 10: per-second Cnn latency under HTML scale-down.
+
+Paper shape: vanilla shows latency spikes of >100 % around the shrink
+events (page migrations hog the shared vCPU); HotMem shows no impact.
+"""
+
+from repro.experiments import fig10_interference as fig10
+from repro.metrics.report import render_series
+
+
+def test_fig10_interference(run_once):
+    result = run_once(fig10.run, fig10.Fig10Config())
+    print()
+    print(result.render())
+    print()
+    print(
+        render_series(
+            "Cnn per-second latency (vanilla, every 10s)",
+            result.series_rows("vanilla", every=10),
+            ["second", "avg_ms"],
+        )
+    )
+    assert result.spike["vanilla"] > 1.5
+    assert result.window_mean["vanilla"] > 1.3
+    assert result.window_mean["hotmem"] < 1.2

@@ -1,0 +1,22 @@
+"""Figure 2, quantified: interleaving after an instance exits.
+
+The paper's concept diagram as a measurement: under scatter allocation
+every block holds every instance's pages and nothing becomes free when
+one exits; HotMem's partitions keep one owner per block and the exited
+partition is entirely free.
+"""
+
+from repro.experiments import fig2_interleaving as fig2
+
+
+def test_fig2_interleaving(run_once):
+    result = run_once(fig2.run)
+    print()
+    print(result.render())
+    scatter = result.reports["scatter"]
+    hotmem = result.reports["hotmem"]
+    assert scatter.fully_free_blocks == 0
+    assert scatter.mean_owners_per_block > 3
+    assert hotmem.max_owners_per_block == 1
+    assert result.migration_pages["hotmem"] == 0
+    assert result.migration_pages["scatter"] > 0

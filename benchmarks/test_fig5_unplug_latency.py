@@ -1,0 +1,15 @@
+"""Figure 5: average unplug latency vs reclaim size (HotMem vs vanilla).
+
+Paper shape: HotMem is an order of magnitude faster at every size, and
+latency grows with the number of 128 MiB blocks released.
+"""
+
+from repro.experiments import fig5_unplug_latency as fig5
+
+
+def test_fig5_unplug_latency(run_once):
+    result = run_once(fig5.run, fig5.Fig5Config(trials=2))
+    print()
+    print(result.render())
+    for size in result.config.reclaim_sizes:
+        assert result.speedup(size) >= 10.0

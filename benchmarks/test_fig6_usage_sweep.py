@@ -1,0 +1,19 @@
+"""Figure 6: reclaiming 2 GiB as guest memory usage increases.
+
+Paper shape: vanilla latency trends upward with usage (more occupied
+pages per block → more migrations); HotMem stays flat and fast.
+"""
+
+from repro.experiments import fig6_usage_sweep as fig6
+
+
+def test_fig6_usage_sweep(run_once):
+    result = run_once(fig6.run, fig6.Fig6Config())
+    print()
+    print(result.render())
+    print(
+        f"vanilla 90%/10% latency ratio: {result.vanilla_trend_ratio():.2f}, "
+        f"hotmem max/min: {result.hotmem_spread_ratio():.2f}"
+    )
+    assert result.vanilla_trend_ratio() > 3.0
+    assert result.hotmem_spread_ratio() < 1.2

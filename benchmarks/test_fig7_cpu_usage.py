@@ -1,0 +1,15 @@
+"""Figure 7: cumulative CPU time of the unplug vCPU during stepped shrink.
+
+Paper shape: vanilla keeps the vCPU busy migrating pages on every step
+and the experiment lasts longer; HotMem only slightly uses the vCPU.
+"""
+
+from repro.experiments import fig7_cpu_usage as fig7
+
+
+def test_fig7_cpu_usage(run_once):
+    result = run_once(fig7.run, fig7.Fig7Config())
+    print()
+    print(result.render())
+    assert result.cpu_ratio() > 10.0
+    assert result.duration_s["vanilla"] > result.duration_s["hotmem"]

@@ -1,0 +1,15 @@
+"""Figure 8: reclamation throughput under trace-driven scaling.
+
+Paper shape: HotMem reclaims at a large multiple (paper: ≈7×) of vanilla
+throughput for every function.
+"""
+
+from repro.experiments import fig8_reclaim_throughput as fig8
+
+
+def test_fig8_reclaim_throughput(run_once):
+    result = run_once(fig8.run, fig8.Fig8Config())
+    print()
+    print(result.render())
+    for fn in result.config.functions:
+        assert result.speedup(fn) >= 3.0

@@ -1,0 +1,19 @@
+"""Figure 9: P99 invocation latency across the three configurations.
+
+Paper shape: HotMem ≈ vanilla ≈ statically over-provisioned (elasticity
+does not penalize tail latency); Bert is slightly affected by its ≈30 ms
+plugs.
+"""
+
+from repro.experiments import fig9_p99_latency as fig9
+
+
+def test_fig9_p99_latency(run_once):
+    result = run_once(fig9.run, fig9.Fig9Config())
+    print()
+    print(result.render())
+    for fn in result.config.functions:
+        assert result.p99[fn]["hotmem"] == __import__("pytest").approx(
+            result.p99[fn]["vanilla"], rel=0.15
+        )
+        assert result.elasticity_overhead(fn, "hotmem") < 1.5

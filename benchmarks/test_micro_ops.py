@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulator's own primitives.
+
+Not a paper figure — these track the harness's wall-clock efficiency so
+that regressions in the substrate (event loop, allocator, migration)
+show up independently of the experiment results.
+"""
+
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.engine import Simulator, Timeout
+from repro.units import GIB, MIB
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(2000):
+                yield Timeout(1)
+
+        sim.spawn(ticker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_events) == 2000
+
+
+def test_allocator_bulk_throughput(benchmark):
+    def allocate_one_gib():
+        manager = GuestMemoryManager(2 * GIB, 0)
+        mm = MmStruct("bench")
+        manager.alloc_pages(mm, (1 * GIB) // 4096)
+        return mm.total_pages
+
+    assert benchmark(allocate_one_gib) == (1 * GIB) // 4096
+
+
+def test_migration_throughput(benchmark):
+    def migrate_block():
+        manager = GuestMemoryManager(512 * MIB, 512 * MIB)
+        for index in manager.hotplug_block_indices():
+            manager.online_block(index, manager.zone_movable)
+        mm = MmStruct("bench")
+        manager.alloc_pages(mm, manager.zone_movable.free_pages // 2)
+        block = manager.zone_movable.blocks[0]
+        return manager.migrate_block_out(block).migrated_pages
+
+    assert benchmark(migrate_block) > 0
+
+
+def test_unplug_request_end_to_end(benchmark):
+    from repro.host import HostMachine
+    from repro.vmm import VirtualMachine, VmConfig
+
+    def one_unplug():
+        sim = Simulator()
+        host = HostMachine(sim)
+        vm = VirtualMachine(sim, host, VmConfig("bench", hotplug_region_bytes=GIB))
+        vm.request_plug(GIB)
+        sim.run()
+        process = vm.request_unplug(512 * MIB)
+        sim.run()
+        return process.value.unplugged_bytes
+
+    assert benchmark(one_unplug) == 512 * MIB

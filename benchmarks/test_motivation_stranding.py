@@ -1,0 +1,18 @@
+"""Motivation (Figure 1): host memory stranding across deployment modes.
+
+Four trace-driven VMs share one host node; the table shows how much host
+memory each deployment mode keeps committed as load comes and goes.
+"""
+
+from repro.experiments import stranding
+
+
+def test_motivation_stranding(run_once):
+    result = run_once(stranding.run)
+    print()
+    print(result.render())
+    over = result.avg_gib["overprovisioned"]
+    assert result.avg_gib["hotmem"] < 0.5 * over
+    assert result.avg_gib["vanilla"] < 0.5 * over
+    # Static provisioning never lets go of anything.
+    assert result.tail_gib["overprovisioned"] == result.peak_gib["overprovisioned"]

@@ -1,0 +1,21 @@
+"""P1: spare-slot policy — does HotMem still need idle-memory buffers?
+
+The memory-harvesting systems the paper cites keep idle buffers around
+to mask slow reclamation.  With HotMem's cheap plugs the buffers stop
+paying for themselves; with an artificially slow plug path they matter
+again — buffers are a workaround HotMem obviates.
+"""
+
+from repro.experiments import policy_tradeoff
+
+
+def test_policy_tradeoff(run_once):
+    result = run_once(policy_tradeoff.run)
+    print()
+    print(result.render())
+    print(
+        f"cold-latency saved by max spares: "
+        f"{result.fast_plug_benefit():.1f} ms with HotMem plugs, "
+        f"{result.slow_plug_benefit():.1f} ms with 8x slower plugs"
+    )
+    assert result.slow_plug_benefit() > 5 * max(result.fast_plug_benefit(), 1.0)

@@ -1,0 +1,10 @@
+"""Table 1: serverless functions and their assigned resource limits."""
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    text = run_once(table1.render)
+    print()
+    print(text)
+    assert "Bert" in text and "640" in text

@@ -1,0 +1,16 @@
+"""E1: memory tracking under a diurnal load cycle.
+
+Elastic modes keep plugged memory glued to what the live instances need
+(tracking ratio ≈ 1.0); static provisioning holds the maximum forever.
+"""
+
+from repro.experiments import tracking
+
+
+def test_tracking(run_once):
+    result = run_once(tracking.run)
+    print()
+    print(result.render())
+    assert result.tracking_ratio["hotmem"] < 1.3
+    assert result.tracking_ratio["vanilla"] < 1.5
+    assert result.tracking_ratio["overprovisioned"] > 3.0

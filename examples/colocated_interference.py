@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Co-location interference demo (the paper's Figure 10 scenario).
+
+Cnn and HTML share one VM.  Cnn is pinned to two vCPUs, one of which
+also services virtio-mem interrupts.  When the keep-alive recycler
+evicts the burst of idle HTML instances and the runtime shrinks the VM,
+vanilla unplug migrates pages on that shared vCPU and Cnn's per-second
+latency spikes; HotMem removes empty partitions and Cnn is untouched.
+
+Run:  python examples/colocated_interference.py
+"""
+
+import math
+
+from repro.experiments import fig10_interference as fig10
+
+
+def sparkline(series, lo, hi):
+    """Render a latency series as a coarse text sparkline."""
+    glyphs = " .:-=+*#%@"
+    out = []
+    for _, value in series:
+        if math.isnan(value):
+            out.append(" ")
+            continue
+        level = (value - lo) / (hi - lo) if hi > lo else 0
+        out.append(glyphs[min(len(glyphs) - 1, max(0, int(level * len(glyphs))))])
+    return "".join(out)
+
+
+def main() -> None:
+    config = fig10.Fig10Config()
+    print(
+        f"Running {config.duration_s}s with Cnn on vCPUs 0-1 (vCPU 0 serves "
+        f"virtio-mem IRQs) and up to {config.html_instances} HTML instances "
+        f"on vCPUs 2-9; keep-alive {config.keep_alive_s}s ..."
+    )
+    result = fig10.run(config)
+    print()
+    print(result.render())
+    print()
+    values = [
+        v
+        for mode in ("vanilla", "hotmem")
+        for _, v in result.cnn_series[mode]
+        if not math.isnan(v)
+    ]
+    lo, hi = min(values), max(values)
+    for mode in ("vanilla", "hotmem"):
+        line = sparkline(result.cnn_series[mode], lo, hi)
+        shrink = result.shrink_times_s[mode]
+        marker = " " * int(shrink[0]) + "^shrink" if shrink else ""
+        print(f"{mode:>8} |{line}|")
+        if marker:
+            print(f"{'':>8}  {marker}")
+    print()
+    print(
+        f"Around the first shrink, vanilla's per-second Cnn latency rose to "
+        f"{result.window_mean['vanilla']:.2f}x its baseline "
+        f"(peak {result.spike['vanilla']:.2f}x) while HotMem stayed at "
+        f"{result.window_mean['hotmem']:.2f}x — the zero-migration reclaim "
+        f"path eliminates the interference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Trace-driven elasticity: the full serverless stack in one script.
+
+Replays the same bursty Azure-shaped trace against one VM per deployment
+mode (HotMem / vanilla virtio-mem / statically over-provisioned) and
+reports what the paper's Figures 8 and 9 report: memory-reclamation
+throughput during scale-down and the P99 of successful invocations.
+
+Run:  python examples/trace_driven_scaling.py [function]
+      (function defaults to "bert"; any of cnn/bert/bfs/html works)
+"""
+
+import sys
+
+from repro import DeploymentMode, FunctionLoad, ServerlessScenario, run_scenario
+from repro.metrics import p99_ms, render_table
+
+
+def main() -> None:
+    function = sys.argv[1] if len(sys.argv) > 1 else "bert"
+    rows = []
+    for mode in (
+        DeploymentMode.HOTMEM,
+        DeploymentMode.VANILLA,
+        DeploymentMode.OVERPROVISIONED,
+    ):
+        scenario = ServerlessScenario(
+            mode=mode,
+            loads=(FunctionLoad.for_function(function),),
+            duration_s=150,
+            keep_alive_s=30,
+            recycle_interval_s=10,
+        )
+        run = run_scenario(scenario)
+        records = run.records_for(function)
+        plugs = run.plug_latencies_ms()
+        rows.append(
+            [
+                mode.value,
+                len(records),
+                run.cold_starts[function],
+                p99_ms(records),
+                run.reclaim_mib_per_s,
+                sum(plugs) / len(plugs) if plugs else 0.0,
+                sum(e.evicted for e in run.shrink_events),
+            ]
+        )
+    print(
+        render_table(
+            f"Trace-driven scaling for {function!r} "
+            f"(burst then low load, keep-alive eviction)",
+            [
+                "mode",
+                "requests",
+                "colds",
+                "p99_ms",
+                "reclaim_mib_s",
+                "avg_plug_ms",
+                "evicted",
+            ],
+            rows,
+        )
+    )
+    print()
+    hotmem, vanilla = rows[0], rows[1]
+    print(
+        f"HotMem reclaimed memory {hotmem[4] / max(vanilla[4], 1e-9):.1f}x "
+        f"faster than vanilla while serving the same load, and its P99 is "
+        f"within {abs(hotmem[3] - rows[2][3]) / rows[2][3]:.0%} of the "
+        f"over-provisioned baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""HotMem/Squeezy reproduction: rapid VM memory reclamation for serverless.
+
+A full-stack discrete-event simulation of the paper "Fast and Efficient
+Memory Reclamation For Serverless MicroVMs" (HotMem): a Linux-shaped
+guest memory manager, virtio-mem hot(un)plug, a Cloud-Hypervisor-shaped
+VMM, the HotMem partition mechanism, and an OpenWhisk-shaped serverless
+runtime — plus harnesses regenerating every table and figure of the
+paper's evaluation.
+
+Quick start::
+
+    from repro import MicrobenchRig, MicrobenchSetup
+    from repro.units import MIB
+
+    rig = MicrobenchRig(MicrobenchSetup(mode="hotmem",
+                                        total_bytes=3072 * MIB,
+                                        partition_bytes=384 * MIB))
+    print(rig.run_single_reclaim(768 * MIB).latency_ms, "ms")
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the per-figure reproduction harnesses.
+"""
+
+from repro.core import (
+    HotMemBackend,
+    HotMemBootParams,
+    HotMemManager,
+    HotMemPartition,
+    PartitionState,
+)
+from repro.experiments import (
+    FunctionLoad,
+    MicrobenchRig,
+    MicrobenchSetup,
+    ReclaimMeasurement,
+    ServerlessRun,
+    ServerlessScenario,
+    run_scenario,
+)
+from repro.faas import (
+    Agent,
+    DeploymentMode,
+    FaasRuntime,
+    FunctionDeployment,
+    InvocationRecord,
+    KeepAlivePolicy,
+)
+from repro.host import HostMachine
+from repro.sim import CostModel, CpuCore, Event, Process, Simulator, Timeout
+from repro.vmm import VirtualMachine, VmConfig
+from repro.workloads import (
+    TABLE1_FUNCTIONS,
+    AzureTraceGenerator,
+    FunctionSpec,
+    InvocationTrace,
+    Memhog,
+    bursty_trace,
+    get_function,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core (the paper's contribution)
+    "HotMemBackend",
+    "HotMemBootParams",
+    "HotMemManager",
+    "HotMemPartition",
+    "PartitionState",
+    # simulation substrate
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "CpuCore",
+    "CostModel",
+    # host + VMM
+    "HostMachine",
+    "VirtualMachine",
+    "VmConfig",
+    # serverless runtime
+    "Agent",
+    "DeploymentMode",
+    "FaasRuntime",
+    "FunctionDeployment",
+    "InvocationRecord",
+    "KeepAlivePolicy",
+    # workloads
+    "TABLE1_FUNCTIONS",
+    "FunctionSpec",
+    "get_function",
+    "Memhog",
+    "AzureTraceGenerator",
+    "InvocationTrace",
+    "bursty_trace",
+    # experiment harnesses
+    "MicrobenchRig",
+    "MicrobenchSetup",
+    "ReclaimMeasurement",
+    "FunctionLoad",
+    "ServerlessScenario",
+    "ServerlessRun",
+    "run_scenario",
+]

@@ -1,0 +1,34 @@
+"""Related-work baselines (Section 7 of the paper).
+
+The paper positions HotMem against the two state-of-practice VM memory
+elasticity interfaces:
+
+* **memory ballooning** (:mod:`repro.baselines.balloon`) — a guest driver
+  allocates guest pages and reports them to the hypervisor; reclamation
+  is page-granular but *unreliable or unpredictably slow*: inflation
+  stalls whenever the guest has no free pages to give;
+* **ACPI DIMM hotplug** (:mod:`repro.baselines.dimm`) — the pre-virtio-mem
+  interface: whole (virtual) DIMMs are the only (un)plug unit, so
+  reclamation is all-or-nothing per DIMM and fails whenever one block of
+  the DIMM cannot be emptied;
+* **free page reporting** (:mod:`repro.baselines.fpr`, the paper's
+  reference [7]) — the guest periodically reports free pages that the
+  host ``MADV_DONTNEED``s: automatic but lazy, and the VM never actually
+  shrinks.
+
+All run against the same guest memory manager and cost model as
+virtio-mem and HotMem, so the comparison experiment
+(:mod:`repro.experiments.baselines_comparison`) is apples-to-apples.
+"""
+
+from repro.baselines.balloon import BalloonResult, VirtioBalloon
+from repro.baselines.dimm import DimmHotplug, DimmUnplugResult
+from repro.baselines.fpr import FreePageReporting
+
+__all__ = [
+    "VirtioBalloon",
+    "BalloonResult",
+    "DimmHotplug",
+    "DimmUnplugResult",
+    "FreePageReporting",
+]

@@ -1,0 +1,161 @@
+"""virtio-balloon: the state-of-practice elasticity baseline.
+
+The hypervisor sets a target balloon size; the guest driver *inflates*
+by allocating guest pages and reporting them (the host then reuses the
+backing memory) and *deflates* by returning previously ballooned pages.
+
+The pathology the paper cites (Section 7): inflation works through the
+guest allocator, so when free guest memory runs out the driver stalls
+and retries — reclamation becomes unreliable and unpredictably slow,
+unlike hotplug (which can migrate) and unlike HotMem (which never needs
+either).  This model reproduces exactly that: inflation grabs whatever
+free pages exist (above a reserve watermark), then backs off and
+retries until it reaches the target or exhausts its retry budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.host.machine import NumaNode
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.owner import PageOwner
+from repro.sim.costs import CostModel
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Simulator, Timeout
+from repro.units import MIB, bytes_to_pages, pages_to_bytes
+
+__all__ = ["VirtioBalloon", "BalloonResult"]
+
+#: Accounting label for balloon driver work.
+BALLOON_LABEL = "virtio-balloon"
+
+#: Free pages the driver will not steal from the guest (min watermark).
+DEFAULT_RESERVE_PAGES = bytes_to_pages(16 * MIB)
+
+#: Inflation passes before the driver reports a partial result.
+DEFAULT_MAX_RETRIES = 20
+
+
+@dataclass
+class BalloonResult:
+    """Hypervisor-side view of one inflate (reclaim) request."""
+
+    requested_pages: int
+    reclaimed_pages: int
+    latency_ns: int
+    retries: int
+
+    @property
+    def fully_reclaimed(self) -> bool:
+        return self.reclaimed_pages == self.requested_pages
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return pages_to_bytes(self.reclaimed_pages)
+
+
+class VirtioBalloon:
+    """One VM's balloon device/driver pair.
+
+    Page-granular: unlike the hotplug interfaces it has no 128 MiB block
+    constraint, but it can only take pages the guest allocator can hand
+    out *right now*.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        irq_core: CpuCore,
+        vmm_core: CpuCore,
+        host_node: NumaNode,
+        reserve_pages: int = DEFAULT_RESERVE_PAGES,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        if reserve_pages < 0 or max_retries < 0:
+            raise ConfigError("reserve and retries must be non-negative")
+        self.sim = sim
+        self.manager = manager
+        self.costs = costs
+        self.irq_core = irq_core
+        self.vmm_core = vmm_core
+        self.host_node = host_node
+        self.reserve_pages = reserve_pages
+        self.max_retries = max_retries
+        #: Pages currently held by the balloon (owner in the guest).
+        self.balloon_owner = PageOwner("virtio-balloon", movable=True)
+
+    @property
+    def inflated_pages(self) -> int:
+        """Pages currently reclaimed from the guest via the balloon."""
+        return self.balloon_owner.total_pages
+
+    # ------------------------------------------------------------------
+    # Inflate (reclaim)
+    # ------------------------------------------------------------------
+    def _stealable_pages(self) -> int:
+        free = sum(zone.free_pages for zone in self.manager.zonelist(True))
+        return max(0, free - self.reserve_pages)
+
+    def inflate(self, target_bytes: int):
+        """Process generator: reclaim ``target_bytes`` from the guest.
+
+        Returns a :class:`BalloonResult`; ``reclaimed_pages`` may be less
+        than requested when the guest never freed enough memory within
+        the retry budget (ballooning's unreliability).
+        """
+        target_pages = bytes_to_pages(target_bytes)
+        start = self.sim.now
+        reclaimed = 0
+        retries = 0
+        yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, BALLOON_LABEL)
+        while reclaimed < target_pages:
+            take = min(self._stealable_pages(), target_pages - reclaimed)
+            if take > 0:
+                self.manager.alloc_pages(
+                    self.balloon_owner, take, zones=self.manager.zonelist(True)
+                )
+                # Guest-side allocation work, then host-side release.
+                yield self.irq_core.submit(
+                    take * self.costs.balloon_inflate_page_ns, BALLOON_LABEL
+                )
+                yield self.vmm_core.submit(
+                    take * self.costs.balloon_host_release_page_ns, BALLOON_LABEL
+                )
+                self.host_node.discharge(pages_to_bytes(take))
+                reclaimed += take
+                continue
+            if retries >= self.max_retries:
+                break
+            retries += 1
+            yield Timeout(self.costs.balloon_retry_interval_ns)
+        return BalloonResult(
+            requested_pages=target_pages,
+            reclaimed_pages=reclaimed,
+            latency_ns=self.sim.now - start,
+            retries=retries,
+        )
+
+    # ------------------------------------------------------------------
+    # Deflate (give memory back)
+    # ------------------------------------------------------------------
+    def deflate(self, target_bytes: int):
+        """Process generator: return up to ``target_bytes`` to the guest."""
+        pages = min(bytes_to_pages(target_bytes), self.inflated_pages)
+        start = self.sim.now
+        if pages > 0:
+            # Host re-charges the backing memory before the guest reuses it.
+            self.host_node.charge(pages_to_bytes(pages))
+            self.manager.free_pages(self.balloon_owner, pages)
+            yield self.irq_core.submit(
+                pages * self.costs.balloon_deflate_page_ns, BALLOON_LABEL
+            )
+        return BalloonResult(
+            requested_pages=bytes_to_pages(target_bytes),
+            reclaimed_pages=pages,
+            latency_ns=self.sim.now - start,
+            retries=0,
+        )

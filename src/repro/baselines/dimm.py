@@ -1,0 +1,218 @@
+"""ACPI (v)DIMM hotplug: the coarse-grained baseline virtio-mem replaced.
+
+The default DIMM interface operates in whole-DIMM units (Section 2.2):
+a virtual DIMM spans several 128 MiB memory blocks (1 GiB here, i.e. 8
+blocks) and can only be unplugged atomically.  Every block of the DIMM
+must be offlined — migrating its occupants — or the whole operation
+aborts, which makes reclamation both slower (more forced migrations per
+useful byte) and less reliable (one stubborn block wastes the work done
+on its siblings) than virtio-mem's per-block granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError, HotplugError, OfflineFailed
+from repro.host.machine import NumaNode
+from repro.mm.block import BlockState
+from repro.mm.manager import GuestMemoryManager
+from repro.sim.costs import CostModel, ZeroingMode
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Simulator
+from repro.units import GIB, MEMORY_BLOCK_SIZE, PAGES_PER_BLOCK, bytes_to_blocks
+
+__all__ = ["DimmHotplug", "DimmUnplugResult"]
+
+#: Accounting label for DIMM hotplug work.
+DIMM_LABEL = "dimm-hotplug"
+
+#: Default virtual DIMM size (8 memory blocks).
+DEFAULT_DIMM_BYTES = 1 * GIB
+
+
+@dataclass
+class DimmUnplugResult:
+    """Outcome of one whole-DIMM unplug request."""
+
+    requested_dimms: int
+    unplugged_dimms: int
+    aborted_dimms: int
+    migrated_pages: int
+    wasted_migrated_pages: int
+    latency_ns: int
+    dimm_bytes: int = DEFAULT_DIMM_BYTES
+
+    @property
+    def unplugged_bytes(self) -> int:
+        return self.unplugged_dimms * self.dimm_bytes
+
+    @property
+    def fully_unplugged(self) -> bool:
+        return self.unplugged_dimms == self.requested_dimms
+
+
+class DimmHotplug:
+    """Whole-DIMM (un)plug over the shared guest memory manager."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        irq_core: CpuCore,
+        vmm_core: CpuCore,
+        host_node: NumaNode,
+        dimm_bytes: int = DEFAULT_DIMM_BYTES,
+    ):
+        if dimm_bytes <= 0 or dimm_bytes % MEMORY_BLOCK_SIZE:
+            raise ConfigError("DIMM size must be whole memory blocks")
+        self.sim = sim
+        self.manager = manager
+        self.costs = costs
+        self.irq_core = irq_core
+        self.vmm_core = vmm_core
+        self.host_node = host_node
+        self.blocks_per_dimm = dimm_bytes // MEMORY_BLOCK_SIZE
+        self.dimm_bytes = dimm_bytes
+        if manager.hotplug_blocks % self.blocks_per_dimm:
+            raise ConfigError(
+                "hotplug region must be a whole number of DIMMs"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def dimm_block_indices(self, dimm: int) -> List[int]:
+        """Physical block indices of one DIMM slot."""
+        base = self.manager.boot_blocks + dimm * self.blocks_per_dimm
+        return list(range(base, base + self.blocks_per_dimm))
+
+    @property
+    def dimm_slots(self) -> int:
+        """Number of DIMM slots in the device region."""
+        return self.manager.hotplug_blocks // self.blocks_per_dimm
+
+    def plugged_dimms(self) -> List[int]:
+        """Slots whose blocks are all online."""
+        return [
+            dimm
+            for dimm in range(self.dimm_slots)
+            if all(
+                self.manager.blocks[i].state is BlockState.ONLINE
+                for i in self.dimm_block_indices(dimm)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Plug
+    # ------------------------------------------------------------------
+    def plug(self, dimm_count: int):
+        """Process generator: hot-add ``dimm_count`` whole DIMMs."""
+        free_slots = [
+            dimm
+            for dimm in range(self.dimm_slots)
+            if all(
+                self.manager.blocks[i].state is BlockState.ABSENT
+                for i in self.dimm_block_indices(dimm)
+            )
+        ]
+        if dimm_count > len(free_slots):
+            raise HotplugError(
+                f"only {len(free_slots)} free DIMM slots, need {dimm_count}"
+            )
+        zero_pages = (
+            PAGES_PER_BLOCK
+            if self.costs.zeroing_mode == ZeroingMode.INIT_ON_FREE
+            else 0
+        )
+        start = self.sim.now
+        self.host_node.charge(dimm_count * self.dimm_bytes)
+        yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, DIMM_LABEL)
+        for dimm in free_slots[:dimm_count]:
+            for index in self.dimm_block_indices(dimm):
+                self.manager.online_block(index, self.manager.zone_movable)
+                yield self.irq_core.submit(
+                    self.costs.plug_block_ns(zero_pages=zero_pages), DIMM_LABEL
+                )
+        return self.sim.now - start
+
+    # ------------------------------------------------------------------
+    # Unplug (atomic per DIMM)
+    # ------------------------------------------------------------------
+    def unplug(self, size_bytes: int):
+        """Process generator: reclaim ``size_bytes`` in whole-DIMM units.
+
+        The request is rounded *up* to DIMMs; each DIMM either fully
+        offlines (all blocks migrated out) or aborts, rolling back its
+        partially-offlined blocks — the migrations already performed for
+        an aborted DIMM are wasted work, reported separately.
+        Returns a :class:`DimmUnplugResult`.
+        """
+        wanted = -(-bytes_to_blocks(size_bytes) // self.blocks_per_dimm)
+        candidates = sorted(self.plugged_dimms(), reverse=True)
+        start = self.sim.now
+        migrated_total = 0
+        wasted = 0
+        unplugged = 0
+        aborted = 0
+        yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, DIMM_LABEL)
+        for dimm in candidates:
+            if unplugged == wanted:
+                break
+            blocks = [self.manager.blocks[i] for i in self.dimm_block_indices(dimm)]
+            emptied = []
+            migrated_here = 0
+            failed = False
+            for block in blocks:
+                try:
+                    self.manager.isolate_block(block)
+                except OfflineFailed:
+                    failed = True
+                    break
+                try:
+                    outcome = self.manager.migrate_block_out(block)
+                except OfflineFailed:
+                    self.manager.unisolate_block(block)
+                    failed = True
+                    break
+                zeroed = (
+                    outcome.migrated_pages
+                    if self.costs.zeroing_mode == ZeroingMode.INIT_ON_ALLOC
+                    else 0
+                )
+                cost = self.costs.offline_block_ns(
+                    outcome.migrated_pages, zeroed
+                )
+                yield self.irq_core.submit(cost, DIMM_LABEL)
+                migrated_here += outcome.migrated_pages
+                emptied.append(block)
+            if failed:
+                # Atomic abort: un-isolate everything already emptied; the
+                # migrations stay where they landed (wasted work).
+                for block in emptied:
+                    self.manager.unisolate_block(block)
+                wasted += migrated_here
+                aborted += 1
+                continue
+            for block in emptied:
+                yield self.irq_core.submit(
+                    self.costs.hot_remove_block_ns, DIMM_LABEL
+                )
+                self.manager.offline_and_remove(block, migrate=False)
+            yield self.vmm_core.submit(
+                self.blocks_per_dimm * self.costs.madvise_block_ns, DIMM_LABEL
+            )
+            self.host_node.discharge(self.dimm_bytes)
+            migrated_total += migrated_here
+            unplugged += 1
+        return DimmUnplugResult(
+            requested_dimms=wanted,
+            unplugged_dimms=unplugged,
+            aborted_dimms=aborted,
+            migrated_pages=migrated_total,
+            wasted_migrated_pages=wasted,
+            latency_ns=self.sim.now - start,
+            dimm_bytes=self.dimm_bytes,
+        )

@@ -1,0 +1,160 @@
+"""Free page reporting (the paper's reference [7]).
+
+A guest kernel feature (shipped alongside virtio-balloon) that
+periodically reports batches of free pages to the hypervisor, which
+``MADV_DONTNEED``s them — the host gets idle memory back *without*
+resizing the VM.  Its characteristics versus hot(un)plug:
+
+* reclamation is automatic but **lazy**: freed memory returns to the
+  host only at the next reporting tick (hundreds of ms to seconds);
+* the guest's memory size never shrinks, so the host must keep backing
+  pages available for instant re-faulting — reported memory is
+  returned-but-promised, not released capacity;
+* re-allocating reported pages makes the host re-charge them (plus a
+  host-side fault penalty), so churny workloads bounce memory back and
+  forth.
+
+The model reconciles at tick granularity: each tick compares the guest's
+reportable free pages against what is currently reported and settles the
+difference with the host, which captures exactly the latency and churn
+the mechanism exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.host.machine import NumaNode
+from repro.mm.manager import GuestMemoryManager
+from repro.sim.costs import CostModel
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.units import MIB, SEC, bytes_to_pages, pages_to_bytes
+
+__all__ = ["FreePageReporting"]
+
+#: Accounting label for reporting work.
+FPR_LABEL = "free-page-reporting"
+
+#: Reporting granularity: pages are reported in 2 MiB batches.
+REPORT_BATCH_PAGES = 512
+
+
+@dataclass
+class ReportTick:
+    """One reconciliation tick's outcome."""
+
+    time_ns: int
+    reported_delta_pages: int
+    cumulative_reported_pages: int
+
+
+class FreePageReporting:
+    """Periodic free-page reporting for one guest."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        irq_core: CpuCore,
+        vmm_core: CpuCore,
+        host_node: NumaNode,
+        report_interval_ns: int = 2 * SEC,
+        watermark_pages: int = bytes_to_pages(64 * MIB),
+    ):
+        if report_interval_ns <= 0:
+            raise ConfigError("report interval must be positive")
+        self.sim = sim
+        self.manager = manager
+        self.costs = costs
+        self.irq_core = irq_core
+        self.vmm_core = vmm_core
+        self.host_node = host_node
+        self.report_interval_ns = report_interval_ns
+        self.watermark_pages = watermark_pages
+        #: Pages currently reported (host-released but still guest-free).
+        self.reported_pages = 0
+        self.ticks: List[ReportTick] = []
+        self._process: Optional[Process] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, until_ns: Optional[int] = None) -> Process:
+        """Start the periodic reporting thread."""
+        if self._process is not None:
+            raise ConfigError("reporting already started")
+        self._process = self.sim.spawn(self._loop(until_ns), name="fpr")
+        return self._process
+
+    def stop(self) -> None:
+        """Stop after the current tick (reported pages stay reported)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # The reporting loop
+    # ------------------------------------------------------------------
+    def _reportable_pages(self) -> int:
+        free = sum(zone.free_pages for zone in self.manager.zonelist(True))
+        reportable = max(0, free - self.watermark_pages)
+        # Whole 2 MiB batches only.
+        return (reportable // REPORT_BATCH_PAGES) * REPORT_BATCH_PAGES
+
+    def _loop(self, until_ns: Optional[int]):
+        while not self._stopped:
+            if until_ns is not None and self.sim.now >= until_ns:
+                break
+            yield Timeout(self.report_interval_ns)
+            yield from self._tick()
+        return None
+
+    def _tick(self):
+        """Reconcile reported pages with the current free set."""
+        target = self._reportable_pages()
+        delta = target - self.reported_pages
+        if delta > 0:
+            # Newly free pages: report them, host releases the backing.
+            scan_cost = (
+                delta // REPORT_BATCH_PAGES + 1
+            ) * self.costs.unplug_scan_block_ns
+            yield self.irq_core.submit(scan_cost, FPR_LABEL)
+            yield self.vmm_core.submit(
+                delta * self.costs.balloon_host_release_page_ns, FPR_LABEL
+            )
+            self.host_node.discharge(pages_to_bytes(delta))
+        elif delta < 0:
+            # The guest re-used reported pages: the host re-charges them
+            # and pays a fault on first touch of each returned page.
+            returned = -delta
+            self.host_node.charge(pages_to_bytes(returned))
+            yield self.vmm_core.submit(
+                returned * self.costs.anon_fault_ns, FPR_LABEL
+            )
+        self.reported_pages = target
+        self.ticks.append(
+            ReportTick(
+                time_ns=self.sim.now,
+                reported_delta_pages=delta,
+                cumulative_reported_pages=self.reported_pages,
+            )
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def reported_bytes(self) -> int:
+        """Memory currently given back to the host via reporting."""
+        return pages_to_bytes(self.reported_pages)
+
+    def time_reported_reached(self, threshold_bytes: int) -> Optional[int]:
+        """First tick time at which reported memory reached ``threshold``."""
+        for tick in self.ticks:
+            if pages_to_bytes(tick.cumulative_reported_pages) >= threshold_bytes:
+                return tick.time_ns
+        return None

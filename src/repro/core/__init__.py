@@ -1,0 +1,20 @@
+"""HotMem — the paper's core contribution.
+
+Per-instance guest memory partitions (``ZONE_HotMem``), the syscall
+interface that assigns them to function instances, refcounting across
+fork/exit, and the partition-aware virtio-mem backend that reclaims the
+memory of terminated instances with zero migrations (Sections 3-4).
+"""
+
+from repro.core.backend import HotMemBackend
+from repro.core.config import HotMemBootParams
+from repro.core.manager import HotMemManager
+from repro.core.partition import HotMemPartition, PartitionState
+
+__all__ = [
+    "HotMemBackend",
+    "HotMemBootParams",
+    "HotMemManager",
+    "HotMemPartition",
+    "PartitionState",
+]

@@ -1,0 +1,111 @@
+"""The HotMem virtio-mem backend: partition-aware hot(un)plug.
+
+Implements the paper's two driver-side changes (Section 4):
+
+* **plug**: freshly plugged blocks populate HotMem partitions (lowest
+  incomplete partition first) instead of ``ZONE_MOVABLE``, and onlining
+  skips page zeroing because the host hands over zeroed memory;
+* **unplug**: the driver tracks free partitions via their reference
+  counters and immediately offlines their blocks — which are guaranteed
+  empty — without scanning, migrating, or zeroing anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.manager import HotMemManager
+from repro.core.partition import HotMemPartition
+from repro.errors import HotplugError, OfflineFailed
+from repro.mm.block import MemoryBlock
+from repro.mm.zone import Zone
+from repro.virtio.backend import HotplugBackend, UnplugPlanEntry
+
+__all__ = ["HotMemBackend"]
+
+
+class HotMemBackend(HotplugBackend):
+    """Partition-aware policy plugged into the shared virtio-mem driver."""
+
+    name = "hotmem"
+
+    def __init__(self, hotmem: HotMemManager):
+        self.hotmem = hotmem
+        #: Blocks currently backing each partition (zone membership is the
+        #: source of truth; this maps a block back to its partition).
+        self._block_partition: Dict[int, HotMemPartition] = {}
+
+    # ------------------------------------------------------------------
+    # Plug: populate partitions, skip zeroing
+    # ------------------------------------------------------------------
+    def zones_for_plug(self, n_blocks: int) -> List[Tuple[Zone, int]]:
+        placement: List[Tuple[Zone, int]] = []
+        remaining = n_blocks
+        for partition in self.hotmem.partitions_needing_population():
+            if remaining == 0:
+                break
+            take = min(partition.missing_blocks, remaining)
+            placement.append((partition.zone, take))
+            remaining -= take
+        if remaining > 0:
+            raise HotplugError(
+                f"plug of {n_blocks} blocks exceeds empty partition capacity "
+                f"by {remaining} blocks (concurrency limit reached)"
+            )
+        return placement
+
+    def plug_zero_pages_per_block(self) -> int:
+        # HotMem skips zeroing on the plug path regardless of the zeroing
+        # mode: the host always hands over zeroed pages (Section 4).
+        return 0
+
+    def on_block_plugged(self, block: MemoryBlock) -> None:
+        partition = self._partition_for_zone(block.zone)
+        self._block_partition[block.index] = partition
+        self.hotmem.on_block_plugged(partition)
+
+    # ------------------------------------------------------------------
+    # Unplug: empty partitions only, zero migrations
+    # ------------------------------------------------------------------
+    def plan_unplug(self, n_blocks: int) -> List[UnplugPlanEntry]:
+        plan: List[UnplugPlanEntry] = []
+        for partition in self.hotmem.reclaimable_partitions():
+            for block in sorted(partition.zone.blocks, key=lambda b: b.index):
+                if len(plan) == n_blocks:
+                    return plan
+                # The driver knows free partitions by refcount; there is no
+                # scanning (scanned_blocks=0 → no scan cost).
+                plan.append(UnplugPlanEntry(block, scanned_blocks=0))
+        return plan
+
+    def migrate_for_unplug(self, block: MemoryBlock) -> int:
+        if block.occupied_pages:
+            raise OfflineFailed(
+                f"HotMem invariant violated: block {block.index} of a free "
+                f"partition holds {block.occupied_pages} occupied pages"
+            )
+        return 0
+
+    def unplug_zero_pages(self, migrated_pages: int) -> int:
+        # Nothing is migrated and the host re-zeroes reclaimed memory, so
+        # the offline path never zeroes (Section 4).
+        return 0
+
+    def on_block_unplugged(self, block: MemoryBlock) -> None:
+        self._block_partition.pop(block.index, None)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _partition_for_zone(self, zone: Zone) -> HotMemPartition:
+        for partition in self.hotmem.partitions:
+            if partition.zone is zone:
+                return partition
+        shared = self.hotmem.shared_partition
+        if shared is not None and shared.zone is zone:
+            return shared
+        raise HotplugError(f"zone {zone.name} is not a HotMem partition")
+
+    def partition_of_block(self, block_index: int) -> HotMemPartition:
+        """The partition a plugged block belongs to (diagnostics)."""
+        return self._block_partition[block_index]

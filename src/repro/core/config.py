@@ -1,0 +1,82 @@
+"""HotMem boot parameters.
+
+A serverless runtime creating a HotMem VM declares three things at guest
+boot (Section 4.1): the private partition size (the function's user-set
+memory limit), the shared partition size (the function's runtime and
+language dependencies), and the concurrency factor *N* (the maximum
+number of instances the VM will ever host concurrently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, format_bytes
+
+__all__ = ["HotMemBootParams"]
+
+
+@dataclass(frozen=True)
+class HotMemBootParams:
+    """Boot-time configuration of a HotMem guest.
+
+    Attributes
+    ----------
+    partition_bytes:
+        Size of each private partition.  Must be a whole number of 128 MiB
+        memory blocks (use :meth:`for_function` to round a raw limit up).
+    concurrency:
+        Number of private partitions created at boot (*N*).  Only *N*
+        instances can run concurrently; the memory behind the partitions
+        is **not** pre-allocated (unlike an over-provisioned VM).
+    shared_bytes:
+        Size of the shared partition backing file mappings; populated at
+        boot.  Must be a whole number of blocks.
+    """
+
+    partition_bytes: int
+    concurrency: int
+    shared_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.partition_bytes <= 0 or self.partition_bytes % MEMORY_BLOCK_SIZE:
+            raise ConfigError(
+                f"partition size must be a positive multiple of 128MiB, got "
+                f"{format_bytes(self.partition_bytes)}"
+            )
+        if self.concurrency <= 0:
+            raise ConfigError(f"concurrency must be positive, got {self.concurrency}")
+        if self.shared_bytes < 0 or self.shared_bytes % MEMORY_BLOCK_SIZE:
+            raise ConfigError(
+                f"shared partition size must be a non-negative multiple of "
+                f"128MiB, got {format_bytes(self.shared_bytes)}"
+            )
+
+    @classmethod
+    def for_function(
+        cls, memory_limit_bytes: int, concurrency: int, shared_bytes: int
+    ) -> "HotMemBootParams":
+        """Round a raw function memory limit up to whole memory blocks."""
+        blocks = bytes_to_blocks(memory_limit_bytes)
+        shared_blocks = bytes_to_blocks(shared_bytes)
+        return cls(
+            partition_bytes=blocks * MEMORY_BLOCK_SIZE,
+            concurrency=concurrency,
+            shared_bytes=shared_blocks * MEMORY_BLOCK_SIZE,
+        )
+
+    @property
+    def partition_blocks(self) -> int:
+        """Blocks per private partition."""
+        return self.partition_bytes // MEMORY_BLOCK_SIZE
+
+    @property
+    def shared_blocks(self) -> int:
+        """Blocks in the shared partition."""
+        return self.shared_bytes // MEMORY_BLOCK_SIZE
+
+    @property
+    def max_hotplug_bytes(self) -> int:
+        """Device-region size needed for all partitions fully populated."""
+        return self.concurrency * self.partition_bytes + self.shared_bytes

@@ -1,0 +1,179 @@
+"""The HotMem manager: partition table, syscall interface, waitqueue.
+
+This is the guest-kernel extension the paper contributes (Section 4):
+
+* at boot it creates *N* empty private partition zones plus the shared
+  partition and registers them with the memory manager (they are excluded
+  from the generic allocation path because :meth:`GuestMemoryManager.zonelist`
+  never returns ``HOTMEM`` zones);
+* the syscall interface assigns populated partitions to processes, parks
+  requesters on a waitqueue when none is free, and wakes them on plug or
+  release events;
+* fork/clone links children to the parent's partition and bumps
+  ``partition_users``;
+* process exit decrements the refcount and, at zero, makes the partition
+  instantly reusable or reclaimable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.config import HotMemBootParams
+from repro.core.partition import HotMemPartition, PartitionState
+from repro.errors import NoFreePartition, PartitionError
+from repro.mm.fault import FaultHandler
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["HotMemManager"]
+
+
+class HotMemManager:
+    """Guest-side HotMem state for one VM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: GuestMemoryManager,
+        params: HotMemBootParams,
+    ):
+        self.sim = sim
+        self.manager = manager
+        self.params = params
+        #: Private partitions, id 0..N-1 (the boot-time partition table).
+        self.partitions: List[HotMemPartition] = [
+            HotMemPartition(i, params.partition_blocks)
+            for i in range(params.concurrency)
+        ]
+        #: The shared partition backing file mappings (id N).
+        self.shared_partition: Optional[HotMemPartition] = None
+        if params.shared_blocks > 0:
+            self.shared_partition = HotMemPartition(
+                params.concurrency, params.shared_blocks, shared=True
+            )
+        for partition in self._all_partitions():
+            manager.register_zone(partition.zone)
+        #: Processes parked in ``hotmem_attach`` until a partition frees up.
+        self._waitqueue: Deque[Event] = deque()
+
+    def _all_partitions(self) -> List[HotMemPartition]:
+        parts = list(self.partitions)
+        if self.shared_partition is not None:
+            parts.append(self.shared_partition)
+        return parts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def populated_unassigned(self) -> List[HotMemPartition]:
+        """Partitions ready for immediate assignment."""
+        return [
+            p
+            for p in self.partitions
+            if p.state is PartitionState.POPULATED and p.is_fully_populated
+        ]
+
+    def reclaimable_partitions(self) -> List[HotMemPartition]:
+        """Partitions whose memory can be unplugged with zero migrations."""
+        return [p for p in self.partitions if p.is_reclaimable]
+
+    def partitions_needing_population(self) -> List[HotMemPartition]:
+        """Private partitions missing backing blocks, lowest id first."""
+        return [p for p in self.partitions if p.missing_blocks > 0]
+
+    @property
+    def waitqueue_depth(self) -> int:
+        """Processes currently blocked in ``hotmem_attach``."""
+        return len(self._waitqueue)
+
+    # ------------------------------------------------------------------
+    # The HotMem syscall interface (Section 4)
+    # ------------------------------------------------------------------
+    def try_attach(self, mm: MmStruct) -> HotMemPartition:
+        """Non-blocking attach: assign the first free populated partition.
+
+        Raises :class:`NoFreePartition` when none is available; the caller
+        either propagates the error or parks on the waitqueue via
+        :meth:`attach`.
+        """
+        if mm.hotmem_partition is not None:
+            raise PartitionError(f"{mm.owner_id} already has a partition")
+        free = self.populated_unassigned()
+        if not free:
+            raise NoFreePartition(
+                f"no free HotMem partition for {mm.owner_id} "
+                f"(concurrency={self.params.concurrency})"
+            )
+        partition = free[0]
+        partition.assign(mm)
+        return partition
+
+    def attach(self, mm: MmStruct):
+        """Process generator: blocking attach (parks on the waitqueue).
+
+        Mirrors the kernel interface: requesters sleep until either a plug
+        populates a partition or a terminating instance releases one.
+        Returns the assigned partition.
+        """
+        while True:
+            try:
+                return self.try_attach(mm)
+            except NoFreePartition:
+                gate = self.sim.event()
+                self._waitqueue.append(gate)
+                yield gate
+
+    def fork(self, parent: MmStruct, child: MmStruct) -> None:
+        """clone(): co-locate the child on the parent's partition."""
+        partition = parent.hotmem_partition
+        if partition is None:
+            raise PartitionError(f"{parent.owner_id} is not a HotMem process")
+        partition.add_user(child)
+
+    def process_exit(self, fault_handler: FaultHandler, mm: MmStruct):
+        """Tear down a HotMem process: free its pages, drop the refcount.
+
+        When the count reaches zero the partition becomes instantly
+        reusable (or reclaimable) and the waitqueue is kicked.  Returns
+        the teardown :class:`~repro.mm.fault.FaultCharge` so the caller
+        can charge the exiting process's vCPU.
+        """
+        partition = mm.hotmem_partition
+        if partition is None:
+            raise PartitionError(f"{mm.owner_id} is not a HotMem process")
+        charge = fault_handler.release_address_space(mm)
+        released = partition.drop_user(mm)
+        if released:
+            self._kick_waitqueue()
+        return charge
+
+    def _kick_waitqueue(self) -> None:
+        """Wake one waiter per available partition."""
+        available = len(self.populated_unassigned())
+        while available > 0 and self._waitqueue:
+            self._waitqueue.popleft().trigger(None)
+            available -= 1
+
+    # ------------------------------------------------------------------
+    # Plug/unplug integration (called by the HotMem virtio backend)
+    # ------------------------------------------------------------------
+    def on_block_plugged(self, partition: HotMemPartition) -> None:
+        """A block landed in ``partition``; wake waiters if it completed."""
+        if partition.is_fully_populated and not partition.shared:
+            self._kick_waitqueue()
+
+    def file_mapping_zones(self) -> List:
+        """Zonelist for file-backed faults (shared partition, then boot).
+
+        Falling back to ``ZONE_NORMAL`` keeps an undersized shared
+        partition from hard-failing file faults; the fallback pages remain
+        movable boot memory and never pollute private partitions.
+        """
+        zones: List = []
+        if self.shared_partition is not None:
+            zones.append(self.shared_partition.zone)
+        zones.append(self.manager.zone_normal)
+        return zones

@@ -1,0 +1,166 @@
+"""HotMem partitions.
+
+Each partition is a kernel zone (following ``ZONE_MOVABLE``, Section 4)
+that holds the entire footprint of at most one function instance.  A
+partition's life cycle::
+
+    EMPTY ──plug──▶ POPULATED ──attach──▶ ASSIGNED
+      ▲                │  ▲                  │
+      └────unplug──────┘  └──users drop to 0─┘
+
+``EMPTY`` partitions have no backing memory (created at boot, *N* of
+them); a plug event populates a partition; the HotMem syscall assigns a
+populated partition to a process; when its ``partition_users`` refcount
+drops to zero the partition is instantly reusable — or reclaimable with
+zero migrations, because nothing else ever allocated from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import PartitionBusy, PartitionError
+from repro.mm.zone import Zone, ZoneType
+from repro.mm.placement import SequentialPlacement
+from repro.units import MEMORY_BLOCK_SIZE, format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mm.mm_struct import MmStruct
+
+__all__ = ["PartitionState", "HotMemPartition"]
+
+
+class PartitionState(enum.Enum):
+    """Where a partition is in its populate/assign cycle."""
+
+    #: No backing memory (all blocks unplugged).
+    EMPTY = "empty"
+    #: Fully backed by plugged memory, not assigned to any instance.
+    POPULATED = "populated"
+    #: Backed and serving a function instance's allocations.
+    ASSIGNED = "assigned"
+
+
+class HotMemPartition:
+    """One HotMem partition: a zone plus assignment/refcount state."""
+
+    def __init__(self, partition_id: int, size_blocks: int, shared: bool = False):
+        if size_blocks <= 0:
+            raise PartitionError(f"partition needs at least one block: {size_blocks}")
+        self.partition_id = partition_id
+        self.size_blocks = size_blocks
+        self.shared = shared
+        name = f"HotMem{'Shared' if shared else ''}#{partition_id}"
+        # Partitions use sequential placement: an instance's pages fill the
+        # partition's own blocks; interleaving is impossible by design.
+        self.zone = Zone(name, ZoneType.HOTMEM, SequentialPlacement())
+        #: Reference count of memory descriptors linked to this partition
+        #: (the paper's ``partition_users``).
+        self.partition_users = 0
+        #: The instance (leader process) currently assigned, if any.
+        self.assigned_to: Optional["MmStruct"] = None
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def populated_blocks(self) -> int:
+        """Blocks currently backing this partition."""
+        return len(self.zone.blocks)
+
+    @property
+    def is_fully_populated(self) -> bool:
+        """Whether the partition has all its backing memory."""
+        return self.populated_blocks == self.size_blocks
+
+    @property
+    def missing_blocks(self) -> int:
+        """Blocks still needed to fully populate the partition."""
+        return self.size_blocks - self.populated_blocks
+
+    @property
+    def size_bytes(self) -> int:
+        """Configured partition size in bytes."""
+        return self.size_blocks * MEMORY_BLOCK_SIZE
+
+    @property
+    def state(self) -> PartitionState:
+        """Current :class:`PartitionState` (derived, never stored)."""
+        if self.partition_users > 0:
+            return PartitionState.ASSIGNED
+        if self.populated_blocks > 0:
+            return PartitionState.POPULATED
+        return PartitionState.EMPTY
+
+    @property
+    def is_reclaimable(self) -> bool:
+        """Backed, unassigned, and holding no live data — unplug is free.
+
+        The shared partition is never reclaimable while the VM lives: the
+        page cache keeps dependencies warm for future instances.
+        """
+        return (
+            not self.shared
+            and self.partition_users == 0
+            and self.populated_blocks > 0
+            and self.zone.is_empty
+        )
+
+    # ------------------------------------------------------------------
+    # Assignment / refcounting (the paper's ``partition_users``)
+    # ------------------------------------------------------------------
+    def assign(self, mm: "MmStruct") -> None:
+        """Reserve the partition for ``mm`` (the HotMem syscall, Section 4)."""
+        if self.shared:
+            raise PartitionError("the shared partition cannot be assigned")
+        if self.state is not PartitionState.POPULATED:
+            raise PartitionError(
+                f"partition {self.partition_id} is {self.state.value}, "
+                f"cannot assign"
+            )
+        if not self.is_fully_populated:
+            raise PartitionError(
+                f"partition {self.partition_id} only has "
+                f"{self.populated_blocks}/{self.size_blocks} blocks"
+            )
+        self.assigned_to = mm
+        self.partition_users = 1
+        mm.hotmem_partition = self
+
+    def add_user(self, mm: "MmStruct") -> None:
+        """Link a forked child to its parent's partition (Section 4)."""
+        if self.partition_users == 0:
+            raise PartitionError(
+                f"partition {self.partition_id} has no users to fork from"
+            )
+        self.partition_users += 1
+        mm.hotmem_partition = self
+
+    def drop_user(self, mm: "MmStruct") -> bool:
+        """Unlink an exiting memory descriptor; True when count hits zero."""
+        if self.partition_users <= 0:
+            raise PartitionError(f"partition {self.partition_id} has no users")
+        if mm.hotmem_partition is not self:
+            raise PartitionError(
+                f"{mm.owner_id} is not linked to partition {self.partition_id}"
+            )
+        if self.partition_users == 1 and not self.zone.is_empty:
+            raise PartitionBusy(
+                f"partition {self.partition_id} would be released with "
+                f"{self.zone.occupied_pages} occupied pages; free the "
+                f"address space before dropping the last user"
+            )
+        mm.hotmem_partition = None
+        self.partition_users -= 1
+        if self.partition_users == 0:
+            self.assigned_to = None
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<HotMemPartition {self.partition_id} {self.state.value} "
+            f"{format_bytes(self.size_bytes)} users={self.partition_users} "
+            f"populated={self.populated_blocks}/{self.size_blocks}>"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy shared by every layer of the simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "MemoryError_",
+    "OutOfMemory",
+    "OfflineFailed",
+    "HotplugError",
+    "PartitionError",
+    "NoFreePartition",
+    "PartitionBusy",
+    "FaasError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class MemoryError_(ReproError):
+    """Base class for guest memory-management failures."""
+
+
+class OutOfMemory(MemoryError_):
+    """An allocation could not be satisfied (guest OOM)."""
+
+
+class OfflineFailed(MemoryError_):
+    """A memory block could not be offlined (e.g. unmovable pages)."""
+
+
+class HotplugError(MemoryError_):
+    """A hot(un)plug request was malformed or could not be serviced."""
+
+
+class PartitionError(ReproError):
+    """Base class for HotMem partition failures."""
+
+
+class NoFreePartition(PartitionError):
+    """No populated, unassigned HotMem partition is available."""
+
+
+class PartitionBusy(PartitionError):
+    """The partition still has users and cannot be unplugged."""
+
+
+class FaasError(ReproError):
+    """The serverless runtime was driven into an invalid state."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent."""

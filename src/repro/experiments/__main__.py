@@ -1,0 +1,188 @@
+"""Command-line experiment runner.
+
+Regenerate any table or figure of the paper from the shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5
+    python -m repro.experiments fig10 --paper-scale
+    python -m repro.experiments all
+
+``--paper-scale`` switches to the full-size configuration where one is
+defined (the defaults are scaled down to run in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import (
+    ablations,
+    fig2_interleaving,
+    baselines_comparison,
+    fig5_unplug_latency,
+    fig6_usage_sweep,
+    fig7_cpu_usage,
+    fig8_reclaim_throughput,
+    fig9_p99_latency,
+    fig10_interference,
+    policy_tradeoff,
+    stranding,
+    tracking,
+    table1,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _figure_runner(module, has_paper_scale: bool = True):
+    def run(paper_scale: bool) -> str:
+        config_cls = next(
+            obj
+            for name, obj in module.__dict__.items()
+            if name.endswith("Config")
+            and isinstance(obj, type)
+            and obj.__module__ == module.__name__
+        )
+        config = (
+            config_cls.paper_scale()
+            if paper_scale and has_paper_scale
+            else config_cls()
+        )
+        return module.run(config).render()
+
+    return run
+
+
+def _simple_runner(fn: Callable[[], object]):
+    def run(paper_scale: bool) -> str:
+        del paper_scale
+        result = fn()
+        return result.render() if hasattr(result, "render") else str(result)
+
+    return run
+
+
+def _ablation_runner():
+    def run(paper_scale: bool) -> str:
+        del paper_scale
+        parts = [
+            ablations.run_placement_ablation().render(),
+            ablations.run_zeroing_ablation().render(),
+            ablations.run_selection_ablation().render(),
+            ablations.run_concurrency_ablation().render(),
+            ablations.run_batching_ablation().render(),
+        ]
+        return "\n\n".join(parts)
+
+    return run
+
+
+def _baselines_runner():
+    def run(paper_scale: bool) -> str:
+        del paper_scale
+        relaxed = baselines_comparison.run().render()
+        pressure = baselines_comparison.run(
+            baselines_comparison.BaselinesConfig.pressure()
+        ).render()
+        return relaxed + "\n\nUnder pressure:\n" + pressure
+
+    return run
+
+
+#: name → (description, runner(paper_scale) -> str)
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+    "table1": (
+        "Function resource limits",
+        _simple_runner(lambda: table1.render()),
+    ),
+    "fig2": (
+        "Figure 2 quantified: interleaving after an instance exits",
+        _figure_runner(fig2_interleaving, has_paper_scale=False),
+    ),
+    "fig5": (
+        "Unplug latency vs reclaim size",
+        _figure_runner(fig5_unplug_latency),
+    ),
+    "fig6": (
+        "Unplug latency vs guest memory usage",
+        _figure_runner(fig6_usage_sweep),
+    ),
+    "fig7": (
+        "Cumulative unplug-vCPU time during stepped shrink",
+        _figure_runner(fig7_cpu_usage),
+    ),
+    "fig8": (
+        "Trace-driven reclamation throughput",
+        _figure_runner(fig8_reclaim_throughput),
+    ),
+    "fig9": (
+        "P99 latency across deployment modes",
+        _figure_runner(fig9_p99_latency),
+    ),
+    "fig10": (
+        "Co-location interference during shrink",
+        _figure_runner(fig10_interference),
+    ),
+    "ablations": ("A1-A4 design-choice ablations", _ablation_runner()),
+    "baselines": (
+        "A5 four-interface comparison (incl. balloon, DIMM)",
+        _baselines_runner(),
+    ),
+    "stranding": (
+        "M1 host memory stranding (Figure 1 motivation)",
+        _simple_runner(lambda: stranding.run()),
+    ),
+    "policy": (
+        "P1 spare-slot policy: cold-start latency vs memory held",
+        _simple_runner(lambda: policy_tradeoff.run()),
+    ),
+    "tracking": (
+        "E1 memory tracking under a diurnal load cycle",
+        _figure_runner(tracking),
+    ),
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the full-size configuration where one exists",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:12} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see what is available", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        started = time.time()
+        output = runner(args.paper_scale)
+        elapsed = time.time() - started
+        print(output)
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

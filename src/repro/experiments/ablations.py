@@ -1,0 +1,253 @@
+"""Ablations beyond the paper's figures (DESIGN.md A1-A4).
+
+These isolate the design choices the paper's analysis attributes the
+vanilla pathologies to: allocator placement (interleaving), zeroing
+mode, unplug block selection, and the HotMem concurrency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
+from repro.experiments.serverless import (
+    FunctionLoad,
+    ServerlessScenario,
+    run_scenario,
+)
+from repro.faas.policy import DeploymentMode
+from repro.metrics.report import render_table
+from repro.sim.costs import DEFAULT_COSTS, CostModel, ZeroingMode
+from repro.units import GIB, MIB
+
+__all__ = [
+    "run_placement_ablation",
+    "run_zeroing_ablation",
+    "run_selection_ablation",
+    "run_concurrency_ablation",
+    "AblationResult",
+]
+
+
+@dataclass
+class AblationResult:
+    """A generic keyed-measurement result with a rendered table."""
+
+    title: str
+    headers: Tuple[str, ...]
+    rows_data: List[List[object]] = field(default_factory=list)
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> List[List[object]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return render_table(self.title, list(self.headers), self.rows_data)
+
+
+def run_placement_ablation(
+    total_bytes: int = 4608 * MIB,
+    reclaim_bytes: int = 1536 * MIB,
+    costs: CostModel = DEFAULT_COSTS,
+) -> AblationResult:
+    """A1: how allocator placement drives vanilla unplug cost.
+
+    ``sequential`` is the best case (footprints never interleave, like
+    HotMem achieves by construction); ``scatter`` models Linux free-list
+    mixing; ``random`` is the worst case.
+    """
+    result = AblationResult(
+        title="A1: vanilla unplug latency vs allocator placement policy",
+        headers=("placement", "latency_ms", "migrated_pages"),
+    )
+    for placement in ("sequential", "scatter", "random"):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode="vanilla",
+                total_bytes=total_bytes,
+                partition_bytes=384 * MIB,
+                placement=placement,
+                costs=costs,
+            )
+        )
+        measurement = rig.run_single_reclaim(reclaim_bytes)
+        result.rows_data.append(
+            [placement, measurement.latency_ms, measurement.migrated_pages]
+        )
+        result.values[placement] = measurement.latency_ms
+    return result
+
+
+def run_zeroing_ablation(
+    total_bytes: int = 3 * GIB,
+    reclaim_bytes: int = 768 * MIB,
+) -> AblationResult:
+    """A2: plug/unplug cost under the three zeroing modes.
+
+    ``init_on_alloc`` penalizes vanilla unplug (migration targets are
+    zeroed); ``init_on_free`` penalizes vanilla plug (pages zeroed before
+    onlining).  HotMem skips both because the host provides and re-zeroes
+    the memory (Section 4).
+    """
+    result = AblationResult(
+        title="A2: (un)plug latency vs zeroing mode",
+        headers=(
+            "zeroing",
+            "mode",
+            "plug_ms_per_gib",
+            "unplug_ms",
+            "zeroed_pages",
+        ),
+    )
+    for zeroing in ZeroingMode.ALL:
+        costs = DEFAULT_COSTS.replace(zeroing_mode=zeroing)
+        for mode in ("vanilla", "hotmem"):
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode=mode,
+                    total_bytes=total_bytes,
+                    partition_bytes=384 * MIB,
+                    costs=costs,
+                )
+            )
+
+            def scenario(rig=rig):
+                plug = yield from rig.plug_all()
+                hogs = yield from rig.start_memhogs()
+                yield from rig.stop_memhogs(hogs[-2:])
+                unplug = yield from rig.measure_reclaim(reclaim_bytes)
+                yield from rig.stop_all()
+                return plug, unplug
+
+            plug, unplug = rig.sim.run_process(scenario(), name="a2")
+            plug_ms_per_gib = (
+                plug.latency_ns / 1e6 / (total_bytes / GIB)
+            )
+            result.rows_data.append(
+                [zeroing, mode, plug_ms_per_gib, unplug.latency_ms,
+                 plug.zeroed_pages]
+            )
+            result.values[f"{zeroing}/{mode}/plug"] = plug_ms_per_gib
+            result.values[f"{zeroing}/{mode}/unplug"] = unplug.latency_ms
+    return result
+
+
+def run_selection_ablation(
+    total_bytes: int = 4608 * MIB,
+    reclaim_bytes: int = 1152 * MIB,
+) -> AblationResult:
+    """A3: vanilla unplug block selection — linear scan vs emptiest-first.
+
+    Crossed with the allocator placement policy, because the two interact:
+    under sequential placement, freed slots leave whole blocks empty and
+    an emptiest-first scan finds them (approaching HotMem for free); under
+    scatter placement every block is equally occupied, so *no* selection
+    policy can avoid migrations — the fix has to be allocation-side, which
+    is exactly HotMem's thesis (Section 3).
+    """
+    result = AblationResult(
+        title="A3: vanilla unplug latency vs block-selection policy",
+        headers=("placement", "selection", "latency_ms", "migrated_pages"),
+    )
+    for placement in ("scatter", "sequential"):
+        for selection in ("linear", "emptiest_first"):
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode="vanilla",
+                    total_bytes=total_bytes,
+                    partition_bytes=384 * MIB,
+                    placement=placement,
+                    unplug_selection=selection,
+                )
+            )
+            measurement = rig.run_single_reclaim(reclaim_bytes)
+            result.rows_data.append(
+                [
+                    placement,
+                    selection,
+                    measurement.latency_ms,
+                    measurement.migrated_pages,
+                ]
+            )
+            result.values[f"{placement}/{selection}"] = measurement.latency_ms
+    return result
+
+
+def run_batching_ablation(
+    partition_bytes: int = 384 * MIB,
+    total_slots: int = 12,
+    reclaim_slots: Tuple[int, ...] = (1, 2, 4, 8),
+    costs: CostModel = DEFAULT_COSTS,
+) -> AblationResult:
+    """A6: batched unplug — the paper's named future work (Section 6.1.1).
+
+    The paper observes that unplug latency grows with request size
+    because every 128 MiB block pays fixed offline/remove/madvise costs,
+    and names handling requests at larger granularities as future work.
+    This ablation implements it: HotMem's free partitions form contiguous
+    block runs, so the driver can offline each run in one operation.
+    """
+    result = AblationResult(
+        title="A6: HotMem unplug latency, per-block vs batched runs",
+        headers=("reclaim", "per_block_ms", "batched_ms", "speedup"),
+    )
+    for slots in reclaim_slots:
+        latencies = {}
+        for batched in (False, True):
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode="hotmem",
+                    total_bytes=total_slots * partition_bytes,
+                    partition_bytes=partition_bytes,
+                    costs=costs,
+                    batch_unplug=batched,
+                )
+            )
+            measurement = rig.run_single_reclaim(slots * partition_bytes)
+            latencies[batched] = measurement.latency_ms
+        label = f"{slots}x{partition_bytes // MIB}MiB"
+        speedup = latencies[False] / latencies[True]
+        result.rows_data.append(
+            [label, latencies[False], latencies[True], f"{speedup:.1f}x"]
+        )
+        result.values[f"{slots}/per_block"] = latencies[False]
+        result.values[f"{slots}/batched"] = latencies[True]
+    return result
+
+
+def run_concurrency_ablation(
+    concurrencies: Tuple[int, ...] = (5, 10, 20),
+    duration_s: int = 120,
+) -> AblationResult:
+    """A4: HotMem reclaim throughput vs the concurrency factor N.
+
+    More partitions mean more instances scale up and down per trace, so
+    more memory moves through plug/unplug; throughput should stay high
+    across N (reclamation cost is per-block, not per-byte-searched).
+    """
+    result = AblationResult(
+        title="A4: HotMem behaviour vs concurrency factor N",
+        headers=("N", "reclaim_mib_s", "cold_starts", "oom_failures"),
+    )
+    for n in concurrencies:
+        scenario = ServerlessScenario(
+            mode=DeploymentMode.HOTMEM,
+            loads=(
+                FunctionLoad.for_function("html", max_instances=n),
+            ),
+            duration_s=duration_s,
+            keep_alive_s=20,
+            recycle_interval_s=10,
+        )
+        run_result = run_scenario(scenario)
+        result.rows_data.append(
+            [
+                n,
+                run_result.reclaim_mib_per_s,
+                run_result.cold_starts["html"],
+                run_result.oom_failures,
+            ]
+        )
+        result.values[str(n)] = run_result.reclaim_mib_per_s
+    return result

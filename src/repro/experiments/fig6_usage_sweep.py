@@ -1,0 +1,116 @@
+"""Figure 6: reclaiming a fixed size as guest memory usage increases.
+
+Paper result (2 GiB out of 64 GiB): vanilla unplug latency trends upward
+with guest memory usage — more potentially-busy pages per memory block
+mean more migrations — while HotMem stays flat and fast because its
+reclamation is decoupled from free-page availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
+from repro.metrics.report import render_table
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.units import GIB, format_bytes
+
+__all__ = ["Fig6Config", "Fig6Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Usage-sweep configuration.
+
+    ``usage_fractions`` is the footprint each resident memhog keeps in
+    its slot; the one stopped before the unplug always fills its slot to
+    the same fraction, so total guest usage scales with the sweep.
+    """
+
+    total_bytes: int = 16 * GIB
+    reclaim_bytes: int = 2 * GIB
+    partition_bytes: int = 2 * GIB
+    usage_fractions: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    costs: CostModel = DEFAULT_COSTS
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "Fig6Config":
+        """64 GiB of plugged memory as in the paper."""
+        return cls(
+            total_bytes=64 * GIB,
+            usage_fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        )
+
+
+@dataclass
+class Fig6Result:
+    """Latency per usage point for both mechanisms."""
+
+    config: Fig6Config
+    #: usage fraction → mode → latency (ms).
+    latency_ms: Dict[float, Dict[str, float]] = field(default_factory=dict)
+    #: usage fraction → mode → migrated pages.
+    migrated_pages: Dict[float, Dict[str, int]] = field(default_factory=dict)
+
+    def vanilla_trend_ratio(self) -> float:
+        """Vanilla latency at the highest usage over the lowest (>1 = rises)."""
+        fractions = sorted(self.latency_ms)
+        return (
+            self.latency_ms[fractions[-1]]["vanilla"]
+            / self.latency_ms[fractions[0]]["vanilla"]
+        )
+
+    def hotmem_spread_ratio(self) -> float:
+        """Max/min HotMem latency across the sweep (≈1 = flat)."""
+        values = [v["hotmem"] for v in self.latency_ms.values()]
+        return max(values) / min(values)
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for fraction in self.config.usage_fractions:
+            out.append(
+                [
+                    f"{fraction:.0%}",
+                    self.latency_ms[fraction]["vanilla"],
+                    self.latency_ms[fraction]["hotmem"],
+                    self.migrated_pages[fraction]["vanilla"],
+                    self.migrated_pages[fraction]["hotmem"],
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        title = (
+            f"Figure 6: reclaim {format_bytes(self.config.reclaim_bytes)} out "
+            f"of {format_bytes(self.config.total_bytes)} vs guest memory usage"
+        )
+        return render_table(
+            title,
+            ["usage", "vanilla_ms", "hotmem_ms", "vanilla_migrated", "hotmem_migrated"],
+            self.rows(),
+        )
+
+
+def run(config: Fig6Config = Fig6Config()) -> Fig6Result:
+    """Run the Figure 6 usage sweep."""
+    result = Fig6Result(config)
+    for fraction in config.usage_fractions:
+        result.latency_ms[fraction] = {}
+        result.migrated_pages[fraction] = {}
+        for mode in ("vanilla", "hotmem"):
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode=mode,
+                    total_bytes=config.total_bytes,
+                    partition_bytes=config.partition_bytes,
+                    usage_fraction=fraction,
+                    costs=config.costs,
+                    seed=config.seed,
+                )
+            )
+            measurement = rig.run_single_reclaim(config.reclaim_bytes)
+            result.latency_ms[fraction][mode] = measurement.latency_ms
+            result.migrated_pages[fraction][mode] = measurement.migrated_pages
+    return result

@@ -1,0 +1,131 @@
+"""Figure 7: cumulative CPU usage of the unplug vCPU during stepped shrink.
+
+Paper setup: a VM with 16 GiB of hotplugged memory shrinks to 512 MiB in
+32 steps of 512 MiB each.  Vanilla keeps the virtio-mem vCPU busy
+migrating pages at every step (and takes much longer overall); HotMem
+barely touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
+from repro.metrics.report import format_ratio, render_table
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.engine import Timeout
+from repro.units import GIB, MIB, MS, SEC
+from repro.virtio.driver import VIRTIO_MEM_LABEL
+
+__all__ = ["Fig7Config", "Fig7Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Stepped-shrink configuration (defaults scaled down for speed)."""
+
+    total_bytes: int = 8 * GIB
+    step_bytes: int = 512 * MIB
+    steps: int = 15
+    idle_gap_ns: int = 1 * SEC
+    usage_fraction: float = 0.85
+    costs: CostModel = DEFAULT_COSTS
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "Fig7Config":
+        """16 GiB shrinking in 32 steps, as in the paper."""
+        return cls(total_bytes=16 * GIB, steps=31)
+
+    def __post_init__(self) -> None:
+        if self.steps * self.step_bytes >= self.total_bytes:
+            raise ValueError("steps would unplug more than the plugged total")
+
+
+@dataclass
+class Fig7Result:
+    """Cumulative CPU samples and totals per mechanism."""
+
+    config: Fig7Config
+    #: mode → [(time_s, cumulative_virtio_cpu_s) after each step].
+    cpu_series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: mode → total experiment duration (s).
+    duration_s: Dict[str, float] = field(default_factory=dict)
+
+    def total_cpu_s(self, mode: str) -> float:
+        """Total unplug-path CPU seconds consumed in ``mode``."""
+        series = self.cpu_series[mode]
+        return series[-1][1] if series else 0.0
+
+    def cpu_ratio(self) -> float:
+        """Vanilla over HotMem total unplug CPU time."""
+        hot = self.total_cpu_s("hotmem")
+        return self.total_cpu_s("vanilla") / hot if hot else float("inf")
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for step in range(len(self.cpu_series["vanilla"])):
+            t_v, cpu_v = self.cpu_series["vanilla"][step]
+            t_h, cpu_h = self.cpu_series["hotmem"][step]
+            out.append([step + 1, t_v, cpu_v, t_h, cpu_h])
+        return out
+
+    def render(self) -> str:
+        header = render_table(
+            "Figure 7: cumulative virtio-mem vCPU time during stepped shrink",
+            ["step", "vanilla_t_s", "vanilla_cpu_s", "hotmem_t_s", "hotmem_cpu_s"],
+            self.rows(),
+        )
+        summary = (
+            f"\ntotals: vanilla={self.total_cpu_s('vanilla'):.3f}s CPU over "
+            f"{self.duration_s['vanilla']:.1f}s, "
+            f"hotmem={self.total_cpu_s('hotmem'):.3f}s CPU over "
+            f"{self.duration_s['hotmem']:.1f}s "
+            f"(CPU ratio {format_ratio(self.total_cpu_s('vanilla'), self.total_cpu_s('hotmem'))})"
+        )
+        return header + summary
+
+
+def _run_mode(config: Fig7Config, mode: str) -> Tuple[List[Tuple[float, float]], float]:
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode=mode,
+            total_bytes=config.total_bytes,
+            partition_bytes=config.step_bytes,
+            usage_fraction=config.usage_fraction,
+            costs=config.costs,
+            seed=config.seed,
+        )
+    )
+    samples: List[Tuple[float, float]] = []
+
+    def scenario():
+        yield from rig.plug_all()
+        hogs = yield from rig.start_memhogs()
+        yield Timeout(200 * MS)
+        start_ns = rig.sim.now
+        cpu_base = rig.vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL)
+        for step in range(config.steps):
+            # Free one step's worth of memory, then shrink by that much.
+            yield from rig.stop_memhogs([hogs[-(step + 1)]])
+            yield from rig.measure_reclaim(config.step_bytes)
+            cpu = rig.vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL) - cpu_base
+            samples.append(((rig.sim.now - start_ns) / SEC, cpu / SEC))
+            yield Timeout(config.idle_gap_ns)
+        duration = (rig.sim.now - start_ns) / SEC
+        yield from rig.stop_all()
+        return duration
+
+    duration_s = rig.sim.run_process(scenario(), name=f"fig7-{mode}")
+    return samples, duration_s
+
+
+def run(config: Fig7Config = Fig7Config()) -> Fig7Result:
+    """Run the Figure 7 stepped shrink for both mechanisms."""
+    result = Fig7Result(config)
+    for mode in ("vanilla", "hotmem"):
+        series, duration = _run_mode(config, mode)
+        result.cpu_series[mode] = series
+        result.duration_s[mode] = duration
+    return result

@@ -1,0 +1,253 @@
+"""Shared harness for the trace-driven serverless experiments (Figs 8-10).
+
+Builds a VM + Agent + runtime for one of the three deployment modes of
+Section 5.5, replays Azure-shaped traces against it, and returns every
+artifact the figures need (records, tracer events, shrink events, CPU
+accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import HotMemBootParams
+from repro.faas.agent import Agent, FunctionDeployment, ShrinkEvent
+from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.faas.records import InvocationRecord
+from repro.faas.runtime import FaasRuntime
+from repro.host.machine import HostMachine
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.engine import Simulator
+from repro.units import MEMORY_BLOCK_SIZE, SEC, bytes_to_blocks
+from repro.vmm.config import VmConfig
+from repro.vmm.tracing import ResizeEvent
+from repro.vmm.vm import VirtualMachine
+from repro.workloads.azure import AzureTraceGenerator
+from repro.workloads.functions import FunctionSpec, get_function
+from repro.workloads.traces import InvocationTrace
+
+__all__ = [
+    "FunctionLoad",
+    "ServerlessScenario",
+    "ServerlessRun",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class FunctionLoad:
+    """One function's deployment plus the trace that drives it."""
+
+    spec: FunctionSpec
+    max_instances: int
+    burst_rps: float
+    base_rps: float
+    bursts: Tuple[Tuple[float, float], ...] = ((0.0, 10.0),)
+    vcpu_indices: Optional[Tuple[int, ...]] = None
+    reuse: str = "lifo"
+
+    @classmethod
+    def for_function(
+        cls,
+        name: str,
+        vm_vcpus: int = 10,
+        base_rps: float = 2.0,
+        bursts: Tuple[Tuple[float, float], ...] = ((0.0, 10.0),),
+        burst_rps: Optional[float] = None,
+        max_instances: Optional[int] = None,
+        vcpu_indices: Optional[Tuple[int, ...]] = None,
+        reuse: str = "lifo",
+    ) -> "FunctionLoad":
+        """Table 1 defaults: max instances from the vCPU weight, a burst
+        sized to spawn most of them over a ~10 s ramp (production bursts
+        build over tens of seconds, not instantaneously)."""
+        spec = get_function(name)
+        instances = (
+            max_instances
+            if max_instances is not None
+            else spec.max_instances_for(vm_vcpus)
+        )
+        return cls(
+            spec=spec,
+            max_instances=instances,
+            burst_rps=burst_rps if burst_rps is not None else instances * 2.0,
+            base_rps=base_rps,
+            bursts=bursts,
+            vcpu_indices=vcpu_indices,
+            reuse=reuse,
+        )
+
+
+@dataclass(frozen=True)
+class ServerlessScenario:
+    """One VM, one deployment mode, one or more trace-driven functions."""
+
+    mode: DeploymentMode
+    loads: Tuple[FunctionLoad, ...]
+    duration_s: int = 150
+    keep_alive_s: int = 30
+    recycle_interval_s: int = 10
+    spare_slots: int = 0
+    drain_s: int = 30
+    #: Sample ``device.plugged_bytes`` every N seconds (0 = off).
+    sample_plugged_s: int = 0
+    vm_vcpus: int = 10
+    virtio_irq_vcpu: int = 0
+    seed: int = 0
+    costs: CostModel = DEFAULT_COSTS
+    placement: str = "scatter"
+
+    @property
+    def partition_bytes(self) -> int:
+        """Partition size: the largest function limit, block-rounded.
+
+        Functions co-located on one HotMem VM share the partition size
+        (the paper co-locates functions with equal limits, Section 6.2.2).
+        """
+        return (
+            max(
+                bytes_to_blocks(load.spec.memory_limit_bytes)
+                for load in self.loads
+            )
+            * MEMORY_BLOCK_SIZE
+        )
+
+    @property
+    def concurrency(self) -> int:
+        """Total instance slots across every deployed function."""
+        return sum(load.max_instances for load in self.loads)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Shared partition sized to all functions' dependencies."""
+        deps = sum(load.spec.shared_deps_bytes for load in self.loads)
+        return bytes_to_blocks(deps) * MEMORY_BLOCK_SIZE
+
+
+@dataclass
+class ServerlessRun:
+    """Everything one scenario run produced."""
+
+    scenario: ServerlessScenario
+    records: List[InvocationRecord]
+    shrink_events: List[ShrinkEvent]
+    #: ``(t_ns, plugged_bytes)`` samples (empty unless sampling enabled).
+    plugged_series: List[Tuple[int, float]]
+    resize_events: List[ResizeEvent]
+    reclaim_mib_per_s: float
+    cold_starts: Dict[str, int]
+    oom_failures: int
+    virtio_cpu_ns: int
+
+    def records_for(self, function_name: str) -> List[InvocationRecord]:
+        """Successful records for one function."""
+        return [r for r in self.records if r.ok and r.function == function_name]
+
+    def plug_latencies_ms(self) -> List[float]:
+        """Latency of every plug request (ms)."""
+        return [e.latency_ns / 1e6 for e in self.resize_events if e.kind == "plug"]
+
+    def unplug_latencies_ms(self) -> List[float]:
+        """Latency of every unplug request (ms)."""
+        return [e.latency_ns / 1e6 for e in self.resize_events if e.kind == "unplug"]
+
+
+def build_vm(scenario: ServerlessScenario, sim: Simulator, host: HostMachine) -> VirtualMachine:
+    """Create the scenario's VM (region sized to max concurrency)."""
+    region = (
+        scenario.concurrency * scenario.partition_bytes + scenario.shared_bytes
+    )
+    hotmem_params = None
+    if scenario.mode is DeploymentMode.HOTMEM:
+        hotmem_params = HotMemBootParams(
+            partition_bytes=scenario.partition_bytes,
+            concurrency=scenario.concurrency,
+            shared_bytes=scenario.shared_bytes,
+        )
+    vm = VirtualMachine(
+        sim,
+        host,
+        VmConfig(
+            name=f"vm-{scenario.mode.value}",
+            hotplug_region_bytes=region,
+            vcpus=scenario.vm_vcpus,
+            placement=scenario.placement,
+            virtio_irq_vcpu=scenario.virtio_irq_vcpu,
+        ),
+        costs=scenario.costs,
+        hotmem_params=hotmem_params,
+        seed=scenario.seed,
+    )
+    if scenario.mode is DeploymentMode.OVERPROVISIONED:
+        vm.plug_all_at_boot()
+    return vm
+
+
+def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
+    """Replay the scenario's traces and collect every output artifact."""
+    sim = Simulator()
+    host = HostMachine(sim)
+    vm = build_vm(scenario, sim, host)
+    agent = Agent(
+        sim,
+        vm,
+        [
+            FunctionDeployment(
+                spec=load.spec,
+                max_instances=load.max_instances,
+                vcpu_indices=load.vcpu_indices,
+                reuse=load.reuse,
+            )
+            for load in scenario.loads
+        ],
+        KeepAlivePolicy(
+            keep_alive_ns=scenario.keep_alive_s * SEC,
+            recycle_interval_ns=scenario.recycle_interval_s * SEC,
+            spare_slots=scenario.spare_slots,
+        ),
+        scenario.mode,
+    )
+    runtime = FaasRuntime(sim)
+    runtime.register_agent(agent)
+    generator = AzureTraceGenerator(scenario.seed)
+    for load in scenario.loads:
+        trace: InvocationTrace = generator.bursty(
+            load.spec.name,
+            duration_s=float(scenario.duration_s),
+            burst_rps=load.burst_rps,
+            base_rps=load.base_rps,
+            bursts=load.bursts,
+        )
+        runtime.drive(agent, trace)
+    horizon_ns = (scenario.duration_s + scenario.drain_s) * SEC
+    agent.start_recycler(until_ns=horizon_ns)
+    sampler = None
+    if scenario.sample_plugged_s > 0:
+        from repro.metrics.collector import PeriodicSampler
+
+        sampler = PeriodicSampler(
+            sim,
+            lambda: vm.device.plugged_bytes,
+            period_ns=scenario.sample_plugged_s * SEC,
+            name="plugged-bytes",
+        )
+        sampler.start(until_ns=horizon_ns)
+    runtime.run(until_ns=horizon_ns)
+    vm.check_consistency()
+    from repro.virtio.driver import VIRTIO_MEM_LABEL
+
+    return ServerlessRun(
+        scenario=scenario,
+        records=list(runtime.records),
+        shrink_events=list(agent.shrink_events),
+        plugged_series=list(sampler.series.samples) if sampler else [],
+        resize_events=list(vm.tracer.events),
+        reclaim_mib_per_s=vm.tracer.reclaim_throughput_mib_per_sec(),
+        cold_starts={
+            load.spec.name: agent.cold_start_count(load.spec.name)
+            for load in scenario.loads
+        },
+        oom_failures=runtime.failure_count,
+        virtio_cpu_ns=vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL),
+    )

@@ -1,0 +1,43 @@
+"""Table 1: the evaluation functions and their assigned resource limits."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.report import render_table
+from repro.units import MIB
+from repro.workloads.functions import TABLE1_FUNCTIONS
+
+__all__ = ["rows", "render"]
+
+_DESCRIPTIONS = {
+    "cnn": "JPEG classification CNN",
+    "bert": "BERT-based ML inference",
+    "bfs": "Breadth-first search",
+    "html": "HTML web service",
+}
+
+
+def rows() -> List[List[object]]:
+    """The table's rows exactly as the paper lists them."""
+    out: List[List[object]] = []
+    for name in ("cnn", "bert", "bfs", "html"):
+        spec = TABLE1_FUNCTIONS[name]
+        out.append(
+            [
+                name.capitalize() if name != "html" else "HTML",
+                _DESCRIPTIONS[name],
+                spec.assigned_vcpus,
+                spec.memory_limit_bytes // MIB,
+            ]
+        )
+    return out
+
+
+def render() -> str:
+    """The table, paper-style."""
+    return render_table(
+        "Table 1: serverless functions and assigned resource limits",
+        ["Function", "Description", "Assigned vCPUs", "Assigned Memory (MiB)"],
+        rows(),
+    )

@@ -1,0 +1,25 @@
+"""The serverless runtime: controller, in-VM agent, containers, policy.
+
+Implements the OpenWhisk-based integration of Section 4.1: scale-up
+couples container spawn with a plug request sized to the function's
+memory limit; scale-down couples keep-alive eviction with an unplug
+request for the freed memory.
+"""
+
+from repro.faas.agent import Agent, FunctionDeployment, ShrinkEvent
+from repro.faas.container import Container, ContainerState
+from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.faas.records import InvocationRecord
+from repro.faas.runtime import FaasRuntime
+
+__all__ = [
+    "Agent",
+    "FunctionDeployment",
+    "ShrinkEvent",
+    "Container",
+    "ContainerState",
+    "DeploymentMode",
+    "KeepAlivePolicy",
+    "InvocationRecord",
+    "FaasRuntime",
+]

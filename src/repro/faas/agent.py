@@ -1,0 +1,371 @@
+"""The in-VM Agent (Section 4.1 / Figure 4).
+
+The Agent dispatches incoming requests to containers inside one VM:
+
+* it keeps a per-function pool of idle containers (LIFO, so the coldest
+  instances age out);
+* when no idle container exists and the concurrency limit allows it, it
+  scales up — in elastic modes this couples a plug request (sized to the
+  function's memory limit) with the container spawn;
+* a periodic recycler evicts containers idle past the keep-alive window
+  and couples the eviction with an unplug request sized to the memory
+  the recycle freed;
+* instances are pinned to vCPUs according to the function's assigned
+  vCPU weight (or an explicit pin list, as the interference experiment
+  requires).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, FaasError, OutOfMemory
+from repro.faas.container import Container
+from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.faas.records import InvocationRecord
+from repro.mm.pagecache import CachedFile
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, bytes_to_pages
+from repro.vmm.vm import VirtualMachine
+from repro.workloads.functions import FunctionSpec
+
+__all__ = ["Agent", "FunctionDeployment", "ShrinkEvent"]
+
+
+@dataclass(frozen=True)
+class FunctionDeployment:
+    """How one function is deployed inside a VM.
+
+    ``vcpu_indices`` restricts instances to specific vCPUs (``None`` uses
+    every vCPU); instances are pinned round-robin over the allowed set.
+    """
+
+    spec: FunctionSpec
+    max_instances: int
+    vcpu_indices: Optional[Tuple[int, ...]] = None
+    #: Idle-pool reuse order: ``"lifo"`` (stack; coldest instances age out
+    #: and get recycled, the OpenWhisk default) or ``"fifo"`` (rotate
+    #: through every instance, keeping the whole pool warm).
+    reuse: str = "lifo"
+
+    def __post_init__(self) -> None:
+        if self.max_instances <= 0:
+            raise ConfigError(
+                f"{self.spec.name}: max_instances must be positive"
+            )
+        if self.reuse not in ("lifo", "fifo"):
+            raise ConfigError(f"{self.spec.name}: unknown reuse {self.reuse!r}")
+
+    @property
+    def partition_bytes(self) -> int:
+        """The function's memory limit rounded up to whole blocks."""
+        return bytes_to_blocks(self.spec.memory_limit_bytes) * MEMORY_BLOCK_SIZE
+
+
+@dataclass
+class ShrinkEvent:
+    """One recycle pass that evicted instances and shrank the VM."""
+
+    time_ns: int
+    evicted: int
+    unplug_requested_bytes: int
+
+
+@dataclass
+class _FunctionState:
+    """Mutable per-function bookkeeping."""
+
+    deployment: FunctionDeployment
+    deps_file: CachedFile
+    idle: List[Container] = field(default_factory=list)
+    live: int = 0
+    waiters: Deque[Event] = field(default_factory=deque)
+    next_pin: int = 0
+    cold_starts: int = 0
+    oom_failures: int = 0
+
+
+class Agent:
+    """Dispatcher + scaler for one VM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vm: VirtualMachine,
+        deployments: List[FunctionDeployment],
+        policy: KeepAlivePolicy,
+        mode: DeploymentMode,
+    ):
+        if mode is DeploymentMode.HOTMEM and not vm.is_hotmem:
+            raise ConfigError("HOTMEM mode requires a HotMem VM")
+        if mode is not DeploymentMode.HOTMEM and vm.is_hotmem:
+            raise ConfigError(f"{mode} mode requires a vanilla VM")
+        self.sim = sim
+        self.vm = vm
+        self.policy = policy
+        self.mode = mode
+        self.functions: Dict[str, _FunctionState] = {}
+        for deployment in deployments:
+            spec = deployment.spec
+            if spec.name in self.functions:
+                raise ConfigError(f"function {spec.name} deployed twice")
+            deps = vm.page_cache.register(
+                CachedFile(
+                    f"{spec.name}-deps", bytes_to_pages(spec.shared_deps_bytes)
+                )
+            )
+            self.functions[spec.name] = _FunctionState(deployment, deps)
+        self.shrink_events: List[ShrinkEvent] = []
+        self._pending_plug_bytes = 0
+        self._pending_unplug_bytes = 0
+        self._recycler: Optional[Process] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Sizing targets
+    # ------------------------------------------------------------------
+    def target_plugged_bytes(self) -> int:
+        """Hotplugged memory the current live instances require."""
+        total = sum(
+            state.live * state.deployment.partition_bytes
+            for state in self.functions.values()
+        )
+        if self.vm.is_hotmem and self.vm.hotmem.shared_partition is not None:
+            total += self.vm.hotmem.params.shared_bytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, function_name: str, arrival_ns: int):
+        """Process generator: serve one request end to end.
+
+        Returns an :class:`InvocationRecord`.  Requests queue when the
+        function is at its concurrency limit; a finishing container is
+        handed directly to the oldest waiter.
+        """
+        state = self._state(function_name)
+        container: Optional[Container] = None
+        cold = False
+        while container is None:
+            if state.idle:
+                if state.deployment.reuse == "fifo":
+                    container = state.idle.pop(0)
+                else:
+                    container = state.idle.pop()
+            elif state.live < state.deployment.max_instances:
+                state.live += 1
+                cold = True
+                try:
+                    container = yield from self._spawn(state)
+                except OutOfMemory:
+                    state.live -= 1
+                    state.oom_failures += 1
+                    self._kick_one_waiter(state)
+                    now = self.sim.now
+                    return InvocationRecord(
+                        function=function_name,
+                        arrival_ns=arrival_ns,
+                        start_ns=now,
+                        end_ns=now,
+                        cold=True,
+                        ok=False,
+                        error="oom",
+                    )
+            else:
+                gate = self.sim.event()
+                state.waiters.append(gate)
+                handed = yield gate
+                if handed is not None:
+                    container = handed
+        start_ns = self.sim.now
+        try:
+            yield from container.invoke()
+        except OutOfMemory:
+            state.live -= 1
+            state.oom_failures += 1
+            container.destroy_after_oom()
+            self._kick_one_waiter(state)
+            return InvocationRecord(
+                function=function_name,
+                arrival_ns=arrival_ns,
+                start_ns=start_ns,
+                end_ns=self.sim.now,
+                cold=cold,
+                ok=False,
+                error="oom",
+            )
+        self._release(state, container)
+        return InvocationRecord(
+            function=function_name,
+            arrival_ns=arrival_ns,
+            start_ns=start_ns,
+            end_ns=self.sim.now,
+            cold=cold,
+            ok=True,
+        )
+
+    def _state(self, function_name: str) -> _FunctionState:
+        try:
+            return self.functions[function_name]
+        except KeyError:
+            raise FaasError(
+                f"function {function_name!r} not deployed on {self.vm.name}"
+            ) from None
+
+    def _release(self, state: _FunctionState, container: Container) -> None:
+        if state.waiters:
+            state.waiters.popleft().trigger(container)
+        else:
+            state.idle.append(container)
+
+    def _kick_one_waiter(self, state: _FunctionState) -> None:
+        """Wake one queued request so it can retry acquisition."""
+        if state.waiters:
+            state.waiters.popleft().trigger(None)
+
+    # ------------------------------------------------------------------
+    # Scale up (Figure 4, right)
+    # ------------------------------------------------------------------
+    def _spawn(self, state: _FunctionState):
+        deployment = state.deployment
+        state.cold_starts += 1
+        # Step 2: the runtime asks the hypervisor to plug memory matching
+        # the instance's limit (elastic modes only).  The deficit guard
+        # avoids over-plugging when earlier unplugs were partial or when a
+        # populated partition is waiting for reuse.
+        if self.mode.elastic:
+            # In-flight unplugs still count as plugged on the device but
+            # their memory is about to vanish; without accounting for them
+            # a spawn would skip its plug and park on the HotMem attach
+            # waitqueue with nothing coming to wake it.
+            effective_plugged = (
+                self.vm.device.plugged_bytes - self._pending_unplug_bytes
+            )
+            deficit = (
+                self.target_plugged_bytes()
+                - effective_plugged
+                - self._pending_plug_bytes
+            )
+            # Normally the deficit is exactly this instance's limit; it can
+            # be larger when an earlier unplug overshot or a plug fell
+            # short, in which case the request also heals the shortfall.
+            request = max(0, deficit)
+            if request > 0:
+                self._pending_plug_bytes += request
+                plug_process = self.vm.request_plug(request)
+                yield plug_process
+                self._pending_plug_bytes -= request
+        # Step 4: spawn the container (HotMem attach happens inside).
+        vcpu = self._next_vcpu(state)
+        container = Container(self.vm, deployment.spec, state.deps_file, vcpu)
+        yield from container.cold_start()
+        return container
+
+    def _next_vcpu(self, state: _FunctionState) -> int:
+        allowed = state.deployment.vcpu_indices
+        if allowed is None:
+            allowed = tuple(range(len(self.vm.vcpus)))
+        index = allowed[state.next_pin % len(allowed)]
+        state.next_pin += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # Scale down (Figure 4, left)
+    # ------------------------------------------------------------------
+    def start_recycler(self, until_ns: Optional[int] = None) -> Process:
+        """Start the periodic keep-alive recycler."""
+        if self._recycler is not None:
+            raise FaasError("recycler already started")
+        self._recycler = self.sim.spawn(
+            self._recycle_loop(until_ns), name=f"{self.vm.name}-recycler"
+        )
+        return self._recycler
+
+    def stop(self) -> None:
+        """Stop the recycler loop after its current pass."""
+        self._stopped = True
+
+    def _recycle_loop(self, until_ns: Optional[int]):
+        while not self._stopped:
+            yield Timeout(self.policy.recycle_interval_ns)
+            if until_ns is not None and self.sim.now > until_ns:
+                return None
+            yield from self.recycle_pass()
+        return None
+
+    def recycle_pass(self):
+        """Process generator: evict idle-past-keep-alive containers, then
+        shrink the VM to its new target size (steps 5-7 of Figure 4)."""
+        now = self.sim.now
+        evicted = 0
+        victims: List[Tuple[_FunctionState, Container]] = []
+        # Partition idle pools atomically (no yields) so concurrent request
+        # handling never races with the eviction below.
+        for state in self.functions.values():
+            expired = [
+                c
+                for c in state.idle
+                if c.idle_for_ns(now) >= self.policy.keep_alive_ns
+            ]
+            state.idle = [c for c in state.idle if c not in expired]
+            victims.extend((state, c) for c in expired)
+        for state, container in victims:
+            yield from container.teardown()
+            state.live -= 1
+            evicted += 1
+        unplug_bytes = 0
+        if evicted and self.mode.elastic:
+            spare_bytes = self.policy.spare_slots * max(
+                state.deployment.partition_bytes
+                for state in self.functions.values()
+            )
+            excess = (
+                self.vm.device.plugged_bytes
+                - self._pending_unplug_bytes
+                - self.target_plugged_bytes()
+                - spare_bytes
+            )
+            if excess > 0:
+                unplug_bytes = excess
+                # Fire-and-forget: reclamation proceeds in the background
+                # while the agent keeps serving requests.
+                self.sim.spawn(
+                    self._unplug_async(excess), name=f"{self.vm.name}-shrink"
+                )
+        if evicted:
+            self.shrink_events.append(
+                ShrinkEvent(
+                    time_ns=now, evicted=evicted, unplug_requested_bytes=unplug_bytes
+                )
+            )
+        return evicted
+
+    def _unplug_async(self, size_bytes: int):
+        """Issue one unplug and track it until the device completes it."""
+        self._pending_unplug_bytes += size_bytes
+        try:
+            unplug = self.vm.request_unplug(size_bytes)
+            yield unplug
+        finally:
+            self._pending_unplug_bytes -= size_bytes
+        return unplug.value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_instances(self, function_name: Optional[str] = None) -> int:
+        """Live containers for one function (or all)."""
+        if function_name is not None:
+            return self._state(function_name).live
+        return sum(state.live for state in self.functions.values())
+
+    def idle_instances(self, function_name: str) -> int:
+        """Currently idle containers for one function."""
+        return len(self._state(function_name).idle)
+
+    def cold_start_count(self, function_name: str) -> int:
+        """Cold starts performed for one function."""
+        return self._state(function_name).cold_starts

@@ -1,0 +1,192 @@
+"""Function-instance containers.
+
+A container sandboxes one function instance inside a VM (the N:1 model).
+Cold start creates the sandbox, attaches to a HotMem partition when the
+guest runs HotMem, maps the shared dependencies through the page cache,
+and faults the instance's private footprint in.  Warm invocations reuse
+all of that and only churn request-scoped memory.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.errors import FaasError, OutOfMemory
+from repro.mm.mm_struct import MmStruct
+from repro.mm.pagecache import CachedFile
+from repro.sim.cpu import CpuCore
+from repro.vmm.vm import VirtualMachine
+from repro.workloads.functions import FunctionSpec
+
+__all__ = ["Container", "ContainerState"]
+
+_container_ids = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    """Container life cycle."""
+
+    CREATING = "creating"
+    IDLE = "idle"
+    BUSY = "busy"
+    DEAD = "dead"
+
+
+class Container:
+    """One function instance inside a VM, pinned to a vCPU."""
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        spec: FunctionSpec,
+        deps_file: CachedFile,
+        vcpu_index: int,
+    ):
+        self.cid = next(_container_ids)
+        self.vm = vm
+        self.spec = spec
+        self.deps_file = deps_file
+        self.vcpu_index = vcpu_index
+        self.vcpu: CpuCore = vm.vcpus[vcpu_index]
+        self.state = ContainerState.CREATING
+        self.mm: Optional[MmStruct] = None
+        #: Forked worker processes sharing the leader's partition.
+        self.worker_mms: list[MmStruct] = []
+        self.idle_since_ns: Optional[int] = None
+        self.invocations = 0
+        self.label = f"fn:{spec.name}:{self.cid}"
+
+    # ------------------------------------------------------------------
+    # Cold start
+    # ------------------------------------------------------------------
+    def cold_start(self):
+        """Process generator: sandbox creation + runtime init + fault-in.
+
+        Raises :class:`OutOfMemory` if the instance cannot fit (the OOM
+        killer has already recorded the kill); the agent treats the
+        container as dead.
+        """
+        if self.state is not ContainerState.CREATING:
+            raise FaasError(f"container {self.cid} cold-started twice")
+        self.mm = self.vm.new_process(f"{self.spec.name}-c{self.cid}")
+        if self.vm.is_hotmem:
+            # The HotMem syscall: block until a populated partition is free.
+            yield from self.vm.hotmem.attach(self.mm)
+        # Sandbox creation and runtime initialization burn CPU.
+        yield self.vcpu.submit(self.spec.cold_start_cpu_ns, self.label)
+        try:
+            # Shared dependencies (libraries, models) through the page cache.
+            file_charge = self.vm.fault_handler.fault_file(
+                self.mm, self.deps_file, self.deps_file.size_pages
+            )
+            yield self.vcpu.submit(file_charge.cost_ns, self.label)
+            # Fork worker processes; under HotMem they share the leader's
+            # partition (clone handling, Section 4).
+            for worker_index in range(1, self.spec.worker_processes):
+                worker = self.vm.new_process(
+                    f"{self.spec.name}-c{self.cid}-w{worker_index}"
+                )
+                if self.vm.is_hotmem:
+                    self.vm.hotmem.fork(self.mm, worker)
+                self.worker_mms.append(worker)
+            # Private footprint, lazily faulted on first run, split across
+            # the instance's processes.
+            for process_mm, pages in self._footprint_split():
+                anon_charge = self.vm.fault_handler.fault_anon(process_mm, pages)
+                yield self.vcpu.submit(anon_charge.cost_ns, self.label)
+        except OutOfMemory:
+            # Release whatever was faulted in (and the partition).
+            self.destroy_after_oom()
+            raise
+        self.state = ContainerState.IDLE
+        self.idle_since_ns = self.vm.sim.now
+        return self
+
+    def _footprint_split(self):
+        """Even split of the anonymous footprint over all processes."""
+        processes = [self.mm] + self.worker_mms
+        total = self.spec.anon_footprint_pages
+        share = total // len(processes)
+        splits = []
+        for index, process_mm in enumerate(processes):
+            pages = share if index else total - share * (len(processes) - 1)
+            if pages:
+                splits.append((process_mm, pages))
+        return splits
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def invoke(self):
+        """Process generator: serve one request on the pinned vCPU."""
+        if self.state is not ContainerState.IDLE:
+            raise FaasError(
+                f"container {self.cid} invoked while {self.state.value}"
+            )
+        self.state = ContainerState.BUSY
+        self.idle_since_ns = None
+        self.invocations += 1
+        yield self.vcpu.submit(
+            self.spec.warm_start_cpu_ns + self.spec.exec_cpu_ns, self.label
+        )
+        churn = self.spec.warm_churn_pages
+        if churn:
+            try:
+                charge = self.vm.fault_handler.fault_anon(self.mm, churn)
+            except OutOfMemory:
+                self.destroy_after_oom()
+                raise
+            yield self.vcpu.submit(charge.cost_ns, self.label)
+            self.vm.manager.free_pages(self.mm, churn)
+        self.state = ContainerState.IDLE
+        self.idle_since_ns = self.vm.sim.now
+        return self
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def teardown(self):
+        """Process generator: recycle the container, freeing its memory.
+
+        Workers exit before the leader, so the partition's refcount
+        (``partition_users``) drains to zero exactly once.
+        """
+        if self.state is ContainerState.DEAD:
+            return None
+        if self.state is ContainerState.BUSY:
+            raise FaasError(f"cannot recycle busy container {self.cid}")
+        self.state = ContainerState.DEAD
+        for worker in self.worker_mms:
+            charge = self.vm.exit_process(worker)
+            yield self.vcpu.submit(charge.cost_ns, self.label)
+        self.worker_mms = []
+        charge = self.vm.exit_process(self.mm)
+        yield self.vcpu.submit(charge.cost_ns, self.label)
+        return None
+
+    def destroy_after_oom(self) -> None:
+        """Reap a container whose process was OOM-killed.
+
+        The OOM killer marked the process dead; this releases whatever
+        memory it had faulted in (and its partition, under HotMem).
+        """
+        self.state = ContainerState.DEAD
+        for worker in self.worker_mms:
+            if worker.total_pages or worker.hotmem_partition is not None:
+                self.vm.exit_process(worker)
+        self.worker_mms = []
+        if self.mm is not None and (
+            self.mm.total_pages or self.mm.hotmem_partition is not None
+        ):
+            self.vm.exit_process(self.mm)
+
+    def idle_for_ns(self, now_ns: int) -> int:
+        """How long the container has been idle (0 if not idle)."""
+        if self.state is not ContainerState.IDLE or self.idle_since_ns is None:
+            return 0
+        return now_ns - self.idle_since_ns
+
+    def __repr__(self) -> str:
+        return f"<Container {self.label} {self.state.value} vcpu={self.vcpu_index}>"

@@ -1,0 +1,56 @@
+"""Scaling policy knobs and the three evaluated deployment modes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import SEC
+
+__all__ = ["KeepAlivePolicy", "DeploymentMode"]
+
+
+class DeploymentMode(enum.Enum):
+    """The three configurations of Section 5.5 / Figure 9."""
+
+    #: HotMem-aware virtio-mem: partitions, fast unplug.
+    HOTMEM = "hotmem"
+    #: Stock virtio-mem: scatter allocation, migrating unplug.
+    VANILLA = "vanilla"
+    #: Statically over-provisioned VM: max memory at boot, never resized.
+    OVERPROVISIONED = "overprovisioned"
+
+    @property
+    def elastic(self) -> bool:
+        """Whether the runtime issues plug/unplug requests in this mode."""
+        return self is not DeploymentMode.OVERPROVISIONED
+
+
+@dataclass(frozen=True)
+class KeepAlivePolicy:
+    """Idle-container recycling policy (Section 5.5).
+
+    Containers idle longer than ``keep_alive_ns`` are evicted by a
+    recycler that runs every ``recycle_interval_ns`` (the paper uses a
+    120 s keep-alive for the interference experiment).
+
+    ``spare_slots`` keeps that many instance-slots' worth of memory
+    plugged past the target when shrinking — the idle-buffer idea of the
+    memory-harvesting line of work the paper cites ([28]): the next cold
+    start skips its plug entirely (and, under HotMem, attaches to an
+    already-populated partition), trading host memory for cold-start
+    latency.
+    """
+
+    keep_alive_ns: int = 120 * SEC
+    recycle_interval_ns: int = 15 * SEC
+    spare_slots: int = 0
+
+    def __post_init__(self) -> None:
+        if self.keep_alive_ns < 0:
+            raise ConfigError("keep_alive must be non-negative")
+        if self.recycle_interval_ns <= 0:
+            raise ConfigError("recycle interval must be positive")
+        if self.spare_slots < 0:
+            raise ConfigError("spare_slots must be non-negative")

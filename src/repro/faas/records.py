@@ -1,0 +1,36 @@
+"""Invocation records produced by the runtime (inputs to every latency
+metric in the evaluation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InvocationRecord"]
+
+
+@dataclass
+class InvocationRecord:
+    """The life of one request, timestamped by the runtime.
+
+    ``latency_ns`` is end-to-end: arrival at the runtime to response,
+    including queueing, cold-start work and any plug latency on the
+    critical path — exactly what Figures 9 and 10 report.
+    """
+
+    function: str
+    arrival_ns: int
+    start_ns: int
+    end_ns: int
+    cold: bool
+    ok: bool
+    error: str = ""
+
+    @property
+    def latency_ns(self) -> int:
+        """End-to-end latency (arrival → completion)."""
+        return self.end_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> int:
+        """Time spent before a container started working on the request."""
+        return self.start_ns - self.arrival_ns

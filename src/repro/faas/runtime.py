@@ -1,0 +1,96 @@
+"""The OpenWhisk-based serverless controller (Section 5.5).
+
+The runtime owns one Agent per VM, replays invocation traces against
+them, and collects :class:`~repro.faas.records.InvocationRecord`s for
+the latency metrics.  It is deliberately thin: scaling decisions live in
+the Agent; the runtime's job is dispatch and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import FaasError
+from repro.faas.agent import Agent
+from repro.faas.records import InvocationRecord
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.workloads.traces import InvocationTrace
+
+__all__ = ["FaasRuntime"]
+
+
+class FaasRuntime:
+    """Trace-driven controller over one or more agents."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.agents: Dict[str, Agent] = {}
+        self.records: List[InvocationRecord] = []
+        self._dispatchers: List[Process] = []
+
+    def register_agent(self, agent: Agent) -> Agent:
+        """Attach an agent (one per VM)."""
+        name = agent.vm.name
+        if name in self.agents:
+            raise FaasError(f"agent for VM {name} already registered")
+        self.agents[name] = agent
+        return agent
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def drive(self, agent: Agent, trace: InvocationTrace) -> Process:
+        """Replay ``trace`` against ``agent`` (requests run concurrently)."""
+        if agent.vm.name not in self.agents:
+            self.register_agent(agent)
+        dispatcher = self.sim.spawn(
+            self._dispatch_loop(agent, trace),
+            name=f"dispatch-{trace.function_name}",
+        )
+        self._dispatchers.append(dispatcher)
+        return dispatcher
+
+    def _dispatch_loop(self, agent: Agent, trace: InvocationTrace):
+        for arrival_ns in trace:
+            delay = arrival_ns - self.sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            self.sim.spawn(
+                self._handle_one(agent, trace.function_name, arrival_ns),
+                name=f"req-{trace.function_name}",
+            )
+        return None
+
+    def _handle_one(self, agent: Agent, function_name: str, arrival_ns: int):
+        record = yield from agent.handle(function_name, arrival_ns)
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run the simulation (bounded, because recyclers loop forever)."""
+        return self.sim.run(until=until_ns)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def records_for(self, function_name: str) -> List[InvocationRecord]:
+        """Completed records for one function, oldest first."""
+        return [r for r in self.records if r.function == function_name]
+
+    def successful_records(
+        self, function_name: Optional[str] = None
+    ) -> List[InvocationRecord]:
+        """Successful invocations (the population Figure 9 reports on)."""
+        return [
+            r
+            for r in self.records
+            if r.ok and (function_name is None or r.function == function_name)
+        ]
+
+    @property
+    def failure_count(self) -> int:
+        """Failed invocations across every function."""
+        return sum(1 for r in self.records if not r.ok)

@@ -1,0 +1,14 @@
+"""Host machine model.
+
+The paper evaluates on a two-socket Intel server (10 cores + 128 GiB per
+NUMA node, SMT off) with VM vCPUs pinned to one node.  This package models
+exactly what the evaluation depends on: a core inventory to pin vCPU
+threads to, per-node host memory accounting (so reclaimed VM memory is
+visibly returned to the host), and cgroup-style CPU accounting used to
+attribute CPU time to the unplug path (Figure 7).
+"""
+
+from repro.host.cgroup import CpuAccountingGroup
+from repro.host.machine import HostMachine, NumaNode
+
+__all__ = ["HostMachine", "NumaNode", "CpuAccountingGroup"]

@@ -1,0 +1,114 @@
+"""Physical host: NUMA nodes, cores, and host memory accounting.
+
+Mirrors the evaluation platform of Section 5.1: two NUMA nodes with 10
+cores and 128 GiB each, SMT disabled, VMs pinned (CPUs and memory) to a
+single node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError, OutOfMemory
+from repro.sim.engine import Simulator
+from repro.sim.cpu import CpuCore
+from repro.units import GIB, format_bytes
+
+__all__ = ["NumaNode", "HostMachine"]
+
+
+class NumaNode:
+    """One NUMA node: a set of physical cores plus local memory."""
+
+    def __init__(self, sim: Simulator, node_id: int, cores: int, memory_bytes: int):
+        if cores <= 0 or memory_bytes <= 0:
+            raise ConfigError("a NUMA node needs at least one core and some memory")
+        self.node_id = node_id
+        self.memory_bytes = memory_bytes
+        self._used_bytes = 0
+        self.cores: List[CpuCore] = [
+            CpuCore(sim, name=f"node{node_id}-cpu{i}") for i in range(cores)
+        ]
+
+    # -- memory accounting ---------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Host memory currently charged to guests on this node."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Host memory available for new charges on this node."""
+        return self.memory_bytes - self._used_bytes
+
+    def charge(self, size: int) -> None:
+        """Account ``size`` bytes of host memory as in use (e.g. VM backing)."""
+        if size < 0:
+            raise ConfigError(f"negative charge: {size}")
+        if self._used_bytes + size > self.memory_bytes:
+            raise OutOfMemory(
+                f"node {self.node_id}: cannot charge {format_bytes(size)}, "
+                f"only {format_bytes(self.free_bytes)} free"
+            )
+        self._used_bytes += size
+
+    def discharge(self, size: int) -> None:
+        """Return ``size`` bytes to the host (e.g. after MADV_DONTNEED)."""
+        if size < 0 or size > self._used_bytes:
+            raise ConfigError(
+                f"invalid discharge of {size} bytes (used={self._used_bytes})"
+            )
+        self._used_bytes -= size
+
+    def __repr__(self) -> str:
+        return (
+            f"<NumaNode {self.node_id} cores={len(self.cores)} "
+            f"used={format_bytes(self._used_bytes)}/{format_bytes(self.memory_bytes)}>"
+        )
+
+
+class HostMachine:
+    """The evaluation server: NUMA nodes hosting pinned VMs."""
+
+    #: Defaults matching Section 5.1 (2 nodes × 10 cores × 128 GiB).
+    DEFAULT_NODES = 2
+    DEFAULT_CORES_PER_NODE = 10
+    DEFAULT_MEMORY_PER_NODE = 128 * GIB
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: int = DEFAULT_NODES,
+        cores_per_node: int = DEFAULT_CORES_PER_NODE,
+        memory_per_node: int = DEFAULT_MEMORY_PER_NODE,
+    ):
+        self.sim = sim
+        self.nodes: List[NumaNode] = [
+            NumaNode(sim, node_id, cores_per_node, memory_per_node)
+            for node_id in range(nodes)
+        ]
+
+    def node(self, node_id: int) -> NumaNode:
+        """The NUMA node with the given id."""
+        return self.nodes[node_id]
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Installed host memory across all nodes."""
+        return sum(node.memory_bytes for node in self.nodes)
+
+    @property
+    def total_used_bytes(self) -> int:
+        """Host memory currently charged across all nodes."""
+        return sum(node.used_bytes for node in self.nodes)
+
+    def core_accounting(self) -> Dict[str, Dict[str, int]]:
+        """Per-core, per-label CPU time (ns) for the whole machine."""
+        table: Dict[str, Dict[str, int]] = {}
+        for node in self.nodes:
+            for core in node.cores:
+                table[core.name] = core.accounting()
+        return table
+
+    def __repr__(self) -> str:
+        return f"<HostMachine nodes={len(self.nodes)}>"

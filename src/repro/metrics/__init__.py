@@ -1,0 +1,36 @@
+"""Metrics: latency statistics, time series, text reports."""
+
+from repro.metrics.collector import PeriodicSampler, TimeSeries
+from repro.metrics.fragmentation import (
+    FragmentationReport,
+    fragmentation_report,
+    migration_cost_to_reclaim,
+    occupancy_histogram,
+)
+from repro.metrics.latency import (
+    mean_ms,
+    window_mean_factor,
+    p99_ms,
+    per_second_average_ms,
+    percentile,
+    spike_factor,
+)
+from repro.metrics.report import format_ratio, render_series, render_table
+
+__all__ = [
+    "PeriodicSampler",
+    "TimeSeries",
+    "FragmentationReport",
+    "fragmentation_report",
+    "occupancy_histogram",
+    "migration_cost_to_reclaim",
+    "percentile",
+    "p99_ms",
+    "mean_ms",
+    "per_second_average_ms",
+    "spike_factor",
+    "window_mean_factor",
+    "render_table",
+    "render_series",
+    "format_ratio",
+]

@@ -1,0 +1,92 @@
+"""Generic time-series collection for experiment instrumentation."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.units import SEC
+
+__all__ = ["TimeSeries", "PeriodicSampler"]
+
+
+class TimeSeries:
+    """An append-only ``(time_ns, value)`` series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[Tuple[int, float]] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        """Append one sample (times must be non-decreasing)."""
+        if self.samples and time_ns < self.samples[-1][0]:
+            raise ValueError(
+                f"{self.name}: sample at {time_ns} before {self.samples[-1][0]}"
+            )
+        self.samples.append((time_ns, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> List[float]:
+        """Just the sampled values, in time order."""
+        return [v for _, v in self.samples]
+
+    def times_s(self) -> List[float]:
+        """Sample times in seconds."""
+        return [t / SEC for t, _ in self.samples]
+
+    def last(self) -> Tuple[int, float]:
+        """The most recent sample."""
+        if not self.samples:
+            raise ValueError(f"{self.name}: empty series")
+        return self.samples[-1]
+
+    def max_value(self) -> float:
+        """Largest sampled value."""
+        if not self.samples:
+            raise ValueError(f"{self.name}: empty series")
+        return max(v for _, v in self.samples)
+
+    def delta(self) -> float:
+        """Last value minus first value (useful for cumulative series)."""
+        if not self.samples:
+            return 0.0
+        return self.samples[-1][1] - self.samples[0][1]
+
+
+class PeriodicSampler:
+    """Samples a callable into a :class:`TimeSeries` on a fixed period."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        period_ns: int,
+        name: str = "sampler",
+    ):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.probe = probe
+        self.period_ns = period_ns
+        self.series = TimeSeries(name)
+        self._stop = False
+        self._process: Optional[Process] = None
+
+    def start(self, until_ns: Optional[int] = None) -> Process:
+        """Start sampling (one sample immediately, then every period)."""
+        self._process = self.sim.spawn(self._loop(until_ns), name=self.series.name)
+        return self._process
+
+    def stop(self) -> None:
+        """Stop after the current period elapses."""
+        self._stop = True
+
+    def _loop(self, until_ns: Optional[int]):
+        while not self._stop:
+            if until_ns is not None and self.sim.now > until_ns:
+                break
+            self.series.record(self.sim.now, float(self.probe()))
+            yield Timeout(self.period_ns)
+        return self.series

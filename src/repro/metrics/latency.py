@@ -1,0 +1,127 @@
+"""Latency statistics for invocation records.
+
+The paper reports two views (Section 5.4): the P99 of successful
+invocations (Figure 9) and the per-second average end-to-end latency
+(Figure 10, which makes shrink-event spikes visible).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.faas.records import InvocationRecord
+from repro.units import MS, SEC
+
+__all__ = [
+    "percentile",
+    "p99_ms",
+    "mean_ms",
+    "per_second_average_ms",
+    "spike_factor",
+    "window_mean_factor",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100 * len(ordered))
+    return ordered[rank - 1]
+
+
+def p99_ms(records: Iterable[InvocationRecord]) -> float:
+    """99th-percentile end-to-end latency in milliseconds."""
+    latencies = [r.latency_ns for r in records]
+    return percentile(latencies, 99) / MS
+
+
+def mean_ms(records: Iterable[InvocationRecord]) -> float:
+    """Mean end-to-end latency in milliseconds."""
+    latencies = [r.latency_ns for r in records]
+    if not latencies:
+        raise ValueError("mean of an empty sample")
+    return sum(latencies) / len(latencies) / MS
+
+
+def per_second_average_ms(
+    records: Iterable[InvocationRecord],
+    duration_s: int,
+) -> List[Tuple[int, float]]:
+    """Per-second average latency, bucketed by arrival second.
+
+    Returns ``(second, avg_latency_ms)`` for every second in
+    ``[0, duration_s)``; seconds with no arrivals carry ``nan`` so that
+    plots and spike detection skip them.
+    """
+    sums = [0.0] * duration_s
+    counts = [0] * duration_s
+    for record in records:
+        second = record.arrival_ns // SEC
+        if 0 <= second < duration_s:
+            sums[second] += record.latency_ns / MS
+            counts[second] += 1
+    series: List[Tuple[int, float]] = []
+    for second in range(duration_s):
+        if counts[second]:
+            series.append((second, sums[second] / counts[second]))
+        else:
+            series.append((second, math.nan))
+    return series
+
+
+def window_mean_factor(
+    series: Sequence[Tuple[int, float]],
+    window: Tuple[int, int],
+) -> float:
+    """Mean-in-window over median-outside-window ratio.
+
+    A noise-robust companion to :func:`spike_factor`: sustained
+    interference raises the whole window, not just one second.
+    """
+    inside = [
+        v for s, v in series if window[0] <= s < window[1] and not math.isnan(v)
+    ]
+    outside = sorted(
+        v
+        for s, v in series
+        if not window[0] <= s < window[1] and not math.isnan(v)
+    )
+    if not inside or not outside:
+        return 1.0
+    median_outside = outside[len(outside) // 2]
+    if median_outside == 0:
+        return 1.0
+    return (sum(inside) / len(inside)) / median_outside
+
+
+def spike_factor(
+    series: Sequence[Tuple[int, float]],
+    window: Tuple[int, int],
+) -> float:
+    """Peak-in-window over median-outside-window ratio.
+
+    Used to quantify Figure 10's shrink-event spikes: a value above ~2
+    means the per-second latency more than doubled during the window
+    (the paper reports a >100 % increase for vanilla).
+    """
+    inside = [
+        v for s, v in series if window[0] <= s < window[1] and not math.isnan(v)
+    ]
+    outside = sorted(
+        v
+        for s, v in series
+        if not window[0] <= s < window[1] and not math.isnan(v)
+    )
+    if not inside or not outside:
+        return 1.0
+    median_outside = outside[len(outside) // 2]
+    if median_outside == 0:
+        return 1.0
+    return max(inside) / median_outside

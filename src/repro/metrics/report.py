@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_ratio"]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width text table with a title rule."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, series: Iterable[Sequence[object]], headers: Sequence[str]
+) -> str:
+    """A (possibly long) series as a compact table."""
+    return render_table(title, headers, series)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """``"12.3x"``-style speedup string (``"inf"``-safe)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,54 @@
+"""Guest OS memory management substrate (a Linux-6.6-shaped model).
+
+Implements the mechanisms Section 2.2 of the paper describes: 4 KiB pages
+managed in 128 MiB memory blocks, zones (``NORMAL``/``MOVABLE`` plus
+HotMem partition zones), lazy fault-in with pluggable placement policies
+(whose interleaving is the root cause of slow vanilla unplug), page
+migration, block online/offline/hot-remove, zeroing modes, the page cache
+for shared file mappings, and the OOM killer.
+"""
+
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.fault import FaultCharge, FaultHandler
+from repro.mm.manager import (
+    MEMMAP_PAGES_PER_BLOCK,
+    GuestMemoryManager,
+    MigrationOutcome,
+)
+from repro.mm.mm_struct import MmStruct
+from repro.mm.oom import OomEvent, OomKiller
+from repro.mm.owner import KernelOwner, PageOwner
+from repro.mm.pagecache import CachedFile, FileFaultOutcome, PageCache
+from repro.mm.placement import (
+    PlacementPolicy,
+    RandomPlacement,
+    ScatterPlacement,
+    SequentialPlacement,
+    make_placement,
+)
+from repro.mm.zone import Zone, ZoneType
+
+__all__ = [
+    "BlockState",
+    "MemoryBlock",
+    "FaultCharge",
+    "FaultHandler",
+    "GuestMemoryManager",
+    "MigrationOutcome",
+    "MEMMAP_PAGES_PER_BLOCK",
+    "MmStruct",
+    "OomEvent",
+    "OomKiller",
+    "KernelOwner",
+    "PageOwner",
+    "CachedFile",
+    "FileFaultOutcome",
+    "PageCache",
+    "PlacementPolicy",
+    "ScatterPlacement",
+    "SequentialPlacement",
+    "RandomPlacement",
+    "make_placement",
+    "Zone",
+    "ZoneType",
+]

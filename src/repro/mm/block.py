@@ -1,0 +1,126 @@
+"""Memory blocks: the Linux hot(un)plug granularity.
+
+Linux manages physical memory in 4 KiB pages but adds and removes memory
+in 128 MiB *memory blocks* (Section 2.2).  A block tracks how many of its
+pages each owner occupies; that per-owner occupancy is exactly the state
+that determines unplug cost (occupied pages must be migrated before a
+block can be offlined) and is what HotMem's partitioning keeps clean.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import MemoryError_
+from repro.units import PAGES_PER_BLOCK
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mm.owner import PageOwner
+    from repro.mm.zone import Zone
+
+__all__ = ["BlockState", "MemoryBlock"]
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of a memory block as seen by the guest OS."""
+
+    #: Not backed by (plugged) memory; invisible to the allocator.
+    ABSENT = "absent"
+    #: Added and onlined; its pages are available to the allocator.
+    ONLINE = "online"
+    #: Isolated from the allocator but metadata still present
+    #: (transient state between offline and hot-remove).
+    OFFLINE = "offline"
+
+
+class MemoryBlock:
+    """One 128 MiB guest-physical memory block.
+
+    Attributes
+    ----------
+    index:
+        Position in the guest physical map (block number).
+    state:
+        Current :class:`BlockState`.
+    zone:
+        The zone this block is assigned to while online.
+    """
+
+    __slots__ = ("index", "state", "zone", "free_pages", "owner_pages", "isolated")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.state = BlockState.ABSENT
+        self.zone: Optional["Zone"] = None
+        self.free_pages = 0
+        #: Pages occupied per owner (owner → page count).
+        self.owner_pages: Dict["PageOwner", int] = {}
+        #: Whether the block's free pages are isolated from the allocator
+        #: (the first step of offlining, Section 2.2).
+        self.isolated = False
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def occupied_pages(self) -> int:
+        """Pages currently owned by someone in this block."""
+        return PAGES_PER_BLOCK - self.free_pages
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether every page of the block is free."""
+        return self.free_pages == PAGES_PER_BLOCK
+
+    @property
+    def has_unmovable(self) -> bool:
+        """Whether any occupant cannot be migrated (blocks offlining)."""
+        return any(not owner.movable for owner in self.owner_pages)
+
+    @property
+    def movable_occupied_pages(self) -> int:
+        """Occupied pages that could be migrated out."""
+        return sum(
+            pages for owner, pages in self.owner_pages.items() if owner.movable
+        )
+
+    # ------------------------------------------------------------------
+    # Page accounting (called only by the memory manager)
+    # ------------------------------------------------------------------
+    def charge(self, owner: "PageOwner", pages: int) -> None:
+        """Assign ``pages`` free pages of this block to ``owner``."""
+        if self.state is not BlockState.ONLINE:
+            raise MemoryError_(f"block {self.index} is {self.state.value}, not online")
+        if self.isolated:
+            raise MemoryError_(f"block {self.index} is isolated for offlining")
+        if pages <= 0:
+            raise MemoryError_(f"invalid charge of {pages} pages")
+        if pages > self.free_pages:
+            raise MemoryError_(
+                f"block {self.index}: charge of {pages} pages exceeds "
+                f"{self.free_pages} free"
+            )
+        self.free_pages -= pages
+        self.owner_pages[owner] = self.owner_pages.get(owner, 0) + pages
+
+    def uncharge(self, owner: "PageOwner", pages: int) -> None:
+        """Release ``pages`` of ``owner``'s pages back to the block."""
+        held = self.owner_pages.get(owner, 0)
+        if pages <= 0 or pages > held:
+            raise MemoryError_(
+                f"block {self.index}: uncharge of {pages} pages exceeds "
+                f"{held} held by {owner.owner_id}"
+            )
+        if held == pages:
+            del self.owner_pages[owner]
+        else:
+            self.owner_pages[owner] = held - pages
+        self.free_pages += pages
+
+    def __repr__(self) -> str:
+        zone = self.zone.name if self.zone else "-"
+        return (
+            f"<MemoryBlock {self.index} {self.state.value} zone={zone} "
+            f"free={self.free_pages}/{PAGES_PER_BLOCK}>"
+        )

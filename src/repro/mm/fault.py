@@ -1,0 +1,146 @@
+"""Lazy allocation via page faults.
+
+Linux allocates memory lazily when processes first touch their pages
+(Section 2.2).  The fault handler is where HotMem hooks in (Section 4):
+
+* anonymous faults of a HotMem process allocate *only* from the process's
+  assigned partition zone — overflowing it triggers the OOM killer;
+* file-backed faults are served from the page cache; misses allocate into
+  the shared HotMem partition (HotMem) or the generic zonelist (vanilla).
+
+Faults are batched: workloads touch regions, not single pages, and the
+returned :class:`FaultCharge` carries the page counts plus the total CPU
+cost so the caller can charge the right vCPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import OutOfMemory
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.mm.oom import OomKiller
+from repro.mm.pagecache import CachedFile, PageCache
+from repro.mm.zone import Zone
+from repro.sim.costs import CostModel, ZeroingMode
+
+__all__ = ["FaultHandler", "FaultCharge"]
+
+
+@dataclass
+class FaultCharge:
+    """Pages faulted in plus the CPU time the faults cost."""
+
+    anon_pages: int = 0
+    file_hit_pages: int = 0
+    file_miss_pages: int = 0
+    cost_ns: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.anon_pages + self.file_hit_pages + self.file_miss_pages
+
+
+class FaultHandler:
+    """Services anonymous and file faults for one guest."""
+
+    def __init__(
+        self,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        page_cache: Optional[PageCache] = None,
+        oom_killer: Optional[OomKiller] = None,
+        shared_file_zones: Optional[Sequence[Zone]] = None,
+    ):
+        """``shared_file_zones`` overrides where cache misses are allocated
+        (HotMem points it at the shared partition)."""
+        self.manager = manager
+        self.costs = costs
+        self.page_cache = page_cache or PageCache()
+        self.oom_killer = oom_killer or OomKiller()
+        self.shared_file_zones = (
+            list(shared_file_zones) if shared_file_zones is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Anonymous faults
+    # ------------------------------------------------------------------
+    def fault_anon(self, mm: MmStruct, pages: int) -> FaultCharge:
+        """Touch ``pages`` new anonymous pages of ``mm``.
+
+        Raises :class:`OutOfMemory` after recording an OOM kill when a
+        HotMem process overflows its partition (the paper's isolation
+        enforcement) or when the generic zones are exhausted.
+        """
+        if pages == 0:
+            return FaultCharge()
+        partition = mm.hotmem_partition
+        if partition is not None:
+            zones: Sequence[Zone] = [partition.zone]
+        else:
+            zones = self.manager.zonelist(movable=True, node=mm.numa_node)
+        try:
+            self.manager.alloc_pages(mm, pages, zones=zones)
+        except OutOfMemory:
+            reason = (
+                f"partition {partition.partition_id} overflow"
+                if partition is not None
+                else "generic zones exhausted"
+            )
+            self.oom_killer.kill(mm, reason, requested_pages=pages)
+            raise
+        cost = pages * self.costs.anon_fault_ns
+        if self.costs.zeroing_mode == ZeroingMode.INIT_ON_ALLOC:
+            cost += self.costs.zero_pages_ns(pages)
+        return FaultCharge(anon_pages=pages, cost_ns=cost)
+
+    # ------------------------------------------------------------------
+    # File-backed faults
+    # ------------------------------------------------------------------
+    def fault_file(self, mm: MmStruct, file: CachedFile, pages: int) -> FaultCharge:
+        """Map ``pages`` of ``file`` into ``mm`` (faulting misses in once).
+
+        Cache hits are cheap map-ins; misses do I/O and allocate cache
+        pages in the shared zones.  Either way the pages stay owned by the
+        page cache and are merely recorded as mapped in ``mm``.
+        """
+        if pages == 0:
+            return FaultCharge()
+        outcome = self.page_cache.plan_mapping(file, pages)
+        if outcome.miss_pages:
+            zones = (
+                self.shared_file_zones
+                if self.shared_file_zones is not None
+                else self.manager.zonelist(movable=True)
+            )
+            self.manager.alloc_pages(self.page_cache, outcome.miss_pages, zones=zones)
+            self.page_cache.commit_misses(file, outcome.miss_pages)
+        mm.record_file_mapping(file.file_id, outcome.total_pages)
+        cost = (
+            outcome.hit_pages * self.costs.file_fault_cached_ns
+            + outcome.miss_pages * self.costs.file_fault_uncached_ns
+        )
+        return FaultCharge(
+            file_hit_pages=outcome.hit_pages,
+            file_miss_pages=outcome.miss_pages,
+            cost_ns=cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def release_address_space(self, mm: MmStruct) -> FaultCharge:
+        """Free every private page of ``mm`` on exit; returns the charge.
+
+        Shared (file) pages stay in the cache — that is the point of the
+        N:1 model.  Under ``init_on_free`` the freed pages must be zeroed.
+        """
+        pages = self.manager.free_all(mm)
+        mm.file_mapped_pages.clear()
+        mm.alive = False
+        cost = pages * self.costs.page_free_ns
+        if self.costs.zeroing_mode == ZeroingMode.INIT_ON_FREE:
+            cost += self.costs.zero_pages_ns(pages)
+        return FaultCharge(anon_pages=pages, cost_ns=cost)

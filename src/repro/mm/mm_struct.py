@@ -1,0 +1,81 @@
+"""Process address spaces (``mm_struct``).
+
+Linux represents each process's address space with a memory descriptor;
+HotMem adds a field to it storing the assigned partition id (Section 4).
+Here an :class:`MmStruct` is a page owner whose anonymous pages are
+confined to its HotMem partition when one is assigned, and it tracks how
+many shared (file-backed) pages it has mapped for footprint reporting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import HotMemPartition
+
+from repro.mm.owner import PageOwner
+
+__all__ = ["MmStruct"]
+
+_pid_counter = itertools.count(1)
+
+
+class MmStruct(PageOwner):
+    """The memory descriptor of one simulated process.
+
+    Attributes
+    ----------
+    pid:
+        Process id (unique per simulation run).
+    name:
+        Human-readable label (e.g. ``"memhog-3"`` or ``"cnn-container-7"``).
+    hotmem_partition:
+        The HotMem partition serving this process's anonymous allocations,
+        or ``None`` for a vanilla process (allocates from generic zones).
+    """
+
+    def __init__(self, name: str, pid: Optional[int] = None, numa_node: int = 0):
+        self.pid = pid if pid is not None else next(_pid_counter)
+        super().__init__(f"pid{self.pid}:{name}")
+        self.name = name
+        #: Preferred guest NUMA node for this process's allocations.
+        self.numa_node = numa_node
+        self.hotmem_partition: Optional["HotMemPartition"] = None
+        #: Shared file pages mapped into this address space (not owned;
+        #: the page cache owns them).
+        self.file_mapped_pages: Dict[int, int] = {}
+        self.alive = True
+
+    @property
+    def anon_pages(self) -> int:
+        """Private (anonymous) pages owned by this process."""
+        return self.total_pages
+
+    @property
+    def mapped_file_pages(self) -> int:
+        """Shared file pages mapped (owned by the page cache)."""
+        return sum(self.file_mapped_pages.values())
+
+    @property
+    def rss_pages(self) -> int:
+        """Resident set: private pages plus mapped shared pages."""
+        return self.anon_pages + self.mapped_file_pages
+
+    def record_file_mapping(self, file_id: int, pages: int) -> None:
+        """Note that ``pages`` of file ``file_id`` are now mapped here."""
+        self.file_mapped_pages[file_id] = (
+            self.file_mapped_pages.get(file_id, 0) + pages
+        )
+
+    def __repr__(self) -> str:
+        partition = (
+            self.hotmem_partition.partition_id
+            if self.hotmem_partition is not None
+            else None
+        )
+        return (
+            f"<MmStruct {self.owner_id} anon={self.anon_pages}p "
+            f"file={self.mapped_file_pages}p partition={partition}>"
+        )

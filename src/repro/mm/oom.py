@@ -1,0 +1,67 @@
+"""The OOM killer.
+
+HotMem applies each function's user-set memory limit through its partition
+size: a process that tries to outgrow its partition is killed by the OOM
+killer rather than being allowed to violate partition isolation
+(Section 4).  For global (non-partition) OOM the classic largest-RSS
+victim policy applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import MemoryError_
+from repro.mm.mm_struct import MmStruct
+
+__all__ = ["OomKiller", "OomEvent"]
+
+
+class OomEvent:
+    """Record of one OOM kill, for diagnostics and tests."""
+
+    __slots__ = ("victim", "reason", "requested_pages")
+
+    def __init__(self, victim: MmStruct, reason: str, requested_pages: int):
+        self.victim = victim
+        self.reason = reason
+        self.requested_pages = requested_pages
+
+    def __repr__(self) -> str:
+        return f"<OomEvent victim={self.victim.owner_id} reason={self.reason!r}>"
+
+
+class OomKiller:
+    """Selects and records OOM victims.
+
+    Parameters
+    ----------
+    on_kill:
+        Callback invoked with each :class:`OomEvent` (the container layer
+        uses it to tear the victim's sandbox down).
+    """
+
+    def __init__(self, on_kill: Optional[Callable[[OomEvent], None]] = None):
+        self.events: List[OomEvent] = []
+        self._on_kill = on_kill
+
+    def kill(self, victim: MmStruct, reason: str, requested_pages: int) -> OomEvent:
+        """Record the kill of a specific victim (partition-overflow path)."""
+        event = OomEvent(victim, reason, requested_pages)
+        victim.alive = False
+        self.events.append(event)
+        if self._on_kill is not None:
+            self._on_kill(event)
+        return event
+
+    def select_victim(self, candidates: Iterable[MmStruct]) -> MmStruct:
+        """Largest-RSS victim selection for global OOM."""
+        alive = [mm for mm in candidates if mm.alive]
+        if not alive:
+            raise MemoryError_("OOM with no killable process")
+        return max(alive, key=lambda mm: (mm.rss_pages, -mm.pid))
+
+    @property
+    def kill_count(self) -> int:
+        """Number of kills recorded so far."""
+        return len(self.events)

@@ -1,0 +1,71 @@
+"""Page owners: anything that occupies guest physical pages.
+
+An owner is a process address space (:class:`~repro.mm.mm_struct.MmStruct`),
+the page cache, or the kernel itself.  Owners keep a mirror of which blocks
+hold their pages so that freeing on exit and migration accounting are O(own
+blocks) instead of O(all blocks).  The memory manager is the only code that
+mutates the mirror, keeping it consistent with per-block occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import MemoryError_
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mm.block import MemoryBlock
+
+__all__ = ["PageOwner", "KernelOwner"]
+
+
+class PageOwner:
+    """Base class for everything that can own guest physical pages.
+
+    Parameters
+    ----------
+    owner_id:
+        Stable unique identifier (used in accounting and diagnostics).
+    movable:
+        Whether this owner's pages can be migrated.  Kernel allocations
+        are unmovable and pin their blocks (Section 2.2).
+    """
+
+    def __init__(self, owner_id: str, movable: bool = True):
+        self.owner_id = owner_id
+        self.movable = movable
+        #: Mirror of per-block holdings (block → page count).
+        self.block_pages: Dict["MemoryBlock", int] = {}
+
+    @property
+    def total_pages(self) -> int:
+        """Total guest physical pages currently owned."""
+        return sum(self.block_pages.values())
+
+    # ------------------------------------------------------------------
+    # Mirror maintenance (manager-only)
+    # ------------------------------------------------------------------
+    def _mirror_charge(self, block: "MemoryBlock", pages: int) -> None:
+        self.block_pages[block] = self.block_pages.get(block, 0) + pages
+
+    def _mirror_uncharge(self, block: "MemoryBlock", pages: int) -> None:
+        held = self.block_pages.get(block, 0)
+        if pages > held:
+            raise MemoryError_(
+                f"owner {self.owner_id}: mirror uncharge of {pages} exceeds {held}"
+            )
+        if held == pages:
+            del self.block_pages[block]
+        else:
+            self.block_pages[block] = held - pages
+
+    def __repr__(self) -> str:
+        kind = "movable" if self.movable else "unmovable"
+        return f"<PageOwner {self.owner_id} {kind} pages={self.total_pages}>"
+
+
+class KernelOwner(PageOwner):
+    """The guest kernel: unmovable allocations (memmap, slab, ...)."""
+
+    def __init__(self) -> None:
+        super().__init__("kernel", movable=False)

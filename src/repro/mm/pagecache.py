@@ -1,0 +1,111 @@
+"""The guest page cache for file-backed (shared) mappings.
+
+Function instances in the N:1 model share their runtime and language
+dependencies: the guest faults each library page in once and then maps it
+into every instance that touches it (Sections 2.1, 4).  The cache is a
+single movable page owner; under HotMem its pages live in the dedicated
+shared partition, under vanilla they live in the generic movable zones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import MemoryError_
+from repro.mm.owner import PageOwner
+
+__all__ = ["CachedFile", "PageCache", "FileFaultOutcome"]
+
+_file_id_counter = itertools.count(1)
+
+
+class CachedFile:
+    """One file (library, runtime image, ...) that can be mapped.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"libpython"`` or ``"cnn-model"``.
+    size_pages:
+        Total file size in pages.
+    cached_pages:
+        Pages currently resident in the page cache.
+    """
+
+    def __init__(self, name: str, size_pages: int):
+        if size_pages < 0:
+            raise MemoryError_(f"invalid file size {size_pages}")
+        self.file_id = next(_file_id_counter)
+        self.name = name
+        self.size_pages = size_pages
+        self.cached_pages = 0
+
+    @property
+    def uncached_pages(self) -> int:
+        """Pages that would miss the cache on first touch."""
+        return self.size_pages - self.cached_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"<CachedFile {self.name} cached={self.cached_pages}/{self.size_pages}p>"
+        )
+
+
+@dataclass
+class FileFaultOutcome:
+    """What servicing a file mapping fault required."""
+
+    #: Pages that were already cached (cheap map-in).
+    hit_pages: int = 0
+    #: Pages newly brought into the cache (I/O + allocation).
+    miss_pages: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.hit_pages + self.miss_pages
+
+
+class PageCache(PageOwner):
+    """The page-cache owner: holds every cached file page in the guest."""
+
+    def __init__(self) -> None:
+        super().__init__("pagecache", movable=True)
+        self.files: Dict[int, CachedFile] = {}
+
+    def register(self, file: CachedFile) -> CachedFile:
+        """Make a file known to this cache (idempotent per file object)."""
+        self.files[file.file_id] = file
+        return file
+
+    def plan_mapping(self, file: CachedFile, pages: int) -> FileFaultOutcome:
+        """Split a mapping request into cache hits and misses.
+
+        ``pages`` is the portion of the file the process touches.  The
+        cache caches from the start of the file, so a request for the first
+        N pages hits whatever prefix is resident.
+        """
+        if file.file_id not in self.files:
+            raise MemoryError_(f"file {file.name} not registered with this cache")
+        pages = min(pages, file.size_pages)
+        hits = min(pages, file.cached_pages)
+        misses = pages - hits
+        return FileFaultOutcome(hit_pages=hits, miss_pages=misses)
+
+    def commit_misses(self, file: CachedFile, miss_pages: int) -> None:
+        """Record that ``miss_pages`` were faulted in (after allocation)."""
+        if miss_pages < 0 or file.cached_pages + miss_pages > file.size_pages:
+            raise MemoryError_(
+                f"file {file.name}: cannot cache {miss_pages} more pages "
+                f"({file.cached_pages}/{file.size_pages} cached)"
+            )
+        file.cached_pages += miss_pages
+
+    @property
+    def cached_pages_total(self) -> int:
+        """Resident cache pages across all files (= owned pages)."""
+        return sum(f.cached_pages for f in self.files.values())
+
+    def __repr__(self) -> str:
+        return f"<PageCache files={len(self.files)} pages={self.total_pages}>"

@@ -1,0 +1,173 @@
+"""Physical page placement policies.
+
+The key indirect cause of slow vanilla unplug (Section 2.2) is *where* the
+allocator places pages: Linux serves page faults from mixed per-zone free
+lists, scattering each process's footprint across many memory blocks and
+interleaving it with other processes.  We model that with pluggable
+placement policies:
+
+* :class:`ScatterPlacement` (default) — chunked round-robin over all blocks
+  with free pages, starting from a rotating cursor.  Successive allocations
+  by different processes interleave across blocks, reproducing Figure 2.
+* :class:`SequentialPlacement` — first-fit lowest block; the best case for
+  vanilla unplug (used as an ablation bound).
+* :class:`RandomPlacement` — uniformly random block per chunk.
+
+A policy *plans* an allocation over candidate blocks; the zone then applies
+the plan.  Plans are deterministic given the policy state and RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mm.block import MemoryBlock
+
+__all__ = [
+    "PlacementPolicy",
+    "ScatterPlacement",
+    "SequentialPlacement",
+    "RandomPlacement",
+    "make_placement",
+]
+
+#: Allocation chunk used by scatter/random policies (256 pages = 1 MiB).
+#: Real free lists hand out runs of pages, not single pages; chunking also
+#: keeps planning cost low for multi-GiB allocations.
+DEFAULT_CHUNK_PAGES = 256
+
+
+class PlacementPolicy:
+    """Strategy deciding which blocks serve an allocation."""
+
+    name = "abstract"
+
+    def plan(
+        self,
+        blocks: List["MemoryBlock"],
+        pages: int,
+        exclude: Optional[Set["MemoryBlock"]] = None,
+    ) -> Optional[Dict["MemoryBlock", int]]:
+        """Distribute ``pages`` over ``blocks``.
+
+        Returns a block → page-count map, or ``None`` if the non-excluded
+        blocks do not hold enough free pages.  Must not mutate the blocks.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _usable(
+        blocks: Iterable["MemoryBlock"], exclude: Optional[Set["MemoryBlock"]]
+    ) -> List["MemoryBlock"]:
+        excluded = exclude or set()
+        return [
+            b
+            for b in blocks
+            if b.free_pages > 0 and not b.isolated and b not in excluded
+        ]
+
+
+class SequentialPlacement(PlacementPolicy):
+    """First-fit: fill the lowest-index block completely before the next."""
+
+    name = "sequential"
+
+    def plan(self, blocks, pages, exclude=None):
+        usable = self._usable(blocks, exclude)
+        plan: Dict["MemoryBlock", int] = {}
+        remaining = pages
+        for block in usable:
+            if remaining == 0:
+                break
+            take = min(block.free_pages, remaining)
+            plan[block] = take
+            remaining -= take
+        if remaining > 0:
+            return None
+        return plan
+
+
+class ScatterPlacement(PlacementPolicy):
+    """Chunked round-robin with a rotating cursor.
+
+    Models the steady-state interleaving produced by Linux free lists: the
+    cursor persists across allocations, so consecutive allocations by
+    different owners land on different blocks.
+    """
+
+    name = "scatter"
+
+    def __init__(self, chunk_pages: int = DEFAULT_CHUNK_PAGES):
+        if chunk_pages <= 0:
+            raise ValueError("chunk_pages must be positive")
+        self.chunk_pages = chunk_pages
+        self._cursor = 0
+
+    def plan(self, blocks, pages, exclude=None):
+        usable = self._usable(blocks, exclude)
+        if not usable:
+            return None
+        if sum(b.free_pages for b in usable) < pages:
+            return None
+        plan: Dict["MemoryBlock", int] = {}
+        remaining_free = {b: b.free_pages for b in usable}
+        remaining = pages
+        index = self._cursor % len(usable)
+        while remaining > 0:
+            block = usable[index]
+            free = remaining_free[block]
+            if free > 0:
+                take = min(self.chunk_pages, free, remaining)
+                plan[block] = plan.get(block, 0) + take
+                remaining_free[block] = free - take
+                remaining -= take
+            index = (index + 1) % len(usable)
+        self._cursor = index
+        return plan
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random block per chunk (worst-case fragmentation)."""
+
+    name = "random"
+
+    def __init__(
+        self, rng: Optional[random.Random] = None, chunk_pages: int = DEFAULT_CHUNK_PAGES
+    ):
+        self.rng = rng or random.Random(0)
+        self.chunk_pages = chunk_pages
+
+    def plan(self, blocks, pages, exclude=None):
+        usable = self._usable(blocks, exclude)
+        if sum(b.free_pages for b in usable) < pages:
+            return None
+        plan: Dict["MemoryBlock", int] = {}
+        remaining_free = {b: b.free_pages for b in usable}
+        candidates = list(usable)
+        remaining = pages
+        while remaining > 0:
+            block = self.rng.choice(candidates)
+            free = remaining_free[block]
+            take = min(self.chunk_pages, free, remaining)
+            if take > 0:
+                plan[block] = plan.get(block, 0) + take
+                remaining_free[block] = free - take
+                remaining -= take
+            if remaining_free[block] == 0:
+                candidates.remove(block)
+        return plan
+
+
+def make_placement(
+    name: str, rng: Optional[random.Random] = None
+) -> PlacementPolicy:
+    """Factory used by configuration objects (``scatter``/``sequential``/``random``)."""
+    if name == ScatterPlacement.name:
+        return ScatterPlacement()
+    if name == SequentialPlacement.name:
+        return SequentialPlacement()
+    if name == RandomPlacement.name:
+        return RandomPlacement(rng=rng)
+    raise ValueError(f"unknown placement policy {name!r}")

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+Everything in the reproduction runs on this small deterministic kernel:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop (integer-nanosecond
+  clock, stable FIFO ordering for same-timestamp events);
+* :class:`~repro.sim.engine.Process` — generator-coroutine processes that
+  ``yield`` :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.Event`
+  or other processes;
+* :class:`~repro.sim.cpu.CpuCore` — a round-robin processor used to model
+  vCPUs, so that page-migration work and function execution contend for the
+  same core exactly as in Section 6.2.2 of the paper;
+* :class:`~repro.sim.costs.CostModel` — every timing constant in one frozen
+  dataclass, calibrated in DESIGN.md.
+"""
+
+from repro.sim.costs import CostModel
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "CpuCore",
+    "CostModel",
+    "make_rng",
+]

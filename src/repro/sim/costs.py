@@ -1,0 +1,157 @@
+"""Timing cost model for every mechanism the paper measures.
+
+All constants live in one frozen dataclass so that experiments can run
+against perturbed models (ablations) and so the calibration is auditable
+in one place.  Anchors (see DESIGN.md, "Timing model calibration"):
+
+* the paper reports ≈30 ms to plug Bert's 640 MiB (five 128 MiB blocks),
+  giving ≈6 ms per block split between hot-add (``memmap``/struct-page
+  initialization) and onlining;
+* vanilla unplug latency reaches seconds for GiB-sized requests against a
+  loaded guest (Figures 5/6), dominated by page migration at a few
+  microseconds per 4 KiB page;
+* HotMem unplug is per-block constant work only (offline walk, hot-remove,
+  ``madvise``) at ≈1 ms per block, which produces the order-of-magnitude
+  gap the paper reports at every size;
+* memory zeroing proceeds at ≈10 GiB/s (≈0.4 µs per page).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.units import MS, NS, US
+
+__all__ = ["CostModel", "ZeroingMode", "DEFAULT_COSTS"]
+
+
+class ZeroingMode:
+    """System-wide page-zeroing configuration (Section 2.2).
+
+    ``INIT_ON_ALLOC`` zeroes pages when they are allocated, penalizing the
+    unplug path (offlining allocates pages through generic routines);
+    ``INIT_ON_FREE`` zeroes pages when they are released, penalizing the
+    plug path (pages are zeroed before onlining exposes them).
+    """
+
+    INIT_ON_ALLOC = "init_on_alloc"
+    INIT_ON_FREE = "init_on_free"
+    NONE = "none"
+
+    ALL = (INIT_ON_ALLOC, INIT_ON_FREE, NONE)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated nanosecond costs for every simulated mechanism."""
+
+    # -- hot-add / online (plug path) ---------------------------------
+    #: Create+initialize struct pages (memmap) for one 128 MiB block.
+    hot_add_block_ns: int = 4 * MS
+    #: Release one block's pages to the allocator (onlining).
+    online_block_ns: int = 2 * MS
+
+    # -- offline / hot-remove (unplug path) ----------------------------
+    #: Walk and isolate one block's pages during offline (no migrations).
+    offline_block_base_ns: int = 400 * US
+    #: Destroy one block's metadata during hot-remove.
+    hot_remove_block_ns: int = 300 * US
+    #: Migrate one occupied 4 KiB page (copy + rmap/TLB bookkeeping).
+    page_migration_ns: int = 5 * US
+    #: Scan cost per candidate block examined while searching for
+    #: offlineable memory (vanilla linear scan, Section 3).
+    unplug_scan_block_ns: int = 20 * US
+    #: Marginal costs for each extra block when a contiguous run is
+    #: offlined/removed/madvised as ONE operation — the batched-unplug
+    #: optimization the paper names as future work (Section 6.1.1).
+    offline_block_marginal_ns: int = 80 * US
+    hot_remove_block_marginal_ns: int = 60 * US
+    madvise_block_marginal_ns: int = 150 * US
+
+    # -- zeroing --------------------------------------------------------
+    #: Zero one 4 KiB page (≈10 GiB/s).
+    page_zero_ns: int = 400 * NS
+
+    # -- hypervisor side ------------------------------------------------
+    #: One virtio-mem request/response round trip (notification + ack).
+    virtio_request_rtt_ns: int = 100 * US
+    #: ``madvise(MADV_DONTNEED)`` one 128 MiB block back to the host
+    #: (runs on the VMM's own thread, not a guest vCPU).
+    madvise_block_ns: int = 1500 * US
+
+    # -- memory ballooning (related-work baseline, Section 7) -----------
+    #: Guest-side cost to allocate and queue one page into the balloon.
+    balloon_inflate_page_ns: int = 900 * NS
+    #: Guest-side cost to return one balloon page to the allocator.
+    balloon_deflate_page_ns: int = 300 * NS
+    #: Host-side cost to release one reported balloon page.
+    balloon_host_release_page_ns: int = 150 * NS
+    #: Driver back-off before retrying a stalled inflation (free memory
+    #: exhausted; the "unreliable or unpredictably slow" behaviour).
+    balloon_retry_interval_ns: int = 100 * MS
+
+    # -- guest page faults ----------------------------------------------
+    #: Service one anonymous minor fault (allocate + map one page).
+    anon_fault_ns: int = 1500 * NS
+    #: Map one already-cached file page (shared library warm in page cache).
+    file_fault_cached_ns: int = 800 * NS
+    #: Fault one file page in from backing storage (first touch).
+    file_fault_uncached_ns: int = 15 * US
+    #: Tear down one mapped page on process exit (unmap + free).
+    page_free_ns: int = 250 * NS
+
+    # -- zeroing configuration -------------------------------------------
+    #: One of :class:`ZeroingMode`; ``INIT_ON_ALLOC`` is the common default.
+    zeroing_mode: str = ZeroingMode.INIT_ON_ALLOC
+
+    def __post_init__(self) -> None:
+        if self.zeroing_mode not in ZeroingMode.ALL:
+            raise ValueError(f"unknown zeroing mode {self.zeroing_mode!r}")
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.type == "int" and value < 0:
+                raise ValueError(f"negative cost {field.name}={value}")
+
+    # ------------------------------------------------------------------
+    # Derived costs
+    # ------------------------------------------------------------------
+    def migrate_pages_ns(self, pages: int) -> int:
+        """CPU cost of migrating ``pages`` occupied pages."""
+        return pages * self.page_migration_ns
+
+    def zero_pages_ns(self, pages: int) -> int:
+        """CPU cost of zeroing ``pages`` pages."""
+        return pages * self.page_zero_ns
+
+    def plug_block_ns(self, zero_pages: int = 0) -> int:
+        """Guest-side cost of hot-adding and onlining one block.
+
+        ``zero_pages`` is the number of pages the guest must zero during
+        onlining (non-zero only under ``init_on_free`` without HotMem's
+        zero-skip, because the host already provides zeroed memory).
+        """
+        return self.hot_add_block_ns + self.online_block_ns + self.zero_pages_ns(
+            zero_pages
+        )
+
+    def offline_block_ns(self, migrated_pages: int, zeroed_pages: int = 0) -> int:
+        """Guest-side cost of offlining one block.
+
+        ``migrated_pages`` occupied pages must be moved out first;
+        ``zeroed_pages`` accounts for ``init_on_alloc`` zeroing triggered by
+        the generic allocation routines the offline path uses.
+        """
+        return (
+            self.offline_block_base_ns
+            + self.migrate_pages_ns(migrated_pages)
+            + self.zero_pages_ns(zeroed_pages)
+        )
+
+    def replace(self, **changes) -> "CostModel":
+        """Return a copy with some costs overridden (for ablations)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The calibrated default model used by every experiment.
+DEFAULT_COSTS = CostModel()

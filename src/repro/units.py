@@ -1,0 +1,88 @@
+"""Physical units used across the simulator.
+
+Memory sizes are expressed in bytes, time in integer nanoseconds.  The
+module also pins the two granularities that the whole paper revolves
+around: the 4 KiB base page and the 128 MiB Linux memory block (the x86
+hot(un)plug granularity, Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_SIZE",
+    "MEMORY_BLOCK_SIZE",
+    "PAGES_PER_BLOCK",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "bytes_to_pages",
+    "pages_to_bytes",
+    "bytes_to_blocks",
+    "blocks_to_bytes",
+    "format_bytes",
+    "format_ns",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Base page size managed by the guest OS (4 KiB, Section 2.2).
+PAGE_SIZE = 4 * KIB
+
+#: Linux adds and removes memory in 128 MiB blocks on x86 (Section 2.2).
+MEMORY_BLOCK_SIZE = 128 * MIB
+
+#: Number of 4 KiB pages per 128 MiB memory block (32768).
+PAGES_PER_BLOCK = MEMORY_BLOCK_SIZE // PAGE_SIZE
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def bytes_to_pages(size: int) -> int:
+    """Number of whole pages needed to hold ``size`` bytes (rounds up)."""
+    return -(-size // PAGE_SIZE)
+
+
+def pages_to_bytes(pages: int) -> int:
+    """Byte size of ``pages`` base pages."""
+    return pages * PAGE_SIZE
+
+
+def bytes_to_blocks(size: int) -> int:
+    """Number of whole memory blocks needed to hold ``size`` bytes."""
+    return -(-size // MEMORY_BLOCK_SIZE)
+
+
+def blocks_to_bytes(blocks: int) -> int:
+    """Byte size of ``blocks`` memory blocks."""
+    return blocks * MEMORY_BLOCK_SIZE
+
+
+def format_bytes(size: int) -> str:
+    """Render a byte count with a binary suffix (e.g. ``"384MiB"``)."""
+    if size % GIB == 0:
+        return f"{size // GIB}GiB"
+    if size % MIB == 0:
+        return f"{size // MIB}MiB"
+    if size % KIB == 0:
+        return f"{size // KIB}KiB"
+    return f"{size}B"
+
+
+def format_ns(duration: int) -> str:
+    """Render a nanosecond duration at a readable magnitude."""
+    if duration >= SEC:
+        return f"{duration / SEC:.3f}s"
+    if duration >= MS:
+        return f"{duration / MS:.3f}ms"
+    if duration >= US:
+        return f"{duration / US:.3f}us"
+    return f"{duration}ns"

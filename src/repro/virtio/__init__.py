@@ -1,0 +1,31 @@
+"""virtio-mem: the paravirtualized memory hot(un)plug interface.
+
+Device (VMM side) and driver (guest side) following Hildenbrand &
+Schulz's design as shipped in Cloud Hypervisor: the device region is
+chunked into 128 MiB blocks plugged and unplugged independently, with
+requests serialized and completions acknowledged to the hypervisor.
+Policy differences between stock Linux and HotMem are isolated behind
+:class:`~repro.virtio.backend.HotplugBackend`.
+"""
+
+from repro.virtio.backend import HotplugBackend, UnplugPlanEntry, VanillaBackend
+from repro.virtio.device import PlugResult, UnplugResult, VirtioMemDevice
+from repro.virtio.driver import (
+    VIRTIO_MEM_LABEL,
+    DriverPlugOutcome,
+    DriverUnplugOutcome,
+    VirtioMemDriver,
+)
+
+__all__ = [
+    "HotplugBackend",
+    "VanillaBackend",
+    "UnplugPlanEntry",
+    "VirtioMemDevice",
+    "PlugResult",
+    "UnplugResult",
+    "VirtioMemDriver",
+    "DriverPlugOutcome",
+    "DriverUnplugOutcome",
+    "VIRTIO_MEM_LABEL",
+]

@@ -1,0 +1,160 @@
+"""Hotplug backends: what the guest does with (un)plugged blocks.
+
+The virtio-mem driver mechanics (request handling, block bookkeeping,
+CPU charging) are shared between vanilla Linux and HotMem; what differs
+is *policy*:
+
+* where freshly plugged blocks are onlined (``ZONE_MOVABLE`` vs. an empty
+  HotMem partition),
+* which blocks are chosen to satisfy an unplug request (linear scan with
+  migrations vs. the blocks of guaranteed-empty partitions),
+* whether page zeroing can be skipped because the host provides zeroed
+  memory (HotMem's plug/unplug optimization, Section 4).
+
+:class:`VanillaBackend` implements stock virtio-mem behaviour; the HotMem
+backend lives in :mod:`repro.core.backend` (it is the paper's
+contribution).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mm.block import MemoryBlock
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.zone import Zone
+from repro.sim.costs import CostModel, ZeroingMode
+from repro.units import PAGES_PER_BLOCK
+
+__all__ = ["HotplugBackend", "VanillaBackend", "UnplugPlanEntry"]
+
+
+class UnplugPlanEntry:
+    """One block the backend decided to offline, plus expected work."""
+
+    __slots__ = ("block", "scanned_blocks")
+
+    def __init__(self, block: MemoryBlock, scanned_blocks: int = 0):
+        self.block = block
+        #: Candidate blocks the selection examined before settling on this
+        #: one (charged as scan cost by the driver).
+        self.scanned_blocks = scanned_blocks
+
+
+class HotplugBackend:
+    """Policy interface the virtio-mem driver delegates to."""
+
+    #: Human-readable backend name (shows up in reports).
+    name = "abstract"
+
+    def zones_for_plug(self, n_blocks: int) -> List[Tuple[Zone, int]]:
+        """Distribute ``n_blocks`` freshly plugged blocks over zones."""
+        raise NotImplementedError
+
+    def plan_unplug(self, n_blocks: int) -> List[UnplugPlanEntry]:
+        """Choose up to ``n_blocks`` online blocks to offline and remove.
+
+        May return fewer entries than requested when not enough memory can
+        be offlined (the driver reports a partial unplug, as virtio-mem
+        does).
+        """
+        raise NotImplementedError
+
+    def plug_zero_pages_per_block(self) -> int:
+        """Pages the guest must zero while onlining one plugged block."""
+        raise NotImplementedError
+
+    def unplug_zero_pages(self, migrated_pages: int) -> int:
+        """Pages zeroed by the offline path given ``migrated_pages`` moved."""
+        raise NotImplementedError
+
+    def migrate_for_unplug(self, block: MemoryBlock) -> int:
+        """Empty ``block`` (migrating occupants); returns pages migrated."""
+        raise NotImplementedError
+
+    def on_block_plugged(self, block: MemoryBlock) -> None:
+        """Hook after a block is onlined (HotMem populates partitions)."""
+
+    def on_block_unplugged(self, block: MemoryBlock) -> None:
+        """Hook after a block is removed (HotMem empties partitions)."""
+
+
+class VanillaBackend(HotplugBackend):
+    """Stock virtio-mem on stock Linux.
+
+    Plugged blocks are onlined into ``ZONE_MOVABLE``; unplug linearly
+    scans the zone's blocks (highest physical address first, matching
+    virtio-mem's preference for unplugging the most recently plugged
+    ranges) and migrates occupied pages out of each chosen block.
+
+    ``selection`` may be set to ``"emptiest_first"`` for the A3 ablation
+    (an idealized scan that offlines the cheapest blocks first).
+    """
+
+    name = "vanilla"
+
+    def __init__(
+        self,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        selection: str = "linear",
+    ):
+        if selection not in ("linear", "emptiest_first"):
+            raise ValueError(f"unknown selection policy {selection!r}")
+        self.manager = manager
+        self.costs = costs
+        self.selection = selection
+
+    # -- plug -----------------------------------------------------------
+    def zones_for_plug(self, n_blocks: int) -> List[Tuple[Zone, int]]:
+        return [(self.manager.zone_movable, n_blocks)]
+
+    def plug_zero_pages_per_block(self) -> int:
+        # Under init_on_free pages must be zeroed before onlining exposes
+        # them; vanilla has no way to know the host pre-zeroed them.
+        if self.costs.zeroing_mode == ZeroingMode.INIT_ON_FREE:
+            return PAGES_PER_BLOCK
+        return 0
+
+    # -- unplug ----------------------------------------------------------
+    def plan_unplug(self, n_blocks: int) -> List[UnplugPlanEntry]:
+        zone = self.manager.zone_movable
+        candidates = sorted(
+            (b for b in zone.blocks if not b.isolated),
+            key=lambda b: b.index,
+            reverse=True,
+        )
+        if self.selection == "emptiest_first":
+            candidates.sort(key=lambda b: (b.occupied_pages, -b.index))
+        plan: List[UnplugPlanEntry] = []
+        chosen: set = set()
+        scanned = 0
+        # Walk candidates, keeping a running headroom estimate: pages
+        # migrated out of chosen blocks consume free space elsewhere.
+        headroom = zone.free_pages + self.manager.zone_normal.free_pages
+        for block in candidates:
+            if len(plan) == n_blocks:
+                break
+            scanned += 1
+            cost = block.occupied_pages
+            # Choosing this block removes its free pages from the headroom
+            # and consumes space for its migrated occupants.
+            new_headroom = headroom - block.free_pages - cost
+            if new_headroom < 0 or block.has_unmovable:
+                continue
+            headroom = new_headroom
+            chosen.add(block)
+            plan.append(UnplugPlanEntry(block, scanned_blocks=scanned))
+            scanned = 0
+        return plan
+
+    def migrate_for_unplug(self, block: MemoryBlock) -> int:
+        outcome = self.manager.migrate_block_out(block)
+        return outcome.migrated_pages
+
+    def unplug_zero_pages(self, migrated_pages: int) -> int:
+        # The offline path reserves migration targets through the generic
+        # allocation routines; under init_on_alloc those pages get zeroed.
+        if self.costs.zeroing_mode == ZeroingMode.INIT_ON_ALLOC:
+            return migrated_pages
+        return 0

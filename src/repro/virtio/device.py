@@ -1,0 +1,260 @@
+"""The VMM-side virtio-mem device.
+
+Models the Cloud Hypervisor implementation the paper uses (Section 5.2):
+a paravirtualized DIMM chunked into 128 MiB blocks that can be plugged
+and unplugged independently.  The device
+
+* owns the hotpluggable region (which guest-physical blocks are plugged),
+* charges/discharges host memory for plugged blocks,
+* forwards requests to the guest driver over a notification round trip,
+* ``madvise(MADV_DONTNEED)``-releases unplugged blocks back to the host
+  on its own VMM thread (pinned to a host core, Section 5.4),
+* and timestamps every request for the hypervisor-side unplug-latency
+  metric (Section 5.4: request received → memory marked DONTNEED).
+
+Requests are serialized, as in virtio-mem: one resize at a time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, List, Set
+
+from repro.errors import HotplugError
+from repro.host.machine import NumaNode
+from repro.mm.block import BlockState
+from repro.mm.manager import GuestMemoryManager
+from repro.sim.costs import CostModel
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Event, Simulator
+from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, format_bytes
+from repro.virtio.driver import VirtioMemDriver
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.vmm.tracing import HypervisorTracer
+
+__all__ = ["VirtioMemDevice", "PlugResult", "UnplugResult"]
+
+#: Accounting label for VMM-side device work (madvise etc.).
+VMM_LABEL = "vmm:virtio-mem"
+
+
+@dataclass
+class PlugResult:
+    """Hypervisor-side view of one completed plug request."""
+
+    requested_bytes: int
+    plugged_bytes: int
+    latency_ns: int
+    zeroed_pages: int
+
+    @property
+    def fully_plugged(self) -> bool:
+        return self.plugged_bytes == self.requested_bytes
+
+
+@dataclass
+class UnplugResult:
+    """Hypervisor-side view of one completed unplug request."""
+
+    requested_bytes: int
+    unplugged_bytes: int
+    latency_ns: int
+    migrated_pages: int
+    scanned_blocks: int
+
+    @property
+    def fully_unplugged(self) -> bool:
+        return self.unplugged_bytes == self.requested_bytes
+
+
+class VirtioMemDevice:
+    """One VM's paravirtualized hot(un)plug device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        driver: VirtioMemDriver,
+        manager: GuestMemoryManager,
+        costs: CostModel,
+        vmm_core: CpuCore,
+        host_node: NumaNode,
+        tracer: "HypervisorTracer",
+    ):
+        self.sim = sim
+        self.driver = driver
+        self.manager = manager
+        self.costs = costs
+        self.vmm_core = vmm_core
+        self.host_node = host_node
+        self.tracer = tracer
+        self.plugged_indices: Set[int] = set()
+        self._busy = False
+        self._waiters: Deque[Event] = deque()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def region_blocks(self) -> int:
+        """Total blocks in the hotpluggable device region."""
+        return self.manager.hotplug_blocks
+
+    @property
+    def plugged_bytes(self) -> int:
+        """Memory currently plugged through this device."""
+        return len(self.plugged_indices) * MEMORY_BLOCK_SIZE
+
+    # ------------------------------------------------------------------
+    # Request serialization
+    # ------------------------------------------------------------------
+    def _acquire(self):
+        if self._busy:
+            gate = self.sim.event()
+            self._waiters.append(gate)
+            yield gate
+        self._busy = True
+        return None
+
+    def _release(self) -> None:
+        self._busy = False
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+
+    # ------------------------------------------------------------------
+    # Plug
+    # ------------------------------------------------------------------
+    def plug(self, size_bytes: int):
+        """Process generator: plug ``size_bytes`` (rounded up to blocks).
+
+        Returns a :class:`PlugResult`.  Raises :class:`HotplugError` when
+        the request exceeds the device region.
+        """
+        n_blocks = bytes_to_blocks(size_bytes)
+        yield from self._acquire()
+        try:
+            free_indices = [
+                i
+                for i in self.manager.hotplug_block_indices()
+                if i not in self.plugged_indices
+            ]
+            if n_blocks > len(free_indices):
+                raise HotplugError(
+                    f"plug of {format_bytes(size_bytes)} exceeds device region "
+                    f"({len(free_indices)} free blocks)"
+                )
+            chosen = free_indices[:n_blocks]
+            start = self.sim.now
+            # Host backing is charged up front (the hypervisor hands the
+            # guest zeroed pages).  ``plugged_indices`` is only updated on
+            # completion so that observers see committed state (requests
+            # are serialized, so the chosen indices cannot be stolen).
+            self.host_node.charge(n_blocks * MEMORY_BLOCK_SIZE)
+            yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
+            outcome = yield from self.driver.handle_plug(chosen)
+            self.plugged_indices.update(outcome.plugged_block_indices)
+            end = self.sim.now
+            plugged_bytes = outcome.plugged_blocks * MEMORY_BLOCK_SIZE
+            self.tracer.record_plug(
+                start, end, n_blocks * MEMORY_BLOCK_SIZE, plugged_bytes
+            )
+            return PlugResult(
+                requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+                plugged_bytes=plugged_bytes,
+                latency_ns=end - start,
+                zeroed_pages=outcome.zeroed_pages,
+            )
+        finally:
+            self._release()
+
+    def plug_at_boot(self, size_bytes: int, zone) -> List[int]:
+        """State-only plug during VM boot (not traced, no latency).
+
+        Used to pre-populate HotMem's shared partition and to build the
+        statically over-provisioned configuration of Figure 9.
+        """
+        n_blocks = bytes_to_blocks(size_bytes)
+        free_indices = [
+            i
+            for i in self.manager.hotplug_block_indices()
+            if i not in self.plugged_indices
+        ]
+        if n_blocks > len(free_indices):
+            raise HotplugError(
+                f"boot plug of {format_bytes(size_bytes)} exceeds device region"
+            )
+        chosen = free_indices[:n_blocks]
+        self.host_node.charge(n_blocks * MEMORY_BLOCK_SIZE)
+        self.plugged_indices.update(chosen)
+        self.driver.plug_at_boot(chosen, zone)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Unplug
+    # ------------------------------------------------------------------
+    def unplug(self, size_bytes: int):
+        """Process generator: ask the guest to release ``size_bytes``.
+
+        The guest may satisfy the request only partially (virtio-mem
+        semantics).  The returned :class:`UnplugResult` latency covers
+        request receipt through ``madvise(MADV_DONTNEED)`` of the last
+        reclaimed block — the paper's measurement (Section 5.4).
+        """
+        n_blocks = bytes_to_blocks(size_bytes)
+        yield from self._acquire()
+        try:
+            if n_blocks > len(self.plugged_indices):
+                n_blocks = len(self.plugged_indices)
+            start = self.sim.now
+            yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
+            outcome = yield from self.driver.handle_unplug(n_blocks)
+            for index in outcome.unplugged_block_indices:
+                if index not in self.plugged_indices:
+                    raise HotplugError(f"guest unplugged unknown block {index}")
+                self.plugged_indices.discard(index)
+            if outcome.unplugged_blocks:
+                # One madvise per contiguous run, marginal cost per extra
+                # block in a run (runs == blocks without batched unplug).
+                runs = outcome.contiguous_runs or outcome.unplugged_blocks
+                madvise_cost = (
+                    runs * self.costs.madvise_block_ns
+                    + (outcome.unplugged_blocks - runs)
+                    * self.costs.madvise_block_marginal_ns
+                )
+                yield self.vmm_core.submit(madvise_cost, VMM_LABEL)
+                self.host_node.discharge(
+                    outcome.unplugged_blocks * MEMORY_BLOCK_SIZE
+                )
+            end = self.sim.now
+            unplugged_bytes = outcome.unplugged_blocks * MEMORY_BLOCK_SIZE
+            self.tracer.record_unplug(
+                start,
+                end,
+                n_blocks * MEMORY_BLOCK_SIZE,
+                unplugged_bytes,
+                outcome.migrated_pages,
+            )
+            return UnplugResult(
+                requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+                unplugged_bytes=unplugged_bytes,
+                latency_ns=end - start,
+                migrated_pages=outcome.migrated_pages,
+                scanned_blocks=outcome.scanned_blocks,
+            )
+        finally:
+            self._release()
+
+    # ------------------------------------------------------------------
+    # Sanity
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Device and guest agreement on which blocks are plugged."""
+        for i in self.manager.hotplug_block_indices():
+            guest_online = self.manager.blocks[i].state is BlockState.ONLINE
+            device_plugged = i in self.plugged_indices
+            if guest_online != device_plugged:
+                raise HotplugError(
+                    f"block {i}: guest online={guest_online} but "
+                    f"device plugged={device_plugged}"
+                )

@@ -1,0 +1,212 @@
+"""The guest-side virtio-mem driver.
+
+Handles plug and unplug requests from the device, performing the actual
+kernel work (hot-add/online, migrate/offline/hot-remove) and charging its
+CPU time to the vCPU that serves virtio-mem interrupts — the paper pins
+that vCPU explicitly (Section 5.4), and its contention with co-located
+function instances is the interference mechanism of Figure 10.
+
+All work is labelled ``"virtio-mem"`` for cpuacct-style accounting
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import HotplugError, OfflineFailed
+from repro.mm.manager import GuestMemoryManager
+from repro.sim.costs import CostModel
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Simulator
+from repro.virtio.backend import HotplugBackend
+
+__all__ = ["VirtioMemDriver", "DriverPlugOutcome", "DriverUnplugOutcome"]
+
+#: Accounting label for all driver work (used by Figure 7's cgroup).
+VIRTIO_MEM_LABEL = "virtio-mem"
+
+
+@dataclass
+class DriverPlugOutcome:
+    """Guest-side result of one plug request."""
+
+    plugged_block_indices: List[int] = field(default_factory=list)
+    zeroed_pages: int = 0
+
+    @property
+    def plugged_blocks(self) -> int:
+        return len(self.plugged_block_indices)
+
+
+@dataclass
+class DriverUnplugOutcome:
+    """Guest-side result of one unplug request."""
+
+    unplugged_block_indices: List[int] = field(default_factory=list)
+    migrated_pages: int = 0
+    zeroed_pages: int = 0
+    scanned_blocks: int = 0
+    failed_blocks: int = 0
+    #: Contiguous runs the blocks were offlined in (== block count unless
+    #: the driver runs with batched unplug).
+    contiguous_runs: int = 0
+
+    @property
+    def unplugged_blocks(self) -> int:
+        return len(self.unplugged_block_indices)
+
+
+class VirtioMemDriver:
+    """Guest driver bound to one VM's memory manager and IRQ vCPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: GuestMemoryManager,
+        backend: HotplugBackend,
+        costs: CostModel,
+        irq_core: CpuCore,
+        batch_unplug: bool = False,
+    ):
+        """``batch_unplug`` enables the future-work optimization the paper
+        names in Section 6.1.1: contiguous runs of offlineable blocks are
+        offlined and removed as one operation, amortizing the per-block
+        fixed costs (marginal costs still apply per extra block)."""
+        self.sim = sim
+        self.manager = manager
+        self.backend = backend
+        self.costs = costs
+        self.irq_core = irq_core
+        self.batch_unplug = batch_unplug
+
+    # ------------------------------------------------------------------
+    # Plug path
+    # ------------------------------------------------------------------
+    def handle_plug(self, block_indices: List[int]):
+        """Process generator: hot-add and online the given device blocks.
+
+        The backend decides the target zones (``ZONE_MOVABLE`` for
+        vanilla, empty HotMem partitions for HotMem) and whether onlining
+        may skip zeroing.  Returns a :class:`DriverPlugOutcome`.
+        """
+        outcome = DriverPlugOutcome()
+        placement = self.backend.zones_for_plug(len(block_indices))
+        planned = sum(count for _, count in placement)
+        if planned < len(block_indices):
+            raise HotplugError(
+                f"backend placed only {planned} of {len(block_indices)} blocks"
+            )
+        remaining = list(block_indices)
+        zero_pages = self.backend.plug_zero_pages_per_block()
+        for zone, count in placement:
+            for _ in range(count):
+                if not remaining:
+                    break
+                index = remaining.pop(0)
+                block = self.manager.online_block(index, zone)
+                self.backend.on_block_plugged(block)
+                cost = self.costs.plug_block_ns(zero_pages=zero_pages)
+                outcome.zeroed_pages += zero_pages
+                yield self.irq_core.submit(cost, VIRTIO_MEM_LABEL)
+                outcome.plugged_block_indices.append(index)
+        return outcome
+
+    def plug_at_boot(self, block_indices: List[int], zone) -> None:
+        """State-only plug used while the VM boots (no simulated latency).
+
+        Boot-time population (e.g. HotMem's shared partition, Section 4)
+        happens before the guest starts serving requests, so it is not
+        part of any measured plug path.
+        """
+        for index in block_indices:
+            block = self.manager.online_block(index, zone)
+            self.backend.on_block_plugged(block)
+
+    # ------------------------------------------------------------------
+    # Unplug path
+    # ------------------------------------------------------------------
+    def handle_unplug(self, n_blocks: int):
+        """Process generator: offline and remove up to ``n_blocks`` blocks.
+
+        The backend chooses the victim blocks.  For vanilla this migrates
+        each block's occupants (the expensive path); for HotMem the blocks
+        belong to empty partitions and are removed without any migration.
+        Returns a :class:`DriverUnplugOutcome`; fewer blocks than requested
+        means a partial unplug (virtio-mem semantics).
+        """
+        outcome = DriverUnplugOutcome()
+        plan = self.backend.plan_unplug(n_blocks)
+        if self.batch_unplug:
+            runs = self._contiguous_runs(plan)
+        else:
+            runs = [[entry] for entry in plan]
+        for run in runs:
+            prepared: List = []
+            for entry in run:
+                block = entry.block
+                outcome.scanned_blocks += entry.scanned_blocks
+                scan_cost = entry.scanned_blocks * self.costs.unplug_scan_block_ns
+                if scan_cost:
+                    yield self.irq_core.submit(scan_cost, VIRTIO_MEM_LABEL)
+                try:
+                    self.manager.isolate_block(block)
+                except OfflineFailed:
+                    outcome.failed_blocks += 1
+                    continue
+                try:
+                    migrated = self.backend.migrate_for_unplug(block)
+                except OfflineFailed:
+                    # Not enough migration headroom (the guest allocated
+                    # since planning); abort this block (partial unplug).
+                    self.manager.unisolate_block(block)
+                    outcome.failed_blocks += 1
+                    continue
+                zeroed = self.backend.unplug_zero_pages(migrated)
+                move_cost = self.costs.migrate_pages_ns(
+                    migrated
+                ) + self.costs.zero_pages_ns(zeroed)
+                if move_cost:
+                    yield self.irq_core.submit(move_cost, VIRTIO_MEM_LABEL)
+                outcome.migrated_pages += migrated
+                outcome.zeroed_pages += zeroed
+                prepared.append(block)
+            if prepared:
+                yield from self._finish_run(prepared, outcome)
+        return outcome
+
+    @staticmethod
+    def _contiguous_runs(plan):
+        """Group plan entries into runs of adjacent physical blocks."""
+        runs: List[List] = []
+        for entry in sorted(plan, key=lambda e: e.block.index):
+            if runs and entry.block.index == runs[-1][-1].block.index + 1:
+                runs[-1].append(entry)
+            else:
+                runs.append([entry])
+        return runs
+
+    def _finish_run(self, blocks, outcome: DriverUnplugOutcome):
+        """Offline and hot-remove one prepared (empty, isolated) run.
+
+        The run is processed as a single operation: full fixed cost for
+        the first block, marginal cost for each additional one.
+        """
+        extra = len(blocks) - 1
+        cost = (
+            self.costs.offline_block_base_ns
+            + self.costs.hot_remove_block_ns
+            + extra
+            * (
+                self.costs.offline_block_marginal_ns
+                + self.costs.hot_remove_block_marginal_ns
+            )
+        )
+        yield self.irq_core.submit(cost, VIRTIO_MEM_LABEL)
+        for block in blocks:
+            self.manager.offline_and_remove(block, migrate=False)
+            self.backend.on_block_unplugged(block)
+            outcome.unplugged_block_indices.append(block.index)
+        outcome.contiguous_runs += 1
+        return None

@@ -1,0 +1,19 @@
+"""The hypervisor layer: microVMs, boot configuration, request tracing.
+
+A Cloud-Hypervisor-shaped VMM model (Section 5.2): each VM gets pinned
+vCPU threads, a virtio-mem device with its own VMM thread, and
+hypervisor-side tracing of every resize request — the measurement point
+for unplug latency in the paper.
+"""
+
+from repro.vmm.config import VmConfig, default_boot_memory_bytes
+from repro.vmm.tracing import HypervisorTracer, ResizeEvent
+from repro.vmm.vm import VirtualMachine
+
+__all__ = [
+    "VmConfig",
+    "default_boot_memory_bytes",
+    "HypervisorTracer",
+    "ResizeEvent",
+    "VirtualMachine",
+]

@@ -1,0 +1,94 @@
+"""VM configuration.
+
+Mirrors the paper's methodology (Section 5.1): the initial (boot) memory
+is sized so it can hold the ``struct page`` metadata for the maximum
+hotpluggable size (``initial = max * page_struct_size / page_size``) plus
+kernel working space, and the maximum hotplug memory is tied to workload
+requirements and maximum concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.units import (
+    MEMORY_BLOCK_SIZE,
+    MIB,
+    bytes_to_blocks,
+    format_bytes,
+)
+
+__all__ = ["VmConfig", "default_boot_memory_bytes"]
+
+
+def default_boot_memory_bytes(hotplug_region_bytes: int) -> int:
+    """Boot memory sized per the paper's formula plus kernel headroom.
+
+    ``struct page`` metadata is 64 B per 4 KiB page → 1/64 of the maximum
+    hotplug size, plus 384 MiB of kernel text/slab/movable-fallback space,
+    rounded up to whole 128 MiB blocks (minimum 512 MiB).
+    """
+    memmap_bytes = hotplug_region_bytes // 64
+    raw = memmap_bytes + 384 * MIB
+    blocks = max(bytes_to_blocks(raw), bytes_to_blocks(512 * MIB))
+    return blocks * MEMORY_BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """Static configuration of one microVM.
+
+    Attributes
+    ----------
+    name:
+        VM label used in core names and reports.
+    hotplug_region_bytes:
+        Size of the virtio-mem device region (maximum hotpluggable).
+    vcpus:
+        Number of vCPUs (the paper uses 10, pinned to one NUMA node).
+    boot_memory_bytes:
+        Initial memory; ``None`` applies :func:`default_boot_memory_bytes`.
+    placement:
+        Guest allocator placement policy (``scatter``/``sequential``/``random``).
+    virtio_irq_vcpu:
+        Index of the vCPU that services virtio-mem interrupts
+        (Section 5.4 pins it explicitly).
+    node_id:
+        NUMA node the VM is pinned to (CPUs and memory).
+    """
+
+    name: str
+    hotplug_region_bytes: int
+    vcpus: int = 10
+    boot_memory_bytes: Optional[int] = None
+    placement: str = "scatter"
+    virtio_irq_vcpu: int = 0
+    node_id: int = 0
+    #: Enable the batched-unplug optimization (the paper's Section 6.1.1
+    #: future work): contiguous block runs are offlined in one operation.
+    batch_unplug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ConfigError(f"vcpus must be positive, got {self.vcpus}")
+        if self.hotplug_region_bytes < 0 or (
+            self.hotplug_region_bytes % MEMORY_BLOCK_SIZE
+        ):
+            raise ConfigError(
+                f"hotplug region must be a non-negative multiple of 128MiB, "
+                f"got {format_bytes(self.hotplug_region_bytes)}"
+            )
+        if not 0 <= self.virtio_irq_vcpu < self.vcpus:
+            raise ConfigError(
+                f"virtio_irq_vcpu {self.virtio_irq_vcpu} out of range "
+                f"(vcpus={self.vcpus})"
+            )
+
+    @property
+    def effective_boot_memory_bytes(self) -> int:
+        """Boot memory after applying the default-sizing formula."""
+        if self.boot_memory_bytes is not None:
+            return self.boot_memory_bytes
+        return default_boot_memory_bytes(self.hotplug_region_bytes)

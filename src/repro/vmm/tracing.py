@@ -1,0 +1,89 @@
+"""Hypervisor-side tracing of resize requests.
+
+Stand-in for the Cloud Hypervisor tracing framework the paper instruments
+(Section 5.4).  Every plug and unplug request is timestamped from receipt
+to completion; the metrics layer derives unplug latency (Figures 5/6) and
+reclamation throughput (Figure 8) from these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ResizeEvent", "HypervisorTracer"]
+
+
+@dataclass
+class ResizeEvent:
+    """One completed resize request as the hypervisor saw it."""
+
+    kind: str  # "plug" | "unplug"
+    start_ns: int
+    end_ns: int
+    requested_bytes: int
+    completed_bytes: int
+    migrated_pages: int = 0
+
+    @property
+    def latency_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class HypervisorTracer:
+    """Accumulates :class:`ResizeEvent` records for one VM."""
+
+    def __init__(self) -> None:
+        self.events: List[ResizeEvent] = []
+
+    def record_plug(
+        self, start_ns: int, end_ns: int, requested: int, completed: int
+    ) -> None:
+        """Record a completed plug request."""
+        self.events.append(
+            ResizeEvent("plug", start_ns, end_ns, requested, completed)
+        )
+
+    def record_unplug(
+        self,
+        start_ns: int,
+        end_ns: int,
+        requested: int,
+        completed: int,
+        migrated_pages: int,
+    ) -> None:
+        """Record a completed unplug request."""
+        self.events.append(
+            ResizeEvent("unplug", start_ns, end_ns, requested, completed, migrated_pages)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def plug_events(self) -> List[ResizeEvent]:
+        """All plug events, oldest first."""
+        return [e for e in self.events if e.kind == "plug"]
+
+    def unplug_events(self) -> List[ResizeEvent]:
+        """All unplug events, oldest first."""
+        return [e for e in self.events if e.kind == "unplug"]
+
+    def total_unplugged_bytes(self) -> int:
+        """Memory reclaimed across all unplug events."""
+        return sum(e.completed_bytes for e in self.unplug_events())
+
+    def total_unplug_busy_ns(self) -> int:
+        """Wall time spent inside unplug requests (sum of latencies)."""
+        return sum(e.latency_ns for e in self.unplug_events())
+
+    def reclaim_throughput_mib_per_sec(self) -> float:
+        """Reclamation throughput over the busy unplug time (Figure 8).
+
+        MiB reclaimed divided by the time the unplug machinery was busy
+        reclaiming — the rate at which shrinking events release memory.
+        """
+        busy_ns = self.total_unplug_busy_ns()
+        if busy_ns == 0:
+            return 0.0
+        mib = self.total_unplugged_bytes() / (1024 * 1024)
+        return mib / (busy_ns / 1e9)

@@ -1,0 +1,158 @@
+"""Synthetic Azure-trace-shaped invocation traces.
+
+The paper drives its functions with bursty invocation traces from the
+Azure Functions dataset (Shahrad et al.): an initial burst of requests
+that forces many cold starts (and plug events), followed by an abrupt
+drop that leaves instances idling past the keep-alive window, triggering
+scale-down (and unplug events).  The production traces are not
+redistributable, so this module generates traces with the same structure
+from a seeded piecewise-constant-rate Poisson process (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+from repro.units import SEC
+from repro.workloads.traces import InvocationTrace
+
+__all__ = ["RatePhase", "AzureTraceGenerator", "bursty_trace", "diurnal_phases"]
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """A constant-rate segment of a trace."""
+
+    start_s: float
+    end_s: float
+    rps: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigError(f"empty phase [{self.start_s}, {self.end_s})")
+        if self.rps < 0:
+            raise ConfigError(f"negative rate {self.rps}")
+
+
+class AzureTraceGenerator:
+    """Generates bursty traces from piecewise-constant Poisson rates."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def generate(
+        self, function_name: str, phases: Sequence[RatePhase], stream: str = ""
+    ) -> InvocationTrace:
+        """Sample arrivals for the given rate phases.
+
+        Deterministic for a fixed ``(seed, function_name, stream)``.
+        """
+        rng = make_rng(self.seed, f"azure/{function_name}/{stream}")
+        arrivals_ns: List[int] = []
+        for phase in phases:
+            if phase.rps == 0:
+                continue
+            t = phase.start_s
+            while True:
+                t += rng.expovariate(phase.rps)
+                if t >= phase.end_s:
+                    break
+                arrivals_ns.append(int(t * SEC))
+        arrivals_ns.sort()
+        return InvocationTrace(function_name, arrivals_ns)
+
+    def bursty(
+        self,
+        function_name: str,
+        duration_s: float = 300.0,
+        burst_rps: float = 80.0,
+        base_rps: float = 2.0,
+        bursts: Sequence[Tuple[float, float]] = ((0.0, 4.0),),
+        stream: str = "",
+    ) -> InvocationTrace:
+        """The paper's trace shape: burst(s) over a low background rate.
+
+        ``bursts`` is a sequence of ``(start_s, end_s)`` windows during
+        which the rate is ``burst_rps``; outside them it is ``base_rps``.
+        """
+        for start, end in bursts:
+            if not 0 <= start < end <= duration_s:
+                raise ConfigError(f"burst window ({start}, {end}) out of range")
+        phases: List[RatePhase] = []
+        cursor = 0.0
+        for start, end in sorted(bursts):
+            if start > cursor:
+                phases.append(RatePhase(cursor, start, base_rps))
+            phases.append(RatePhase(start, end, burst_rps))
+            cursor = end
+        if cursor < duration_s:
+            phases.append(RatePhase(cursor, duration_s, base_rps))
+        return self.generate(function_name, phases, stream=stream)
+
+    def diurnal(
+        self,
+        function_name: str,
+        duration_s: float,
+        period_s: float,
+        peak_rps: float,
+        trough_rps: float,
+        stream: str = "",
+    ) -> InvocationTrace:
+        """A day/night load cycle (see :func:`diurnal_phases`)."""
+        return self.generate(
+            function_name,
+            diurnal_phases(duration_s, period_s, peak_rps, trough_rps),
+            stream=stream,
+        )
+
+
+def diurnal_phases(
+    duration_s: float,
+    period_s: float,
+    peak_rps: float,
+    trough_rps: float,
+    step_s: float = 10.0,
+) -> List[RatePhase]:
+    """Sinusoidal day/night rate pattern, discretized into steps.
+
+    Production serverless load follows diurnal cycles (Shahrad et al.);
+    this builds one as piecewise-constant phases so the standard
+    generator can sample it.
+    """
+    import math
+
+    if period_s <= 0 or step_s <= 0:
+        raise ConfigError("period and step must be positive")
+    if trough_rps < 0 or peak_rps < trough_rps:
+        raise ConfigError("need peak_rps >= trough_rps >= 0")
+    phases: List[RatePhase] = []
+    mid = (peak_rps + trough_rps) / 2
+    amplitude = (peak_rps - trough_rps) / 2
+    t = 0.0
+    while t < duration_s:
+        end = min(t + step_s, duration_s)
+        rate = mid + amplitude * math.sin(2 * math.pi * (t + step_s / 2) / period_s)
+        phases.append(RatePhase(t, end, max(0.0, rate)))
+        t = end
+    return phases
+
+
+def bursty_trace(
+    function_name: str,
+    seed: int = 0,
+    duration_s: float = 300.0,
+    burst_rps: float = 80.0,
+    base_rps: float = 2.0,
+    bursts: Sequence[Tuple[float, float]] = ((0.0, 4.0),),
+) -> InvocationTrace:
+    """Convenience wrapper over :class:`AzureTraceGenerator`."""
+    return AzureTraceGenerator(seed).bursty(
+        function_name,
+        duration_s=duration_s,
+        burst_rps=burst_rps,
+        base_rps=base_rps,
+        bursts=bursts,
+    )

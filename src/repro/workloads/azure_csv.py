@@ -1,0 +1,155 @@
+"""Loader for the Azure Functions 2019 trace format (Shahrad et al.).
+
+The production traces the paper uses are distributed as CSV files
+(``invocations_per_function_md.anon.dXX.csv``) with one row per function:
+
+    HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+
+where columns ``1..1440`` are invocation counts per minute of the day.
+The dataset itself is not redistributable, so the rest of this repository
+generates synthetic traces with the same structure — but anyone holding
+the real files can load them here and drive every experiment with
+production load.
+
+Counts are turned into arrival timestamps by spreading each minute's
+invocations uniformly at random within that minute (seeded), optionally
+compressing time so a full day fits a short simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+from repro.units import SEC
+from repro.workloads.traces import InvocationTrace
+
+__all__ = [
+    "AzureCsvRow",
+    "load_invocation_rows",
+    "trace_from_minute_counts",
+    "load_azure_trace",
+]
+
+#: Minutes in one trace day.
+DAY_MINUTES = 1440
+
+
+class AzureCsvRow:
+    """One function's row: identity hashes plus per-minute counts."""
+
+    __slots__ = ("owner", "app", "function", "trigger", "minute_counts")
+
+    def __init__(
+        self,
+        owner: str,
+        app: str,
+        function: str,
+        trigger: str,
+        minute_counts: List[int],
+    ):
+        self.owner = owner
+        self.app = app
+        self.function = function
+        self.trigger = trigger
+        self.minute_counts = minute_counts
+
+    @property
+    def total_invocations(self) -> int:
+        """Invocations across the whole day."""
+        return sum(self.minute_counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AzureCsvRow fn={self.function[:8]}… trigger={self.trigger} "
+            f"total={self.total_invocations}>"
+        )
+
+
+def load_invocation_rows(
+    path: Union[str, Path],
+    function_hash: Optional[str] = None,
+    min_total: int = 0,
+    limit: Optional[int] = None,
+) -> List[AzureCsvRow]:
+    """Parse an ``invocations_per_function_md`` CSV.
+
+    ``function_hash`` filters to one function; ``min_total`` drops
+    near-idle functions; ``limit`` caps the number of rows returned.
+    """
+    rows: List[AzureCsvRow] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) < 4 + DAY_MINUTES:
+            raise ConfigError(
+                f"{path}: expected the Azure invocations format "
+                f"(4 id columns + {DAY_MINUTES} minute columns)"
+            )
+        for record in reader:
+            if len(record) < 4 + DAY_MINUTES:
+                raise ConfigError(f"{path}: truncated row for {record[:3]}")
+            owner, app, function, trigger = record[:4]
+            if function_hash is not None and function != function_hash:
+                continue
+            counts = [int(value) for value in record[4 : 4 + DAY_MINUTES]]
+            row = AzureCsvRow(owner, app, function, trigger, counts)
+            if row.total_invocations < min_total:
+                continue
+            rows.append(row)
+            if limit is not None and len(rows) >= limit:
+                break
+    return rows
+
+
+def trace_from_minute_counts(
+    function_name: str,
+    minute_counts: Sequence[int],
+    seed: int = 0,
+    time_scale: float = 1.0,
+) -> InvocationTrace:
+    """Spread per-minute counts into arrival timestamps.
+
+    Each minute's invocations land uniformly at random within that minute
+    (seeded by ``(seed, function_name)``).  ``time_scale`` compresses the
+    clock: 0.1 squeezes a day into 2.4 simulated hours.
+    """
+    if time_scale <= 0:
+        raise ConfigError(f"time_scale must be positive, got {time_scale}")
+    rng = make_rng(seed, f"azure-csv/{function_name}")
+    minute_ns = int(60 * SEC * time_scale)
+    arrivals: List[int] = []
+    for minute, count in enumerate(minute_counts):
+        if count < 0:
+            raise ConfigError(f"negative count at minute {minute}")
+        base = minute * minute_ns
+        arrivals.extend(
+            base + int(rng.random() * minute_ns) for _ in range(count)
+        )
+    return InvocationTrace(function_name, arrivals)
+
+
+def load_azure_trace(
+    path: Union[str, Path],
+    function_hash: str,
+    seed: int = 0,
+    time_scale: float = 1.0,
+    minutes: Optional[slice] = None,
+) -> InvocationTrace:
+    """One-call loader: CSV row → :class:`InvocationTrace`.
+
+    ``minutes`` selects a window of the day (e.g. ``slice(480, 540)`` for
+    08:00-09:00) before conversion.
+    """
+    rows = load_invocation_rows(path, function_hash=function_hash, limit=1)
+    if not rows:
+        raise ConfigError(f"function {function_hash!r} not found in {path}")
+    counts = rows[0].minute_counts
+    if minutes is not None:
+        counts = counts[minutes]
+    return trace_from_minute_counts(
+        function_hash, counts, seed=seed, time_scale=time_scale
+    )

@@ -1,0 +1,155 @@
+"""Serverless function models (Table 1 of the paper).
+
+The evaluation uses four functions from FunctionBench and FaaSMem —
+``Cnn`` (JPEG classification), ``Bert`` (ML inference), ``BFS`` (graph
+breadth-first search) and ``HTML`` (a web service) — with user-assigned
+vCPU and memory limits.  Those limits are reproduced verbatim; execution
+times, footprints and cold-start costs are calibrated to typical values
+for these workloads (the paper reports only the limits, not the raw
+service times; see DESIGN.md on substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.units import MIB, MS, bytes_to_pages
+
+__all__ = ["FunctionSpec", "TABLE1_FUNCTIONS", "get_function"]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static description of one serverless function.
+
+    Attributes
+    ----------
+    name:
+        Function identifier (lower-case).
+    assigned_vcpus:
+        vCPU weight from Table 1 (0.2–1.0); the agent derives the maximum
+        instances per VM from it (``vm_vcpus / assigned_vcpus``).
+    memory_limit_bytes:
+        User-declared memory limit from Table 1; the HotMem partition
+        size is this limit rounded up to whole memory blocks.
+    exec_cpu_ns:
+        CPU time one invocation consumes on its pinned vCPU.
+    anon_footprint_bytes:
+        Private (anonymous) memory an instance touches while serving.
+    shared_deps_bytes:
+        File-backed runtime/library dependencies (shared across
+        instances through the page cache / shared partition).
+    cold_start_cpu_ns:
+        Container creation plus runtime initialization CPU cost.
+    warm_start_cpu_ns:
+        Dispatch overhead when reusing an idle container.
+    warm_churn_bytes:
+        Memory allocated and freed per warm invocation (request-scoped
+        garbage).
+    worker_processes:
+        Processes per instance (a leader plus forked workers).  Serverless
+        functions do not fork to *scale* (Section 4), but runtimes do fork
+        helper processes; all of them share the instance's partition.
+    """
+
+    name: str
+    assigned_vcpus: float
+    memory_limit_bytes: int
+    exec_cpu_ns: int
+    anon_footprint_bytes: int
+    shared_deps_bytes: int
+    cold_start_cpu_ns: int
+    warm_start_cpu_ns: int
+    warm_churn_bytes: int
+    worker_processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.assigned_vcpus <= 0:
+            raise ConfigError(f"{self.name}: assigned_vcpus must be positive")
+        if self.anon_footprint_bytes > self.memory_limit_bytes:
+            raise ConfigError(
+                f"{self.name}: anonymous footprint exceeds the memory limit"
+            )
+        if self.worker_processes < 1:
+            raise ConfigError(f"{self.name}: needs at least one process")
+
+    def with_workers(self, workers: int) -> "FunctionSpec":
+        """A copy of this spec running ``workers`` processes per instance."""
+        import dataclasses
+
+        return dataclasses.replace(self, worker_processes=workers)
+
+    @property
+    def anon_footprint_pages(self) -> int:
+        """Anonymous footprint in pages."""
+        return bytes_to_pages(self.anon_footprint_bytes)
+
+    @property
+    def warm_churn_pages(self) -> int:
+        """Per-invocation churn in pages."""
+        return bytes_to_pages(self.warm_churn_bytes)
+
+    def max_instances_for(self, vm_vcpus: int) -> int:
+        """Maximum concurrent instances for a VM (Table 1 rule)."""
+        return max(1, int(vm_vcpus / self.assigned_vcpus))
+
+
+#: The four evaluation functions with their Table 1 resource limits.
+TABLE1_FUNCTIONS: Dict[str, FunctionSpec] = {
+    "cnn": FunctionSpec(
+        name="cnn",
+        assigned_vcpus=0.5,
+        memory_limit_bytes=384 * MIB,
+        exec_cpu_ns=250 * MS,
+        anon_footprint_bytes=260 * MIB,
+        shared_deps_bytes=120 * MIB,
+        cold_start_cpu_ns=220 * MS,
+        warm_start_cpu_ns=1 * MS,
+        warm_churn_bytes=8 * MIB,
+    ),
+    "bert": FunctionSpec(
+        name="bert",
+        assigned_vcpus=1.0,
+        memory_limit_bytes=640 * MIB,
+        exec_cpu_ns=420 * MS,
+        anon_footprint_bytes=460 * MIB,
+        shared_deps_bytes=220 * MIB,
+        cold_start_cpu_ns=350 * MS,
+        warm_start_cpu_ns=1 * MS,
+        warm_churn_bytes=16 * MIB,
+    ),
+    "bfs": FunctionSpec(
+        name="bfs",
+        assigned_vcpus=0.5,
+        memory_limit_bytes=384 * MIB,
+        exec_cpu_ns=160 * MS,
+        anon_footprint_bytes=230 * MIB,
+        shared_deps_bytes=60 * MIB,
+        cold_start_cpu_ns=140 * MS,
+        warm_start_cpu_ns=1 * MS,
+        warm_churn_bytes=12 * MIB,
+    ),
+    "html": FunctionSpec(
+        name="html",
+        assigned_vcpus=0.2,
+        memory_limit_bytes=384 * MIB,
+        exec_cpu_ns=15 * MS,
+        anon_footprint_bytes=180 * MIB,
+        shared_deps_bytes=40 * MIB,
+        cold_start_cpu_ns=160 * MS,
+        warm_start_cpu_ns=500_000,
+        warm_churn_bytes=2 * MIB,
+    ),
+}
+
+
+def get_function(name: str) -> FunctionSpec:
+    """Look up one of the Table 1 functions by name."""
+    try:
+        return TABLE1_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown function {name!r}; available: {sorted(TABLE1_FUNCTIONS)}"
+        ) from None

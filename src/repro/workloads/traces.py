@@ -1,0 +1,61 @@
+"""Invocation trace containers and summary statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ConfigError
+from repro.units import SEC
+
+__all__ = ["InvocationTrace"]
+
+
+class InvocationTrace:
+    """A sorted sequence of invocation arrival times for one function."""
+
+    def __init__(self, function_name: str, arrivals_ns: Iterable[int]):
+        self.function_name = function_name
+        self.arrivals_ns: List[int] = sorted(int(t) for t in arrivals_ns)
+        if self.arrivals_ns and self.arrivals_ns[0] < 0:
+            raise ConfigError("trace contains negative arrival times")
+
+    def __len__(self) -> int:
+        return len(self.arrivals_ns)
+
+    def __iter__(self):
+        return iter(self.arrivals_ns)
+
+    @property
+    def duration_ns(self) -> int:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self.arrivals_ns[-1] if self.arrivals_ns else 0
+
+    def mean_rps(self) -> float:
+        """Average request rate over the trace duration."""
+        if not self.arrivals_ns or self.duration_ns == 0:
+            return 0.0
+        return len(self.arrivals_ns) / (self.duration_ns / SEC)
+
+    def arrivals_in_window(self, start_ns: int, end_ns: int) -> int:
+        """Number of arrivals in ``[start_ns, end_ns)``."""
+        import bisect
+
+        lo = bisect.bisect_left(self.arrivals_ns, start_ns)
+        hi = bisect.bisect_left(self.arrivals_ns, end_ns)
+        return hi - lo
+
+    def peak_rps(self, window_s: float = 1.0) -> float:
+        """Maximum request rate over any aligned window of ``window_s``."""
+        if not self.arrivals_ns:
+            return 0.0
+        window_ns = int(window_s * SEC)
+        counts = {}
+        for t in self.arrivals_ns:
+            counts[t // window_ns] = counts.get(t // window_ns, 0) + 1
+        return max(counts.values()) / window_s
+
+    def __repr__(self) -> str:
+        return (
+            f"<InvocationTrace {self.function_name} n={len(self)} "
+            f"mean={self.mean_rps():.1f}rps peak={self.peak_rps():.0f}rps>"
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the virtio-balloon baseline."""
+
+import pytest
+
+from repro.baselines.balloon import VirtioBalloon
+from repro.errors import ConfigError
+from repro.units import GIB, MIB, bytes_to_pages
+
+
+@pytest.fixture
+def balloon(sim, vanilla_vm):
+    vanilla_vm.device.plug_at_boot(2 * GIB, vanilla_vm.manager.zone_movable)
+    return VirtioBalloon(
+        sim,
+        vanilla_vm.manager,
+        vanilla_vm.costs,
+        irq_core=vanilla_vm.irq_vcpu,
+        vmm_core=vanilla_vm.vmm_core,
+        host_node=vanilla_vm.node,
+    )
+
+
+class TestInflate:
+    def test_inflate_takes_free_pages(self, sim, vanilla_vm, balloon):
+        result = sim.run_process(balloon.inflate(512 * MIB))
+        assert result.fully_reclaimed
+        assert balloon.inflated_pages == bytes_to_pages(512 * MIB)
+
+    def test_inflate_releases_host_memory(self, sim, vanilla_vm, balloon):
+        used_before = vanilla_vm.node.used_bytes
+        sim.run_process(balloon.inflate(512 * MIB))
+        assert vanilla_vm.node.used_bytes == used_before - 512 * MIB
+
+    def test_inflate_latency_scales_with_pages(self, sim, vanilla_vm, balloon):
+        small = sim.run_process(balloon.inflate(128 * MIB))
+        large = sim.run_process(balloon.inflate(512 * MIB))
+        assert large.latency_ns > 2 * small.latency_ns
+
+    def test_inflate_respects_reserve(self, sim, vanilla_vm, balloon):
+        free = sum(
+            z.free_pages for z in vanilla_vm.manager.zonelist(True)
+        )
+        result = sim.run_process(balloon.inflate((free + 10**6) * 4096))
+        assert result.reclaimed_pages <= free - balloon.reserve_pages + 1
+        remaining = sum(
+            z.free_pages for z in vanilla_vm.manager.zonelist(True)
+        )
+        assert remaining >= balloon.reserve_pages
+
+    def test_inflate_stalls_and_retries_when_memory_busy(self, sim, vanilla_vm, balloon):
+        mm = vanilla_vm.new_process("hog")
+        free = sum(z.free_pages for z in vanilla_vm.manager.zonelist(True))
+        vanilla_vm.fault_handler.fault_anon(mm, free - 1000)
+        result = sim.run_process(balloon.inflate(512 * MIB))
+        assert not result.fully_reclaimed
+        assert result.retries == balloon.max_retries
+        assert result.latency_ns >= (
+            balloon.max_retries * vanilla_vm.costs.balloon_retry_interval_ns
+        )
+
+    def test_inflation_consumes_cpu_on_irq_core(self, sim, vanilla_vm, balloon):
+        sim.run_process(balloon.inflate(256 * MIB))
+        assert vanilla_vm.irq_vcpu.busy_ns_for("virtio-balloon") > 0
+
+
+class TestDeflate:
+    def test_deflate_returns_pages(self, sim, vanilla_vm, balloon):
+        sim.run_process(balloon.inflate(512 * MIB))
+        used_before = vanilla_vm.node.used_bytes
+        result = sim.run_process(balloon.deflate(256 * MIB))
+        assert result.reclaimed_pages == bytes_to_pages(256 * MIB)
+        assert balloon.inflated_pages == bytes_to_pages(256 * MIB)
+        assert vanilla_vm.node.used_bytes == used_before + 256 * MIB
+
+    def test_deflate_clamped_to_balloon_size(self, sim, vanilla_vm, balloon):
+        sim.run_process(balloon.inflate(128 * MIB))
+        result = sim.run_process(balloon.deflate(1 * GIB))
+        assert result.reclaimed_pages == bytes_to_pages(128 * MIB)
+        assert balloon.inflated_pages == 0
+
+    def test_deflate_empty_balloon_is_noop(self, sim, balloon):
+        result = sim.run_process(balloon.deflate(128 * MIB))
+        assert result.reclaimed_pages == 0
+
+
+class TestConfig:
+    def test_negative_reserve_rejected(self, sim, vanilla_vm):
+        with pytest.raises(ConfigError):
+            VirtioBalloon(
+                sim,
+                vanilla_vm.manager,
+                vanilla_vm.costs,
+                vanilla_vm.irq_vcpu,
+                vanilla_vm.vmm_core,
+                vanilla_vm.node,
+                reserve_pages=-1,
+            )
+
+    def test_consistency_after_cycles(self, sim, vanilla_vm, balloon):
+        for _ in range(3):
+            sim.run_process(balloon.inflate(256 * MIB))
+            sim.run_process(balloon.deflate(256 * MIB))
+        vanilla_vm.manager.check_consistency()
+        assert balloon.inflated_pages == 0

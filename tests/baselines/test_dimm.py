@@ -1,0 +1,110 @@
+"""Unit tests for the DIMM hotplug baseline."""
+
+import pytest
+
+from repro.baselines.dimm import DimmHotplug
+from repro.errors import ConfigError, HotplugError
+from repro.host.machine import HostMachine
+from repro.sim.engine import Simulator
+from repro.units import GIB, MIB, PAGES_PER_BLOCK
+from repro.vmm import VirtualMachine, VmConfig
+
+
+@pytest.fixture
+def vm(sim, host):
+    return VirtualMachine(sim, host, VmConfig("dimm-vm", hotplug_region_bytes=4 * GIB))
+
+
+@pytest.fixture
+def dimm(sim, vm):
+    return DimmHotplug(
+        sim,
+        vm.manager,
+        vm.costs,
+        irq_core=vm.irq_vcpu,
+        vmm_core=vm.vmm_core,
+        host_node=vm.node,
+    )
+
+
+class TestGeometry:
+    def test_slots_cover_region(self, dimm):
+        assert dimm.dimm_slots == 4
+        assert dimm.blocks_per_dimm == 8
+
+    def test_misaligned_dimm_size_rejected(self, sim, vm):
+        with pytest.raises(ConfigError):
+            DimmHotplug(
+                sim, vm.manager, vm.costs, vm.irq_vcpu, vm.vmm_core, vm.node,
+                dimm_bytes=100 * MIB,
+            )
+
+    def test_region_must_be_whole_dimms(self, sim, host):
+        odd_vm = VirtualMachine(
+            sim, host, VmConfig("odd", hotplug_region_bytes=3 * GIB + 128 * MIB)
+        )
+        with pytest.raises(ConfigError):
+            DimmHotplug(
+                sim, odd_vm.manager, odd_vm.costs, odd_vm.irq_vcpu,
+                odd_vm.vmm_core, odd_vm.node,
+            )
+
+
+class TestPlug:
+    def test_plug_brings_whole_dimms_online(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(2))
+        assert dimm.plugged_dimms() == [0, 1]
+        assert vm.manager.plugged_bytes == 2 * GIB
+
+    def test_plug_beyond_slots_rejected(self, sim, vm, dimm):
+        process = sim.spawn(dimm.plug(5))
+        with pytest.raises(HotplugError):
+            sim.run()
+
+    def test_plug_charges_host(self, sim, vm, dimm):
+        used_before = vm.node.used_bytes
+        sim.run_process(dimm.plug(1))
+        assert vm.node.used_bytes == used_before + 1 * GIB
+
+
+class TestUnplug:
+    def test_unplug_rounds_up_to_dimms(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(3))
+        result = sim.run_process(dimm.unplug(1536 * MIB))
+        assert result.requested_dimms == 2
+        assert result.unplugged_dimms == 2
+        assert result.unplugged_bytes == 2 * GIB
+
+    def test_unplug_empty_guest_no_migrations(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(2))
+        result = sim.run_process(dimm.unplug(1 * GIB))
+        assert result.migrated_pages == 0
+        vm.manager.check_consistency()
+
+    def test_unplug_occupied_guest_migrates(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(4))
+        mm = vm.new_process("hog")
+        vm.fault_handler.fault_anon(mm, 10 * PAGES_PER_BLOCK)
+        result = sim.run_process(dimm.unplug(1 * GIB))
+        assert result.unplugged_dimms == 1
+        assert result.migrated_pages > 0
+        vm.manager.check_consistency()
+
+    def test_unplug_aborts_atomically_without_headroom(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(4))
+        mm = vm.new_process("hog")
+        free = vm.manager.free_pages_total
+        vm.fault_handler.fault_anon(mm, free - 2 * PAGES_PER_BLOCK)
+        result = sim.run_process(dimm.unplug(1 * GIB))
+        # Not enough headroom to drain a whole DIMM: everything aborts,
+        # and the partial migrations are wasted work.
+        assert result.unplugged_dimms == 0
+        assert result.aborted_dimms > 0
+        assert result.wasted_migrated_pages > 0
+        vm.manager.check_consistency()
+
+    def test_unplug_discharges_host(self, sim, vm, dimm):
+        sim.run_process(dimm.plug(2))
+        used_before = vm.node.used_bytes
+        sim.run_process(dimm.unplug(1 * GIB))
+        assert vm.node.used_bytes == used_before - 1 * GIB

@@ -1,0 +1,107 @@
+"""Unit tests for free page reporting."""
+
+import pytest
+
+from repro.baselines.fpr import REPORT_BATCH_PAGES, FreePageReporting
+from repro.errors import ConfigError
+from repro.sim.engine import Timeout
+from repro.units import GIB, MIB, SEC, bytes_to_pages
+
+
+@pytest.fixture
+def fpr(sim, vanilla_vm):
+    vanilla_vm.device.plug_at_boot(2 * GIB, vanilla_vm.manager.zone_movable)
+    return FreePageReporting(
+        sim,
+        vanilla_vm.manager,
+        vanilla_vm.costs,
+        irq_core=vanilla_vm.irq_vcpu,
+        vmm_core=vanilla_vm.vmm_core,
+        host_node=vanilla_vm.node,
+        report_interval_ns=1 * SEC,
+    )
+
+
+def run_for(sim, seconds):
+    sim.run(until=sim.now + seconds * SEC)
+
+
+class TestReporting:
+    def test_free_memory_reported_after_one_tick(self, sim, vanilla_vm, fpr):
+        used_before = vanilla_vm.node.used_bytes
+        fpr.start()
+        run_for(sim, 1.5)
+        assert fpr.reported_bytes > 0
+        assert vanilla_vm.node.used_bytes < used_before
+        fpr.stop()
+        run_for(sim, 2)
+
+    def test_watermark_respected(self, sim, vanilla_vm, fpr):
+        fpr.start()
+        run_for(sim, 1.5)
+        free = sum(
+            z.free_pages for z in vanilla_vm.manager.zonelist(True)
+        )
+        # Reported never exceeds free-minus-watermark.
+        assert fpr.reported_pages <= free - fpr.watermark_pages
+        fpr.stop()
+        run_for(sim, 2)
+
+    def test_reports_in_whole_batches(self, sim, vanilla_vm, fpr):
+        fpr.start()
+        run_for(sim, 1.5)
+        assert fpr.reported_pages % REPORT_BATCH_PAGES == 0
+        fpr.stop()
+        run_for(sim, 2)
+
+    def test_freed_memory_shows_up_next_tick(self, sim, vanilla_vm, fpr):
+        mm = vanilla_vm.new_process("hog")
+        vanilla_vm.fault_handler.fault_anon(mm, bytes_to_pages(1 * GIB))
+        fpr.start()
+        run_for(sim, 1.5)
+        before = fpr.reported_bytes
+        vanilla_vm.exit_process(mm)
+        run_for(sim, 1.5)
+        assert fpr.reported_bytes >= before + int(0.9 * GIB)
+        fpr.stop()
+        run_for(sim, 2)
+
+    def test_reallocation_recharges_host(self, sim, vanilla_vm, fpr):
+        fpr.start()
+        run_for(sim, 1.5)
+        used_low = vanilla_vm.node.used_bytes
+        mm = vanilla_vm.new_process("hog")
+        vanilla_vm.fault_handler.fault_anon(mm, bytes_to_pages(1 * GIB))
+        run_for(sim, 1.5)
+        assert vanilla_vm.node.used_bytes >= used_low + int(0.9 * GIB)
+        fpr.stop()
+        run_for(sim, 2)
+
+    def test_time_reported_reached(self, sim, vanilla_vm, fpr):
+        fpr.start()
+        run_for(sim, 3.5)
+        assert fpr.time_reported_reached(1) is not None
+        assert fpr.time_reported_reached(10**15) is None
+        fpr.stop()
+        run_for(sim, 2)
+
+
+class TestConfig:
+    def test_invalid_interval_rejected(self, sim, vanilla_vm):
+        with pytest.raises(ConfigError):
+            FreePageReporting(
+                sim,
+                vanilla_vm.manager,
+                vanilla_vm.costs,
+                vanilla_vm.irq_vcpu,
+                vanilla_vm.vmm_core,
+                vanilla_vm.node,
+                report_interval_ns=0,
+            )
+
+    def test_double_start_rejected(self, sim, vanilla_vm, fpr):
+        fpr.start()
+        with pytest.raises(ConfigError):
+            fpr.start()
+        fpr.stop()
+        run_for(sim, 2)

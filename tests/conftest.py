@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HotMemBootParams
+from repro.host import HostMachine
+from repro.sim import CostModel, Simulator
+from repro.units import GIB, MIB
+from repro.vmm import VirtualMachine, VmConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def host(sim) -> HostMachine:
+    """The paper's evaluation host (2 nodes × 10 cores × 128 GiB)."""
+    return HostMachine(sim)
+
+
+@pytest.fixture
+def vanilla_vm(sim, host) -> VirtualMachine:
+    """A vanilla VM with a 4 GiB hotplug region."""
+    return VirtualMachine(
+        sim, host, VmConfig("vanilla-test", hotplug_region_bytes=4 * GIB)
+    )
+
+
+@pytest.fixture
+def hotmem_params() -> HotMemBootParams:
+    """8 × 384 MiB partitions plus a 256 MiB shared partition."""
+    return HotMemBootParams.for_function(
+        384 * MIB, concurrency=8, shared_bytes=256 * MIB
+    )
+
+
+@pytest.fixture
+def hotmem_vm(sim, host, hotmem_params) -> VirtualMachine:
+    """A HotMem VM sized exactly for its partitions."""
+    return VirtualMachine(
+        sim,
+        host,
+        VmConfig("hotmem-test", hotplug_region_bytes=hotmem_params.max_hotplug_bytes),
+        hotmem_params=hotmem_params,
+    )
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    """The calibrated default cost model."""
+    return CostModel()

@@ -1,0 +1,48 @@
+"""Unit tests for HotMem boot parameters."""
+
+import pytest
+
+from repro.core.config import HotMemBootParams
+from repro.errors import ConfigError
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB
+
+
+class TestValidation:
+    def test_valid_params(self):
+        params = HotMemBootParams(384 * MIB, concurrency=8, shared_bytes=256 * MIB)
+        assert params.partition_blocks == 3
+        assert params.shared_blocks == 2
+
+    def test_misaligned_partition_rejected(self):
+        with pytest.raises(ConfigError):
+            HotMemBootParams(100 * MIB, concurrency=1, shared_bytes=0)
+
+    def test_zero_concurrency_rejected(self):
+        with pytest.raises(ConfigError):
+            HotMemBootParams(384 * MIB, concurrency=0, shared_bytes=0)
+
+    def test_misaligned_shared_rejected(self):
+        with pytest.raises(ConfigError):
+            HotMemBootParams(384 * MIB, concurrency=1, shared_bytes=10 * MIB)
+
+    def test_zero_shared_allowed(self):
+        params = HotMemBootParams(128 * MIB, concurrency=1, shared_bytes=0)
+        assert params.shared_blocks == 0
+
+
+class TestDerived:
+    def test_for_function_rounds_up(self):
+        params = HotMemBootParams.for_function(
+            300 * MIB, concurrency=4, shared_bytes=100 * MIB
+        )
+        assert params.partition_bytes == 384 * MIB  # 3 blocks
+        assert params.shared_bytes == 128 * MIB  # 1 block
+
+    def test_max_hotplug_bytes(self):
+        params = HotMemBootParams(384 * MIB, concurrency=8, shared_bytes=256 * MIB)
+        assert params.max_hotplug_bytes == 8 * 384 * MIB + 256 * MIB
+
+    def test_table1_bert_partition(self):
+        params = HotMemBootParams.for_function(640 * MIB, 10, 256 * MIB)
+        assert params.partition_bytes == 640 * MIB
+        assert params.partition_blocks == 5

@@ -1,0 +1,135 @@
+"""Property-based tests for HotMem invariants.
+
+The central claims of the design, driven through random operation
+sequences:
+
+* *isolation* — a HotMem process's anonymous pages only ever live in its
+  assigned partition's zone;
+* *refcount sanity* — ``partition_users`` equals the number of live
+  memory descriptors linked to the partition;
+* *reclaimability* — a partition with zero users is always empty
+  (unpluggable with zero migrations).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HotMemBootParams
+from repro.core.manager import HotMemManager
+from repro.errors import NoFreePartition, OutOfMemory, PartitionError
+from repro.mm.fault import FaultHandler
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.costs import CostModel
+from repro.sim.engine import Simulator
+from repro.units import GIB, MIB
+
+CONCURRENCY = 3
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("spawn"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("fault"), st.integers(0, 5), st.integers(1, 40000)),
+        st.tuples(st.just("fork"), st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.just("exit"), st.integers(0, 5), st.just(0)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def build():
+    sim = Simulator()
+    manager = GuestMemoryManager(1 * GIB, 4 * GIB)
+    params = HotMemBootParams(
+        384 * MIB, concurrency=CONCURRENCY, shared_bytes=0
+    )
+    hotmem = HotMemManager(sim, manager, params)
+    handler = FaultHandler(manager, CostModel(), oom_killer=None)
+    # Populate every partition (plug everything up front).
+    free = list(manager.hotplug_block_indices())
+    cursor = 0
+    for partition in hotmem.partitions:
+        for _ in range(partition.size_blocks):
+            manager.online_block(free[cursor], partition.zone)
+            cursor += 1
+    return manager, hotmem, handler
+
+
+def check_invariants(manager, hotmem, slots):
+    manager.check_consistency()
+    for partition in hotmem.partitions:
+        linked = [
+            mm
+            for mm in slots.values()
+            if mm is not None and mm.hotmem_partition is partition
+        ]
+        assert partition.partition_users == len(linked)
+        if partition.partition_users == 0:
+            assert partition.zone.is_empty
+        for mm in linked:
+            assert all(b.zone is partition.zone for b in mm.block_pages)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_partition_isolation_and_refcounts(ops):
+    manager, hotmem, handler = build()
+    slots = {i: None for i in range(6)}
+    children = {}  # slot -> parent slot
+
+    for op, slot, arg in ops:
+        mm = slots[slot]
+        if op == "spawn":
+            if mm is None:
+                candidate = MmStruct(f"s{slot}")
+                try:
+                    hotmem.try_attach(candidate)
+                    slots[slot] = candidate
+                except NoFreePartition:
+                    pass
+        elif op == "fault":
+            if mm is not None:
+                try:
+                    handler.fault_anon(mm, arg)
+                except OutOfMemory:
+                    # Partition overflow killed the process: clean it up.
+                    hotmem.process_exit(handler, mm)
+                    slots[slot] = None
+        elif op == "fork":
+            parent = slots[arg]
+            if parent is not None and mm is None and slot != arg:
+                child = MmStruct(f"s{slot}-child")
+                hotmem.fork(parent, child)
+                slots[slot] = child
+        elif op == "exit":
+            if mm is not None:
+                hotmem.process_exit(handler, mm)
+                slots[slot] = None
+        check_invariants(manager, hotmem, slots)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    attach_order=st.permutations(list(range(5))),
+    exits=st.lists(st.integers(0, 4), max_size=5, unique=True),
+)
+def test_attach_exit_cycles_never_leak_partitions(attach_order, exits):
+    manager, hotmem, handler = build()
+    attached = {}
+    for i in attach_order:
+        mm = MmStruct(f"p{i}")
+        try:
+            hotmem.try_attach(mm)
+            attached[i] = mm
+        except NoFreePartition:
+            pass
+    assert len(attached) == CONCURRENCY
+    for i in exits:
+        if i in attached:
+            hotmem.process_exit(handler, attached.pop(i))
+    free = len(hotmem.populated_unassigned())
+    assert free == CONCURRENCY - len(attached)
+    # Every freed partition must be immediately reattachable.
+    for _ in range(free):
+        hotmem.try_attach(MmStruct("reuse"))

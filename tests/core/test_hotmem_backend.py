@@ -1,0 +1,111 @@
+"""Unit tests for the HotMem virtio-mem backend."""
+
+import pytest
+
+from repro.core.backend import HotMemBackend
+from repro.core.config import HotMemBootParams
+from repro.core.manager import HotMemManager
+from repro.errors import HotplugError, OfflineFailed
+from repro.mm.fault import FaultHandler
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.costs import CostModel, ZeroingMode
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def setup(sim):
+    manager = GuestMemoryManager(1 * GIB, 4 * GIB)
+    params = HotMemBootParams(384 * MIB, concurrency=3, shared_bytes=128 * MIB)
+    hotmem = HotMemManager(sim, manager, params)
+    backend = HotMemBackend(hotmem)
+    return manager, hotmem, backend
+
+
+def plug_blocks(manager, backend, count):
+    placement = backend.zones_for_plug(count)
+    free = [
+        i
+        for i in manager.hotplug_block_indices()
+        if manager.blocks[i].state.value == "absent"
+    ]
+    cursor = 0
+    for zone, n in placement:
+        for _ in range(n):
+            block = manager.online_block(free[cursor], zone)
+            backend.on_block_plugged(block)
+            cursor += 1
+
+
+class TestPlugPolicy:
+    def test_plug_fills_lowest_partition_first(self, setup):
+        manager, hotmem, backend = setup
+        placement = backend.zones_for_plug(3)
+        assert placement == [(hotmem.partitions[0].zone, 3)]
+
+    def test_plug_spans_partitions(self, setup):
+        manager, hotmem, backend = setup
+        placement = backend.zones_for_plug(5)
+        assert placement == [
+            (hotmem.partitions[0].zone, 3),
+            (hotmem.partitions[1].zone, 2),
+        ]
+
+    def test_plug_beyond_concurrency_rejected(self, setup):
+        _, _, backend = setup
+        with pytest.raises(HotplugError):
+            backend.zones_for_plug(10)
+
+    def test_plug_never_zeroes(self, setup):
+        _, _, backend = setup
+        assert backend.plug_zero_pages_per_block() == 0
+
+    def test_plug_completion_tracked_per_partition(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 3)
+        assert hotmem.partitions[0].is_fully_populated
+        first_index = next(iter(manager.hotplug_block_indices()))
+        assert backend.partition_of_block(first_index) is hotmem.partitions[0]
+
+
+class TestUnplugPolicy:
+    def test_plan_only_reclaimable_partitions(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 6)  # partitions 0 and 1
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)  # occupies partition 0
+        plan = backend.plan_unplug(6)
+        zone1 = hotmem.partitions[1].zone
+        assert len(plan) == 3
+        assert all(entry.block.zone is zone1 for entry in plan)
+
+    def test_plan_has_no_scan_cost(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 3)
+        plan = backend.plan_unplug(3)
+        assert all(entry.scanned_blocks == 0 for entry in plan)
+
+    def test_no_migration_ever(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 3)
+        block = hotmem.partitions[0].zone.blocks[0]
+        assert backend.migrate_for_unplug(block) == 0
+
+    def test_occupied_block_violates_invariant(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 3)
+        mm = MmStruct("fn")
+        zone = hotmem.partitions[0].zone
+        zone.allocate(mm, 10)
+        with pytest.raises(OfflineFailed):
+            backend.migrate_for_unplug(zone.blocks[0])
+
+    def test_no_zeroing_on_unplug(self, setup):
+        _, _, backend = setup
+        assert backend.unplug_zero_pages(0) == 0
+
+    def test_plan_empty_when_everything_busy(self, setup):
+        manager, hotmem, backend = setup
+        plug_blocks(manager, backend, 3)
+        hotmem.try_attach(MmStruct("fn"))
+        assert backend.plan_unplug(3) == []

@@ -1,0 +1,229 @@
+"""Unit tests for the HotMem manager (syscall interface + waitqueue)."""
+
+import pytest
+
+from repro.core.config import HotMemBootParams
+from repro.core.manager import HotMemManager
+from repro.errors import NoFreePartition, PartitionError
+from repro.mm.fault import FaultHandler
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.costs import CostModel
+from repro.sim.engine import Simulator
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def setup(sim):
+    manager = GuestMemoryManager(1 * GIB, 4 * GIB)
+    params = HotMemBootParams(384 * MIB, concurrency=3, shared_bytes=128 * MIB)
+    hotmem = HotMemManager(sim, manager, params)
+    handler = FaultHandler(
+        manager,
+        CostModel(),
+        shared_file_zones=hotmem.file_mapping_zones(),
+    )
+    return sim, manager, hotmem, handler
+
+
+def populate_partition(manager, partition):
+    free = [
+        i
+        for i in manager.hotplug_block_indices()
+        if manager.blocks[i].state.value == "absent"
+    ]
+    for index in free[: partition.missing_blocks]:
+        manager.online_block(index, partition.zone)
+
+
+class TestBootState:
+    def test_partition_table_created(self, setup):
+        _, _, hotmem, _ = setup
+        assert len(hotmem.partitions) == 3
+        assert hotmem.shared_partition is not None
+        assert hotmem.shared_partition.shared
+
+    def test_zones_registered_with_mm(self, setup):
+        _, manager, hotmem, _ = setup
+        for partition in hotmem.partitions:
+            assert partition.zone.name in manager.zones
+
+    def test_no_shared_partition_when_zero_bytes(self, sim):
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        params = HotMemBootParams(128 * MIB, concurrency=2, shared_bytes=0)
+        hotmem = HotMemManager(sim, manager, params)
+        assert hotmem.shared_partition is None
+
+    def test_file_mapping_zones_fall_back_to_normal(self, setup):
+        _, manager, hotmem, _ = setup
+        zones = hotmem.file_mapping_zones()
+        assert zones[0] is hotmem.shared_partition.zone
+        assert zones[-1] is manager.zone_normal
+
+
+class TestTryAttach:
+    def test_attach_fails_with_no_populated_partition(self, setup):
+        _, _, hotmem, _ = setup
+        with pytest.raises(NoFreePartition):
+            hotmem.try_attach(MmStruct("fn"))
+
+    def test_attach_takes_lowest_populated(self, setup):
+        _, manager, hotmem, _ = setup
+        populate_partition(manager, hotmem.partitions[1])
+        populate_partition(manager, hotmem.partitions[0])
+        partition = hotmem.try_attach(MmStruct("fn"))
+        assert partition.partition_id == 0
+
+    def test_double_attach_rejected(self, setup):
+        _, manager, hotmem, _ = setup
+        populate_partition(manager, hotmem.partitions[0])
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)
+        with pytest.raises(PartitionError):
+            hotmem.try_attach(mm)
+
+    def test_concurrency_limit_enforced(self, setup):
+        _, manager, hotmem, _ = setup
+        for partition in hotmem.partitions:
+            populate_partition(manager, partition)
+        for i in range(3):
+            hotmem.try_attach(MmStruct(f"fn{i}"))
+        with pytest.raises(NoFreePartition):
+            hotmem.try_attach(MmStruct("fn3"))
+
+
+class TestBlockingAttach:
+    def test_attach_wakes_on_release(self, setup):
+        sim, manager, hotmem, handler = setup
+        populate_partition(manager, hotmem.partitions[0])
+        first = MmStruct("first")
+        hotmem.try_attach(first)
+        handler.fault_anon(first, 100)
+
+        def waiter():
+            partition = yield from hotmem.attach(MmStruct("second"))
+            return partition.partition_id
+
+        process = sim.spawn(waiter())
+        sim.run()
+        assert not process.finished
+        assert hotmem.waitqueue_depth == 1
+        hotmem.process_exit(handler, first)
+        sim.run()
+        assert process.finished
+        assert process.value == 0
+
+    def test_attach_wakes_on_plug_completion(self, setup):
+        sim, manager, hotmem, handler = setup
+
+        def waiter():
+            partition = yield from hotmem.attach(MmStruct("fn"))
+            return partition.partition_id
+
+        process = sim.spawn(waiter())
+        sim.run()
+        assert not process.finished
+        partition = hotmem.partitions[0]
+        populate_partition(manager, partition)
+        hotmem.on_block_plugged(partition)
+        sim.run()
+        assert process.finished
+
+    def test_waiters_fifo(self, setup):
+        sim, manager, hotmem, handler = setup
+        order = []
+
+        def waiter(tag):
+            yield from hotmem.attach(MmStruct(tag))
+            order.append(tag)
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.run()
+        partition = hotmem.partitions[0]
+        populate_partition(manager, partition)
+        hotmem.on_block_plugged(partition)
+        sim.run()
+        assert order == ["a"]  # only one partition became available
+
+    def test_kick_wakes_one_waiter_per_partition(self, setup):
+        sim, manager, hotmem, handler = setup
+        finished = []
+
+        def waiter(tag):
+            yield from hotmem.attach(MmStruct(tag))
+            finished.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(waiter(tag))
+        sim.run()
+        for partition in hotmem.partitions[:2]:
+            populate_partition(manager, partition)
+            hotmem.on_block_plugged(partition)
+        sim.run()
+        assert finished == ["a", "b"]
+        assert hotmem.waitqueue_depth == 1
+
+
+class TestForkAndExit:
+    def test_fork_colocates_child(self, setup):
+        _, manager, hotmem, _ = setup
+        populate_partition(manager, hotmem.partitions[0])
+        parent, child = MmStruct("p"), MmStruct("c")
+        partition = hotmem.try_attach(parent)
+        hotmem.fork(parent, child)
+        assert child.hotmem_partition is partition
+        assert partition.partition_users == 2
+
+    def test_fork_from_non_hotmem_parent_rejected(self, setup):
+        _, _, hotmem, _ = setup
+        with pytest.raises(PartitionError):
+            hotmem.fork(MmStruct("p"), MmStruct("c"))
+
+    def test_exit_frees_pages_and_releases_partition(self, setup):
+        _, manager, hotmem, handler = setup
+        populate_partition(manager, hotmem.partitions[0])
+        mm = MmStruct("fn")
+        partition = hotmem.try_attach(mm)
+        handler.fault_anon(mm, 5000)
+        hotmem.process_exit(handler, mm)
+        assert mm.total_pages == 0
+        assert partition.partition_users == 0
+        assert partition.is_reclaimable
+
+    def test_exit_of_non_hotmem_process_rejected(self, setup):
+        _, _, hotmem, handler = setup
+        with pytest.raises(PartitionError):
+            hotmem.process_exit(handler, MmStruct("plain"))
+
+    def test_partition_reusable_without_replug(self, setup):
+        """The rapid-reuse path: a released partition serves the next
+        instance with zero plug work."""
+        _, manager, hotmem, handler = setup
+        populate_partition(manager, hotmem.partitions[0])
+        first = MmStruct("first")
+        hotmem.try_attach(first)
+        handler.fault_anon(first, 1000)
+        hotmem.process_exit(handler, first)
+        second = MmStruct("second")
+        partition = hotmem.try_attach(second)
+        assert partition.partition_id == 0
+        handler.fault_anon(second, 1000)
+        assert second.total_pages == 1000
+
+
+class TestReclaimable:
+    def test_reclaimable_lists_only_free_populated(self, setup):
+        _, manager, hotmem, handler = setup
+        populate_partition(manager, hotmem.partitions[0])
+        populate_partition(manager, hotmem.partitions[1])
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)  # takes partition 0
+        reclaimable = hotmem.reclaimable_partitions()
+        assert [p.partition_id for p in reclaimable] == [1]
+
+    def test_partitions_needing_population_ordered(self, setup):
+        _, manager, hotmem, _ = setup
+        populate_partition(manager, hotmem.partitions[1])
+        needing = hotmem.partitions_needing_population()
+        assert [p.partition_id for p in needing] == [0, 2]

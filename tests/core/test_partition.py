@@ -1,0 +1,146 @@
+"""Unit tests for HotMem partitions (state machine + refcounting)."""
+
+import pytest
+
+from repro.core.partition import HotMemPartition, PartitionState
+from repro.errors import PartitionBusy, PartitionError
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.mm_struct import MmStruct
+from repro.units import PAGES_PER_BLOCK
+
+
+def populate(partition):
+    for i in range(partition.size_blocks):
+        block = MemoryBlock(i)
+        block.state = BlockState.ONLINE
+        block.free_pages = PAGES_PER_BLOCK
+        partition.zone.add_block(block)
+
+
+@pytest.fixture
+def partition():
+    return HotMemPartition(0, size_blocks=3)
+
+
+class TestStates:
+    def test_starts_empty(self, partition):
+        assert partition.state is PartitionState.EMPTY
+        assert partition.missing_blocks == 3
+        assert not partition.is_reclaimable
+
+    def test_populated_after_blocks_arrive(self, partition):
+        populate(partition)
+        assert partition.state is PartitionState.POPULATED
+        assert partition.is_fully_populated
+        assert partition.is_reclaimable
+
+    def test_assigned_after_attach(self, partition):
+        populate(partition)
+        partition.assign(MmStruct("fn"))
+        assert partition.state is PartitionState.ASSIGNED
+        assert not partition.is_reclaimable
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(PartitionError):
+            HotMemPartition(0, size_blocks=0)
+
+
+class TestAssignment:
+    def test_assign_links_mm(self, partition):
+        populate(partition)
+        mm = MmStruct("fn")
+        partition.assign(mm)
+        assert mm.hotmem_partition is partition
+        assert partition.partition_users == 1
+        assert partition.assigned_to is mm
+
+    def test_assign_empty_partition_rejected(self, partition):
+        with pytest.raises(PartitionError):
+            partition.assign(MmStruct("fn"))
+
+    def test_assign_partially_populated_rejected(self, partition):
+        block = MemoryBlock(0)
+        block.state = BlockState.ONLINE
+        block.free_pages = PAGES_PER_BLOCK
+        partition.zone.add_block(block)
+        with pytest.raises(PartitionError):
+            partition.assign(MmStruct("fn"))
+
+    def test_double_assignment_rejected(self, partition):
+        populate(partition)
+        partition.assign(MmStruct("a"))
+        with pytest.raises(PartitionError):
+            partition.assign(MmStruct("b"))
+
+    def test_shared_partition_not_assignable(self):
+        shared = HotMemPartition(9, size_blocks=1, shared=True)
+        populate(shared)
+        with pytest.raises(PartitionError):
+            shared.assign(MmStruct("fn"))
+
+    def test_shared_partition_never_reclaimable(self):
+        shared = HotMemPartition(9, size_blocks=1, shared=True)
+        populate(shared)
+        assert not shared.is_reclaimable
+
+
+class TestForkRefcounting:
+    def test_fork_increments_users(self, partition):
+        populate(partition)
+        parent, child = MmStruct("p"), MmStruct("c")
+        partition.assign(parent)
+        partition.add_user(child)
+        assert partition.partition_users == 2
+        assert child.hotmem_partition is partition
+
+    def test_add_user_without_assignment_rejected(self, partition):
+        populate(partition)
+        with pytest.raises(PartitionError):
+            partition.add_user(MmStruct("c"))
+
+    def test_partition_released_only_after_last_exit(self, partition):
+        populate(partition)
+        parent, child = MmStruct("p"), MmStruct("c")
+        partition.assign(parent)
+        partition.add_user(child)
+        assert partition.drop_user(child) is False
+        assert partition.state is PartitionState.ASSIGNED
+        assert partition.drop_user(parent) is True
+        assert partition.state is PartitionState.POPULATED
+
+    def test_drop_foreign_mm_rejected(self, partition):
+        populate(partition)
+        partition.assign(MmStruct("p"))
+        with pytest.raises(PartitionError):
+            partition.drop_user(MmStruct("other"))
+
+    def test_drop_without_users_rejected(self, partition):
+        populate(partition)
+        mm = MmStruct("p")
+        partition.assign(mm)
+        partition.drop_user(mm)
+        with pytest.raises(PartitionError):
+            partition.drop_user(mm)
+
+
+class TestReleaseInvariant:
+    def test_last_drop_with_occupied_pages_rejected(self, partition):
+        populate(partition)
+        mm = MmStruct("p")
+        partition.assign(mm)
+        partition.zone.allocate(mm, 100)
+        with pytest.raises(PartitionBusy):
+            partition.drop_user(mm)
+        # State unchanged so the caller can free pages and retry.
+        assert partition.partition_users == 1
+        assert mm.hotmem_partition is partition
+
+    def test_drop_after_freeing_succeeds(self, partition):
+        populate(partition)
+        mm = MmStruct("p")
+        partition.assign(mm)
+        plan = partition.zone.allocate(mm, 100)
+        for block, pages in plan.items():
+            partition.zone.release(mm, block, pages)
+        assert partition.drop_user(mm) is True
+        assert partition.is_reclaimable

@@ -1,0 +1,36 @@
+"""Unit tests for the experiment CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Bert" in out and "[table1:" in out
+
+
+def test_fig6_runs_and_renders(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "vanilla_ms" in out and "hotmem_ms" in out
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_every_experiment_has_a_description(name):
+    description, runner = EXPERIMENTS[name]
+    assert description
+    assert callable(runner)

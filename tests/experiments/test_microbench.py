@@ -1,0 +1,106 @@
+"""Unit tests for the microbenchmark harness."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
+from repro.units import MIB
+
+
+class TestSetupValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            MicrobenchSetup(mode="x", total_bytes=384 * MIB, partition_bytes=384 * MIB)
+
+    def test_total_must_be_multiple_of_partition(self):
+        with pytest.raises(ConfigError):
+            MicrobenchSetup(
+                mode="vanilla", total_bytes=500 * MIB, partition_bytes=384 * MIB
+            )
+
+    def test_partition_must_be_block_aligned(self):
+        with pytest.raises(ConfigError):
+            MicrobenchSetup(
+                mode="vanilla", total_bytes=400 * MIB, partition_bytes=200 * MIB
+            )
+
+    def test_usage_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            MicrobenchSetup(
+                mode="vanilla",
+                total_bytes=384 * MIB,
+                partition_bytes=384 * MIB,
+                usage_fraction=0.0,
+            )
+
+    def test_slots_derived(self):
+        setup = MicrobenchSetup(
+            mode="vanilla", total_bytes=1536 * MIB, partition_bytes=384 * MIB
+        )
+        assert setup.slots == 4
+
+
+class TestSingleReclaim:
+    def test_misaligned_reclaim_rejected(self):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode="vanilla", total_bytes=768 * MIB, partition_bytes=384 * MIB
+            )
+        )
+        with pytest.raises(ConfigError):
+            rig.run_single_reclaim(100 * MIB)
+
+    def test_reclaim_beyond_total_rejected(self):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode="vanilla", total_bytes=384 * MIB, partition_bytes=384 * MIB
+            )
+        )
+        with pytest.raises(ConfigError):
+            rig.run_single_reclaim(768 * MIB)
+
+    @pytest.mark.parametrize("mode", ["vanilla", "hotmem"])
+    def test_reclaim_fully_succeeds(self, mode):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode=mode, total_bytes=1536 * MIB, partition_bytes=384 * MIB
+            )
+        )
+        measurement = rig.run_single_reclaim(384 * MIB)
+        assert measurement.fully_reclaimed
+        assert measurement.latency_ns > 0
+        rig.vm.check_consistency()
+
+    def test_hotmem_reclaim_never_migrates(self):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode="hotmem", total_bytes=1536 * MIB, partition_bytes=384 * MIB
+            )
+        )
+        measurement = rig.run_single_reclaim(768 * MIB)
+        assert measurement.migrated_pages == 0
+
+    def test_vanilla_reclaim_migrates_under_load(self):
+        rig = MicrobenchRig(
+            MicrobenchSetup(
+                mode="vanilla", total_bytes=1536 * MIB, partition_bytes=384 * MIB
+            )
+        )
+        measurement = rig.run_single_reclaim(384 * MIB)
+        assert measurement.migrated_pages > 0
+
+    def test_deterministic_for_fixed_seed(self):
+        def measure():
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode="vanilla",
+                    total_bytes=1536 * MIB,
+                    partition_bytes=384 * MIB,
+                    seed=5,
+                )
+            )
+            return rig.run_single_reclaim(384 * MIB)
+
+        first, second = measure(), measure()
+        assert first.latency_ns == second.latency_ns
+        assert first.migrated_pages == second.migrated_pages

@@ -1,0 +1,140 @@
+"""Unit tests for experiment result containers (synthetic data, no runs)."""
+
+import pytest
+
+from repro.experiments import fig5_unplug_latency as fig5
+from repro.experiments import fig6_usage_sweep as fig6
+from repro.experiments import fig7_cpu_usage as fig7
+from repro.experiments import fig8_reclaim_throughput as fig8
+from repro.experiments import fig9_p99_latency as fig9
+from repro.experiments import fig10_interference as fig10
+from repro.experiments.baselines_comparison import (
+    BaselinesConfig,
+    BaselinesResult,
+    MechanismRow,
+)
+from repro.units import GIB, MIB
+
+
+class TestFig5Result:
+    @pytest.fixture
+    def result(self):
+        config = fig5.Fig5Config(reclaim_sizes=(384 * MIB, 768 * MIB), trials=1)
+        result = fig5.Fig5Result(config)
+        result.latency_ms[384 * MIB] = {"vanilla": 1000.0, "hotmem": 50.0}
+        result.latency_ms[768 * MIB] = {"vanilla": 2000.0, "hotmem": 80.0}
+        result.migrated_pages[384 * MIB] = {"vanilla": 5000, "hotmem": 0}
+        result.migrated_pages[768 * MIB] = {"vanilla": 9000, "hotmem": 0}
+        return result
+
+    def test_speedup(self, result):
+        assert result.speedup(384 * MIB) == 20.0
+        assert result.speedup(768 * MIB) == 25.0
+
+    def test_rows_one_per_size(self, result):
+        rows = result.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "384MiB"
+        assert rows[0][3] == "20.0x"
+
+    def test_render_contains_title_and_sizes(self, result):
+        text = result.render()
+        assert "Figure 5" in text
+        assert "768MiB" in text
+
+
+class TestFig6Result:
+    @pytest.fixture
+    def result(self):
+        config = fig6.Fig6Config(usage_fractions=(0.1, 0.9))
+        result = fig6.Fig6Result(config)
+        result.latency_ms[0.1] = {"vanilla": 500.0, "hotmem": 100.0}
+        result.latency_ms[0.9] = {"vanilla": 4000.0, "hotmem": 104.0}
+        result.migrated_pages[0.1] = {"vanilla": 100, "hotmem": 0}
+        result.migrated_pages[0.9] = {"vanilla": 900, "hotmem": 0}
+        return result
+
+    def test_trend_and_spread(self, result):
+        assert result.vanilla_trend_ratio() == 8.0
+        assert result.hotmem_spread_ratio() == pytest.approx(1.04)
+
+    def test_render_percent_labels(self, result):
+        assert "10%" in result.render()
+        assert "90%" in result.render()
+
+
+class TestFig7Result:
+    @pytest.fixture
+    def result(self):
+        config = fig7.Fig7Config(steps=2)
+        result = fig7.Fig7Result(config)
+        result.cpu_series["vanilla"] = [(1.0, 2.0), (3.0, 5.0)]
+        result.cpu_series["hotmem"] = [(0.5, 0.1), (1.0, 0.2)]
+        result.duration_s = {"vanilla": 3.0, "hotmem": 1.0}
+        return result
+
+    def test_totals_and_ratio(self, result):
+        assert result.total_cpu_s("vanilla") == 5.0
+        assert result.total_cpu_s("hotmem") == 0.2
+        assert result.cpu_ratio() == 25.0
+
+    def test_rows_pair_the_series(self, result):
+        rows = result.rows()
+        assert rows[0] == [1, 1.0, 2.0, 0.5, 0.1]
+
+
+class TestFig8Result:
+    def test_speedup(self):
+        result = fig8.Fig8Result(fig8.Fig8Config(functions=("cnn",)))
+        result.throughput["cnn"] = {"vanilla": 1000.0, "hotmem": 7000.0}
+        result.reclaimed_mib["cnn"] = {"vanilla": 100.0, "hotmem": 100.0}
+        assert result.speedup("cnn") == 7.0
+        assert "7.0x" in result.render()
+
+
+class TestFig9Result:
+    def test_elasticity_overhead(self):
+        result = fig9.Fig9Result(fig9.Fig9Config(functions=("bert",)))
+        result.p99["bert"] = {
+            "hotmem": 110.0,
+            "vanilla": 112.0,
+            "overprovisioned": 100.0,
+        }
+        result.plug_ms["bert"] = {"hotmem": 30.0, "vanilla": 31.0}
+        assert result.elasticity_overhead("bert", "hotmem") == pytest.approx(1.1)
+        assert "bert" in result.render()
+
+
+class TestFig10Result:
+    def test_series_rows_thin_and_skip_nan(self):
+        import math
+
+        result = fig10.Fig10Result(fig10.Fig10Config())
+        result.cnn_series["vanilla"] = [
+            (0, 100.0),
+            (5, math.nan),
+            (10, 200.0),
+            (15, 300.0),
+            (20, math.nan),
+        ]
+        rows = result.series_rows("vanilla", every=10)
+        assert rows == [[0, 100.0], [10, 200.0]]
+
+    def test_interference_gap(self):
+        result = fig10.Fig10Result(fig10.Fig10Config())
+        result.window_mean = {"vanilla": 1.8, "hotmem": 1.2}
+        assert result.interference_gap() == pytest.approx(1.5)
+
+
+class TestBaselinesResult:
+    def test_speedup_and_fraction(self):
+        result = BaselinesResult(BaselinesConfig())
+        result.by_mechanism["hotmem"] = MechanismRow(
+            "hotmem", 50.0, 1 * GIB, 1 * GIB
+        )
+        result.by_mechanism["virtio-mem"] = MechanismRow(
+            "virtio-mem", 2500.0, 1 * GIB, 1 * GIB, migrated_pages=1000
+        )
+        assert result.speedup_over("virtio-mem") == 50.0
+        row = result.by_mechanism["virtio-mem"]
+        assert row.reclaimed_fraction == 1.0

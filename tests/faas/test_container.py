@@ -1,0 +1,137 @@
+"""Unit tests for containers."""
+
+import pytest
+
+from repro.errors import FaasError, OutOfMemory
+from repro.faas.container import Container, ContainerState
+from repro.mm.pagecache import CachedFile
+from repro.units import MIB
+from repro.workloads.functions import get_function
+
+
+@pytest.fixture
+def spec():
+    return get_function("cnn")
+
+
+@pytest.fixture
+def deps(vanilla_vm, spec):
+    file = CachedFile("cnn-deps", spec.shared_deps_bytes // 4096)
+    return vanilla_vm.page_cache.register(file)
+
+
+def make_container(vm, spec, deps, vcpu=0):
+    return Container(vm, spec, deps, vcpu_index=vcpu)
+
+
+class TestColdStart:
+    def test_cold_start_faults_footprint(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        assert container.state is ContainerState.IDLE
+        assert container.mm.anon_pages == spec.anon_footprint_pages
+        assert container.mm.mapped_file_pages == deps.size_pages
+
+    def test_cold_start_takes_time(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        start = sim.now
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        assert sim.now - start >= spec.cold_start_cpu_ns
+
+    def test_double_cold_start_rejected(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        with pytest.raises(FaasError):
+            sim.run_process(container.cold_start())
+
+    def test_cold_start_oom_cleans_up(self, sim, vanilla_vm, spec, deps):
+        # No plug: boot memory alone cannot hold the footprint after the
+        # kernel's share... it actually can, so shrink the guest instead by
+        # occupying boot memory.
+        hog = vanilla_vm.new_process("hog")
+        vanilla_vm.fault_handler.fault_anon(
+            hog, vanilla_vm.manager.free_pages_total - 1000
+        )
+        container = make_container(vanilla_vm, spec, deps)
+        process = sim.spawn(container.cold_start())
+        with pytest.raises(OutOfMemory):
+            sim.run()
+        assert container.state is ContainerState.DEAD
+        assert container.mm.total_pages == 0
+
+    def test_hotmem_cold_start_attaches(self, sim, hotmem_vm, spec):
+        deps = hotmem_vm.page_cache.register(CachedFile("deps", 100))
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        container = make_container(hotmem_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        assert container.mm.hotmem_partition is not None
+
+
+class TestInvoke:
+    @pytest.fixture
+    def warm(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        return container
+
+    def test_invoke_consumes_exec_time(self, sim, warm, spec):
+        start = sim.now
+        sim.run_process(warm.invoke())
+        assert sim.now - start >= spec.exec_cpu_ns
+        assert warm.invocations == 1
+        assert warm.state is ContainerState.IDLE
+
+    def test_invoke_churn_leaves_footprint_stable(self, sim, warm, spec):
+        before = warm.mm.anon_pages
+        sim.run_process(warm.invoke())
+        assert warm.mm.anon_pages == before
+
+    def test_invoke_busy_container_rejected(self, sim, warm):
+        process = sim.spawn(warm.invoke())
+        assert warm.state is ContainerState.BUSY or not process.finished
+        with pytest.raises(FaasError):
+            sim.run_process(warm.invoke())
+
+    def test_idle_timestamps_updated(self, sim, warm):
+        sim.run_process(warm.invoke())
+        assert warm.idle_since_ns == sim.now
+        assert warm.idle_for_ns(sim.now + 100) == 100
+
+
+class TestTeardown:
+    def test_teardown_frees_private_memory(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        cache_pages = vanilla_vm.page_cache.total_pages
+        sim.run_process(container.teardown())
+        assert container.state is ContainerState.DEAD
+        assert container.mm.total_pages == 0
+        # Shared dependency pages survive in the cache (the N:1 benefit).
+        assert vanilla_vm.page_cache.total_pages == cache_pages
+
+    def test_teardown_busy_rejected(self, sim, vanilla_vm, spec, deps):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec, deps)
+        sim.run_process(container.cold_start())
+        sim.spawn(container.invoke())
+        sim.step()
+        with pytest.raises(FaasError):
+            sim.run_process(container.teardown())
+
+    def test_destroy_after_oom_idempotent(self, sim, vanilla_vm, spec, deps):
+        container = make_container(vanilla_vm, spec, deps)
+        container.destroy_after_oom()
+        container.destroy_after_oom()
+        assert container.state is ContainerState.DEAD

@@ -1,0 +1,92 @@
+"""Tests for multi-process function instances (the fork/clone path)."""
+
+import pytest
+
+from repro.faas.container import Container, ContainerState
+from repro.mm.pagecache import CachedFile
+from repro.units import MIB
+from repro.workloads.functions import get_function
+
+
+@pytest.fixture
+def spec():
+    return get_function("cnn").with_workers(3)
+
+
+def make_container(vm, spec):
+    deps = vm.page_cache.register(CachedFile("deps", 1000))
+    return Container(vm, spec, deps, vcpu_index=0)
+
+
+class TestSpec:
+    def test_with_workers_copies(self, spec):
+        base = get_function("cnn")
+        assert base.worker_processes == 1
+        assert spec.worker_processes == 3
+        assert spec.memory_limit_bytes == base.memory_limit_bytes
+
+    def test_zero_workers_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            get_function("cnn").with_workers(0)
+
+
+class TestVanillaMultiprocess:
+    def test_footprint_split_across_processes(self, sim, vanilla_vm, spec):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec)
+        sim.run_process(container.cold_start())
+        assert len(container.worker_mms) == 2
+        total = container.mm.anon_pages + sum(
+            w.anon_pages for w in container.worker_mms
+        )
+        assert total == spec.anon_footprint_pages
+
+    def test_teardown_frees_all_processes(self, sim, vanilla_vm, spec):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        container = make_container(vanilla_vm, spec)
+        sim.run_process(container.cold_start())
+        workers = list(container.worker_mms)
+        sim.run_process(container.teardown())
+        assert container.mm.total_pages == 0
+        assert all(w.total_pages == 0 for w in workers)
+
+
+class TestHotMemMultiprocess:
+    def test_workers_share_the_partition(self, sim, hotmem_vm, spec):
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        container = make_container(hotmem_vm, spec)
+        sim.run_process(container.cold_start())
+        partition = container.mm.hotmem_partition
+        assert partition.partition_users == 3
+        for worker in container.worker_mms:
+            assert worker.hotmem_partition is partition
+            assert all(b.zone is partition.zone for b in worker.block_pages)
+
+    def test_partition_released_after_all_exit(self, sim, hotmem_vm, spec):
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        container = make_container(hotmem_vm, spec)
+        sim.run_process(container.cold_start())
+        partition = container.mm.hotmem_partition
+        sim.run_process(container.teardown())
+        assert partition.partition_users == 0
+        assert partition.is_reclaimable
+        hotmem_vm.check_consistency()
+
+    def test_unplug_after_multiprocess_recycle_is_migration_free(
+        self, sim, hotmem_vm, spec
+    ):
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        container = make_container(hotmem_vm, spec)
+        sim.run_process(container.cold_start())
+        sim.run_process(container.teardown())
+        process = hotmem_vm.request_unplug(384 * MIB)
+        sim.run()
+        assert process.value.migrated_pages == 0
+        assert process.value.unplugged_bytes == 384 * MIB

@@ -1,0 +1,16 @@
+"""Unit tests for invocation records."""
+
+from repro.faas.records import InvocationRecord
+
+
+def test_latency_is_end_to_end():
+    record = InvocationRecord("f", arrival_ns=100, start_ns=150, end_ns=400,
+                              cold=False, ok=True)
+    assert record.latency_ns == 300
+    assert record.queue_ns == 50
+
+
+def test_failed_record_carries_error():
+    record = InvocationRecord("f", 0, 0, 0, cold=True, ok=False, error="oom")
+    assert not record.ok
+    assert record.error == "oom"

@@ -1,0 +1,48 @@
+"""Unit tests for cpuacct-style accounting groups."""
+
+from repro.host.cgroup import CpuAccountingGroup
+from repro.sim.cpu import CpuCore
+from repro.units import MS
+
+
+def test_usage_sums_matching_prefixes(sim):
+    core = CpuCore(sim)
+    core.submit(5 * MS, "virtio-mem")
+    core.submit(3 * MS, "fn:cnn")
+    sim.run()
+    group = CpuAccountingGroup([core], ["virtio-mem"])
+    assert group.usage_ns() == 5 * MS
+
+
+def test_usage_across_cores(sim):
+    cores = [CpuCore(sim, name=f"c{i}") for i in range(3)]
+    for core in cores:
+        core.submit(2 * MS, "virtio-mem")
+    sim.run()
+    group = CpuAccountingGroup(cores, ["virtio-mem"])
+    assert group.usage_ns() == 6 * MS
+
+
+def test_multiple_prefixes(sim):
+    core = CpuCore(sim)
+    core.submit(1 * MS, "a:1")
+    core.submit(2 * MS, "b:1")
+    core.submit(4 * MS, "c:1")
+    sim.run()
+    group = CpuAccountingGroup([core], ["a:", "c:"])
+    assert group.usage_ns() == 5 * MS
+
+
+def test_samples_accumulate(sim):
+    core = CpuCore(sim)
+    group = CpuAccountingGroup([core], [""])
+    group.sample(sim.now)
+    core.submit(1 * MS, "x")
+    sim.run()
+    group.sample(sim.now)
+    assert group.samples == [(0, 0), (1 * MS, 1 * MS)]
+
+
+def test_empty_group_reports_zero(sim):
+    group = CpuAccountingGroup([], ["x"])
+    assert group.usage_ns() == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the host machine model."""
+
+import pytest
+
+from repro.errors import ConfigError, OutOfMemory
+from repro.host.machine import HostMachine, NumaNode
+from repro.units import GIB
+
+
+class TestNumaNode:
+    def test_invalid_configuration_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            NumaNode(sim, 0, cores=0, memory_bytes=GIB)
+        with pytest.raises(ConfigError):
+            NumaNode(sim, 0, cores=4, memory_bytes=0)
+
+    def test_charge_and_discharge(self, sim):
+        node = NumaNode(sim, 0, cores=2, memory_bytes=4 * GIB)
+        node.charge(GIB)
+        assert node.used_bytes == GIB
+        assert node.free_bytes == 3 * GIB
+        node.discharge(GIB)
+        assert node.used_bytes == 0
+
+    def test_overcharge_raises_oom(self, sim):
+        node = NumaNode(sim, 0, cores=2, memory_bytes=GIB)
+        with pytest.raises(OutOfMemory):
+            node.charge(2 * GIB)
+
+    def test_failed_charge_leaves_state_untouched(self, sim):
+        node = NumaNode(sim, 0, cores=2, memory_bytes=GIB)
+        node.charge(GIB // 2)
+        with pytest.raises(OutOfMemory):
+            node.charge(GIB)
+        assert node.used_bytes == GIB // 2
+
+    def test_over_discharge_rejected(self, sim):
+        node = NumaNode(sim, 0, cores=2, memory_bytes=GIB)
+        with pytest.raises(ConfigError):
+            node.discharge(1)
+
+    def test_negative_charge_rejected(self, sim):
+        node = NumaNode(sim, 0, cores=2, memory_bytes=GIB)
+        with pytest.raises(ConfigError):
+            node.charge(-1)
+
+    def test_cores_are_named_by_node(self, sim):
+        node = NumaNode(sim, 1, cores=2, memory_bytes=GIB)
+        assert [c.name for c in node.cores] == ["node1-cpu0", "node1-cpu1"]
+
+
+class TestHostMachine:
+    def test_paper_defaults(self, host):
+        assert len(host.nodes) == 2
+        assert len(host.node(0).cores) == 10
+        assert host.node(0).memory_bytes == 128 * GIB
+        assert host.total_memory_bytes == 256 * GIB
+
+    def test_total_used_aggregates_nodes(self, host):
+        host.node(0).charge(GIB)
+        host.node(1).charge(2 * GIB)
+        assert host.total_used_bytes == 3 * GIB
+
+    def test_core_accounting_table_covers_all_cores(self, sim, host):
+        host.node(0).cores[0].submit(1000, "x")
+        sim.run()
+        table = host.core_accounting()
+        assert len(table) == 20
+        assert table["node0-cpu0"] == {"x": 1000}

@@ -1,0 +1,39 @@
+"""Integration test: Figure 2 quantified (interleaving after an exit)."""
+
+import pytest
+
+from repro.experiments import fig2_interleaving as fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2.run()
+
+
+def test_scatter_interleaves_everything(result):
+    report = result.reports["scatter"]
+    assert report.fully_free_blocks == 0
+    # Every occupied block holds most of the surviving instances.
+    assert report.mean_owners_per_block >= result.config.instances - 2
+
+
+def test_hotmem_isolates_every_instance(result):
+    report = result.reports["hotmem"]
+    assert report.max_owners_per_block == 1
+
+
+def test_hotmem_frees_the_exited_partition(result):
+    slot_blocks = result.config.slot_bytes // (128 * 1024 * 1024)
+    assert result.reports["hotmem"].fully_free_blocks >= slot_blocks
+
+
+def test_migration_cost_only_for_interleaved_allocators(result):
+    assert result.migration_pages["hotmem"] == 0
+    assert result.migration_pages["scatter"] > 10_000
+    assert result.migration_pages["random"] > 10_000
+
+
+def test_sequential_is_the_lucky_case(result):
+    # The exiting instance was allocated last, so sequential placement
+    # leaves its tail blocks free — luck HotMem provides by construction.
+    assert result.migration_pages["sequential"] == 0

@@ -1,0 +1,39 @@
+"""Paper-scale smoke runs (excluded by default; ``pytest -m slow``).
+
+These execute the full-size configurations (64 GiB guests, 300 s+
+horizons) and re-assert the headline claims at the paper's own scale.
+"""
+
+import pytest
+
+from repro.experiments import fig5_unplug_latency as fig5
+from repro.experiments import fig6_usage_sweep as fig6
+from repro.experiments import fig7_cpu_usage as fig7
+from repro.experiments import fig10_interference as fig10
+
+pytestmark = pytest.mark.slow
+
+
+def test_fig5_paper_scale():
+    result = fig5.run(fig5.Fig5Config.paper_scale())
+    for size in result.config.reclaim_sizes:
+        assert result.speedup(size) >= 10.0
+
+
+def test_fig6_paper_scale_64gib():
+    result = fig6.run(fig6.Fig6Config.paper_scale())
+    assert result.vanilla_trend_ratio() > 3.0
+    assert result.hotmem_spread_ratio() < 1.2
+
+
+def test_fig7_paper_scale_32_steps():
+    result = fig7.run(fig7.Fig7Config.paper_scale())
+    assert result.cpu_ratio() > 10.0
+    assert len(result.cpu_series["vanilla"]) == 31
+
+
+def test_fig10_paper_scale_two_shrink_waves():
+    result = fig10.run(fig10.Fig10Config.paper_scale())
+    # The paper sees two shrink events (~125 s and ~225 s).
+    assert len(result.shrink_times_s["vanilla"]) >= 2
+    assert result.window_mean["vanilla"] > result.window_mean["hotmem"]

@@ -1,0 +1,43 @@
+"""Render-method smoke tests for the study experiments.
+
+The figure results' renders are covered by the benchmarks; these cover
+the remaining study results (M1/E1/P1/A-tables) so every user-facing
+table is exercised by the default suite.
+"""
+
+import pytest
+
+from repro.experiments import stranding, tracking
+from repro.experiments.ablations import AblationResult
+
+
+def test_ablation_result_render_roundtrip():
+    result = AblationResult(
+        title="T", headers=("a", "b"), rows_data=[["x", 1.5], ["y", 2.0]]
+    )
+    text = result.render()
+    assert "T" in text and "1.50" in text and "y" in text
+    assert result.rows() == [["x", 1.5], ["y", 2.0]]
+
+
+def test_stranding_render(monkeypatch):
+    result = stranding.StrandingResult(stranding.StrandingConfig())
+    for mode in ("overprovisioned", "vanilla", "hotmem"):
+        result.avg_gib[mode] = {"overprovisioned": 40.0, "vanilla": 12.0,
+                                "hotmem": 11.0}[mode]
+        result.peak_gib[mode] = 42.0
+        result.tail_gib[mode] = 6.0
+    text = result.render()
+    assert "M1" in text and "overprovisioned" in text
+    assert result.savings_vs_overprovisioned("hotmem") == pytest.approx(0.725)
+
+
+def test_tracking_render():
+    result = tracking.TrackingResult(tracking.TrackingConfig())
+    for mode in ("hotmem", "vanilla", "overprovisioned"):
+        result.avg_plugged_gib[mode] = 2.0
+        result.avg_required_gib[mode] = 2.0
+        result.avg_overhead_gib[mode] = 0.0
+        result.tracking_ratio[mode] = 1.0
+    text = result.render()
+    assert "E1" in text and "tracking_ratio" in text

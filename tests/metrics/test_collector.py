@@ -1,0 +1,69 @@
+"""Unit tests for time-series collection."""
+
+import pytest
+
+from repro.metrics.collector import PeriodicSampler, TimeSeries
+from repro.units import SEC
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        series = TimeSeries("t")
+        series.record(0, 1.0)
+        series.record(10, 2.0)
+        assert series.values() == [1.0, 2.0]
+        assert len(series) == 2
+        assert series.last() == (10, 2.0)
+
+    def test_non_monotone_time_rejected(self):
+        series = TimeSeries("t")
+        series.record(10, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5, 2.0)
+
+    def test_empty_series_accessors_raise(self):
+        series = TimeSeries("t")
+        with pytest.raises(ValueError):
+            series.last()
+        with pytest.raises(ValueError):
+            series.max_value()
+
+    def test_delta_and_max(self):
+        series = TimeSeries("t")
+        for t, v in [(0, 5.0), (1, 9.0), (2, 7.0)]:
+            series.record(t, v)
+        assert series.delta() == 2.0
+        assert series.max_value() == 9.0
+
+    def test_times_in_seconds(self):
+        series = TimeSeries("t")
+        series.record(2 * SEC, 1.0)
+        assert series.times_s() == [2.0]
+
+
+class TestPeriodicSampler:
+    def test_samples_on_period(self, sim):
+        counter = {"n": 0}
+
+        def probe():
+            counter["n"] += 1
+            return counter["n"]
+
+        sampler = PeriodicSampler(sim, probe, period_ns=SEC, name="s")
+        sampler.start(until_ns=5 * SEC)
+        sim.run(until=10 * SEC)
+        assert 5 <= len(sampler.series) <= 7
+
+    def test_stop_ends_sampling(self, sim):
+        sampler = PeriodicSampler(sim, lambda: 1.0, period_ns=SEC)
+        sampler.start()
+        sim.run(until=3 * SEC)
+        sampler.stop()
+        sim.run(until=20 * SEC)
+        count = len(sampler.series)
+        sim.run(until=40 * SEC)
+        assert len(sampler.series) == count
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSampler(sim, lambda: 0.0, period_ns=0)

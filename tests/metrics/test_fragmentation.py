@@ -1,0 +1,85 @@
+"""Unit tests for fragmentation metrics."""
+
+import pytest
+
+from repro.metrics.fragmentation import (
+    fragmentation_report,
+    migration_cost_to_reclaim,
+    occupancy_histogram,
+)
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.mm.owner import PageOwner
+from repro.units import GIB, PAGES_PER_BLOCK
+
+
+def make_block(index, occupied_by=()):
+    block = MemoryBlock(index)
+    block.state = BlockState.ONLINE
+    block.free_pages = PAGES_PER_BLOCK
+    for owner, pages in occupied_by:
+        block.charge(owner, pages)
+    return block
+
+
+class TestReport:
+    def test_empty_set(self):
+        report = fragmentation_report([])
+        assert report.total_blocks == 0
+        assert report.free_block_fraction == 0.0
+
+    def test_all_free(self):
+        report = fragmentation_report([make_block(i) for i in range(4)])
+        assert report.fully_free_blocks == 4
+        assert report.free_block_fraction == 1.0
+        assert report.mean_owners_per_block == 0.0
+
+    def test_owner_statistics(self):
+        a, b = PageOwner("a"), PageOwner("b")
+        blocks = [
+            make_block(0, [(a, 100), (b, 100)]),
+            make_block(1, [(a, 100)]),
+            make_block(2),
+        ]
+        report = fragmentation_report(blocks)
+        assert report.occupied_blocks == 2
+        assert report.mean_owners_per_block == 1.5
+        assert report.max_owners_per_block == 2
+        assert report.fully_free_blocks == 1
+
+    def test_reclaimable_bytes(self):
+        report = fragmentation_report([make_block(0), make_block(1)])
+        assert report.reclaimable_without_migration_bytes == 2 * 128 * 1024 * 1024
+
+
+class TestHistogram:
+    def test_buckets(self):
+        a = PageOwner("a")
+        blocks = [
+            make_block(0),  # 0% → bucket 0
+            make_block(1, [(a, PAGES_PER_BLOCK // 2)]),  # 50% → bucket 5
+            make_block(2, [(a, PAGES_PER_BLOCK)]),  # 100% → last bucket
+        ]
+        histogram = occupancy_histogram(blocks)
+        assert histogram[0] == 1
+        assert histogram[5] == 1
+        assert histogram[9] == 1
+        assert sum(histogram) == 3
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_histogram([], buckets=0)
+
+
+class TestMigrationCost:
+    def test_picks_emptiest_blocks(self):
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB, placement="sequential")
+        for index in manager.hotplug_block_indices():
+            manager.online_block(index, manager.zone_movable)
+        mm = MmStruct("p")
+        manager.alloc_pages(mm, PAGES_PER_BLOCK + 100, zones=[manager.zone_movable])
+        # Sequential fill: block0 full, block1 has 100 pages, rest empty.
+        assert migration_cost_to_reclaim(manager, 2) == 0
+        assert migration_cost_to_reclaim(manager, 7) == 100
+        assert migration_cost_to_reclaim(manager, 8) == PAGES_PER_BLOCK + 100

@@ -1,0 +1,27 @@
+"""Unit tests for text report rendering."""
+
+from repro.metrics.report import format_ratio, render_series, render_table
+
+
+def test_render_table_contains_everything():
+    text = render_table("Title", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+    assert "Title" in text
+    assert "=" * len("Title") in text
+    assert "2.50" in text
+    assert "x" in text
+
+
+def test_columns_padded_to_widest_cell():
+    text = render_table("T", ["col"], [["wide-cell-value"]])
+    header_line = text.splitlines()[2]
+    assert len(header_line) >= len("wide-cell-value")
+
+
+def test_format_ratio():
+    assert format_ratio(10, 2) == "5.0x"
+    assert format_ratio(1, 0) == "inf"
+
+
+def test_render_series_is_a_table():
+    text = render_series("S", [(0, 1.0)], ["t", "v"])
+    assert "S" in text and "1.00" in text

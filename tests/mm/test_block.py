@@ -1,0 +1,98 @@
+"""Unit tests for memory blocks."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.owner import KernelOwner, PageOwner
+from repro.units import PAGES_PER_BLOCK
+
+
+@pytest.fixture
+def online_block():
+    block = MemoryBlock(3)
+    block.state = BlockState.ONLINE
+    block.free_pages = PAGES_PER_BLOCK
+    return block
+
+
+@pytest.fixture
+def owner():
+    return PageOwner("proc-a")
+
+
+class TestLifecycle:
+    def test_starts_absent_and_empty(self):
+        block = MemoryBlock(0)
+        assert block.state is BlockState.ABSENT
+        assert block.free_pages == 0
+        assert not block.owner_pages
+
+    def test_charge_requires_online(self, owner):
+        block = MemoryBlock(0)
+        with pytest.raises(MemoryError_):
+            block.charge(owner, 1)
+
+    def test_charge_rejected_when_isolated(self, online_block, owner):
+        online_block.isolated = True
+        with pytest.raises(MemoryError_):
+            online_block.charge(owner, 1)
+
+
+class TestAccounting:
+    def test_charge_moves_pages_to_owner(self, online_block, owner):
+        online_block.charge(owner, 100)
+        assert online_block.free_pages == PAGES_PER_BLOCK - 100
+        assert online_block.owner_pages[owner] == 100
+        assert online_block.occupied_pages == 100
+
+    def test_charge_accumulates_per_owner(self, online_block, owner):
+        online_block.charge(owner, 50)
+        online_block.charge(owner, 25)
+        assert online_block.owner_pages[owner] == 75
+
+    def test_overcharge_rejected(self, online_block, owner):
+        with pytest.raises(MemoryError_):
+            online_block.charge(owner, PAGES_PER_BLOCK + 1)
+
+    def test_zero_charge_rejected(self, online_block, owner):
+        with pytest.raises(MemoryError_):
+            online_block.charge(owner, 0)
+
+    def test_uncharge_returns_pages(self, online_block, owner):
+        online_block.charge(owner, 100)
+        online_block.uncharge(owner, 40)
+        assert online_block.free_pages == PAGES_PER_BLOCK - 60
+        assert online_block.owner_pages[owner] == 60
+
+    def test_uncharge_all_removes_owner_entry(self, online_block, owner):
+        online_block.charge(owner, 10)
+        online_block.uncharge(owner, 10)
+        assert owner not in online_block.owner_pages
+        assert online_block.is_empty
+
+    def test_uncharge_more_than_held_rejected(self, online_block, owner):
+        online_block.charge(owner, 10)
+        with pytest.raises(MemoryError_):
+            online_block.uncharge(owner, 11)
+
+    def test_uncharge_unknown_owner_rejected(self, online_block, owner):
+        with pytest.raises(MemoryError_):
+            online_block.uncharge(owner, 1)
+
+
+class TestMovability:
+    def test_kernel_pages_make_block_unmovable(self, online_block):
+        online_block.charge(KernelOwner(), 10)
+        assert online_block.has_unmovable
+
+    def test_user_pages_keep_block_movable(self, online_block, owner):
+        online_block.charge(owner, 10)
+        assert not online_block.has_unmovable
+        assert online_block.movable_occupied_pages == 10
+
+    def test_mixed_occupancy_counts_only_movable(self, online_block, owner):
+        online_block.charge(KernelOwner(), 10)
+        online_block.charge(owner, 20)
+        assert online_block.movable_occupied_pages == 20
+        assert online_block.occupied_pages == 30

@@ -1,0 +1,176 @@
+"""Unit tests for the fault handler (lazy allocation + HotMem hooks)."""
+
+import pytest
+
+from repro.core.config import HotMemBootParams
+from repro.core.manager import HotMemManager
+from repro.errors import OutOfMemory
+from repro.mm.fault import FaultHandler
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.mm.pagecache import CachedFile, PageCache
+from repro.sim.costs import CostModel, ZeroingMode
+from repro.sim.engine import Simulator
+from repro.units import GIB, MIB, PAGES_PER_BLOCK
+
+
+@pytest.fixture
+def manager():
+    return GuestMemoryManager(1 * GIB, 1 * GIB)
+
+
+@pytest.fixture
+def handler(manager, costs):
+    return FaultHandler(manager, costs)
+
+
+class TestAnonFaults:
+    def test_faults_allocate_lazily(self, manager, handler):
+        mm = MmStruct("p")
+        charge = handler.fault_anon(mm, 100)
+        assert charge.anon_pages == 100
+        assert mm.anon_pages == 100
+
+    def test_zero_pages_is_noop(self, handler):
+        mm = MmStruct("p")
+        charge = handler.fault_anon(mm, 0)
+        assert charge.total_pages == 0
+        assert charge.cost_ns == 0
+
+    def test_cost_includes_zeroing_under_init_on_alloc(self, manager):
+        costs = CostModel(zeroing_mode=ZeroingMode.INIT_ON_ALLOC)
+        handler = FaultHandler(manager, costs)
+        charge = handler.fault_anon(MmStruct("p"), 100)
+        assert charge.cost_ns == 100 * (costs.anon_fault_ns + costs.page_zero_ns)
+
+    def test_cost_excludes_zeroing_under_init_on_free(self, manager):
+        costs = CostModel(zeroing_mode=ZeroingMode.INIT_ON_FREE)
+        handler = FaultHandler(manager, costs)
+        charge = handler.fault_anon(MmStruct("p"), 100)
+        assert charge.cost_ns == 100 * costs.anon_fault_ns
+
+    def test_global_exhaustion_triggers_oom_and_raises(self, manager, handler):
+        mm = MmStruct("p")
+        with pytest.raises(OutOfMemory):
+            handler.fault_anon(mm, manager.free_pages_total + 1)
+        assert handler.oom_killer.kill_count == 1
+        assert handler.oom_killer.events[0].victim is mm
+        assert not mm.alive
+
+
+class TestHotMemAnonFaults:
+    @pytest.fixture
+    def hotmem_setup(self):
+        manager = GuestMemoryManager(1 * GIB, 2 * GIB)
+        params = HotMemBootParams(
+            partition_bytes=384 * MIB, concurrency=2, shared_bytes=128 * MIB
+        )
+        hotmem = HotMemManager(Simulator(), manager, params)
+        handler = FaultHandler(manager, CostModel())
+        # Populate partition 0 by hand.
+        indices = list(manager.hotplug_block_indices())
+        for i in indices[:3]:
+            manager.online_block(i, hotmem.partitions[0].zone)
+        return manager, hotmem, handler
+
+    def test_hotmem_faults_confined_to_partition(self, hotmem_setup):
+        manager, hotmem, handler = hotmem_setup
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)
+        handler.fault_anon(mm, 2 * PAGES_PER_BLOCK)
+        partition_zone = hotmem.partitions[0].zone
+        assert all(b.zone is partition_zone for b in mm.block_pages)
+
+    def test_partition_overflow_kills_process(self, hotmem_setup):
+        manager, hotmem, handler = hotmem_setup
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)
+        with pytest.raises(OutOfMemory):
+            handler.fault_anon(mm, 3 * PAGES_PER_BLOCK + 1)
+        assert handler.oom_killer.kill_count == 1
+        assert "overflow" in handler.oom_killer.events[0].reason
+
+    def test_overflow_never_spills_into_generic_zones(self, hotmem_setup):
+        manager, hotmem, handler = hotmem_setup
+        mm = MmStruct("fn")
+        hotmem.try_attach(mm)
+        normal_free = manager.zone_normal.free_pages
+        with pytest.raises(OutOfMemory):
+            handler.fault_anon(mm, 4 * PAGES_PER_BLOCK)
+        assert manager.zone_normal.free_pages == normal_free
+
+
+class TestFileFaults:
+    def test_first_touch_misses_then_hits(self, manager, costs):
+        cache = PageCache()
+        handler = FaultHandler(manager, costs, page_cache=cache)
+        file = cache.register(CachedFile("libfoo", 1000))
+        mm_a, mm_b = MmStruct("a"), MmStruct("b")
+        first = handler.fault_file(mm_a, file, 1000)
+        second = handler.fault_file(mm_b, file, 1000)
+        assert first.file_miss_pages == 1000
+        assert second.file_hit_pages == 1000
+        assert second.file_miss_pages == 0
+
+    def test_hit_is_cheaper_than_miss(self, manager, costs):
+        cache = PageCache()
+        handler = FaultHandler(manager, costs, page_cache=cache)
+        file = cache.register(CachedFile("lib", 500))
+        miss = handler.fault_file(MmStruct("a"), file, 500)
+        hit = handler.fault_file(MmStruct("b"), file, 500)
+        assert hit.cost_ns < miss.cost_ns
+
+    def test_cache_pages_owned_by_cache_not_process(self, manager, costs):
+        cache = PageCache()
+        handler = FaultHandler(manager, costs, page_cache=cache)
+        file = cache.register(CachedFile("lib", 200))
+        mm = MmStruct("a")
+        handler.fault_file(mm, file, 200)
+        assert mm.anon_pages == 0
+        assert mm.mapped_file_pages == 200
+        assert cache.total_pages == 200
+
+    def test_shared_zone_override(self, costs):
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        from repro.mm.zone import Zone, ZoneType
+
+        shared = Zone("HotMemShared", ZoneType.HOTMEM)
+        manager.register_zone(shared)
+        index = manager.boot_blocks
+        manager.online_block(index, shared)
+        cache = PageCache()
+        handler = FaultHandler(
+            manager, costs, page_cache=cache, shared_file_zones=[shared]
+        )
+        file = cache.register(CachedFile("lib", 100))
+        handler.fault_file(MmStruct("a"), file, 100)
+        assert shared.occupied_pages == 100
+
+
+class TestTeardown:
+    def test_release_frees_everything(self, manager, handler):
+        mm = MmStruct("p")
+        handler.fault_anon(mm, 500)
+        charge = handler.release_address_space(mm)
+        assert charge.anon_pages == 500
+        assert mm.total_pages == 0
+        assert not mm.alive
+
+    def test_release_keeps_shared_cache_pages(self, manager, costs):
+        cache = PageCache()
+        handler = FaultHandler(manager, costs, page_cache=cache)
+        file = cache.register(CachedFile("lib", 300))
+        mm = MmStruct("p")
+        handler.fault_file(mm, file, 300)
+        handler.release_address_space(mm)
+        assert cache.total_pages == 300
+        assert file.cached_pages == 300
+        assert mm.mapped_file_pages == 0
+
+    def test_release_cost_includes_zeroing_under_init_on_free(self, manager):
+        costs = CostModel(zeroing_mode=ZeroingMode.INIT_ON_FREE)
+        handler = FaultHandler(manager, costs)
+        mm = MmStruct("p")
+        handler.fault_anon(mm, 100)
+        charge = handler.release_address_space(mm)
+        assert charge.cost_ns == 100 * (costs.page_free_ns + costs.page_zero_ns)

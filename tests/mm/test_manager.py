@@ -1,0 +1,242 @@
+"""Unit tests for the guest memory manager."""
+
+import pytest
+
+from repro.errors import ConfigError, HotplugError, MemoryError_, OfflineFailed, OutOfMemory
+from repro.mm.block import BlockState
+from repro.mm.manager import MEMMAP_PAGES_PER_BLOCK, GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.mm.zone import Zone, ZoneType
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB, PAGES_PER_BLOCK
+
+
+@pytest.fixture
+def manager():
+    return GuestMemoryManager(
+        boot_memory_bytes=1 * GIB, hotplug_region_bytes=2 * GIB
+    )
+
+
+def online_all(manager, zone=None):
+    zone = zone or manager.zone_movable
+    for index in manager.hotplug_block_indices():
+        manager.online_block(index, zone)
+
+
+class TestBoot:
+    def test_boot_blocks_online_in_normal(self, manager):
+        assert len(manager.zone_normal.blocks) == 8
+        assert all(
+            b.state is BlockState.ONLINE for b in manager.zone_normal.blocks
+        )
+
+    def test_hotplug_blocks_start_absent(self, manager):
+        for index in manager.hotplug_block_indices():
+            assert manager.blocks[index].state is BlockState.ABSENT
+
+    def test_kernel_boot_footprint_charged(self, manager):
+        expected = 8 * MEMMAP_PAGES_PER_BLOCK + 8192
+        assert manager.kernel.total_pages == expected
+
+    def test_misaligned_boot_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestMemoryManager(100 * MIB, 0)
+
+    def test_misaligned_region_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestMemoryManager(GIB, 100 * MIB)
+
+    def test_memmap_constant_matches_64b_struct_page(self):
+        assert MEMMAP_PAGES_PER_BLOCK == PAGES_PER_BLOCK * 64 // 4096
+
+
+class TestZonelist:
+    def test_movable_prefers_movable_zone(self, manager):
+        assert manager.zonelist(True) == [
+            manager.zone_movable,
+            manager.zone_normal,
+        ]
+
+    def test_unmovable_restricted_to_normal(self, manager):
+        assert manager.zonelist(False) == [manager.zone_normal]
+
+    def test_hotmem_zones_never_in_zonelist(self, manager):
+        zone = Zone("HotMem#0", ZoneType.HOTMEM)
+        manager.register_zone(zone)
+        assert zone not in manager.zonelist(True)
+        assert zone not in manager.zonelist(False)
+
+    def test_duplicate_zone_rejected(self, manager):
+        with pytest.raises(ConfigError):
+            manager.register_zone(Zone("Normal", ZoneType.NORMAL))
+
+
+class TestAllocation:
+    def test_movable_allocation_falls_back_to_normal(self, manager):
+        # ZONE_MOVABLE is empty at boot; movable allocations must land in
+        # boot memory (the fallback of Section 2.2).
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, 100)
+        assert all(b.zone is manager.zone_normal for b in mm.block_pages)
+
+    def test_allocation_splits_across_zones(self, manager):
+        online_all(manager)
+        mm = MmStruct("a")
+        movable_free = manager.zone_movable.free_pages
+        manager.alloc_pages(mm, movable_free + 100)
+        in_movable = sum(
+            pages
+            for block, pages in mm.block_pages.items()
+            if block.zone is manager.zone_movable
+        )
+        assert in_movable == movable_free
+
+    def test_exhaustion_raises_without_mutation(self, manager):
+        mm = MmStruct("a")
+        free_before = manager.free_pages_total
+        with pytest.raises(OutOfMemory):
+            manager.alloc_pages(mm, free_before + 1)
+        assert manager.free_pages_total == free_before
+        assert mm.total_pages == 0
+
+    def test_free_pages_partial(self, manager):
+        online_all(manager)
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, 1000)
+        manager.free_pages(mm, 400)
+        assert mm.total_pages == 600
+
+    def test_free_more_than_owned_rejected(self, manager):
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, 10)
+        with pytest.raises(MemoryError_):
+            manager.free_pages(mm, 11)
+
+    def test_free_all_returns_count(self, manager):
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, 123)
+        assert manager.free_all(mm) == 123
+        assert mm.total_pages == 0
+
+    def test_free_all_empty_owner_is_noop(self, manager):
+        assert manager.free_all(MmStruct("a")) == 0
+
+
+class TestHotplug:
+    def test_online_block_joins_zone(self, manager):
+        index = manager.boot_blocks
+        block = manager.online_block(index, manager.zone_movable)
+        assert block.state is BlockState.ONLINE
+        assert block.zone is manager.zone_movable
+        assert manager.plugged_bytes == MEMORY_BLOCK_SIZE
+
+    def test_online_charges_memmap(self, manager):
+        kernel_before = manager.kernel.total_pages
+        manager.online_block(manager.boot_blocks, manager.zone_movable)
+        assert manager.kernel.total_pages == kernel_before + MEMMAP_PAGES_PER_BLOCK
+
+    def test_online_boot_block_rejected(self, manager):
+        with pytest.raises(HotplugError):
+            manager.online_block(0, manager.zone_movable)
+
+    def test_online_twice_rejected(self, manager):
+        manager.online_block(manager.boot_blocks, manager.zone_movable)
+        with pytest.raises(HotplugError):
+            manager.online_block(manager.boot_blocks, manager.zone_movable)
+
+    def test_offline_empty_block(self, manager):
+        block = manager.online_block(manager.boot_blocks, manager.zone_movable)
+        kernel_before = manager.kernel.total_pages
+        outcome = manager.offline_and_remove(block, migrate=False)
+        assert outcome.migrated_pages == 0
+        assert block.state is BlockState.ABSENT
+        assert manager.kernel.total_pages == kernel_before - MEMMAP_PAGES_PER_BLOCK
+
+    def test_offline_occupied_without_migrate_rejected(self, manager):
+        online_all(manager)
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, manager.zone_movable.free_pages)
+        block = manager.zone_movable.blocks[0]
+        with pytest.raises(OfflineFailed):
+            manager.offline_and_remove(block, migrate=False)
+
+    def test_offline_absent_block_rejected(self, manager):
+        block = manager.blocks[manager.boot_blocks]
+        with pytest.raises(OfflineFailed):
+            manager.offline_and_remove(block)
+
+    def test_online_bytes_tracks_plug_state(self, manager):
+        base = manager.online_bytes
+        block = manager.online_block(manager.boot_blocks, manager.zone_movable)
+        assert manager.online_bytes == base + MEMORY_BLOCK_SIZE
+        manager.offline_and_remove(block, migrate=False)
+        assert manager.online_bytes == base
+
+
+class TestMigration:
+    def test_migration_empties_block_and_preserves_totals(self, manager):
+        online_all(manager)
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, 3 * PAGES_PER_BLOCK)
+        total_before = mm.total_pages
+        block = manager.zone_movable.blocks[0]
+        occupied = block.occupied_pages
+        outcome = manager.migrate_block_out(block)
+        assert outcome.migrated_pages == occupied
+        assert block.is_empty
+        assert mm.total_pages == total_before
+        manager.check_consistency()
+
+    def test_migration_with_unmovable_pages_fails(self, manager):
+        block = manager.zone_normal.blocks[0]
+        assert block.has_unmovable  # kernel boot footprint
+        with pytest.raises(OfflineFailed):
+            manager.migrate_block_out(block)
+
+    def test_migration_without_headroom_fails(self, manager):
+        # Fill everything so no free pages remain to migrate into.
+        online_all(manager)
+        mm = MmStruct("a")
+        manager.alloc_pages(mm, manager.free_pages_total)
+        block = manager.zone_movable.blocks[0]
+        with pytest.raises(OfflineFailed):
+            manager.migrate_block_out(block)
+        manager.check_consistency()
+
+    def test_migration_of_empty_block_is_trivial(self, manager):
+        block = manager.online_block(manager.boot_blocks, manager.zone_movable)
+        outcome = manager.migrate_block_out(block)
+        assert outcome.migrated_pages == 0
+        assert outcome.target_blocks == 0
+
+    def test_migration_preserves_multiple_owners(self, manager):
+        online_all(manager)
+        mm_a, mm_b = MmStruct("a"), MmStruct("b")
+        manager.alloc_pages(mm_a, 2 * PAGES_PER_BLOCK)
+        manager.alloc_pages(mm_b, 2 * PAGES_PER_BLOCK)
+        block = manager.zone_movable.blocks[0]
+        sizes = (mm_a.total_pages, mm_b.total_pages)
+        manager.migrate_block_out(block)
+        assert (mm_a.total_pages, mm_b.total_pages) == sizes
+        manager.check_consistency()
+
+
+class TestIsolationPath:
+    def test_isolate_then_offline(self, manager):
+        block = manager.online_block(manager.boot_blocks, manager.zone_movable)
+        manager.isolate_block(block)
+        manager.offline_and_remove(block, migrate=False)
+        assert block.state is BlockState.ABSENT
+        manager.check_consistency()
+
+    def test_isolate_unzoned_block_rejected(self, manager):
+        with pytest.raises(OfflineFailed):
+            manager.isolate_block(manager.blocks[manager.boot_blocks])
+
+    def test_unisolate_roundtrip(self, manager):
+        block = manager.online_block(manager.boot_blocks, manager.zone_movable)
+        free_before = manager.zone_movable.free_pages
+        manager.isolate_block(block)
+        manager.unisolate_block(block)
+        assert manager.zone_movable.free_pages == free_before
+        manager.check_consistency()

@@ -1,0 +1,157 @@
+"""Property-based tests for memory-manager invariants.
+
+A random interleaving of allocations, frees, process exits, block
+onlining, offlining and migrations must always leave the manager in a
+consistent state: per-zone free counters match per-block state, owner
+mirrors agree with per-block occupancy, and no page is ever lost or
+double-counted.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_, OfflineFailed, OutOfMemory
+from repro.mm.block import BlockState
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.units import GIB, MIB, PAGES_PER_BLOCK
+
+
+def total_user_pages(manager, processes):
+    return sum(mm.total_pages for mm in processes)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(0, 7), st.integers(1, 20000)),
+        st.tuples(st.just("free"), st.integers(0, 7), st.integers(1, 20000)),
+        st.tuples(st.just("exit"), st.integers(0, 7), st.just(0)),
+        st.tuples(st.just("online"), st.integers(0, 7), st.just(0)),
+        st.tuples(st.just("offline"), st.integers(0, 7), st.just(0)),
+        st.tuples(st.just("migrate"), st.integers(0, 7), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_random_operation_interleavings_stay_consistent(ops):
+    manager = GuestMemoryManager(512 * MIB, 1 * GIB)
+    processes = [MmStruct(f"p{i}") for i in range(8)]
+    hotplug_indices = list(manager.hotplug_block_indices())
+
+    for op, arg, amount in ops:
+        if op == "alloc":
+            mm = processes[arg]
+            try:
+                manager.alloc_pages(mm, amount)
+            except OutOfMemory:
+                pass
+        elif op == "free":
+            mm = processes[arg]
+            if mm.total_pages:
+                manager.free_pages(mm, min(amount, mm.total_pages))
+        elif op == "exit":
+            manager.free_all(processes[arg])
+        elif op == "online":
+            index = hotplug_indices[arg]
+            if manager.blocks[index].state is BlockState.ABSENT:
+                try:
+                    manager.online_block(index, manager.zone_movable)
+                except OutOfMemory:
+                    pass
+        elif op == "offline":
+            index = hotplug_indices[arg]
+            block = manager.blocks[index]
+            if block.state is BlockState.ONLINE:
+                try:
+                    manager.offline_and_remove(block)
+                except OfflineFailed:
+                    pass
+        elif op == "migrate":
+            index = hotplug_indices[arg]
+            block = manager.blocks[index]
+            if block.state is BlockState.ONLINE:
+                try:
+                    manager.migrate_block_out(block)
+                except OfflineFailed:
+                    pass
+        # The invariant must hold after EVERY operation, not just at the end.
+        manager.check_consistency()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 30000), min_size=1, max_size=10),
+    free_order=st.permutations(list(range(10))),
+)
+def test_allocation_free_conservation(sizes, free_order):
+    """Pages allocated equal pages freed, in any free order."""
+    manager = GuestMemoryManager(1 * GIB, 0)
+    free_before = manager.free_pages_total
+    processes = []
+    allocated = 0
+    for i, size in enumerate(sizes):
+        mm = MmStruct(f"p{i}")
+        try:
+            manager.alloc_pages(mm, size)
+            allocated += size
+        except OutOfMemory:
+            pass
+        processes.append(mm)
+    assert manager.free_pages_total == free_before - allocated
+    for index in free_order:
+        if index < len(processes):
+            manager.free_all(processes[index])
+    assert manager.free_pages_total == free_before
+    manager.check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    occupancies=st.lists(st.integers(0, PAGES_PER_BLOCK // 2), min_size=2, max_size=6)
+)
+def test_migration_conserves_every_owner(occupancies):
+    """Migrating a block out never changes any owner's page total."""
+    manager = GuestMemoryManager(512 * MIB, 1 * GIB)
+    for index in list(manager.hotplug_block_indices())[: len(occupancies) + 2]:
+        manager.online_block(index, manager.zone_movable)
+    processes = []
+    for i, pages in enumerate(occupancies):
+        mm = MmStruct(f"p{i}")
+        if pages:
+            manager.alloc_pages(mm, pages)
+        processes.append(mm)
+    totals = [mm.total_pages for mm in processes]
+    block = manager.zone_movable.blocks[0]
+    try:
+        manager.migrate_block_out(block)
+    except OfflineFailed:
+        return
+    assert [mm.total_pages for mm in processes] == totals
+    assert block.is_empty
+    manager.check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_isolated_blocks_never_receive_allocations(data):
+    manager = GuestMemoryManager(512 * MIB, 512 * MIB)
+    for index in manager.hotplug_block_indices():
+        manager.online_block(index, manager.zone_movable)
+    blocks = manager.zone_movable.blocks
+    to_isolate = data.draw(
+        st.lists(
+            st.sampled_from(blocks), unique=True, max_size=len(blocks) - 1
+        )
+    )
+    for block in to_isolate:
+        manager.isolate_block(block)
+    mm = MmStruct("p")
+    pages = data.draw(st.integers(1, manager.zone_movable.free_pages))
+    manager.alloc_pages(mm, pages, zones=[manager.zone_movable])
+    assert all(not block.isolated for block in mm.block_pages)
+    manager.check_consistency()

@@ -1,0 +1,53 @@
+"""Unit tests for the OOM killer."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mm.mm_struct import MmStruct
+from repro.mm.oom import OomKiller
+
+
+def test_kill_marks_victim_dead():
+    killer = OomKiller()
+    victim = MmStruct("p")
+    event = killer.kill(victim, "partition overflow", requested_pages=100)
+    assert not victim.alive
+    assert killer.kill_count == 1
+    assert event.requested_pages == 100
+
+
+def test_on_kill_callback_invoked():
+    seen = []
+    killer = OomKiller(on_kill=seen.append)
+    killer.kill(MmStruct("p"), "x", 1)
+    assert len(seen) == 1
+    assert seen[0].reason == "x"
+
+
+def test_select_victim_prefers_largest_rss():
+    killer = OomKiller()
+    small, large = MmStruct("small"), MmStruct("large")
+    small.record_file_mapping(1, 10)
+    large.record_file_mapping(1, 100)
+    assert killer.select_victim([small, large]) is large
+
+
+def test_select_victim_skips_dead():
+    killer = OomKiller()
+    dead, alive = MmStruct("dead"), MmStruct("alive")
+    dead.record_file_mapping(1, 1000)
+    dead.alive = False
+    assert killer.select_victim([dead, alive]) is alive
+
+
+def test_select_victim_no_candidates_raises():
+    killer = OomKiller()
+    with pytest.raises(MemoryError_):
+        killer.select_victim([])
+
+
+def test_select_victim_tie_broken_by_pid():
+    killer = OomKiller()
+    first, second = MmStruct("a"), MmStruct("b")
+    chosen = killer.select_victim([first, second])
+    assert chosen is first  # equal RSS → lower pid wins

@@ -1,0 +1,68 @@
+"""Unit tests for page owners and mm_structs."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.mm_struct import MmStruct
+from repro.mm.owner import KernelOwner, PageOwner
+from repro.units import PAGES_PER_BLOCK
+
+
+def block(index=0):
+    b = MemoryBlock(index)
+    b.state = BlockState.ONLINE
+    b.free_pages = PAGES_PER_BLOCK
+    return b
+
+
+class TestMirror:
+    def test_mirror_tracks_blocks(self):
+        owner = PageOwner("p")
+        b = block()
+        owner._mirror_charge(b, 10)
+        assert owner.block_pages == {b: 10}
+        assert owner.total_pages == 10
+
+    def test_mirror_uncharge_removes_empty_entries(self):
+        owner = PageOwner("p")
+        b = block()
+        owner._mirror_charge(b, 10)
+        owner._mirror_uncharge(b, 10)
+        assert owner.block_pages == {}
+
+    def test_mirror_overuncharge_rejected(self):
+        owner = PageOwner("p")
+        b = block()
+        owner._mirror_charge(b, 5)
+        with pytest.raises(MemoryError_):
+            owner._mirror_uncharge(b, 6)
+
+    def test_kernel_owner_is_unmovable(self):
+        assert not KernelOwner().movable
+        assert PageOwner("u").movable
+
+
+class TestMmStruct:
+    def test_unique_pids(self):
+        assert MmStruct("a").pid != MmStruct("a").pid
+
+    def test_rss_combines_anon_and_file(self):
+        mm = MmStruct("p")
+        b = block()
+        mm._mirror_charge(b, 100)
+        mm.record_file_mapping(7, 50)
+        assert mm.anon_pages == 100
+        assert mm.mapped_file_pages == 50
+        assert mm.rss_pages == 150
+
+    def test_file_mappings_accumulate_per_file(self):
+        mm = MmStruct("p")
+        mm.record_file_mapping(1, 10)
+        mm.record_file_mapping(1, 5)
+        mm.record_file_mapping(2, 3)
+        assert mm.file_mapped_pages == {1: 15, 2: 3}
+
+    def test_starts_without_partition(self):
+        assert MmStruct("p").hotmem_partition is None
+        assert MmStruct("p").alive

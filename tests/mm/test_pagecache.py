@@ -1,0 +1,77 @@
+"""Unit tests for the page cache."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mm.pagecache import CachedFile, PageCache
+
+
+class TestCachedFile:
+    def test_starts_uncached(self):
+        file = CachedFile("lib", 100)
+        assert file.cached_pages == 0
+        assert file.uncached_pages == 100
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            CachedFile("lib", -1)
+
+    def test_unique_file_ids(self):
+        assert CachedFile("a", 1).file_id != CachedFile("b", 1).file_id
+
+
+class TestPlanMapping:
+    def test_unregistered_file_rejected(self):
+        cache = PageCache()
+        with pytest.raises(MemoryError_):
+            cache.plan_mapping(CachedFile("lib", 10), 5)
+
+    def test_cold_file_all_misses(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 100))
+        outcome = cache.plan_mapping(file, 60)
+        assert outcome.miss_pages == 60
+        assert outcome.hit_pages == 0
+
+    def test_warm_prefix_hits(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 100))
+        cache.commit_misses(file, 40)
+        outcome = cache.plan_mapping(file, 60)
+        assert outcome.hit_pages == 40
+        assert outcome.miss_pages == 20
+
+    def test_request_clamped_to_file_size(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 50))
+        outcome = cache.plan_mapping(file, 500)
+        assert outcome.total_pages == 50
+
+    def test_fully_cached_file_all_hits(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 30))
+        cache.commit_misses(file, 30)
+        outcome = cache.plan_mapping(file, 30)
+        assert outcome.hit_pages == 30
+
+
+class TestCommit:
+    def test_commit_grows_cached_portion(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 100))
+        cache.commit_misses(file, 70)
+        assert file.cached_pages == 70
+
+    def test_commit_beyond_file_size_rejected(self):
+        cache = PageCache()
+        file = cache.register(CachedFile("lib", 100))
+        with pytest.raises(MemoryError_):
+            cache.commit_misses(file, 101)
+
+    def test_cached_pages_total_across_files(self):
+        cache = PageCache()
+        a = cache.register(CachedFile("a", 10))
+        b = cache.register(CachedFile("b", 20))
+        cache.commit_misses(a, 10)
+        cache.commit_misses(b, 5)
+        assert cache.cached_pages_total == 15

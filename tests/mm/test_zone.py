@@ -1,0 +1,169 @@
+"""Unit tests for zones."""
+
+import pytest
+
+from repro.errors import MemoryError_, OutOfMemory
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.owner import KernelOwner, PageOwner
+from repro.mm.placement import SequentialPlacement
+from repro.mm.zone import Zone, ZoneType
+from repro.units import PAGES_PER_BLOCK
+
+
+def online_block(index):
+    block = MemoryBlock(index)
+    block.state = BlockState.ONLINE
+    block.free_pages = PAGES_PER_BLOCK
+    return block
+
+
+@pytest.fixture
+def zone():
+    z = Zone("Movable", ZoneType.MOVABLE, SequentialPlacement())
+    for i in range(3):
+        z.add_block(online_block(i))
+    return z
+
+
+@pytest.fixture
+def owner():
+    return PageOwner("proc")
+
+
+class TestMembership:
+    def test_add_block_updates_counters(self, zone):
+        assert zone.free_pages == 3 * PAGES_PER_BLOCK
+        assert zone.total_pages == 3 * PAGES_PER_BLOCK
+
+    def test_add_block_twice_rejected(self, zone):
+        with pytest.raises(MemoryError_):
+            zone.add_block(zone.blocks[0])
+
+    def test_add_offline_block_rejected(self, zone):
+        block = MemoryBlock(9)
+        with pytest.raises(MemoryError_):
+            zone.add_block(block)
+
+    def test_blocks_kept_sorted_by_index(self):
+        z = Zone("Z", ZoneType.MOVABLE)
+        z.add_block(online_block(5))
+        z.add_block(online_block(2))
+        assert [b.index for b in z.blocks] == [2, 5]
+
+    def test_detach_requires_empty(self, zone, owner):
+        zone.allocate(owner, 10)
+        with pytest.raises(MemoryError_):
+            zone.detach_block(zone.blocks[0])
+
+    def test_detach_updates_counter(self, zone):
+        block = zone.blocks[0]
+        zone.detach_block(block)
+        assert zone.free_pages == 2 * PAGES_PER_BLOCK
+        assert block.zone is None
+
+    def test_detach_foreign_block_rejected(self, zone):
+        with pytest.raises(MemoryError_):
+            zone.detach_block(online_block(99))
+
+
+class TestAllocate:
+    def test_allocation_charges_and_mirrors(self, zone, owner):
+        plan = zone.allocate(owner, 100)
+        assert sum(plan.values()) == 100
+        assert owner.total_pages == 100
+        assert zone.free_pages == 3 * PAGES_PER_BLOCK - 100
+
+    def test_allocation_beyond_free_raises(self, zone, owner):
+        with pytest.raises(OutOfMemory):
+            zone.allocate(owner, 3 * PAGES_PER_BLOCK + 1)
+
+    def test_failed_allocation_leaves_state(self, zone, owner):
+        try:
+            zone.allocate(owner, 10**9)
+        except OutOfMemory:
+            pass
+        assert zone.free_pages == 3 * PAGES_PER_BLOCK
+        assert owner.total_pages == 0
+
+    def test_unmovable_owner_rejected_in_movable_zone(self, zone):
+        with pytest.raises(MemoryError_):
+            zone.allocate(KernelOwner(), 1)
+
+    def test_unmovable_owner_allowed_in_normal_zone(self):
+        z = Zone("Normal", ZoneType.NORMAL)
+        z.add_block(online_block(0))
+        z.allocate(KernelOwner(), 10)
+        assert z.occupied_pages == 10
+
+    def test_hotmem_zone_is_movable_only(self):
+        z = Zone("HotMem#0", ZoneType.HOTMEM)
+        z.add_block(online_block(0))
+        with pytest.raises(MemoryError_):
+            z.allocate(KernelOwner(), 1)
+
+    def test_invalid_page_count_rejected(self, zone, owner):
+        with pytest.raises(MemoryError_):
+            zone.allocate(owner, 0)
+
+
+class TestRelease:
+    def test_release_restores_counters(self, zone, owner):
+        plan = zone.allocate(owner, 50)
+        block, pages = next(iter(plan.items()))
+        zone.release(owner, block, pages)
+        assert zone.free_pages == 3 * PAGES_PER_BLOCK
+        assert owner.total_pages == 0
+
+    def test_release_foreign_block_rejected(self, zone, owner):
+        with pytest.raises(MemoryError_):
+            zone.release(owner, online_block(42), 1)
+
+
+class TestIsolation:
+    def test_isolation_hides_free_pages(self, zone):
+        block = zone.blocks[0]
+        zone.isolate_block(block)
+        assert zone.free_pages == 2 * PAGES_PER_BLOCK
+        assert block.isolated
+
+    def test_unisolate_restores(self, zone):
+        block = zone.blocks[0]
+        zone.isolate_block(block)
+        zone.unisolate_block(block)
+        assert zone.free_pages == 3 * PAGES_PER_BLOCK
+        assert not block.isolated
+
+    def test_double_isolation_rejected(self, zone):
+        zone.isolate_block(zone.blocks[0])
+        with pytest.raises(MemoryError_):
+            zone.isolate_block(zone.blocks[0])
+
+    def test_unisolate_non_isolated_rejected(self, zone):
+        with pytest.raises(MemoryError_):
+            zone.unisolate_block(zone.blocks[0])
+
+    def test_release_into_isolated_block_stays_hidden(self, zone, owner):
+        zone.allocate(owner, 10)  # sequential → block 0
+        block = zone.blocks[0]
+        zone.isolate_block(block)
+        free_before = zone.free_pages
+        zone.release(owner, block, 10)
+        assert zone.free_pages == free_before
+        assert block.free_pages == PAGES_PER_BLOCK
+
+    def test_allocation_skips_isolated_block(self, zone, owner):
+        zone.isolate_block(zone.blocks[0])
+        plan = zone.allocate(owner, 10)
+        assert zone.blocks[0] not in plan
+
+    def test_detach_isolated_block(self, zone):
+        block = zone.blocks[0]
+        zone.isolate_block(block)
+        zone.detach_block(block)
+        assert zone.free_pages == 2 * PAGES_PER_BLOCK
+        assert not block.isolated
+
+    def test_free_pages_excluding_handles_isolated(self, zone):
+        block = zone.blocks[0]
+        zone.isolate_block(block)
+        assert zone.free_pages_excluding({block}) == 2 * PAGES_PER_BLOCK

@@ -1,0 +1,76 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.sim.costs import DEFAULT_COSTS, CostModel, ZeroingMode
+
+
+class TestValidation:
+    def test_default_model_valid(self):
+        assert DEFAULT_COSTS.page_migration_ns > 0
+
+    def test_unknown_zeroing_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(zeroing_mode="bogus")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(page_migration_ns=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.page_migration_ns = 0
+
+
+class TestDerivedCosts:
+    def test_migrate_pages_scales_linearly(self):
+        one = DEFAULT_COSTS.migrate_pages_ns(1)
+        assert DEFAULT_COSTS.migrate_pages_ns(1000) == 1000 * one
+
+    def test_zero_pages_scales_linearly(self):
+        assert DEFAULT_COSTS.zero_pages_ns(10) == 10 * DEFAULT_COSTS.page_zero_ns
+
+    def test_plug_block_without_zeroing(self):
+        expected = DEFAULT_COSTS.hot_add_block_ns + DEFAULT_COSTS.online_block_ns
+        assert DEFAULT_COSTS.plug_block_ns() == expected
+
+    def test_plug_block_with_zeroing(self):
+        base = DEFAULT_COSTS.plug_block_ns()
+        with_zero = DEFAULT_COSTS.plug_block_ns(zero_pages=100)
+        assert with_zero == base + 100 * DEFAULT_COSTS.page_zero_ns
+
+    def test_offline_block_empty_is_base_cost(self):
+        assert (
+            DEFAULT_COSTS.offline_block_ns(0)
+            == DEFAULT_COSTS.offline_block_base_ns
+        )
+
+    def test_offline_block_migration_dominates(self):
+        small = DEFAULT_COSTS.offline_block_ns(0)
+        large = DEFAULT_COSTS.offline_block_ns(30000)
+        assert large > 10 * small
+
+    def test_replace_overrides_selected_field(self):
+        doubled = DEFAULT_COSTS.replace(page_migration_ns=2 * DEFAULT_COSTS.page_migration_ns)
+        assert doubled.page_migration_ns == 2 * DEFAULT_COSTS.page_migration_ns
+        assert doubled.hot_add_block_ns == DEFAULT_COSTS.hot_add_block_ns
+
+    def test_replace_keeps_original_untouched(self):
+        DEFAULT_COSTS.replace(page_zero_ns=0)
+        assert DEFAULT_COSTS.page_zero_ns > 0
+
+
+class TestZeroingModes:
+    def test_all_modes_listed(self):
+        assert set(ZeroingMode.ALL) == {
+            ZeroingMode.INIT_ON_ALLOC,
+            ZeroingMode.INIT_ON_FREE,
+            ZeroingMode.NONE,
+        }
+
+    def test_default_is_init_on_alloc(self):
+        assert DEFAULT_COSTS.zeroing_mode == ZeroingMode.INIT_ON_ALLOC
+
+    def test_mode_switch_via_replace(self):
+        model = DEFAULT_COSTS.replace(zeroing_mode=ZeroingMode.INIT_ON_FREE)
+        assert model.zeroing_mode == ZeroingMode.INIT_ON_FREE

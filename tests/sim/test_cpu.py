@@ -1,0 +1,143 @@
+"""Unit tests for the round-robin CPU core model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuCore
+from repro.sim.engine import Simulator, Timeout
+from repro.units import MS
+
+
+@pytest.fixture
+def core(sim):
+    return CpuCore(sim, name="test-core", quantum_ns=2 * MS)
+
+
+class TestBasicExecution:
+    def test_single_task_completes_after_its_work(self, sim, core):
+        done = core.submit(5 * MS, "t")
+        sim.run()
+        assert done.triggered
+        assert sim.now == 5 * MS
+
+    def test_zero_work_completes_immediately(self, sim, core):
+        done = core.submit(0, "t")
+        assert done.triggered
+        assert sim.now == 0
+
+    def test_negative_work_rejected(self, core):
+        with pytest.raises(SimulationError):
+            core.submit(-1, "t")
+
+    def test_busy_flag(self, sim, core):
+        core.submit(1 * MS, "t")
+        assert core.busy
+        sim.run()
+        assert not core.busy
+
+    def test_sequential_tasks_serialize(self, sim, core):
+        first = core.submit(3 * MS, "a")
+        second = core.submit(3 * MS, "b")
+        sim.run()
+        assert first.value.completed_at < second.value.completed_at
+        assert sim.now == 6 * MS
+
+    def test_queue_depth(self, sim, core):
+        core.submit(10 * MS, "a")
+        core.submit(10 * MS, "b")
+        core.submit(10 * MS, "c")
+        assert core.queue_depth == 2
+
+
+class TestRoundRobin:
+    def test_two_equal_tasks_finish_together_ish(self, sim, core):
+        done_a = core.submit(10 * MS, "a")
+        done_b = core.submit(10 * MS, "b")
+        sim.run()
+        finish_a = done_a.value.completed_at
+        finish_b = done_b.value.completed_at
+        # Interleaved: both finish near 20ms, within one quantum.
+        assert abs(finish_a - finish_b) <= core.quantum_ns
+        assert max(finish_a, finish_b) == 20 * MS
+
+    def test_short_task_not_starved_by_long_task(self, sim, core):
+        core.submit(100 * MS, "long")
+        short = core.submit(2 * MS, "short")
+        sim.run()
+        # Short runs after at most one quantum of the long task.
+        assert short.value.completed_at <= 3 * core.quantum_ns
+
+    def test_contention_doubles_completion_time(self, sim, core):
+        solo_sim = Simulator()
+        solo = CpuCore(solo_sim, quantum_ns=2 * MS)
+        done_solo = solo.submit(20 * MS, "t")
+        solo_sim.run()
+
+        core.submit(20 * MS, "other")
+        done_contended = core.submit(20 * MS, "t")
+        sim.run()
+        assert done_contended.value.completed_at >= 2 * done_solo.value.completed_at - core.quantum_ns
+
+    def test_late_arrival_waits_at_most_one_slice(self, sim, core):
+        core.submit(50 * MS, "background")
+
+        def late():
+            yield Timeout(5 * MS)
+            done = core.submit(1 * MS, "late")
+            work = yield done
+            return work.completed_at - work.submitted_at
+
+        waited = sim.run_process(late())
+        assert waited <= 2 * core.quantum_ns
+
+
+class TestAccounting:
+    def test_busy_ns_counts_all_work(self, sim, core):
+        core.submit(7 * MS, "a")
+        core.submit(3 * MS, "b")
+        sim.run()
+        assert core.busy_ns == 10 * MS
+
+    def test_per_label_accounting(self, sim, core):
+        core.submit(7 * MS, "virtio-mem")
+        core.submit(3 * MS, "fn:cnn")
+        sim.run()
+        assert core.busy_ns_for("virtio-mem") == 7 * MS
+        assert core.busy_ns_for("fn:cnn") == 3 * MS
+        assert core.busy_ns_for("unknown") == 0
+
+    def test_prefix_accounting(self, sim, core):
+        core.submit(2 * MS, "fn:cnn:1")
+        core.submit(3 * MS, "fn:cnn:2")
+        core.submit(5 * MS, "fn:html:1")
+        sim.run()
+        assert core.busy_ns_for_prefix("fn:cnn") == 5 * MS
+        assert core.busy_ns_for_prefix("fn:") == 10 * MS
+
+    def test_accounting_snapshot_is_a_copy(self, sim, core):
+        core.submit(1 * MS, "x")
+        sim.run()
+        snapshot = core.accounting()
+        snapshot["x"] = 0
+        assert core.busy_ns_for("x") == 1 * MS
+
+    def test_utilization(self, sim, core):
+        core.submit(5 * MS, "t")
+        sim.run()
+
+        def idle():
+            yield Timeout(5 * MS)
+
+        sim.run_process(idle())
+        assert core.utilization() == pytest.approx(0.5)
+
+    def test_run_helper_generator(self, sim, core):
+        def body():
+            yield from core.run(4 * MS, "gen")
+            return sim.now
+
+        assert sim.run_process(body()) == 4 * MS
+
+    def test_invalid_quantum_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            CpuCore(sim, quantum_ns=0)

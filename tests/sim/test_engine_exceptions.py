@@ -1,0 +1,70 @@
+"""Exception semantics of the event loop.
+
+Errors raised inside a process body propagate out of ``run()`` at the
+point the process was resumed — simulations fail fast and loudly rather
+than swallowing bugs.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator, Timeout
+
+
+class BoomError(Exception):
+    pass
+
+
+def test_exception_in_process_body_propagates(sim):
+    def body():
+        yield Timeout(5)
+        raise BoomError("inside")
+
+    sim.spawn(body())
+    with pytest.raises(BoomError, match="inside"):
+        sim.run()
+
+
+def test_clock_stops_at_the_failure_point(sim):
+    def body():
+        yield Timeout(7)
+        raise BoomError
+
+    sim.spawn(body())
+    with pytest.raises(BoomError):
+        sim.run()
+    assert sim.now == 7
+
+
+def test_exception_in_scheduled_callback_propagates(sim):
+    def bad():
+        raise BoomError
+
+    sim.schedule(3, bad)
+    with pytest.raises(BoomError):
+        sim.run()
+
+
+def test_other_events_resume_after_a_failed_run(sim):
+    seen = []
+
+    def bad():
+        raise BoomError
+
+    sim.schedule(1, bad)
+    sim.schedule(2, seen.append, "later")
+    with pytest.raises(BoomError):
+        sim.run()
+    # The queue is not corrupted: a subsequent run drains the rest.
+    sim.run()
+    assert seen == ["later"]
+
+
+def test_generator_close_does_not_break_the_loop(sim):
+    def body():
+        yield Timeout(10)
+
+    process = sim.spawn(body())
+    process._generator.close()
+    # The resume of a closed generator raises StopIteration → finishes.
+    sim.run()
+    assert process.finished

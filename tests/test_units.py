@@ -1,0 +1,46 @@
+"""Unit tests for the units module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_page_and_block_constants():
+    assert units.PAGE_SIZE == 4096
+    assert units.MEMORY_BLOCK_SIZE == 128 * 1024 * 1024
+    assert units.PAGES_PER_BLOCK == 32768
+
+
+def test_bytes_to_pages_rounds_up():
+    assert units.bytes_to_pages(1) == 1
+    assert units.bytes_to_pages(4096) == 1
+    assert units.bytes_to_pages(4097) == 2
+
+
+def test_bytes_to_blocks_rounds_up():
+    assert units.bytes_to_blocks(1) == 1
+    assert units.bytes_to_blocks(units.MEMORY_BLOCK_SIZE) == 1
+    assert units.bytes_to_blocks(units.MEMORY_BLOCK_SIZE + 1) == 2
+
+
+@given(st.integers(0, 10**15))
+def test_pages_roundtrip_is_monotone(size):
+    pages = units.bytes_to_pages(size)
+    assert units.pages_to_bytes(pages) >= size
+    assert units.pages_to_bytes(max(pages - 1, 0)) <= max(size, 0) or pages == 0
+
+
+def test_format_bytes_picks_binary_suffix():
+    assert units.format_bytes(384 * units.MIB) == "384MiB"
+    assert units.format_bytes(2 * units.GIB) == "2GiB"
+    assert units.format_bytes(4 * units.KIB) == "4KiB"
+    assert units.format_bytes(100) == "100B"
+
+
+def test_format_ns_magnitudes():
+    assert units.format_ns(1_500) == "1.500us"
+    assert units.format_ns(2_500_000) == "2.500ms"
+    assert units.format_ns(3 * units.SEC) == "3.000s"
+    assert units.format_ns(500) == "500ns"

@@ -1,0 +1,106 @@
+"""Unit tests for the vanilla hotplug backend."""
+
+import pytest
+
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.costs import CostModel, ZeroingMode
+from repro.units import GIB, MIB, PAGES_PER_BLOCK
+from repro.virtio.backend import VanillaBackend
+
+
+@pytest.fixture
+def manager():
+    manager = GuestMemoryManager(1 * GIB, 2 * GIB)
+    for index in manager.hotplug_block_indices():
+        manager.online_block(index, manager.zone_movable)
+    return manager
+
+
+@pytest.fixture
+def backend(manager, costs):
+    return VanillaBackend(manager, costs)
+
+
+class TestPlugPolicy:
+    def test_plug_targets_zone_movable(self, backend, manager):
+        assert backend.zones_for_plug(4) == [(manager.zone_movable, 4)]
+
+    def test_no_zeroing_under_init_on_alloc(self, backend):
+        assert backend.plug_zero_pages_per_block() == 0
+
+    def test_full_block_zeroing_under_init_on_free(self, manager):
+        costs = CostModel(zeroing_mode=ZeroingMode.INIT_ON_FREE)
+        backend = VanillaBackend(manager, costs)
+        assert backend.plug_zero_pages_per_block() == PAGES_PER_BLOCK
+
+
+class TestUnplugPlanning:
+    def test_plans_highest_blocks_first(self, backend, manager):
+        plan = backend.plan_unplug(3)
+        indices = [entry.block.index for entry in plan]
+        highest = sorted(
+            (b.index for b in manager.zone_movable.blocks), reverse=True
+        )[:3]
+        assert indices == highest
+
+    def test_plan_counts_scanned_blocks(self, backend):
+        plan = backend.plan_unplug(2)
+        assert all(entry.scanned_blocks >= 1 for entry in plan)
+
+    def test_plan_skips_isolated_blocks(self, backend, manager):
+        top = manager.zone_movable.blocks[-1]
+        manager.isolate_block(top)
+        plan = backend.plan_unplug(1)
+        assert plan[0].block is not top
+
+    def test_plan_limited_by_headroom(self, backend, manager):
+        # Occupy almost everything: nothing can be migrated anywhere.
+        mm = MmStruct("hog")
+        manager.alloc_pages(mm, manager.free_pages_total - 10)
+        plan = backend.plan_unplug(4)
+        assert len(plan) == 0
+
+    def test_partial_plan_when_headroom_allows_some(self, backend, manager):
+        mm = MmStruct("hog")
+        # Leave ~1.5 blocks of headroom: only a limited number of blocks
+        # can be drained.
+        manager.alloc_pages(
+            mm, manager.free_pages_total - PAGES_PER_BLOCK - PAGES_PER_BLOCK // 2
+        )
+        plan = backend.plan_unplug(16)
+        assert 0 < len(plan) < 16
+
+    def test_emptiest_first_prefers_cheap_blocks(self, manager, costs):
+        backend = VanillaBackend(manager, costs, selection="emptiest_first")
+        mm = MmStruct("p")
+        # Occupy only the highest block heavily (sequential would pick it).
+        top = manager.zone_movable.blocks[-1]
+        top.charge(mm, 1000)
+        mm._mirror_charge(top, 1000)
+        manager.zone_movable._free_pages -= 1000
+        plan = backend.plan_unplug(1)
+        assert plan[0].block.occupied_pages == 0
+
+    def test_unknown_selection_rejected(self, manager, costs):
+        with pytest.raises(ValueError):
+            VanillaBackend(manager, costs, selection="bogus")
+
+
+class TestUnplugExecution:
+    def test_migrate_for_unplug_empties_block(self, backend, manager):
+        mm = MmStruct("p")
+        manager.alloc_pages(mm, 3 * PAGES_PER_BLOCK)
+        block = manager.zone_movable.blocks[0]
+        occupied = block.occupied_pages
+        migrated = backend.migrate_for_unplug(block)
+        assert migrated == occupied
+        assert block.is_empty
+
+    def test_unplug_zeroing_tracks_migrations_under_init_on_alloc(self, backend):
+        assert backend.unplug_zero_pages(500) == 500
+
+    def test_unplug_no_zeroing_under_init_on_free(self, manager):
+        costs = CostModel(zeroing_mode=ZeroingMode.INIT_ON_FREE)
+        backend = VanillaBackend(manager, costs)
+        assert backend.unplug_zero_pages(500) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for batched unplug (the Section 6.1.1 future work)."""
+
+import pytest
+
+from repro.mm.manager import GuestMemoryManager
+from repro.sim.cpu import CpuCore
+from repro.units import GIB, MEMORY_BLOCK_SIZE
+from repro.virtio.backend import UnplugPlanEntry, VanillaBackend
+from repro.virtio.driver import VirtioMemDriver
+
+
+@pytest.fixture
+def rig(sim, costs):
+    manager = GuestMemoryManager(1 * GIB, 2 * GIB)
+    backend = VanillaBackend(manager, costs)
+    core = CpuCore(sim, name="irq")
+    batched = VirtioMemDriver(
+        sim, manager, backend, costs, irq_core=core, batch_unplug=True
+    )
+    return manager, batched, core
+
+
+def plug_all(sim, manager, driver):
+    sim.run_process(driver.handle_plug(list(manager.hotplug_block_indices())))
+
+
+class TestRunGrouping:
+    def make_entries(self, manager, indices):
+        return [UnplugPlanEntry(manager.blocks[i]) for i in indices]
+
+    def test_adjacent_blocks_group(self, rig):
+        manager, driver, _ = rig
+        entries = self.make_entries(manager, [8, 9, 10, 12, 13, 20])
+        runs = driver._contiguous_runs(entries)
+        assert [[e.block.index for e in run] for run in runs] == [
+            [8, 9, 10],
+            [12, 13],
+            [20],
+        ]
+
+    def test_unsorted_plan_still_groups(self, rig):
+        manager, driver, _ = rig
+        entries = self.make_entries(manager, [10, 8, 9])
+        runs = driver._contiguous_runs(entries)
+        assert [[e.block.index for e in run] for run in runs] == [[8, 9, 10]]
+
+
+class TestBatchedExecution:
+    def test_batched_unplug_reports_runs(self, sim, rig):
+        manager, driver, _ = rig
+        plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(8))
+        assert outcome.unplugged_blocks == 8
+        assert outcome.contiguous_runs == 1  # empty guest → one run
+
+    def test_unbatched_runs_equal_blocks(self, sim, costs):
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        backend = VanillaBackend(manager, costs)
+        core = CpuCore(sim)
+        driver = VirtioMemDriver(sim, manager, backend, costs, irq_core=core)
+        plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(4))
+        assert outcome.contiguous_runs == outcome.unplugged_blocks == 4
+
+    def test_batched_is_faster_for_contiguous_runs(self, sim, costs):
+        def unplug_time(batch):
+            from repro.sim.engine import Simulator
+
+            local = Simulator()
+            manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+            backend = VanillaBackend(manager, costs)
+            core = CpuCore(local)
+            driver = VirtioMemDriver(
+                local, manager, backend, costs, irq_core=core, batch_unplug=batch
+            )
+            local.run_process(
+                driver.handle_plug(list(manager.hotplug_block_indices()))
+            )
+            before = local.now
+            local.run_process(driver.handle_unplug(8))
+            return local.now - before
+
+        assert unplug_time(True) < unplug_time(False)
+
+    def test_batched_state_identical_to_unbatched(self, sim, rig):
+        manager, driver, _ = rig
+        plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(8))
+        assert sorted(outcome.unplugged_block_indices) == sorted(
+            outcome.unplugged_block_indices
+        )
+        manager.check_consistency()
+        assert manager.plugged_bytes == 8 * MEMORY_BLOCK_SIZE

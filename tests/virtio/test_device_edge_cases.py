@@ -1,0 +1,84 @@
+"""Edge cases for the virtio-mem device."""
+
+import pytest
+
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB
+
+
+class TestZeroSizedRequests:
+    def test_plug_zero_bytes_is_a_noop(self, sim, vanilla_vm):
+        process = vanilla_vm.request_plug(0)
+        sim.run()
+        assert process.value.plugged_bytes == 0
+        assert vanilla_vm.device.plugged_bytes == 0
+        vanilla_vm.check_consistency()
+
+    def test_unplug_zero_bytes_is_a_noop(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(256 * MIB)
+        sim.run()
+        process = vanilla_vm.request_unplug(0)
+        sim.run()
+        assert process.value.unplugged_bytes == 0
+        assert vanilla_vm.device.plugged_bytes == 256 * MIB
+
+
+class TestSubBlockRounding:
+    @pytest.mark.parametrize("size", [1, 4096, MIB, 127 * MIB])
+    def test_plug_rounds_any_size_to_one_block(self, sim, vanilla_vm, size):
+        process = vanilla_vm.request_plug(size)
+        sim.run()
+        assert process.value.plugged_bytes == MEMORY_BLOCK_SIZE
+
+    def test_unplug_rounds_up_too(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        process = vanilla_vm.request_unplug(129 * MIB)
+        sim.run()
+        assert process.value.unplugged_bytes == 2 * MEMORY_BLOCK_SIZE
+
+
+class TestRegionExhaustion:
+    def test_exact_region_fill_and_drain(self, sim, vanilla_vm):
+        region = vanilla_vm.config.hotplug_region_bytes
+        vanilla_vm.request_plug(region)
+        sim.run()
+        assert vanilla_vm.device.plugged_bytes == region
+        vanilla_vm.request_unplug(region)
+        sim.run()
+        assert vanilla_vm.device.plugged_bytes == 0
+        vanilla_vm.check_consistency()
+
+    def test_replug_after_full_drain(self, sim, vanilla_vm):
+        region = vanilla_vm.config.hotplug_region_bytes
+        for _ in range(2):
+            vanilla_vm.request_plug(region)
+            sim.run()
+            vanilla_vm.request_unplug(region)
+            sim.run()
+        assert vanilla_vm.device.plugged_bytes == 0
+        vanilla_vm.check_consistency()
+
+
+class TestQueueFairness:
+    def test_requests_complete_in_submission_order(self, sim, vanilla_vm):
+        order = []
+        processes = []
+        for i in range(4):
+            process = vanilla_vm.request_plug(128 * MIB)
+            process.done_event.add_callback(
+                lambda _, tag=i: order.append(tag)
+            )
+            processes.append(process)
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_mixed_queue_preserves_order(self, sim, vanilla_vm):
+        events = vanilla_vm.tracer.events
+        vanilla_vm.request_plug(512 * MIB)
+        vanilla_vm.request_unplug(256 * MIB)
+        vanilla_vm.request_plug(256 * MIB)
+        sim.run()
+        kinds = [e.kind for e in events]
+        assert kinds == ["plug", "unplug", "plug"]
+        for earlier, later in zip(events, events[1:]):
+            assert later.start_ns >= earlier.end_ns

@@ -1,0 +1,104 @@
+"""Unit tests for the guest virtio-mem driver."""
+
+import pytest
+
+from repro.mm.block import BlockState
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim.cpu import CpuCore
+from repro.units import GIB, PAGES_PER_BLOCK
+from repro.virtio.backend import VanillaBackend
+from repro.virtio.driver import VIRTIO_MEM_LABEL, VirtioMemDriver
+
+
+@pytest.fixture
+def rig(sim, costs):
+    manager = GuestMemoryManager(1 * GIB, 2 * GIB)
+    backend = VanillaBackend(manager, costs)
+    core = CpuCore(sim, name="irq-vcpu")
+    driver = VirtioMemDriver(sim, manager, backend, costs, irq_core=core)
+    return manager, driver, core
+
+
+class TestPlug:
+    def test_plug_onlines_requested_blocks(self, sim, rig):
+        manager, driver, core = rig
+        indices = list(manager.hotplug_block_indices())[:4]
+        outcome = sim.run_process(driver.handle_plug(indices))
+        assert outcome.plugged_block_indices == indices
+        for index in indices:
+            assert manager.blocks[index].state is BlockState.ONLINE
+
+    def test_plug_charges_cpu_with_virtio_label(self, sim, rig, costs):
+        manager, driver, core = rig
+        indices = list(manager.hotplug_block_indices())[:3]
+        sim.run_process(driver.handle_plug(indices))
+        assert core.busy_ns_for(VIRTIO_MEM_LABEL) == 3 * costs.plug_block_ns()
+
+    def test_plug_takes_simulated_time(self, sim, rig):
+        manager, driver, core = rig
+        indices = list(manager.hotplug_block_indices())[:2]
+        sim.run_process(driver.handle_plug(indices))
+        assert sim.now > 0
+
+    def test_plug_at_boot_is_instant_and_uncharged(self, sim, rig):
+        manager, driver, core = rig
+        indices = list(manager.hotplug_block_indices())[:2]
+        driver.plug_at_boot(indices, manager.zone_movable)
+        assert sim.now == 0
+        assert core.busy_ns == 0
+        assert manager.blocks[indices[0]].state is BlockState.ONLINE
+
+
+class TestUnplug:
+    def _plug_all(self, sim, manager, driver):
+        indices = list(manager.hotplug_block_indices())
+        sim.run_process(driver.handle_plug(indices))
+
+    def test_unplug_empty_guest_removes_blocks_without_migration(self, sim, rig):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(4))
+        assert outcome.unplugged_blocks == 4
+        assert outcome.migrated_pages == 0
+
+    def test_unplug_occupied_guest_migrates(self, sim, rig):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        mm = MmStruct("p")
+        manager.alloc_pages(mm, 8 * PAGES_PER_BLOCK)
+        outcome = sim.run_process(driver.handle_unplug(4))
+        assert outcome.unplugged_blocks == 4
+        assert outcome.migrated_pages > 0
+        manager.check_consistency()
+
+    def test_unplug_migration_charges_cpu(self, sim, rig, costs):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        mm = MmStruct("p")
+        manager.alloc_pages(mm, 8 * PAGES_PER_BLOCK)
+        cpu_before = core.busy_ns_for(VIRTIO_MEM_LABEL)
+        outcome = sim.run_process(driver.handle_unplug(2))
+        cpu = core.busy_ns_for(VIRTIO_MEM_LABEL) - cpu_before
+        assert cpu >= costs.migrate_pages_ns(outcome.migrated_pages)
+
+    def test_unplug_partial_when_headroom_exhausted(self, sim, rig):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        mm = MmStruct("p")
+        manager.alloc_pages(mm, manager.free_pages_total - 100)
+        outcome = sim.run_process(driver.handle_unplug(8))
+        assert outcome.unplugged_blocks == 0
+
+    def test_unplug_reports_scanned_blocks(self, sim, rig):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(2))
+        assert outcome.scanned_blocks >= 2
+
+    def test_unplugged_blocks_are_absent(self, sim, rig):
+        manager, driver, core = rig
+        self._plug_all(sim, manager, driver)
+        outcome = sim.run_process(driver.handle_unplug(3))
+        for index in outcome.unplugged_block_indices:
+            assert manager.blocks[index].state is BlockState.ABSENT

@@ -1,0 +1,45 @@
+"""Unit tests for VM configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB
+from repro.vmm.config import VmConfig, default_boot_memory_bytes
+
+
+class TestDefaults:
+    def test_boot_memory_formula_covers_memmap(self):
+        boot = default_boot_memory_bytes(64 * GIB)
+        assert boot >= 64 * GIB // 64  # memmap portion
+        assert boot % MEMORY_BLOCK_SIZE == 0
+
+    def test_boot_memory_minimum(self):
+        assert default_boot_memory_bytes(0) >= 512 * MIB
+
+    def test_explicit_boot_memory_wins(self):
+        config = VmConfig("vm", hotplug_region_bytes=GIB, boot_memory_bytes=GIB)
+        assert config.effective_boot_memory_bytes == GIB
+
+    def test_auto_boot_memory_applied(self):
+        config = VmConfig("vm", hotplug_region_bytes=8 * GIB)
+        assert config.effective_boot_memory_bytes == default_boot_memory_bytes(8 * GIB)
+
+
+class TestValidation:
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ConfigError):
+            VmConfig("vm", hotplug_region_bytes=GIB, vcpus=0)
+
+    def test_misaligned_region_rejected(self):
+        with pytest.raises(ConfigError):
+            VmConfig("vm", hotplug_region_bytes=100 * MIB)
+
+    def test_irq_vcpu_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            VmConfig("vm", hotplug_region_bytes=GIB, vcpus=2, virtio_irq_vcpu=2)
+
+    def test_paper_defaults(self):
+        config = VmConfig("vm", hotplug_region_bytes=GIB)
+        assert config.vcpus == 10
+        assert config.placement == "scatter"
+        assert config.virtio_irq_vcpu == 0

@@ -1,0 +1,60 @@
+"""Tests for the target-size resize API (virtio-mem protocol semantics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB
+
+
+class TestRequestResize:
+    def test_grow_to_target(self, sim, vanilla_vm):
+        process = vanilla_vm.request_resize(1 * GIB)
+        sim.run()
+        assert process.value.plugged_bytes == 1 * GIB
+        assert vanilla_vm.device.plugged_bytes == 1 * GIB
+
+    def test_shrink_to_target(self, sim, vanilla_vm):
+        vanilla_vm.request_resize(1 * GIB)
+        sim.run()
+        vanilla_vm.request_resize(256 * MIB)
+        sim.run()
+        assert vanilla_vm.device.plugged_bytes == 256 * MIB
+        vanilla_vm.check_consistency()
+
+    def test_noop_at_target_returns_none(self, sim, vanilla_vm):
+        vanilla_vm.request_resize(256 * MIB)
+        sim.run()
+        assert vanilla_vm.request_resize(256 * MIB) is None
+
+    def test_target_rounded_to_blocks(self, sim, vanilla_vm):
+        vanilla_vm.request_resize(200 * MIB)
+        sim.run()
+        assert vanilla_vm.device.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
+
+    def test_target_beyond_region_rejected(self, vanilla_vm):
+        with pytest.raises(ConfigError):
+            vanilla_vm.request_resize(100 * GIB)
+
+    def test_resize_to_zero_drains_everything(self, sim, vanilla_vm):
+        vanilla_vm.request_resize(1 * GIB)
+        sim.run()
+        vanilla_vm.request_resize(0)
+        sim.run()
+        assert vanilla_vm.device.plugged_bytes == 0
+
+    def test_sequence_of_targets_converges(self, sim, vanilla_vm):
+        for target in (512 * MIB, 2 * GIB, 128 * MIB, 1 * GIB):
+            vanilla_vm.request_resize(target)
+            sim.run()
+            assert vanilla_vm.device.plugged_bytes == target
+        vanilla_vm.check_consistency()
+
+    def test_hotmem_resize_respects_partitions(self, sim, hotmem_vm):
+        shared = hotmem_vm.hotmem.params.shared_bytes
+        hotmem_vm.request_resize(shared + 2 * 384 * MIB)
+        sim.run()
+        populated = [
+            p for p in hotmem_vm.hotmem.partitions if p.is_fully_populated
+        ]
+        assert len(populated) == 2
+        hotmem_vm.check_consistency()

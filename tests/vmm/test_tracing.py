@@ -1,0 +1,37 @@
+"""Unit tests for hypervisor-side tracing."""
+
+from repro.vmm.tracing import HypervisorTracer
+from repro.units import MIB, SEC
+
+
+def test_events_partitioned_by_kind():
+    tracer = HypervisorTracer()
+    tracer.record_plug(0, 10, 100, 100)
+    tracer.record_unplug(20, 30, 200, 150, migrated_pages=5)
+    assert len(tracer.plug_events()) == 1
+    assert len(tracer.unplug_events()) == 1
+
+
+def test_latency_derived_from_timestamps():
+    tracer = HypervisorTracer()
+    tracer.record_unplug(100, 350, 10, 10, 0)
+    assert tracer.unplug_events()[0].latency_ns == 250
+
+
+def test_total_unplugged_counts_completed_only():
+    tracer = HypervisorTracer()
+    tracer.record_unplug(0, 1, 10 * MIB, 5 * MIB, 0)
+    tracer.record_unplug(2, 3, 10 * MIB, 10 * MIB, 0)
+    assert tracer.total_unplugged_bytes() == 15 * MIB
+
+
+def test_reclaim_throughput_uses_busy_time():
+    tracer = HypervisorTracer()
+    # 1024 MiB reclaimed over a total of 2 s of unplug busy time.
+    tracer.record_unplug(0, 1 * SEC, 512 * MIB, 512 * MIB, 0)
+    tracer.record_unplug(5 * SEC, 6 * SEC, 512 * MIB, 512 * MIB, 0)
+    assert tracer.reclaim_throughput_mib_per_sec() == 512.0
+
+
+def test_throughput_zero_when_no_unplugs():
+    assert HypervisorTracer().reclaim_throughput_mib_per_sec() == 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for VM wiring (vanilla, HotMem, overprovisioned)."""
+
+import pytest
+
+from repro.core import HotMemBootParams
+from repro.errors import ConfigError
+from repro.units import GIB, MIB
+from repro.vmm import VirtualMachine, VmConfig
+
+
+class TestVanillaWiring:
+    def test_vcpus_and_vmm_thread_created(self, vanilla_vm):
+        assert len(vanilla_vm.vcpus) == 10
+        assert vanilla_vm.irq_vcpu is vanilla_vm.vcpus[0]
+        assert vanilla_vm.vmm_core.name.endswith("-vmm")
+
+    def test_not_hotmem(self, vanilla_vm):
+        assert not vanilla_vm.is_hotmem
+        assert vanilla_vm.hotmem is None
+
+    def test_boot_memory_charged_on_host(self, sim, host):
+        used_before = host.node(0).used_bytes
+        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+        assert host.node(0).used_bytes == (
+            used_before + vm.config.effective_boot_memory_bytes
+        )
+
+    def test_shutdown_releases_host_memory(self, sim, host):
+        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+        vm.request_plug(512 * MIB)
+        sim.run()
+        vm.shutdown()
+        assert host.node(0).used_bytes == 0
+
+    def test_shutdown_idempotent(self, sim, host):
+        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+        vm.shutdown()
+        vm.shutdown()
+        assert host.node(0).used_bytes == 0
+
+
+class TestHotMemWiring:
+    def test_partitions_created(self, hotmem_vm, hotmem_params):
+        assert hotmem_vm.is_hotmem
+        assert len(hotmem_vm.hotmem.partitions) == hotmem_params.concurrency
+
+    def test_shared_partition_populated_at_boot(self, hotmem_vm, hotmem_params):
+        shared = hotmem_vm.hotmem.shared_partition
+        assert shared.is_fully_populated
+        assert hotmem_vm.device.plugged_bytes == hotmem_params.shared_bytes
+
+    def test_region_too_small_rejected(self, sim, host, hotmem_params):
+        with pytest.raises(ConfigError):
+            VirtualMachine(
+                sim,
+                host,
+                VmConfig("vm", hotplug_region_bytes=GIB),
+                hotmem_params=hotmem_params,
+            )
+
+    def test_file_faults_use_shared_partition(self, sim, hotmem_vm):
+        from repro.mm.pagecache import CachedFile
+
+        file = hotmem_vm.page_cache.register(CachedFile("lib", 1000))
+        mm = hotmem_vm.new_process("fn")
+        hotmem_vm.fault_handler.fault_file(mm, file, 1000)
+        shared_zone = hotmem_vm.hotmem.shared_partition.zone
+        assert shared_zone.occupied_pages == 1000
+
+
+class TestProcessLifecycle:
+    def test_exit_vanilla_process(self, sim, vanilla_vm):
+        mm = vanilla_vm.new_process("p")
+        vanilla_vm.fault_handler.fault_anon(mm, 100)
+        charge = vanilla_vm.exit_process(mm)
+        assert charge.anon_pages == 100
+        assert mm.total_pages == 0
+
+    def test_exit_hotmem_process_releases_partition(self, sim, hotmem_vm):
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        mm = hotmem_vm.new_process("fn")
+        partition = hotmem_vm.hotmem.try_attach(mm)
+        hotmem_vm.fault_handler.fault_anon(mm, 1000)
+        hotmem_vm.exit_process(mm)
+        assert partition.is_reclaimable
+
+
+class TestOverprovisioned:
+    def test_plug_all_at_boot(self, sim, host):
+        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=2 * GIB))
+        vm.plug_all_at_boot()
+        assert vm.device.plugged_bytes == 2 * GIB
+        assert sim.now == 0
+        vm.check_consistency()
+
+    def test_plug_all_at_boot_idempotent(self, sim, host):
+        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+        vm.plug_all_at_boot()
+        vm.plug_all_at_boot()
+        assert vm.device.plugged_bytes == GIB
+
+
+class TestEndToEndResize:
+    def test_hotmem_unplug_is_much_faster_than_vanilla(self, sim, host):
+        """The headline claim at unit scale: same load, same reclaim,
+        an order of magnitude apart."""
+        from repro.workloads.memhog import Memhog
+
+        results = {}
+        for mode in ("vanilla", "hotmem"):
+            local_sim = type(sim)()
+            local_host = type(host)(local_sim)
+            params = None
+            if mode == "hotmem":
+                params = HotMemBootParams(384 * MIB, concurrency=8, shared_bytes=0)
+            vm = VirtualMachine(
+                local_sim,
+                local_host,
+                VmConfig(mode, hotplug_region_bytes=8 * 384 * MIB),
+                hotmem_params=params,
+            )
+            vm.request_plug(8 * 384 * MIB)
+            local_sim.run()
+            hogs = [
+                Memhog(vm, 300 * MIB, vcpu_index=i % 10,
+                       use_hotmem=mode == "hotmem", name=f"hog{i}")
+                for i in range(8)
+            ]
+            for hog in hogs:
+                hog.materialize()
+            for hog in hogs[-2:]:
+                hog.release()
+            process = vm.request_unplug(2 * 384 * MIB)
+            local_sim.run()
+            results[mode] = process.value
+            vm.check_consistency()
+        assert results["hotmem"].migrated_pages == 0
+        assert results["vanilla"].migrated_pages > 0
+        assert (
+            results["vanilla"].latency_ns > 10 * results["hotmem"].latency_ns
+        )

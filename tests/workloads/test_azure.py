@@ -1,0 +1,129 @@
+"""Unit tests for the Azure-like trace generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.units import SEC
+from repro.workloads.azure import (
+    AzureTraceGenerator,
+    RatePhase,
+    bursty_trace,
+    diurnal_phases,
+)
+
+
+class TestRatePhase:
+    def test_empty_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            RatePhase(5.0, 5.0, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            RatePhase(0.0, 1.0, -1.0)
+
+
+class TestGenerate:
+    def test_deterministic_per_seed(self):
+        phases = [RatePhase(0, 10, 5.0)]
+        a = AzureTraceGenerator(1).generate("f", phases)
+        b = AzureTraceGenerator(1).generate("f", phases)
+        assert a.arrivals_ns == b.arrivals_ns
+
+    def test_different_seeds_differ(self):
+        phases = [RatePhase(0, 10, 5.0)]
+        a = AzureTraceGenerator(1).generate("f", phases)
+        b = AzureTraceGenerator(2).generate("f", phases)
+        assert a.arrivals_ns != b.arrivals_ns
+
+    def test_function_name_seeds_independent_streams(self):
+        phases = [RatePhase(0, 10, 5.0)]
+        generator = AzureTraceGenerator(1)
+        a = generator.generate("alpha", phases)
+        b = generator.generate("beta", phases)
+        assert a.arrivals_ns != b.arrivals_ns
+
+    def test_zero_rate_phase_yields_nothing(self):
+        trace = AzureTraceGenerator(0).generate("f", [RatePhase(0, 100, 0.0)])
+        assert len(trace) == 0
+
+    def test_arrivals_within_phase_bounds(self):
+        trace = AzureTraceGenerator(0).generate("f", [RatePhase(5, 10, 20.0)])
+        assert all(5 * SEC <= t < 10 * SEC for t in trace)
+
+    def test_rate_roughly_respected(self):
+        trace = AzureTraceGenerator(0).generate("f", [RatePhase(0, 100, 10.0)])
+        assert 800 <= len(trace) <= 1200
+
+
+class TestBursty:
+    def test_burst_denser_than_base(self):
+        trace = bursty_trace(
+            "f", seed=3, duration_s=100, burst_rps=50, base_rps=1,
+            bursts=((0.0, 5.0),),
+        )
+        burst_count = trace.arrivals_in_window(0, 5 * SEC)
+        later_count = trace.arrivals_in_window(5 * SEC, 100 * SEC)
+        assert burst_count > 150
+        assert later_count < burst_count
+
+    def test_multiple_bursts(self):
+        trace = bursty_trace(
+            "f", seed=3, duration_s=200, burst_rps=50, base_rps=0,
+            bursts=((0.0, 2.0), (100.0, 102.0)),
+        )
+        assert trace.arrivals_in_window(0, 2 * SEC) > 0
+        assert trace.arrivals_in_window(100 * SEC, 102 * SEC) > 0
+        assert trace.arrivals_in_window(10 * SEC, 90 * SEC) == 0
+
+    def test_burst_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            bursty_trace("f", duration_s=10, bursts=((5.0, 20.0),))
+
+
+class TestDiurnal:
+    def test_phases_cover_duration(self):
+        phases = diurnal_phases(100, period_s=50, peak_rps=10, trough_rps=1)
+        assert phases[0].start_s == 0
+        assert phases[-1].end_s == 100
+        for left, right in zip(phases, phases[1:]):
+            assert left.end_s == right.start_s
+
+    def test_rates_bounded_by_peak_and_trough(self):
+        phases = diurnal_phases(200, period_s=100, peak_rps=20, trough_rps=2)
+        rates = [p.rps for p in phases]
+        assert max(rates) <= 20 + 1e-9
+        assert min(rates) >= 2 - 1e-9
+
+    def test_cycle_actually_oscillates(self):
+        trace = AzureTraceGenerator(0).diurnal(
+            "f", duration_s=400, period_s=100, peak_rps=40, trough_rps=1
+        )
+        from repro.units import SEC
+
+        # Quarter-period windows around peak vs trough differ strongly.
+        peak_window = trace.arrivals_in_window(10 * SEC, 40 * SEC)
+        trough_window = trace.arrivals_in_window(60 * SEC, 90 * SEC)
+        assert peak_window > 3 * max(trough_window, 1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            diurnal_phases(100, period_s=0, peak_rps=1, trough_rps=0)
+        with pytest.raises(ConfigError):
+            diurnal_phases(100, period_s=10, peak_rps=1, trough_rps=5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    duration=st.floats(1.0, 120.0),
+    rps=st.floats(0.1, 50.0),
+)
+def test_generated_traces_always_sorted_and_bounded(seed, duration, rps):
+    trace = AzureTraceGenerator(seed).generate(
+        "f", [RatePhase(0.0, duration, rps)]
+    )
+    arrivals = trace.arrivals_ns
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= t < duration * SEC for t in arrivals)

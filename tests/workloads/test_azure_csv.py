@@ -1,0 +1,151 @@
+"""Unit tests for the Azure Functions CSV trace loader."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import SEC
+from repro.workloads.azure_csv import (
+    DAY_MINUTES,
+    load_azure_trace,
+    load_invocation_rows,
+    trace_from_minute_counts,
+)
+
+
+def write_csv(path, rows):
+    header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+        str(m) for m in range(1, DAY_MINUTES + 1)
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for owner, app, function, trigger, counts in rows:
+            writer.writerow([owner, app, function, trigger] + counts)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "invocations_per_function_md.anon.d01.csv"
+    busy = [0] * DAY_MINUTES
+    busy[0] = 10
+    busy[1] = 5
+    busy[700] = 100
+    idle = [0] * DAY_MINUTES
+    idle[3] = 1
+    write_csv(
+        path,
+        [
+            ("o1", "a1", "fn-busy", "http", busy),
+            ("o1", "a1", "fn-idle", "timer", idle),
+        ],
+    )
+    return path
+
+
+class TestLoadRows:
+    def test_loads_every_row(self, trace_file):
+        rows = load_invocation_rows(trace_file)
+        assert [r.function for r in rows] == ["fn-busy", "fn-idle"]
+        assert rows[0].total_invocations == 115
+        assert rows[0].trigger == "http"
+
+    def test_function_hash_filter(self, trace_file):
+        rows = load_invocation_rows(trace_file, function_hash="fn-idle")
+        assert len(rows) == 1
+        assert rows[0].function == "fn-idle"
+
+    def test_min_total_filter(self, trace_file):
+        rows = load_invocation_rows(trace_file, min_total=10)
+        assert [r.function for r in rows] == ["fn-busy"]
+
+    def test_limit(self, trace_file):
+        rows = load_invocation_rows(trace_file, limit=1)
+        assert len(rows) == 1
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ConfigError):
+            load_invocation_rows(path)
+
+    def test_truncated_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+            str(m) for m in range(1, DAY_MINUTES + 1)
+        ]
+        path.write_text(",".join(header) + "\no,a,f,http,1,2,3\n")
+        with pytest.raises(ConfigError):
+            load_invocation_rows(path)
+
+
+class TestMinuteCounts:
+    def test_counts_preserved_exactly(self):
+        trace = trace_from_minute_counts("f", [3, 0, 2])
+        assert len(trace) == 5
+        assert trace.arrivals_in_window(0, 60 * SEC) == 3
+        assert trace.arrivals_in_window(60 * SEC, 120 * SEC) == 0
+        assert trace.arrivals_in_window(120 * SEC, 180 * SEC) == 2
+
+    def test_deterministic_per_seed(self):
+        a = trace_from_minute_counts("f", [5, 5], seed=1)
+        b = trace_from_minute_counts("f", [5, 5], seed=1)
+        c = trace_from_minute_counts("f", [5, 5], seed=2)
+        assert a.arrivals_ns == b.arrivals_ns
+        assert a.arrivals_ns != c.arrivals_ns
+
+    def test_time_scale_compresses(self):
+        trace = trace_from_minute_counts("f", [1] * 10, time_scale=0.1)
+        assert trace.duration_ns < 10 * 6 * SEC
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_from_minute_counts("f", [1, -1])
+
+    def test_invalid_time_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_from_minute_counts("f", [1], time_scale=0)
+
+
+class TestOneCallLoader:
+    def test_load_by_hash(self, trace_file):
+        trace = load_azure_trace(trace_file, "fn-busy")
+        assert len(trace) == 115
+
+    def test_minute_window(self, trace_file):
+        trace = load_azure_trace(
+            trace_file, "fn-busy", minutes=slice(0, 2)
+        )
+        assert len(trace) == 15
+
+    def test_unknown_hash_rejected(self, trace_file):
+        with pytest.raises(ConfigError):
+            load_azure_trace(trace_file, "nope")
+
+    def test_loaded_trace_drives_the_runtime(self, trace_file, sim, vanilla_vm):
+        from repro.faas import (
+            Agent,
+            DeploymentMode,
+            FaasRuntime,
+            FunctionDeployment,
+            KeepAlivePolicy,
+        )
+        from repro.workloads import get_function
+
+        trace = load_azure_trace(
+            trace_file, "fn-busy", minutes=slice(0, 2), time_scale=0.2
+        )
+        agent = Agent(
+            sim,
+            vanilla_vm,
+            [FunctionDeployment(get_function("html"), max_instances=4)],
+            KeepAlivePolicy(),
+            DeploymentMode.VANILLA,
+        )
+        runtime = FaasRuntime(sim)
+        renamed = type(trace)("html", trace.arrivals_ns)
+        runtime.drive(agent, renamed)
+        runtime.run(until_ns=120 * SEC)
+        assert len(runtime.records) == 15
+        assert all(r.ok for r in runtime.records)

@@ -1,0 +1,83 @@
+"""Unit tests for the Table 1 function specs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import MIB
+from repro.workloads.functions import TABLE1_FUNCTIONS, FunctionSpec, get_function
+from repro.units import MS
+
+
+class TestTable1:
+    """The resource limits exactly as the paper's Table 1 lists them."""
+
+    @pytest.mark.parametrize(
+        "name, vcpus, memory_mib",
+        [
+            ("cnn", 0.5, 384),
+            ("bert", 1.0, 640),
+            ("bfs", 0.5, 384),
+            ("html", 0.2, 384),
+        ],
+    )
+    def test_assigned_limits(self, name, vcpus, memory_mib):
+        spec = get_function(name)
+        assert spec.assigned_vcpus == vcpus
+        assert spec.memory_limit_bytes == memory_mib * MIB
+
+    def test_exactly_four_functions(self):
+        assert set(TABLE1_FUNCTIONS) == {"cnn", "bert", "bfs", "html"}
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [("cnn", 20), ("bert", 10), ("bfs", 20), ("html", 50)],
+    )
+    def test_max_instances_rule(self, name, expected):
+        """Max concurrency = VM vCPUs / assigned vCPUs (Section 6.2.1)."""
+        assert get_function(name).max_instances_for(10) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_function("CNN") is get_function("cnn")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigError):
+            get_function("nope")
+
+
+class TestSpecValidation:
+    def test_footprint_within_limit(self):
+        for spec in TABLE1_FUNCTIONS.values():
+            assert spec.anon_footprint_bytes <= spec.memory_limit_bytes
+
+    def test_footprint_exceeding_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            FunctionSpec(
+                name="bad",
+                assigned_vcpus=1.0,
+                memory_limit_bytes=100 * MIB,
+                exec_cpu_ns=MS,
+                anon_footprint_bytes=200 * MIB,
+                shared_deps_bytes=0,
+                cold_start_cpu_ns=MS,
+                warm_start_cpu_ns=0,
+                warm_churn_bytes=0,
+            )
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ConfigError):
+            FunctionSpec(
+                name="bad",
+                assigned_vcpus=0,
+                memory_limit_bytes=100 * MIB,
+                exec_cpu_ns=MS,
+                anon_footprint_bytes=50 * MIB,
+                shared_deps_bytes=0,
+                cold_start_cpu_ns=MS,
+                warm_start_cpu_ns=0,
+                warm_churn_bytes=0,
+            )
+
+    def test_page_helpers(self):
+        spec = get_function("cnn")
+        assert spec.anon_footprint_pages == spec.anon_footprint_bytes // 4096
+        assert spec.warm_churn_pages == spec.warm_churn_bytes // 4096

@@ -1,0 +1,127 @@
+"""Unit tests for the memhog workload."""
+
+import pytest
+
+from repro.sim.engine import Timeout
+from repro.units import MIB, SEC
+from repro.workloads.memhog import Memhog
+
+
+class TestProcessLifecycle:
+    def test_start_faults_footprint_and_signals_ready(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 256 * MIB)
+        hog.start()
+
+        def wait_ready():
+            yield hog.ready
+            pages = hog.mm.anon_pages
+            resident = hog.resident
+            hog.stop()  # let the spin loop (and the simulation) drain
+            return pages, resident
+
+        pages, resident = sim.run_process(wait_ready())
+        assert pages == 256 * MIB // 4096
+        assert resident
+
+    def test_stop_frees_memory(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 128 * MIB)
+        hog.start()
+
+        def scenario():
+            yield hog.ready
+            hog.stop()
+
+        sim.run_process(scenario())
+        sim.run()
+        assert hog.stopped
+        assert not hog.resident
+        assert hog.mm.total_pages == 0
+
+    def test_spin_loop_keeps_vcpu_busy(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 64 * MIB, vcpu_index=3)
+        hog.start()
+
+        def scenario():
+            yield hog.ready
+            yield Timeout(1 * SEC)
+            hog.stop()
+
+        sim.run_process(scenario())
+        sim.run()
+        busy = vanilla_vm.vcpus[3].busy_ns_for_prefix("memhog:")
+        assert busy >= int(0.9 * SEC)
+
+    def test_churn_cycles_allocations(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 64 * MIB, churn_fraction=0.5)
+        hog.start()
+
+        def scenario():
+            yield hog.ready
+            yield Timeout(int(0.2 * SEC))
+            hog.stop()
+
+        sim.run_process(scenario())
+        sim.run()
+        assert hog.stopped
+
+    def test_double_start_rejected(self, sim, vanilla_vm):
+        hog = Memhog(vanilla_vm, 64 * MIB)
+        vanilla_vm.request_plug(256 * MIB)
+        sim.run()
+        hog.start()
+        with pytest.raises(RuntimeError):
+            hog.start()
+        hog.stop()
+        sim.run()
+
+    def test_invalid_churn_rejected(self, vanilla_vm):
+        with pytest.raises(ValueError):
+            Memhog(vanilla_vm, MIB, churn_fraction=1.5)
+
+
+class TestHotMemMode:
+    def test_hotmem_memhog_attaches_to_partition(self, sim, hotmem_vm):
+        hotmem_vm.request_plug(384 * MIB)
+        sim.run()
+        hog = Memhog(hotmem_vm, 256 * MIB, use_hotmem=True)
+        hog.start()
+
+        def scenario():
+            yield hog.ready
+            hog.stop()
+
+        sim.run_process(scenario())
+        sim.run()
+        assert len(hotmem_vm.hotmem.reclaimable_partitions()) == 1
+
+
+class TestStateOnlyHelpers:
+    def test_materialize_and_release(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(512 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 128 * MIB)
+        hog.materialize()
+        assert hog.resident
+        assert sim.now > 0  # only the plug took time
+        hog.release()
+        assert hog.mm.total_pages == 0
+
+    def test_double_materialize_rejected(self, sim, vanilla_vm):
+        vanilla_vm.request_plug(256 * MIB)
+        sim.run()
+        hog = Memhog(vanilla_vm, 64 * MIB)
+        hog.materialize()
+        with pytest.raises(RuntimeError):
+            hog.materialize()
+
+    def test_release_without_materialize_rejected(self, vanilla_vm):
+        with pytest.raises(RuntimeError):
+            Memhog(vanilla_vm, MIB).release()

@@ -1,0 +1,46 @@
+"""Unit tests for trace containers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import SEC
+from repro.workloads.traces import InvocationTrace
+
+
+def test_arrivals_sorted_on_construction():
+    trace = InvocationTrace("f", [3, 1, 2])
+    assert trace.arrivals_ns == [1, 2, 3]
+
+
+def test_negative_arrival_rejected():
+    with pytest.raises(ConfigError):
+        InvocationTrace("f", [-1])
+
+
+def test_len_and_iter():
+    trace = InvocationTrace("f", [1, 2, 3])
+    assert len(trace) == 3
+    assert list(trace) == [1, 2, 3]
+
+
+def test_empty_trace_statistics():
+    trace = InvocationTrace("f", [])
+    assert trace.duration_ns == 0
+    assert trace.mean_rps() == 0.0
+    assert trace.peak_rps() == 0.0
+
+
+def test_mean_rps():
+    trace = InvocationTrace("f", [i * SEC for i in range(1, 11)])
+    assert trace.mean_rps() == pytest.approx(1.0)
+
+
+def test_peak_rps_finds_densest_window():
+    arrivals = [0, 1, 2, SEC * 5]
+    trace = InvocationTrace("f", arrivals)
+    assert trace.peak_rps(window_s=1.0) == 3.0
+
+
+def test_arrivals_in_window_half_open():
+    trace = InvocationTrace("f", [10, 20, 30])
+    assert trace.arrivals_in_window(10, 30) == 2
