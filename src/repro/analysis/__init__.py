@@ -1,0 +1,56 @@
+"""Correctness tooling: the memory-state sanitizer and the repo lint.
+
+Two prongs, both described in ``docs/analysis.md``:
+
+* :mod:`repro.analysis.invariants` + :mod:`repro.analysis.sanitizer` — a
+  KASAN/lockdep-style runtime checker that sweeps a registry of named
+  structural invariants over the simulated mm (page conservation, zone
+  movability, HotMem exclusivity, refcounts, mirrors, leak detection) at
+  configurable checkpoints; enabled fleet-wide with
+  ``python -m repro.experiments ... --sanitize`` or ``pytest --sanitize``.
+* :mod:`repro.analysis.lint` — an AST lint pass enforcing repo-wide
+  determinism and encapsulation conventions, run as
+  ``python tools/lint.py src``.
+"""
+
+from repro.analysis.invariants import (
+    INVARIANTS,
+    CheckContext,
+    Failure,
+    Invariant,
+    InvariantViolation,
+    check_now,
+    invariant,
+    run_invariants,
+)
+from repro.analysis.lint import LintError, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    MemSanitizer,
+    SanitizerConfig,
+    install,
+    installed_sanitizers,
+    is_installed,
+    sanitized,
+    uninstall,
+)
+
+__all__ = [
+    "CheckContext",
+    "Failure",
+    "Invariant",
+    "InvariantViolation",
+    "INVARIANTS",
+    "invariant",
+    "run_invariants",
+    "check_now",
+    "MemSanitizer",
+    "SanitizerConfig",
+    "install",
+    "uninstall",
+    "is_installed",
+    "installed_sanitizers",
+    "sanitized",
+    "LintError",
+    "lint_source",
+    "lint_paths",
+]

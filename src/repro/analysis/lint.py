@@ -1,0 +1,469 @@
+"""AST-based repository lint: determinism and encapsulation conventions.
+
+The simulator's claim to reproducibility is structural: all randomness
+flows through seeded streams (:mod:`repro.sim.rng`), all time comes from
+the engine clock, and mm accounting structures are only mutated by their
+owning modules.  Nothing in Python enforces any of that — one stray
+``random.random()`` in an experiment silently makes a figure
+unreproducible.  This lint pass walks the AST of every source file and
+enforces the conventions as hard rules:
+
+``no-direct-random``
+    No ``random``-module calls (or ``from random import ...``) inside
+    ``repro.sim``/``repro.mm``/``repro.experiments``/``repro.workloads``.
+    Use :func:`repro.sim.rng.make_rng` — the one sanctioned entry point
+    (itself exempt).  ``import random`` purely for type annotations is
+    allowed; *calling* into the module is not.
+
+``no-wallclock``
+    No ``time.time()``/``time.monotonic()``/``datetime.now()`` and
+    friends in the same scope: simulated time comes from
+    ``Simulator.now``.
+
+``no-float-page-eq``
+    No ``==``/``!=`` against float literals where the other operand names
+    a page/byte/nanosecond quantity; counts are integers, compare them as
+    integers (or use explicit tolerances for derived ratios).
+
+``mm-encapsulation``
+    Writes to mm accounting structures (``owner_pages``, ``block_pages``,
+    ``_free_pages``, ``free_pages``, ``isolated``, and mutations of a
+    ``.blocks`` list) are only legal inside the owning modules
+    (``repro.mm.zone``/``block``/``owner``/``manager``).  Everyone else
+    must go through the manager API — exactly the boundary the runtime
+    sanitizer audits.
+
+``module-all-required``
+    Every module under ``repro`` declares ``__all__``: the public surface
+    is explicit, and star-imports stay predictable.
+
+Suppression
+-----------
+Append ``# lint: allow[rule-name]`` (comma-separated names allowed, with
+optional trailing rationale) to the offending line::
+
+    started = time.time()  # lint: allow[no-wallclock] wall-clock display
+
+Machine-readable output: every error is a :class:`LintError`;
+:func:`render_json` emits them as a JSON array for tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "LintError",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]
+
+
+@dataclass(frozen=True)
+class LintError:
+    """One finding: precise location plus rule name and message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+#: rule name → one-line description (the lintable contract).
+RULES: Dict[str, str] = {
+    "no-direct-random": (
+        "sim/mm/experiments/workloads must draw randomness from "
+        "repro.sim.rng.make_rng, never the bare random module"
+    ),
+    "no-wallclock": (
+        "sim/mm/experiments/workloads must take time from the engine "
+        "clock, never time.time()/datetime.now()"
+    ),
+    "no-float-page-eq": (
+        "page/byte/ns quantities are integers; never compare them to "
+        "float literals with == or !="
+    ),
+    "mm-encapsulation": (
+        "mm accounting structures are only mutated by their owning "
+        "modules (repro.mm.zone/block/owner/manager)"
+    ),
+    "module-all-required": (
+        "every repro module declares __all__ (explicit public surface)"
+    ),
+}
+
+#: Packages the determinism rules apply to.
+_DETERMINISM_SCOPE = (
+    "repro.sim",
+    "repro.mm",
+    "repro.experiments",
+    "repro.workloads",
+)
+#: The sanctioned seeded-RNG entry point (exempt from no-direct-random).
+_RNG_ENTRYPOINT = "repro.sim.rng"
+#: Modules allowed to mutate mm accounting structures.
+_MM_OWNING_MODULES = {
+    "repro.mm.zone",
+    "repro.mm.block",
+    "repro.mm.owner",
+    "repro.mm.manager",
+}
+#: Attributes guarded by mm-encapsulation (write/mutation targets).
+_GUARDED_WRITE_ATTRS = {
+    "owner_pages",
+    "block_pages",
+    "_free_pages",
+    "free_pages",
+    "isolated",
+}
+#: Container attributes whose in-place mutator calls are guarded.
+_GUARDED_CONTAINER_ATTRS = {"owner_pages", "block_pages", "blocks"}
+_MUTATOR_METHODS = {
+    "append",
+    "clear",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+#: Wall-clock call patterns (dotted suffixes).
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+#: Identifier fragments that mark a page/byte/time quantity.
+_QUANTITY_RE = re.compile(r"(page|byte|block|_ns$|^ns_|latency|bytes)", re.I)
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_,\s-]+)\]")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` (``src`` layout aware)."""
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = [path.name]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _in_scope(module: str, packages: Sequence[str]) -> bool:
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_quantity(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and _QUANTITY_RE.search(child.id):
+            return True
+        if isinstance(child, ast.Attribute) and _QUANTITY_RE.search(child.attr):
+            return True
+    return False
+
+
+def _suppressed_rules(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """line number (1-based) → rule names allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            names = {name.strip() for name in match.group(1).split(",")}
+            allowed[number] = {name for name in names if name}
+    return allowed
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _rule_no_direct_random(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, _DETERMINISM_SCOPE) or module == _RNG_ENTRYPOINT:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-direct-random",
+                "from random import ... bypasses the seeded streams; use "
+                "repro.sim.rng.make_rng",
+            )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None and (
+                dotted == "random" or dotted.startswith("random.")
+            ):
+                yield LintError(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "no-direct-random",
+                    f"call to {dotted}() is unseeded; draw from "
+                    f"repro.sim.rng.make_rng instead",
+                )
+
+
+def _rule_no_wallclock(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, _DETERMINISM_SCOPE):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        tail2 = ".".join(dotted.split(".")[-2:])
+        if dotted in _WALLCLOCK_CALLS or tail2 in _WALLCLOCK_CALLS:
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-wallclock",
+                f"{dotted}() reads the wall clock; simulated time comes "
+                f"from Simulator.now",
+            )
+
+
+def _rule_no_float_page_eq(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left] + list(node.comparators)
+        has_float = any(
+            isinstance(operand, ast.Constant)
+            and isinstance(operand.value, float)
+            for operand in operands
+        )
+        if has_float and any(_mentions_quantity(operand) for operand in operands):
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-float-page-eq",
+                "float equality on a page/byte/ns quantity; counts are "
+                "integers — compare as int or use an explicit tolerance",
+            )
+
+
+def _rule_mm_encapsulation(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)) or module in _MM_OWNING_MODULES:
+        return
+
+    def guarded_attr(node: ast.AST) -> Optional[str]:
+        # x.owner_pages = ..., x.owner_pages[k] = ..., del x.owner_pages[k]
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in _GUARDED_WRITE_ATTRS:
+            return node.attr
+        return None
+
+    for node in ast.walk(tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            attr = guarded_attr(target)
+            # Writes to *self* attributes define a class's own unrelated
+            # field (e.g. an experiment dataclass named free_pages) only
+            # inside mm modules; elsewhere the names are reserved.
+            if attr is not None:
+                yield LintError(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "mm-encapsulation",
+                    f"write to guarded mm attribute .{attr} outside its "
+                    f"owning module; go through the GuestMemoryManager API",
+                )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            container = node.func.value
+            if (
+                method in _MUTATOR_METHODS
+                and isinstance(container, ast.Attribute)
+                and container.attr in _GUARDED_CONTAINER_ATTRS
+            ):
+                yield LintError(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "mm-encapsulation",
+                    f"in-place mutation .{container.attr}.{method}() outside "
+                    f"the owning mm module; go through the "
+                    f"GuestMemoryManager API",
+                )
+
+
+def _rule_module_all_required(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)):
+        return
+    if not isinstance(tree, ast.Module) or not tree.body:
+        return  # empty files (namespace placeholders) have no surface
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            names = [
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            if "__all__" in names:
+                return
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "__all__"
+            ):
+                return
+    yield LintError(
+        path,
+        1,
+        0,
+        "module-all-required",
+        f"module {module} does not declare __all__",
+    )
+
+
+_RULE_FUNCTIONS = (
+    _rule_no_direct_random,
+    _rule_no_wallclock,
+    _rule_no_float_page_eq,
+    _rule_mm_encapsulation,
+    _rule_module_all_required,
+)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str, path: str = "<string>", module: Optional[str] = None
+) -> List[LintError]:
+    """Lint one source string; returns findings after suppression."""
+    if module is None:
+        module = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            LintError(
+                path,
+                error.lineno or 1,
+                error.offset or 0,
+                "syntax-error",
+                f"cannot parse: {error.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    allowed = _suppressed_rules(lines)
+    errors: List[LintError] = []
+    for rule_fn in _RULE_FUNCTIONS:
+        for error in rule_fn(tree, module, path):
+            if error.rule in allowed.get(error.line, ()):
+                continue
+            errors.append(error)
+    errors.sort(key=lambda e: (e.path, e.line, e.col, e.rule))
+    return errors
+
+
+def lint_file(path: Path) -> List[LintError]:
+    """Lint one file on disk."""
+    return lint_source(
+        path.read_text(encoding="utf-8"), str(path), module_name_for(path)
+    )
+
+
+def lint_paths(paths: Iterable[Path]) -> List[LintError]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    errors: List[LintError] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files: Iterable[Path] = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(
+                    part.startswith(".") or part.endswith(".egg-info")
+                    for part in candidate.parts
+                )
+            )
+        else:
+            files = [path]
+        for file in files:
+            errors.extend(lint_file(file))
+    return errors
+
+
+def render_text(errors: Sequence[LintError]) -> str:
+    """``path:line:col: [rule] message`` — one finding per line."""
+    return "\n".join(
+        f"{error.path}:{error.line}:{error.col}: [{error.rule}] {error.message}"
+        for error in errors
+    )
+
+
+def render_json(errors: Sequence[LintError]) -> str:
+    """Findings as a JSON array (machine-readable output mode)."""
+    return json.dumps([asdict(error) for error in errors], indent=2)

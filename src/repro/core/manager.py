@@ -56,6 +56,10 @@ class HotMemManager:
             )
         for partition in self._all_partitions():
             manager.register_zone(partition.zone)
+        #: Let consistency checks (manager.check_consistency, the
+        #: memory-state sanitizer) see partition state: the HotMem rules
+        #: in repro.analysis.invariants need the partition table.
+        manager._hotmem_context = self
         #: Processes parked in ``hotmem_attach`` until a partition frees up.
         self._waitqueue: Deque[Event] = deque()
 

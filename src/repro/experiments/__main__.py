@@ -5,10 +5,16 @@ Regenerate any table or figure of the paper from the shell::
     python -m repro.experiments list
     python -m repro.experiments fig5
     python -m repro.experiments fig10 --paper-scale
-    python -m repro.experiments all
+    python -m repro.experiments all --sanitize
 
 ``--paper-scale`` switches to the full-size configuration where one is
 defined (the defaults are scaled down to run in seconds).
+
+``--sanitize`` attaches the memory-state sanitizer
+(:mod:`repro.analysis.sanitizer`) to every guest memory manager the
+experiments construct: the run aborts with a structured
+:class:`~repro.analysis.invariants.InvariantViolation` report the moment
+any mm invariant breaks, instead of quietly producing wrong figures.
 """
 
 from __future__ import annotations
@@ -160,7 +166,26 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="use the full-size configuration where one exists",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the memory-state sanitizer to every guest memory "
+        "manager (abort on the first mm invariant violation)",
+    )
+    parser.add_argument(
+        "--sanitize-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="periodic sanitizer sweep interval in mm mutations "
+        "(default 256; 0 disables periodic sweeps)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        from repro.analysis.sanitizer import SanitizerConfig, install
+
+        install(SanitizerConfig(every_n_events=args.sanitize_every))
 
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():
@@ -175,12 +200,22 @@ def main(argv: Optional[list] = None) -> int:
         return 2
     for name in names:
         description, runner = EXPERIMENTS[name]
-        started = time.time()
+        started = time.time()  # lint: allow[no-wallclock] progress display only
         output = runner(args.paper_scale)
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # lint: allow[no-wallclock] progress display only
         print(output)
         print(f"[{name}: {elapsed:.1f}s]")
         print()
+    if args.sanitize:
+        from repro.analysis.sanitizer import installed_sanitizers, uninstall
+
+        sweeps = sum(s.checks_run for s in installed_sanitizers())
+        managers = len(installed_sanitizers())
+        print(
+            f"[sanitizer: {sweeps} sweeps across {managers} guest memory "
+            f"manager(s), no violations]"
+        )
+        uninstall()
     return 0
 
 

@@ -414,26 +414,16 @@ class GuestMemoryManager:
     def check_consistency(self) -> None:
         """Verify cross-structure invariants (used by tests and debugging).
 
-        Checks that per-zone free counters match block state and that every
-        owner mirror agrees with per-block occupancy.
+        Delegates to the invariant registry in
+        :mod:`repro.analysis.invariants` — the same named rules the
+        runtime sanitizer sweeps at checkpoints — and raises
+        :class:`~repro.analysis.invariants.InvariantViolation` (a
+        :class:`MemoryError_`) carrying a per-block report when any
+        structure disagrees.
         """
-        for zone in self.zones.values():
-            computed = sum(b.free_pages for b in zone.blocks if not b.isolated)
-            if computed != zone.free_pages:
-                raise MemoryError_(
-                    f"zone {zone.name}: counter {zone.free_pages} != sum {computed}"
-                )
-            for block in zone.blocks:
-                if block.state is not BlockState.ONLINE:
-                    raise MemoryError_(f"zone {zone.name} holds offline {block!r}")
-                occupied = sum(block.owner_pages.values())
-                if occupied + block.free_pages != PAGES_PER_BLOCK:
-                    raise MemoryError_(f"block {block.index} page count mismatch")
-                for owner, pages in block.owner_pages.items():
-                    if owner.block_pages.get(block, 0) != pages:
-                        raise MemoryError_(
-                            f"mirror mismatch: {owner.owner_id} in block {block.index}"
-                        )
+        from repro.analysis.invariants import check_now  # local: analysis imports mm
+
+        check_now(self, hotmem=getattr(self, "_hotmem_context", None))
 
     def __repr__(self) -> str:
         return (

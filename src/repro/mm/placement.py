@@ -19,8 +19,10 @@ the plan.  Plans are deterministic given the policy state and RNG stream.
 
 from __future__ import annotations
 
-import random
+import random  # Random is only referenced as a type; draws go through make_rng
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+from repro.sim.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mm.block import MemoryBlock
@@ -136,7 +138,9 @@ class RandomPlacement(PlacementPolicy):
     def __init__(
         self, rng: Optional[random.Random] = None, chunk_pages: int = DEFAULT_CHUNK_PAGES
     ):
-        self.rng = rng or random.Random(0)
+        # Default to the seeded stream machinery so even an unconfigured
+        # policy stays deterministic and auditable (seed 0, named stream).
+        self.rng = rng if rng is not None else make_rng(0, "placement/random")
         self.chunk_pages = chunk_pages
 
     def plan(self, blocks, pages, exclude=None):

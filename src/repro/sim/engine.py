@@ -208,6 +208,19 @@ class Simulator:
         self._seq = 0
         self._queue: list[_ScheduledCall] = []
         self._running = False
+        #: Observers invoked after every executed callback (e.g. the
+        #: memory-state sanitizer's every-N-events checkpoint).  Probes
+        #: must not schedule or mutate simulation state.
+        self._probes: list[Callable[[], None]] = []
+
+    def add_probe(self, probe: Callable[[], None]) -> None:
+        """Invoke ``probe()`` after each executed event (see ``_probes``)."""
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: Callable[[], None]) -> None:
+        """Stop invoking ``probe`` (no-op if it was never added)."""
+        if probe in self._probes:
+            self._probes.remove(probe)
 
     @property
     def now(self) -> int:
@@ -253,6 +266,8 @@ class Simulator:
                 continue
             self._now = call.time
             call.callback(*call.args)
+            for probe in self._probes:
+                probe()
             return True
         return False
 
@@ -277,6 +292,8 @@ class Simulator:
                 heapq.heappop(self._queue)
                 self._now = head.time
                 head.callback(*head.args)
+                for probe in self._probes:
+                    probe()
             if until is not None and until > self._now:
                 self._now = until
         finally:

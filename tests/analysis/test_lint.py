@@ -1,0 +1,283 @@
+"""Unit tests for the AST lint rules, suppression syntax, output modes,
+and the tools/lint.py command-line gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    LintError,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    render_json,
+    render_text,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def findings(source, module, rule=None):
+    errors = lint_source(source, path="snippet.py", module=module)
+    if rule is None:
+        return errors
+    return [e for e in errors if e.rule == rule]
+
+
+class TestNoDirectRandom:
+    def test_random_call_in_sim_scope_flagged(self):
+        src = "import random\nx = random.random()\n"
+        errors = findings(src, "repro.sim.workload", "no-direct-random")
+        assert len(errors) == 1
+        assert errors[0].line == 2
+        assert "make_rng" in errors[0].message
+
+    def test_from_random_import_flagged(self):
+        src = "from random import choice\n"
+        assert findings(src, "repro.experiments.foo", "no-direct-random")
+
+    def test_import_random_for_typing_allowed(self):
+        src = "import random\n\ndef f(rng: random.Random) -> None:\n    pass\n"
+        assert not findings(src, "repro.mm.placement", "no-direct-random")
+
+    def test_rng_entrypoint_exempt(self):
+        src = "import random\nrng = random.Random(42)\n"
+        assert not findings(src, "repro.sim.rng", "no-direct-random")
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "import random\nx = random.random()\n"
+        assert not findings(src, "repro.metrics.report", "no-direct-random")
+
+
+class TestNoWallclock:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.monotonic()", "time.perf_counter_ns()"],
+    )
+    def test_time_module_calls_flagged(self, call):
+        src = f"import time\nt = {call}\n"
+        assert findings(src, "repro.sim.engine2", "no-wallclock")
+
+    def test_datetime_now_flagged_via_tail_match(self):
+        src = "import datetime\nt = datetime.datetime.now()\n"
+        assert findings(src, "repro.workloads.azure2", "no-wallclock")
+
+    def test_engine_clock_unflagged(self):
+        src = "def f(sim):\n    return sim.now\n"
+        assert not findings(src, "repro.sim.engine2", "no-wallclock")
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "import time\nt = time.time()\n"
+        assert not findings(src, "repro.host.machine2", "no-wallclock")
+
+
+class TestNoFloatPageEq:
+    def test_float_eq_on_pages_flagged(self):
+        src = "def f(free_pages):\n    return free_pages == 1.0\n"
+        errors = findings(src, "repro.mm.foo", "no-float-page-eq")
+        assert len(errors) == 1
+
+    def test_float_neq_on_bytes_attr_flagged(self):
+        src = "def f(vm):\n    return vm.plugged_bytes != 0.5\n"
+        assert findings(src, "repro.vmm.foo", "no-float-page-eq")
+
+    def test_int_eq_on_pages_unflagged(self):
+        src = "def f(free_pages):\n    return free_pages == 1\n"
+        assert not findings(src, "repro.mm.foo", "no-float-page-eq")
+
+    def test_float_eq_on_non_quantity_unflagged(self):
+        src = "def f(ratio):\n    return ratio == 1.0\n"
+        assert not findings(src, "repro.mm.foo", "no-float-page-eq")
+
+    def test_ordering_comparison_unflagged(self):
+        src = "def f(latency_ms):\n    return latency_ms > 1.5\n"
+        assert not findings(src, "repro.metrics.foo", "no-float-page-eq")
+
+
+class TestMmEncapsulation:
+    def test_attribute_write_outside_mm_flagged(self):
+        src = "def f(zone):\n    zone.free_pages = 0\n"
+        errors = findings(src, "repro.experiments.foo", "mm-encapsulation")
+        assert len(errors) == 1
+        assert ".free_pages" in errors[0].message
+
+    def test_augassign_flagged(self):
+        src = "def f(block):\n    block.free_pages += 7\n"
+        assert findings(src, "repro.virtio.foo", "mm-encapsulation")
+
+    def test_subscript_write_flagged(self):
+        src = "def f(block, owner):\n    block.owner_pages[owner] = 3\n"
+        assert findings(src, "repro.core.foo", "mm-encapsulation")
+
+    def test_del_subscript_flagged(self):
+        src = "def f(block, owner):\n    del block.owner_pages[owner]\n"
+        assert findings(src, "repro.core.foo", "mm-encapsulation")
+
+    def test_container_mutator_flagged(self):
+        src = "def f(zone, block):\n    zone.blocks.append(block)\n"
+        assert findings(src, "repro.baselines.foo", "mm-encapsulation")
+
+    def test_owning_module_exempt(self):
+        src = "def f(zone):\n    zone._free_pages -= 5\n"
+        assert not findings(src, "repro.mm.zone", "mm-encapsulation")
+
+    def test_unguarded_attribute_unflagged(self):
+        src = "def f(container):\n    container.state = 'warm'\n"
+        assert not findings(src, "repro.faas.container2", "mm-encapsulation")
+
+    def test_manager_api_call_unflagged(self):
+        src = "def f(manager, mm):\n    manager.free_all(mm)\n"
+        assert not findings(src, "repro.faas.runtime2", "mm-encapsulation")
+
+
+class TestModuleAllRequired:
+    def test_missing_all_flagged(self):
+        src = "def f():\n    pass\n"
+        errors = findings(src, "repro.newpkg.helper", "module-all-required")
+        assert len(errors) == 1
+        assert errors[0].line == 1
+
+    def test_declared_all_unflagged(self):
+        src = "__all__ = ['f']\n\ndef f():\n    pass\n"
+        assert not findings(src, "repro.newpkg.helper", "module-all-required")
+
+    def test_empty_module_unflagged(self):
+        assert not findings("", "repro.newpkg", "module-all-required")
+
+    def test_non_repro_module_unflagged(self):
+        src = "def f():\n    pass\n"
+        assert not findings(src, "tools.lint", "module-all-required")
+
+
+class TestSuppression:
+    def test_allow_comment_silences_rule_on_line(self):
+        src = "import time\nt = time.time()  # lint: allow[no-wallclock] display\n"
+        assert not findings(src, "repro.sim.foo", "no-wallclock")
+
+    def test_allow_only_covers_named_rule(self):
+        src = (
+            "import random\n"
+            "x = random.random()  # lint: allow[no-wallclock]\n"
+        )
+        assert findings(src, "repro.sim.foo", "no-direct-random")
+
+    def test_comma_separated_rules(self):
+        src = (
+            "import time, random\n"
+            "t = time.time() + random.random()"
+            "  # lint: allow[no-wallclock, no-direct-random]\n"
+        )
+        errors = findings(src, "repro.sim.foo")
+        assert not [e for e in errors if e.line == 2]
+
+
+class TestDriversAndOutput:
+    def test_syntax_error_reported_as_finding(self):
+        errors = findings("def f(:\n", "repro.sim.broken")
+        assert [e.rule for e in errors] == ["syntax-error"]
+
+    def test_module_name_for_src_layout(self):
+        assert (
+            module_name_for(Path("src/repro/mm/zone.py")) == "repro.mm.zone"
+        )
+        assert module_name_for(Path("src/repro/mm/__init__.py")) == "repro.mm"
+
+    def test_lint_file_and_paths_on_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "__all__ = []\nimport random\nx = random.random()\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "src" / "repro" / "sim" / "good.py").write_text(
+            "__all__ = []\n", encoding="utf-8"
+        )
+        errors = lint_paths([tmp_path / "src"])
+        assert len(errors) == 1
+        assert errors[0].rule == "no-direct-random"
+        assert errors[0].line == 3
+        assert lint_file(bad) == errors
+
+    def test_render_text_format(self):
+        error = LintError("a.py", 3, 7, "no-wallclock", "msg")
+        assert render_text([error]) == "a.py:3:7: [no-wallclock] msg"
+
+    def test_render_json_roundtrip(self):
+        error = LintError("a.py", 3, 7, "no-wallclock", "msg")
+        decoded = json.loads(render_json([error]))
+        assert decoded == [
+            {
+                "path": "a.py",
+                "line": 3,
+                "col": 7,
+                "rule": "no-wallclock",
+                "message": "msg",
+            }
+        ]
+
+    def test_repo_source_tree_is_clean(self):
+        assert lint_paths([REPO_ROOT / "src"]) == []
+
+    def test_every_rule_documented(self):
+        assert set(RULES) == {
+            "no-direct-random",
+            "no-wallclock",
+            "no-float-page-eq",
+            "mm-encapsulation",
+            "module-all-required",
+        }
+        assert all(RULES.values())
+
+
+class TestCli:
+    def run_cli(self, *args, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_exit_zero_on_repo_src(self):
+        result = self.run_cli("src")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "lint clean" in result.stdout
+
+    def test_exit_nonzero_with_location_on_violation(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "experiments" / "oops.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "__all__ = []\nimport time\nstarted = time.time()\n",
+            encoding="utf-8",
+        )
+        result = self.run_cli(str(bad))
+        assert result.returncode == 1
+        assert f"{bad}:3:10: [no-wallclock]" in result.stdout
+
+    def test_json_mode(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "sim" / "oops.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nrandom.seed(1)\n", encoding="utf-8")
+        result = self.run_cli("--json", str(bad))
+        assert result.returncode == 1
+        decoded = json.loads(result.stdout)
+        assert {e["rule"] for e in decoded} == {
+            "no-direct-random",
+            "module-all-required",
+        }
+
+    def test_list_rules(self):
+        result = self.run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in RULES:
+            assert rule in result.stdout
+
+    def test_missing_path_is_usage_error(self):
+        result = self.run_cli("no/such/dir")
+        assert result.returncode == 2
+        assert "no such path" in result.stderr

@@ -1,0 +1,229 @@
+"""Unit tests for the runtime sanitizer: checkpoint wiring, simulator
+probes, and the global --sanitize installation machinery."""
+
+import pytest
+
+from repro.analysis import sanitizer as san
+from repro.analysis.invariants import InvariantViolation
+from repro.analysis.sanitizer import MemSanitizer, SanitizerConfig
+from repro.mm.manager import GuestMemoryManager
+from repro.mm.mm_struct import MmStruct
+from repro.sim import Simulator
+from repro.units import GIB
+
+
+@pytest.fixture
+def no_global_sanitizer():
+    """Suspend any ambient global installation (e.g. `pytest --sanitize`)
+    so install/uninstall tests start from a clean slate, restoring the
+    prior policy afterwards."""
+    prior = san.uninstall()
+    yield
+    san.uninstall()  # drop whatever the test left installed
+    if prior is not None:
+        san.install(prior)
+
+
+@pytest.fixture
+def manager(no_global_sanitizer):
+    """A bare manager: built with no global install active, so the tests
+    fully control which sanitizers are attached."""
+    return GuestMemoryManager(
+        boot_memory_bytes=1 * GIB, hotplug_region_bytes=2 * GIB
+    )
+
+
+class TestCheckpointWiring:
+    def test_attach_is_idempotent(self, manager):
+        sanitizer = MemSanitizer(manager).attach()
+        assert sanitizer.attach() is sanitizer
+        wrapped = list(sanitizer._wrapped)
+        sanitizer.attach()
+        assert sanitizer._wrapped == wrapped
+
+    def test_periodic_checkpoint_every_mutation(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=1)
+        ).attach()
+        mm = MmStruct("tick")
+        manager.alloc_pages(mm, 10)
+        manager.free_pages(mm, 5)
+        assert sanitizer.checks_run == 2
+
+    def test_periodic_interval_respected(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=3)
+        ).attach()
+        mm = MmStruct("interval")
+        for _ in range(7):
+            manager.alloc_pages(mm, 1)
+        assert sanitizer.checks_run == 2  # after the 3rd and 6th mutation
+
+    def test_zero_interval_disables_periodic(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=0)
+        ).attach()
+        mm = MmStruct("quiet")
+        manager.alloc_pages(mm, 10)
+        assert sanitizer.checks_run == 0
+
+    def test_hotplug_checkpoints_fire(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=0)
+        ).attach()
+        index = next(iter(manager.hotplug_block_indices()))
+        block = manager.online_block(index, manager.zone_movable)
+        assert sanitizer.checks_run == 1
+        manager.offline_and_remove(block)
+        assert sanitizer.checks_run == 2
+
+    def test_teardown_checkpoint_passes_owner(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=0)
+        ).attach()
+        mm = MmStruct("exiting")
+        manager.alloc_pages(mm, 100)
+        manager.free_all(mm)
+        assert sanitizer.checks_run == 1  # clean teardown sweeps and passes
+
+    def test_corruption_caught_at_the_mutating_call(self, manager):
+        MemSanitizer(manager, config=SanitizerConfig(every_n_events=1)).attach()
+        mm = MmStruct("victim")
+        manager.alloc_pages(mm, 100)
+        next(iter(mm.block_pages)).free_pages += 7
+        with pytest.raises(InvariantViolation) as excinfo:
+            manager.alloc_pages(mm, 1)
+        assert "page-conservation" in excinfo.value.rules
+
+    def test_rule_restriction_applies(self, manager):
+        MemSanitizer(
+            manager,
+            config=SanitizerConfig(
+                every_n_events=1, rules=frozenset({"zone-free-counter"})
+            ),
+        ).attach()
+        mm = MmStruct("scoped")
+        manager.alloc_pages(mm, 100)
+        mm.block_pages[next(iter(mm.block_pages))] += 3  # mirror-only damage
+        manager.alloc_pages(mm, 1)  # restricted sweep stays silent
+        manager.zone_normal._free_pages -= 5
+        with pytest.raises(InvariantViolation):
+            manager.alloc_pages(mm, 1)
+
+    def test_detach_restores_bare_manager(self, manager):
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=1)
+        ).attach()
+        assert manager.alloc_pages.__wrapped__ is not None
+        sanitizer.detach()
+        assert "alloc_pages" not in vars(manager)
+        assert not hasattr(manager, "_sanitizer")
+        mm = MmStruct("after")
+        manager.alloc_pages(mm, 10)
+        assert sanitizer.checks_run == 0
+
+    @pytest.mark.parametrize("detach_order", ["inner-first", "outer-first"])
+    def test_stacked_sanitizers_detach_in_any_order(self, manager, detach_order):
+        # A manual sanitizer stacked over a global one (the --sanitize
+        # case) must splice out cleanly whichever detaches first.
+        outer_counts = SanitizerConfig(every_n_events=1)
+        first = MemSanitizer(manager, config=outer_counts).attach()
+        second = MemSanitizer(manager, config=outer_counts).attach()
+        mm = MmStruct("stacked")
+        manager.alloc_pages(mm, 10)
+        assert first.checks_run == 1 and second.checks_run == 1
+        order = [second, first] if detach_order == "inner-first" else [first, second]
+        order[0].detach()
+        manager.alloc_pages(mm, 10)
+        assert order[1].checks_run == 2  # survivor still checkpoints
+        assert order[0].checks_run == 1
+        order[1].detach()
+        assert "alloc_pages" not in vars(manager)
+        manager.alloc_pages(mm, 10)
+        assert first.checks_run + second.checks_run == 3
+
+    def test_manual_check_reports_owner_leak(self, manager):
+        sanitizer = MemSanitizer(manager)
+        mm = MmStruct("leak")
+        manager.alloc_pages(mm, 100)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sanitizer.check("teardown", owner=mm)
+        assert "teardown-no-leak" in excinfo.value.rules
+
+
+class TestSimBinding:
+    def test_probe_sweeps_every_n_sim_events(self, manager):
+        sim = Simulator()
+        sanitizer = MemSanitizer(
+            manager, config=SanitizerConfig(every_n_events=0)
+        ).attach()
+        sanitizer.bind_sim(sim, every_n_sim_events=2)
+        for delay in range(4):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sanitizer.checks_run == 2
+
+    def test_double_bind_rejected(self, manager):
+        sim = Simulator()
+        sanitizer = MemSanitizer(manager).attach()
+        sanitizer.bind_sim(sim, every_n_sim_events=1)
+        with pytest.raises(RuntimeError):
+            sanitizer.bind_sim(sim, every_n_sim_events=1)
+
+    def test_detach_removes_probe(self, manager):
+        sim = Simulator()
+        sanitizer = MemSanitizer(manager).attach()
+        sanitizer.bind_sim(sim, every_n_sim_events=1)
+        sanitizer.detach()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert sanitizer.checks_run == 0
+
+
+class TestGlobalInstall:
+    def test_install_attaches_to_new_managers(self, no_global_sanitizer):
+        state = san.install(SanitizerConfig(every_n_events=1))
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        assert len(state.sanitizers) == 1
+        assert state.sanitizers[0].manager is manager
+        assert state.sanitizers[0].checks_run >= 1  # the boot sweep
+        assert san.installed_sanitizers() == state.sanitizers
+
+    def test_installed_sanitizer_catches_corruption(self, no_global_sanitizer):
+        san.install(SanitizerConfig(every_n_events=1))
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        mm = MmStruct("global-victim")
+        manager.alloc_pages(mm, 100)
+        manager.zone_normal._free_pages += 9
+        with pytest.raises(InvariantViolation):
+            manager.alloc_pages(mm, 1)
+
+    def test_nested_install_rejected(self, no_global_sanitizer):
+        san.install()
+        with pytest.raises(RuntimeError):
+            san.install()
+
+    def test_uninstall_returns_config_and_detaches(self, no_global_sanitizer):
+        config = SanitizerConfig(every_n_events=7)
+        san.install(config)
+        manager = GuestMemoryManager(1 * GIB, 1 * GIB)
+        assert san.uninstall() == config
+        assert not san.is_installed()
+        assert san.uninstall() is None
+        assert "alloc_pages" not in vars(manager)  # instrumentation gone
+        # Managers built after uninstall are bare.
+        bare = GuestMemoryManager(1 * GIB, 1 * GIB)
+        assert not hasattr(bare, "_sanitizer")
+
+    def test_sanitized_context_manager(self, no_global_sanitizer):
+        with san.sanitized(SanitizerConfig(every_n_events=1)) as state:
+            assert san.is_installed()
+            GuestMemoryManager(1 * GIB, 1 * GIB)
+            assert state.sanitizers
+        assert not san.is_installed()
+
+    def test_config_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE_EVERY", raising=False)
+        assert SanitizerConfig.from_env() == SanitizerConfig()
+        monkeypatch.setenv("REPRO_SANITIZE_EVERY", "13")
+        assert SanitizerConfig.from_env().every_n_events == 13

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import HotMemBootParams
@@ -9,6 +11,35 @@ from repro.host import HostMachine
 from repro.sim import CostModel, Simulator
 from repro.units import GIB, MIB
 from repro.vmm import VirtualMachine, VmConfig
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="attach the memory-state sanitizer to every guest memory "
+        "manager constructed during the tests (see docs/analysis.md)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _memory_sanitizer(request):
+    """Run every test under the sanitizer when --sanitize (or
+    REPRO_SANITIZE=1) is given; a no-op otherwise."""
+    enabled = request.config.getoption("--sanitize") or os.environ.get(
+        "REPRO_SANITIZE"
+    )
+    if not enabled:
+        yield
+        return
+    from repro.analysis import sanitizer
+
+    if sanitizer.is_installed():  # a sanitizer test already installed one
+        yield
+        return
+    with sanitizer.sanitized(sanitizer.SanitizerConfig(every_n_events=64)):
+        yield
 
 
 @pytest.fixture

@@ -29,6 +29,21 @@ def test_fig6_runs_and_renders(capsys):
     assert "vanilla_ms" in out and "hotmem_ms" in out
 
 
+def test_sanitize_flag_reports_sweeps(capsys):
+    from repro.analysis import sanitizer as san
+
+    prior = san.uninstall()  # suspend any ambient --sanitize install
+    try:
+        assert main(["fig2", "--sanitize", "--sanitize-every", "64"]) == 0
+        assert not san.is_installed()  # the runner uninstalls on exit
+    finally:
+        san.uninstall()
+        if prior is not None:
+            san.install(prior)
+    out = capsys.readouterr().out
+    assert "[sanitizer:" in out and "no violations" in out
+
+
 @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
 def test_every_experiment_has_a_description(name):
     description, runner = EXPERIMENTS[name]

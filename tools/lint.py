@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Repo lint gate: run the AST rule pass over source trees.
+
+Usage::
+
+    python tools/lint.py                # lint src/ (the CI gate)
+    python tools/lint.py src tests      # explicit paths
+    python tools/lint.py --json src     # machine-readable findings
+    python tools/lint.py --list-rules   # show the enforced conventions
+
+Exits 0 when no rule fires, 1 otherwise (2 on bad usage).  Rules,
+scoping and the ``# lint: allow[rule]`` suppression syntax are
+documented in ``docs/analysis.md`` and ``repro/analysis/lint.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Make the src layout importable when running from a bare checkout.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.lint import (  # noqa: E402  (path bootstrap above)
+    RULES,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/lint.py",
+        description="AST lint for determinism and mm-encapsulation rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule names and what they enforce, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, description in RULES.items():
+            print(f"{name:22} {description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr
+        )
+        return 2
+
+    errors = lint_paths(paths)
+    if args.json:
+        print(render_json(errors))
+    elif errors:
+        print(render_text(errors))
+    if errors:
+        print(
+            f"\n{len(errors)} lint finding(s); suppress intentional ones "
+            f"with '# lint: allow[rule-name]'",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print(f"lint clean: {', '.join(map(str, args.paths))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
