@@ -45,6 +45,14 @@ from repro.faas import (
     InvocationRecord,
     KeepAlivePolicy,
 )
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.faults.recovery import RecoveryEvent, RecoveryLog
 from repro.host import HostMachine
 from repro.sim import CostModel, CpuCore, Event, Process, Simulator, Timeout
 from repro.vmm import VirtualMachine, VmConfig
@@ -94,6 +102,14 @@ __all__ = [
     "AzureTraceGenerator",
     "InvocationTrace",
     "bursty_trace",
+    # fault injection + recovery
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "RecoveryEvent",
+    "RecoveryLog",
     # experiment harnesses
     "MicrobenchRig",
     "MicrobenchSetup",

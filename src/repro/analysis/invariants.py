@@ -500,6 +500,59 @@ def _check_partition_refcount(ctx: CheckContext) -> Iterator[Failure]:
 
 
 @invariant(
+    "quarantine-isolation",
+    "quarantined blocks stay online but isolated (never allocatable, never "
+    "double-counted as free); quarantined partitions are never assigned",
+)
+def _check_quarantine_isolation(ctx: CheckContext) -> Iterator[Failure]:
+    manager = ctx.manager
+    quarantined = set(manager.quarantined_blocks)
+    for block in quarantined:
+        if block.state is not BlockState.ONLINE:
+            yield Failure(
+                "quarantine-isolation",
+                f"quarantined block {block.index} is {block.state.value} "
+                f"(quarantine must keep the block online until released)",
+                (block,),
+            )
+            continue
+        if not block.isolated:
+            yield Failure(
+                "quarantine-isolation",
+                f"quarantined block {block.index} is not isolated: its "
+                f"{block.free_pages} free pages are visible to the allocator "
+                f"(allocatable and double-counted as free)",
+                (block,),
+            )
+    if ctx.hotmem is None:
+        return
+    for partition in ctx.hotmem.partitions:
+        if not partition.quarantined:
+            # A partition holding a quarantined block must itself be
+            # quarantined, or the attach path could hand it out again.
+            poisoned = tuple(
+                b for b in partition.zone.blocks if b in quarantined
+            )
+            if poisoned:
+                yield Failure(
+                    "quarantine-isolation",
+                    f"partition {partition.partition_id} holds quarantined "
+                    f"block(s) {[b.index for b in poisoned]} but is not "
+                    f"quarantined itself",
+                    poisoned,
+                )
+            continue
+        if partition.partition_users > 0 or partition.assigned_to is not None:
+            yield Failure(
+                "quarantine-isolation",
+                f"quarantined partition {partition.partition_id} is still "
+                f"assigned: users={partition.partition_users} "
+                f"assigned_to={partition.assigned_to!r}",
+                tuple(partition.zone.blocks),
+            )
+
+
+@invariant(
     "teardown-no-leak",
     "a released owner holds no pages anywhere (double-free and leak "
     "detection on instance teardown)",

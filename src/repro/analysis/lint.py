@@ -37,6 +37,12 @@ enforces the conventions as hard rules:
     Every module under ``repro`` declares ``__all__``: the public surface
     is explicit, and star-imports stay predictable.
 
+``no-bare-except``
+    No bare ``except:`` anywhere under ``repro``.  The fault-injection
+    plane works because failures travel through *named* exceptions with
+    structured context; a bare handler also swallows the sanitizer's
+    ``InvariantViolation``, turning accounting corruption into silence.
+
 Suppression
 -----------
 Append ``# lint: allow[rule-name]`` (comma-separated names allowed, with
@@ -99,6 +105,11 @@ RULES: Dict[str, str] = {
     ),
     "module-all-required": (
         "every repro module declares __all__ (explicit public surface)"
+    ),
+    "no-bare-except": (
+        "never catch with a bare `except:`; name the exceptions a "
+        "recovery path actually handles (a bare handler swallows "
+        "InvariantViolation and friends)"
     ),
 }
 
@@ -386,12 +397,31 @@ def _rule_module_all_required(
     )
 
 
+def _rule_no_bare_except(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-bare-except",
+                "bare `except:` swallows everything, including sanitizer "
+                "InvariantViolations; name the exceptions this recovery "
+                "path handles",
+            )
+
+
 _RULE_FUNCTIONS = (
     _rule_no_direct_random,
     _rule_no_wallclock,
     _rule_no_float_page_eq,
     _rule_mm_encapsulation,
     _rule_module_all_required,
+    _rule_no_bare_except,
 )
 
 

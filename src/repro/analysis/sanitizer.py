@@ -176,6 +176,13 @@ class MemSanitizer:
         if self.config.on_hotplug:
             wrap("online_block", lambda a, k, r: self.check("plug"))
             wrap("offline_and_remove", lambda a, k, r: self.check("unplug"))
+            # Quarantine transitions rewire isolation and allocator
+            # visibility the same way plug/unplug do.
+            wrap("quarantine_block", lambda a, k, r: self.check("quarantine"))
+            wrap(
+                "release_quarantine",
+                lambda a, k, r: self.check("quarantine-release"),
+            )
         if self.config.on_teardown:
             wrap(
                 "free_all",

@@ -80,9 +80,14 @@ class HotMemBackend(HotplugBackend):
 
     def migrate_for_unplug(self, block: MemoryBlock) -> int:
         if block.occupied_pages:
+            partition = self._block_partition.get(block.index)
             raise OfflineFailed(
                 f"HotMem invariant violated: block {block.index} of a free "
-                f"partition holds {block.occupied_pages} occupied pages"
+                f"partition holds {block.occupied_pages} occupied pages",
+                block_index=block.index,
+                partition_id=(
+                    partition.partition_id if partition is not None else None
+                ),
             )
         return 0
 
@@ -93,6 +98,14 @@ class HotMemBackend(HotplugBackend):
 
     def on_block_unplugged(self, block: MemoryBlock) -> None:
         self._block_partition.pop(block.index, None)
+
+    def on_block_quarantined(self, block: MemoryBlock) -> None:
+        # A poisoned block poisons its whole partition: the partition can
+        # never again be fully unplugged, so the recycler must stop
+        # proposing it and the attach path must stop assigning it.
+        partition = self._block_partition.get(block.index)
+        if partition is not None and not partition.quarantined:
+            partition.quarantine()
 
     # ------------------------------------------------------------------
     # Helpers

@@ -77,7 +77,9 @@ class HotMemManager:
         return [
             p
             for p in self.partitions
-            if p.state is PartitionState.POPULATED and p.is_fully_populated
+            if p.state is PartitionState.POPULATED
+            and p.is_fully_populated
+            and not p.quarantined
         ]
 
     def reclaimable_partitions(self) -> List[HotMemPartition]:
@@ -86,7 +88,9 @@ class HotMemManager:
 
     def partitions_needing_population(self) -> List[HotMemPartition]:
         """Private partitions missing backing blocks, lowest id first."""
-        return [p for p in self.partitions if p.missing_blocks > 0]
+        return [
+            p for p in self.partitions if p.missing_blocks > 0 and not p.quarantined
+        ]
 
     @property
     def waitqueue_depth(self) -> int:

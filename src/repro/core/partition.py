@@ -60,6 +60,10 @@ class HotMemPartition:
         self.partition_users = 0
         #: The instance (leader process) currently assigned, if any.
         self.assigned_to: Optional["MmStruct"] = None
+        #: Withdrawn from service because a backing block repeatedly
+        #: failed to offline (see ``docs/faults.md``).  A quarantined
+        #: partition is never assigned, recycled, or repopulated.
+        self.quarantined = False
 
     # ------------------------------------------------------------------
     # Derived state
@@ -102,10 +106,33 @@ class HotMemPartition:
         """
         return (
             not self.shared
+            and not self.quarantined
             and self.partition_users == 0
             and self.populated_blocks > 0
             and self.zone.is_empty
         )
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self) -> None:
+        """Withdraw the partition from service (idempotent).
+
+        Only an unassigned partition can be quarantined: the driver
+        quarantines blocks on the unplug path, and HotMem only unplugs
+        partitions whose refcount already dropped to zero.
+        """
+        if self.partition_users > 0:
+            raise PartitionBusy(
+                f"partition {self.partition_id} has "
+                f"{self.partition_users} users, cannot quarantine",
+                partition_id=self.partition_id,
+            )
+        self.quarantined = True
+
+    def release_quarantine(self) -> None:
+        """Return the partition to service."""
+        self.quarantined = False
 
     # ------------------------------------------------------------------
     # Assignment / refcounting (the paper's ``partition_users``)
@@ -114,6 +141,10 @@ class HotMemPartition:
         """Reserve the partition for ``mm`` (the HotMem syscall, Section 4)."""
         if self.shared:
             raise PartitionError("the shared partition cannot be assigned")
+        if self.quarantined:
+            raise PartitionError(
+                f"partition {self.partition_id} is quarantined, cannot assign"
+            )
         if self.state is not PartitionState.POPULATED:
             raise PartitionError(
                 f"partition {self.partition_id} is {self.state.value}, "
@@ -149,7 +180,8 @@ class HotMemPartition:
             raise PartitionBusy(
                 f"partition {self.partition_id} would be released with "
                 f"{self.zone.occupied_pages} occupied pages; free the "
-                f"address space before dropping the last user"
+                f"address space before dropping the last user",
+                partition_id=self.partition_id,
             )
         mm.hotmem_partition = None
         self.partition_users -= 1

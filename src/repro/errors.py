@@ -1,10 +1,19 @@
-"""Exception hierarchy shared by every layer of the simulator."""
+"""Exception hierarchy shared by every layer of the simulator.
+
+Datapath errors (:class:`HotplugError`, :class:`OfflineFailed`,
+:class:`PartitionBusy`) carry structured context — which block, which
+partition, after how many retries — so chaos reports and sanitizer diffs
+can name the failing block instead of parsing prose out of a message.
+"""
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 __all__ = [
     "ReproError",
     "SimulationError",
+    "GuestMemoryError",
     "MemoryError_",
     "OutOfMemory",
     "OfflineFailed",
@@ -13,6 +22,7 @@ __all__ = [
     "NoFreePartition",
     "PartitionBusy",
     "FaasError",
+    "SpawnFailed",
     "ConfigError",
 ]
 
@@ -25,19 +35,58 @@ class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""
 
 
-class MemoryError_(ReproError):
+class GuestMemoryError(ReproError):
     """Base class for guest memory-management failures."""
 
 
-class OutOfMemory(MemoryError_):
+#: Historical alias kept for backward compatibility (the class predates
+#: the ``GuestMemoryError`` name; the trailing underscore dodged the
+#: builtin).  New code should catch/raise :class:`GuestMemoryError`.
+MemoryError_ = GuestMemoryError
+
+
+class _DatapathContext:
+    """Mixin carrying structured context about a hotplug-datapath failure.
+
+    All fields are optional keywords: raise sites fill in whatever they
+    know (``block_index`` for block-level failures, ``partition_id`` for
+    HotMem partition failures, ``retry_count`` once recovery machinery
+    has attempted the operation more than once).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        block_index: Optional[int] = None,
+        partition_id: Optional[int] = None,
+        retry_count: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.block_index = block_index
+        self.partition_id = partition_id
+        self.retry_count = retry_count
+
+    @property
+    def context(self) -> Dict[str, int]:
+        """The populated context fields (for reports and fault logs)."""
+        fields = (
+            ("block_index", self.block_index),
+            ("partition_id", self.partition_id),
+            ("retry_count", self.retry_count),
+        )
+        return {name: value for name, value in fields if value is not None}
+
+
+class OutOfMemory(GuestMemoryError):
     """An allocation could not be satisfied (guest OOM)."""
 
 
-class OfflineFailed(MemoryError_):
+class OfflineFailed(_DatapathContext, GuestMemoryError):
     """A memory block could not be offlined (e.g. unmovable pages)."""
 
 
-class HotplugError(MemoryError_):
+class HotplugError(_DatapathContext, GuestMemoryError):
     """A hot(un)plug request was malformed or could not be serviced."""
 
 
@@ -49,12 +98,21 @@ class NoFreePartition(PartitionError):
     """No populated, unassigned HotMem partition is available."""
 
 
-class PartitionBusy(PartitionError):
+class PartitionBusy(_DatapathContext, PartitionError):
     """The partition still has users and cannot be unplugged."""
 
 
 class FaasError(ReproError):
     """The serverless runtime was driven into an invalid state."""
+
+
+class SpawnFailed(FaasError):
+    """A container could not be spawned (infrastructure failure or
+    fail-fast in degraded static mode)."""
+
+    def __init__(self, message: str = "", *, reason: str = "spawn-failed"):
+        super().__init__(message)
+        self.reason = reason
 
 
 class ConfigError(ReproError):

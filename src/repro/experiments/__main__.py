@@ -26,6 +26,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     ablations,
+    chaos,
     fig2_interleaving,
     baselines_comparison,
     fig5_unplug_latency,
@@ -148,6 +149,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
     "tracking": (
         "E1 memory tracking under a diurnal load cycle",
         _figure_runner(tracking),
+    ),
+    "chaos": (
+        "R1 fault-rate sweep: recovery paths and degradation",
+        _figure_runner(chaos),
     ),
 }
 

@@ -1,0 +1,209 @@
+"""Chaos experiment: the hotplug datapath under injected faults.
+
+Replays the Figure 8 trace while a deterministic
+:class:`~repro.faults.injector.FaultInjector` fires faults across every
+named site (device NACKs, partial plugs, slow responses, unmovable
+pages, migration failures, block timeouts, spawn failures, recycler
+races) at a swept per-opportunity rate.  For each (mode, rate) cell the
+experiment reports reclamation throughput and invocation P99 alongside
+the fault accounting: how many faults fired, how many were recovered
+(retry, defer, absorb) vs degraded (quarantine, partial unplug, static
+fallback), and — the completeness check — how many were never claimed
+by any recovery path.  A healthy datapath leaves ``unresolved == 0`` at
+every rate; rate 0.0 is the control row and is byte-identical to a run
+without the fault plane.
+
+Determinism: per-site RNG streams are derived only from the scenario
+seed, so two runs at the same seed produce bit-identical tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.experiments.serverless import (
+    FunctionLoad,
+    ServerlessScenario,
+    run_scenario,
+)
+from repro.faas.policy import DeploymentMode
+from repro.faults.injector import FaultPlan
+from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.metrics.latency import p99_ms
+from repro.metrics.report import render_table
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.units import MS
+
+__all__ = ["ChaosConfig", "ChaosCell", "ChaosResult", "run"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-rate sweep over the trace-replay scenario."""
+
+    #: Per-opportunity fire probability per site; 0.0 is the control.
+    fault_rates: Tuple[float, ...] = (0.0, 0.05, 0.2)
+    modes: Tuple[DeploymentMode, ...] = (
+        DeploymentMode.VANILLA,
+        DeploymentMode.HOTMEM,
+    )
+    function: str = "html"
+    duration_s: int = 30
+    keep_alive_s: int = 10
+    recycle_interval_s: int = 5
+    seed: int = 0
+    costs: CostModel = DEFAULT_COSTS
+    #: Driver-side recovery: per-block retry budget and quarantine
+    #: threshold (consecutive give-ups before a block is quarantined).
+    max_retries: int = 3
+    quarantine_after: int = 2
+    #: Agent-side recovery: plug retry budget, consecutive-failure
+    #: threshold for static fallback, deferred-reclamation retry budget.
+    plug_retries: int = 2
+    degrade_after: int = 4
+    deferred_attempts: int = 3
+    #: Latency injected by ``device.response.delay`` when it fires.
+    response_delay_ns: int = 2 * MS
+
+    @classmethod
+    def paper_scale(cls) -> "ChaosConfig":
+        """Longer traces and a finer rate sweep."""
+        return cls(
+            fault_rates=(0.0, 0.01, 0.05, 0.1, 0.2),
+            duration_s=120,
+            keep_alive_s=30,
+            recycle_interval_s=10,
+        )
+
+    def plan(self, rate: float) -> "FaultPlan | None":
+        """The fault plan for one sweep cell (None at the control rate)."""
+        if rate <= 0.0:
+            return None
+        return FaultPlan.uniform(rate, delay_ns=self.response_delay_ns)
+
+    def resilience(self) -> ResiliencePolicy:
+        """The recovery policy exercised by every faulted cell."""
+        return ResiliencePolicy(
+            retry=RetryPolicy(
+                max_retries=self.max_retries,
+                quarantine_after=self.quarantine_after,
+            ),
+            plug_retries=self.plug_retries,
+            degrade_after=self.degrade_after,
+            deferred_attempts=self.deferred_attempts,
+        )
+
+
+@dataclass
+class ChaosCell:
+    """One (mode, rate) cell of the sweep."""
+
+    mode: str
+    rate: float
+    reclaim_mib_s: float
+    p99_ms: float
+    invocations: int
+    injected: int
+    recovered: int
+    degraded: int
+    unresolved: int
+    #: Whether the agent fell back to static (no-elastic) mode.
+    static_fallback: bool
+
+
+@dataclass
+class ChaosResult:
+    """The full sweep, row per (mode, rate)."""
+
+    config: ChaosConfig
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    def cell(self, mode: str, rate: float) -> ChaosCell:
+        """The cell for one (mode, rate) pair."""
+        for c in self.cells:
+            if c.mode == mode and c.rate == rate:
+                return c
+        raise KeyError(f"no cell for ({mode}, {rate})")
+
+    def total_unresolved(self) -> int:
+        """Faults no recovery path claimed, across the whole sweep."""
+        return sum(c.unresolved for c in self.cells)
+
+    def p99_degradation(self, mode: str, rate: float) -> float:
+        """P99(rate) / P99(control) for one mode (1.0 = no impact)."""
+        control = self.cell(mode, 0.0).p99_ms
+        return self.cell(mode, rate).p99_ms / control if control else 0.0
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for c in self.cells:
+            out.append(
+                [
+                    c.mode,
+                    c.rate,
+                    c.reclaim_mib_s,
+                    c.p99_ms,
+                    c.invocations,
+                    c.injected,
+                    c.recovered,
+                    c.degraded,
+                    c.unresolved,
+                    "yes" if c.static_fallback else "no",
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        return render_table(
+            "Chaos: reclamation throughput and P99 under injected faults",
+            [
+                "mode",
+                "rate",
+                "reclaim_mib_s",
+                "p99_ms",
+                "invocations",
+                "injected",
+                "recovered",
+                "degraded",
+                "unresolved",
+                "static",
+            ],
+            self.rows(),
+        )
+
+
+def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
+    """Sweep fault rates for each deployment mode."""
+    result = ChaosResult(config)
+    for mode in config.modes:
+        for rate in config.fault_rates:
+            scenario = ServerlessScenario(
+                mode=mode,
+                loads=(FunctionLoad.for_function(config.function),),
+                duration_s=config.duration_s,
+                keep_alive_s=config.keep_alive_s,
+                recycle_interval_s=config.recycle_interval_s,
+                seed=config.seed,
+                costs=config.costs,
+                faults=config.plan(rate),
+                resilience=config.resilience() if rate > 0.0 else None,
+            )
+            run_result = run_scenario(scenario)
+            records = run_result.records_for(config.function)
+            recovered = sum(1 for e in run_result.recovery_events if e.recovered)
+            result.cells.append(
+                ChaosCell(
+                    mode=mode.value,
+                    rate=rate,
+                    reclaim_mib_s=run_result.reclaim_mib_per_s,
+                    p99_ms=p99_ms(records) if records else 0.0,
+                    invocations=len(records),
+                    injected=run_result.injected_faults,
+                    recovered=recovered,
+                    degraded=len(run_result.recovery_events) - recovered,
+                    unresolved=run_result.unresolved_faults,
+                    static_fallback=run_result.degraded,
+                )
+            )
+    return result

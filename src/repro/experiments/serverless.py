@@ -8,7 +8,7 @@ accounting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import HotMemBootParams
@@ -16,6 +16,9 @@ from repro.faas.agent import Agent, FunctionDeployment, ShrinkEvent
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faas.records import InvocationRecord
 from repro.faas.runtime import FaasRuntime
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.recovery import RecoveryEvent
 from repro.host.machine import HostMachine
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
@@ -97,6 +100,11 @@ class ServerlessScenario:
     seed: int = 0
     costs: CostModel = DEFAULT_COSTS
     placement: str = "scatter"
+    #: Fault-injection plan (None = no injector built; byte-identical to
+    #: a build without the fault plane).
+    faults: Optional[FaultPlan] = None
+    #: Recovery policy for driver + agent (None = inert defaults).
+    resilience: Optional[ResiliencePolicy] = None
 
     @property
     def partition_bytes(self) -> int:
@@ -139,6 +147,13 @@ class ServerlessRun:
     cold_starts: Dict[str, int]
     oom_failures: int
     virtio_cpu_ns: int
+    #: Recovery-path accounting (empty when no faults were injected and
+    #: nothing failed naturally).
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
+    injected_faults: int = 0
+    unresolved_faults: int = 0
+    #: Whether the agent fell back to static (no-elastic) mode.
+    degraded: bool = False
 
     def records_for(self, function_name: str) -> List[InvocationRecord]:
         """Successful records for one function."""
@@ -165,6 +180,9 @@ def build_vm(scenario: ServerlessScenario, sim: Simulator, host: HostMachine) ->
             concurrency=scenario.concurrency,
             shared_bytes=scenario.shared_bytes,
         )
+    injector = None
+    if scenario.faults is not None:
+        injector = FaultInjector(scenario.faults, seed=scenario.seed, sim=sim)
     vm = VirtualMachine(
         sim,
         host,
@@ -178,6 +196,10 @@ def build_vm(scenario: ServerlessScenario, sim: Simulator, host: HostMachine) ->
         costs=scenario.costs,
         hotmem_params=hotmem_params,
         seed=scenario.seed,
+        faults=injector,
+        retry_policy=(
+            scenario.resilience.retry if scenario.resilience is not None else None
+        ),
     )
     if scenario.mode is DeploymentMode.OVERPROVISIONED:
         vm.plug_all_at_boot()
@@ -207,6 +229,7 @@ def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
             spare_slots=scenario.spare_slots,
         ),
         scenario.mode,
+        resilience=scenario.resilience,
     )
     runtime = FaasRuntime(sim)
     runtime.register_agent(agent)
@@ -250,4 +273,8 @@ def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
         },
         oom_failures=runtime.failure_count,
         virtio_cpu_ns=vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL),
+        recovery_events=list(vm.recovery_log.events),
+        injected_faults=vm.faults.count(),
+        unresolved_faults=len(vm.faults.unresolved()),
+        degraded=agent.degraded,
     )

@@ -13,6 +13,16 @@ The Agent dispatches incoming requests to containers inside one VM:
 * instances are pinned to vCPUs according to the function's assigned
   vCPU weight (or an explicit pin list, as the interference experiment
   requires).
+
+Resilience (see ``docs/faults.md``): with a
+:class:`~repro.faults.ResiliencePolicy` the agent retries refused or
+partial plug requests with backoff, falls back to *static* mode (stop
+resizing, serve from what is plugged) when the backend stays
+unavailable, and re-queues partial-unplug shortfalls through a
+deferred-reclamation queue.  Every recovery and degradation lands in the
+VM's :class:`~repro.metrics.recovery.RecoveryLog`.  The inert default
+(:data:`~repro.faults.NO_RESILIENCE`) reproduces the non-resilient agent
+exactly.
 """
 
 from __future__ import annotations
@@ -21,10 +31,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError, FaasError, OutOfMemory
+from repro.errors import ConfigError, FaasError, OutOfMemory, SpawnFailed
 from repro.faas.container import Container
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faas.records import InvocationRecord
+from repro.faults.injector import InjectedFault
+from repro.faults.policy import NO_RESILIENCE, ResiliencePolicy
+from repro.faults.sites import (
+    AGENT_RECYCLE_RACE,
+    AGENT_SPAWN_FAIL,
+    AGENT_SPAWN_OOM,
+)
 from repro.mm.pagecache import CachedFile
 from repro.sim.engine import Event, Process, Simulator, Timeout
 from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, bytes_to_pages
@@ -74,6 +91,15 @@ class ShrinkEvent:
 
 
 @dataclass
+class _DeferredReclaim:
+    """A partial-unplug shortfall queued for a later retry."""
+
+    size_bytes: int
+    attempt: int
+    queued_ns: int
+
+
+@dataclass
 class _FunctionState:
     """Mutable per-function bookkeeping."""
 
@@ -85,6 +111,7 @@ class _FunctionState:
     next_pin: int = 0
     cold_starts: int = 0
     oom_failures: int = 0
+    spawn_failures: int = 0
 
 
 class Agent:
@@ -97,6 +124,7 @@ class Agent:
         deployments: List[FunctionDeployment],
         policy: KeepAlivePolicy,
         mode: DeploymentMode,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         if mode is DeploymentMode.HOTMEM and not vm.is_hotmem:
             raise ConfigError("HOTMEM mode requires a HotMem VM")
@@ -106,6 +134,9 @@ class Agent:
         self.vm = vm
         self.policy = policy
         self.mode = mode
+        self.resilience = resilience if resilience is not None else NO_RESILIENCE
+        self.faults = vm.faults
+        self.recovery = vm.recovery_log
         self.functions: Dict[str, _FunctionState] = {}
         for deployment in deployments:
             spec = deployment.spec
@@ -118,6 +149,12 @@ class Agent:
             )
             self.functions[spec.name] = _FunctionState(deployment, deps)
         self.shrink_events: List[ShrinkEvent] = []
+        #: True once the agent gave up on the backend and stopped
+        #: resizing (graceful degradation to a statically sized VM).
+        self.degraded = False
+        self._consecutive_plug_failures = 0
+        self._plug_failing_since: Optional[int] = None
+        self._deferred: List[_DeferredReclaim] = []
         self._pending_plug_bytes = 0
         self._pending_unplug_bytes = 0
         self._recycler: Optional[Process] = None
@@ -135,6 +172,27 @@ class Agent:
         if self.vm.is_hotmem and self.vm.hotmem.shared_partition is not None:
             total += self.vm.hotmem.params.shared_bytes
         return total
+
+    @property
+    def elastic(self) -> bool:
+        """Whether the agent still resizes the VM (mode minus degradation)."""
+        return self.mode.elastic and not self.degraded
+
+    def _unusable_plugged_bytes(self) -> int:
+        """Plugged memory held hostage by quarantine.
+
+        Quarantined blocks (and every block of a quarantined HotMem
+        partition) stay plugged but can never serve instances or be
+        unplugged, so the sizing math must write them off — otherwise the
+        deficit guard would skip needed plugs and the recycler would
+        chase unreclaimable excess forever.
+        """
+        indices = {block.index for block in self.vm.manager.quarantined_blocks}
+        if self.vm.is_hotmem:
+            for partition in self.vm.hotmem.partitions:
+                if partition.quarantined:
+                    indices.update(b.index for b in partition.zone.blocks)
+        return len(indices) * MEMORY_BLOCK_SIZE
 
     # ------------------------------------------------------------------
     # Request handling
@@ -160,9 +218,14 @@ class Agent:
                 cold = True
                 try:
                     container = yield from self._spawn(state)
-                except OutOfMemory:
+                except (OutOfMemory, SpawnFailed) as exc:
                     state.live -= 1
-                    state.oom_failures += 1
+                    if isinstance(exc, OutOfMemory):
+                        state.oom_failures += 1
+                        error = "oom"
+                    else:
+                        state.spawn_failures += 1
+                        error = "spawn-failed"
                     self._kick_one_waiter(state)
                     now = self.sim.now
                     return InvocationRecord(
@@ -172,7 +235,7 @@ class Agent:
                         end_ns=now,
                         cold=True,
                         ok=False,
-                        error="oom",
+                        error=error,
                     )
             else:
                 gate = self.sim.event()
@@ -232,37 +295,137 @@ class Agent:
     def _spawn(self, state: _FunctionState):
         deployment = state.deployment
         state.cold_starts += 1
+        fault = self.faults.fire(AGENT_SPAWN_OOM, function=deployment.spec.name)
+        if fault is not None:
+            # Injected allocation failure during elastic scale-up: fail
+            # fast exactly like a guest OOM; the request is re-queued by
+            # the caller's OOM handling.
+            self._resolve_and_record(fault, "oom-failfast")
+            raise OutOfMemory(
+                f"injected OOM during scale-up of {deployment.spec.name}"
+            )
+        fault = self.faults.fire(AGENT_SPAWN_FAIL, function=deployment.spec.name)
+        if fault is not None:
+            self._resolve_and_record(fault, "invocation-failed")
+            raise SpawnFailed(
+                f"injected spawn failure for {deployment.spec.name}"
+            )
         # Step 2: the runtime asks the hypervisor to plug memory matching
-        # the instance's limit (elastic modes only).  The deficit guard
-        # avoids over-plugging when earlier unplugs were partial or when a
-        # populated partition is waiting for reuse.
-        if self.mode.elastic:
-            # In-flight unplugs still count as plugged on the device but
-            # their memory is about to vanish; without accounting for them
-            # a spawn would skip its plug and park on the HotMem attach
-            # waitqueue with nothing coming to wake it.
+        # the instance's limit (elastic modes only).
+        if self.elastic:
+            yield from self._plug_for_spawn()
+        if self.degraded and self.vm.is_hotmem:
+            # Static fallback: serve only from already populated
+            # partitions — parking on the attach waitqueue would hang
+            # forever with nobody plugging memory to wake it.
+            if not self.vm.hotmem.populated_unassigned():
+                raise SpawnFailed(
+                    "degraded to static mode and no populated partition free"
+                )
+        # Step 4: spawn the container (HotMem attach happens inside).
+        vcpu = self._next_vcpu(state)
+        container = Container(self.vm, deployment.spec, state.deps_file, vcpu)
+        yield from container.cold_start()
+        return container
+
+    def _plug_for_spawn(self):
+        """Process generator: grow the VM to cover the new instance.
+
+        The deficit guard avoids over-plugging when earlier unplugs were
+        partial or a populated partition awaits reuse; in-flight unplugs
+        still count as plugged on the device but their memory is about to
+        vanish, so they are subtracted (otherwise a spawn would skip its
+        plug and park on the HotMem attach waitqueue with nothing coming
+        to wake it).  Refused (NACK) and partial plugs are retried per
+        the resilience policy; persistent refusal degrades the agent to
+        static mode.
+        """
+        policy = self.resilience
+        attempt = 0
+        pending: List[InjectedFault] = []
+        detect_ns: Optional[int] = None
+        while True:
             effective_plugged = (
-                self.vm.device.plugged_bytes - self._pending_unplug_bytes
+                self.vm.device.plugged_bytes
+                - self._pending_unplug_bytes
+                - self._unusable_plugged_bytes()
             )
             deficit = (
                 self.target_plugged_bytes()
                 - effective_plugged
                 - self._pending_plug_bytes
             )
-            # Normally the deficit is exactly this instance's limit; it can
-            # be larger when an earlier unplug overshot or a plug fell
-            # short, in which case the request also heals the shortfall.
             request = max(0, deficit)
-            if request > 0:
-                self._pending_plug_bytes += request
-                plug_process = self.vm.request_plug(request)
-                yield plug_process
-                self._pending_plug_bytes -= request
-        # Step 4: spawn the container (HotMem attach happens inside).
-        vcpu = self._next_vcpu(state)
-        container = Container(self.vm, deployment.spec, state.deps_file, vcpu)
-        yield from container.cold_start()
-        return container
+            if request == 0:
+                break
+            attempt += 1
+            self._pending_plug_bytes += request
+            plug_process = self.vm.request_plug(request)
+            yield plug_process
+            self._pending_plug_bytes -= request
+            result = plug_process.value
+            if result.fault is not None:
+                pending.append(result.fault)
+            if not result.error:
+                # Success (or a natural partial the device never reports
+                # today): same single-shot behaviour as before faults.
+                break
+            if detect_ns is None:
+                detect_ns = self.sim.now
+            if result.plugged_bytes == 0:
+                self._consecutive_plug_failures += 1
+                if self._plug_failing_since is None:
+                    self._plug_failing_since = self.sim.now
+                self._maybe_degrade()
+            else:
+                self._consecutive_plug_failures = 0
+                self._plug_failing_since = None
+            if self.degraded or attempt > policy.plug_retries:
+                path = "static-fallback" if self.degraded else "plug-shortfall"
+                self._resolve_all(pending, path, attempt)
+                self.recovery.record(
+                    site="agent.plug",
+                    path=path,
+                    detect_ns=detect_ns,
+                    resolve_ns=self.sim.now,
+                    attempts=attempt,
+                )
+                return None
+            yield Timeout(policy.plug_backoff_ns)
+        if pending or attempt > 1:
+            self._consecutive_plug_failures = 0
+            self._plug_failing_since = None
+            self._resolve_all(pending, "retried", attempt)
+            self.recovery.record(
+                site="agent.plug",
+                path="retried",
+                detect_ns=self.sim.now if detect_ns is None else detect_ns,
+                resolve_ns=self.sim.now,
+                attempts=max(1, attempt),
+            )
+        return None
+
+    def _maybe_degrade(self) -> None:
+        """Fall back to static mode when the backend stays unavailable."""
+        policy = self.resilience
+        if (
+            policy.degrade_after == 0
+            or self.degraded
+            or self._consecutive_plug_failures < policy.degrade_after
+        ):
+            return
+        self.degraded = True
+        self.recovery.record(
+            site="agent.backend-unavailable",
+            path="static-fallback",
+            detect_ns=(
+                self._plug_failing_since
+                if self._plug_failing_since is not None
+                else self.sim.now
+            ),
+            resolve_ns=self.sim.now,
+            attempts=self._consecutive_plug_failures,
+        )
 
     def _next_vcpu(self, state: _FunctionState) -> int:
         allowed = state.deployment.vcpu_indices
@@ -317,17 +480,29 @@ class Agent:
             state.live -= 1
             evicted += 1
         unplug_bytes = 0
-        if evicted and self.mode.elastic:
-            spare_bytes = self.policy.spare_slots * max(
-                state.deployment.partition_bytes
-                for state in self.functions.values()
-            )
+        if evicted and self.elastic:
+            spare_bytes = self._spare_bytes()
+            pending_unplug = self._pending_unplug_bytes
+            race: Optional[InjectedFault] = None
+            if pending_unplug > 0:
+                race = self.faults.fire(
+                    AGENT_RECYCLE_RACE, pending_unplug_bytes=pending_unplug
+                )
+                if race is not None:
+                    # The racing recycler misses the in-flight unplug and
+                    # over-requests; the device serializes requests and
+                    # clamps to what is actually plugged, and the deficit
+                    # guard heals any overshoot on the next spawn.
+                    pending_unplug = 0
             excess = (
                 self.vm.device.plugged_bytes
-                - self._pending_unplug_bytes
+                - pending_unplug
+                - self._unusable_plugged_bytes()
                 - self.target_plugged_bytes()
                 - spare_bytes
             )
+            if race is not None:
+                self._resolve_and_record(race, "serialized")
             if excess > 0:
                 unplug_bytes = excess
                 # Fire-and-forget: reclamation proceeds in the background
@@ -343,15 +518,117 @@ class Agent:
             )
         return evicted
 
-    def _unplug_async(self, size_bytes: int):
-        """Issue one unplug and track it until the device completes it."""
+    def _spare_bytes(self) -> int:
+        return self.policy.spare_slots * max(
+            state.deployment.partition_bytes
+            for state in self.functions.values()
+        )
+
+    def _unplug_async(self, size_bytes: int, deferred_attempt: int = 0):
+        """Issue one unplug and track it until the device completes it.
+
+        A shortfall (partial unplug) is re-queued through the deferred-
+        reclamation queue when the resilience policy allows, and dropped
+        (with a ``dropped`` recovery record) once the attempt cap is hit.
+        """
+        start = self.sim.now
         self._pending_unplug_bytes += size_bytes
         try:
             unplug = self.vm.request_unplug(size_bytes)
             yield unplug
         finally:
             self._pending_unplug_bytes -= size_bytes
-        return unplug.value
+        result = unplug.value
+        shortfall = result.requested_bytes - result.unplugged_bytes
+        policy = self.resilience
+        if shortfall > 0 and policy.deferred_attempts > 0:
+            if deferred_attempt < policy.deferred_attempts:
+                self._defer_reclaim(shortfall, deferred_attempt + 1)
+            else:
+                self.recovery.record(
+                    site="agent.reclaim",
+                    path="dropped",
+                    detect_ns=start,
+                    resolve_ns=self.sim.now,
+                    attempts=deferred_attempt,
+                )
+        elif deferred_attempt > 0 and shortfall == 0:
+            self.recovery.record(
+                site="agent.reclaim",
+                path="deferred-done",
+                detect_ns=start,
+                resolve_ns=self.sim.now,
+                attempts=deferred_attempt,
+            )
+        return result
+
+    def _defer_reclaim(self, size_bytes: int, attempt: int) -> None:
+        entry = _DeferredReclaim(
+            size_bytes=size_bytes, attempt=attempt, queued_ns=self.sim.now
+        )
+        self._deferred.append(entry)
+        self.recovery.record(
+            site="agent.reclaim",
+            path="deferred",
+            detect_ns=entry.queued_ns,
+            resolve_ns=entry.queued_ns,
+            attempts=attempt,
+        )
+        self.sim.spawn(
+            self._deferred_retry(entry), name=f"{self.vm.name}-deferred-reclaim"
+        )
+
+    def _deferred_retry(self, entry: _DeferredReclaim):
+        yield Timeout(self.resilience.deferred_backoff_for(entry.attempt))
+        if entry in self._deferred:
+            self._deferred.remove(entry)
+        if self.degraded:
+            return None
+        # Recompute how much is still actually excess: demand may have
+        # grown (spawns reused the unreclaimed memory) or shrunk further
+        # since the shortfall was queued — never unplug past the target.
+        excess = (
+            self.vm.device.plugged_bytes
+            - self._pending_unplug_bytes
+            - self._unusable_plugged_bytes()
+            - self.target_plugged_bytes()
+            - self._spare_bytes()
+        )
+        request = min(entry.size_bytes, max(0, excess))
+        if request <= 0:
+            # Demand came back for the memory; the shortfall healed itself.
+            self.recovery.record(
+                site="agent.reclaim",
+                path="healed",
+                detect_ns=entry.queued_ns,
+                resolve_ns=self.sim.now,
+                attempts=entry.attempt,
+            )
+            return None
+        yield from self._unplug_async(request, deferred_attempt=entry.attempt)
+        return None
+
+    # ------------------------------------------------------------------
+    # Fault accounting helpers
+    # ------------------------------------------------------------------
+    def _resolve_and_record(
+        self, fault: InjectedFault, path: str, attempts: int = 1
+    ) -> None:
+        self.faults.resolve(fault, path, attempts=attempts)
+        self.recovery.record(
+            site=fault.site,
+            path=path,
+            detect_ns=fault.time_ns,
+            resolve_ns=self.sim.now,
+            attempts=attempts,
+        )
+
+    def _resolve_all(
+        self, pending: List[InjectedFault], path: str, attempts: int
+    ) -> None:
+        for fault in pending:
+            self.faults.resolve(fault, path, attempts=attempts)
+        pending.clear()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -369,3 +646,7 @@ class Agent:
     def cold_start_count(self, function_name: str) -> int:
         """Cold starts performed for one function."""
         return self._state(function_name).cold_starts
+
+    def deferred_reclaims(self) -> int:
+        """Shortfalls currently queued for deferred reclamation."""
+        return len(self._deferred)

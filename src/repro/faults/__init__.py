@@ -1,0 +1,71 @@
+"""Deterministic fault injection + recovery policies for the hotplug
+datapath.
+
+The package has three parts:
+
+* :mod:`repro.faults.sites` — the named injection sites (host backend,
+  guest driver, agent control plane);
+* :mod:`repro.faults.injector` — the seed-driven :class:`FaultInjector`
+  plane (per-site RNG streams, fire/resolve accounting);
+* :mod:`repro.faults.policy` — :class:`RetryPolicy` (driver retries,
+  backoff, quarantine) and :class:`ResiliencePolicy` (agent plug
+  retries, deferred reclamation, degradation to static mode).
+
+See ``docs/faults.md`` for the full injection-site and recovery-path
+reference, and ``experiments/chaos.py`` for the fault-rate sweep built
+on top.
+"""
+
+from repro.faults.injector import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.faults.policy import (
+    NO_RESILIENCE,
+    NO_RETRY,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.faults.sites import (
+    AGENT_RECYCLE_RACE,
+    AGENT_SITES,
+    AGENT_SPAWN_FAIL,
+    AGENT_SPAWN_OOM,
+    ALL_SITES,
+    DEVICE_PLUG_NACK,
+    DEVICE_PLUG_PARTIAL,
+    DEVICE_RESPONSE_DELAY,
+    DEVICE_SITES,
+    DRIVER_BLOCK_TIMEOUT,
+    DRIVER_MIGRATE_FAIL,
+    DRIVER_OFFLINE_UNMOVABLE,
+    DRIVER_SITES,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "FaultInjector",
+    "NO_FAULTS",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "NO_RETRY",
+    "NO_RESILIENCE",
+    "DEVICE_PLUG_NACK",
+    "DEVICE_PLUG_PARTIAL",
+    "DEVICE_RESPONSE_DELAY",
+    "DRIVER_OFFLINE_UNMOVABLE",
+    "DRIVER_MIGRATE_FAIL",
+    "DRIVER_BLOCK_TIMEOUT",
+    "AGENT_SPAWN_FAIL",
+    "AGENT_SPAWN_OOM",
+    "AGENT_RECYCLE_RACE",
+    "ALL_SITES",
+    "DEVICE_SITES",
+    "DRIVER_SITES",
+    "AGENT_SITES",
+]

@@ -1,0 +1,244 @@
+"""The deterministic fault-injection plane.
+
+A :class:`FaultInjector` is threaded through the VM stack (driver,
+device, agent) and consulted at every named injection site.  Three
+properties make chaos runs usable as experiments:
+
+* **Deterministic** — each enabled site draws from its own seeded stream
+  (:func:`repro.sim.rng.make_rng` with stream ``faults/<site>``), so two
+  runs at the same seed inject the same faults at the same operations,
+  and enabling one site never shifts another site's draws.
+* **Zero-cost when disabled** — a site without a spec returns ``None``
+  without touching any RNG, so a plan with no specs (or the shared
+  :data:`NO_FAULTS` injector) leaves every existing experiment
+  byte-identical.
+* **Accountable** — every fired fault is logged as an
+  :class:`InjectedFault` and must later be *resolved* with the recovery
+  path taken (``retried``, ``quarantined``, ``static-fallback``, ...).
+  :meth:`FaultInjector.unresolved` lists faults nobody handled — the
+  chaos experiment's completeness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.sites import ALL_SITES
+from repro.sim.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "FaultInjector",
+    "NO_FAULTS",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injection policy for one site."""
+
+    site: str
+    #: Probability that one opportunity at this site fires (0..1).
+    probability: float
+    #: Stop injecting after this many fires (None = unlimited).
+    max_fires: Optional[int] = None
+    #: Simulated delay attached to delay-type sites (e.g. a slow backend
+    #: response); ignored by sites that model hard failures.
+    delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ConfigError(f"unknown fault site {self.site!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"{self.site}: probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ConfigError(f"{self.site}: max_fires must be >= 0")
+        if self.delay_ns < 0:
+            raise ConfigError(f"{self.site}: delay_ns must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of per-site specs (hashable, safe inside frozen scenarios)."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for spec in self.specs:
+            if spec.site in seen:
+                raise ConfigError(f"duplicate spec for site {spec.site!r}")
+            seen.add(spec.site)
+
+    @classmethod
+    def uniform(
+        cls,
+        probability: float,
+        sites: Tuple[str, ...] = ALL_SITES,
+        delay_ns: int = 0,
+        max_fires: Optional[int] = None,
+    ) -> "FaultPlan":
+        """One spec per site at a shared probability (chaos sweeps)."""
+        return cls(
+            tuple(
+                FaultSpec(
+                    site,
+                    probability=probability,
+                    max_fires=max_fires,
+                    delay_ns=delay_ns,
+                )
+                for site in sites
+            )
+        )
+
+    def spec_for(self, site: str) -> Optional[FaultSpec]:
+        """The spec covering ``site`` (None when the site is disabled)."""
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+
+@dataclass
+class InjectedFault:
+    """One fired fault, awaiting resolution by the recovery machinery."""
+
+    site: str
+    sequence: int
+    time_ns: int
+    context: Dict[str, object] = field(default_factory=dict)
+    #: Recovery path recorded by whoever handled the fault (None until
+    #: resolved): ``retried``, ``quarantined``, ``partial-unplug``,
+    #: ``static-fallback``, ``absorbed``, ``serialized``, ...
+    resolution: Optional[str] = None
+    resolved_ns: Optional[int] = None
+    attempts: int = 0
+
+
+class FaultInjector:
+    """Seed-driven fault plane shared by one VM's datapath components."""
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        sim: Optional["Simulator"] = None,
+    ):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = seed
+        self.sim = sim
+        self._specs: Dict[str, FaultSpec] = {
+            spec.site: spec for spec in self.plan.specs if spec.probability > 0
+        }
+        self._rngs = {
+            site: make_rng(seed, f"faults/{site}") for site in self._specs
+        }
+        self._fired: Dict[str, int] = {}
+        #: Every fault fired so far, in firing order.
+        self.injected: List[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any site can fire."""
+        return bool(self._specs)
+
+    def bind_sim(self, sim: "Simulator") -> None:
+        """Late-bind the simulator used to timestamp faults.
+
+        A no-op on disabled injectors (so the shared :data:`NO_FAULTS`
+        singleton never captures any particular run's clock) and on
+        injectors already bound.
+        """
+        if self._specs and self.sim is None:
+            self.sim = sim
+
+    def _now(self) -> int:
+        return self.sim.now if self.sim is not None else 0
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def fire(self, site: str, **context) -> Optional[InjectedFault]:
+        """One injection opportunity at ``site``.
+
+        Returns the logged :class:`InjectedFault` when the site fires
+        (the caller must eventually :meth:`resolve` it), ``None``
+        otherwise.  Disabled sites return ``None`` without drawing any
+        randomness.
+        """
+        spec = self._specs.get(site)
+        if spec is None:
+            return None
+        if spec.max_fires is not None and self._fired.get(site, 0) >= spec.max_fires:
+            return None
+        if self._rngs[site].random() >= spec.probability:
+            return None
+        fault = InjectedFault(
+            site=site,
+            sequence=len(self.injected),
+            time_ns=self._now(),
+            context=dict(context),
+        )
+        self._fired[site] = self._fired.get(site, 0) + 1
+        self.injected.append(fault)
+        return fault
+
+    def delay_ns(self, site: str) -> int:
+        """The configured delay for a delay-type site (0 when disabled)."""
+        spec = self._specs.get(site)
+        return spec.delay_ns if spec is not None else 0
+
+    # ------------------------------------------------------------------
+    # Resolution accounting
+    # ------------------------------------------------------------------
+    def resolve(
+        self, fault: InjectedFault, resolution: str, attempts: int = 0
+    ) -> None:
+        """Record how ``fault`` was handled (recovered or degraded)."""
+        fault.resolution = resolution
+        fault.attempts = attempts
+        fault.resolved_ns = self._now()
+
+    def unresolved(self) -> List[InjectedFault]:
+        """Fired faults no recovery path has claimed yet."""
+        return [fault for fault in self.injected if fault.resolution is None]
+
+    def count(self, site: Optional[str] = None) -> int:
+        """Faults fired so far (at one site, or in total)."""
+        if site is None:
+            return len(self.injected)
+        return self._fired.get(site, 0)
+
+    def counts_by_resolution(self) -> Dict[str, int]:
+        """Resolution → number of faults resolved that way."""
+        counts: Dict[str, int] = {}
+        for fault in self.injected:
+            key = fault.resolution if fault.resolution is not None else "unresolved"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<FaultInjector {state} sites={sorted(self._specs)} "
+            f"fired={len(self.injected)}>"
+        )
+
+
+#: Shared inert injector: no sites, no RNG draws, no logging.  The
+#: default for every VM, guaranteeing fault machinery is invisible to
+#: existing experiments.
+NO_FAULTS = FaultInjector()

@@ -1,0 +1,117 @@
+"""Retry, backoff, quarantine and degradation policies.
+
+:class:`RetryPolicy` governs the guest driver's per-block recovery on
+the unplug path (retry with exponential backoff, then give up — and
+optionally quarantine blocks that keep failing across requests).
+
+:class:`ResiliencePolicy` bundles the agent-level knobs on top: plug
+retries, the deferred-reclamation queue for partial unplugs, and the
+threshold at which a persistently unavailable backend degrades the VM to
+static (no-elastic) mode.
+
+Both default to **off** (zero retries, no quarantine, no degradation),
+which reproduces the pre-fault-plane behaviour exactly: a failed block
+is simply skipped (virtio-mem's partial-unplug semantics) and nothing
+adds timeouts or RNG draws to existing runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import MS
+
+__all__ = ["RetryPolicy", "ResiliencePolicy", "NO_RETRY", "NO_RESILIENCE"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Driver-side per-block retry/timeout/backoff policy."""
+
+    #: Retries after the first failed attempt (0 = fail immediately,
+    #: preserving stock virtio-mem partial-unplug behaviour).
+    max_retries: int = 0
+    #: Backoff before the first retry; doubles (``backoff_multiplier``)
+    #: per further retry, capped at ``max_backoff_ns``.
+    base_backoff_ns: int = 1 * MS
+    backoff_multiplier: float = 2.0
+    max_backoff_ns: int = 64 * MS
+    #: Simulated duration of a timed-out per-block operation (the time
+    #: lost before the driver gives up on a hung offline).
+    block_timeout_ns: int = 5 * MS
+    #: Quarantine a block once this many *requests* exhausted their
+    #: retries on it (0 = never quarantine).
+    quarantine_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_backoff_ns <= 0 or self.max_backoff_ns <= 0:
+            raise ConfigError("backoff durations must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.block_timeout_ns <= 0:
+            raise ConfigError("block_timeout_ns must be positive")
+        if self.quarantine_after < 0:
+            raise ConfigError(
+                f"quarantine_after must be >= 0, got {self.quarantine_after}"
+            )
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        backoff = self.base_backoff_ns * self.backoff_multiplier ** (attempt - 1)
+        return min(self.max_backoff_ns, int(backoff))
+
+
+#: The inert default: fail fast, no quarantine.
+NO_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Agent-level recovery knobs layered over the driver policy."""
+
+    #: Driver-side policy pushed into the VM's virtio-mem driver.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Agent retries of a failed/short plug request before giving up.
+    plug_retries: int = 0
+    #: Backoff between agent-level plug retries.
+    plug_backoff_ns: int = 4 * MS
+    #: Degrade to static (no-elastic) mode after this many *consecutive*
+    #: failed plug requests (0 = never degrade).
+    degrade_after: int = 0
+    #: Re-queue a partial unplug's shortfall at most this many times
+    #: through the deferred-reclamation queue (0 = queue disabled).
+    deferred_attempts: int = 0
+    #: Base delay before a deferred reclamation retry (doubles per
+    #: attempt).
+    deferred_backoff_ns: int = 50 * MS
+
+    def __post_init__(self) -> None:
+        if self.plug_retries < 0:
+            raise ConfigError(f"plug_retries must be >= 0, got {self.plug_retries}")
+        if self.plug_backoff_ns <= 0 or self.deferred_backoff_ns <= 0:
+            raise ConfigError("backoff durations must be positive")
+        if self.degrade_after < 0:
+            raise ConfigError(
+                f"degrade_after must be >= 0, got {self.degrade_after}"
+            )
+        if self.deferred_attempts < 0:
+            raise ConfigError(
+                f"deferred_attempts must be >= 0, got {self.deferred_attempts}"
+            )
+
+    def deferred_backoff_for(self, attempt: int) -> int:
+        """Backoff before deferred-reclaim attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        return self.deferred_backoff_ns * (2 ** (attempt - 1))
+
+
+#: The inert default: no retries, no deferral, never degrade.
+NO_RESILIENCE = ResiliencePolicy()

@@ -1,0 +1,148 @@
+"""Recovery-path accounting: what the datapath did when it failed.
+
+Every recovery action taken by the fault-handling machinery — a retried
+block offline, a quarantined block, a deferred reclamation, degradation
+to static mode — is recorded as a :class:`RecoveryEvent` in the VM's
+:class:`RecoveryLog`.  The log is the metrics surface the chaos
+experiment reads: recovery *latency* (detection to resolution) and the
+distribution of paths taken (recovered vs. degraded) per fault rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RECOVERED_PATHS",
+    "DEGRADED_PATHS",
+]
+
+#: Paths where the operation eventually succeeded (the fault was masked).
+RECOVERED_PATHS = frozenset(
+    {"retried", "absorbed", "serialized", "healed", "deferred", "deferred-done"}
+)
+#: Paths where the system gave up something (graceful degradation).
+DEGRADED_PATHS = frozenset(
+    {
+        "quarantined",
+        "partial-unplug",
+        "static-fallback",
+        "plug-shortfall",
+        "dropped",
+        "oom-failfast",
+        "invocation-failed",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One handled failure: where it happened and how it was resolved."""
+
+    #: Failure site (a :mod:`repro.faults.sites` name or an internal
+    #: ``driver.unplug.*`` / ``agent.*`` label for natural failures).
+    site: str
+    #: Recovery path taken (see :data:`RECOVERED_PATHS` /
+    #: :data:`DEGRADED_PATHS`).
+    path: str
+    #: When the failure was first detected.
+    detect_ns: int
+    #: When the recovery action completed (success, quarantine, ...).
+    resolve_ns: int
+    #: Attempts spent (1 = first try, no retries).
+    attempts: int = 1
+    block_index: Optional[int] = None
+    partition_id: Optional[int] = None
+
+    @property
+    def latency_ns(self) -> int:
+        """Detection-to-resolution latency."""
+        return self.resolve_ns - self.detect_ns
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns / 1e6
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the operation ultimately succeeded."""
+        return self.path in RECOVERED_PATHS
+
+
+class RecoveryLog:
+    """Append-only log of recovery events for one VM."""
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def record(
+        self,
+        site: str,
+        path: str,
+        detect_ns: int,
+        resolve_ns: int,
+        attempts: int = 1,
+        block_index: Optional[int] = None,
+        partition_id: Optional[int] = None,
+    ) -> RecoveryEvent:
+        """Append one event; returns it for convenience."""
+        event = RecoveryEvent(
+            site=site,
+            path=path,
+            detect_ns=detect_ns,
+            resolve_ns=resolve_ns,
+            attempts=attempts,
+            block_index=block_index,
+            partition_id=partition_id,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def count(self, path: Optional[str] = None) -> int:
+        """Events recorded (optionally restricted to one path)."""
+        if path is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.path == path)
+
+    def by_path(self) -> Dict[str, int]:
+        """Path → event count, in first-seen order."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.path] = counts.get(event.path, 0) + 1
+        return counts
+
+    def recovered_count(self) -> int:
+        """Events whose operation ultimately succeeded."""
+        return sum(1 for event in self.events if event.recovered)
+
+    def degraded_count(self) -> int:
+        """Events where the system degraded instead of recovering."""
+        return sum(1 for event in self.events if not event.recovered)
+
+    def latencies_ms(self, path: Optional[str] = None) -> List[float]:
+        """Recovery latencies in ms (optionally for one path)."""
+        return [
+            event.latency_ms
+            for event in self.events
+            if path is None or event.path == path
+        ]
+
+    def latency_p99_ms(self, path: Optional[str] = None) -> float:
+        """P99 recovery latency in ms (0 when no events)."""
+        # Imported here: repro.metrics pulls in the faas layer, which
+        # sits above this module in the import graph.
+        from repro.metrics.latency import percentile
+
+        latencies = self.latencies_ms(path)
+        if not latencies:
+            return 0.0
+        return percentile(latencies, 99.0)
+
+    def __repr__(self) -> str:
+        return f"<RecoveryLog events={len(self.events)} paths={self.by_path()}>"

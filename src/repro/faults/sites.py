@@ -1,0 +1,68 @@
+"""Named fault-injection sites across the hotplug datapath.
+
+Each constant names one place where the simulator can deterministically
+inject a failure.  Sites are grouped by layer:
+
+* **device** (:mod:`repro.virtio.device`, the VMM side): the backend
+  NACKs a plug outright, satisfies it only partially, or delays its
+  response to a resize request;
+* **driver** (:mod:`repro.virtio.driver`, the guest side): offlining a
+  block hits unmovable pages, migrating its occupants fails, or the
+  per-block operation times out;
+* **agent** (:mod:`repro.faas.agent`, the control plane): a container
+  spawn fails, an elastic scale-up runs out of memory, or the recycler
+  races an in-flight unplug and computes its shrink target from stale
+  device state.
+
+Site names double as RNG stream names (``faults/<site>``), so enabling
+one site never perturbs the draws of another — the property that makes
+chaos runs bit-reproducible and composable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEVICE_PLUG_NACK",
+    "DEVICE_PLUG_PARTIAL",
+    "DEVICE_RESPONSE_DELAY",
+    "DRIVER_OFFLINE_UNMOVABLE",
+    "DRIVER_MIGRATE_FAIL",
+    "DRIVER_BLOCK_TIMEOUT",
+    "AGENT_SPAWN_FAIL",
+    "AGENT_SPAWN_OOM",
+    "AGENT_RECYCLE_RACE",
+    "ALL_SITES",
+    "DEVICE_SITES",
+    "DRIVER_SITES",
+    "AGENT_SITES",
+]
+
+#: The host backend refuses a plug request (no memory granted).
+DEVICE_PLUG_NACK = "device.plug.nack"
+#: The host backend grants only part of a plug request.
+DEVICE_PLUG_PARTIAL = "device.plug.partial"
+#: The host backend delays its response to a resize request.
+DEVICE_RESPONSE_DELAY = "device.response.delay"
+
+#: Offlining a block fails on (transiently) unmovable pages.
+DRIVER_OFFLINE_UNMOVABLE = "driver.offline.unmovable"
+#: Migrating a block's occupants out fails mid-unplug.
+DRIVER_MIGRATE_FAIL = "driver.migrate.fail"
+#: The per-block offline operation exceeds the driver's timeout.
+DRIVER_BLOCK_TIMEOUT = "driver.block.timeout"
+
+#: The container runtime fails to spawn an instance.
+AGENT_SPAWN_FAIL = "agent.spawn.fail"
+#: An elastic scale-up OOMs before the instance is usable.
+AGENT_SPAWN_OOM = "agent.spawn.oom"
+#: The recycler sizes its unplug from stale state, racing an in-flight
+#: unplug (the classic check-then-act race).
+AGENT_RECYCLE_RACE = "agent.recycle.race"
+
+DEVICE_SITES = (DEVICE_PLUG_NACK, DEVICE_PLUG_PARTIAL, DEVICE_RESPONSE_DELAY)
+DRIVER_SITES = (DRIVER_OFFLINE_UNMOVABLE, DRIVER_MIGRATE_FAIL, DRIVER_BLOCK_TIMEOUT)
+AGENT_SITES = (AGENT_SPAWN_FAIL, AGENT_SPAWN_OOM, AGENT_RECYCLE_RACE)
+
+#: Every known injection site (the universe :class:`FaultSpec` validates
+#: against).
+ALL_SITES = DEVICE_SITES + DRIVER_SITES + AGENT_SITES

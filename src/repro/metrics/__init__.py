@@ -15,6 +15,12 @@ from repro.metrics.latency import (
     percentile,
     spike_factor,
 )
+from repro.faults.recovery import (
+    DEGRADED_PATHS,
+    RECOVERED_PATHS,
+    RecoveryEvent,
+    RecoveryLog,
+)
 from repro.metrics.report import format_ratio, render_series, render_table
 
 __all__ = [
@@ -33,4 +39,8 @@ __all__ = [
     "render_table",
     "render_series",
     "format_ratio",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RECOVERED_PATHS",
+    "DEGRADED_PATHS",
 ]

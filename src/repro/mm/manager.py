@@ -108,6 +108,11 @@ class GuestMemoryManager:
         self.blocks: List[MemoryBlock] = [MemoryBlock(i) for i in range(total_blocks)]
 
         self.kernel = KernelOwner()
+        #: Blocks withdrawn from service after repeatedly failing to
+        #: offline (insertion-ordered; block → reason).  Quarantined
+        #: blocks stay ONLINE but isolated, so the allocator never
+        #: touches them and their free pages are never double-counted.
+        self._quarantined: Dict[MemoryBlock, str] = {}
         self.zones: Dict[str, Zone] = {}
         suffix = lambda n: "" if numa_nodes == 1 else f"@node{n}"  # noqa: E731
         self.normal_zones: List[Zone] = [
@@ -282,9 +287,14 @@ class GuestMemoryManager:
         """
         block = self.blocks[index]
         if index not in self.hotplug_block_indices():
-            raise HotplugError(f"block {index} is boot memory, not hotpluggable")
+            raise HotplugError(
+                f"block {index} is boot memory, not hotpluggable",
+                block_index=index,
+            )
         if block.state is not BlockState.ABSENT:
-            raise HotplugError(f"block {index} already {block.state.value}")
+            raise HotplugError(
+                f"block {index} already {block.state.value}", block_index=index
+            )
         # memmap first: if ZONE_NORMAL cannot hold the metadata, hot-add
         # fails.  Charged node-locally, falling back to the other nodes.
         node = self.node_of_block(index)
@@ -300,14 +310,69 @@ class GuestMemoryManager:
     def isolate_block(self, block: MemoryBlock) -> None:
         """Hide a block's free pages from the allocator (pre-offline)."""
         if block.zone is None:
-            raise OfflineFailed(f"block {block.index} is not in any zone")
+            raise OfflineFailed(
+                f"block {block.index} is not in any zone",
+                block_index=block.index,
+            )
         block.zone.isolate_block(block)
 
     def unisolate_block(self, block: MemoryBlock) -> None:
         """Abort an offline attempt: make the block allocatable again."""
         if block.zone is None:
-            raise OfflineFailed(f"block {block.index} is not in any zone")
+            raise OfflineFailed(
+                f"block {block.index} is not in any zone",
+                block_index=block.index,
+            )
+        if block in self._quarantined:
+            raise OfflineFailed(
+                f"block {block.index} is quarantined "
+                f"({self._quarantined[block]}); release it first",
+                block_index=block.index,
+            )
         block.zone.unisolate_block(block)
+
+    # ------------------------------------------------------------------
+    # Quarantine (graceful degradation for blocks that will not offline)
+    # ------------------------------------------------------------------
+    def quarantine_block(self, block: MemoryBlock, reason: str = "") -> None:
+        """Withdraw a block from service after repeated offline failures.
+
+        The block stays ONLINE (its memory is still charged to the host)
+        but is isolated, so the placement policies never allocate from
+        it and its free pages drop out of the zone's free counter.  The
+        deferred-reclamation machinery gives up on quarantined blocks;
+        :meth:`release_quarantine` returns one to service.  Idempotent.
+        """
+        if block.state is not BlockState.ONLINE or block.zone is None:
+            raise OfflineFailed(
+                f"cannot quarantine block {block.index}: "
+                f"state={block.state.value}",
+                block_index=block.index,
+            )
+        if block in self._quarantined:
+            return
+        if not block.isolated:
+            block.zone.isolate_block(block)
+        self._quarantined[block] = reason or "offline-failures"
+
+    def release_quarantine(self, block: MemoryBlock) -> None:
+        """Return a quarantined block to allocator service."""
+        if block not in self._quarantined:
+            raise OfflineFailed(
+                f"block {block.index} is not quarantined",
+                block_index=block.index,
+            )
+        del self._quarantined[block]
+        block.zone.unisolate_block(block)
+
+    def is_quarantined(self, block: MemoryBlock) -> bool:
+        """Whether ``block`` is currently quarantined."""
+        return block in self._quarantined
+
+    @property
+    def quarantined_blocks(self) -> List[MemoryBlock]:
+        """Quarantined blocks in quarantine order."""
+        return list(self._quarantined)
 
     def migrate_block_out(
         self, block: MemoryBlock, target_zones: Optional[Sequence[Zone]] = None
@@ -319,10 +384,14 @@ class GuestMemoryManager:
         every owner's mirror reflects the new placement.
         """
         if block.state is not BlockState.ONLINE:
-            raise OfflineFailed(f"block {block.index} is {block.state.value}")
+            raise OfflineFailed(
+                f"block {block.index} is {block.state.value}",
+                block_index=block.index,
+            )
         if block.has_unmovable:
             raise OfflineFailed(
-                f"block {block.index} holds unmovable kernel pages"
+                f"block {block.index} holds unmovable kernel pages",
+                block_index=block.index,
             )
         occupied = block.occupied_pages
         if occupied == 0:
@@ -335,7 +404,8 @@ class GuestMemoryManager:
         if headroom < occupied:
             raise OfflineFailed(
                 f"block {block.index}: need to migrate {occupied} pages but only "
-                f"{headroom} pages of headroom in {[z.name for z in zone_order]}"
+                f"{headroom} pages of headroom in {[z.name for z in zone_order]}",
+                block_index=block.index,
             )
         touched_blocks = set()
         for owner, pages in list(block.owner_pages.items()):
@@ -367,14 +437,24 @@ class GuestMemoryManager:
         vanilla path).  The block's ``memmap`` metadata is released.
         """
         if block.state is not BlockState.ONLINE:
-            raise OfflineFailed(f"block {block.index} is {block.state.value}")
+            raise OfflineFailed(
+                f"block {block.index} is {block.state.value}",
+                block_index=block.index,
+            )
+        if block in self._quarantined:
+            raise OfflineFailed(
+                f"block {block.index} is quarantined "
+                f"({self._quarantined[block]})",
+                block_index=block.index,
+            )
         if migrate:
             outcome = self.migrate_block_out(block, target_zones)
         else:
             if block.occupied_pages:
                 raise OfflineFailed(
                     f"block {block.index} has {block.occupied_pages} occupied pages "
-                    f"and migrate=False"
+                    f"and migrate=False",
+                    block_index=block.index,
                 )
             outcome = MigrationOutcome(migrated_pages=0, target_blocks=0)
         block.zone.detach_block(block)

@@ -78,6 +78,15 @@ class HotplugBackend:
     def on_block_unplugged(self, block: MemoryBlock) -> None:
         """Hook after a block is removed (HotMem empties partitions)."""
 
+    def on_block_quarantined(self, block: MemoryBlock) -> None:
+        """Hook after the driver quarantines a repeatedly failing block.
+
+        HotMem quarantines the owning partition alongside so the
+        recycler stops proposing it (see :mod:`repro.core.backend`);
+        vanilla needs nothing — the block is isolated, which already
+        removes it from :meth:`plan_unplug` candidacy.
+        """
+
 
 class VanillaBackend(HotplugBackend):
     """Stock virtio-mem on stock Linux.

@@ -13,21 +13,36 @@ and unplugged independently.  The device
   metric (Section 5.4: request received → memory marked DONTNEED).
 
 Requests are serialized, as in virtio-mem: one resize at a time.
+
+Fault injection (see ``docs/faults.md``): the device hosts three named
+sites — a plug NACK (host refuses the whole request), a partial plug
+(host grants only half the blocks), and a stalled response (extra
+latency on the notification round trip).  NACK and partial outcomes
+travel to the caller via :attr:`PlugResult.error` — **never** as an
+exception, since an exception would abort the simulated process tree —
+and the agent decides whether to retry or degrade.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, List, Set
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, List, Optional, Set
 
 from repro.errors import HotplugError
+from repro.faults.injector import NO_FAULTS, FaultInjector, InjectedFault
+from repro.faults.sites import (
+    DEVICE_PLUG_NACK,
+    DEVICE_PLUG_PARTIAL,
+    DEVICE_RESPONSE_DELAY,
+)
 from repro.host.machine import NumaNode
+from repro.faults.recovery import RecoveryLog
 from repro.mm.block import BlockState
 from repro.mm.manager import GuestMemoryManager
 from repro.sim.costs import CostModel
 from repro.sim.cpu import CpuCore
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, Timeout
 from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, format_bytes
 from repro.virtio.driver import VirtioMemDriver
 
@@ -48,6 +63,12 @@ class PlugResult:
     plugged_bytes: int
     latency_ns: int
     zeroed_pages: int
+    #: ``""`` on success; ``"nack"`` when the host refused the request,
+    #: ``"partial"`` when it granted fewer blocks than asked.
+    error: str = ""
+    #: The injected fault behind a non-empty ``error`` (the caller
+    #: resolves it with the recovery path it chose).
+    fault: Optional[InjectedFault] = field(default=None, repr=False)
 
     @property
     def fully_plugged(self) -> bool:
@@ -81,6 +102,8 @@ class VirtioMemDevice:
         vmm_core: CpuCore,
         host_node: NumaNode,
         tracer: "HypervisorTracer",
+        faults: FaultInjector = NO_FAULTS,
+        recovery: Optional[RecoveryLog] = None,
     ):
         self.sim = sim
         self.driver = driver
@@ -89,6 +112,8 @@ class VirtioMemDevice:
         self.vmm_core = vmm_core
         self.host_node = host_node
         self.tracer = tracer
+        self.faults = faults
+        self.recovery = recovery
         self.plugged_indices: Set[int] = set()
         self._busy = False
         self._waiters: Deque[Event] = deque()
@@ -144,14 +169,40 @@ class VirtioMemDevice:
                     f"plug of {format_bytes(size_bytes)} exceeds device region "
                     f"({len(free_indices)} free blocks)"
                 )
-            chosen = free_indices[:n_blocks]
             start = self.sim.now
+            nack = self.faults.fire(DEVICE_PLUG_NACK, requested_blocks=n_blocks)
+            if nack is not None:
+                # Host refuses the whole request; the round trip still
+                # costs a notification and no host memory is charged.
+                yield self.vmm_core.submit(
+                    self.costs.virtio_request_rtt_ns, VMM_LABEL
+                )
+                end = self.sim.now
+                self.tracer.record_plug(start, end, n_blocks * MEMORY_BLOCK_SIZE, 0)
+                return PlugResult(
+                    requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+                    plugged_bytes=0,
+                    latency_ns=end - start,
+                    zeroed_pages=0,
+                    error="nack",
+                    fault=nack,
+                )
+            effective = n_blocks
+            partial = None
+            if n_blocks > 1:
+                partial = self.faults.fire(
+                    DEVICE_PLUG_PARTIAL, requested_blocks=n_blocks
+                )
+                if partial is not None:
+                    effective = max(1, n_blocks // 2)
+            chosen = free_indices[:effective]
             # Host backing is charged up front (the hypervisor hands the
             # guest zeroed pages).  ``plugged_indices`` is only updated on
             # completion so that observers see committed state (requests
             # are serialized, so the chosen indices cannot be stolen).
-            self.host_node.charge(n_blocks * MEMORY_BLOCK_SIZE)
+            self.host_node.charge(effective * MEMORY_BLOCK_SIZE)
             yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
+            yield from self._maybe_stall()
             outcome = yield from self.driver.handle_plug(chosen)
             self.plugged_indices.update(outcome.plugged_block_indices)
             end = self.sim.now
@@ -164,9 +215,33 @@ class VirtioMemDevice:
                 plugged_bytes=plugged_bytes,
                 latency_ns=end - start,
                 zeroed_pages=outcome.zeroed_pages,
+                error="" if partial is None else "partial",
+                fault=partial,
             )
         finally:
             self._release()
+
+    def _maybe_stall(self):
+        """Process generator: injected extra latency on the device response.
+
+        A stalled response is *absorbed*: the request still completes,
+        only slower, so the fault is resolved on the spot and the added
+        latency shows up in the recovery log and the plug/unplug traces.
+        """
+        fault = self.faults.fire(DEVICE_RESPONSE_DELAY)
+        if fault is None:
+            return None
+        delay = self.faults.delay_ns(DEVICE_RESPONSE_DELAY)
+        yield Timeout(delay)
+        self.faults.resolve(fault, "absorbed")
+        if self.recovery is not None:
+            self.recovery.record(
+                site=DEVICE_RESPONSE_DELAY,
+                path="absorbed",
+                detect_ns=self.sim.now - delay,
+                resolve_ns=self.sim.now,
+            )
+        return None
 
     def plug_at_boot(self, size_bytes: int, zone) -> List[int]:
         """State-only plug during VM boot (not traced, no latency).
@@ -208,6 +283,7 @@ class VirtioMemDevice:
                 n_blocks = len(self.plugged_indices)
             start = self.sim.now
             yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
+            yield from self._maybe_stall()
             outcome = yield from self.driver.handle_unplug(n_blocks)
             for index in outcome.unplugged_block_indices:
                 if index not in self.plugged_indices:

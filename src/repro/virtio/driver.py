@@ -8,18 +8,37 @@ function instances is the interference mechanism of Figure 10.
 
 All work is labelled ``"virtio-mem"`` for cpuacct-style accounting
 (Figure 7).
+
+Fault handling (see ``docs/faults.md``): each block on the unplug path
+runs through :meth:`VirtioMemDriver._prepare_block`, which retries
+isolate/migrate failures (injected via :mod:`repro.faults` or natural,
+e.g. lost migration headroom) with exponential backoff per the driver's
+:class:`~repro.faults.RetryPolicy`.  A block that exhausts its retries is
+skipped (virtio-mem's partial-unplug semantics); a block that keeps
+failing across ``quarantine_after`` requests is *quarantined* — withdrawn
+from allocator service so the datapath stops tripping over it.  Every
+outcome is recorded in the VM's
+:class:`~repro.metrics.recovery.RecoveryLog`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.errors import HotplugError, OfflineFailed
+from repro.faults.injector import NO_FAULTS, FaultInjector, InjectedFault
+from repro.faults.policy import NO_RETRY, RetryPolicy
+from repro.faults.recovery import RecoveryLog
 from repro.mm.manager import GuestMemoryManager
+from repro.faults.sites import (
+    DRIVER_BLOCK_TIMEOUT,
+    DRIVER_MIGRATE_FAIL,
+    DRIVER_OFFLINE_UNMOVABLE,
+)
 from repro.sim.costs import CostModel
 from repro.sim.cpu import CpuCore
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Timeout
 from repro.virtio.backend import HotplugBackend
 
 __all__ = ["VirtioMemDriver", "DriverPlugOutcome", "DriverUnplugOutcome"]
@@ -49,6 +68,9 @@ class DriverUnplugOutcome:
     zeroed_pages: int = 0
     scanned_blocks: int = 0
     failed_blocks: int = 0
+    #: Indices of the blocks that could not be offlined this request
+    #: (skipped or quarantined); callers can requeue the shortfall.
+    failed_block_indices: List[int] = field(default_factory=list)
     #: Contiguous runs the blocks were offlined in (== block count unless
     #: the driver runs with batched unplug).
     contiguous_runs: int = 0
@@ -69,6 +91,9 @@ class VirtioMemDriver:
         costs: CostModel,
         irq_core: CpuCore,
         batch_unplug: bool = False,
+        faults: FaultInjector = NO_FAULTS,
+        retry: RetryPolicy = NO_RETRY,
+        recovery: Optional[RecoveryLog] = None,
     ):
         """``batch_unplug`` enables the future-work optimization the paper
         names in Section 6.1.1: contiguous runs of offlineable blocks are
@@ -80,6 +105,12 @@ class VirtioMemDriver:
         self.costs = costs
         self.irq_core = irq_core
         self.batch_unplug = batch_unplug
+        self.faults = faults
+        self.retry = retry
+        self.recovery = recovery
+        #: Requests that exhausted their retries, per block index (feeds
+        #: the ``quarantine_after`` threshold; reset on success).
+        self._offline_failures: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Plug path
@@ -150,18 +181,10 @@ class VirtioMemDriver:
                 scan_cost = entry.scanned_blocks * self.costs.unplug_scan_block_ns
                 if scan_cost:
                     yield self.irq_core.submit(scan_cost, VIRTIO_MEM_LABEL)
-                try:
-                    self.manager.isolate_block(block)
-                except OfflineFailed:
+                migrated = yield from self._prepare_block(block)
+                if migrated is None:
                     outcome.failed_blocks += 1
-                    continue
-                try:
-                    migrated = self.backend.migrate_for_unplug(block)
-                except OfflineFailed:
-                    # Not enough migration headroom (the guest allocated
-                    # since planning); abort this block (partial unplug).
-                    self.manager.unisolate_block(block)
-                    outcome.failed_blocks += 1
+                    outcome.failed_block_indices.append(block.index)
                     continue
                 zeroed = self.backend.unplug_zero_pages(migrated)
                 move_cost = self.costs.migrate_pages_ns(
@@ -175,6 +198,133 @@ class VirtioMemDriver:
             if prepared:
                 yield from self._finish_run(prepared, outcome)
         return outcome
+
+    def _prepare_block(self, block):
+        """Process generator: isolate + migrate one block, with retries.
+
+        Returns the migrated page count on success (the block is left
+        isolated and empty, ready for :meth:`_finish_run`) or ``None``
+        when the driver gave up on the block — either skipping it for
+        this request (partial unplug) or quarantining it.
+        """
+        pending: List[InjectedFault] = []
+        detect_ns: Optional[int] = None
+        failure = ""
+        attempt = 0
+        while True:
+            attempt += 1
+            failure = ""
+            fault = self.faults.fire(
+                DRIVER_BLOCK_TIMEOUT, block_index=block.index, attempt=attempt
+            )
+            if fault is not None:
+                # The per-block operation hangs until the watchdog fires.
+                pending.append(fault)
+                yield Timeout(self.retry.block_timeout_ns)
+                failure = "timeout"
+            if not failure:
+                fault = self.faults.fire(
+                    DRIVER_OFFLINE_UNMOVABLE,
+                    block_index=block.index,
+                    attempt=attempt,
+                )
+                if fault is not None:
+                    pending.append(fault)
+                    failure = "unmovable"
+                else:
+                    try:
+                        self.manager.isolate_block(block)
+                    except OfflineFailed:
+                        failure = "offline"
+            if not failure:
+                fault = self.faults.fire(
+                    DRIVER_MIGRATE_FAIL, block_index=block.index, attempt=attempt
+                )
+                if fault is not None:
+                    pending.append(fault)
+                    self.manager.unisolate_block(block)
+                    failure = "migrate"
+                else:
+                    try:
+                        migrated = self.backend.migrate_for_unplug(block)
+                    except OfflineFailed:
+                        # Not enough migration headroom (the guest
+                        # allocated since planning); retry or give up.
+                        self.manager.unisolate_block(block)
+                        failure = "migrate"
+            if not failure:
+                if attempt > 1:
+                    self._resolve_all(pending, "retried", attempt)
+                    self._record(
+                        "driver.unplug.retry",
+                        "retried",
+                        detect_ns,
+                        attempt,
+                        block.index,
+                    )
+                self._offline_failures.pop(block.index, None)
+                return migrated
+            if detect_ns is None:
+                detect_ns = self.sim.now
+            if attempt > self.retry.max_retries:
+                self._give_up(block, failure, detect_ns, pending, attempt)
+                return None
+            yield Timeout(self.retry.backoff_ns(attempt))
+
+    def _give_up(
+        self,
+        block,
+        failure: str,
+        detect_ns: int,
+        pending: List[InjectedFault],
+        attempts: int,
+    ) -> None:
+        """Stop retrying ``block`` this request: skip it or quarantine it."""
+        failures = self._offline_failures.get(block.index, 0) + 1
+        self._offline_failures[block.index] = failures
+        path = "partial-unplug"
+        if self.retry.quarantine_after and failures >= self.retry.quarantine_after:
+            try:
+                self.manager.quarantine_block(block, reason=failure)
+            except OfflineFailed:
+                # Block left ONLINE-but-unquarantinable state mid-failure;
+                # fall back to skipping it for this request.
+                pass
+            else:
+                self.backend.on_block_quarantined(block)
+                self._offline_failures.pop(block.index, None)
+                path = "quarantined"
+        self._resolve_all(pending, path, attempts)
+        self._record(
+            f"driver.unplug.{failure}", path, detect_ns, attempts, block.index
+        )
+
+    def _resolve_all(
+        self, pending: List[InjectedFault], path: str, attempts: int
+    ) -> None:
+        """Mark every fault hit while working on one block as handled."""
+        for fault in pending:
+            self.faults.resolve(fault, path, attempts=attempts)
+        pending.clear()
+
+    def _record(
+        self,
+        site: str,
+        path: str,
+        detect_ns: Optional[int],
+        attempts: int,
+        block_index: int,
+    ) -> None:
+        if self.recovery is None:
+            return
+        self.recovery.record(
+            site=site,
+            path=path,
+            detect_ns=self.sim.now if detect_ns is None else detect_ns,
+            resolve_ns=self.sim.now,
+            attempts=attempts,
+            block_index=block_index,
+        )
 
     @staticmethod
     def _contiguous_runs(plan):

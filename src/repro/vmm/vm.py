@@ -16,7 +16,10 @@ from repro.core.backend import HotMemBackend
 from repro.core.config import HotMemBootParams
 from repro.core.manager import HotMemManager
 from repro.errors import ConfigError
+from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.faults.policy import NO_RETRY, RetryPolicy
 from repro.host.machine import HostMachine
+from repro.faults.recovery import RecoveryLog
 from repro.mm.fault import FaultHandler
 from repro.mm.manager import GuestMemoryManager
 from repro.mm.mm_struct import MmStruct
@@ -47,12 +50,21 @@ class VirtualMachine:
         hotmem_params: Optional[HotMemBootParams] = None,
         vanilla_unplug_selection: str = "linear",
         seed: int = 0,
+        faults: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.host = host
         self.config = config
         self.costs = costs
         self.node = host.node(config.node_id)
+        #: The fault-injection plane (inert :data:`NO_FAULTS` by default,
+        #: which draws no RNG and adds no latency anywhere).
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.faults.bind_sim(sim)
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
+        #: Every recovery/degradation the datapath performs lands here.
+        self.recovery_log = RecoveryLog()
 
         boot_bytes = config.effective_boot_memory_bytes
         if hotmem_params is not None:
@@ -112,6 +124,9 @@ class VirtualMachine:
             costs,
             irq_core=self.irq_vcpu,
             batch_unplug=config.batch_unplug,
+            faults=self.faults,
+            retry=self.retry_policy,
+            recovery=self.recovery_log,
         )
         self.device = VirtioMemDevice(
             sim,
@@ -121,6 +136,8 @@ class VirtualMachine:
             vmm_core=self.vmm_core,
             host_node=self.node,
             tracer=self.tracer,
+            faults=self.faults,
+            recovery=self.recovery_log,
         )
 
         # HotMem populates the shared partition at boot (Section 4.1).

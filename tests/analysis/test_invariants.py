@@ -337,6 +337,59 @@ class TestPartitionRefcount:
         check_now(manager, hotmem=hotmem)
 
 
+class TestQuarantineIsolation:
+    def test_clean_quarantine_passes(self, manager):
+        index = next(iter(manager.hotplug_block_indices()))
+        block = manager.online_block(index, manager.zone_movable)
+        manager.quarantine_block(block, reason="test")
+        check_now(manager)
+        manager.release_quarantine(block)
+        check_now(manager)
+
+    def test_unisolated_quarantined_block_caught(self, manager):
+        index = next(iter(manager.hotplug_block_indices()))
+        block = manager.online_block(index, manager.zone_movable)
+        manager.quarantine_block(block)
+        # Bypass the manager guard: leak the block back to the allocator.
+        manager.zone_movable.unisolate_block(block)
+        error = violation(manager)
+        assert "quarantine-isolation" in error.rules
+        assert "visible to the allocator" in str(error)
+
+    def test_offline_quarantined_block_caught(self, manager):
+        index = next(iter(manager.hotplug_block_indices()))
+        block = manager.online_block(index, manager.zone_movable)
+        manager.quarantine_block(block)
+        block.state = BlockState.OFFLINE
+        failures = run_invariants(
+            CheckContext(manager), rules=["quarantine-isolation"]
+        )
+        assert failures and "must keep the block online" in failures[0].message
+
+    def test_quarantined_block_in_live_partition_caught(self, manager, hotmem):
+        partition = hotmem.partitions[0]
+        manager.quarantine_block(partition.zone.blocks[0])
+        error = violation(manager, hotmem=hotmem)
+        assert "quarantine-isolation" in error.rules
+        assert "not quarantined itself" in str(error)
+
+    def test_assigned_quarantined_partition_caught(self, manager, hotmem):
+        partition = hotmem.partitions[0]
+        mm = MmStruct("assigned")
+        partition.assign(mm)
+        partition.quarantined = True  # bypass the PartitionBusy guard
+        error = violation(manager, hotmem=hotmem)
+        assert "quarantine-isolation" in error.rules
+        assert "still assigned" in str(error)
+
+    def test_quarantined_partition_unassigned_ok(self, manager, hotmem):
+        partition = hotmem.partitions[0]
+        for block in partition.zone.blocks:
+            manager.quarantine_block(block)
+        partition.quarantine()
+        check_now(manager, hotmem=hotmem)
+
+
 class TestTeardownNoLeak:
     def test_released_owner_with_pages_caught(self, manager):
         mm = MmStruct("undead")

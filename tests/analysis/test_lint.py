@@ -154,6 +154,37 @@ class TestModuleAllRequired:
         assert not findings(src, "tools.lint", "module-all-required")
 
 
+class TestNoBareExcept:
+    def test_bare_except_flagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        errors = findings(src, "repro.faas.foo", "no-bare-except")
+        assert len(errors) == 1
+        assert errors[0].line == 3
+
+    def test_typed_except_unflagged(self):
+        src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert not findings(src, "repro.faas.foo", "no-bare-except")
+
+    def test_broad_but_named_exception_unflagged(self):
+        # The rule targets bare handlers that swallow fault signals the
+        # recovery machinery needs, not `except Exception` per se.
+        src = "try:\n    f()\nexcept Exception as e:\n    raise e\n"
+        assert not findings(src, "repro.virtio.foo", "no-bare-except")
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert not findings(src, "tools.lint", "no-bare-except")
+
+    def test_allow_comment_silences(self):
+        src = (
+            "try:\n"
+            "    f()\n"
+            "except:  # lint: allow[no-bare-except] last-ditch cleanup\n"
+            "    pass\n"
+        )
+        assert not findings(src, "repro.faas.foo", "no-bare-except")
+
+
 class TestSuppression:
     def test_allow_comment_silences_rule_on_line(self):
         src = "import time\nt = time.time()  # lint: allow[no-wallclock] display\n"
@@ -230,6 +261,7 @@ class TestDriversAndOutput:
             "no-float-page-eq",
             "mm-encapsulation",
             "module-all-required",
+            "no-bare-except",
         }
         assert all(RULES.values())
 

@@ -1,0 +1,234 @@
+"""Device- and driver-level fault recovery on a live VM.
+
+Covers the host/device sites (NACK, partial plug, stalled response) and
+the guest driver's retry/backoff/quarantine machinery, including the
+MemSanitizer invariants over every recovery path.
+"""
+
+import pytest
+
+from repro.faults import (
+    DEVICE_PLUG_NACK,
+    DEVICE_PLUG_PARTIAL,
+    DEVICE_RESPONSE_DELAY,
+    DRIVER_BLOCK_TIMEOUT,
+    DRIVER_MIGRATE_FAIL,
+    DRIVER_OFFLINE_UNMOVABLE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MS
+from repro.vmm import VirtualMachine, VmConfig
+
+
+def make_vm(sim, host, specs, retry=None, region=1 * GIB):
+    plan = FaultPlan(tuple(specs))
+    return VirtualMachine(
+        sim,
+        host,
+        VmConfig("fault-vm", hotplug_region_bytes=region),
+        faults=FaultInjector(plan, seed=0, sim=sim),
+        retry_policy=retry,
+    )
+
+
+def run_plug(sim, vm, n_blocks):
+    process = vm.request_plug(n_blocks * MEMORY_BLOCK_SIZE)
+    sim.run()
+    return process.value
+
+
+def run_unplug(sim, vm, n_blocks):
+    process = vm.request_unplug(n_blocks * MEMORY_BLOCK_SIZE)
+    sim.run()
+    return process.value
+
+
+class TestDeviceSites:
+    def test_nack_refuses_whole_request_without_charging(self, sim, host):
+        vm = make_vm(
+            sim, host, [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=1)]
+        )
+        result = run_plug(sim, vm, 2)
+        assert result.error == "nack"
+        assert result.plugged_bytes == 0
+        assert result.fault is not None
+        assert vm.device.plugged_bytes == 0
+        assert vm.faults.unresolved() == [result.fault]
+        # The caller decides the path; mimic the agent's retry.
+        vm.faults.resolve(result.fault, "retried")
+        retry = run_plug(sim, vm, 2)
+        assert retry.error == "" and retry.fully_plugged
+        assert vm.device.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
+        vm.check_consistency()
+
+    def test_partial_plug_grants_half(self, sim, host):
+        vm = make_vm(
+            sim, host, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0, max_fires=1)]
+        )
+        result = run_plug(sim, vm, 4)
+        assert result.error == "partial"
+        assert result.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
+        assert not result.fully_plugged
+        assert vm.device.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
+        vm.faults.resolve(result.fault, "retried")
+        vm.check_consistency()
+
+    def test_partial_never_starves_single_block_requests(self, sim, host):
+        vm = make_vm(sim, host, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0)])
+        result = run_plug(sim, vm, 1)
+        # A 1-block request cannot be halved; the site never fires on it.
+        assert result.error == "" and result.fully_plugged
+
+    def test_response_delay_absorbed_and_logged(self, sim, host):
+        delay = 3 * MS
+        vm = make_vm(
+            sim,
+            host,
+            [FaultSpec(DEVICE_RESPONSE_DELAY, 1.0, max_fires=1, delay_ns=delay)],
+        )
+        baseline_vm = VirtualMachine(
+            sim.__class__(), host, VmConfig("base", hotplug_region_bytes=1 * GIB)
+        )
+        result = run_plug(sim, vm, 1)
+        assert result.error == ""
+        # The stall is self-absorbed: resolved by the device, no caller
+        # involvement needed.
+        assert vm.faults.unresolved() == []
+        events = vm.recovery_log.by_path()
+        assert events == {"absorbed": 1}
+        assert vm.recovery_log.events[0].latency_ns == delay
+        del baseline_vm
+
+
+class TestDriverRetry:
+    def test_migrate_failure_retried_to_success(self, sim, host):
+        vm = make_vm(
+            sim,
+            host,
+            [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)],
+            retry=RetryPolicy(max_retries=2),
+        )
+        run_plug(sim, vm, 2)
+        before = sim.now
+        result = run_unplug(sim, vm, 1)
+        assert result.fully_unplugged
+        assert vm.device.plugged_bytes == 1 * MEMORY_BLOCK_SIZE
+        # The retry waited out one backoff interval.
+        assert sim.now - before >= vm.retry_policy.backoff_ns(1)
+        assert vm.faults.unresolved() == []
+        assert vm.recovery_log.by_path() == {"retried": 1}
+        assert vm.recovery_log.events[0].attempts == 2
+        vm.check_consistency()
+
+    def test_timeout_site_costs_block_timeout(self, sim, host):
+        timeout = 7 * MS
+        vm = make_vm(
+            sim,
+            host,
+            [FaultSpec(DRIVER_BLOCK_TIMEOUT, 1.0, max_fires=1)],
+            retry=RetryPolicy(max_retries=1, block_timeout_ns=timeout),
+        )
+        run_plug(sim, vm, 1)
+        before = sim.now
+        result = run_unplug(sim, vm, 1)
+        assert result.fully_unplugged
+        assert sim.now - before >= timeout
+        assert vm.faults.unresolved() == []
+
+    def test_exhausted_retries_fall_back_to_partial_unplug(self, sim, host):
+        vm = make_vm(
+            sim,
+            host,
+            [FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0)],
+            retry=RetryPolicy(max_retries=1),
+        )
+        run_plug(sim, vm, 2)
+        result = run_unplug(sim, vm, 1)
+        assert result.unplugged_bytes == 0
+        assert vm.device.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
+        assert vm.faults.unresolved() == []
+        assert vm.recovery_log.by_path() == {"partial-unplug": 1}
+        vm.check_consistency()
+
+    def test_no_retry_policy_fails_fast(self, sim, host):
+        vm = make_vm(sim, host, [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)])
+        run_plug(sim, vm, 2)
+        result = run_unplug(sim, vm, 2)
+        # One block lost to the fault, the other unplugged; the inert
+        # NO_RETRY policy gave up after a single attempt (stock
+        # virtio-mem partial-unplug semantics).
+        assert result.unplugged_bytes == 1 * MEMORY_BLOCK_SIZE
+        assert vm.recovery_log.by_path() == {"partial-unplug": 1}
+        assert vm.recovery_log.events[0].attempts == 1
+        assert vm.faults.unresolved() == []
+
+
+class TestQuarantine:
+    def make_failing_vm(self, sim, host, quarantine_after=2):
+        return make_vm(
+            sim,
+            host,
+            [FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0)],
+            retry=RetryPolicy(max_retries=0, quarantine_after=quarantine_after),
+        )
+
+    def test_block_quarantined_after_repeated_failures(self, sim, host):
+        vm = self.make_failing_vm(sim, host)
+        run_plug(sim, vm, 2)
+        first = run_unplug(sim, vm, 1)
+        assert first.unplugged_bytes == 0
+        assert vm.manager.quarantined_blocks == []
+        second = run_unplug(sim, vm, 1)
+        assert second.unplugged_bytes == 0
+        quarantined = vm.manager.quarantined_blocks
+        assert len(quarantined) == 1
+        assert vm.manager.is_quarantined(quarantined[0])
+        assert quarantined[0].isolated
+        assert vm.recovery_log.by_path() == {
+            "partial-unplug": 1,
+            "quarantined": 1,
+        }
+        assert vm.faults.unresolved() == []
+        # The invariant registry accepts the quarantine state.
+        vm.check_consistency()
+
+    def test_quarantined_block_leaves_unplug_candidacy(self, sim, host):
+        vm = self.make_failing_vm(sim, host)
+        run_plug(sim, vm, 2)
+        run_unplug(sim, vm, 1)
+        run_unplug(sim, vm, 1)  # quarantines the victim
+        bad = vm.manager.quarantined_blocks[0]
+        # Subsequent failures target the *other* block (the quarantined
+        # one is withdrawn from service).
+        third = run_unplug(sim, vm, 1)
+        assert third.unplugged_bytes == 0
+        assert all(
+            e.block_index != bad.index
+            for e in vm.recovery_log.events[2:]
+        )
+
+    def test_release_quarantine_restores_service(self, sim, host):
+        vm = self.make_failing_vm(sim, host)
+        run_plug(sim, vm, 2)
+        run_unplug(sim, vm, 1)
+        run_unplug(sim, vm, 1)
+        block = vm.manager.quarantined_blocks[0]
+        vm.manager.release_quarantine(block)
+        assert vm.manager.quarantined_blocks == []
+        assert not block.isolated
+        vm.check_consistency()
+
+    def test_offline_of_quarantined_block_refused(self, sim, host):
+        from repro.errors import OfflineFailed
+
+        vm = self.make_failing_vm(sim, host)
+        run_plug(sim, vm, 2)
+        run_unplug(sim, vm, 1)
+        run_unplug(sim, vm, 1)
+        block = vm.manager.quarantined_blocks[0]
+        with pytest.raises(OfflineFailed) as excinfo:
+            vm.manager.offline_and_remove(block)
+        assert excinfo.value.context["block_index"] == block.index

@@ -1,0 +1,163 @@
+"""Unit tests for the deterministic fault-injection plane."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    AGENT_SPAWN_FAIL,
+    ALL_SITES,
+    DEVICE_PLUG_NACK,
+    DRIVER_MIGRATE_FAIL,
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def plan_for(site, probability=1.0, **kw):
+    return FaultPlan((FaultSpec(site, probability=probability, **kw),))
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            FaultSpec("device.plug.frobnicate", probability=0.5)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultSpec(DEVICE_PLUG_NACK, probability=1.5)
+
+    def test_negative_max_fires_rejected(self):
+        with pytest.raises(ConfigError, match="max_fires"):
+            FaultSpec(DEVICE_PLUG_NACK, probability=0.5, max_fires=-1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError, match="delay_ns"):
+            FaultSpec(DEVICE_PLUG_NACK, probability=0.5, delay_ns=-1)
+
+    def test_duplicate_site_in_plan_rejected(self):
+        spec = FaultSpec(DEVICE_PLUG_NACK, probability=0.5)
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultPlan((spec, spec))
+
+    def test_uniform_covers_every_site(self):
+        plan = FaultPlan.uniform(0.1)
+        assert {s.site for s in plan.specs} == set(ALL_SITES)
+        assert plan.spec_for(DEVICE_PLUG_NACK).probability == 0.1
+        assert plan.spec_for("device.plug.nack") is plan.spec_for(
+            DEVICE_PLUG_NACK
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_fire_pattern(self):
+        plan = FaultPlan.uniform(0.3)
+        a = FaultInjector(plan, seed=7)
+        b = FaultInjector(plan, seed=7)
+        pattern_a = [a.fire(site) is not None for site in ALL_SITES * 20]
+        pattern_b = [b.fire(site) is not None for site in ALL_SITES * 20]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_per_site_streams_are_independent(self):
+        # Enabling a second site must not shift the first site's draws.
+        solo = FaultInjector(plan_for(DRIVER_MIGRATE_FAIL, 0.4), seed=3)
+        both = FaultInjector(
+            FaultPlan(
+                (
+                    FaultSpec(DRIVER_MIGRATE_FAIL, probability=0.4),
+                    FaultSpec(DEVICE_PLUG_NACK, probability=0.4),
+                )
+            ),
+            seed=3,
+        )
+        for _ in range(50):
+            assert (solo.fire(DRIVER_MIGRATE_FAIL) is None) == (
+                both.fire(DRIVER_MIGRATE_FAIL) is None
+            )
+            both.fire(DEVICE_PLUG_NACK)
+
+    def test_different_seeds_diverge(self):
+        plan = FaultPlan.uniform(0.5)
+        a = FaultInjector(plan, seed=1)
+        b = FaultInjector(plan, seed=2)
+        pattern_a = [a.fire(site) is not None for site in ALL_SITES * 10]
+        pattern_b = [b.fire(site) is not None for site in ALL_SITES * 10]
+        assert pattern_a != pattern_b
+
+
+class TestFiring:
+    def test_disabled_site_never_fires(self):
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 1.0), seed=0)
+        for _ in range(10):
+            assert injector.fire(DRIVER_MIGRATE_FAIL) is None
+        assert injector.count(DRIVER_MIGRATE_FAIL) == 0
+
+    def test_zero_probability_site_is_disabled(self):
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 0.0), seed=0)
+        assert not injector.enabled
+        assert injector.fire(DEVICE_PLUG_NACK) is None
+
+    def test_max_fires_caps_injection(self):
+        injector = FaultInjector(
+            plan_for(AGENT_SPAWN_FAIL, 1.0, max_fires=2), seed=0
+        )
+        fired = [injector.fire(AGENT_SPAWN_FAIL) for _ in range(5)]
+        assert [f is not None for f in fired] == [True, True, False, False, False]
+        assert injector.count(AGENT_SPAWN_FAIL) == 2
+
+    def test_fault_carries_context_and_sequence(self):
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 1.0), seed=0)
+        first = injector.fire(DEVICE_PLUG_NACK, requested_blocks=4)
+        second = injector.fire(DEVICE_PLUG_NACK, requested_blocks=8)
+        assert first.sequence == 0 and second.sequence == 1
+        assert first.context == {"requested_blocks": 4}
+
+    def test_delay_ns_zero_when_disabled(self):
+        injector = FaultInjector(
+            plan_for(DEVICE_PLUG_NACK, 1.0, delay_ns=123), seed=0
+        )
+        assert injector.delay_ns(DEVICE_PLUG_NACK) == 123
+        assert injector.delay_ns(DRIVER_MIGRATE_FAIL) == 0
+
+
+class TestResolutionAccounting:
+    def test_unresolved_until_resolved(self):
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 1.0), seed=0)
+        fault = injector.fire(DEVICE_PLUG_NACK)
+        assert injector.unresolved() == [fault]
+        injector.resolve(fault, "retried", attempts=2)
+        assert injector.unresolved() == []
+        assert fault.resolution == "retried" and fault.attempts == 2
+
+    def test_counts_by_resolution(self):
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 1.0), seed=0)
+        a = injector.fire(DEVICE_PLUG_NACK)
+        injector.fire(DEVICE_PLUG_NACK)
+        injector.resolve(a, "retried")
+        assert injector.counts_by_resolution() == {
+            "retried": 1,
+            "unresolved": 1,
+        }
+
+
+class TestNoFaults:
+    def test_no_faults_is_inert(self):
+        assert not NO_FAULTS.enabled
+        for site in ALL_SITES:
+            assert NO_FAULTS.fire(site) is None
+        assert NO_FAULTS.count() == 0
+        assert NO_FAULTS.unresolved() == []
+
+    def test_bind_sim_is_noop_on_disabled_injector(self, sim):
+        NO_FAULTS.bind_sim(sim)
+        assert NO_FAULTS.sim is None
+
+    def test_bind_sim_keeps_first_binding(self, sim):
+        from repro.sim.engine import Simulator
+
+        injector = FaultInjector(plan_for(DEVICE_PLUG_NACK, 1.0), seed=0)
+        injector.bind_sim(sim)
+        injector.bind_sim(Simulator())
+        assert injector.sim is sim

@@ -1,0 +1,82 @@
+"""Unit tests for retry/backoff and resilience policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    NO_RESILIENCE,
+    NO_RETRY,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.units import MS
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            max_retries=5, base_backoff_ns=1 * MS, backoff_multiplier=2.0
+        )
+        assert policy.backoff_ns(1) == 1 * MS
+        assert policy.backoff_ns(2) == 2 * MS
+        assert policy.backoff_ns(3) == 4 * MS
+
+    def test_backoff_caps_at_max(self):
+        policy = RetryPolicy(
+            max_retries=20, base_backoff_ns=1 * MS, max_backoff_ns=8 * MS
+        )
+        assert policy.backoff_ns(10) == 8 * MS
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            NO_RETRY.backoff_ns(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_backoff_ns": 0},
+            {"backoff_multiplier": 0.5},
+            {"block_timeout_ns": 0},
+            {"quarantine_after": -2},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_inert_default(self):
+        assert NO_RETRY.max_retries == 0
+        assert NO_RETRY.quarantine_after == 0
+
+
+class TestResiliencePolicy:
+    def test_deferred_backoff_doubles(self):
+        policy = ResiliencePolicy(deferred_attempts=3, deferred_backoff_ns=50 * MS)
+        assert policy.deferred_backoff_for(1) == 50 * MS
+        assert policy.deferred_backoff_for(2) == 100 * MS
+        assert policy.deferred_backoff_for(3) == 200 * MS
+
+    def test_deferred_attempt_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            NO_RESILIENCE.deferred_backoff_for(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"plug_retries": -1},
+            {"plug_backoff_ns": 0},
+            {"degrade_after": -1},
+            {"deferred_attempts": -1},
+            {"deferred_backoff_ns": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(**kwargs)
+
+    def test_inert_default_carries_inert_retry(self):
+        assert NO_RESILIENCE.retry == NO_RETRY
+        assert NO_RESILIENCE.plug_retries == 0
+        assert NO_RESILIENCE.degrade_after == 0
+        assert NO_RESILIENCE.deferred_attempts == 0

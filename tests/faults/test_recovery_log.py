@@ -1,0 +1,53 @@
+"""Unit tests for the recovery-path log and its latency accounting."""
+
+from repro.faults.recovery import (
+    DEGRADED_PATHS,
+    RECOVERED_PATHS,
+    RecoveryEvent,
+    RecoveryLog,
+)
+from repro.units import MS
+
+
+def test_path_sets_are_disjoint_and_nonempty():
+    assert RECOVERED_PATHS and DEGRADED_PATHS
+    assert not RECOVERED_PATHS & DEGRADED_PATHS
+
+
+def test_event_latency_and_classification():
+    event = RecoveryEvent(
+        site="driver.unplug.migrate",
+        path="retried",
+        detect_ns=2 * MS,
+        resolve_ns=5 * MS,
+        attempts=3,
+        block_index=7,
+    )
+    assert event.latency_ns == 3 * MS
+    assert event.latency_ms == 3.0
+    assert event.recovered
+    degraded = RecoveryEvent(
+        site="agent.plug", path="static-fallback", detect_ns=0, resolve_ns=0
+    )
+    assert not degraded.recovered
+
+
+def test_log_counts_and_percentile():
+    log = RecoveryLog()
+    assert log.count() == 0
+    assert log.latency_p99_ms() == 0.0
+    for i, path in enumerate(["retried", "retried", "quarantined"]):
+        log.record(
+            site="driver.unplug.migrate",
+            path=path,
+            detect_ns=0,
+            resolve_ns=(i + 1) * MS,
+            block_index=i,
+        )
+    assert log.count() == 3
+    assert log.count("retried") == 2
+    assert log.recovered_count() == 2
+    assert log.degraded_count() == 1
+    assert log.by_path() == {"retried": 2, "quarantined": 1}
+    assert log.latencies_ms() == [1.0, 2.0, 3.0]
+    assert log.latency_p99_ms() >= 2.0
