@@ -50,13 +50,11 @@ def test_migration_throughput(benchmark):
 
 
 def test_unplug_request_end_to_end(benchmark):
-    from repro.host import HostMachine
-    from repro.vmm import VirtualMachine, VmConfig
+    from repro.cluster.provision import Fleet, VmSpec
 
     def one_unplug():
         sim = Simulator()
-        host = HostMachine(sim)
-        vm = VirtualMachine(sim, host, VmConfig("bench", hotplug_region_bytes=GIB))
+        vm = Fleet(sim).provision(VmSpec("bench", region_bytes=GIB)).vm
         vm.request_plug(GIB)
         sim.run()
         process = vm.request_unplug(512 * MIB)

@@ -9,13 +9,7 @@ Section 4 mechanism at its smallest.
 Run:  python examples/partition_lifecycle.py
 """
 
-from repro import (
-    HostMachine,
-    HotMemBootParams,
-    Simulator,
-    VirtualMachine,
-    VmConfig,
-)
+from repro import DeploymentMode, Fleet, Simulator, VirtualMachine, VmSpec
 from repro.units import MIB, format_bytes, format_ns
 
 
@@ -29,20 +23,18 @@ def show(step: str, vm: VirtualMachine) -> None:
 
 def main() -> None:
     sim = Simulator()
-    host = HostMachine(sim)
-    params = HotMemBootParams.for_function(
-        memory_limit_bytes=384 * MIB, concurrency=3, shared_bytes=128 * MIB
+    spec = VmSpec.for_function(
+        "lifecycle",
+        DeploymentMode.HOTMEM,
+        memory_limit_bytes=384 * MIB,
+        concurrency=3,
+        shared_bytes=128 * MIB,
     )
-    vm = VirtualMachine(
-        sim,
-        host,
-        VmConfig("lifecycle", hotplug_region_bytes=params.max_hotplug_bytes),
-        hotmem_params=params,
-    )
+    vm = Fleet(sim).provision(spec).vm
     show("boot (shared partition pre-populated)", vm)
 
     # Scale-up: plug one instance's worth; partition 0 gets populated.
-    plug = vm.request_plug(params.partition_bytes)
+    plug = vm.request_plug(spec.partition_bytes)
     sim.run()
     show(f"plug 384MiB ({format_ns(plug.value.latency_ns)})", vm)
 
@@ -71,7 +63,7 @@ def main() -> None:
     vm.exit_process(second)
 
     # Scale-down: the runtime reclaims the partition — zero migrations.
-    unplug = vm.request_unplug(params.partition_bytes)
+    unplug = vm.request_unplug(spec.partition_bytes)
     sim.run()
     result = unplug.value
     show(

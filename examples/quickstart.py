@@ -8,13 +8,7 @@ latency gap — the paper's headline result, at toy scale.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    HostMachine,
-    HotMemBootParams,
-    Simulator,
-    VirtualMachine,
-    VmConfig,
-)
+from repro import DeploymentMode, Fleet, Simulator, VmSpec
 from repro.units import MIB, format_bytes, format_ns
 from repro.workloads import Memhog
 
@@ -22,22 +16,20 @@ from repro.workloads import Memhog
 def run_one(mode: str) -> tuple[int, int]:
     """Plug 3 GiB, host eight 384 MiB instances, recycle two, reclaim."""
     sim = Simulator()
-    host = HostMachine(sim)
+    fleet = Fleet(sim)
 
-    hotmem_params = None
     if mode == "hotmem":
-        # Boot parameters a serverless runtime would declare (Section 4.1):
+        # The spec a serverless runtime would declare (Section 4.1):
         # per-instance partition size, concurrency factor N, shared size.
-        hotmem_params = HotMemBootParams.for_function(
-            memory_limit_bytes=384 * MIB, concurrency=8, shared_bytes=0
+        spec = VmSpec.for_function(
+            mode,
+            DeploymentMode.HOTMEM,
+            memory_limit_bytes=384 * MIB,
+            concurrency=8,
         )
-
-    vm = VirtualMachine(
-        sim,
-        host,
-        VmConfig(name=mode, hotplug_region_bytes=8 * 384 * MIB),
-        hotmem_params=hotmem_params,
-    )
+    else:
+        spec = VmSpec(mode, region_bytes=8 * 384 * MIB)
+    vm = fleet.provision(spec).vm
 
     # Scale the VM up (the runtime plugs memory for the instances).
     plug = vm.request_plug(8 * 384 * MIB)

@@ -21,6 +21,15 @@ See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
 for the per-figure reproduction harnesses.
 """
 
+from repro.cluster import (
+    AdmissionResult,
+    ArbitrationPolicy,
+    DensityArbiter,
+    Fleet,
+    TraceRouter,
+    VmHandle,
+    VmSpec,
+)
 from repro.core import (
     HotMemBackend,
     HotMemBootParams,
@@ -87,6 +96,14 @@ __all__ = [
     "HostMachine",
     "VirtualMachine",
     "VmConfig",
+    # cluster layer (provisioning, routing, density arbitration)
+    "Fleet",
+    "VmSpec",
+    "VmHandle",
+    "TraceRouter",
+    "DensityArbiter",
+    "ArbitrationPolicy",
+    "AdmissionResult",
     # serverless runtime
     "Agent",
     "DeploymentMode",

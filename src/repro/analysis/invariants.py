@@ -51,6 +51,7 @@ from repro.mm.zone import ZoneType
 from repro.units import PAGES_PER_BLOCK
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.provision import Fleet
     from repro.core.manager import HotMemManager
     from repro.mm.manager import GuestMemoryManager
     from repro.mm.owner import PageOwner
@@ -85,6 +86,9 @@ class CheckContext:
     hotmem: Optional["HotMemManager"] = None
     event: str = "manual"
     owner: Optional["PageOwner"] = None
+    #: The fleet the checked VM belongs to, when provisioned through
+    #: :class:`~repro.cluster.provision.Fleet` — enables host-level rules.
+    fleet: Optional["Fleet"] = None
 
 
 @dataclass(frozen=True)
@@ -581,6 +585,27 @@ def _check_teardown_no_leak(ctx: CheckContext) -> Iterator[Failure]:
         )
 
 
+@invariant(
+    "host-conservation",
+    "per NUMA node, the resident VMs' attributed backing bytes sum exactly "
+    "to the node's used bytes (no leaked or double-counted host memory)",
+)
+def _check_host_conservation(ctx: CheckContext) -> Iterator[Failure]:
+    fleet = ctx.fleet
+    if fleet is None:
+        return
+    for host_index, node, residents in fleet.node_views():
+        backed = sum(vm.backed_bytes for vm in residents)
+        if backed != node.used_bytes:
+            names = ", ".join(vm.name for vm in residents) or "<none>"
+            yield Failure(
+                "host-conservation",
+                f"host {host_index} node {node.node_id}: resident VMs "
+                f"({names}) back {backed} bytes but the node accounts "
+                f"{node.used_bytes} used (delta {backed - node.used_bytes:+d})",
+            )
+
+
 # ----------------------------------------------------------------------
 # Sweeping
 # ----------------------------------------------------------------------
@@ -607,9 +632,19 @@ def check_now(
     event: str = "manual",
     owner: Optional["PageOwner"] = None,
     rules: Optional[Iterable[str]] = None,
+    fleet: Optional["Fleet"] = None,
 ) -> None:
-    """One-shot sweep; raises :class:`InvariantViolation` on any failure."""
-    ctx = CheckContext(manager=manager, hotmem=hotmem, event=event, owner=owner)
+    """One-shot sweep; raises :class:`InvariantViolation` on any failure.
+
+    ``fleet`` defaults to the manager's ``_fleet_context`` (set by
+    :class:`~repro.cluster.provision.Fleet` at provisioning), so callers
+    never need to thread it through by hand.
+    """
+    if fleet is None:
+        fleet = getattr(manager, "_fleet_context", None)
+    ctx = CheckContext(
+        manager=manager, hotmem=hotmem, event=event, owner=owner, fleet=fleet
+    )
     failures = run_invariants(ctx, rules)
     if failures:
         raise InvariantViolation(failures, event)

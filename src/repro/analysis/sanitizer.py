@@ -121,8 +121,15 @@ class MemSanitizer:
             # partition rules apply even when the sanitizer was attached
             # before (or without knowledge of) the HotMem layer.
             hotmem = getattr(self.manager, "_hotmem_context", None)
+        # Fleet-provisioned VMs advertise their fleet the same way, so
+        # host-level conservation is swept at every checkpoint too.
+        fleet = getattr(self.manager, "_fleet_context", None)
         ctx = CheckContext(
-            manager=self.manager, hotmem=hotmem, event=event, owner=owner
+            manager=self.manager,
+            hotmem=hotmem,
+            event=event,
+            owner=owner,
+            fleet=fleet,
         )
         failures = run_invariants(ctx, self.config.rules)
         self.checks_run += 1

@@ -1,0 +1,64 @@
+"""The cluster layer: fleets, placement, routing, density arbitration.
+
+Everything above a single VM lives here.  A :class:`Fleet` owns N
+:class:`~repro.host.machine.HostMachine`s and is the only place VMs get
+built (``provision(VmSpec) -> VmHandle``); a
+:class:`~repro.cluster.admission.DensityArbiter` decides how many VMs a
+host takes by charging each one its *committed* (expected-resident)
+bytes rather than its peak footprint; a :class:`TraceRouter` spreads
+multi-function Azure workloads over the provisioned agents under a
+pluggable balancing policy, rejecting structurally when saturated.
+
+See ``docs/cluster.md`` for the design tour.
+"""
+
+from repro.cluster.admission import (
+    DEFAULT_ARBITRATION,
+    AdmissionResult,
+    ArbitrationPolicy,
+    DensityArbiter,
+)
+from repro.cluster.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    NodeCandidate,
+    NumaSpreadPlacement,
+    PlacementPolicy,
+    get_placement_policy,
+)
+from repro.cluster.provision import Fleet, VmHandle, VmSpec, provision_vm
+from repro.cluster.routing import (
+    LeastLoaded,
+    MemoryHeadroom,
+    RouteRejection,
+    RoutingPolicy,
+    StickyByFunction,
+    TraceRouter,
+    VmSlot,
+    get_routing_policy,
+)
+
+__all__ = [
+    "ArbitrationPolicy",
+    "DEFAULT_ARBITRATION",
+    "AdmissionResult",
+    "DensityArbiter",
+    "NodeCandidate",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "NumaSpreadPlacement",
+    "get_placement_policy",
+    "VmSpec",
+    "VmHandle",
+    "Fleet",
+    "provision_vm",
+    "TraceRouter",
+    "VmSlot",
+    "RouteRejection",
+    "RoutingPolicy",
+    "StickyByFunction",
+    "LeastLoaded",
+    "MemoryHeadroom",
+    "get_routing_policy",
+]

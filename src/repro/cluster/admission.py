@@ -1,0 +1,196 @@
+"""Density-aware admission: how many VMs a host safely takes.
+
+The whole point of HotMem (Section 2's stranding argument) is that a
+host running elastic VMs can be packed denser than its installed memory
+would naively allow, because idle function partitions are unplugged and
+returned.  The :class:`DensityArbiter` turns that into an admission
+decision by charging each VM a *committed* footprint that discounts the
+memory the deployment mode is expected to give back:
+
+``committed = boot + region − credit(mode) × (region − shared)``
+
+* **overprovisioned** VMs plug the whole region at boot and never return
+  it — credit 0, committed equals the full footprint.
+* **vanilla** virtio-mem VMs do resize, but reclamation is slow and
+  migration-limited, so only a conservative slice of the region is
+  credited back.
+* **hotmem** VMs recycle partitions in milliseconds, so most of the
+  elastic region (everything but the always-resident shared partition)
+  is credited as reclaimable.
+
+Committed bytes are an admission-time promise, distinct from *plugged*
+bytes (what the VM actually backs right now, tracked by
+:class:`~repro.host.machine.HostAccount`).  The gap between the two is
+the oversubscription bet; the fleet's pressure monitor watches real node
+usage against :attr:`ArbitrationPolicy.pressure_watermark` and nudges
+agents' recyclers when the bet starts to come due.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.placement import NodeCandidate
+from repro.errors import ConfigError
+from repro.faas.policy import DeploymentMode
+from repro.host.machine import HostMachine
+from repro.units import format_bytes
+
+__all__ = [
+    "ArbitrationPolicy",
+    "DEFAULT_ARBITRATION",
+    "AdmissionResult",
+    "DensityArbiter",
+]
+
+
+@dataclass(frozen=True)
+class ArbitrationPolicy:
+    """Knobs for committed-memory admission."""
+
+    #: Fraction of each node's installed memory admittable as committed.
+    limit_fraction: float = 1.0
+    #: Reclaimable-memory credit per deployment mode (fraction of the
+    #: elastic region, i.e. the hotplug region minus shared bytes).
+    overprovisioned_credit: float = 0.0
+    vanilla_credit: float = 0.25
+    hotmem_credit: float = 0.75
+    #: Real node usage fraction above which the fleet applies
+    #: reclamation pressure to resident agents.
+    pressure_watermark: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "limit_fraction",
+            "overprovisioned_credit",
+            "vanilla_credit",
+            "hotmem_credit",
+            "pressure_watermark",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+    def credit_for(self, mode: DeploymentMode) -> float:
+        """The reclaimable-region credit for a deployment mode."""
+        if mode is DeploymentMode.HOTMEM:
+            return self.hotmem_credit
+        if mode is DeploymentMode.VANILLA:
+            return self.vanilla_credit
+        return self.overprovisioned_credit
+
+
+#: Inert default used by :class:`~repro.cluster.provision.Fleet`.
+DEFAULT_ARBITRATION = ArbitrationPolicy()
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one admission attempt — a value, never an exception."""
+
+    admitted: bool
+    #: ``""`` on success, else ``"saturated"`` (no node has headroom)
+    #: or ``"oversized"`` (the VM cannot fit even on an empty node).
+    reason: str = ""
+    host_index: int = -1
+    node_id: int = -1
+    #: Committed bytes this VM was (or would have been) charged.
+    committed_bytes: int = 0
+
+
+class DensityArbiter:
+    """Per-node committed-memory ledger for a fleet of hosts."""
+
+    def __init__(self, hosts: Sequence[HostMachine], policy: ArbitrationPolicy):
+        self.hosts = list(hosts)
+        self.policy = policy
+        #: (host_index, node_id) → committed bytes admitted.
+        self._committed: Dict[Tuple[int, int], int] = {}
+        #: (host_index, node_id) → resident VM count.
+        self._resident: Dict[Tuple[int, int], int] = {}
+        for host_index, host in enumerate(self.hosts):
+            for node in host.nodes:
+                self._committed[(host_index, node.node_id)] = 0
+                self._resident[(host_index, node.node_id)] = 0
+
+    # ------------------------------------------------------------------
+    # Commitment math
+    # ------------------------------------------------------------------
+    def commitment(
+        self,
+        mode: DeploymentMode,
+        boot_bytes: int,
+        region_bytes: int,
+        shared_bytes: int = 0,
+    ) -> int:
+        """Committed bytes one VM is charged at admission."""
+        elastic = max(0, region_bytes - shared_bytes)
+        credit = self.policy.credit_for(mode)
+        return boot_bytes + region_bytes - int(credit * elastic)
+
+    def limit_bytes(self, host_index: int, node_id: int) -> int:
+        """Admission ceiling for one node."""
+        node = self.hosts[host_index].node(node_id)
+        return int(node.memory_bytes * self.policy.limit_fraction)
+
+    def committed_bytes(self, host_index: int, node_id: int) -> int:
+        """Committed bytes currently admitted against one node."""
+        return self._committed[(host_index, node_id)]
+
+    def candidates(self) -> List[NodeCandidate]:
+        """Arbitration views of every node, in (host, node) order."""
+        views: List[NodeCandidate] = []
+        for host_index, host in enumerate(self.hosts):
+            for node in host.nodes:
+                key = (host_index, node.node_id)
+                views.append(
+                    NodeCandidate(
+                        host_index=host_index,
+                        node_id=node.node_id,
+                        limit_bytes=self.limit_bytes(host_index, node.node_id),
+                        committed_bytes=self._committed[key],
+                        resident_vms=self._resident[key],
+                    )
+                )
+        return views
+
+    # ------------------------------------------------------------------
+    # Ledger updates (the fleet calls these, experiments never do)
+    # ------------------------------------------------------------------
+    def charge(self, host_index: int, node_id: int, committed: int) -> None:
+        """Record an admitted VM's committed bytes on its node."""
+        key = (host_index, node_id)
+        after = self._committed[key] + committed
+        if after > self.limit_bytes(host_index, node_id):
+            raise ConfigError(
+                f"arbitration ledger overcommit on host {host_index} node "
+                f"{node_id}: {format_bytes(after)} > limit"
+            )
+        self._committed[key] = after
+        self._resident[key] += 1
+
+    def release(self, host_index: int, node_id: int, committed: int) -> None:
+        """Return an admitted VM's committed bytes (shutdown)."""
+        key = (host_index, node_id)
+        if committed > self._committed[key] or self._resident[key] <= 0:
+            raise ConfigError(
+                f"arbitration ledger underflow on host {host_index} node {node_id}"
+            )
+        self._committed[key] -= committed
+        self._resident[key] -= 1
+
+    # ------------------------------------------------------------------
+    # Pressure
+    # ------------------------------------------------------------------
+    def over_watermark(self, host_index: int, node_id: int) -> bool:
+        """Whether *real* node usage exceeds the pressure watermark."""
+        node = self.hosts[host_index].node(node_id)
+        return node.used_bytes > self.policy.pressure_watermark * node.memory_bytes
+
+    def __repr__(self) -> str:
+        total = sum(self._committed.values())
+        return (
+            f"<DensityArbiter hosts={len(self.hosts)} "
+            f"committed={format_bytes(total)}>"
+        )

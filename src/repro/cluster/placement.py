@@ -1,0 +1,148 @@
+"""Pluggable VM placement over a fleet's NUMA nodes.
+
+Placement answers one question: *which node takes the next VM?*  The
+candidates a policy sees are already arbitration-filtered views
+(:class:`NodeCandidate`), carrying each node's committed-byte headroom
+under the fleet's :class:`~repro.cluster.admission.ArbitrationPolicy` —
+a policy never needs to re-derive oversubscription math, it only ranks
+nodes that could legally take the request.
+
+Three policies mirror the classic bin-packing trade-offs:
+
+* **first-fit** — lowest (host, node) that fits; fast, fills hosts in
+  order (the densest packing for identical VMs).
+* **best-fit** — the fitting node with the least remaining headroom;
+  minimizes fragmentation of large contiguous headroom.
+* **numa-spread** — the fitting node with the fewest resident VMs;
+  spreads interrupt/vCPU pressure at the cost of packing density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "NodeCandidate",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "NumaSpreadPlacement",
+    "PLACEMENT_POLICIES",
+    "get_placement_policy",
+]
+
+
+@dataclass(frozen=True)
+class NodeCandidate:
+    """Arbitration's view of one NUMA node offered to a placement policy."""
+
+    host_index: int
+    node_id: int
+    #: Admission ceiling for the node (memory × limit fraction).
+    limit_bytes: int
+    #: Committed bytes already admitted against the node.
+    committed_bytes: int
+    #: VMs currently resident on the node.
+    resident_vms: int
+
+    @property
+    def headroom_bytes(self) -> int:
+        """Committed-byte headroom left under the arbitration limit."""
+        return self.limit_bytes - self.committed_bytes
+
+    def fits(self, request_bytes: int) -> bool:
+        """Whether the node can take ``request_bytes`` more committed."""
+        return request_bytes <= self.headroom_bytes
+
+
+class PlacementPolicy:
+    """Base class: rank candidates, pick one (or none)."""
+
+    #: Registry name (e.g. ``"first-fit"``).
+    name = "abstract"
+
+    def select(
+        self, request_bytes: int, candidates: Sequence[NodeCandidate]
+    ) -> Optional[NodeCandidate]:
+        """The node that takes the request, or ``None`` (reject).
+
+        ``candidates`` arrive in (host, node) order; policies must be
+        deterministic functions of their inputs.
+        """
+        raise NotImplementedError
+
+
+class FirstFitPlacement(PlacementPolicy):
+    """The lowest-numbered node with room."""
+
+    name = "first-fit"
+
+    def select(
+        self, request_bytes: int, candidates: Sequence[NodeCandidate]
+    ) -> Optional[NodeCandidate]:
+        for candidate in candidates:
+            if candidate.fits(request_bytes):
+                return candidate
+        return None
+
+
+class BestFitPlacement(PlacementPolicy):
+    """The fitting node with the least headroom (ties: lowest index)."""
+
+    name = "best-fit"
+
+    def select(
+        self, request_bytes: int, candidates: Sequence[NodeCandidate]
+    ) -> Optional[NodeCandidate]:
+        fitting = [c for c in candidates if c.fits(request_bytes)]
+        if not fitting:
+            return None
+        return min(
+            fitting,
+            key=lambda c: (c.headroom_bytes, c.host_index, c.node_id),
+        )
+
+
+class NumaSpreadPlacement(PlacementPolicy):
+    """The fitting node with the fewest resident VMs (ties: most headroom,
+    then lowest index)."""
+
+    name = "numa-spread"
+
+    def select(
+        self, request_bytes: int, candidates: Sequence[NodeCandidate]
+    ) -> Optional[NodeCandidate]:
+        fitting = [c for c in candidates if c.fits(request_bytes)]
+        if not fitting:
+            return None
+        return min(
+            fitting,
+            key=lambda c: (
+                c.resident_vms,
+                -c.headroom_bytes,
+                c.host_index,
+                c.node_id,
+            ),
+        )
+
+
+#: name → policy factory.
+PLACEMENT_POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    FirstFitPlacement.name: FirstFitPlacement,
+    BestFitPlacement.name: BestFitPlacement,
+    NumaSpreadPlacement.name: NumaSpreadPlacement,
+}
+
+
+def get_placement_policy(name: str) -> PlacementPolicy:
+    """Instantiate a registered placement policy by name."""
+    try:
+        return PLACEMENT_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement policy {name!r} "
+            f"(have: {', '.join(sorted(PLACEMENT_POLICIES))})"
+        ) from None

@@ -1,0 +1,427 @@
+"""Fleet provisioning: the one place VMs are built.
+
+Before the cluster layer existed, every experiment (and the test
+fixtures) hand-assembled the same stack — ``Simulator`` + ``HostMachine``
++ ``VmConfig`` + ``HotMemBootParams`` + ``VirtualMachine`` + ``Agent`` —
+with small copy-paste drift between the four copies.  The
+:class:`Fleet` owns that wiring now:
+
+1. a :class:`VmSpec` describes *what* VM is wanted (mode, geometry,
+   seed, faults) without saying anything about *where* it lands;
+2. the fleet's :class:`~repro.cluster.admission.DensityArbiter` decides
+   whether the VM may be admitted at all, given the committed bytes of
+   everything already resident;
+3. the fleet's placement policy picks the (host, node) pair;
+4. :meth:`Fleet.provision` builds the VM there, registers it for
+   host-conservation checking, and hands back a :class:`VmHandle` that
+   can later deploy an agent and shut the VM down (returning its
+   committed bytes to the arbiter).
+
+Admission failures are values (:class:`AdmissionResult` via
+:meth:`Fleet.try_provision`) or a structured
+:class:`~repro.errors.AdmissionRejected`, never a crash deep inside a
+simulated process.  Provisioning performs no simulated work and draws no
+randomness beyond the VM's own seeded streams, so refactoring an
+experiment onto the fleet leaves its event trace byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster.admission import (
+    DEFAULT_ARBITRATION,
+    AdmissionResult,
+    ArbitrationPolicy,
+    DensityArbiter,
+)
+from repro.cluster.placement import PlacementPolicy, get_placement_policy
+from repro.core.config import HotMemBootParams
+from repro.errors import AdmissionRejected, ClusterError, ConfigError
+from repro.faas.agent import Agent, FunctionDeployment
+from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.host.machine import HostMachine, NumaNode
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.vmm.config import VmConfig, default_boot_memory_bytes
+from repro.vmm.vm import VirtualMachine
+
+__all__ = ["VmSpec", "VmHandle", "Fleet", "provision_vm"]
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """Everything needed to build one VM, minus its location.
+
+    Either give an explicit ``region_bytes`` (vanilla/overprovisioned
+    style) or a HotMem partition geometry (``partition_bytes`` ×
+    ``concurrency`` + ``shared_bytes``), which also sizes the region when
+    ``region_bytes`` is omitted.
+    """
+
+    name: str
+    mode: DeploymentMode = DeploymentMode.VANILLA
+    #: Explicit device-region size; ``None`` derives it from the
+    #: partition geometry.
+    region_bytes: Optional[int] = None
+    partition_bytes: int = 0
+    concurrency: int = 0
+    shared_bytes: int = 0
+    vcpus: int = 10
+    boot_memory_bytes: Optional[int] = None
+    placement: str = "scatter"
+    virtio_irq_vcpu: int = 0
+    batch_unplug: bool = False
+    unplug_selection: str = "linear"
+    seed: int = 0
+    costs: CostModel = field(default=DEFAULT_COSTS)
+    #: Optional fault plan; an injector is built per VM so sites stay
+    #: independently seeded.
+    faults: Optional[FaultPlan] = None
+    fault_seed: Optional[int] = None
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.mode is DeploymentMode.HOTMEM:
+            if self.partition_bytes <= 0 or self.concurrency <= 0:
+                raise ConfigError(
+                    f"{self.name}: HOTMEM specs need a partition geometry "
+                    f"(partition_bytes × concurrency)"
+                )
+        if self.region_bytes is None and self.partition_bytes <= 0:
+            raise ConfigError(
+                f"{self.name}: give region_bytes or a partition geometry"
+            )
+
+    @classmethod
+    def for_function(
+        cls,
+        name: str,
+        mode: DeploymentMode,
+        memory_limit_bytes: int,
+        concurrency: int,
+        shared_bytes: int = 0,
+        **overrides,
+    ) -> "VmSpec":
+        """Size a spec from a function's memory limit (block-rounded)."""
+        params = HotMemBootParams.for_function(
+            memory_limit_bytes, concurrency, shared_bytes
+        )
+        return cls(
+            name=name,
+            mode=mode,
+            partition_bytes=params.partition_bytes,
+            concurrency=params.concurrency,
+            shared_bytes=params.shared_bytes,
+            **overrides,
+        )
+
+    # -- derived geometry ----------------------------------------------
+    @property
+    def hotplug_region_bytes(self) -> int:
+        """Device-region size (explicit or geometry-derived)."""
+        if self.region_bytes is not None:
+            return self.region_bytes
+        return self.concurrency * self.partition_bytes + self.shared_bytes
+
+    @property
+    def hotmem_params(self) -> Optional[HotMemBootParams]:
+        """Boot params for HOTMEM specs, ``None`` otherwise."""
+        if self.mode is not DeploymentMode.HOTMEM:
+            return None
+        return HotMemBootParams(
+            partition_bytes=self.partition_bytes,
+            concurrency=self.concurrency,
+            shared_bytes=self.shared_bytes,
+        )
+
+    @property
+    def boot_bytes(self) -> int:
+        """Boot memory after default sizing."""
+        if self.boot_memory_bytes is not None:
+            return self.boot_memory_bytes
+        return default_boot_memory_bytes(self.hotplug_region_bytes)
+
+    @property
+    def max_bytes(self) -> int:
+        """Peak host footprint: boot plus the whole device region."""
+        return self.boot_bytes + self.hotplug_region_bytes
+
+    def vm_config(self, node_id: int) -> VmConfig:
+        """The :class:`VmConfig` for this spec pinned to ``node_id``."""
+        return VmConfig(
+            name=self.name,
+            hotplug_region_bytes=self.hotplug_region_bytes,
+            vcpus=self.vcpus,
+            boot_memory_bytes=self.boot_memory_bytes,
+            placement=self.placement,
+            virtio_irq_vcpu=self.virtio_irq_vcpu,
+            node_id=node_id,
+            batch_unplug=self.batch_unplug,
+        )
+
+
+@dataclass
+class VmHandle:
+    """A provisioned VM plus where it lives and what it was charged."""
+
+    spec: VmSpec
+    vm: VirtualMachine
+    host_index: int
+    node_id: int
+    admission: AdmissionResult
+    fleet: "Fleet"
+    agent: Optional[Agent] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def deploy(
+        self,
+        deployments: List[FunctionDeployment],
+        policy: KeepAlivePolicy,
+        resilience: Optional[ResiliencePolicy] = None,
+    ) -> Agent:
+        """Attach an :class:`~repro.faas.agent.Agent` to this VM."""
+        if self.agent is not None:
+            raise ClusterError(f"{self.name}: agent already deployed")
+        self.agent = Agent(
+            self.fleet.sim,
+            self.vm,
+            deployments,
+            policy,
+            self.spec.mode,
+            resilience=resilience,
+        )
+        return self.agent
+
+    def shutdown(self) -> None:
+        """Stop the agent, release host memory and the admission charge."""
+        if self.agent is not None:
+            self.agent.stop()
+        self.fleet._retire(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VmHandle {self.name} host={self.host_index} "
+            f"node={self.node_id}>"
+        )
+
+
+class Fleet:
+    """N hosts, a placement policy, and a density arbiter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: int = 1,
+        nodes_per_host: int = HostMachine.DEFAULT_NODES,
+        cores_per_node: int = HostMachine.DEFAULT_CORES_PER_NODE,
+        memory_per_node: int = HostMachine.DEFAULT_MEMORY_PER_NODE,
+        placement: str = "first-fit",
+        arbitration: ArbitrationPolicy = DEFAULT_ARBITRATION,
+    ):
+        if hosts <= 0:
+            raise ConfigError(f"a fleet needs at least one host, got {hosts}")
+        self.sim = sim
+        self.hosts: List[HostMachine] = [
+            HostMachine(
+                sim,
+                nodes=nodes_per_host,
+                cores_per_node=cores_per_node,
+                memory_per_node=memory_per_node,
+            )
+            for _ in range(hosts)
+        ]
+        self.placement: PlacementPolicy = (
+            placement
+            if isinstance(placement, PlacementPolicy)
+            else get_placement_policy(placement)
+        )
+        self.arbiter = DensityArbiter(self.hosts, arbitration)
+        #: Every handle ever provisioned, in admission order.
+        self.handles: List[VmHandle] = []
+        self._names: Dict[str, VmHandle] = {}
+        #: (time_ns, host_index, node_id) pressure-monitor firings.
+        self.pressure_events: List[Tuple[int, int, int]] = []
+        self._pressure_monitor: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Admission + provisioning
+    # ------------------------------------------------------------------
+    def admit(self, spec: VmSpec) -> AdmissionResult:
+        """Dry-run admission: where would this spec land, at what charge?"""
+        committed = self.arbiter.commitment(
+            spec.mode,
+            spec.boot_bytes,
+            spec.hotplug_region_bytes,
+            spec.shared_bytes,
+        )
+        candidates = self.arbiter.candidates()
+        choice = self.placement.select(committed, candidates)
+        if choice is None:
+            fits_empty = any(
+                committed <= candidate.limit_bytes for candidate in candidates
+            )
+            return AdmissionResult(
+                admitted=False,
+                reason="saturated" if fits_empty else "oversized",
+                committed_bytes=committed,
+            )
+        return AdmissionResult(
+            admitted=True,
+            host_index=choice.host_index,
+            node_id=choice.node_id,
+            committed_bytes=committed,
+        )
+
+    def try_provision(self, spec: VmSpec) -> Tuple[Optional[VmHandle], AdmissionResult]:
+        """Provision if admission allows; always returns the decision."""
+        if spec.name in self._names:
+            raise ClusterError(f"VM name {spec.name!r} already provisioned")
+        admission = self.admit(spec)
+        if not admission.admitted:
+            return None, admission
+        vm = VirtualMachine(
+            self.sim,
+            self.hosts[admission.host_index],
+            spec.vm_config(admission.node_id),
+            costs=spec.costs,
+            hotmem_params=spec.hotmem_params,
+            vanilla_unplug_selection=spec.unplug_selection,
+            seed=spec.seed,
+            faults=(
+                FaultInjector(
+                    spec.faults,
+                    seed=spec.seed if spec.fault_seed is None else spec.fault_seed,
+                )
+                if spec.faults is not None
+                else None
+            ),
+            retry_policy=spec.retry,
+        )
+        self.arbiter.charge(
+            admission.host_index, admission.node_id, admission.committed_bytes
+        )
+        if spec.mode is DeploymentMode.OVERPROVISIONED:
+            vm.plug_all_at_boot()
+        handle = VmHandle(
+            spec=spec,
+            vm=vm,
+            host_index=admission.host_index,
+            node_id=admission.node_id,
+            admission=admission,
+            fleet=self,
+        )
+        self.handles.append(handle)
+        self._names[spec.name] = handle
+        # Sanitizer/invariant discovery hook, mirroring _hotmem_context:
+        # any checkpoint reached through this VM's manager can find the
+        # fleet and run host-conservation across it.
+        vm.manager._fleet_context = self
+        return handle, admission
+
+    def provision(self, spec: VmSpec) -> VmHandle:
+        """Provision or raise :class:`~repro.errors.AdmissionRejected`."""
+        handle, admission = self.try_provision(spec)
+        if handle is None:
+            raise AdmissionRejected(
+                f"{spec.name}: admission rejected ({admission.reason})",
+                result=admission,
+            )
+        return handle
+
+    def _retire(self, handle: VmHandle) -> None:
+        if not handle.vm._alive:
+            return
+        handle.vm.shutdown()
+        self.arbiter.release(
+            handle.host_index, handle.node_id, handle.admission.committed_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def handle(self, name: str) -> VmHandle:
+        """The handle provisioned under ``name``."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ClusterError(f"no VM named {name!r} in the fleet") from None
+
+    def node_views(
+        self,
+    ) -> Iterator[Tuple[int, NumaNode, List[VirtualMachine]]]:
+        """Yield (host_index, node, alive resident VMs) per node."""
+        for host_index, host in enumerate(self.hosts):
+            for node in host.nodes:
+                residents = [
+                    h.vm
+                    for h in self.handles
+                    if h.host_index == host_index
+                    and h.node_id == node.node_id
+                    and h.vm._alive
+                ]
+                yield host_index, node, residents
+
+    def agents(self) -> List[Agent]:
+        """Deployed agents over alive VMs, in admission order."""
+        return [
+            h.agent for h in self.handles if h.agent is not None and h.vm._alive
+        ]
+
+    # ------------------------------------------------------------------
+    # Reclamation pressure
+    # ------------------------------------------------------------------
+    def start_pressure_monitor(
+        self, period_ns: int, until_ns: Optional[int] = None
+    ) -> Process:
+        """Watch real node usage; over the watermark, ask resident
+        agents to run an immediate reclamation pass."""
+        if self._pressure_monitor is not None:
+            raise ClusterError("pressure monitor already started")
+        if period_ns <= 0:
+            raise ConfigError("pressure period must be positive")
+        self._pressure_monitor = self.sim.spawn(
+            self._pressure_loop(period_ns, until_ns), name="fleet-pressure"
+        )
+        return self._pressure_monitor
+
+    def _pressure_loop(self, period_ns: int, until_ns: Optional[int]):
+        while True:
+            yield Timeout(period_ns)
+            if until_ns is not None and self.sim.now > until_ns:
+                return None
+            for host_index, node, residents in self.node_views():
+                if not residents:
+                    continue
+                if not self.arbiter.over_watermark(host_index, node.node_id):
+                    continue
+                self.pressure_events.append(
+                    (self.sim.now, host_index, node.node_id)
+                )
+                for handle in self.handles:
+                    if (
+                        handle.host_index == host_index
+                        and handle.node_id == node.node_id
+                        and handle.agent is not None
+                        and handle.vm._alive
+                    ):
+                        handle.agent.request_reclaim()
+
+    def __repr__(self) -> str:
+        return f"<Fleet hosts={len(self.hosts)} vms={len(self.handles)}>"
+
+
+def provision_vm(sim: Simulator, spec: VmSpec, **fleet_kwargs) -> VmHandle:
+    """One-host convenience: build a single-host fleet and provision.
+
+    The returned handle's ``fleet`` gives access to the host
+    (``handle.fleet.hosts[0]``) for callers that only need one machine.
+    """
+    fleet = Fleet(sim, hosts=1, **fleet_kwargs)
+    return fleet.provision(spec)

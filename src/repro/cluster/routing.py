@@ -1,0 +1,338 @@
+"""Trace routing: dispatching a multi-function workload across VMs.
+
+:class:`~repro.faas.runtime.FaasRuntime` replays one trace against one
+agent — fine for the single-VM experiments, useless for a fleet.  The
+:class:`TraceRouter` is its cluster-shaped sibling: traces arrive
+addressed to a *function*, and a pluggable balancing policy picks which
+VM's agent serves each invocation among those that deploy it.
+
+Saturation is a value, not an exception.  Each VM gets an admission
+budget of ``max_concurrency + max_queue_per_vm`` in-flight invocations;
+when every eligible VM is at budget, the invocation is recorded as a
+failed :class:`~repro.faas.records.InvocationRecord` (``error=
+"rejected"``) plus a structured :class:`RouteRejection` — simulated
+processes never see an exception cross a join.
+
+Policies:
+
+* **sticky** — bind each function to the first VM that accepts it and
+  keep routing there (strict per-function locality: warm pools and
+  HotMem partitions stay hot on one VM).
+* **least-loaded** — the eligible VM with the fewest in-flight
+  invocations.
+* **memory-headroom** — the eligible VM whose device region has the most
+  room above its current sizing target (spreads plug pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ClusterError, ConfigError
+from repro.faas.agent import Agent
+from repro.faas.records import InvocationRecord
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.workloads.traces import InvocationTrace
+
+__all__ = [
+    "VmSlot",
+    "RouteRejection",
+    "RoutingPolicy",
+    "StickyByFunction",
+    "LeastLoaded",
+    "MemoryHeadroom",
+    "ROUTING_POLICIES",
+    "get_routing_policy",
+    "TraceRouter",
+]
+
+
+class VmSlot:
+    """The router's view of one registered VM/agent."""
+
+    def __init__(self, agent: Agent, order: int, max_queue: int):
+        self.agent = agent
+        #: Registration order (deterministic tie-break).
+        self.order = order
+        #: Invocations currently inside this VM (serving or queued).
+        self.in_flight = 0
+        self._budget = self.max_concurrency + max_queue
+
+    @property
+    def name(self) -> str:
+        return self.agent.vm.name
+
+    @property
+    def max_concurrency(self) -> int:
+        """Concurrent instances this VM can ever run."""
+        return self.agent.max_concurrency
+
+    def deploys(self, function_name: str) -> bool:
+        return function_name in self.agent.functions
+
+    @property
+    def has_budget(self) -> bool:
+        """Whether another invocation may be admitted to this VM."""
+        return self.in_flight < self._budget
+
+
+@dataclass(frozen=True)
+class RouteRejection:
+    """One invocation the router could not place — a value, not an error."""
+
+    time_ns: int
+    function: str
+    #: ``"saturated"`` (every eligible VM at budget) or
+    #: ``"no-deployment"`` (no registered VM deploys the function).
+    reason: str
+
+
+class RoutingPolicy:
+    """Base class: pick the slot that serves the next invocation."""
+
+    name = "abstract"
+
+    def select(
+        self, function_name: str, eligible: Sequence[VmSlot]
+    ) -> Optional[VmSlot]:
+        """Choose among slots that deploy the function *and* have budget.
+
+        ``eligible`` is in registration order; returning ``None``
+        rejects the invocation.  Policies must be deterministic.
+        """
+        raise NotImplementedError
+
+
+class StickyByFunction(RoutingPolicy):
+    """Bind each function to one VM and stay there.
+
+    The first VM that accepts a function keeps it; while the bound VM is
+    at budget the invocation is rejected rather than spilled, preserving
+    strict per-function locality (warm pools, HotMem partitions).
+    """
+
+    name = "sticky"
+
+    def __init__(self) -> None:
+        self._bound: Dict[str, str] = {}
+
+    def select(
+        self, function_name: str, eligible: Sequence[VmSlot]
+    ) -> Optional[VmSlot]:
+        bound = self._bound.get(function_name)
+        if bound is not None:
+            for slot in eligible:
+                if slot.name == bound:
+                    return slot
+            return None
+        if not eligible:
+            return None
+        choice = eligible[0]
+        self._bound[function_name] = choice.name
+        return choice
+
+    def bound_vm(self, function_name: str) -> Optional[str]:
+        """The VM a function is bound to (``None`` before first route)."""
+        return self._bound.get(function_name)
+
+
+class LeastLoaded(RoutingPolicy):
+    """The eligible VM with the fewest in-flight invocations."""
+
+    name = "least-loaded"
+
+    def select(
+        self, function_name: str, eligible: Sequence[VmSlot]
+    ) -> Optional[VmSlot]:
+        if not eligible:
+            return None
+        return min(eligible, key=lambda slot: (slot.in_flight, slot.order))
+
+
+class MemoryHeadroom(RoutingPolicy):
+    """The eligible VM with the most device-region headroom.
+
+    Headroom is the VM's hotplug region minus what its live instances
+    already require — routing there means the next cold start is least
+    likely to wait on (or be refused) a plug.
+    """
+
+    name = "memory-headroom"
+
+    def select(
+        self, function_name: str, eligible: Sequence[VmSlot]
+    ) -> Optional[VmSlot]:
+        if not eligible:
+            return None
+
+        def headroom(slot: VmSlot) -> int:
+            vm = slot.agent.vm
+            return (
+                vm.config.hotplug_region_bytes
+                - slot.agent.target_plugged_bytes()
+            )
+
+        return min(eligible, key=lambda slot: (-headroom(slot), slot.order))
+
+
+#: name → policy factory.
+ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
+    StickyByFunction.name: StickyByFunction,
+    LeastLoaded.name: LeastLoaded,
+    MemoryHeadroom.name: MemoryHeadroom,
+}
+
+
+def get_routing_policy(name: str) -> RoutingPolicy:
+    """Instantiate a registered routing policy by name."""
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown routing policy {name!r} "
+            f"(have: {', '.join(sorted(ROUTING_POLICIES))})"
+        ) from None
+
+
+class TraceRouter:
+    """Fleet-wide dispatcher: traces in, placed invocations out.
+
+    API mirrors :class:`~repro.faas.runtime.FaasRuntime` (``drive`` /
+    ``run`` / ``records`` / ``records_for`` / ``successful_records`` /
+    ``failure_count``) so experiments can swap one for the other.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: str = "sticky",
+        max_queue_per_vm: int = 0,
+    ):
+        if max_queue_per_vm < 0:
+            raise ConfigError("max_queue_per_vm must be non-negative")
+        self.sim = sim
+        self.policy: RoutingPolicy = (
+            policy
+            if isinstance(policy, RoutingPolicy)
+            else get_routing_policy(policy)
+        )
+        self.max_queue_per_vm = max_queue_per_vm
+        self.slots: List[VmSlot] = []
+        self._by_name: Dict[str, VmSlot] = {}
+        self.records: List[InvocationRecord] = []
+        self.rejections: List[RouteRejection] = []
+        self._served: Dict[str, List[InvocationRecord]] = {}
+        self._dispatchers: List[Process] = []
+
+    def register(self, agent_or_handle) -> VmSlot:
+        """Register a VM (an :class:`~repro.faas.agent.Agent` or a
+        :class:`~repro.cluster.provision.VmHandle` with one deployed)."""
+        agent = getattr(agent_or_handle, "agent", agent_or_handle)
+        if not isinstance(agent, Agent):
+            raise ClusterError(
+                "register() needs an Agent or a VmHandle with a deployed agent"
+            )
+        name = agent.vm.name
+        if name in self._by_name:
+            raise ClusterError(f"VM {name} already registered with the router")
+        slot = VmSlot(agent, order=len(self.slots), max_queue=self.max_queue_per_vm)
+        self.slots.append(slot)
+        self._by_name[name] = slot
+        return slot
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def drive(self, trace: InvocationTrace) -> Process:
+        """Replay a trace, routing each arrival to a VM (or rejecting)."""
+        dispatcher = self.sim.spawn(
+            self._dispatch_loop(trace), name=f"route-{trace.function_name}"
+        )
+        self._dispatchers.append(dispatcher)
+        return dispatcher
+
+    def _dispatch_loop(self, trace: InvocationTrace):
+        for arrival_ns in trace:
+            delay = arrival_ns - self.sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            self._route_one(trace.function_name, arrival_ns)
+        return None
+
+    def _route_one(self, function_name: str, arrival_ns: int) -> None:
+        deployers = [s for s in self.slots if s.deploys(function_name)]
+        eligible = [s for s in deployers if s.has_budget]
+        slot = self.policy.select(function_name, eligible)
+        if slot is None:
+            reason = "no-deployment" if not deployers else "saturated"
+            self._reject(function_name, arrival_ns, reason)
+            return
+        slot.in_flight += 1
+        self.sim.spawn(
+            self._handle_one(slot, function_name, arrival_ns),
+            name=f"req-{function_name}@{slot.name}",
+        )
+
+    def _handle_one(self, slot: VmSlot, function_name: str, arrival_ns: int):
+        try:
+            record = yield from slot.agent.handle(function_name, arrival_ns)
+        finally:
+            slot.in_flight -= 1
+        self.records.append(record)
+        self._served.setdefault(slot.name, []).append(record)
+        return record
+
+    def _reject(self, function_name: str, arrival_ns: int, reason: str) -> None:
+        now = self.sim.now
+        self.rejections.append(
+            RouteRejection(time_ns=now, function=function_name, reason=reason)
+        )
+        self.records.append(
+            InvocationRecord(
+                function=function_name,
+                arrival_ns=arrival_ns,
+                start_ns=now,
+                end_ns=now,
+                cold=False,
+                ok=False,
+                error="rejected",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Execution / results (FaasRuntime-compatible)
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run the simulation (bounded, because recyclers loop forever)."""
+        return self.sim.run(until=until_ns)
+
+    def records_for(self, function_name: str) -> List[InvocationRecord]:
+        """Completed records for one function, oldest first."""
+        return [r for r in self.records if r.function == function_name]
+
+    def records_on(self, vm_name: str) -> List[InvocationRecord]:
+        """Records served by one VM (rejections belong to no VM)."""
+        if vm_name not in self._by_name:
+            raise ClusterError(f"VM {vm_name!r} not registered with the router")
+        return list(self._served.get(vm_name, ()))
+
+    def successful_records(
+        self, function_name: Optional[str] = None
+    ) -> List[InvocationRecord]:
+        """Successful invocations across the fleet."""
+        return [
+            r
+            for r in self.records
+            if r.ok and (function_name is None or r.function == function_name)
+        ]
+
+    @property
+    def failure_count(self) -> int:
+        """Failed invocations (rejections included) across the fleet."""
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def rejection_count(self) -> int:
+        """Invocations the router could not place."""
+        return len(self.rejections)

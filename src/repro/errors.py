@@ -23,6 +23,8 @@ __all__ = [
     "PartitionBusy",
     "FaasError",
     "SpawnFailed",
+    "ClusterError",
+    "AdmissionRejected",
     "ConfigError",
 ]
 
@@ -113,6 +115,25 @@ class SpawnFailed(FaasError):
     def __init__(self, message: str = "", *, reason: str = "spawn-failed"):
         super().__init__(message)
         self.reason = reason
+
+
+class ClusterError(ReproError):
+    """The cluster layer (fleet, placement, routing) was misused."""
+
+
+class AdmissionRejected(ClusterError):
+    """Strict provisioning was refused by density arbitration.
+
+    Raised only by :meth:`~repro.cluster.provision.Fleet.provision`;
+    callers that prefer a value over an exception use
+    :meth:`~repro.cluster.provision.Fleet.try_provision` and inspect the
+    structured :class:`~repro.cluster.admission.AdmissionResult` carried
+    here as :attr:`result`.
+    """
+
+    def __init__(self, message: str = "", *, result=None):
+        super().__init__(message)
+        self.result = result
 
 
 class ConfigError(ReproError):

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.experiments import (
     ablations,
     chaos,
+    density,
     fig2_interleaving,
     baselines_comparison,
     fig5_unplug_latency,
@@ -153,6 +154,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
     "chaos": (
         "R1 fault-rate sweep: recovery paths and degradation",
         _figure_runner(chaos),
+    ),
+    "density": (
+        "D1 VMs-per-host at the P99 SLO across deployment modes",
+        _figure_runner(density),
     ),
 }
 

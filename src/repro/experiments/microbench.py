@@ -12,15 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.config import HotMemBootParams
+from repro.cluster.provision import Fleet, VmSpec
 from repro.errors import ConfigError
-from repro.host.machine import HostMachine
+from repro.faas.policy import DeploymentMode
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import AllOf, Simulator, Timeout
 from repro.units import MEMORY_BLOCK_SIZE, MS, bytes_to_blocks, format_bytes
 from repro.virtio.driver import VIRTIO_MEM_LABEL
-from repro.vmm.config import VmConfig
-from repro.vmm.vm import VirtualMachine
 from repro.workloads.memhog import Memhog
 
 __all__ = ["MicrobenchSetup", "ReclaimMeasurement", "MicrobenchRig"]
@@ -88,29 +86,30 @@ class MicrobenchRig:
     def __init__(self, setup: MicrobenchSetup):
         self.setup = setup
         self.sim = Simulator()
-        self.host = HostMachine(self.sim)
-        hotmem_params: Optional[HotMemBootParams] = None
-        if setup.mode == "hotmem":
-            hotmem_params = HotMemBootParams(
-                partition_bytes=setup.partition_bytes,
-                concurrency=setup.slots,
-                shared_bytes=0,
-            )
-        self.vm = VirtualMachine(
-            self.sim,
-            self.host,
-            VmConfig(
-                name=f"microbench-{setup.mode}",
-                hotplug_region_bytes=setup.total_bytes,
-                vcpus=setup.vcpus,
-                placement=setup.placement,
-                batch_unplug=setup.batch_unplug,
+        self.fleet = Fleet(self.sim)
+        self.host = self.fleet.hosts[0]
+        spec = VmSpec(
+            name=f"microbench-{setup.mode}",
+            mode=(
+                DeploymentMode.HOTMEM
+                if setup.mode == "hotmem"
+                else DeploymentMode.VANILLA
             ),
-            costs=setup.costs,
-            hotmem_params=hotmem_params,
-            vanilla_unplug_selection=setup.unplug_selection,
+            region_bytes=setup.total_bytes,
+            partition_bytes=(
+                setup.partition_bytes if setup.mode == "hotmem" else 0
+            ),
+            concurrency=setup.slots if setup.mode == "hotmem" else 0,
+            shared_bytes=0,
+            vcpus=setup.vcpus,
+            placement=setup.placement,
+            batch_unplug=setup.batch_unplug,
+            unplug_selection=setup.unplug_selection,
             seed=setup.seed,
+            costs=setup.costs,
         )
+        self.handle = self.fleet.provision(spec)
+        self.vm = self.handle.vm
         self.memhogs: List[Memhog] = []
 
     # ------------------------------------------------------------------

@@ -11,21 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import HotMemBootParams
-from repro.faas.agent import Agent, FunctionDeployment, ShrinkEvent
+from repro.cluster.provision import Fleet, VmSpec
+from repro.faas.agent import FunctionDeployment, ShrinkEvent
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faas.records import InvocationRecord
 from repro.faas.runtime import FaasRuntime
-from repro.faults.injector import FaultInjector, FaultPlan
+from repro.faults.injector import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.recovery import RecoveryEvent
-from repro.host.machine import HostMachine
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
 from repro.units import MEMORY_BLOCK_SIZE, SEC, bytes_to_blocks
-from repro.vmm.config import VmConfig
 from repro.vmm.tracing import ResizeEvent
-from repro.vmm.vm import VirtualMachine
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import FunctionSpec, get_function
 from repro.workloads.traces import InvocationTrace
@@ -132,6 +129,45 @@ class ServerlessScenario:
         deps = sum(load.spec.shared_deps_bytes for load in self.loads)
         return bytes_to_blocks(deps) * MEMORY_BLOCK_SIZE
 
+    def vm_spec(self, name: Optional[str] = None) -> VmSpec:
+        """The provisioning spec for this scenario's VM."""
+        return VmSpec(
+            name=name if name is not None else f"vm-{self.mode.value}",
+            mode=self.mode,
+            partition_bytes=self.partition_bytes,
+            concurrency=self.concurrency,
+            shared_bytes=self.shared_bytes,
+            vcpus=self.vm_vcpus,
+            placement=self.placement,
+            virtio_irq_vcpu=self.virtio_irq_vcpu,
+            seed=self.seed,
+            costs=self.costs,
+            faults=self.faults,
+            retry=(
+                self.resilience.retry if self.resilience is not None else None
+            ),
+        )
+
+    def deployments(self) -> List[FunctionDeployment]:
+        """The agent deployments for this scenario's functions."""
+        return [
+            FunctionDeployment(
+                spec=load.spec,
+                max_instances=load.max_instances,
+                vcpu_indices=load.vcpu_indices,
+                reuse=load.reuse,
+            )
+            for load in self.loads
+        ]
+
+    def keep_alive_policy(self) -> KeepAlivePolicy:
+        """The agent keep-alive policy for this scenario."""
+        return KeepAlivePolicy(
+            keep_alive_ns=self.keep_alive_s * SEC,
+            recycle_interval_ns=self.recycle_interval_s * SEC,
+            spare_slots=self.spare_slots,
+        )
+
 
 @dataclass
 class ServerlessRun:
@@ -168,67 +204,15 @@ class ServerlessRun:
         return [e.latency_ns / 1e6 for e in self.resize_events if e.kind == "unplug"]
 
 
-def build_vm(scenario: ServerlessScenario, sim: Simulator, host: HostMachine) -> VirtualMachine:
-    """Create the scenario's VM (region sized to max concurrency)."""
-    region = (
-        scenario.concurrency * scenario.partition_bytes + scenario.shared_bytes
-    )
-    hotmem_params = None
-    if scenario.mode is DeploymentMode.HOTMEM:
-        hotmem_params = HotMemBootParams(
-            partition_bytes=scenario.partition_bytes,
-            concurrency=scenario.concurrency,
-            shared_bytes=scenario.shared_bytes,
-        )
-    injector = None
-    if scenario.faults is not None:
-        injector = FaultInjector(scenario.faults, seed=scenario.seed, sim=sim)
-    vm = VirtualMachine(
-        sim,
-        host,
-        VmConfig(
-            name=f"vm-{scenario.mode.value}",
-            hotplug_region_bytes=region,
-            vcpus=scenario.vm_vcpus,
-            placement=scenario.placement,
-            virtio_irq_vcpu=scenario.virtio_irq_vcpu,
-        ),
-        costs=scenario.costs,
-        hotmem_params=hotmem_params,
-        seed=scenario.seed,
-        faults=injector,
-        retry_policy=(
-            scenario.resilience.retry if scenario.resilience is not None else None
-        ),
-    )
-    if scenario.mode is DeploymentMode.OVERPROVISIONED:
-        vm.plug_all_at_boot()
-    return vm
-
-
 def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
     """Replay the scenario's traces and collect every output artifact."""
     sim = Simulator()
-    host = HostMachine(sim)
-    vm = build_vm(scenario, sim, host)
-    agent = Agent(
-        sim,
-        vm,
-        [
-            FunctionDeployment(
-                spec=load.spec,
-                max_instances=load.max_instances,
-                vcpu_indices=load.vcpu_indices,
-                reuse=load.reuse,
-            )
-            for load in scenario.loads
-        ],
-        KeepAlivePolicy(
-            keep_alive_ns=scenario.keep_alive_s * SEC,
-            recycle_interval_ns=scenario.recycle_interval_s * SEC,
-            spare_slots=scenario.spare_slots,
-        ),
-        scenario.mode,
+    fleet = Fleet(sim)
+    handle = fleet.provision(scenario.vm_spec())
+    vm = handle.vm
+    agent = handle.deploy(
+        scenario.deployments(),
+        scenario.keep_alive_policy(),
         resilience=scenario.resilience,
     )
     runtime = FaasRuntime(sim)

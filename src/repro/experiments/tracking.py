@@ -16,18 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.core.config import HotMemBootParams
-from repro.faas.agent import Agent, FunctionDeployment
+from repro.cluster.provision import Fleet, VmSpec
+from repro.faas.agent import FunctionDeployment
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faas.runtime import FaasRuntime
-from repro.host.machine import HostMachine
 from repro.metrics.collector import PeriodicSampler
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
-from repro.units import GIB, MEMORY_BLOCK_SIZE, SEC, bytes_to_blocks
-from repro.vmm.config import VmConfig
-from repro.vmm.vm import VirtualMachine
+from repro.units import GIB, SEC
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import get_function
 
@@ -102,38 +99,27 @@ class TrackingResult:
 
 def _run_mode(config: TrackingConfig, mode: DeploymentMode):
     sim = Simulator()
-    host = HostMachine(sim)
+    fleet = Fleet(sim)
     spec = get_function(config.function)
     instances = spec.max_instances_for(10)
-    partition_bytes = bytes_to_blocks(spec.memory_limit_bytes) * MEMORY_BLOCK_SIZE
-    shared_bytes = bytes_to_blocks(spec.shared_deps_bytes) * MEMORY_BLOCK_SIZE
-    region = instances * partition_bytes + shared_bytes
-    hotmem_params = None
-    if mode is DeploymentMode.HOTMEM:
-        hotmem_params = HotMemBootParams(
-            partition_bytes=partition_bytes,
+    handle = fleet.provision(
+        VmSpec.for_function(
+            f"track-{mode.value}",
+            mode,
+            spec.memory_limit_bytes,
             concurrency=instances,
-            shared_bytes=shared_bytes,
+            shared_bytes=spec.shared_deps_bytes,
+            costs=config.costs,
+            seed=config.seed,
         )
-    vm = VirtualMachine(
-        sim,
-        host,
-        VmConfig(name=f"track-{mode.value}", hotplug_region_bytes=region),
-        costs=config.costs,
-        hotmem_params=hotmem_params,
-        seed=config.seed,
     )
-    if mode is DeploymentMode.OVERPROVISIONED:
-        vm.plug_all_at_boot()
-    agent = Agent(
-        sim,
-        vm,
+    vm = handle.vm
+    agent = handle.deploy(
         [FunctionDeployment(spec, max_instances=instances)],
         KeepAlivePolicy(
             keep_alive_ns=config.keep_alive_s * SEC,
             recycle_interval_ns=config.recycle_interval_s * SEC,
         ),
-        mode,
     )
     runtime = FaasRuntime(sim)
     runtime.register_agent(agent)

@@ -159,6 +159,10 @@ class Agent:
         self._pending_unplug_bytes = 0
         self._recycler: Optional[Process] = None
         self._stopped = False
+        #: Fleet-pressure reclamation passes performed (see
+        #: :meth:`request_reclaim`).
+        self.pressure_reclaims = 0
+        self._pressure_pass: Optional[Process] = None
 
     # ------------------------------------------------------------------
     # Sizing targets
@@ -177,6 +181,13 @@ class Agent:
     def elastic(self) -> bool:
         """Whether the agent still resizes the VM (mode minus degradation)."""
         return self.mode.elastic and not self.degraded
+
+    @property
+    def max_concurrency(self) -> int:
+        """Concurrent instances this VM can ever run (all functions)."""
+        return sum(
+            state.deployment.max_instances for state in self.functions.values()
+        )
 
     def _unusable_plugged_bytes(self) -> int:
         """Plugged memory held hostage by quarantine.
@@ -459,9 +470,36 @@ class Agent:
             yield from self.recycle_pass()
         return None
 
-    def recycle_pass(self):
+    def request_reclaim(self) -> Optional[Process]:
+        """Fleet-pressure hook: run one immediate reclamation pass.
+
+        Evicts *every* idle container (``min_idle_ns=0``) rather than
+        only those past the keep-alive window — the host is over its
+        pressure watermark, so warmth is traded for memory.  At most one
+        pressure pass runs at a time; overlapping requests coalesce.
+        """
+        if self._stopped:
+            return None
+        if self._pressure_pass is not None and not self._pressure_pass.finished:
+            return self._pressure_pass
+        self.pressure_reclaims += 1
+        self._pressure_pass = self.sim.spawn(
+            self.recycle_pass(min_idle_ns=0),
+            name=f"{self.vm.name}-pressure-reclaim",
+        )
+        return self._pressure_pass
+
+    def recycle_pass(self, min_idle_ns: Optional[int] = None):
         """Process generator: evict idle-past-keep-alive containers, then
-        shrink the VM to its new target size (steps 5-7 of Figure 4)."""
+        shrink the VM to its new target size (steps 5-7 of Figure 4).
+
+        ``min_idle_ns`` overrides the keep-alive threshold for this pass
+        only (the fleet's pressure monitor passes 0 to evict everything
+        idle right now).
+        """
+        threshold = (
+            self.policy.keep_alive_ns if min_idle_ns is None else min_idle_ns
+        )
         now = self.sim.now
         evicted = 0
         victims: List[Tuple[_FunctionState, Container]] = []
@@ -469,9 +507,7 @@ class Agent:
         # handling never races with the eviction below.
         for state in self.functions.values():
             expired = [
-                c
-                for c in state.idle
-                if c.idle_for_ns(now) >= self.policy.keep_alive_ns
+                c for c in state.idle if c.idle_for_ns(now) >= threshold
             ]
             state.idle = [c for c in state.idle if c not in expired]
             victims.extend((state, c) for c in expired)

@@ -9,6 +9,6 @@ attribute CPU time to the unplug path (Figure 7).
 """
 
 from repro.host.cgroup import CpuAccountingGroup
-from repro.host.machine import HostMachine, NumaNode
+from repro.host.machine import HostAccount, HostMachine, NumaNode
 
-__all__ = ["HostMachine", "NumaNode", "CpuAccountingGroup"]
+__all__ = ["HostMachine", "HostAccount", "NumaNode", "CpuAccountingGroup"]

@@ -14,7 +14,7 @@ from repro.sim.engine import Simulator
 from repro.sim.cpu import CpuCore
 from repro.units import GIB, format_bytes
 
-__all__ = ["NumaNode", "HostMachine"]
+__all__ = ["NumaNode", "HostAccount", "HostMachine"]
 
 
 class NumaNode:
@@ -64,6 +64,72 @@ class NumaNode:
         return (
             f"<NumaNode {self.node_id} cores={len(self.cores)} "
             f"used={format_bytes(self._used_bytes)}/{format_bytes(self.memory_bytes)}>"
+        )
+
+
+class HostAccount:
+    """One guest's attributed view of a NUMA node.
+
+    Every charge a VM makes against its node — boot memory, virtio-mem
+    plugs, baseline mechanisms (DIMM, balloon, FPR) — flows through an
+    account, which forwards to the underlying :class:`NumaNode` while
+    keeping a per-guest ledger.  The ledger is what makes host-level
+    conservation checkable: for any node, the sum of its resident VMs'
+    :attr:`charged_bytes` must equal :attr:`NumaNode.used_bytes` (the
+    ``host-conservation`` invariant).
+    """
+
+    def __init__(self, node: NumaNode):
+        self.node = node
+        #: Bytes this guest currently has charged against the node.
+        self.charged_bytes = 0
+
+    # -- forwarded node introspection ----------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.node.memory_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.node.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.node.free_bytes
+
+    @property
+    def cores(self) -> List[CpuCore]:
+        return self.node.cores
+
+    # -- attributed accounting -----------------------------------------
+    def charge(self, size: int) -> None:
+        """Charge ``size`` bytes to the node on this guest's behalf."""
+        self.node.charge(size)
+        self.charged_bytes += size
+
+    def discharge(self, size: int) -> None:
+        """Return ``size`` bytes previously charged through this account."""
+        if size < 0 or size > self.charged_bytes:
+            raise ConfigError(
+                f"invalid account discharge of {size} bytes "
+                f"(charged={self.charged_bytes})"
+            )
+        self.node.discharge(size)
+        self.charged_bytes -= size
+
+    def close(self) -> None:
+        """Release everything still charged (guest shutdown)."""
+        if self.charged_bytes:
+            self.discharge(self.charged_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HostAccount node={self.node.node_id} "
+            f"charged={format_bytes(self.charged_bytes)}>"
         )
 
 

@@ -1,6 +1,6 @@
 """Metrics: latency statistics, time series, text reports."""
 
-from repro.metrics.collector import PeriodicSampler, TimeSeries
+from repro.metrics.collector import FleetCollector, PeriodicSampler, TimeSeries
 from repro.metrics.fragmentation import (
     FragmentationReport,
     fragmentation_report,
@@ -9,7 +9,9 @@ from repro.metrics.fragmentation import (
 )
 from repro.metrics.latency import (
     mean_ms,
+    merged_percentile_ms,
     window_mean_factor,
+    p50_ms,
     p99_ms,
     per_second_average_ms,
     percentile,
@@ -21,23 +23,32 @@ from repro.faults.recovery import (
     RecoveryEvent,
     RecoveryLog,
 )
-from repro.metrics.report import format_ratio, render_series, render_table
+from repro.metrics.report import (
+    format_ratio,
+    render_fleet_latency,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "PeriodicSampler",
     "TimeSeries",
+    "FleetCollector",
     "FragmentationReport",
     "fragmentation_report",
     "occupancy_histogram",
     "migration_cost_to_reclaim",
     "percentile",
     "p99_ms",
+    "p50_ms",
     "mean_ms",
+    "merged_percentile_ms",
     "per_second_average_ms",
     "spike_factor",
     "window_mean_factor",
     "render_table",
     "render_series",
+    "render_fleet_latency",
     "format_ratio",
     "RecoveryEvent",
     "RecoveryLog",

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.units import SEC
 
-__all__ = ["TimeSeries", "PeriodicSampler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.provision import Fleet
+
+__all__ = ["TimeSeries", "PeriodicSampler", "FleetCollector"]
 
 
 class TimeSeries:
@@ -90,3 +93,91 @@ class PeriodicSampler:
             self.series.record(self.sim.now, float(self.probe()))
             yield Timeout(self.period_ns)
         return self.series
+
+
+class FleetCollector:
+    """Aligned per-node memory timelines for a whole fleet.
+
+    One sampling loop records, for every NUMA node of every host, both
+    the *used* bytes (what VMs actually back right now) and the
+    *committed* bytes (what admission has promised) at the same instants
+    — so per-host rollups are plain pointwise sums, with no
+    interpolation between misaligned series.
+    """
+
+    def __init__(self, sim: Simulator, fleet: "Fleet", period_ns: int):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.fleet = fleet
+        self.period_ns = period_ns
+        #: (host_index, node_id) → used-bytes series.
+        self.used: Dict[Tuple[int, int], TimeSeries] = {}
+        #: (host_index, node_id) → committed-bytes series.
+        self.committed: Dict[Tuple[int, int], TimeSeries] = {}
+        for host_index, host in enumerate(fleet.hosts):
+            for node in host.nodes:
+                key = (host_index, node.node_id)
+                self.used[key] = TimeSeries(f"used-h{host_index}n{node.node_id}")
+                self.committed[key] = TimeSeries(
+                    f"committed-h{host_index}n{node.node_id}"
+                )
+        self._stop = False
+        self._process: Optional[Process] = None
+
+    def start(self, until_ns: Optional[int] = None) -> Process:
+        """Start sampling (one sample immediately, then every period)."""
+        self._process = self.sim.spawn(self._loop(until_ns), name="fleet-collector")
+        return self._process
+
+    def stop(self) -> None:
+        """Stop after the current period elapses."""
+        self._stop = True
+
+    def _loop(self, until_ns: Optional[int]):
+        while not self._stop:
+            if until_ns is not None and self.sim.now > until_ns:
+                break
+            now = self.sim.now
+            for host_index, host in enumerate(self.fleet.hosts):
+                for node in host.nodes:
+                    key = (host_index, node.node_id)
+                    self.used[key].record(now, float(node.used_bytes))
+                    self.committed[key].record(
+                        now,
+                        float(
+                            self.fleet.arbiter.committed_bytes(
+                                host_index, node.node_id
+                            )
+                        ),
+                    )
+            yield Timeout(self.period_ns)
+        return None
+
+    # -- rollups -------------------------------------------------------
+    def _host_sum(
+        self, table: Dict[Tuple[int, int], TimeSeries], host_index: int
+    ) -> TimeSeries:
+        parts = [
+            series
+            for (h, _), series in table.items()
+            if h == host_index
+        ]
+        if not parts:
+            raise ValueError(f"no series for host {host_index}")
+        rolled = TimeSeries(f"{parts[0].name.split('-')[0]}-h{host_index}")
+        for i, (time_ns, _) in enumerate(parts[0].samples):
+            rolled.record(time_ns, sum(p.samples[i][1] for p in parts))
+        return rolled
+
+    def host_used_series(self, host_index: int) -> TimeSeries:
+        """Pointwise-summed used bytes across one host's nodes."""
+        return self._host_sum(self.used, host_index)
+
+    def host_committed_series(self, host_index: int) -> TimeSeries:
+        """Pointwise-summed committed bytes across one host's nodes."""
+        return self._host_sum(self.committed, host_index)
+
+    def peak_used_bytes(self, host_index: int) -> float:
+        """Peak of the host's summed used-bytes timeline."""
+        return self.host_used_series(host_index).max_value()

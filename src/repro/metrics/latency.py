@@ -16,7 +16,9 @@ from repro.units import MS, SEC
 __all__ = [
     "percentile",
     "p99_ms",
+    "p50_ms",
     "mean_ms",
+    "merged_percentile_ms",
     "per_second_average_ms",
     "spike_factor",
     "window_mean_factor",
@@ -40,6 +42,25 @@ def p99_ms(records: Iterable[InvocationRecord]) -> float:
     """99th-percentile end-to-end latency in milliseconds."""
     latencies = [r.latency_ns for r in records]
     return percentile(latencies, 99) / MS
+
+
+def p50_ms(records: Iterable[InvocationRecord]) -> float:
+    """Median end-to-end latency in milliseconds."""
+    latencies = [r.latency_ns for r in records]
+    return percentile(latencies, 50) / MS
+
+
+def merged_percentile_ms(
+    record_groups: Iterable[Iterable[InvocationRecord]], q: float
+) -> float:
+    """One percentile over records merged from several VMs.
+
+    Fleet rollups must pool the raw latencies before ranking — averaging
+    per-VM percentiles would understate the tail whenever load (and thus
+    queueing) is uneven across VMs.
+    """
+    latencies = [r.latency_ns for group in record_groups for r in group]
+    return percentile(latencies, q) / MS
 
 
 def mean_ms(records: Iterable[InvocationRecord]) -> float:

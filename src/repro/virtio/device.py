@@ -64,7 +64,10 @@ class PlugResult:
     latency_ns: int
     zeroed_pages: int
     #: ``""`` on success; ``"nack"`` when the host refused the request,
-    #: ``"partial"`` when it granted fewer blocks than asked.
+    #: ``"partial"`` when an injected fault granted fewer blocks than
+    #: asked, ``"host-oom"`` when the host node had no free blocks at
+    #: all, ``"host-partial"`` when it could only back part of the
+    #: request (oversubscribed fleets hit the last two naturally).
     error: str = ""
     #: The injected fault behind a non-empty ``error`` (the caller
     #: resolves it with the recovery path it chose).
@@ -195,6 +198,27 @@ class VirtioMemDevice:
                 )
                 if partial is not None:
                     effective = max(1, n_blocks // 2)
+            # Host exhaustion is a structured outcome, not an exception:
+            # an oversubscribed node grants what it can back (possibly
+            # nothing) and the agent's retry/degrade machinery takes over.
+            host_free_blocks = self.host_node.free_bytes // MEMORY_BLOCK_SIZE
+            host_short = effective > host_free_blocks
+            if host_short:
+                effective = host_free_blocks
+            if effective == 0:
+                yield self.vmm_core.submit(
+                    self.costs.virtio_request_rtt_ns, VMM_LABEL
+                )
+                end = self.sim.now
+                self.tracer.record_plug(start, end, n_blocks * MEMORY_BLOCK_SIZE, 0)
+                return PlugResult(
+                    requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+                    plugged_bytes=0,
+                    latency_ns=end - start,
+                    zeroed_pages=0,
+                    error="host-oom",
+                    fault=partial,
+                )
             chosen = free_indices[:effective]
             # Host backing is charged up front (the hypervisor hands the
             # guest zeroed pages).  ``plugged_indices`` is only updated on
@@ -210,12 +234,18 @@ class VirtioMemDevice:
             self.tracer.record_plug(
                 start, end, n_blocks * MEMORY_BLOCK_SIZE, plugged_bytes
             )
+            if partial is not None:
+                error = "partial"
+            elif host_short:
+                error = "host-partial"
+            else:
+                error = ""
             return PlugResult(
                 requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
                 plugged_bytes=plugged_bytes,
                 latency_ns=end - start,
                 zeroed_pages=outcome.zeroed_pages,
-                error="" if partial is None else "partial",
+                error=error,
                 fault=partial,
             )
         finally:

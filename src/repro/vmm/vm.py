@@ -18,7 +18,7 @@ from repro.core.manager import HotMemManager
 from repro.errors import ConfigError
 from repro.faults.injector import NO_FAULTS, FaultInjector
 from repro.faults.policy import NO_RETRY, RetryPolicy
-from repro.host.machine import HostMachine
+from repro.host.machine import HostAccount, HostMachine
 from repro.faults.recovery import RecoveryLog
 from repro.mm.fault import FaultHandler
 from repro.mm.manager import GuestMemoryManager
@@ -57,7 +57,10 @@ class VirtualMachine:
         self.host = host
         self.config = config
         self.costs = costs
-        self.node = host.node(config.node_id)
+        #: Attributed host-memory account: every charge this VM makes
+        #: (boot, plugs, baseline mechanisms) flows through it, so host
+        #: accounting always knows how many bytes this guest backs.
+        self.node = HostAccount(host.node(config.node_id))
         #: The fault-injection plane (inert :data:`NO_FAULTS` by default,
         #: which draws no RNG and adds no latency anywhere).
         self.faults = faults if faults is not None else NO_FAULTS
@@ -161,6 +164,12 @@ class VirtualMachine:
         """Whether this VM runs the HotMem guest extension."""
         return self.hotmem is not None
 
+    @property
+    def backed_bytes(self) -> int:
+        """Host bytes currently backing this VM (boot + plugged + any
+        baseline-mechanism charges); 0 once the VM is shut down."""
+        return self.node.charged_bytes if self._alive else 0
+
     # ------------------------------------------------------------------
     # Resizing (the hypervisor-facing interface the runtime drives)
     # ------------------------------------------------------------------
@@ -232,7 +241,7 @@ class VirtualMachine:
         """Release the VM's host memory (boot + everything still plugged)."""
         if not self._alive:
             return
-        self.node.discharge(self._boot_bytes + self.device.plugged_bytes)
+        self.node.close()
         self._alive = False
 
     def check_consistency(self) -> None:

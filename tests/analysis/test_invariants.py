@@ -442,6 +442,50 @@ class TestSanitizerRegression:
         assert "partition-refcount" in excinfo.value.rules
 
 
+class TestHostConservation:
+    """Fleet-level rule: per node, resident VMs' attributed backing bytes
+    must sum exactly to the node's used bytes."""
+
+    @staticmethod
+    def _fleet_with_vm():
+        from repro.cluster import Fleet, VmSpec
+
+        sim = Simulator()
+        fleet = Fleet(sim, hosts=1, nodes_per_host=1, memory_per_node=8 * GIB)
+        handle = fleet.provision(
+            VmSpec(name="hc-vm", region_bytes=1 * GIB, vcpus=2)
+        )
+        return fleet, handle
+
+    def test_clean_fleet_passes(self):
+        fleet, handle = self._fleet_with_vm()
+        check_now(handle.vm.manager)
+
+    def test_unattributed_host_charge_is_detected(self):
+        fleet, handle = self._fleet_with_vm()
+        # A charge made directly against the node bypasses every VM's
+        # HostAccount ledger — exactly the leak the rule exists to catch.
+        fleet.hosts[0].node(0).charge(128 * MIB)
+        failure = violation(handle.vm.manager)
+        assert "host-conservation" in failure.rules
+        assert "hc-vm" in str(failure)
+
+    def test_understated_ledger_is_detected(self):
+        fleet, handle = self._fleet_with_vm()
+        handle.vm.node.charged_bytes -= 64 * MIB  # corrupt the ledger
+        failure = violation(handle.vm.manager)
+        assert "host-conservation" in failure.rules
+
+    def test_shutdown_vm_stops_counting(self):
+        fleet, handle = self._fleet_with_vm()
+        handle.shutdown()
+        check_now(handle.vm.manager)
+
+    def test_rule_skips_without_fleet_context(self, manager):
+        # A bare manager (no fleet) must not trip the fleet-level rule.
+        check_now(manager, rules=["host-conservation"])
+
+
 def test_every_rule_has_a_seeded_violation_test():
     """Meta-test: each registered rule name appears in an assertion above."""
     import pathlib

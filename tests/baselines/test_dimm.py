@@ -3,16 +3,14 @@
 import pytest
 
 from repro.baselines.dimm import DimmHotplug
+from repro.cluster.provision import VmSpec
 from repro.errors import ConfigError, HotplugError
-from repro.host.machine import HostMachine
-from repro.sim.engine import Simulator
 from repro.units import GIB, MIB, PAGES_PER_BLOCK
-from repro.vmm import VirtualMachine, VmConfig
 
 
 @pytest.fixture
-def vm(sim, host):
-    return VirtualMachine(sim, host, VmConfig("dimm-vm", hotplug_region_bytes=4 * GIB))
+def vm(fleet):
+    return fleet.provision(VmSpec("dimm-vm", region_bytes=4 * GIB)).vm
 
 
 @pytest.fixture
@@ -39,10 +37,10 @@ class TestGeometry:
                 dimm_bytes=100 * MIB,
             )
 
-    def test_region_must_be_whole_dimms(self, sim, host):
-        odd_vm = VirtualMachine(
-            sim, host, VmConfig("odd", hotplug_region_bytes=3 * GIB + 128 * MIB)
-        )
+    def test_region_must_be_whole_dimms(self, sim, fleet):
+        odd_vm = fleet.provision(
+            VmSpec("odd", region_bytes=3 * GIB + 128 * MIB)
+        ).vm
         with pytest.raises(ConfigError):
             DimmHotplug(
                 sim, odd_vm.manager, odd_vm.costs, odd_vm.irq_vcpu,

@@ -1,0 +1,128 @@
+"""Density arbitration: commitment math, the ledger, and watermarks."""
+
+import pytest
+
+from repro.cluster.admission import (
+    ArbitrationPolicy,
+    DEFAULT_ARBITRATION,
+    DensityArbiter,
+)
+from repro.cluster.provision import Fleet, VmSpec
+from repro.errors import AdmissionRejected, ConfigError
+from repro.faas.policy import DeploymentMode
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+def make_arbiter(policy=DEFAULT_ARBITRATION, hosts=1, memory=8 * GIB):
+    fleet = Fleet(
+        Simulator(),
+        hosts=hosts,
+        nodes_per_host=1,
+        memory_per_node=memory,
+        arbitration=policy,
+    )
+    return DensityArbiter(fleet.hosts, policy)
+
+
+class TestCommitment:
+    BOOT = 512 * MIB
+    REGION = 2 * GIB
+    SHARED = 256 * MIB
+
+    def commit(self, mode):
+        return make_arbiter().commitment(
+            mode, self.BOOT, self.REGION, self.SHARED
+        )
+
+    def test_overprovisioned_pays_full_footprint(self):
+        assert self.commit(DeploymentMode.OVERPROVISIONED) == (
+            self.BOOT + self.REGION
+        )
+
+    def test_vanilla_discounts_a_quarter_of_the_elastic_region(self):
+        elastic = self.REGION - self.SHARED
+        assert self.commit(DeploymentMode.VANILLA) == (
+            self.BOOT + self.REGION - int(0.25 * elastic)
+        )
+
+    def test_hotmem_discounts_three_quarters(self):
+        elastic = self.REGION - self.SHARED
+        assert self.commit(DeploymentMode.HOTMEM) == (
+            self.BOOT + self.REGION - int(0.75 * elastic)
+        )
+
+    def test_mode_ordering(self):
+        assert (
+            self.commit(DeploymentMode.HOTMEM)
+            < self.commit(DeploymentMode.VANILLA)
+            < self.commit(DeploymentMode.OVERPROVISIONED)
+        )
+
+
+class TestLedger:
+    def test_charge_and_release_roundtrip(self):
+        arbiter = make_arbiter()
+        arbiter.charge(0, 0, GIB)
+        assert arbiter.committed_bytes(0, 0) == GIB
+        arbiter.release(0, 0, GIB)
+        assert arbiter.committed_bytes(0, 0) == 0
+
+    def test_charge_beyond_limit_rejected(self):
+        arbiter = make_arbiter()
+        with pytest.raises(ConfigError):
+            arbiter.charge(0, 0, 9 * GIB)
+
+    def test_release_underflow_rejected(self):
+        arbiter = make_arbiter()
+        with pytest.raises(ConfigError):
+            arbiter.release(0, 0, GIB)
+
+    def test_limit_scales_with_fraction(self):
+        arbiter = make_arbiter(ArbitrationPolicy(limit_fraction=0.5))
+        assert arbiter.limit_bytes(0, 0) == 4 * GIB
+
+
+class TestPolicyValidation:
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            ArbitrationPolicy(limit_fraction=1.5)
+        with pytest.raises(ConfigError):
+            ArbitrationPolicy(hotmem_credit=-0.1)
+
+
+class TestWatermark:
+    def test_pressure_flips_on_real_usage(self, fleet):
+        node = fleet.hosts[0].node(0)
+        arbiter = DensityArbiter(
+            fleet.hosts, ArbitrationPolicy(pressure_watermark=0.5)
+        )
+        assert not arbiter.over_watermark(0, 0)
+        node.charge(node.memory_bytes // 2 + MIB)
+        assert arbiter.over_watermark(0, 0)
+        node.discharge(node.memory_bytes // 2 + MIB)
+
+
+class TestStructuredRejection:
+    def test_saturated_vs_oversized(self):
+        fleet = Fleet(
+            Simulator(), hosts=1, nodes_per_host=1, memory_per_node=2 * GIB
+        )
+        oversized = fleet.admit(VmSpec("huge", region_bytes=4 * GIB))
+        assert not oversized.admitted and oversized.reason == "oversized"
+
+        fleet.provision(
+            VmSpec("first", region_bytes=GIB, boot_memory_bytes=512 * MIB)
+        )
+        saturated = fleet.admit(
+            VmSpec("second", region_bytes=GIB, boot_memory_bytes=512 * MIB)
+        )
+        assert not saturated.admitted and saturated.reason == "saturated"
+
+    def test_provision_raises_with_result_attached(self):
+        fleet = Fleet(
+            Simulator(), hosts=1, nodes_per_host=1, memory_per_node=2 * GIB
+        )
+        with pytest.raises(AdmissionRejected) as excinfo:
+            fleet.provision(VmSpec("huge", region_bytes=4 * GIB))
+        assert excinfo.value.result.reason == "oversized"

@@ -1,0 +1,91 @@
+"""Placement policies: selection rules and the no-overcommit property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    NodeCandidate,
+    NumaSpreadPlacement,
+    PLACEMENT_POLICIES,
+    get_placement_policy,
+)
+from repro.cluster.provision import Fleet, VmSpec
+from repro.errors import ConfigError
+from repro.sim import Simulator
+from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB
+
+
+def candidate(host, node, limit_gib, committed_gib, residents=0):
+    return NodeCandidate(
+        host_index=host,
+        node_id=node,
+        limit_bytes=int(limit_gib * GIB),
+        committed_bytes=int(committed_gib * GIB),
+        resident_vms=residents,
+    )
+
+
+CANDIDATES = [
+    candidate(0, 0, 8, 6, residents=3),  # 2 GiB headroom
+    candidate(0, 1, 8, 7, residents=1),  # 1 GiB headroom
+    candidate(1, 0, 8, 2, residents=2),  # 6 GiB headroom
+]
+
+
+class TestSelection:
+    def test_first_fit_takes_first_with_room(self):
+        choice = FirstFitPlacement().select(GIB, CANDIDATES)
+        assert (choice.host_index, choice.node_id) == (0, 0)
+
+    def test_best_fit_takes_tightest_fit(self):
+        choice = BestFitPlacement().select(GIB, CANDIDATES)
+        assert (choice.host_index, choice.node_id) == (0, 1)
+
+    def test_numa_spread_takes_least_occupied(self):
+        choice = NumaSpreadPlacement().select(GIB, CANDIDATES)
+        assert (choice.host_index, choice.node_id) == (0, 1)
+
+    @pytest.mark.parametrize("name", sorted(PLACEMENT_POLICIES))
+    def test_none_when_nothing_fits(self, name):
+        assert get_placement_policy(name).select(7 * GIB, CANDIDATES) is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            get_placement_policy("round-robin")
+
+
+class TestNoOvercommit:
+    """Property: whatever the policy and request stream, the arbiter's
+    per-node committed bytes never exceed the arbitration limit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        policy=st.sampled_from(sorted(PLACEMENT_POLICIES)),
+        region_blocks=st.lists(st.integers(1, 24), min_size=1, max_size=8),
+    )
+    def test_admissions_never_exceed_limit(self, policy, region_blocks):
+        fleet = Fleet(
+            Simulator(),
+            hosts=2,
+            nodes_per_host=1,
+            memory_per_node=4 * GIB,
+            placement=policy,
+        )
+        for index, blocks in enumerate(region_blocks):
+            fleet.try_provision(
+                VmSpec(
+                    f"vm-{index}",
+                    region_bytes=blocks * MEMORY_BLOCK_SIZE,
+                    boot_memory_bytes=256 * MIB,
+                )
+            )
+            for host_index, node, _ in fleet.node_views():
+                committed = fleet.arbiter.committed_bytes(
+                    host_index, node.node_id
+                )
+                assert committed <= fleet.arbiter.limit_bytes(
+                    host_index, node.node_id
+                )

@@ -1,4 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Every VM fixture goes through the cluster provisioning layer
+(:mod:`repro.cluster.provision`) — the same admission-checked path the
+experiments use — so host accounting and fleet context are always wired.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +11,13 @@ import os
 
 import pytest
 
+from repro.cluster.provision import Fleet, VmSpec
 from repro.core import HotMemBootParams
+from repro.faas.policy import DeploymentMode
 from repro.host import HostMachine
 from repro.sim import CostModel, Simulator
 from repro.units import GIB, MIB
-from repro.vmm import VirtualMachine, VmConfig
+from repro.vmm import VirtualMachine
 
 
 def pytest_addoption(parser) -> None:
@@ -49,17 +56,23 @@ def sim() -> Simulator:
 
 
 @pytest.fixture
-def host(sim) -> HostMachine:
-    """The paper's evaluation host (2 nodes × 10 cores × 128 GiB)."""
-    return HostMachine(sim)
+def fleet(sim) -> Fleet:
+    """A single-host fleet on the paper's evaluation host."""
+    return Fleet(sim)
 
 
 @pytest.fixture
-def vanilla_vm(sim, host) -> VirtualMachine:
+def host(fleet) -> HostMachine:
+    """The paper's evaluation host (2 nodes × 10 cores × 128 GiB)."""
+    return fleet.hosts[0]
+
+
+@pytest.fixture
+def vanilla_vm(fleet) -> VirtualMachine:
     """A vanilla VM with a 4 GiB hotplug region."""
-    return VirtualMachine(
-        sim, host, VmConfig("vanilla-test", hotplug_region_bytes=4 * GIB)
-    )
+    return fleet.provision(
+        VmSpec("vanilla-test", region_bytes=4 * GIB)
+    ).vm
 
 
 @pytest.fixture
@@ -71,14 +84,17 @@ def hotmem_params() -> HotMemBootParams:
 
 
 @pytest.fixture
-def hotmem_vm(sim, host, hotmem_params) -> VirtualMachine:
+def hotmem_vm(fleet, hotmem_params) -> VirtualMachine:
     """A HotMem VM sized exactly for its partitions."""
-    return VirtualMachine(
-        sim,
-        host,
-        VmConfig("hotmem-test", hotplug_region_bytes=hotmem_params.max_hotplug_bytes),
-        hotmem_params=hotmem_params,
-    )
+    return fleet.provision(
+        VmSpec(
+            "hotmem-test",
+            mode=DeploymentMode.HOTMEM,
+            partition_bytes=hotmem_params.partition_bytes,
+            concurrency=hotmem_params.concurrency,
+            shared_bytes=hotmem_params.shared_bytes,
+        )
+    ).vm
 
 
 @pytest.fixture

@@ -2,24 +2,22 @@
 
 import pytest
 
-from repro.core import HotMemBootParams
+from repro.cluster.provision import VmSpec
+from repro.faas.policy import DeploymentMode
 from repro.units import MIB
-from repro.vmm import VirtualMachine, VmConfig
 
 
 @pytest.fixture
-def vm(sim, host):
-    params = HotMemBootParams(
-        partition_bytes=384 * MIB, concurrency=4, shared_bytes=0
-    )
-    return VirtualMachine(
-        sim,
-        host,
-        VmConfig(
-            "batched", hotplug_region_bytes=4 * 384 * MIB, batch_unplug=True
-        ),
-        hotmem_params=params,
-    )
+def vm(fleet):
+    return fleet.provision(
+        VmSpec(
+            "batched",
+            mode=DeploymentMode.HOTMEM,
+            partition_bytes=384 * MIB,
+            concurrency=4,
+            batch_unplug=True,
+        )
+    ).vm
 
 
 def test_adjacent_free_partitions_unplug_as_one_run(sim, vm):

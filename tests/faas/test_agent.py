@@ -6,9 +6,9 @@ from repro.core import HotMemBootParams
 from repro.errors import ConfigError
 from repro.faas.agent import Agent, FunctionDeployment
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.cluster.provision import VmSpec
 from repro.sim.engine import Timeout
 from repro.units import GIB, MIB, SEC
-from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads.functions import get_function
 
 
@@ -92,9 +92,14 @@ class TestScaleUp:
         assert record.ok and not record.cold
         assert len(vanilla_vm.tracer.plug_events()) == 1
 
-    def test_overprovisioned_never_plugs(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("op", hotplug_region_bytes=2 * GIB))
-        vm.plug_all_at_boot()
+    def test_overprovisioned_never_plugs(self, sim, fleet):
+        vm = fleet.provision(
+            VmSpec(
+                "op",
+                mode=DeploymentMode.OVERPROVISIONED,
+                region_bytes=2 * GIB,
+            )
+        ).vm
         agent = make_agent(sim, vm, DeploymentMode.OVERPROVISIONED)
         record = run_request(sim, agent)
         assert record.ok

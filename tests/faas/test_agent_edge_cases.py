@@ -5,9 +5,9 @@ import pytest
 from repro.core import HotMemBootParams
 from repro.faas.agent import Agent, FunctionDeployment
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.cluster.provision import VmSpec
 from repro.sim.engine import Timeout
 from repro.units import GIB, MIB, SEC
-from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads.functions import get_function
 
 
@@ -89,9 +89,14 @@ class TestRecyclerEdgeCases:
         assert sim.run_process(pass_()) == 0
         assert agent.shrink_events == []
 
-    def test_overprovisioned_recycle_records_zero_unplug(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("op", hotplug_region_bytes=2 * GIB))
-        vm.plug_all_at_boot()
+    def test_overprovisioned_recycle_records_zero_unplug(self, sim, fleet):
+        vm = fleet.provision(
+            VmSpec(
+                "op",
+                mode=DeploymentMode.OVERPROVISIONED,
+                region_bytes=2 * GIB,
+            )
+        ).vm
         agent = make_agent(sim, vm, DeploymentMode.OVERPROVISIONED)
         sim.run_process(agent.handle("html", 0))
 

@@ -17,34 +17,43 @@ from repro.faults import (
     AGENT_SPAWN_OOM,
     DEVICE_PLUG_NACK,
     DRIVER_MIGRATE_FAIL,
-    FaultInjector,
     FaultPlan,
     FaultSpec,
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.cluster.provision import VmSpec
 from repro.sim.engine import Timeout
 from repro.units import GIB, MIB, SEC
-from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads.functions import get_function
 
 
-def make_vm(sim, host, specs, hotmem=False, retry=None, seed=0):
-    params = None
-    region = 4 * GIB
+def make_vm(sim, fleet, specs, hotmem=False, retry=None, seed=0):
+    del sim  # the fleet owns the simulator
+    plan = FaultPlan(tuple(specs))
     if hotmem:
         params = HotMemBootParams.for_function(
             384 * MIB, concurrency=4, shared_bytes=128 * MIB
         )
-        region = params.max_hotplug_bytes
-    return VirtualMachine(
-        sim,
-        host,
-        VmConfig("fault-vm", hotplug_region_bytes=region),
-        hotmem_params=params,
-        faults=FaultInjector(FaultPlan(tuple(specs)), seed=seed, sim=sim),
-        retry_policy=retry,
-    )
+        spec = VmSpec(
+            "fault-vm",
+            mode=DeploymentMode.HOTMEM,
+            partition_bytes=params.partition_bytes,
+            concurrency=params.concurrency,
+            shared_bytes=params.shared_bytes,
+            faults=plan,
+            fault_seed=seed,
+            retry=retry,
+        )
+    else:
+        spec = VmSpec(
+            "fault-vm",
+            region_bytes=4 * GIB,
+            faults=plan,
+            fault_seed=seed,
+            retry=retry,
+        )
+    return fleet.provision(spec).vm
 
 
 def make_agent(sim, vm, mode, resilience=None, **kw):
@@ -75,8 +84,8 @@ def recycle_after(sim, agent, idle_s):
 
 
 class TestSpawnFaults:
-    def test_spawn_failure_fails_the_invocation_then_heals(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(AGENT_SPAWN_FAIL, 1.0, max_fires=1)])
+    def test_spawn_failure_fails_the_invocation_then_heals(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(AGENT_SPAWN_FAIL, 1.0, max_fires=1)])
         agent = make_agent(sim, vm, DeploymentMode.VANILLA)
         record = sim.run_process(agent.handle("html", 0))
         assert not record.ok and record.error == "spawn-failed"
@@ -87,8 +96,8 @@ class TestSpawnFaults:
         assert retry.ok
         vm.check_consistency()
 
-    def test_spawn_oom_counts_as_oom(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(AGENT_SPAWN_OOM, 1.0, max_fires=1)])
+    def test_spawn_oom_counts_as_oom(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(AGENT_SPAWN_OOM, 1.0, max_fires=1)])
         agent = make_agent(sim, vm, DeploymentMode.VANILLA)
         record = sim.run_process(agent.handle("html", 0))
         assert not record.ok and record.error == "oom"
@@ -97,8 +106,8 @@ class TestSpawnFaults:
 
 
 class TestPlugRetry:
-    def test_nacked_plug_retried_to_success(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=1)])
+    def test_nacked_plug_retried_to_success(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=1)])
         agent = make_agent(
             sim,
             vm,
@@ -112,8 +121,8 @@ class TestPlugRetry:
         assert vm.recovery_log.by_path() == {"retried": 1}
         assert not agent.degraded
 
-    def test_persistent_nack_degrades_to_static(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(DEVICE_PLUG_NACK, 1.0)], hotmem=True)
+    def test_persistent_nack_degrades_to_static(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(DEVICE_PLUG_NACK, 1.0)], hotmem=True)
         agent = make_agent(
             sim,
             vm,
@@ -131,13 +140,13 @@ class TestPlugRetry:
         assert paths.get("static-fallback", 0) >= 1
         vm.check_consistency()
 
-    def test_degraded_hotmem_agent_reuses_populated_partitions(self, sim, host):
+    def test_degraded_hotmem_agent_reuses_populated_partitions(self, sim, fleet):
         # First spawn succeeds (fault capped), leaving a populated
         # partition after recycle; once degraded, spawns must still be
         # served from it.
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=0)],
             hotmem=True,
         )
@@ -154,16 +163,16 @@ class TestPlugRetry:
 
 
 class TestRecyclerFaults:
-    def failing_unplug_vm(self, sim, host, max_fires=0):
+    def failing_unplug_vm(self, sim, fleet, max_fires=0):
         return make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=max_fires or None)],
             hotmem=True,
         )
 
-    def test_unplug_failure_mid_recycle_keeps_state_consistent(self, sim, host):
-        vm = self.failing_unplug_vm(sim, host)
+    def test_unplug_failure_mid_recycle_keeps_state_consistent(self, sim, fleet):
+        vm = self.failing_unplug_vm(sim, fleet)
         agent = make_agent(sim, vm, DeploymentMode.HOTMEM)
         record = sim.run_process(agent.handle("html", 0))
         assert record.ok
@@ -185,10 +194,10 @@ class TestRecyclerFaults:
         assert vm.device.plugged_bytes == plugged_before
         vm.check_consistency()
 
-    def test_retried_recycle_converges_once_fault_clears(self, sim, host):
+    def test_retried_recycle_converges_once_fault_clears(self, sim, fleet):
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)],
             hotmem=True,
         )
@@ -212,8 +221,8 @@ class TestRecyclerFaults:
         assert vm.faults.unresolved() == []
         vm.check_consistency()
 
-    def test_shortfall_dropped_at_deferred_cap(self, sim, host):
-        vm = self.failing_unplug_vm(sim, host)  # never clears
+    def test_shortfall_dropped_at_deferred_cap(self, sim, fleet):
+        vm = self.failing_unplug_vm(sim, fleet)  # never clears
         agent = make_agent(
             sim,
             vm,
@@ -229,10 +238,10 @@ class TestRecyclerFaults:
         assert vm.faults.unresolved() == []
         vm.check_consistency()
 
-    def test_recycle_race_serialized(self, sim, host):
+    def test_recycle_race_serialized(self, sim, fleet):
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(AGENT_RECYCLE_RACE, 1.0, max_fires=1)],
             hotmem=True,
         )

@@ -14,24 +14,21 @@ from repro.faults import (
     DRIVER_BLOCK_TIMEOUT,
     DRIVER_MIGRATE_FAIL,
     DRIVER_OFFLINE_UNMOVABLE,
-    FaultInjector,
     FaultPlan,
     FaultSpec,
     RetryPolicy,
 )
+from repro.cluster.provision import Fleet, VmSpec
+from repro.sim import Simulator
 from repro.units import GIB, MEMORY_BLOCK_SIZE, MS
-from repro.vmm import VirtualMachine, VmConfig
 
 
-def make_vm(sim, host, specs, retry=None, region=1 * GIB):
+def make_vm(sim, fleet, specs, retry=None, region=1 * GIB):
+    del sim  # the fleet owns the simulator
     plan = FaultPlan(tuple(specs))
-    return VirtualMachine(
-        sim,
-        host,
-        VmConfig("fault-vm", hotplug_region_bytes=region),
-        faults=FaultInjector(plan, seed=0, sim=sim),
-        retry_policy=retry,
-    )
+    return fleet.provision(
+        VmSpec("fault-vm", region_bytes=region, faults=plan, retry=retry)
+    ).vm
 
 
 def run_plug(sim, vm, n_blocks):
@@ -47,9 +44,9 @@ def run_unplug(sim, vm, n_blocks):
 
 
 class TestDeviceSites:
-    def test_nack_refuses_whole_request_without_charging(self, sim, host):
+    def test_nack_refuses_whole_request_without_charging(self, sim, fleet):
         vm = make_vm(
-            sim, host, [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=1)]
+            sim, fleet, [FaultSpec(DEVICE_PLUG_NACK, 1.0, max_fires=1)]
         )
         result = run_plug(sim, vm, 2)
         assert result.error == "nack"
@@ -64,9 +61,9 @@ class TestDeviceSites:
         assert vm.device.plugged_bytes == 2 * MEMORY_BLOCK_SIZE
         vm.check_consistency()
 
-    def test_partial_plug_grants_half(self, sim, host):
+    def test_partial_plug_grants_half(self, sim, fleet):
         vm = make_vm(
-            sim, host, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0, max_fires=1)]
+            sim, fleet, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0, max_fires=1)]
         )
         result = run_plug(sim, vm, 4)
         assert result.error == "partial"
@@ -76,22 +73,22 @@ class TestDeviceSites:
         vm.faults.resolve(result.fault, "retried")
         vm.check_consistency()
 
-    def test_partial_never_starves_single_block_requests(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0)])
+    def test_partial_never_starves_single_block_requests(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(DEVICE_PLUG_PARTIAL, 1.0)])
         result = run_plug(sim, vm, 1)
         # A 1-block request cannot be halved; the site never fires on it.
         assert result.error == "" and result.fully_plugged
 
-    def test_response_delay_absorbed_and_logged(self, sim, host):
+    def test_response_delay_absorbed_and_logged(self, sim, fleet):
         delay = 3 * MS
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DEVICE_RESPONSE_DELAY, 1.0, max_fires=1, delay_ns=delay)],
         )
-        baseline_vm = VirtualMachine(
-            sim.__class__(), host, VmConfig("base", hotplug_region_bytes=1 * GIB)
-        )
+        baseline_vm = Fleet(Simulator()).provision(
+            VmSpec("base", region_bytes=1 * GIB)
+        ).vm
         result = run_plug(sim, vm, 1)
         assert result.error == ""
         # The stall is self-absorbed: resolved by the device, no caller
@@ -104,10 +101,10 @@ class TestDeviceSites:
 
 
 class TestDriverRetry:
-    def test_migrate_failure_retried_to_success(self, sim, host):
+    def test_migrate_failure_retried_to_success(self, sim, fleet):
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)],
             retry=RetryPolicy(max_retries=2),
         )
@@ -123,11 +120,11 @@ class TestDriverRetry:
         assert vm.recovery_log.events[0].attempts == 2
         vm.check_consistency()
 
-    def test_timeout_site_costs_block_timeout(self, sim, host):
+    def test_timeout_site_costs_block_timeout(self, sim, fleet):
         timeout = 7 * MS
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_BLOCK_TIMEOUT, 1.0, max_fires=1)],
             retry=RetryPolicy(max_retries=1, block_timeout_ns=timeout),
         )
@@ -138,10 +135,10 @@ class TestDriverRetry:
         assert sim.now - before >= timeout
         assert vm.faults.unresolved() == []
 
-    def test_exhausted_retries_fall_back_to_partial_unplug(self, sim, host):
+    def test_exhausted_retries_fall_back_to_partial_unplug(self, sim, fleet):
         vm = make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0)],
             retry=RetryPolicy(max_retries=1),
         )
@@ -153,8 +150,8 @@ class TestDriverRetry:
         assert vm.recovery_log.by_path() == {"partial-unplug": 1}
         vm.check_consistency()
 
-    def test_no_retry_policy_fails_fast(self, sim, host):
-        vm = make_vm(sim, host, [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)])
+    def test_no_retry_policy_fails_fast(self, sim, fleet):
+        vm = make_vm(sim, fleet, [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)])
         run_plug(sim, vm, 2)
         result = run_unplug(sim, vm, 2)
         # One block lost to the fault, the other unplugged; the inert
@@ -167,16 +164,16 @@ class TestDriverRetry:
 
 
 class TestQuarantine:
-    def make_failing_vm(self, sim, host, quarantine_after=2):
+    def make_failing_vm(self, sim, fleet, quarantine_after=2):
         return make_vm(
             sim,
-            host,
+            fleet,
             [FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0)],
             retry=RetryPolicy(max_retries=0, quarantine_after=quarantine_after),
         )
 
-    def test_block_quarantined_after_repeated_failures(self, sim, host):
-        vm = self.make_failing_vm(sim, host)
+    def test_block_quarantined_after_repeated_failures(self, sim, fleet):
+        vm = self.make_failing_vm(sim, fleet)
         run_plug(sim, vm, 2)
         first = run_unplug(sim, vm, 1)
         assert first.unplugged_bytes == 0
@@ -195,8 +192,8 @@ class TestQuarantine:
         # The invariant registry accepts the quarantine state.
         vm.check_consistency()
 
-    def test_quarantined_block_leaves_unplug_candidacy(self, sim, host):
-        vm = self.make_failing_vm(sim, host)
+    def test_quarantined_block_leaves_unplug_candidacy(self, sim, fleet):
+        vm = self.make_failing_vm(sim, fleet)
         run_plug(sim, vm, 2)
         run_unplug(sim, vm, 1)
         run_unplug(sim, vm, 1)  # quarantines the victim
@@ -210,8 +207,8 @@ class TestQuarantine:
             for e in vm.recovery_log.events[2:]
         )
 
-    def test_release_quarantine_restores_service(self, sim, host):
-        vm = self.make_failing_vm(sim, host)
+    def test_release_quarantine_restores_service(self, sim, fleet):
+        vm = self.make_failing_vm(sim, fleet)
         run_plug(sim, vm, 2)
         run_unplug(sim, vm, 1)
         run_unplug(sim, vm, 1)
@@ -221,10 +218,10 @@ class TestQuarantine:
         assert not block.isolated
         vm.check_consistency()
 
-    def test_offline_of_quarantined_block_refused(self, sim, host):
+    def test_offline_of_quarantined_block_refused(self, sim, fleet):
         from repro.errors import OfflineFailed
 
-        vm = self.make_failing_vm(sim, host)
+        vm = self.make_failing_vm(sim, fleet)
         run_plug(sim, vm, 2)
         run_unplug(sim, vm, 1)
         run_unplug(sim, vm, 1)

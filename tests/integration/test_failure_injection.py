@@ -7,34 +7,34 @@ races — and assert that the system stays consistent and makes progress.
 
 import pytest
 
-from repro.core import HotMemBootParams
+from repro.cluster.provision import VmSpec
 from repro.errors import OutOfMemory
-from repro.host import HostMachine
+from repro.faas.policy import DeploymentMode
 from repro.sim import Simulator, Timeout
 from repro.units import GIB, MIB, SEC
-from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads import Memhog
 
 
-def build(sim, host, mode="hotmem", slots=8, slot_bytes=384 * MIB, shared=0):
-    params = None
+def build(sim, fleet, mode="hotmem", slots=8, slot_bytes=384 * MIB, shared=0):
+    del sim  # the fleet owns the simulator
     if mode == "hotmem":
-        params = HotMemBootParams(
-            partition_bytes=slot_bytes, concurrency=slots, shared_bytes=shared
+        spec = VmSpec(
+            mode,
+            mode=DeploymentMode.HOTMEM,
+            partition_bytes=slot_bytes,
+            concurrency=slots,
+            shared_bytes=shared,
         )
-    return VirtualMachine(
-        sim,
-        host,
-        VmConfig(mode, hotplug_region_bytes=slots * slot_bytes + shared),
-        hotmem_params=params,
-    )
+    else:
+        spec = VmSpec(mode, region_bytes=slots * slot_bytes + shared)
+    return fleet.provision(spec).vm
 
 
 class TestResizeStorms:
     @pytest.mark.parametrize("mode", ["hotmem", "vanilla"])
-    def test_interleaved_plug_unplug_storm(self, sim, host, mode):
+    def test_interleaved_plug_unplug_storm(self, sim, fleet, mode):
         """Alternating plug/unplug requests fired without waiting."""
-        vm = build(sim, host, mode)
+        vm = build(sim, fleet, mode)
         for _ in range(6):
             vm.request_plug(768 * MIB)
             vm.request_unplug(384 * MIB)
@@ -43,17 +43,17 @@ class TestResizeStorms:
         # Net effect: 6 * (768 - 384) MiB plugged.
         assert vm.device.plugged_bytes == 6 * 384 * MIB
 
-    def test_unplug_storm_on_empty_device_is_harmless(self, sim, host):
-        vm = build(sim, host, "vanilla")
+    def test_unplug_storm_on_empty_device_is_harmless(self, sim, fleet):
+        vm = build(sim, fleet, "vanilla")
         processes = [vm.request_unplug(1 * GIB) for _ in range(4)]
         sim.run()
         for process in processes:
             assert process.value.unplugged_bytes == 0
         vm.check_consistency()
 
-    def test_unplug_races_with_running_allocations(self, sim, host):
+    def test_unplug_races_with_running_allocations(self, sim, fleet):
         """Memhogs keep faulting while unplug requests arrive."""
-        vm = build(sim, host, "vanilla")
+        vm = build(sim, fleet, "vanilla")
         vm.request_plug(8 * 384 * MIB)
         sim.run()
         hogs = [
@@ -78,8 +78,8 @@ class TestResizeStorms:
 
 
 class TestAttachStorms:
-    def test_more_attaches_than_partitions_queue_and_drain(self, sim, host):
-        vm = build(sim, host, "hotmem", slots=4)
+    def test_more_attaches_than_partitions_queue_and_drain(self, sim, fleet):
+        vm = build(sim, fleet, "hotmem", slots=4)
         vm.request_plug(4 * 384 * MIB)
         sim.run()
         finished = []
@@ -101,9 +101,9 @@ class TestAttachStorms:
         assert len(vm.hotmem.reclaimable_partitions()) == 4
         vm.check_consistency()
 
-    def test_waiters_survive_partition_reclaim_interleaving(self, sim, host):
+    def test_waiters_survive_partition_reclaim_interleaving(self, sim, fleet):
         """Attach waiters racing with the partitions being unplugged."""
-        vm = build(sim, host, "hotmem", slots=2)
+        vm = build(sim, fleet, "hotmem", slots=2)
         vm.request_plug(2 * 384 * MIB)
         sim.run()
         first = vm.new_process("first")
@@ -129,10 +129,10 @@ class TestAttachStorms:
 
 
 class TestOomStorms:
-    def test_partition_overflow_storm(self, sim, host):
+    def test_partition_overflow_storm(self, sim, fleet):
         """Every instance overflows its partition; all are killed and every
         partition comes back reusable."""
-        vm = build(sim, host, "hotmem", slots=4)
+        vm = build(sim, fleet, "hotmem", slots=4)
         vm.request_plug(4 * 384 * MIB)
         sim.run()
         kills = 0
@@ -147,8 +147,8 @@ class TestOomStorms:
         assert len(vm.hotmem.reclaimable_partitions()) == 4
         vm.check_consistency()
 
-    def test_global_exhaustion_does_not_corrupt_state(self, sim, host):
-        vm = build(sim, host, "vanilla", slots=2)
+    def test_global_exhaustion_does_not_corrupt_state(self, sim, fleet):
+        vm = build(sim, fleet, "vanilla", slots=2)
         vm.request_plug(2 * 384 * MIB)
         sim.run()
         survivors = []
@@ -165,9 +165,9 @@ class TestOomStorms:
 
 
 class TestReplugCycles:
-    def test_unplug_replug_cycles_converge(self, sim, host):
+    def test_unplug_replug_cycles_converge(self, sim, fleet):
         """Repeated full shrink/grow cycles end exactly where they began."""
-        vm = build(sim, host, "hotmem", slots=6)
+        vm = build(sim, fleet, "hotmem", slots=6)
         for _ in range(5):
             plug = vm.request_plug(6 * 384 * MIB)
             sim.run()
@@ -183,9 +183,9 @@ class TestReplugCycles:
         vm.check_consistency()
         assert vm.device.plugged_bytes == 0
 
-    def test_partial_unplug_then_replug_heals(self, sim, host):
+    def test_partial_unplug_then_replug_heals(self, sim, fleet):
         """A vanilla unplug that goes partial must not strand the device."""
-        vm = build(sim, host, "vanilla", slots=4)
+        vm = build(sim, fleet, "vanilla", slots=4)
         vm.request_plug(4 * 384 * MIB)
         sim.run()
         hog = Memhog(vm, 4 * 300 * MIB)

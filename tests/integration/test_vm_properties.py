@@ -9,12 +9,11 @@ partition refcounts.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import HotMemBootParams
+from repro.cluster.provision import Fleet, VmSpec
 from repro.errors import NoFreePartition, OutOfMemory
-from repro.host import HostMachine
+from repro.faas.policy import DeploymentMode
 from repro.sim import Simulator
 from repro.units import MIB
-from repro.vmm import VirtualMachine, VmConfig
 
 SLOT = 384 * MIB
 SLOTS = 6
@@ -34,18 +33,17 @@ operations = st.lists(
 
 def drive(mode: str, ops) -> None:
     sim = Simulator()
-    host = HostMachine(sim)
-    params = None
+    fleet = Fleet(sim)
     if mode == "hotmem":
-        params = HotMemBootParams(
-            partition_bytes=SLOT, concurrency=SLOTS, shared_bytes=0
+        spec = VmSpec(
+            mode,
+            mode=DeploymentMode.HOTMEM,
+            partition_bytes=SLOT,
+            concurrency=SLOTS,
         )
-    vm = VirtualMachine(
-        sim,
-        host,
-        VmConfig(mode, hotplug_region_bytes=SLOTS * SLOT),
-        hotmem_params=params,
-    )
+    else:
+        spec = VmSpec(mode, region_bytes=SLOTS * SLOT)
+    vm = fleet.provision(spec).vm
     slots = {i: None for i in range(6)}
     for op, arg in ops:
         if op == "plug":

@@ -2,10 +2,15 @@
 
 import pytest
 
-from repro.core import HotMemBootParams
+from repro.cluster.provision import Fleet, VmSpec
 from repro.errors import ConfigError
+from repro.faas.policy import DeploymentMode
+from repro.sim import Simulator
 from repro.units import GIB, MIB
-from repro.vmm import VirtualMachine, VmConfig
+
+
+def _provision(fleet, **spec_kwargs):
+    return fleet.provision(VmSpec(**spec_kwargs)).vm
 
 
 class TestVanillaWiring:
@@ -18,22 +23,22 @@ class TestVanillaWiring:
         assert not vanilla_vm.is_hotmem
         assert vanilla_vm.hotmem is None
 
-    def test_boot_memory_charged_on_host(self, sim, host):
+    def test_boot_memory_charged_on_host(self, fleet, host):
         used_before = host.node(0).used_bytes
-        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+        vm = _provision(fleet, name="vm", region_bytes=GIB)
         assert host.node(0).used_bytes == (
             used_before + vm.config.effective_boot_memory_bytes
         )
 
-    def test_shutdown_releases_host_memory(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+    def test_shutdown_releases_host_memory(self, sim, fleet, host):
+        vm = _provision(fleet, name="vm", region_bytes=GIB)
         vm.request_plug(512 * MIB)
         sim.run()
         vm.shutdown()
         assert host.node(0).used_bytes == 0
 
-    def test_shutdown_idempotent(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
+    def test_shutdown_idempotent(self, fleet, host):
+        vm = _provision(fleet, name="vm", region_bytes=GIB)
         vm.shutdown()
         vm.shutdown()
         assert host.node(0).used_bytes == 0
@@ -49,13 +54,16 @@ class TestHotMemWiring:
         assert shared.is_fully_populated
         assert hotmem_vm.device.plugged_bytes == hotmem_params.shared_bytes
 
-    def test_region_too_small_rejected(self, sim, host, hotmem_params):
+    def test_region_too_small_rejected(self, fleet, hotmem_params):
         with pytest.raises(ConfigError):
-            VirtualMachine(
-                sim,
-                host,
-                VmConfig("vm", hotplug_region_bytes=GIB),
-                hotmem_params=hotmem_params,
+            _provision(
+                fleet,
+                name="vm",
+                mode=DeploymentMode.HOTMEM,
+                region_bytes=GIB,
+                partition_bytes=hotmem_params.partition_bytes,
+                concurrency=hotmem_params.concurrency,
+                shared_bytes=hotmem_params.shared_bytes,
             )
 
     def test_file_faults_use_shared_partition(self, sim, hotmem_vm):
@@ -87,39 +95,53 @@ class TestProcessLifecycle:
 
 
 class TestOverprovisioned:
-    def test_plug_all_at_boot(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=2 * GIB))
-        vm.plug_all_at_boot()
+    def test_plug_all_at_boot(self, sim, fleet):
+        vm = fleet.provision(
+            VmSpec(
+                "vm",
+                mode=DeploymentMode.OVERPROVISIONED,
+                region_bytes=2 * GIB,
+            )
+        ).vm
         assert vm.device.plugged_bytes == 2 * GIB
         assert sim.now == 0
         vm.check_consistency()
 
-    def test_plug_all_at_boot_idempotent(self, sim, host):
-        vm = VirtualMachine(sim, host, VmConfig("vm", hotplug_region_bytes=GIB))
-        vm.plug_all_at_boot()
+    def test_plug_all_at_boot_idempotent(self, fleet):
+        vm = _provision(
+            fleet,
+            name="vm",
+            mode=DeploymentMode.OVERPROVISIONED,
+            region_bytes=GIB,
+        )
         vm.plug_all_at_boot()
         assert vm.device.plugged_bytes == GIB
 
 
 class TestEndToEndResize:
-    def test_hotmem_unplug_is_much_faster_than_vanilla(self, sim, host):
+    def test_hotmem_unplug_is_much_faster_than_vanilla(self):
         """The headline claim at unit scale: same load, same reclaim,
         an order of magnitude apart."""
         from repro.workloads.memhog import Memhog
 
         results = {}
         for mode in ("vanilla", "hotmem"):
-            local_sim = type(sim)()
-            local_host = type(host)(local_sim)
-            params = None
-            if mode == "hotmem":
-                params = HotMemBootParams(384 * MIB, concurrency=8, shared_bytes=0)
-            vm = VirtualMachine(
-                local_sim,
-                local_host,
-                VmConfig(mode, hotplug_region_bytes=8 * 384 * MIB),
-                hotmem_params=params,
-            )
+            local_sim = Simulator()
+            local_fleet = Fleet(local_sim)
+            vm = local_fleet.provision(
+                VmSpec(
+                    mode,
+                    mode=(
+                        DeploymentMode.HOTMEM
+                        if mode == "hotmem"
+                        else DeploymentMode.VANILLA
+                    ),
+                    region_bytes=8 * 384 * MIB,
+                    partition_bytes=384 * MIB if mode == "hotmem" else 0,
+                    concurrency=8 if mode == "hotmem" else 0,
+                    shared_bytes=0,
+                )
+            ).vm
             vm.request_plug(8 * 384 * MIB)
             local_sim.run()
             hogs = [
