@@ -63,6 +63,14 @@ from repro.faults import (
 )
 from repro.faults.recovery import RecoveryEvent, RecoveryLog
 from repro.host import HostMachine
+from repro.modes import (
+    DeploymentBackend,
+    ReclaimDatapath,
+    get_mode,
+    register_mode,
+    registered_modes,
+    resolve_modes,
+)
 from repro.sim import CostModel, CpuCore, Event, Process, Simulator, Timeout
 from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads import (
@@ -104,6 +112,13 @@ __all__ = [
     "DensityArbiter",
     "ArbitrationPolicy",
     "AdmissionResult",
+    # deployment-mode registry
+    "DeploymentBackend",
+    "ReclaimDatapath",
+    "get_mode",
+    "register_mode",
+    "registered_modes",
+    "resolve_modes",
     # serverless runtime
     "Agent",
     "DeploymentMode",

@@ -43,6 +43,15 @@ enforces the conventions as hard rules:
     structured context; a bare handler also swallows the sanitizer's
     ``InvariantViolation``, turning accounting corruption into silence.
 
+``no-mode-branching``
+    No membership tests against ``DeploymentMode`` members (``is``/
+    ``==``/``in`` and their negations) outside ``repro.modes``.  Each
+    mode's behaviour lives on its registered backend object (elasticity,
+    admission credit, datapath factory, fault sites); branching on mode
+    identity elsewhere re-scatters exactly the special-casing the
+    registry exists to hold in one place.  Ask the mode object, or add a
+    hook to :class:`repro.modes.base.DeploymentBackend`.
+
 Suppression
 -----------
 Append ``# lint: allow[rule-name]`` (comma-separated names allowed, with
@@ -110,6 +119,10 @@ RULES: Dict[str, str] = {
         "never catch with a bare `except:`; name the exceptions a "
         "recovery path actually handles (a bare handler swallows "
         "InvariantViolation and friends)"
+    ),
+    "no-mode-branching": (
+        "never branch on DeploymentMode membership outside repro.modes; "
+        "behaviour belongs on the registered backend object"
     ),
 }
 
@@ -415,6 +428,39 @@ def _rule_no_bare_except(
             )
 
 
+def _rule_no_mode_branching(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)) or _in_scope(module, ("repro.modes",)):
+        return
+
+    def names_mode_member(operand: ast.AST) -> bool:
+        for child in ast.walk(operand):
+            if isinstance(child, ast.Attribute):
+                dotted = _dotted(child)
+                if dotted is not None and "DeploymentMode." in dotted:
+                    return True
+        return False
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        branching_ops = (ast.Is, ast.IsNot, ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+        if not any(isinstance(op, branching_ops) for op in node.ops):
+            continue
+        operands = [node.left] + list(node.comparators)
+        if any(names_mode_member(operand) for operand in operands):
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-mode-branching",
+                "membership test against DeploymentMode members outside "
+                "repro.modes; ask the mode object (mode.elastic, "
+                "mode.fault_sites, ...) or add a DeploymentBackend hook",
+            )
+
+
 _RULE_FUNCTIONS = (
     _rule_no_direct_random,
     _rule_no_wallclock,
@@ -422,6 +468,7 @@ _RULE_FUNCTIONS = (
     _rule_mm_encapsulation,
     _rule_module_all_required,
     _rule_no_bare_except,
+    _rule_no_mode_branching,
 )
 
 

@@ -21,14 +21,24 @@ virtio-mem and HotMem, so the comparison experiment
 (:mod:`repro.experiments.baselines_comparison`) is apples-to-apples.
 """
 
-from repro.baselines.balloon import BalloonResult, VirtioBalloon
-from repro.baselines.dimm import DimmHotplug, DimmUnplugResult
-from repro.baselines.fpr import FreePageReporting
+from repro.baselines.balloon import BALLOON_LABEL, BalloonResult, VirtioBalloon
+from repro.baselines.dimm import (
+    DEFAULT_DIMM_BYTES,
+    DIMM_LABEL,
+    DimmHotplug,
+    DimmUnplugResult,
+)
+from repro.baselines.fpr import FPR_LABEL, FreePageReporting, ReportTick
 
 __all__ = [
     "VirtioBalloon",
     "BalloonResult",
+    "BALLOON_LABEL",
     "DimmHotplug",
     "DimmUnplugResult",
+    "DIMM_LABEL",
+    "DEFAULT_DIMM_BYTES",
     "FreePageReporting",
+    "ReportTick",
+    "FPR_LABEL",
 ]

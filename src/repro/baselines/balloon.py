@@ -26,7 +26,7 @@ from repro.sim.cpu import CpuCore
 from repro.sim.engine import Simulator, Timeout
 from repro.units import MIB, bytes_to_pages, pages_to_bytes
 
-__all__ = ["VirtioBalloon", "BalloonResult"]
+__all__ = ["VirtioBalloon", "BalloonResult", "BALLOON_LABEL"]
 
 #: Accounting label for balloon driver work.
 BALLOON_LABEL = "virtio-balloon"

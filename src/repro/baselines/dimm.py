@@ -23,7 +23,12 @@ from repro.sim.cpu import CpuCore
 from repro.sim.engine import Simulator
 from repro.units import GIB, MEMORY_BLOCK_SIZE, PAGES_PER_BLOCK, bytes_to_blocks
 
-__all__ = ["DimmHotplug", "DimmUnplugResult"]
+__all__ = [
+    "DimmHotplug",
+    "DimmUnplugResult",
+    "DIMM_LABEL",
+    "DEFAULT_DIMM_BYTES",
+]
 
 #: Accounting label for DIMM hotplug work.
 DIMM_LABEL = "dimm-hotplug"
@@ -80,6 +85,11 @@ class DimmHotplug:
             raise ConfigError(
                 "hotplug region must be a whole number of DIMMs"
             )
+        #: Slots claimed by an in-flight (un)plug.  Both operations
+        #: yield between choosing slots and finishing the block-state
+        #: transitions, so concurrent requests must not pick the same
+        #: slot.
+        self._reserved: set = set()
 
     # ------------------------------------------------------------------
     # Geometry
@@ -105,19 +115,29 @@ class DimmHotplug:
             )
         ]
 
+    def free_dimms(self) -> List[int]:
+        """Slots whose blocks are all absent (pluggable right now).
+
+        Slots mid-unplug (blocks isolated or offlining) and slots
+        reserved by an in-flight operation are neither plugged nor free
+        until the operation settles.
+        """
+        return [
+            dimm
+            for dimm in range(self.dimm_slots)
+            if dimm not in self._reserved
+            and all(
+                self.manager.blocks[i].state is BlockState.ABSENT
+                for i in self.dimm_block_indices(dimm)
+            )
+        ]
+
     # ------------------------------------------------------------------
     # Plug
     # ------------------------------------------------------------------
     def plug(self, dimm_count: int):
         """Process generator: hot-add ``dimm_count`` whole DIMMs."""
-        free_slots = [
-            dimm
-            for dimm in range(self.dimm_slots)
-            if all(
-                self.manager.blocks[i].state is BlockState.ABSENT
-                for i in self.dimm_block_indices(dimm)
-            )
-        ]
+        free_slots = self.free_dimms()
         if dimm_count > len(free_slots):
             raise HotplugError(
                 f"only {len(free_slots)} free DIMM slots, need {dimm_count}"
@@ -129,13 +149,21 @@ class DimmHotplug:
         )
         start = self.sim.now
         self.host_node.charge(dimm_count * self.dimm_bytes)
-        yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, DIMM_LABEL)
-        for dimm in free_slots[:dimm_count]:
-            for index in self.dimm_block_indices(dimm):
-                self.manager.online_block(index, self.manager.zone_movable)
-                yield self.irq_core.submit(
-                    self.costs.plug_block_ns(zero_pages=zero_pages), DIMM_LABEL
-                )
+        claimed = free_slots[:dimm_count]
+        self._reserved.update(claimed)
+        try:
+            yield self.vmm_core.submit(
+                self.costs.virtio_request_rtt_ns, DIMM_LABEL
+            )
+            for dimm in claimed:
+                for index in self.dimm_block_indices(dimm):
+                    self.manager.online_block(index, self.manager.zone_movable)
+                    yield self.irq_core.submit(
+                        self.costs.plug_block_ns(zero_pages=zero_pages),
+                        DIMM_LABEL,
+                    )
+        finally:
+            self._reserved.difference_update(claimed)
         return self.sim.now - start
 
     # ------------------------------------------------------------------
@@ -162,6 +190,14 @@ class DimmHotplug:
             if unplugged == wanted:
                 break
             blocks = [self.manager.blocks[i] for i in self.dimm_block_indices(dimm)]
+            # The candidate list is a snapshot from before the request
+            # RTT; skip slots a concurrent operation has since claimed
+            # or already transitioned.
+            if dimm in self._reserved or any(
+                block.state is not BlockState.ONLINE for block in blocks
+            ):
+                continue
+            self._reserved.add(dimm)
             emptied = []
             migrated_here = 0
             failed = False
@@ -193,6 +229,7 @@ class DimmHotplug:
                 # migrations stay where they landed (wasted work).
                 for block in emptied:
                     self.manager.unisolate_block(block)
+                self._reserved.discard(dimm)
                 wasted += migrated_here
                 aborted += 1
                 continue
@@ -205,6 +242,7 @@ class DimmHotplug:
                 self.blocks_per_dimm * self.costs.madvise_block_ns, DIMM_LABEL
             )
             self.host_node.discharge(self.dimm_bytes)
+            self._reserved.discard(dimm)
             migrated_total += migrated_here
             unplugged += 1
         return DimmUnplugResult(

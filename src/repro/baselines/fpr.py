@@ -33,7 +33,7 @@ from repro.sim.cpu import CpuCore
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.units import MIB, SEC, bytes_to_pages, pages_to_bytes
 
-__all__ = ["FreePageReporting"]
+__all__ = ["FreePageReporting", "ReportTick", "FPR_LABEL"]
 
 #: Accounting label for reporting work.
 FPR_LABEL = "free-page-reporting"
@@ -109,6 +109,10 @@ class FreePageReporting:
             if until_ns is not None and self.sim.now >= until_ns:
                 break
             yield Timeout(self.report_interval_ns)
+            if self._stopped:
+                # Stopped while sleeping: do not settle with the host —
+                # the VM may already have released its account.
+                break
             yield from self._tick()
         return None
 

@@ -9,6 +9,9 @@ memory the deployment mode is expected to give back:
 
 ``committed = boot + region − credit(mode) × (region − shared)``
 
+Each registered deployment mode declares its own credit
+(:attr:`~repro.modes.base.DeploymentBackend.reclaim_credit`):
+
 * **overprovisioned** VMs plug the whole region at boot and never return
   it — credit 0, committed equals the full footprint.
 * **vanilla** virtio-mem VMs do resize, but reclamation is slow and
@@ -17,6 +20,12 @@ memory the deployment mode is expected to give back:
 * **hotmem** VMs recycle partitions in milliseconds, so most of the
   elastic region (everything but the always-resident shared partition)
   is credited as reclaimable.
+* the related-work baselines carry credits matched to their reclamation
+  semantics (see :mod:`repro.modes.related`).
+
+The policy can still pin a credit per mode name
+(``ArbitrationPolicy(hotmem_credit=...)``), which overrides whatever the
+mode declares — the density experiment's sensitivity sweeps use this.
 
 Committed bytes are an admission-time promise, distinct from *plugged*
 bytes (what the VM actually backs right now, tracked by
@@ -29,12 +38,12 @@ agents' recyclers when the bet starts to come due.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.placement import NodeCandidate
 from repro.errors import ConfigError
-from repro.faas.policy import DeploymentMode
 from repro.host.machine import HostMachine
+from repro.modes import DeploymentBackend, get_mode
 from repro.units import format_bytes
 
 __all__ = [
@@ -51,11 +60,14 @@ class ArbitrationPolicy:
 
     #: Fraction of each node's installed memory admittable as committed.
     limit_fraction: float = 1.0
-    #: Reclaimable-memory credit per deployment mode (fraction of the
-    #: elastic region, i.e. the hotplug region minus shared bytes).
-    overprovisioned_credit: float = 0.0
-    vanilla_credit: float = 0.25
-    hotmem_credit: float = 0.75
+    #: Per-mode-name credit overrides (fraction of the elastic region,
+    #: i.e. the hotplug region minus shared bytes).  ``None`` defers to
+    #: the mode's declared :attr:`~repro.modes.base
+    #: .DeploymentBackend.reclaim_credit`, which matches the historical
+    #: defaults (0 / 0.25 / 0.75) for the three original modes.
+    overprovisioned_credit: Optional[float] = None
+    vanilla_credit: Optional[float] = None
+    hotmem_credit: Optional[float] = None
     #: Real node usage fraction above which the fleet applies
     #: reclamation pressure to resident agents.
     pressure_watermark: float = 0.9
@@ -69,16 +81,22 @@ class ArbitrationPolicy:
             "pressure_watermark",
         ):
             value = getattr(self, name)
-            if not 0.0 <= value <= 1.0:
+            if value is not None and not 0.0 <= value <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {value}")
 
-    def credit_for(self, mode: DeploymentMode) -> float:
-        """The reclaimable-region credit for a deployment mode."""
-        if mode is DeploymentMode.HOTMEM:
-            return self.hotmem_credit
-        if mode is DeploymentMode.VANILLA:
-            return self.vanilla_credit
-        return self.overprovisioned_credit
+    def credit_for(self, mode: Union[str, DeploymentBackend]) -> float:
+        """The reclaimable-region credit for a deployment mode.
+
+        Looks for a ``<mode name>_credit`` override on the policy first,
+        then falls back to what the mode itself declares — so modes the
+        policy has never heard of (balloon, dimm, fpr, any custom
+        registration) get sensible credits without new policy fields.
+        """
+        mode = get_mode(mode)
+        override = getattr(self, f"{mode.name}_credit", None)
+        if override is not None:
+            return override
+        return mode.reclaim_credit
 
 
 #: Inert default used by :class:`~repro.cluster.provision.Fleet`.
@@ -119,7 +137,7 @@ class DensityArbiter:
     # ------------------------------------------------------------------
     def commitment(
         self,
-        mode: DeploymentMode,
+        mode: Union[str, DeploymentBackend],
         boot_bytes: int,
         region_bytes: int,
         shared_bytes: int = 0,

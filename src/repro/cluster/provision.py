@@ -28,7 +28,7 @@ experiment onto the fleet leaves its event trace byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.cluster.admission import (
     DEFAULT_ARBITRATION,
@@ -44,6 +44,7 @@ from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faults.injector import FaultInjector, FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
 from repro.host.machine import HostMachine, NumaNode
+from repro.modes import DeploymentBackend, get_mode
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.vmm.config import VmConfig, default_boot_memory_bytes
@@ -63,7 +64,7 @@ class VmSpec:
     """
 
     name: str
-    mode: DeploymentMode = DeploymentMode.VANILLA
+    mode: Union[str, DeploymentBackend] = DeploymentMode.VANILLA
     #: Explicit device-region size; ``None`` derives it from the
     #: partition geometry.
     region_bytes: Optional[int] = None
@@ -85,12 +86,9 @@ class VmSpec:
     retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
-        if self.mode is DeploymentMode.HOTMEM:
-            if self.partition_bytes <= 0 or self.concurrency <= 0:
-                raise ConfigError(
-                    f"{self.name}: HOTMEM specs need a partition geometry "
-                    f"(partition_bytes × concurrency)"
-                )
+        # Accept registry names ("balloon") as well as backend objects.
+        object.__setattr__(self, "mode", get_mode(self.mode))
+        self.mode.validate_spec(self)
         if self.region_bytes is None and self.partition_bytes <= 0:
             raise ConfigError(
                 f"{self.name}: give region_bytes or a partition geometry"
@@ -100,7 +98,7 @@ class VmSpec:
     def for_function(
         cls,
         name: str,
-        mode: DeploymentMode,
+        mode: Union[str, DeploymentBackend],
         memory_limit_bytes: int,
         concurrency: int,
         shared_bytes: int = 0,
@@ -122,21 +120,18 @@ class VmSpec:
     # -- derived geometry ----------------------------------------------
     @property
     def hotplug_region_bytes(self) -> int:
-        """Device-region size (explicit or geometry-derived)."""
+        """Device-region size (explicit or geometry-derived), rounded to
+        the mode's reclamation granularity (DIMM modes need whole
+        slots; the originals round to nothing)."""
         if self.region_bytes is not None:
-            return self.region_bytes
-        return self.concurrency * self.partition_bytes + self.shared_bytes
+            return self.mode.round_region(self.region_bytes)
+        derived = self.concurrency * self.partition_bytes + self.shared_bytes
+        return self.mode.round_region(derived)
 
     @property
     def hotmem_params(self) -> Optional[HotMemBootParams]:
-        """Boot params for HOTMEM specs, ``None`` otherwise."""
-        if self.mode is not DeploymentMode.HOTMEM:
-            return None
-        return HotMemBootParams(
-            partition_bytes=self.partition_bytes,
-            concurrency=self.concurrency,
-            shared_bytes=self.shared_bytes,
-        )
+        """Boot params for HotMem-extension modes, ``None`` otherwise."""
+        return self.mode.hotmem_params_for(self)
 
     @property
     def boot_bytes(self) -> int:
@@ -307,8 +302,11 @@ class Fleet:
         self.arbiter.charge(
             admission.host_index, admission.node_id, admission.committed_bytes
         )
-        if spec.mode is DeploymentMode.OVERPROVISIONED:
-            vm.plug_all_at_boot()
+        # Swap in the mode's reclamation datapath and run its boot-time
+        # preparation (overprovisioned/FPR plug everything, balloon
+        # additionally inflates, the elastic virtio-mem modes do nothing).
+        vm.datapath = spec.mode.build_datapath(vm)
+        spec.mode.prepare_vm(vm)
         handle = VmHandle(
             spec=spec,
             vm=vm,
@@ -338,6 +336,9 @@ class Fleet:
     def _retire(self, handle: VmHandle) -> None:
         if not handle.vm._alive:
             return
+        # Let the mode stop datapath machinery (e.g. the FPR reporting
+        # loop) before the host account closes.
+        handle.spec.mode.on_shutdown(handle.vm)
         handle.vm.shutdown()
         self.arbiter.release(
             handle.host_index, handle.node_id, handle.admission.committed_bytes

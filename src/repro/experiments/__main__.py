@@ -10,6 +10,10 @@ Regenerate any table or figure of the paper from the shell::
 ``--paper-scale`` switches to the full-size configuration where one is
 defined (the defaults are scaled down to run in seconds).
 
+``--modes`` restricts mode-sweeping experiments (density, chaos) to a
+comma-separated list of registered deployment modes, e.g.
+``--modes hotmem,vanilla,balloon,dimm,fpr``.
+
 ``--sanitize`` attaches the memory-state sanitizer
 (:mod:`repro.analysis.sanitizer`) to every guest memory manager the
 experiments construct: the run aborts with a structured
@@ -46,7 +50,9 @@ __all__ = ["main", "EXPERIMENTS"]
 
 
 def _figure_runner(module, has_paper_scale: bool = True):
-    def run(paper_scale: bool) -> str:
+    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
+        import dataclasses
+
         config_cls = next(
             obj
             for name, obj in module.__dict__.items()
@@ -59,14 +65,22 @@ def _figure_runner(module, has_paper_scale: bool = True):
             if paper_scale and has_paper_scale
             else config_cls()
         )
+        if modes is not None:
+            field_names = {f.name for f in dataclasses.fields(config_cls)}
+            if "modes" not in field_names:
+                raise SystemExit(
+                    f"{module.__name__.rsplit('.', 1)[-1]} does not sweep "
+                    f"deployment modes (--modes not applicable)"
+                )
+            config = dataclasses.replace(config, modes=modes)
         return module.run(config).render()
 
     return run
 
 
 def _simple_runner(fn: Callable[[], object]):
-    def run(paper_scale: bool) -> str:
-        del paper_scale
+    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
+        del paper_scale, modes
         result = fn()
         return result.render() if hasattr(result, "render") else str(result)
 
@@ -74,8 +88,8 @@ def _simple_runner(fn: Callable[[], object]):
 
 
 def _ablation_runner():
-    def run(paper_scale: bool) -> str:
-        del paper_scale
+    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
+        del paper_scale, modes
         parts = [
             ablations.run_placement_ablation().render(),
             ablations.run_zeroing_ablation().render(),
@@ -89,8 +103,8 @@ def _ablation_runner():
 
 
 def _baselines_runner():
-    def run(paper_scale: bool) -> str:
-        del paper_scale
+    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
+        del paper_scale, modes
         relaxed = baselines_comparison.run().render()
         pressure = baselines_comparison.run(
             baselines_comparison.BaselinesConfig.pressure()
@@ -100,8 +114,8 @@ def _baselines_runner():
     return run
 
 
-#: name → (description, runner(paper_scale) -> str)
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+#: name → (description, runner(paper_scale, modes) -> str)
+EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
     "table1": (
         "Function resource limits",
         _simple_runner(lambda: table1.render()),
@@ -161,6 +175,9 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
     ),
 }
 
+#: Experiments whose config sweeps deployment modes (accept ``--modes``).
+MODE_SWEEPING = frozenset({"chaos", "density"})
+
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -175,6 +192,15 @@ def main(argv: Optional[list] = None) -> int:
         "--paper-scale",
         action="store_true",
         help="use the full-size configuration where one exists",
+    )
+    parser.add_argument(
+        "--modes",
+        type=str,
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registered deployment modes to sweep "
+        "(experiments with a mode sweep only), e.g. "
+        "hotmem,vanilla,overprovisioned,balloon,dimm,fpr",
     )
     parser.add_argument(
         "--sanitize",
@@ -192,6 +218,22 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    modes: Optional[Tuple[str, ...]] = None
+    if args.modes is not None:
+        from repro.modes import names as registered_names
+
+        modes = tuple(
+            name.strip() for name in args.modes.split(",") if name.strip()
+        )
+        unknown_modes = [n for n in modes if n not in registered_names()]
+        if not modes or unknown_modes:
+            print(
+                f"unknown mode(s): {', '.join(unknown_modes) or '(empty)'}; "
+                f"registered: {', '.join(registered_names())}",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.sanitize:
         from repro.analysis.sanitizer import SanitizerConfig, install
 
@@ -208,10 +250,16 @@ def main(argv: Optional[list] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use 'list' to see what is available", file=sys.stderr)
         return 2
+    if modes is not None and not any(n in MODE_SWEEPING for n in names):
+        print(
+            f"--modes only applies to: {', '.join(sorted(MODE_SWEEPING))}",
+            file=sys.stderr,
+        )
+        return 2
     for name in names:
         description, runner = EXPERIMENTS[name]
         started = time.time()  # lint: allow[no-wallclock] progress display only
-        output = runner(args.paper_scale)
+        output = runner(args.paper_scale, modes if name in MODE_SWEEPING else None)
         elapsed = time.time() - started  # lint: allow[no-wallclock] progress display only
         print(output)
         print(f"[{name}: {elapsed:.1f}s]")

@@ -20,16 +20,17 @@ seed, so two runs at the same seed produce bit-identical tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.experiments.serverless import (
     FunctionLoad,
     ServerlessScenario,
     run_scenario,
 )
-from repro.faas.policy import DeploymentMode
 from repro.faults.injector import FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.faults.sites import ALL_SITES
+from repro.modes import DeploymentBackend, resolve_modes
 from repro.metrics.latency import p99_ms
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
@@ -44,10 +45,8 @@ class ChaosConfig:
 
     #: Per-opportunity fire probability per site; 0.0 is the control.
     fault_rates: Tuple[float, ...] = (0.0, 0.05, 0.2)
-    modes: Tuple[DeploymentMode, ...] = (
-        DeploymentMode.VANILLA,
-        DeploymentMode.HOTMEM,
-    )
+    #: Swept modes (registry names or backend objects).
+    modes: Tuple[Union[str, DeploymentBackend], ...] = ("vanilla", "hotmem")
     function: str = "html"
     duration_s: int = 30
     keep_alive_s: int = 10
@@ -76,11 +75,19 @@ class ChaosConfig:
             recycle_interval_s=10,
         )
 
-    def plan(self, rate: float) -> "FaultPlan | None":
-        """The fault plan for one sweep cell (None at the control rate)."""
+    def plan(
+        self, rate: float, mode: Optional[DeploymentBackend] = None
+    ) -> "FaultPlan | None":
+        """The fault plan for one sweep cell (None at the control rate).
+
+        With a ``mode``, only that mode's applicable fault sites are
+        armed — the related-work baselines bypass the virtio-mem
+        device/driver, so injecting there would silently never fire.
+        """
         if rate <= 0.0:
             return None
-        return FaultPlan.uniform(rate, delay_ns=self.response_delay_ns)
+        sites = mode.fault_sites if mode is not None else ALL_SITES
+        return FaultPlan.uniform(rate, sites=sites, delay_ns=self.response_delay_ns)
 
     def resilience(self) -> ResiliencePolicy:
         """The recovery policy exercised by every faulted cell."""
@@ -176,7 +183,7 @@ class ChaosResult:
 def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     """Sweep fault rates for each deployment mode."""
     result = ChaosResult(config)
-    for mode in config.modes:
+    for mode in resolve_modes(config.modes):
         for rate in config.fault_rates:
             scenario = ServerlessScenario(
                 mode=mode,
@@ -186,7 +193,7 @@ def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
                 recycle_interval_s=config.recycle_interval_s,
                 seed=config.seed,
                 costs=config.costs,
-                faults=config.plan(rate),
+                faults=config.plan(rate, mode),
                 resilience=config.resilience() if rate > 0.0 else None,
             )
             run_result = run_scenario(scenario)

@@ -1,24 +1,26 @@
 """Shared harness for the trace-driven serverless experiments (Figs 8-10).
 
-Builds a VM + Agent + runtime for one of the three deployment modes of
-Section 5.5, replays Azure-shaped traces against it, and returns every
-artifact the figures need (records, tracer events, shrink events, CPU
-accounting).
+Builds a VM + Agent + runtime for any registered deployment mode (the
+three configurations of Section 5.5 or a related-work baseline from
+:mod:`repro.modes`), replays Azure-shaped traces against it, and returns
+every artifact the figures need (records, tracer events, shrink events,
+CPU accounting).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cluster.provision import Fleet, VmSpec
 from repro.faas.agent import FunctionDeployment, ShrinkEvent
-from repro.faas.policy import DeploymentMode, KeepAlivePolicy
+from repro.faas.policy import KeepAlivePolicy
 from repro.faas.records import InvocationRecord
 from repro.faas.runtime import FaasRuntime
 from repro.faults.injector import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.recovery import RecoveryEvent
+from repro.modes import DeploymentBackend, get_mode
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
 from repro.units import MEMORY_BLOCK_SIZE, SEC, bytes_to_blocks
@@ -83,14 +85,15 @@ class FunctionLoad:
 class ServerlessScenario:
     """One VM, one deployment mode, one or more trace-driven functions."""
 
-    mode: DeploymentMode
+    mode: Union[str, DeploymentBackend]
     loads: Tuple[FunctionLoad, ...]
     duration_s: int = 150
     keep_alive_s: int = 30
     recycle_interval_s: int = 10
     spare_slots: int = 0
     drain_s: int = 30
-    #: Sample ``device.plugged_bytes`` every N seconds (0 = off).
+    #: Sample the VM's elastic (datapath-held) bytes every N seconds
+    #: (0 = off).
     sample_plugged_s: int = 0
     vm_vcpus: int = 10
     virtio_irq_vcpu: int = 0
@@ -102,6 +105,10 @@ class ServerlessScenario:
     faults: Optional[FaultPlan] = None
     #: Recovery policy for driver + agent (None = inert defaults).
     resilience: Optional[ResiliencePolicy] = None
+
+    def __post_init__(self) -> None:
+        # Accept registry names ("balloon") as well as backend objects.
+        object.__setattr__(self, "mode", get_mode(self.mode))
 
     @property
     def partition_bytes(self) -> int:
@@ -235,15 +242,13 @@ def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
 
         sampler = PeriodicSampler(
             sim,
-            lambda: vm.device.plugged_bytes,
+            lambda: vm.elastic_bytes,
             period_ns=scenario.sample_plugged_s * SEC,
             name="plugged-bytes",
         )
         sampler.start(until_ns=horizon_ns)
     runtime.run(until_ns=horizon_ns)
     vm.check_consistency()
-    from repro.virtio.driver import VIRTIO_MEM_LABEL
-
     return ServerlessRun(
         scenario=scenario,
         records=list(runtime.records),
@@ -256,7 +261,7 @@ def run_scenario(scenario: ServerlessScenario) -> ServerlessRun:
             for load in scenario.loads
         },
         oom_failures=runtime.failure_count,
-        virtio_cpu_ns=vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL),
+        virtio_cpu_ns=scenario.mode.datapath_cpu_ns(vm),
         recovery_events=list(vm.recovery_log.events),
         injected_faults=vm.faults.count(),
         unresolved_faults=len(vm.faults.unresolved()),

@@ -43,6 +43,7 @@ from repro.faults.sites import (
     AGENT_SPAWN_OOM,
 )
 from repro.mm.pagecache import CachedFile
+from repro.modes import get_mode
 from repro.sim.engine import Event, Process, Simulator, Timeout
 from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, bytes_to_pages
 from repro.vmm.vm import VirtualMachine
@@ -126,10 +127,8 @@ class Agent:
         mode: DeploymentMode,
         resilience: Optional[ResiliencePolicy] = None,
     ):
-        if mode is DeploymentMode.HOTMEM and not vm.is_hotmem:
-            raise ConfigError("HOTMEM mode requires a HotMem VM")
-        if mode is not DeploymentMode.HOTMEM and vm.is_hotmem:
-            raise ConfigError(f"{mode} mode requires a vanilla VM")
+        mode = get_mode(mode)
+        mode.validate_vm(vm)
         self.sim = sim
         self.vm = vm
         self.policy = policy
@@ -357,7 +356,7 @@ class Agent:
         detect_ns: Optional[int] = None
         while True:
             effective_plugged = (
-                self.vm.device.plugged_bytes
+                self.vm.elastic_bytes
                 - self._pending_unplug_bytes
                 - self._unusable_plugged_bytes()
             )
@@ -531,7 +530,7 @@ class Agent:
                     # guard heals any overshoot on the next spawn.
                     pending_unplug = 0
             excess = (
-                self.vm.device.plugged_bytes
+                self.vm.elastic_bytes
                 - pending_unplug
                 - self._unusable_plugged_bytes()
                 - self.target_plugged_bytes()
@@ -624,7 +623,7 @@ class Agent:
         # grown (spawns reused the unreclaimed memory) or shrunk further
         # since the shortfall was queued — never unplug past the target.
         excess = (
-            self.vm.device.plugged_bytes
+            self.vm.elastic_bytes
             - self._pending_unplug_bytes
             - self._unusable_plugged_bytes()
             - self.target_plugged_bytes()

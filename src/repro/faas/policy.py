@@ -1,30 +1,19 @@
-"""Scaling policy knobs and the three evaluated deployment modes."""
+"""Scaling policy knobs plus the deployment-mode re-export.
+
+``DeploymentMode`` lives in :mod:`repro.modes` now (a thin alias over
+the string-keyed backend registry); it is re-exported here because the
+serverless layer is where most callers historically imported it from.
+"""
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.modes import DeploymentMode
 from repro.units import SEC
 
 __all__ = ["KeepAlivePolicy", "DeploymentMode"]
-
-
-class DeploymentMode(enum.Enum):
-    """The three configurations of Section 5.5 / Figure 9."""
-
-    #: HotMem-aware virtio-mem: partitions, fast unplug.
-    HOTMEM = "hotmem"
-    #: Stock virtio-mem: scatter allocation, migrating unplug.
-    VANILLA = "vanilla"
-    #: Statically over-provisioned VM: max memory at boot, never resized.
-    OVERPROVISIONED = "overprovisioned"
-
-    @property
-    def elastic(self) -> bool:
-        """Whether the runtime issues plug/unplug requests in this mode."""
-        return self is not DeploymentMode.OVERPROVISIONED
 
 
 @dataclass(frozen=True)

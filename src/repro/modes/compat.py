@@ -1,0 +1,54 @@
+"""``DeploymentMode``: a thin alias over the mode registry.
+
+The original 3-value enum survives as attribute access on this class —
+``DeploymentMode.HOTMEM`` is the registered ``hotmem`` singleton, so
+``.value``, ``.elastic``, iteration, hashing and ``DeploymentMode(
+"hotmem")`` lookups keep working, while every mode (including the
+related-work baselines and custom registrations) flows through the same
+objects.  Membership *branching* on these attributes is what the
+``no-mode-branching`` lint rule forbids outside this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.modes.base import DeploymentBackend
+from repro.modes.builtin import HOTMEM, OVERPROVISIONED, VANILLA
+from repro.modes.registry import get
+
+__all__ = ["DeploymentMode"]
+
+
+class _DeploymentModeMeta(type):
+    """Enum-flavoured class behaviour for the alias below."""
+
+    def __call__(cls, value: Union[str, DeploymentBackend]) -> DeploymentBackend:
+        """``DeploymentMode("hotmem")`` resolves through the registry."""
+        return get(value)
+
+    def __iter__(cls) -> Iterator[DeploymentBackend]:
+        """Iterate the three original modes, in enum definition order."""
+        return iter((HOTMEM, VANILLA, OVERPROVISIONED))
+
+    def __len__(cls) -> int:
+        return 3
+
+    def __getitem__(cls, key: str) -> DeploymentBackend:
+        """``DeploymentMode["HOTMEM"]`` member lookup, as with an enum."""
+        return {
+            "HOTMEM": HOTMEM,
+            "VANILLA": VANILLA,
+            "OVERPROVISIONED": OVERPROVISIONED,
+        }[key]
+
+    def __instancecheck__(cls, instance: object) -> bool:
+        return isinstance(instance, DeploymentBackend)
+
+
+class DeploymentMode(metaclass=_DeploymentModeMeta):
+    """The three configurations of Section 5.5, now registry-backed."""
+
+    HOTMEM = HOTMEM
+    VANILLA = VANILLA
+    OVERPROVISIONED = OVERPROVISIONED

@@ -25,6 +25,8 @@ from repro.mm.manager import GuestMemoryManager
 from repro.mm.mm_struct import MmStruct
 from repro.mm.oom import OomKiller
 from repro.mm.pagecache import PageCache
+from repro.modes.base import ReclaimDatapath
+from repro.modes.datapaths import VirtioMemDatapath
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.cpu import CpuCore
 from repro.sim.engine import Process, Simulator
@@ -149,6 +151,12 @@ class VirtualMachine:
                 hotmem_params.shared_bytes, self.hotmem.shared_partition.zone
             )
 
+        #: The reclamation datapath every resize request flows through.
+        #: virtio-mem by default; :meth:`repro.modes.base
+        #: .DeploymentBackend.build_datapath` swaps in the mechanism the
+        #: VM's deployment mode uses (balloon, DIMM hotplug, ...).
+        self.datapath: ReclaimDatapath = VirtioMemDatapath(self)
+
         self._alive = True
 
     # ------------------------------------------------------------------
@@ -170,19 +178,29 @@ class VirtualMachine:
         baseline-mechanism charges); 0 once the VM is shut down."""
         return self.node.charged_bytes if self._alive else 0
 
+    @property
+    def elastic_bytes(self) -> int:
+        """Reclaimable memory the datapath currently holds grown.
+
+        For virtio-mem this is the device's plugged bytes; balloon-mode
+        VMs subtract the inflated balloon, DIMM VMs count whole plugged
+        DIMMs.  The agent sizes plug/unplug requests from this figure.
+        """
+        return self.datapath.elastic_bytes
+
     # ------------------------------------------------------------------
     # Resizing (the hypervisor-facing interface the runtime drives)
     # ------------------------------------------------------------------
     def request_plug(self, size_bytes: int) -> Process:
         """Start a plug request; returns the process (value: PlugResult)."""
         return self.sim.spawn(
-            self.device.plug(size_bytes), name=f"{self.name}-plug"
+            self.datapath.plug(size_bytes), name=f"{self.name}-plug"
         )
 
     def request_unplug(self, size_bytes: int) -> Process:
         """Start an unplug request; returns the process (value: UnplugResult)."""
         return self.sim.spawn(
-            self.device.unplug(size_bytes), name=f"{self.name}-unplug"
+            self.datapath.unplug(size_bytes), name=f"{self.name}-unplug"
         )
 
     def request_resize(self, target_bytes: int) -> Optional[Process]:
@@ -201,7 +219,7 @@ class VirtualMachine:
                 f"resize target exceeds the device region "
                 f"({target} > {self.config.hotplug_region_bytes})"
             )
-        delta = target - self.device.plugged_bytes
+        delta = target - self.elastic_bytes
         if delta > 0:
             return self.request_plug(delta)
         if delta < 0:
@@ -245,9 +263,9 @@ class VirtualMachine:
         self._alive = False
 
     def check_consistency(self) -> None:
-        """Cross-check guest and device state (tests, debugging)."""
+        """Cross-check guest and datapath state (tests, debugging)."""
         self.manager.check_consistency()
-        self.device.check_consistency()
+        self.datapath.check_consistency()
 
     def __repr__(self) -> str:
         mode = "hotmem" if self.is_hotmem else "vanilla"

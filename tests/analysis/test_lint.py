@@ -185,6 +185,69 @@ class TestNoBareExcept:
         assert not findings(src, "repro.faas.foo", "no-bare-except")
 
 
+class TestNoModeBranching:
+    def test_identity_comparison_flagged(self):
+        src = "def f(mode):\n    return mode is DeploymentMode.HOTMEM\n"
+        errors = findings(src, "repro.faas.agent", "no-mode-branching")
+        assert len(errors) == 1
+        assert errors[0].line == 2
+        assert "DeploymentBackend hook" in errors[0].message
+
+    def test_equality_and_negations_flagged(self):
+        src = (
+            "def f(mode):\n"
+            "    a = mode == DeploymentMode.VANILLA\n"
+            "    b = mode != DeploymentMode.HOTMEM\n"
+            "    c = mode is not DeploymentMode.OVERPROVISIONED\n"
+            "    return a or b or c\n"
+        )
+        errors = findings(src, "repro.cluster.admission", "no-mode-branching")
+        assert [e.line for e in errors] == [2, 3, 4]
+
+    def test_membership_in_tuple_flagged(self):
+        src = (
+            "def f(mode):\n"
+            "    return mode in (DeploymentMode.HOTMEM, DeploymentMode.VANILLA)\n"
+        )
+        assert findings(src, "repro.experiments.density", "no-mode-branching")
+
+    def test_qualified_access_flagged(self):
+        src = (
+            "import repro.modes\n"
+            "def f(mode):\n"
+            "    return mode is repro.modes.DeploymentMode.HOTMEM\n"
+        )
+        assert findings(src, "repro.faas.policy", "no-mode-branching")
+
+    def test_attribute_access_without_comparison_unflagged(self):
+        # Reading members (iteration tuples, defaults) is fine; only
+        # branching on identity/equality/membership re-scatters the
+        # special-casing the registry centralises.
+        src = (
+            "MODES = (DeploymentMode.VANILLA, DeploymentMode.HOTMEM)\n"
+            "def f(spec):\n"
+            "    spec.mode = DeploymentMode.HOTMEM\n"
+        )
+        assert not findings(src, "repro.experiments.fig8", "no-mode-branching")
+
+    def test_modes_package_exempt(self):
+        src = "def f(mode):\n    return mode is DeploymentMode.HOTMEM\n"
+        assert not findings(src, "repro.modes.compat", "no-mode-branching")
+        assert not findings(src, "repro.modes", "no-mode-branching")
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "def f(mode):\n    return mode is DeploymentMode.HOTMEM\n"
+        assert not findings(src, "tools.lint", "no-mode-branching")
+
+    def test_allow_comment_silences(self):
+        src = (
+            "def f(mode):\n"
+            "    return mode is DeploymentMode.HOTMEM"
+            "  # lint: allow[no-mode-branching] compat shim\n"
+        )
+        assert not findings(src, "repro.faas.agent", "no-mode-branching")
+
+
 class TestSuppression:
     def test_allow_comment_silences_rule_on_line(self):
         src = "import time\nt = time.time()  # lint: allow[no-wallclock] display\n"
@@ -262,6 +325,7 @@ class TestDriversAndOutput:
             "mm-encapsulation",
             "module-all-required",
             "no-bare-except",
+            "no-mode-branching",
         }
         assert all(RULES.values())
 
