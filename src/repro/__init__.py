@@ -71,6 +71,20 @@ from repro.modes import (
     registered_modes,
     resolve_modes,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ObsContext,
+    ObsScope,
+    ObsSession,
+    Span,
+    TraceReport,
+    Tracer,
+    build_report,
+    export_session,
+    load_report,
+    read_trace,
+    traced,
+)
 from repro.sim import CostModel, CpuCore, Event, Process, Simulator, Timeout
 from repro.vmm import VirtualMachine, VmConfig
 from repro.workloads import (
@@ -134,6 +148,19 @@ __all__ = [
     "AzureTraceGenerator",
     "InvocationTrace",
     "bursty_trace",
+    # observability (spans, metrics, trace export + attribution)
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "ObsContext",
+    "ObsScope",
+    "ObsSession",
+    "traced",
+    "export_session",
+    "read_trace",
+    "TraceReport",
+    "build_report",
+    "load_report",
     # fault injection + recovery
     "FaultSpec",
     "FaultPlan",

@@ -52,6 +52,14 @@ enforces the conventions as hard rules:
     registry exists to hold in one place.  Ask the mode object, or add a
     hook to :class:`repro.modes.base.DeploymentBackend`.
 
+``no-print-in-src``
+    No ``print()`` calls under ``repro`` outside ``repro.experiments``
+    (the CLI layer owns its report output; standalone ``tools/`` scripts
+    are outside the package and unaffected).  Library code that wants to
+    surface something emits a span, event or metric through
+    :mod:`repro.obs` — observability that is structured, deterministic
+    and exportable instead of interleaved stdout noise.
+
 Suppression
 -----------
 Append ``# lint: allow[rule-name]`` (comma-separated names allowed, with
@@ -123,6 +131,10 @@ RULES: Dict[str, str] = {
     "no-mode-branching": (
         "never branch on DeploymentMode membership outside repro.modes; "
         "behaviour belongs on the registered backend object"
+    ),
+    "no-print-in-src": (
+        "library code never print()s; emit spans/metrics through "
+        "repro.obs (experiments and tools keep their report output)"
     ),
 }
 
@@ -461,6 +473,29 @@ def _rule_no_mode_branching(
             )
 
 
+def _rule_no_print_in_src(
+    tree: ast.AST, module: str, path: str
+) -> Iterator[LintError]:
+    if not _in_scope(module, ("repro",)) or _in_scope(
+        module, ("repro.experiments",)
+    ):
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield LintError(
+                path,
+                node.lineno,
+                node.col_offset,
+                "no-print-in-src",
+                "print() in library code; emit a span/event/metric through "
+                "repro.obs (or move the report to repro.experiments)",
+            )
+
+
 _RULE_FUNCTIONS = (
     _rule_no_direct_random,
     _rule_no_wallclock,
@@ -469,6 +504,7 @@ _RULE_FUNCTIONS = (
     _rule_module_all_required,
     _rule_no_bare_except,
     _rule_no_mode_branching,
+    _rule_no_print_in_src,
 )
 
 

@@ -45,6 +45,7 @@ from repro.faults.injector import FaultInjector, FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
 from repro.host.machine import HostMachine, NumaNode
 from repro.modes import DeploymentBackend, get_mode
+from repro.obs.session import context_for
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.vmm.config import VmConfig, default_boot_memory_bytes
@@ -238,6 +239,11 @@ class Fleet:
             else get_placement_policy(placement)
         )
         self.arbiter = DensityArbiter(self.hosts, arbitration)
+        #: The simulator's tracing context (inert unless a trace session
+        #: is installed) and the fleet-wide scope admission/routing
+        #: decisions are recorded through.
+        self._obs_context = context_for(sim)
+        self.obs = self._obs_context.scope()
         #: Every handle ever provisioned, in admission order.
         self.handles: List[VmHandle] = []
         self._names: Dict[str, VmHandle] = {}
@@ -262,17 +268,32 @@ class Fleet:
             fits_empty = any(
                 committed <= candidate.limit_bytes for candidate in candidates
             )
-            return AdmissionResult(
+            result = AdmissionResult(
                 admitted=False,
                 reason="saturated" if fits_empty else "oversized",
                 committed_bytes=committed,
             )
-        return AdmissionResult(
-            admitted=True,
-            host_index=choice.host_index,
-            node_id=choice.node_id,
-            committed_bytes=committed,
+        else:
+            result = AdmissionResult(
+                admitted=True,
+                host_index=choice.host_index,
+                node_id=choice.node_id,
+                committed_bytes=committed,
+            )
+        self.obs.event(
+            "cluster.admit",
+            vm=spec.name,
+            mode=spec.mode.name,
+            admitted=result.admitted,
+            reason=result.reason,
+            committed_bytes=result.committed_bytes,
         )
+        self.obs.inc(
+            "admissions_total",
+            mode=spec.mode.name,
+            admitted=result.admitted,
+        )
+        return result
 
     def try_provision(self, spec: VmSpec) -> Tuple[Optional[VmHandle], AdmissionResult]:
         """Provision if admission allows; always returns the decision."""
@@ -281,6 +302,11 @@ class Fleet:
         admission = self.admit(spec)
         if not admission.admitted:
             return None, admission
+        vm_obs = self._obs_context.scope(
+            vm=spec.name,
+            mode=spec.mode.name,
+            host=admission.host_index,
+        )
         vm = VirtualMachine(
             self.sim,
             self.hosts[admission.host_index],
@@ -298,7 +324,11 @@ class Fleet:
                 else None
             ),
             retry_policy=spec.retry,
+            obs=vm_obs,
         )
+        # Stamp the mode on the resize log even when untraced, so
+        # per-mode reports never see blank labels from fleet VMs.
+        vm.tracer.mode = spec.mode.name
         self.arbiter.charge(
             admission.host_index, admission.node_id, admission.committed_bytes
         )

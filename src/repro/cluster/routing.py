@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ClusterError, ConfigError
 from repro.faas.agent import Agent
 from repro.faas.records import InvocationRecord
+from repro.obs.session import context_for
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.workloads.traces import InvocationTrace
 
@@ -218,6 +219,9 @@ class TraceRouter:
             else get_routing_policy(policy)
         )
         self.max_queue_per_vm = max_queue_per_vm
+        #: Routing decisions are recorded through the simulator's tracing
+        #: context (inert unless a trace session is installed).
+        self.obs = context_for(sim).scope()
         self.slots: List[VmSlot] = []
         self._by_name: Dict[str, VmSlot] = {}
         self.records: List[InvocationRecord] = []
@@ -266,8 +270,22 @@ class TraceRouter:
         slot = self.policy.select(function_name, eligible)
         if slot is None:
             reason = "no-deployment" if not deployers else "saturated"
+            self.obs.event(
+                "cluster.route",
+                function=function_name,
+                decision="rejected",
+                reason=reason,
+            )
+            self.obs.inc("routes_total", decision="rejected")
             self._reject(function_name, arrival_ns, reason)
             return
+        self.obs.event(
+            "cluster.route",
+            function=function_name,
+            decision="placed",
+            vm=slot.name,
+        )
+        self.obs.inc("routes_total", decision="placed")
         slot.in_flight += 1
         self.sim.spawn(
             self._handle_one(slot, function_name, arrival_ns),

@@ -26,6 +26,7 @@ from repro.errors import NoFreePartition, PartitionError
 from repro.mm.fault import FaultHandler
 from repro.mm.manager import GuestMemoryManager
 from repro.mm.mm_struct import MmStruct
+from repro.obs.context import NO_SCOPE, ObsScope
 from repro.sim.engine import Event, Simulator
 
 __all__ = ["HotMemManager"]
@@ -39,10 +40,14 @@ class HotMemManager:
         sim: Simulator,
         manager: GuestMemoryManager,
         params: HotMemBootParams,
+        obs: Optional[ObsScope] = None,
     ):
         self.sim = sim
         self.manager = manager
         self.params = params
+        #: Tracing scope: partition assign/recycle decisions emit instant
+        #: events here (inert :data:`NO_SCOPE` unless ``--trace`` is on).
+        self.obs = obs if obs is not None else NO_SCOPE
         #: Private partitions, id 0..N-1 (the boot-time partition table).
         self.partitions: List[HotMemPartition] = [
             HotMemPartition(i, params.partition_blocks)
@@ -117,6 +122,10 @@ class HotMemManager:
             )
         partition = free[0]
         partition.assign(mm)
+        self.obs.event(
+            "partition.assign", partition=partition.partition_id, owner=mm.owner_id
+        )
+        self.obs.inc("partition_assigns_total")
         return partition
 
     def attach(self, mm: MmStruct):
@@ -155,6 +164,12 @@ class HotMemManager:
         charge = fault_handler.release_address_space(mm)
         released = partition.drop_user(mm)
         if released:
+            self.obs.event(
+                "partition.recycle",
+                partition=partition.partition_id,
+                owner=mm.owner_id,
+            )
+            self.obs.inc("partition_recycles_total")
             self._kick_waitqueue()
         return charge
 

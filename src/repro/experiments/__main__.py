@@ -19,6 +19,15 @@ comma-separated list of registered deployment modes, e.g.
 experiments construct: the run aborts with a structured
 :class:`~repro.analysis.invariants.InvariantViolation` report the moment
 any mm invariant breaks, instead of quietly producing wrong figures.
+
+``--trace`` installs the tracing session (:mod:`repro.obs`): every
+simulator the experiments build gets causal spans across the whole
+hotplug datapath plus a labeled metrics registry, exported after the run
+as deterministic JSONL (``--trace-file``, default ``trace.jsonl``).
+Analyze the export with::
+
+    python -m repro.experiments fig5 --trace
+    python -m repro.experiments trace-report
 """
 
 from __future__ import annotations
@@ -216,6 +225,21 @@ def main(argv: Optional[list] = None) -> int:
         help="periodic sanitizer sweep interval in mm mutations "
         "(default 256; 0 disables periodic sweeps)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="install the tracing session: causal spans + labeled "
+        "metrics across the hotplug datapath, exported as "
+        "deterministic JSONL after the run",
+    )
+    parser.add_argument(
+        "--trace-file",
+        type=str,
+        default="trace.jsonl",
+        metavar="PATH",
+        help="where --trace writes its export, and what trace-report "
+        "reads (default trace.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     modes: Optional[Tuple[str, ...]] = None
@@ -242,7 +266,28 @@ def main(argv: Optional[list] = None) -> int:
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:12} {description}")
+        print("trace-report per-mode unplug phase attribution from a --trace export")
         return 0
+
+    if args.experiment == "trace-report":
+        from repro.obs import load_report
+
+        try:
+            report = load_report(args.trace_file)
+        except FileNotFoundError:
+            print(
+                f"no trace export at {args.trace_file!r}; run an "
+                f"experiment with --trace first",
+                file=sys.stderr,
+            )
+            return 2
+        print(report.render())
+        return 0
+
+    if args.trace:
+        from repro.obs import install as install_tracing
+
+        install_tracing()
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -274,6 +319,15 @@ def main(argv: Optional[list] = None) -> int:
             f"manager(s), no violations]"
         )
         uninstall()
+    if args.trace:
+        from repro.obs import current_session, export_session
+        from repro.obs import uninstall as uninstall_tracing
+
+        session = current_session()
+        if session is not None:
+            session.finalize()
+            print(export_session(session, args.trace_file).render())
+        uninstall_tracing()
     return 0
 
 

@@ -44,6 +44,7 @@ from repro.faults.sites import (
 )
 from repro.mm.pagecache import CachedFile
 from repro.modes import get_mode
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.sim.engine import Event, Process, Simulator, Timeout
 from repro.units import MEMORY_BLOCK_SIZE, bytes_to_blocks, bytes_to_pages
 from repro.vmm.vm import VirtualMachine
@@ -98,6 +99,10 @@ class _DeferredReclaim:
     size_bytes: int
     attempt: int
     queued_ns: int
+    #: The originating ``agent.unplug`` span: every deferred retry
+    #: parents on it, so a shortfall's whole retry chain shares the
+    #: original request's trace id (inert when tracing is off).
+    parent: SpanLike = NULL_SPAN
 
 
 @dataclass
@@ -136,6 +141,10 @@ class Agent:
         self.resilience = resilience if resilience is not None else NO_RESILIENCE
         self.faults = vm.faults
         self.recovery = vm.recovery_log
+        #: The VM's tracing scope (inert unless ``--trace`` is on): the
+        #: agent opens the root ``faas.invoke`` span every datapath span
+        #: of a request descends from.
+        self.obs = vm.obs
         self.functions: Dict[str, _FunctionState] = {}
         for deployment in deployments:
             spec = deployment.spec
@@ -215,6 +224,9 @@ class Agent:
         handed directly to the oldest waiter.
         """
         state = self._state(function_name)
+        span = self.obs.span(
+            "faas.invoke", function=function_name, arrival_ns=arrival_ns
+        )
         container: Optional[Container] = None
         cold = False
         while container is None:
@@ -227,7 +239,7 @@ class Agent:
                 state.live += 1
                 cold = True
                 try:
-                    container = yield from self._spawn(state)
+                    container = yield from self._spawn(state, parent=span)
                 except (OutOfMemory, SpawnFailed) as exc:
                     state.live -= 1
                     if isinstance(exc, OutOfMemory):
@@ -238,14 +250,17 @@ class Agent:
                         error = "spawn-failed"
                     self._kick_one_waiter(state)
                     now = self.sim.now
-                    return InvocationRecord(
-                        function=function_name,
-                        arrival_ns=arrival_ns,
-                        start_ns=now,
-                        end_ns=now,
-                        cold=True,
-                        ok=False,
-                        error=error,
+                    return self._finish_invoke(
+                        span,
+                        InvocationRecord(
+                            function=function_name,
+                            arrival_ns=arrival_ns,
+                            start_ns=now,
+                            end_ns=now,
+                            cold=True,
+                            ok=False,
+                            error=error,
+                        ),
                     )
             else:
                 gate = self.sim.event()
@@ -261,24 +276,42 @@ class Agent:
             state.oom_failures += 1
             container.destroy_after_oom()
             self._kick_one_waiter(state)
-            return InvocationRecord(
+            return self._finish_invoke(
+                span,
+                InvocationRecord(
+                    function=function_name,
+                    arrival_ns=arrival_ns,
+                    start_ns=start_ns,
+                    end_ns=self.sim.now,
+                    cold=cold,
+                    ok=False,
+                    error="oom",
+                ),
+            )
+        self._release(state, container)
+        return self._finish_invoke(
+            span,
+            InvocationRecord(
                 function=function_name,
                 arrival_ns=arrival_ns,
                 start_ns=start_ns,
                 end_ns=self.sim.now,
                 cold=cold,
-                ok=False,
-                error="oom",
-            )
-        self._release(state, container)
-        return InvocationRecord(
-            function=function_name,
-            arrival_ns=arrival_ns,
-            start_ns=start_ns,
-            end_ns=self.sim.now,
-            cold=cold,
-            ok=True,
+                ok=True,
+            ),
         )
+
+    def _finish_invoke(
+        self, span: SpanLike, record: InvocationRecord
+    ) -> InvocationRecord:
+        """Close the invocation's root span and count the outcome."""
+        span.close(ok=record.ok, cold=record.cold, error=record.error)
+        self.obs.inc(
+            "invocations_total",
+            function=record.function,
+            error=record.error or "ok",
+        )
+        return record
 
     def _state(self, function_name: str) -> _FunctionState:
         try:
@@ -302,43 +335,54 @@ class Agent:
     # ------------------------------------------------------------------
     # Scale up (Figure 4, right)
     # ------------------------------------------------------------------
-    def _spawn(self, state: _FunctionState):
+    def _spawn(self, state: _FunctionState, parent: SpanLike = NULL_SPAN):
         deployment = state.deployment
         state.cold_starts += 1
-        fault = self.faults.fire(AGENT_SPAWN_OOM, function=deployment.spec.name)
-        if fault is not None:
-            # Injected allocation failure during elastic scale-up: fail
-            # fast exactly like a guest OOM; the request is re-queued by
-            # the caller's OOM handling.
-            self._resolve_and_record(fault, "oom-failfast")
-            raise OutOfMemory(
-                f"injected OOM during scale-up of {deployment.spec.name}"
+        span = self.obs.span(
+            "faas.spawn", parent=parent, function=deployment.spec.name
+        )
+        self.obs.inc("cold_starts_total", function=deployment.spec.name)
+        try:
+            fault = self.faults.fire(
+                AGENT_SPAWN_OOM, parent=span, function=deployment.spec.name
             )
-        fault = self.faults.fire(AGENT_SPAWN_FAIL, function=deployment.spec.name)
-        if fault is not None:
-            self._resolve_and_record(fault, "invocation-failed")
-            raise SpawnFailed(
-                f"injected spawn failure for {deployment.spec.name}"
-            )
-        # Step 2: the runtime asks the hypervisor to plug memory matching
-        # the instance's limit (elastic modes only).
-        if self.elastic:
-            yield from self._plug_for_spawn()
-        if self.degraded and self.vm.is_hotmem:
-            # Static fallback: serve only from already populated
-            # partitions — parking on the attach waitqueue would hang
-            # forever with nobody plugging memory to wake it.
-            if not self.vm.hotmem.populated_unassigned():
-                raise SpawnFailed(
-                    "degraded to static mode and no populated partition free"
+            if fault is not None:
+                # Injected allocation failure during elastic scale-up: fail
+                # fast exactly like a guest OOM; the request is re-queued by
+                # the caller's OOM handling.
+                self._resolve_and_record(fault, "oom-failfast", parent=span)
+                raise OutOfMemory(
+                    f"injected OOM during scale-up of {deployment.spec.name}"
                 )
-        # Step 4: spawn the container (HotMem attach happens inside).
-        vcpu = self._next_vcpu(state)
-        container = Container(self.vm, deployment.spec, state.deps_file, vcpu)
-        yield from container.cold_start()
-        return container
+            fault = self.faults.fire(
+                AGENT_SPAWN_FAIL, parent=span, function=deployment.spec.name
+            )
+            if fault is not None:
+                self._resolve_and_record(fault, "invocation-failed", parent=span)
+                raise SpawnFailed(
+                    f"injected spawn failure for {deployment.spec.name}"
+                )
+            # Step 2: the runtime asks the hypervisor to plug memory matching
+            # the instance's limit (elastic modes only).
+            if self.elastic:
+                yield from self._plug_for_spawn(parent=span)
+            if self.degraded and self.vm.is_hotmem:
+                # Static fallback: serve only from already populated
+                # partitions — parking on the attach waitqueue would hang
+                # forever with nobody plugging memory to wake it.
+                if not self.vm.hotmem.populated_unassigned():
+                    raise SpawnFailed(
+                        "degraded to static mode and no populated partition free"
+                    )
+            # Step 4: spawn the container (HotMem attach happens inside).
+            vcpu = self._next_vcpu(state)
+            container = Container(self.vm, deployment.spec, state.deps_file, vcpu)
+            yield from container.cold_start()
+            return container
+        finally:
+            span.close()
 
-    def _plug_for_spawn(self):
+    def _plug_for_spawn(self, parent: SpanLike = NULL_SPAN):
         """Process generator: grow the VM to cover the new instance.
 
         The deficit guard avoids over-plugging when earlier unplugs were
@@ -354,66 +398,72 @@ class Agent:
         attempt = 0
         pending: List[InjectedFault] = []
         detect_ns: Optional[int] = None
-        while True:
-            effective_plugged = (
-                self.vm.elastic_bytes
-                - self._pending_unplug_bytes
-                - self._unusable_plugged_bytes()
-            )
-            deficit = (
-                self.target_plugged_bytes()
-                - effective_plugged
-                - self._pending_plug_bytes
-            )
-            request = max(0, deficit)
-            if request == 0:
-                break
-            attempt += 1
-            self._pending_plug_bytes += request
-            plug_process = self.vm.request_plug(request)
-            yield plug_process
-            self._pending_plug_bytes -= request
-            result = plug_process.value
-            if result.fault is not None:
-                pending.append(result.fault)
-            if not result.error:
-                # Success (or a natural partial the device never reports
-                # today): same single-shot behaviour as before faults.
-                break
-            if detect_ns is None:
-                detect_ns = self.sim.now
-            if result.plugged_bytes == 0:
-                self._consecutive_plug_failures += 1
-                if self._plug_failing_since is None:
-                    self._plug_failing_since = self.sim.now
-                self._maybe_degrade()
-            else:
+        span = self.obs.span("agent.plug", parent=parent)
+        try:
+            while True:
+                effective_plugged = (
+                    self.vm.elastic_bytes
+                    - self._pending_unplug_bytes
+                    - self._unusable_plugged_bytes()
+                )
+                deficit = (
+                    self.target_plugged_bytes()
+                    - effective_plugged
+                    - self._pending_plug_bytes
+                )
+                request = max(0, deficit)
+                if request == 0:
+                    break
+                attempt += 1
+                self._pending_plug_bytes += request
+                plug_process = self.vm.request_plug(request, parent=span)
+                yield plug_process
+                self._pending_plug_bytes -= request
+                result = plug_process.value
+                if result.fault is not None:
+                    pending.append(result.fault)
+                if not result.error:
+                    # Success (or a natural partial the device never reports
+                    # today): same single-shot behaviour as before faults.
+                    break
+                if detect_ns is None:
+                    detect_ns = self.sim.now
+                if result.plugged_bytes == 0:
+                    self._consecutive_plug_failures += 1
+                    if self._plug_failing_since is None:
+                        self._plug_failing_since = self.sim.now
+                    self._maybe_degrade()
+                else:
+                    self._consecutive_plug_failures = 0
+                    self._plug_failing_since = None
+                if self.degraded or attempt > policy.plug_retries:
+                    path = "static-fallback" if self.degraded else "plug-shortfall"
+                    self._resolve_all(pending, path, attempt)
+                    self.recovery.record(
+                        site="agent.plug",
+                        path=path,
+                        detect_ns=detect_ns,
+                        resolve_ns=self.sim.now,
+                        attempts=attempt,
+                        parent=span,
+                    )
+                    return None
+                yield Timeout(policy.plug_backoff_ns)
+            if pending or attempt > 1:
                 self._consecutive_plug_failures = 0
                 self._plug_failing_since = None
-            if self.degraded or attempt > policy.plug_retries:
-                path = "static-fallback" if self.degraded else "plug-shortfall"
-                self._resolve_all(pending, path, attempt)
+                self._resolve_all(pending, "retried", attempt)
                 self.recovery.record(
                     site="agent.plug",
-                    path=path,
-                    detect_ns=detect_ns,
+                    path="retried",
+                    detect_ns=self.sim.now if detect_ns is None else detect_ns,
                     resolve_ns=self.sim.now,
-                    attempts=attempt,
+                    attempts=max(1, attempt),
+                    parent=span,
                 )
-                return None
-            yield Timeout(policy.plug_backoff_ns)
-        if pending or attempt > 1:
-            self._consecutive_plug_failures = 0
-            self._plug_failing_since = None
-            self._resolve_all(pending, "retried", attempt)
-            self.recovery.record(
-                site="agent.plug",
-                path="retried",
-                detect_ns=self.sim.now if detect_ns is None else detect_ns,
-                resolve_ns=self.sim.now,
-                attempts=max(1, attempt),
-            )
-        return None
+            return None
+        finally:
+            span.close(attempts=attempt)
 
     def _maybe_degrade(self) -> None:
         """Fall back to static mode when the backend stays unavailable."""
@@ -501,6 +551,8 @@ class Agent:
         )
         now = self.sim.now
         evicted = 0
+        unplug_bytes = 0
+        span = self.obs.span("agent.recycle", pressure=min_idle_ns is not None)
         victims: List[Tuple[_FunctionState, Container]] = []
         # Partition idle pools atomically (no yields) so concurrent request
         # handling never races with the eviction below.
@@ -510,48 +562,55 @@ class Agent:
             ]
             state.idle = [c for c in state.idle if c not in expired]
             victims.extend((state, c) for c in expired)
-        for state, container in victims:
-            yield from container.teardown()
-            state.live -= 1
-            evicted += 1
-        unplug_bytes = 0
-        if evicted and self.elastic:
-            spare_bytes = self._spare_bytes()
-            pending_unplug = self._pending_unplug_bytes
-            race: Optional[InjectedFault] = None
-            if pending_unplug > 0:
-                race = self.faults.fire(
-                    AGENT_RECYCLE_RACE, pending_unplug_bytes=pending_unplug
+        try:
+            for state, container in victims:
+                yield from container.teardown()
+                state.live -= 1
+                evicted += 1
+            if evicted and self.elastic:
+                spare_bytes = self._spare_bytes()
+                pending_unplug = self._pending_unplug_bytes
+                race: Optional[InjectedFault] = None
+                if pending_unplug > 0:
+                    race = self.faults.fire(
+                        AGENT_RECYCLE_RACE,
+                        parent=span,
+                        pending_unplug_bytes=pending_unplug,
+                    )
+                    if race is not None:
+                        # The racing recycler misses the in-flight unplug and
+                        # over-requests; the device serializes requests and
+                        # clamps to what is actually plugged, and the deficit
+                        # guard heals any overshoot on the next spawn.
+                        pending_unplug = 0
+                excess = (
+                    self.vm.elastic_bytes
+                    - pending_unplug
+                    - self._unusable_plugged_bytes()
+                    - self.target_plugged_bytes()
+                    - spare_bytes
                 )
                 if race is not None:
-                    # The racing recycler misses the in-flight unplug and
-                    # over-requests; the device serializes requests and
-                    # clamps to what is actually plugged, and the deficit
-                    # guard heals any overshoot on the next spawn.
-                    pending_unplug = 0
-            excess = (
-                self.vm.elastic_bytes
-                - pending_unplug
-                - self._unusable_plugged_bytes()
-                - self.target_plugged_bytes()
-                - spare_bytes
-            )
-            if race is not None:
-                self._resolve_and_record(race, "serialized")
-            if excess > 0:
-                unplug_bytes = excess
-                # Fire-and-forget: reclamation proceeds in the background
-                # while the agent keeps serving requests.
-                self.sim.spawn(
-                    self._unplug_async(excess), name=f"{self.vm.name}-shrink"
+                    self._resolve_and_record(race, "serialized", parent=span)
+                if excess > 0:
+                    unplug_bytes = excess
+                    # Fire-and-forget: reclamation proceeds in the background
+                    # while the agent keeps serving requests.
+                    self.sim.spawn(
+                        self._unplug_async(excess, parent=span),
+                        name=f"{self.vm.name}-shrink",
+                    )
+            if evicted:
+                self.shrink_events.append(
+                    ShrinkEvent(
+                        time_ns=now,
+                        evicted=evicted,
+                        unplug_requested_bytes=unplug_bytes,
+                    )
                 )
-        if evicted:
-            self.shrink_events.append(
-                ShrinkEvent(
-                    time_ns=now, evicted=evicted, unplug_requested_bytes=unplug_bytes
-                )
-            )
-        return evicted
+            return evicted
+        finally:
+            span.close(evicted=evicted, unplug_requested_bytes=unplug_bytes)
 
     def _spare_bytes(self) -> int:
         return self.policy.spare_slots * max(
@@ -559,7 +618,12 @@ class Agent:
             for state in self.functions.values()
         )
 
-    def _unplug_async(self, size_bytes: int, deferred_attempt: int = 0):
+    def _unplug_async(
+        self,
+        size_bytes: int,
+        deferred_attempt: int = 0,
+        parent: SpanLike = NULL_SPAN,
+    ):
         """Issue one unplug and track it until the device completes it.
 
         A shortfall (partial unplug) is re-queued through the deferred-
@@ -567,18 +631,25 @@ class Agent:
         (with a ``dropped`` recovery record) once the attempt cap is hit.
         """
         start = self.sim.now
+        span = self.obs.span(
+            "agent.unplug",
+            parent=parent,
+            requested_bytes=size_bytes,
+            deferred_attempt=deferred_attempt,
+        )
         self._pending_unplug_bytes += size_bytes
         try:
-            unplug = self.vm.request_unplug(size_bytes)
+            unplug = self.vm.request_unplug(size_bytes, parent=span)
             yield unplug
         finally:
             self._pending_unplug_bytes -= size_bytes
         result = unplug.value
         shortfall = result.requested_bytes - result.unplugged_bytes
+        span.close(shortfall_bytes=shortfall)
         policy = self.resilience
         if shortfall > 0 and policy.deferred_attempts > 0:
             if deferred_attempt < policy.deferred_attempts:
-                self._defer_reclaim(shortfall, deferred_attempt + 1)
+                self._defer_reclaim(shortfall, deferred_attempt + 1, parent=span)
             else:
                 self.recovery.record(
                     site="agent.reclaim",
@@ -586,6 +657,7 @@ class Agent:
                     detect_ns=start,
                     resolve_ns=self.sim.now,
                     attempts=deferred_attempt,
+                    parent=span,
                 )
         elif deferred_attempt > 0 and shortfall == 0:
             self.recovery.record(
@@ -594,12 +666,18 @@ class Agent:
                 detect_ns=start,
                 resolve_ns=self.sim.now,
                 attempts=deferred_attempt,
+                parent=span,
             )
         return result
 
-    def _defer_reclaim(self, size_bytes: int, attempt: int) -> None:
+    def _defer_reclaim(
+        self, size_bytes: int, attempt: int, parent: SpanLike = NULL_SPAN
+    ) -> None:
         entry = _DeferredReclaim(
-            size_bytes=size_bytes, attempt=attempt, queued_ns=self.sim.now
+            size_bytes=size_bytes,
+            attempt=attempt,
+            queued_ns=self.sim.now,
+            parent=parent,
         )
         self._deferred.append(entry)
         self.recovery.record(
@@ -608,6 +686,7 @@ class Agent:
             detect_ns=entry.queued_ns,
             resolve_ns=entry.queued_ns,
             attempts=attempt,
+            parent=parent,
         )
         self.sim.spawn(
             self._deferred_retry(entry), name=f"{self.vm.name}-deferred-reclaim"
@@ -638,16 +717,23 @@ class Agent:
                 detect_ns=entry.queued_ns,
                 resolve_ns=self.sim.now,
                 attempts=entry.attempt,
+                parent=entry.parent,
             )
             return None
-        yield from self._unplug_async(request, deferred_attempt=entry.attempt)
+        yield from self._unplug_async(
+            request, deferred_attempt=entry.attempt, parent=entry.parent
+        )
         return None
 
     # ------------------------------------------------------------------
     # Fault accounting helpers
     # ------------------------------------------------------------------
     def _resolve_and_record(
-        self, fault: InjectedFault, path: str, attempts: int = 1
+        self,
+        fault: InjectedFault,
+        path: str,
+        attempts: int = 1,
+        parent: SpanLike = NULL_SPAN,
     ) -> None:
         self.faults.resolve(fault, path, attempts=attempts)
         self.recovery.record(
@@ -656,6 +742,7 @@ class Agent:
             detect_ns=fault.time_ns,
             resolve_ns=self.sim.now,
             attempts=attempts,
+            parent=parent,
         )
 
     def _resolve_all(

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.faults.sites import ALL_SITES
+from repro.obs.context import NO_SCOPE, ObsScope
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.sim.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -123,6 +125,9 @@ class InjectedFault:
     resolution: Optional[str] = None
     resolved_ns: Optional[int] = None
     attempts: int = 0
+    #: The ``fault`` span opened at fire time when tracing is enabled
+    #: (closed at resolution); ``None`` on untraced runs.
+    span: Optional[object] = field(default=None, repr=False, compare=False)
 
 
 class FaultInjector:
@@ -146,6 +151,7 @@ class FaultInjector:
         self._fired: Dict[str, int] = {}
         #: Every fault fired so far, in firing order.
         self.injected: List[InjectedFault] = []
+        self.obs: ObsScope = NO_SCOPE
 
     # ------------------------------------------------------------------
     # Wiring
@@ -165,19 +171,32 @@ class FaultInjector:
         if self._specs and self.sim is None:
             self.sim = sim
 
+    def bind_obs(self, obs: ObsScope) -> None:
+        """Late-bind the tracing scope faults report through.
+
+        Mirrors :meth:`bind_sim`: a no-op on disabled injectors (the
+        shared :data:`NO_FAULTS` singleton never traces) and on
+        injectors already bound.
+        """
+        if self._specs and self.obs is NO_SCOPE:
+            self.obs = obs
+
     def _now(self) -> int:
         return self.sim.now if self.sim is not None else 0
 
     # ------------------------------------------------------------------
     # Injection
     # ------------------------------------------------------------------
-    def fire(self, site: str, **context) -> Optional[InjectedFault]:
+    def fire(
+        self, site: str, parent: SpanLike = NULL_SPAN, **context
+    ) -> Optional[InjectedFault]:
         """One injection opportunity at ``site``.
 
         Returns the logged :class:`InjectedFault` when the site fires
         (the caller must eventually :meth:`resolve` it), ``None``
         otherwise.  Disabled sites return ``None`` without drawing any
-        randomness.
+        randomness.  ``parent`` links the fault's span (fire → resolve)
+        into the trace of the operation that tripped it.
         """
         spec = self._specs.get(site)
         if spec is None:
@@ -194,6 +213,11 @@ class FaultInjector:
         )
         self._fired[site] = self._fired.get(site, 0) + 1
         self.injected.append(fault)
+        if self.obs.enabled:
+            fault.span = self.obs.span(
+                "fault", parent=parent, site=site, **context
+            )
+            self.obs.inc("faults_fired_total", site=site)
         return fault
 
     def delay_ns(self, site: str) -> int:
@@ -211,6 +235,11 @@ class FaultInjector:
         fault.resolution = resolution
         fault.attempts = attempts
         fault.resolved_ns = self._now()
+        if fault.span is not None:
+            fault.span.close(resolution=resolution, attempts=attempts)
+        self.obs.inc(
+            "faults_resolved_total", site=fault.site, resolution=resolution
+        )
 
     def unresolved(self) -> List[InjectedFault]:
         """Fired faults no recovery path has claimed yet."""

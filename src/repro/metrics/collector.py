@@ -57,6 +57,16 @@ class TimeSeries:
             return 0.0
         return self.samples[-1][1] - self.samples[0][1]
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sampled values (0 <= q <= 100)."""
+        if not self.samples:
+            raise ValueError(f"{self.name}: empty series")
+        # Imported here: repro.metrics.latency sits alongside but pulls
+        # in nothing extra; keeps this module dependency-free at import.
+        from repro.metrics.latency import percentile
+
+        return percentile(self.values(), q)
+
 
 class PeriodicSampler:
     """Samples a callable into a :class:`TimeSeries` on a fixed period."""
@@ -165,6 +175,13 @@ class FleetCollector:
         ]
         if not parts:
             raise ValueError(f"no series for host {host_index}")
+        lengths = {len(p) for p in parts}
+        if len(lengths) > 1:
+            detail = ", ".join(f"{p.name}={len(p)}" for p in parts)
+            raise ValueError(
+                f"host {host_index}: misaligned per-node series — a "
+                f"pointwise sum needs equal lengths, got {detail}"
+            )
         rolled = TimeSeries(f"{parts[0].name.split('-')[0]}-h{host_index}")
         for i, (time_ns, _) in enumerate(parts[0].samples):
             rolled.record(time_ns, sum(p.samples[i][1] for p in parts))

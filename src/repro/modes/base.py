@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from repro.core.config import HotMemBootParams
 from repro.errors import ConfigError
 from repro.faults.sites import AGENT_SITES
+from repro.obs.span import NULL_SPAN, SpanLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.cluster.provision import VmSpec
@@ -62,11 +63,17 @@ class ReclaimDatapath:
         """
         raise NotImplementedError
 
-    def plug(self, size_bytes: int):
-        """Process generator growing the VM; returns a ``PlugResult``."""
+    def plug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        """Process generator growing the VM; returns a ``PlugResult``.
+
+        ``parent`` is the caller's span (e.g. the agent's ``agent.plug``)
+        so the mechanism's ``device.plug`` span joins the caller's trace
+        when tracing is enabled; implementations must accept and forward
+        it even when they ignore tracing.
+        """
         raise NotImplementedError
 
-    def unplug(self, size_bytes: int):
+    def unplug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
         """Process generator shrinking the VM; returns an ``UnplugResult``."""
         raise NotImplementedError
 

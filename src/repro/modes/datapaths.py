@@ -28,6 +28,7 @@ from repro.baselines.fpr import FreePageReporting
 from repro.errors import HotplugError
 from repro.mm.block import BlockState
 from repro.modes.base import ReclaimDatapath
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.units import (
     PAGE_SIZE,
     format_bytes,
@@ -46,6 +47,66 @@ __all__ = [
 ]
 
 
+def _finish_plug_span(
+    vm: "VirtualMachine",
+    span: SpanLike,
+    start: int,
+    end: int,
+    requested: int,
+    completed: int,
+    error: str,
+) -> None:
+    """Close a mechanism ``device.plug`` span and emit event + metrics.
+
+    Mirrors ``VirtioMemDevice._trace_plug`` for datapaths that bypass the
+    virtio-mem device (balloon, DIMM): untraced runs append the
+    :class:`~repro.vmm.tracing.ResizeEvent` directly, traced runs let the
+    tracer's span consumer rebuild it — either way the VM's resize log is
+    populated (it used to stay silently empty for these mechanisms).
+    """
+    span.set(completed_bytes=completed, error=error)
+    if not vm.obs.enabled:
+        vm.tracer.record_plug(start, end, requested, completed)
+    span.close(end_ns=end)
+    vm.obs.inc("plug_requests_total", error=error or "ok")
+    if completed:
+        vm.obs.inc("plugged_bytes_total", completed)
+    vm.obs.observe("plug_latency_ns", end - start)
+
+
+def _finish_unplug_span(
+    vm: "VirtualMachine",
+    span: SpanLike,
+    start: int,
+    end: int,
+    requested: int,
+    completed: int,
+    migrated_pages: int,
+) -> None:
+    """Close a mechanism ``device.unplug`` span and emit event + metrics.
+
+    Zero-completed unplugs (a balloon with nothing free to inflate over,
+    a sub-DIMM request) are recorded like any other: their latency
+    charges the tracer's busy-time denominator while adding no bytes.
+    """
+    span.set(completed_bytes=completed, migrated_pages=migrated_pages)
+    if not vm.obs.enabled:
+        vm.tracer.record_unplug(start, end, requested, completed, migrated_pages)
+    span.close(end_ns=end)
+    if completed == requested:
+        outcome = "full"
+    elif completed:
+        outcome = "partial"
+    else:
+        outcome = "none"
+    vm.obs.inc("unplug_requests_total", outcome=outcome)
+    if completed:
+        vm.obs.inc("unplugged_bytes_total", completed)
+    if migrated_pages:
+        vm.obs.inc("migrated_pages_total", migrated_pages)
+    vm.obs.observe("unplug_latency_ns", end - start)
+
+
 class VirtioMemDatapath(ReclaimDatapath):
     """The default datapath: the VM's own virtio-mem device.
 
@@ -62,11 +123,11 @@ class VirtioMemDatapath(ReclaimDatapath):
     def elastic_bytes(self) -> int:
         return self.vm.device.plugged_bytes
 
-    def plug(self, size_bytes: int):
-        return self.vm.device.plug(size_bytes)
+    def plug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        return self.vm.device.plug(size_bytes, parent=parent)
 
-    def unplug(self, size_bytes: int):
-        return self.vm.device.unplug(size_bytes)
+    def unplug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        return self.vm.device.unplug(size_bytes, parent=parent)
 
     def check_consistency(self) -> None:
         self.vm.device.check_consistency()
@@ -111,14 +172,23 @@ class BalloonDatapath(ReclaimDatapath):
             )
             self.vm.node.discharge(pages_to_bytes(take))
 
-    def plug(self, size_bytes: int):
+    def plug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        start = self.vm.sim.now
+        span = self.vm.obs.span(
+            "device.plug",
+            parent=parent,
+            requested_bytes=size_bytes,
+            mechanism=self.name,
+        )
         # Clamp to what the host can back right now (deflate charges the
         # node before releasing pages to the guest); there is no yield
         # between this check and the charge, so the clamp cannot race.
         host_free = (self.vm.node.node.free_bytes // PAGE_SIZE) * PAGE_SIZE
         grant = min(size_bytes, host_free)
         host_limited = grant < size_bytes
+        mech = self.vm.obs.span("phase.mechanism", parent=span, op="deflate")
         result = yield from self.balloon.deflate(grant)
+        mech.close()
         plugged = result.reclaimed_bytes
         if plugged >= size_bytes:
             error = ""
@@ -126,6 +196,9 @@ class BalloonDatapath(ReclaimDatapath):
             error = "host-oom" if host_limited else "nack"
         else:
             error = "host-partial" if host_limited else "partial"
+        _finish_plug_span(
+            self.vm, span, start, self.vm.sim.now, size_bytes, plugged, error
+        )
         return PlugResult(
             requested_bytes=size_bytes,
             plugged_bytes=plugged,
@@ -134,8 +207,26 @@ class BalloonDatapath(ReclaimDatapath):
             error=error,
         )
 
-    def unplug(self, size_bytes: int):
+    def unplug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        start = self.vm.sim.now
+        span = self.vm.obs.span(
+            "device.unplug",
+            parent=parent,
+            requested_bytes=size_bytes,
+            mechanism=self.name,
+        )
+        mech = self.vm.obs.span("phase.mechanism", parent=span, op="inflate")
         result = yield from self.balloon.inflate(size_bytes)
+        mech.close()
+        _finish_unplug_span(
+            self.vm,
+            span,
+            start,
+            self.vm.sim.now,
+            size_bytes,
+            result.reclaimed_bytes,
+            0,
+        )
         return UnplugResult(
             requested_bytes=size_bytes,
             unplugged_bytes=result.reclaimed_bytes,
@@ -174,14 +265,25 @@ class DimmDatapath(ReclaimDatapath):
     def elastic_bytes(self) -> int:
         return len(self.dimm.plugged_dimms()) * self.dimm.dimm_bytes
 
-    def plug(self, size_bytes: int):
+    def plug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        start = self.vm.sim.now
+        span = self.vm.obs.span(
+            "device.plug",
+            parent=parent,
+            requested_bytes=size_bytes,
+            mechanism=self.name,
+        )
         dimm_bytes = self.dimm.dimm_bytes
         wanted = -(-size_bytes // dimm_bytes)
         free_slots = len(self.dimm.free_dimms())
         host_free_dimms = self.vm.node.node.free_bytes // dimm_bytes
         grant = min(wanted, free_slots, host_free_dimms)
         host_limited = host_free_dimms < min(wanted, free_slots)
+        mech = self.vm.obs.span(
+            "phase.mechanism", parent=span, op="dimm-plug", dimms=grant
+        )
         latency = yield from self.dimm.plug(grant)
+        mech.close()
         plugged = grant * dimm_bytes
         if grant == wanted:
             error = ""
@@ -189,6 +291,9 @@ class DimmDatapath(ReclaimDatapath):
             error = "host-oom" if host_limited else "nack"
         else:
             error = "host-partial" if host_limited else "partial"
+        _finish_plug_span(
+            self.vm, span, start, self.vm.sim.now, size_bytes, plugged, error
+        )
         return PlugResult(
             requested_bytes=size_bytes,
             plugged_bytes=plugged,
@@ -197,12 +302,23 @@ class DimmDatapath(ReclaimDatapath):
             error=error,
         )
 
-    def unplug(self, size_bytes: int):
+    def unplug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
+        start = self.vm.sim.now
+        span = self.vm.obs.span(
+            "device.unplug",
+            parent=parent,
+            requested_bytes=size_bytes,
+            mechanism=self.name,
+        )
         dimm_bytes = self.dimm.dimm_bytes
         wanted = size_bytes // dimm_bytes
         if wanted == 0:
             # Sub-DIMM excess is unreclaimable at this granularity; not
-            # a shortfall (a deferred retry could never do better).
+            # a shortfall (a deferred retry could never do better).  The
+            # refusal is still a resize request the hypervisor saw, so
+            # it is recorded as a zero-completed instant event rather
+            # than silently dropped from the tracer.
+            _finish_unplug_span(self.vm, span, start, start, size_bytes, 0, 0)
             return UnplugResult(
                 requested_bytes=0,
                 unplugged_bytes=0,
@@ -210,7 +326,20 @@ class DimmDatapath(ReclaimDatapath):
                 migrated_pages=0,
                 scanned_blocks=0,
             )
+        mech = self.vm.obs.span(
+            "phase.mechanism", parent=span, op="dimm-unplug", dimms=wanted
+        )
         result = yield from self.dimm.unplug(wanted * dimm_bytes)
+        mech.close()
+        _finish_unplug_span(
+            self.vm,
+            span,
+            start,
+            self.vm.sim.now,
+            result.requested_dimms * dimm_bytes,
+            result.unplugged_bytes,
+            result.migrated_pages,
+        )
         return UnplugResult(
             requested_bytes=result.requested_dimms * dimm_bytes,
             unplugged_bytes=result.unplugged_bytes,

@@ -1,0 +1,67 @@
+"""``repro.obs`` — deterministic tracing and telemetry for the datapath.
+
+End-to-end observability on the simulated clock: causal spans with
+parent links (:mod:`repro.obs.span`), a unified labeled metrics
+registry (:mod:`repro.obs.metrics`), the per-fleet context and the
+label-stamping scopes threaded through faas/virtio/mm/modes/cluster/
+faults (:mod:`repro.obs.context`), the global ``--trace`` session
+(:mod:`repro.obs.session`), deterministic JSONL export
+(:mod:`repro.obs.export`) and the unplug phase-attribution report
+(:mod:`repro.obs.report`).
+
+Everything is opt-in: with no session installed the datapath threads
+the inert ``NO_OBS``/``NO_SCOPE``/``NULL_SPAN`` singletons and runs
+byte-identical to an unobserved tree.  Even when tracing is on, spans
+never schedule simulation events, so the event stream — and therefore
+every latency — is unchanged.
+"""
+
+from repro.obs.context import NO_OBS, NO_SCOPE, ObsContext, ObsScope
+from repro.obs.export import (
+    TraceExportSummary,
+    export_session,
+    read_trace,
+    span_row,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import TraceReport, build_report, load_report
+from repro.obs.session import (
+    ObsSession,
+    context_for,
+    current_session,
+    install,
+    is_installed,
+    traced,
+    uninstall,
+)
+from repro.obs.span import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    # spans
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    # metrics
+    "MetricsRegistry",
+    # context threading
+    "ObsContext",
+    "ObsScope",
+    "NO_OBS",
+    "NO_SCOPE",
+    # global --trace session
+    "ObsSession",
+    "install",
+    "uninstall",
+    "is_installed",
+    "current_session",
+    "context_for",
+    "traced",
+    # export + report
+    "TraceExportSummary",
+    "export_session",
+    "read_trace",
+    "span_row",
+    "TraceReport",
+    "build_report",
+    "load_report",
+]

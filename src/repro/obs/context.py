@@ -1,0 +1,121 @@
+"""The context object threaded through the datapath.
+
+:class:`ObsContext` bundles one :class:`~repro.obs.span.Tracer` and one
+:class:`~repro.obs.metrics.MetricsRegistry` for one simulator (one
+fleet).  Layers never hold the context directly — they hold an
+:class:`ObsScope`, a lightweight view that stamps a fixed label set
+(``vm``, ``mode``, ``host``) onto every span and metric it emits, so a
+driver doesn't need to know which VM it belongs to to label correctly.
+
+``NO_OBS``/``NO_SCOPE`` are the inert singletons (mirroring
+``NO_FAULTS``/``NO_RETRY``): untraced runs thread them through the same
+code paths at near-zero cost, and emitted spans degrade to
+``NULL_SPAN``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NULL_SPAN, SpanLike, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["NO_OBS", "NO_SCOPE", "ObsContext", "ObsScope"]
+
+
+class ObsContext:
+    """Tracer + metrics registry for one simulator."""
+
+    def __init__(
+        self, enabled: bool = True, index: int = 0, label: str = ""
+    ) -> None:
+        self.enabled = enabled
+        self.index = index
+        self.label = label
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.sim: Optional["Simulator"] = None
+
+    def bind_sim(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.tracer.bind_sim(sim)
+
+    def scope(self, **attrs: object) -> "ObsScope":
+        """A view that stamps ``attrs`` onto every span/metric it emits."""
+        if not self.enabled:
+            return NO_SCOPE
+        return ObsScope(self, dict(attrs))
+
+    def finalize(self) -> int:
+        """Force-close spans left open by a run cut at its time budget."""
+        return self.tracer.close_open(cut="run-end")
+
+
+class ObsScope:
+    """Label-stamping view over an :class:`ObsContext`.
+
+    The fixed ``attrs`` (conventionally ``vm``/``mode``/``host``) are
+    merged into every span's attributes and every metric's label set;
+    call-site kwargs win on collision.
+    """
+
+    __slots__ = ("context", "attrs", "enabled")
+
+    def __init__(self, context: ObsContext, attrs: Dict[str, object]) -> None:
+        self.context = context
+        self.attrs = attrs
+        self.enabled = context.enabled
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanLike] = None,
+        start_ns: Optional[int] = None,
+        **attrs: object,
+    ) -> SpanLike:
+        if not self.enabled:
+            return NULL_SPAN
+        merged = dict(self.attrs)
+        merged.update(attrs)
+        return self.context.tracer.span(
+            name, parent=parent, start_ns=start_ns, **merged
+        )
+
+    def event(
+        self,
+        name: str,
+        parent: Optional[SpanLike] = None,
+        start_ns: Optional[int] = None,
+        **attrs: object,
+    ) -> SpanLike:
+        span = self.span(name, parent=parent, start_ns=start_ns, **attrs)
+        return span.close(end_ns=span.start_ns)
+
+    def inc(self, name: str, value: int = 1, **labels: object) -> None:
+        if not self.enabled:
+            return
+        merged = dict(self.attrs)
+        merged.update(labels)
+        self.context.metrics.inc(name, value, **merged)
+
+    def observe(self, name: str, value: int, **labels: object) -> None:
+        if not self.enabled:
+            return
+        merged = dict(self.attrs)
+        merged.update(labels)
+        self.context.metrics.observe(name, value, **merged)
+
+    def gauge_set(self, name: str, value: int, **labels: object) -> None:
+        if not self.enabled:
+            return
+        merged = dict(self.attrs)
+        merged.update(labels)
+        self.context.metrics.gauge_set(name, value, **merged)
+
+
+#: Disabled context/scope: the defaults everywhere tracing is optional.
+NO_OBS = ObsContext(enabled=False)
+NO_SCOPE = ObsScope(NO_OBS, {})

@@ -1,0 +1,120 @@
+"""Deterministic JSONL export of spans and metrics.
+
+One line per record, ``json.dumps(..., sort_keys=True)`` with compact
+separators, spans ordered by id within each context and contexts in
+creation order — so a fixed-seed run exports a byte-identical file and
+its SHA-256 digest can gate CI.
+
+Schema (see ``docs/observability.md``):
+
+- ``{"type": "meta", "context": i, "spans": n, "metrics": m}``
+- ``{"type": "span", "context": i, "id": ..., "trace": ...,
+  "parent": ..., "name": ..., "start_ns": ..., "end_ns": ...,
+  "attrs": {...}}``
+- ``{"type": "metric", "context": i, "kind": "counter"|"gauge"|
+  "histogram", "name": ..., "labels": {...}, ...}``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.obs.session import ObsSession
+from repro.obs.span import Span
+
+__all__ = ["TraceExportSummary", "export_session", "read_trace", "span_row"]
+
+_JSON_SCALARS = (int, float, str, bool, type(None))
+
+
+def _clean_attrs(attrs: Dict[str, object]) -> Dict[str, object]:
+    return {
+        key: value if isinstance(value, _JSON_SCALARS) else str(value)
+        for key, value in attrs.items()
+    }
+
+
+def span_row(context_index: int, span: Span) -> Dict[str, object]:
+    """The exported JSON record for one closed span."""
+    return {
+        "type": "span",
+        "context": context_index,
+        "id": span.span_id,
+        "trace": span.trace_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "end_ns": span.end_ns,
+        "attrs": _clean_attrs(span.attrs),
+    }
+
+
+@dataclass
+class TraceExportSummary:
+    """What the CLI prints after ``--trace`` runs."""
+
+    path: str
+    contexts: int
+    spans: int
+    open_spans: int
+    metric_series: int
+    digest: str
+
+    def render(self) -> str:
+        return (
+            f"[trace: spans={self.spans} open={self.open_spans} "
+            f"metrics={self.metric_series} contexts={self.contexts} "
+            f"sha256={self.digest} file={self.path}]"
+        )
+
+
+def export_session(session: ObsSession, path: str) -> TraceExportSummary:
+    """Write every context's spans and metric snapshot as JSONL."""
+    lines: List[str] = []
+    for context in session.contexts:
+        spans = sorted(context.tracer.spans(), key=lambda s: s.span_id)
+        rows: List[Dict[str, object]] = [
+            {
+                "type": "meta",
+                "context": context.index,
+                "spans": len(spans),
+                "metrics": context.metrics.series_count(),
+            }
+        ]
+        rows.extend(span_row(context.index, span) for span in spans)
+        for metric in context.metrics.snapshot():
+            row: Dict[str, object] = {
+                "type": "metric",
+                "context": context.index,
+            }
+            row.update(metric)
+            rows.append(row)
+        lines.extend(
+            json.dumps(row, sort_keys=True, separators=(",", ":"))
+            for row in rows
+        )
+    payload = "\n".join(lines) + ("\n" if lines else "")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return TraceExportSummary(
+        path=path,
+        contexts=len(session.contexts),
+        spans=session.total_spans(),
+        open_spans=session.open_spans(),
+        metric_series=session.metric_series(),
+        digest=hashlib.sha256(payload.encode()).hexdigest(),
+    )
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse an exported JSONL trace back into records."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,152 @@
+"""Unified metrics registry: named counters/gauges/histograms with labels.
+
+Replaces the ad-hoc tallies scattered through the datapath (agent
+counters, tracer throughput math, fault tallies) with one queryable
+registry.  Every series is identified by ``(name, sorted label set)``;
+label values are coerced to strings so snapshots serialize and sort
+deterministically.
+
+Histograms are kept exact-and-small: count/sum/min/max plus power-of-two
+bucket counts — enough for latency attribution without storing every
+sample (the spans already carry per-operation timing).
+
+All values come from the simulation (byte counts, sim-clock durations),
+never from wall time, so a fixed seed yields a byte-identical snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry"]
+
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class _Histogram:
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        #: bucket exponent -> samples with value < 2**exponent (le-style)
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = max(0, int(value) - 1).bit_length()
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by name + label set."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[SeriesKey, int] = {}
+        self._gauges: Dict[SeriesKey, int] = {}
+        self._histograms: Dict[SeriesKey, _Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]) -> SeriesKey:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def inc(self, name: str, value: int = 1, **labels: object) -> None:
+        """Add ``value`` to the counter series ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = self._key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: int, **labels: object) -> None:
+        """Set the gauge series ``name{labels}`` to its latest value."""
+        if not self.enabled:
+            return
+        self._gauges[self._key(name, labels)] = value
+
+    def observe(self, name: str, value: int, **labels: object) -> None:
+        """Record one sample into the histogram series ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = self._key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = _Histogram()
+        histogram.observe(value)
+
+    def counter_value(self, name: str, **labels: object) -> int:
+        return self._counters.get(self._key(name, labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across every label set."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge_value(self, name: str, **labels: object) -> Optional[int]:
+        return self._gauges.get(self._key(name, labels))
+
+    def histogram_count(self, name: str, **labels: object) -> int:
+        histogram = self._histograms.get(self._key(name, labels))
+        return histogram.count if histogram is not None else 0
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Distinct values a label takes across all series of ``name``."""
+        seen = set()
+        for store in (self._counters, self._gauges, self._histograms):
+            for series_name, labels in store:
+                if series_name != name:
+                    continue
+                for key, value in labels:
+                    if key == label:
+                        seen.add(value)
+        return sorted(seen)
+
+    def series_count(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Deterministically ordered rows for JSONL export."""
+        rows: List[Dict[str, object]] = []
+        for (name, labels), value in sorted(self._counters.items()):
+            rows.append(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        for (name, labels), value in sorted(self._gauges.items()):
+            rows.append(
+                {
+                    "kind": "gauge",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            rows.append(
+                {
+                    "kind": "histogram",
+                    "name": name,
+                    "labels": dict(labels),
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                    "buckets": {
+                        str(exp): n
+                        for exp, n in sorted(histogram.buckets.items())
+                    },
+                }
+            )
+        return rows

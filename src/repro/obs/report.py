@@ -1,0 +1,276 @@
+"""Phase attribution report over an exported trace.
+
+``python -m repro.experiments trace-report`` reads the JSONL written by
+``--trace`` and answers the question the fragmented telemetry could
+not: *where did the unplug latency go?*  Every ``device.unplug`` span
+is tiled by its ``phase.*`` children (offline, migrate, zero, device
+round-trip — ``mechanism`` for the balloon/DIMM baselines), so phase
+sums match the recorded unplug latency to the nanosecond; the report
+verifies that identity for every event and renders a per-mode P50/P99
+breakdown plus the phase split of the exact P99 event.
+
+Percentiles use nearest-rank (``TimeSeries.percentile``): a reported
+P99 is an actual event from the run, which is what makes the "P99
+phases" row well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ModeBreakdown",
+    "TraceReport",
+    "UnplugAttribution",
+    "build_report",
+    "load_report",
+]
+
+#: Canonical phase order; unknown phases render after these.
+PHASE_ORDER = ("offline", "migrate", "zero", "device", "mechanism")
+
+
+@dataclass
+class UnplugAttribution:
+    """One ``device.unplug`` span tiled by its phase children."""
+
+    context: int
+    span_id: int
+    mode: str
+    vm: str
+    start_ns: int
+    end_ns: int
+    phase_ns: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def phase_sum_ns(self) -> int:
+        return sum(self.phase_ns.values())
+
+    @property
+    def exact(self) -> bool:
+        """Do the phases tile the span with nanosecond-exact sums?"""
+        return self.phase_sum_ns == self.duration_ns
+
+
+@dataclass
+class ModeBreakdown:
+    """Per-mode unplug latency attribution."""
+
+    mode: str
+    unplugs: List[UnplugAttribution]
+    p50_ns: int
+    p99_ns: int
+    p99_event: Optional[UnplugAttribution]
+    phase_ns: Dict[str, int]
+
+    @property
+    def count(self) -> int:
+        return len(self.unplugs)
+
+    @property
+    def exact_matches(self) -> int:
+        return sum(1 for u in self.unplugs if u.exact)
+
+
+@dataclass
+class TraceReport:
+    """Everything ``trace-report`` renders."""
+
+    modes: List[ModeBreakdown]
+    metric_modes: List[str]
+    total_spans: int
+    open_spans: int
+
+    @property
+    def total_unplugs(self) -> int:
+        return sum(m.count for m in self.modes)
+
+    @property
+    def exact_matches(self) -> int:
+        return sum(m.exact_matches for m in self.modes)
+
+    def render(self) -> str:
+        lines = ["trace-report: unplug latency attribution by phase"]
+        if not self.modes:
+            lines.append("  (no device.unplug spans in this trace)")
+        phases = _phase_columns(self.modes)
+        if self.modes:
+            header = (
+                f"  {'mode':<16} {'unplugs':>7} {'p50_ms':>9} {'p99_ms':>9}"
+                + "".join(f" {p + '%':>9}" for p in phases)
+            )
+            lines.append(header)
+        for mode in self.modes:
+            total = sum(mode.phase_ns.get(p, 0) for p in phases)
+            shares = [
+                (100.0 * mode.phase_ns.get(p, 0) / total) if total else 0.0
+                for p in phases
+            ]
+            lines.append(
+                f"  {mode.mode:<16} {mode.count:>7} "
+                f"{mode.p50_ns / 1e6:>9.3f} {mode.p99_ns / 1e6:>9.3f}"
+                + "".join(f" {s:>8.1f}%" for s in shares)
+            )
+            if mode.p99_event is not None:
+                event = mode.p99_event
+                parts = " ".join(
+                    f"{p}={event.phase_ns.get(p, 0)}"
+                    for p in phases
+                    if event.phase_ns.get(p, 0)
+                )
+                lines.append(
+                    f"    p99 event phases (ns): {parts or 'none'} "
+                    f"total={event.phase_sum_ns} span={event.duration_ns}"
+                )
+        exact = self.exact_matches
+        total = self.total_unplugs
+        verdict = "nanosecond-exact" if exact == total else "MISMATCH"
+        lines.append(
+            f"  phase sums match unplug latencies: {exact}/{total}"
+            f" ({verdict})"
+        )
+        if self.metric_modes:
+            lines.append(
+                "  modes with labeled metrics: "
+                + ", ".join(self.metric_modes)
+            )
+        lines.append(
+            f"  spans={self.total_spans} open={self.open_spans}"
+        )
+        return "\n".join(lines)
+
+
+def _phase_columns(modes: List[ModeBreakdown]) -> List[str]:
+    seen = {p for m in modes for p in m.phase_ns}
+    ordered = [p for p in PHASE_ORDER if p in seen]
+    ordered += sorted(seen - set(PHASE_ORDER))
+    return ordered
+
+
+def _percentile_ns(latencies: List[int], q: float) -> int:
+    """Nearest-rank percentile via ``TimeSeries.percentile``."""
+    # Imported here: repro.metrics pulls in the faas layer, which must
+    # stay importable before repro.obs finishes loading.
+    from repro.metrics.collector import TimeSeries
+
+    series = TimeSeries("unplug_latency_ns")
+    for index, value in enumerate(latencies):
+        series.record(index, value)
+    return int(series.percentile(q))
+
+
+def build_report(records: List[Dict[str, object]]) -> TraceReport:
+    """Attribute every exported ``device.unplug`` span to its phases."""
+    spans: Dict[Tuple[int, int], Dict[str, object]] = {}
+    metric_modes = set()
+    for record in records:
+        if record.get("type") == "span":
+            spans[(int(record["context"]), int(record["id"]))] = record
+        elif record.get("type") == "metric":
+            labels = record.get("labels") or {}
+            if isinstance(labels, dict) and "mode" in labels:
+                metric_modes.add(str(labels["mode"]))
+
+    unplugs: Dict[Tuple[int, int], UnplugAttribution] = {}
+    for key, record in spans.items():
+        if record["name"] != "device.unplug":
+            continue
+        attrs = record.get("attrs") or {}
+        unplugs[key] = UnplugAttribution(
+            context=key[0],
+            span_id=key[1],
+            mode=str(attrs.get("mode", "?")),
+            vm=str(attrs.get("vm", "?")),
+            start_ns=int(record["start_ns"]),
+            end_ns=int(record["end_ns"]),
+        )
+
+    for key, record in spans.items():
+        name = str(record["name"])
+        if not name.startswith("phase."):
+            continue
+        owner = _enclosing_unplug(spans, key)
+        if owner is None:
+            continue
+        phase = name[len("phase."):]
+        duration = int(record["end_ns"]) - int(record["start_ns"])
+        attribution = unplugs[owner]
+        attribution.phase_ns[phase] = (
+            attribution.phase_ns.get(phase, 0) + duration
+        )
+
+    by_mode: Dict[str, List[UnplugAttribution]] = {}
+    for attribution in unplugs.values():
+        by_mode.setdefault(attribution.mode, []).append(attribution)
+
+    modes: List[ModeBreakdown] = []
+    for mode_name in sorted(by_mode):
+        events = sorted(
+            by_mode[mode_name],
+            key=lambda u: (u.end_ns, u.context, u.span_id),
+        )
+        latencies = [u.duration_ns for u in events]
+        p50 = _percentile_ns(latencies, 50.0)
+        p99 = _percentile_ns(latencies, 99.0)
+        p99_event = next(
+            (u for u in events if u.duration_ns == p99), None
+        )
+        phase_totals: Dict[str, int] = {}
+        for event in events:
+            for phase, duration in event.phase_ns.items():
+                phase_totals[phase] = phase_totals.get(phase, 0) + duration
+        modes.append(
+            ModeBreakdown(
+                mode=mode_name,
+                unplugs=events,
+                p50_ns=p50,
+                p99_ns=p99,
+                p99_event=p99_event,
+                phase_ns=phase_totals,
+            )
+        )
+
+    open_spans = sum(
+        1 for r in records if r.get("type") == "span" and r["end_ns"] is None
+    )
+    return TraceReport(
+        modes=modes,
+        metric_modes=sorted(metric_modes),
+        total_spans=len(spans),
+        open_spans=open_spans,
+    )
+
+
+def _enclosing_unplug(
+    spans: Dict[Tuple[int, int], Dict[str, object]],
+    key: Tuple[int, int],
+) -> Optional[Tuple[int, int]]:
+    """Walk parent links to the nearest ``device.unplug`` ancestor."""
+    context, _ = key
+    current = spans[key]
+    while current is not None:
+        parent_id = current.get("parent")
+        if parent_id is None:
+            return None
+        parent_key = (context, int(parent_id))
+        parent = spans.get(parent_key)
+        if parent is None:
+            return None
+        if parent["name"] == "device.unplug":
+            return parent_key
+        if parent["name"] == "device.plug":
+            return None
+        current = parent
+    return None
+
+
+def load_report(path: str) -> TraceReport:
+    """Read an exported JSONL trace and build its report."""
+    from repro.obs.export import read_trace
+
+    return build_report(read_trace(path))

@@ -1,0 +1,112 @@
+"""Global tracing session behind ``--trace`` (mirrors ``--sanitize``).
+
+The experiments CLI calls :func:`install` once; from then on every
+:class:`~repro.cluster.provision.Fleet` (and ``TraceRouter``) built —
+regardless of how many simulators an experiment constructs — asks
+:func:`context_for` for the :class:`~repro.obs.context.ObsContext`
+bound to its simulator.  Uninstalled, :func:`context_for` returns the
+inert ``NO_OBS`` so the datapath stays untraced at near-zero cost.
+
+One experiment like fig5 builds dozens of rigs (one simulator each);
+the session keeps one context per simulator, in creation order, so the
+exported JSONL concatenates per-run streams deterministically.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.obs.context import NO_OBS, ObsContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "ObsSession",
+    "context_for",
+    "current_session",
+    "install",
+    "is_installed",
+    "traced",
+    "uninstall",
+]
+
+
+class ObsSession:
+    """All tracing contexts created while ``--trace`` is installed."""
+
+    def __init__(self) -> None:
+        self.contexts: List[ObsContext] = []
+        self._by_sim: "weakref.WeakKeyDictionary[Simulator, ObsContext]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def context_for(self, sim: "Simulator") -> ObsContext:
+        """The (shared) context bound to ``sim``; created on first ask."""
+        context = self._by_sim.get(sim)
+        if context is None:
+            context = ObsContext(enabled=True, index=len(self.contexts))
+            context.bind_sim(sim)
+            self.contexts.append(context)
+            self._by_sim[sim] = context
+        return context
+
+    def open_spans(self) -> int:
+        return sum(c.tracer.open_spans() for c in self.contexts)
+
+    def total_spans(self) -> int:
+        return sum(len(c.tracer.spans()) for c in self.contexts)
+
+    def metric_series(self) -> int:
+        return sum(c.metrics.series_count() for c in self.contexts)
+
+    def finalize(self) -> int:
+        """Close spans abandoned by time-budget run cuts; returns count."""
+        return sum(c.finalize() for c in self.contexts)
+
+
+_session: Optional[ObsSession] = None
+
+
+def install() -> ObsSession:
+    """Start a global tracing session (raises if one is active)."""
+    global _session
+    if _session is not None:
+        raise RuntimeError("a tracing session is already installed")
+    _session = ObsSession()
+    return _session
+
+
+def uninstall() -> Optional[ObsSession]:
+    """End the session; returns it (with all contexts) or ``None``."""
+    global _session
+    session = _session
+    _session = None
+    return session
+
+
+def is_installed() -> bool:
+    return _session is not None
+
+
+def current_session() -> Optional[ObsSession]:
+    return _session
+
+
+def context_for(sim: "Simulator") -> ObsContext:
+    """The tracing context for ``sim``, or ``NO_OBS`` when untraced."""
+    if _session is None:
+        return NO_OBS
+    return _session.context_for(sim)
+
+
+@contextmanager
+def traced() -> Iterator[ObsSession]:
+    """``with traced() as session:`` — scoped install/uninstall."""
+    session = install()
+    try:
+        yield session
+    finally:
+        uninstall()

@@ -40,6 +40,8 @@ from repro.host.machine import NumaNode
 from repro.faults.recovery import RecoveryLog
 from repro.mm.block import BlockState
 from repro.mm.manager import GuestMemoryManager
+from repro.obs.context import NO_SCOPE, ObsScope
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.sim.costs import CostModel
 from repro.sim.cpu import CpuCore
 from repro.sim.engine import Event, Simulator, Timeout
@@ -107,6 +109,7 @@ class VirtioMemDevice:
         tracer: "HypervisorTracer",
         faults: FaultInjector = NO_FAULTS,
         recovery: Optional[RecoveryLog] = None,
+        obs: ObsScope = NO_SCOPE,
     ):
         self.sim = sim
         self.driver = driver
@@ -117,6 +120,11 @@ class VirtioMemDevice:
         self.tracer = tracer
         self.faults = faults
         self.recovery = recovery
+        self.obs = obs
+        # When tracing, resize events flow through the span consumer
+        # (HypervisorTracer.consume_span) instead of direct record_*
+        # calls — same instants, same values, no double recording.
+        self._traced = obs.enabled
         self.plugged_indices: Set[int] = set()
         self._busy = False
         self._waiters: Deque[Event] = deque()
@@ -153,7 +161,7 @@ class VirtioMemDevice:
     # ------------------------------------------------------------------
     # Plug
     # ------------------------------------------------------------------
-    def plug(self, size_bytes: int):
+    def plug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
         """Process generator: plug ``size_bytes`` (rounded up to blocks).
 
         Returns a :class:`PlugResult`.  Raises :class:`HotplugError` when
@@ -173,15 +181,26 @@ class VirtioMemDevice:
                     f"({len(free_indices)} free blocks)"
                 )
             start = self.sim.now
-            nack = self.faults.fire(DEVICE_PLUG_NACK, requested_blocks=n_blocks)
+            span = self.obs.span(
+                "device.plug",
+                parent=parent,
+                requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+            )
+            nack = self.faults.fire(
+                DEVICE_PLUG_NACK, parent=span, requested_blocks=n_blocks
+            )
             if nack is not None:
                 # Host refuses the whole request; the round trip still
                 # costs a notification and no host memory is charged.
+                device_phase = self.obs.span("phase.device", parent=span)
                 yield self.vmm_core.submit(
                     self.costs.virtio_request_rtt_ns, VMM_LABEL
                 )
+                device_phase.close()
                 end = self.sim.now
-                self.tracer.record_plug(start, end, n_blocks * MEMORY_BLOCK_SIZE, 0)
+                self._trace_plug(
+                    span, start, end, n_blocks * MEMORY_BLOCK_SIZE, 0, "nack"
+                )
                 return PlugResult(
                     requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
                     plugged_bytes=0,
@@ -194,7 +213,7 @@ class VirtioMemDevice:
             partial = None
             if n_blocks > 1:
                 partial = self.faults.fire(
-                    DEVICE_PLUG_PARTIAL, requested_blocks=n_blocks
+                    DEVICE_PLUG_PARTIAL, parent=span, requested_blocks=n_blocks
                 )
                 if partial is not None:
                     effective = max(1, n_blocks // 2)
@@ -206,11 +225,15 @@ class VirtioMemDevice:
             if host_short:
                 effective = host_free_blocks
             if effective == 0:
+                device_phase = self.obs.span("phase.device", parent=span)
                 yield self.vmm_core.submit(
                     self.costs.virtio_request_rtt_ns, VMM_LABEL
                 )
+                device_phase.close()
                 end = self.sim.now
-                self.tracer.record_plug(start, end, n_blocks * MEMORY_BLOCK_SIZE, 0)
+                self._trace_plug(
+                    span, start, end, n_blocks * MEMORY_BLOCK_SIZE, 0, "host-oom"
+                )
                 return PlugResult(
                     requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
                     plugged_bytes=0,
@@ -225,21 +248,23 @@ class VirtioMemDevice:
             # completion so that observers see committed state (requests
             # are serialized, so the chosen indices cannot be stolen).
             self.host_node.charge(effective * MEMORY_BLOCK_SIZE)
+            device_phase = self.obs.span("phase.device", parent=span)
             yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
-            yield from self._maybe_stall()
-            outcome = yield from self.driver.handle_plug(chosen)
+            yield from self._maybe_stall(parent=span)
+            device_phase.close()
+            outcome = yield from self.driver.handle_plug(chosen, parent=span)
             self.plugged_indices.update(outcome.plugged_block_indices)
             end = self.sim.now
             plugged_bytes = outcome.plugged_blocks * MEMORY_BLOCK_SIZE
-            self.tracer.record_plug(
-                start, end, n_blocks * MEMORY_BLOCK_SIZE, plugged_bytes
-            )
             if partial is not None:
                 error = "partial"
             elif host_short:
                 error = "host-partial"
             else:
                 error = ""
+            self._trace_plug(
+                span, start, end, n_blocks * MEMORY_BLOCK_SIZE, plugged_bytes, error
+            )
             return PlugResult(
                 requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
                 plugged_bytes=plugged_bytes,
@@ -251,14 +276,62 @@ class VirtioMemDevice:
         finally:
             self._release()
 
-    def _maybe_stall(self):
+    def _trace_plug(
+        self,
+        span: SpanLike,
+        start: int,
+        end: int,
+        requested: int,
+        completed: int,
+        error: str,
+    ) -> None:
+        """Close the plug span and emit the legacy event + metrics."""
+        span.set(completed_bytes=completed, error=error)
+        if not self._traced:
+            self.tracer.record_plug(start, end, requested, completed)
+        span.close(end_ns=end)
+        self.obs.inc("plug_requests_total", error=error or "ok")
+        if completed:
+            self.obs.inc("plugged_bytes_total", completed)
+        self.obs.observe("plug_latency_ns", end - start)
+
+    def _trace_unplug(
+        self,
+        span: SpanLike,
+        start: int,
+        end: int,
+        requested: int,
+        completed: int,
+        migrated_pages: int,
+    ) -> None:
+        """Close the unplug span and emit the legacy event + metrics."""
+        span.set(completed_bytes=completed, migrated_pages=migrated_pages)
+        if not self._traced:
+            self.tracer.record_unplug(
+                start, end, requested, completed, migrated_pages
+            )
+        span.close(end_ns=end)
+        if completed == requested:
+            outcome = "full"
+        elif completed:
+            outcome = "partial"
+        else:
+            outcome = "none"
+        self.obs.inc("unplug_requests_total", outcome=outcome)
+        if completed:
+            self.obs.inc("unplugged_bytes_total", completed)
+        if migrated_pages:
+            self.obs.inc("migrated_pages_total", migrated_pages)
+        self.obs.observe("unplug_latency_ns", end - start)
+
+    def _maybe_stall(self, parent: SpanLike = NULL_SPAN):
         """Process generator: injected extra latency on the device response.
 
         A stalled response is *absorbed*: the request still completes,
         only slower, so the fault is resolved on the spot and the added
         latency shows up in the recovery log and the plug/unplug traces.
         """
-        fault = self.faults.fire(DEVICE_RESPONSE_DELAY)
+        fault = self.faults.fire(DEVICE_RESPONSE_DELAY, parent=parent)
         if fault is None:
             return None
         delay = self.faults.delay_ns(DEVICE_RESPONSE_DELAY)
@@ -270,6 +343,7 @@ class VirtioMemDevice:
                 path="absorbed",
                 detect_ns=self.sim.now - delay,
                 resolve_ns=self.sim.now,
+                parent=parent,
             )
         return None
 
@@ -298,13 +372,18 @@ class VirtioMemDevice:
     # ------------------------------------------------------------------
     # Unplug
     # ------------------------------------------------------------------
-    def unplug(self, size_bytes: int):
+    def unplug(self, size_bytes: int, parent: SpanLike = NULL_SPAN):
         """Process generator: ask the guest to release ``size_bytes``.
 
         The guest may satisfy the request only partially (virtio-mem
         semantics).  The returned :class:`UnplugResult` latency covers
         request receipt through ``madvise(MADV_DONTNEED)`` of the last
         reclaimed block — the paper's measurement (Section 5.4).
+
+        When tracing, the ``device.unplug`` span is tiled gaplessly by
+        ``phase.*`` children (device round-trip + stall here, offline/
+        migrate/zero in the driver, madvise back here), so phase sums
+        equal the recorded unplug latency to the nanosecond.
         """
         n_blocks = bytes_to_blocks(size_bytes)
         yield from self._acquire()
@@ -312,9 +391,16 @@ class VirtioMemDevice:
             if n_blocks > len(self.plugged_indices):
                 n_blocks = len(self.plugged_indices)
             start = self.sim.now
+            span = self.obs.span(
+                "device.unplug",
+                parent=parent,
+                requested_bytes=n_blocks * MEMORY_BLOCK_SIZE,
+            )
+            device_phase = self.obs.span("phase.device", parent=span)
             yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, VMM_LABEL)
-            yield from self._maybe_stall()
-            outcome = yield from self.driver.handle_unplug(n_blocks)
+            yield from self._maybe_stall(parent=span)
+            device_phase.close()
+            outcome = yield from self.driver.handle_unplug(n_blocks, parent=span)
             for index in outcome.unplugged_block_indices:
                 if index not in self.plugged_indices:
                     raise HotplugError(f"guest unplugged unknown block {index}")
@@ -328,13 +414,16 @@ class VirtioMemDevice:
                     + (outcome.unplugged_blocks - runs)
                     * self.costs.madvise_block_marginal_ns
                 )
+                madvise_phase = self.obs.span("phase.device", parent=span)
                 yield self.vmm_core.submit(madvise_cost, VMM_LABEL)
+                madvise_phase.close()
                 self.host_node.discharge(
                     outcome.unplugged_blocks * MEMORY_BLOCK_SIZE
                 )
             end = self.sim.now
             unplugged_bytes = outcome.unplugged_blocks * MEMORY_BLOCK_SIZE
-            self.tracer.record_unplug(
+            self._trace_unplug(
+                span,
                 start,
                 end,
                 n_blocks * MEMORY_BLOCK_SIZE,

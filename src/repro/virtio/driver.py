@@ -36,6 +36,8 @@ from repro.faults.sites import (
     DRIVER_MIGRATE_FAIL,
     DRIVER_OFFLINE_UNMOVABLE,
 )
+from repro.obs.context import NO_SCOPE, ObsScope
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.sim.costs import CostModel
 from repro.sim.cpu import CpuCore
 from repro.sim.engine import Simulator, Timeout
@@ -94,6 +96,7 @@ class VirtioMemDriver:
         faults: FaultInjector = NO_FAULTS,
         retry: RetryPolicy = NO_RETRY,
         recovery: Optional[RecoveryLog] = None,
+        obs: ObsScope = NO_SCOPE,
     ):
         """``batch_unplug`` enables the future-work optimization the paper
         names in Section 6.1.1: contiguous runs of offlineable blocks are
@@ -108,6 +111,7 @@ class VirtioMemDriver:
         self.faults = faults
         self.retry = retry
         self.recovery = recovery
+        self.obs = obs
         #: Requests that exhausted their retries, per block index (feeds
         #: the ``quarantine_after`` threshold; reset on success).
         self._offline_failures: Dict[int, int] = {}
@@ -115,7 +119,7 @@ class VirtioMemDriver:
     # ------------------------------------------------------------------
     # Plug path
     # ------------------------------------------------------------------
-    def handle_plug(self, block_indices: List[int]):
+    def handle_plug(self, block_indices: List[int], parent: SpanLike = NULL_SPAN):
         """Process generator: hot-add and online the given device blocks.
 
         The backend decides the target zones (``ZONE_MOVABLE`` for
@@ -140,7 +144,14 @@ class VirtioMemDriver:
                 self.backend.on_block_plugged(block)
                 cost = self.costs.plug_block_ns(zero_pages=zero_pages)
                 outcome.zeroed_pages += zero_pages
+                block_span = self.obs.span(
+                    "driver.plug.block",
+                    parent=parent,
+                    block=index,
+                    zeroed_pages=zero_pages,
+                )
                 yield self.irq_core.submit(cost, VIRTIO_MEM_LABEL)
+                block_span.close()
                 outcome.plugged_block_indices.append(index)
         return outcome
 
@@ -158,7 +169,7 @@ class VirtioMemDriver:
     # ------------------------------------------------------------------
     # Unplug path
     # ------------------------------------------------------------------
-    def handle_unplug(self, n_blocks: int):
+    def handle_unplug(self, n_blocks: int, parent: SpanLike = NULL_SPAN):
         """Process generator: offline and remove up to ``n_blocks`` blocks.
 
         The backend chooses the victim blocks.  For vanilla this migrates
@@ -166,6 +177,12 @@ class VirtioMemDriver:
         belong to empty partitions and are removed without any migration.
         Returns a :class:`DriverUnplugOutcome`; fewer blocks than requested
         means a partial unplug (virtio-mem semantics).
+
+        Tracing opens one ``driver.unplug.block`` span per planned block
+        with ``phase.offline``/``phase.migrate``/``phase.zero`` children
+        that tile the block's wall time exactly; the trailing offline +
+        hot-remove of each prepared run is a ``phase.offline`` span
+        parented on the device request.
         """
         outcome = DriverUnplugOutcome()
         plan = self.backend.plan_unplug(n_blocks)
@@ -177,35 +194,74 @@ class VirtioMemDriver:
             prepared: List = []
             for entry in run:
                 block = entry.block
+                block_span = self.obs.span(
+                    "driver.unplug.block", parent=parent, block=block.index
+                )
+                offline_phase = self.obs.span(
+                    "phase.offline", parent=block_span
+                )
                 outcome.scanned_blocks += entry.scanned_blocks
                 scan_cost = entry.scanned_blocks * self.costs.unplug_scan_block_ns
                 if scan_cost:
                     yield self.irq_core.submit(scan_cost, VIRTIO_MEM_LABEL)
-                migrated = yield from self._prepare_block(block)
+                migrated = yield from self._prepare_block(
+                    block, parent=block_span
+                )
+                offline_phase.close()
                 if migrated is None:
                     outcome.failed_blocks += 1
                     outcome.failed_block_indices.append(block.index)
+                    block_span.close(failed=True)
                     continue
                 zeroed = self.backend.unplug_zero_pages(migrated)
                 move_cost = self.costs.migrate_pages_ns(
                     migrated
                 ) + self.costs.zero_pages_ns(zeroed)
                 if move_cost:
+                    move_start = self.sim.now
                     yield self.irq_core.submit(move_cost, VIRTIO_MEM_LABEL)
+                    move_end = self.sim.now
+                    # Migration and zeroing share one CPU submission (one
+                    # event, so tracing cannot perturb the stream).  The
+                    # zero tile is exactly the modeled zeroing cost; the
+                    # migrate tile absorbs the remainder, including any
+                    # core queueing — the two tile [start, end] with
+                    # nanosecond-exact sums.
+                    zero_ns = self.costs.zero_pages_ns(zeroed)
+                    self.obs.span(
+                        "phase.migrate",
+                        parent=block_span,
+                        start_ns=move_start,
+                        pages=migrated,
+                    ).close(end_ns=move_end - zero_ns)
+                    self.obs.span(
+                        "phase.zero",
+                        parent=block_span,
+                        start_ns=move_end - zero_ns,
+                        pages=zeroed,
+                    ).close(end_ns=move_end)
                 outcome.migrated_pages += migrated
                 outcome.zeroed_pages += zeroed
                 prepared.append(block)
+                block_span.close(migrated_pages=migrated, zeroed_pages=zeroed)
             if prepared:
+                finish_phase = self.obs.span(
+                    "phase.offline", parent=parent, blocks=len(prepared)
+                )
                 yield from self._finish_run(prepared, outcome)
+                finish_phase.close()
         return outcome
 
-    def _prepare_block(self, block):
+    def _prepare_block(self, block, parent: SpanLike = NULL_SPAN):
         """Process generator: isolate + migrate one block, with retries.
 
         Returns the migrated page count on success (the block is left
         isolated and empty, ready for :meth:`_finish_run`) or ``None``
         when the driver gave up on the block — either skipping it for
-        this request (partial unplug) or quarantining it.
+        this request (partial unplug) or quarantining it.  ``parent``
+        (the block's span) is threaded to every fault fired and recovery
+        event recorded here, so retry and quarantine spans share the
+        originating request's trace id.
         """
         pending: List[InjectedFault] = []
         detect_ns: Optional[int] = None
@@ -215,7 +271,10 @@ class VirtioMemDriver:
             attempt += 1
             failure = ""
             fault = self.faults.fire(
-                DRIVER_BLOCK_TIMEOUT, block_index=block.index, attempt=attempt
+                DRIVER_BLOCK_TIMEOUT,
+                parent=parent,
+                block_index=block.index,
+                attempt=attempt,
             )
             if fault is not None:
                 # The per-block operation hangs until the watchdog fires.
@@ -225,6 +284,7 @@ class VirtioMemDriver:
             if not failure:
                 fault = self.faults.fire(
                     DRIVER_OFFLINE_UNMOVABLE,
+                    parent=parent,
                     block_index=block.index,
                     attempt=attempt,
                 )
@@ -238,7 +298,10 @@ class VirtioMemDriver:
                         failure = "offline"
             if not failure:
                 fault = self.faults.fire(
-                    DRIVER_MIGRATE_FAIL, block_index=block.index, attempt=attempt
+                    DRIVER_MIGRATE_FAIL,
+                    parent=parent,
+                    block_index=block.index,
+                    attempt=attempt,
                 )
                 if fault is not None:
                     pending.append(fault)
@@ -261,13 +324,16 @@ class VirtioMemDriver:
                         detect_ns,
                         attempt,
                         block.index,
+                        parent=parent,
                     )
                 self._offline_failures.pop(block.index, None)
                 return migrated
             if detect_ns is None:
                 detect_ns = self.sim.now
             if attempt > self.retry.max_retries:
-                self._give_up(block, failure, detect_ns, pending, attempt)
+                self._give_up(
+                    block, failure, detect_ns, pending, attempt, parent=parent
+                )
                 return None
             yield Timeout(self.retry.backoff_ns(attempt))
 
@@ -278,6 +344,7 @@ class VirtioMemDriver:
         detect_ns: int,
         pending: List[InjectedFault],
         attempts: int,
+        parent: SpanLike = NULL_SPAN,
     ) -> None:
         """Stop retrying ``block`` this request: skip it or quarantine it."""
         failures = self._offline_failures.get(block.index, 0) + 1
@@ -296,7 +363,12 @@ class VirtioMemDriver:
                 path = "quarantined"
         self._resolve_all(pending, path, attempts)
         self._record(
-            f"driver.unplug.{failure}", path, detect_ns, attempts, block.index
+            f"driver.unplug.{failure}",
+            path,
+            detect_ns,
+            attempts,
+            block.index,
+            parent=parent,
         )
 
     def _resolve_all(
@@ -314,6 +386,7 @@ class VirtioMemDriver:
         detect_ns: Optional[int],
         attempts: int,
         block_index: int,
+        parent: SpanLike = NULL_SPAN,
     ) -> None:
         if self.recovery is None:
             return
@@ -324,6 +397,7 @@ class VirtioMemDriver:
             resolve_ns=self.sim.now,
             attempts=attempts,
             block_index=block_index,
+            parent=parent,
         )
 
     @staticmethod

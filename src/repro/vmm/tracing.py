@@ -4,14 +4,34 @@ Stand-in for the Cloud Hypervisor tracing framework the paper instruments
 (Section 5.4).  Every plug and unplug request is timestamped from receipt
 to completion; the metrics layer derives unplug latency (Figures 5/6) and
 reclamation throughput (Figure 8) from these events.
+
+Zero-completed unplugs (every block quarantined, a deferred sub-DIMM
+request, a balloon with nothing to inflate) are recorded like any other
+request: their latency charges the busy-time denominator of
+:meth:`HypervisorTracer.reclaim_throughput_mib_per_sec` while adding no
+reclaimed bytes — time spent failing to reclaim is still time the unplug
+machinery was busy.
+
+With ``--trace`` installed the tracer doubles as a span consumer
+(:meth:`HypervisorTracer.consume_span`): the device closes a
+``device.plug``/``device.unplug`` span instead of calling ``record_*``
+directly, and the consumer rebuilds the identical :class:`ResizeEvent`
+from the span — same timestamps, same byte counts, same order — so the
+legacy event API stays intact for every downstream metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.span import Span
 
 __all__ = ["ResizeEvent", "HypervisorTracer"]
+
+#: Span names the tracer consumes (see ``docs/observability.md``).
+_RESIZE_SPANS = ("device.plug", "device.unplug")
 
 
 @dataclass
@@ -24,6 +44,10 @@ class ResizeEvent:
     requested_bytes: int
     completed_bytes: int
     migrated_pages: int = 0
+    #: Which VM and deployment mode issued the request (set by the
+    #: fleet at provision time; "" for hand-built tracers).
+    vm_name: str = ""
+    mode: str = ""
 
     @property
     def latency_ns(self) -> int:
@@ -33,15 +57,25 @@ class ResizeEvent:
 class HypervisorTracer:
     """Accumulates :class:`ResizeEvent` records for one VM."""
 
-    def __init__(self) -> None:
+    def __init__(self, vm_name: str = "", mode: str = "") -> None:
         self.events: List[ResizeEvent] = []
+        self.vm_name = vm_name
+        self.mode = mode
 
     def record_plug(
         self, start_ns: int, end_ns: int, requested: int, completed: int
     ) -> None:
         """Record a completed plug request."""
         self.events.append(
-            ResizeEvent("plug", start_ns, end_ns, requested, completed)
+            ResizeEvent(
+                "plug",
+                start_ns,
+                end_ns,
+                requested,
+                completed,
+                vm_name=self.vm_name,
+                mode=self.mode,
+            )
         )
 
     def record_unplug(
@@ -52,10 +86,45 @@ class HypervisorTracer:
         completed: int,
         migrated_pages: int,
     ) -> None:
-        """Record a completed unplug request."""
+        """Record a completed unplug request (``completed`` may be 0)."""
         self.events.append(
-            ResizeEvent("unplug", start_ns, end_ns, requested, completed, migrated_pages)
+            ResizeEvent(
+                "unplug",
+                start_ns,
+                end_ns,
+                requested,
+                completed,
+                migrated_pages,
+                vm_name=self.vm_name,
+                mode=self.mode,
+            )
         )
+
+    # ------------------------------------------------------------------
+    # Span consumption (the --trace feed)
+    # ------------------------------------------------------------------
+    def consume_span(self, span: "Span") -> None:
+        """Rebuild a :class:`ResizeEvent` from a closed resize span.
+
+        Registered on the fleet tracer when tracing is enabled; spans
+        from other VMs (the tracer is per-fleet) are filtered by the
+        ``vm`` attribute.  The produced events are byte-identical to
+        what direct ``record_*`` calls would have appended.
+        """
+        if span.name not in _RESIZE_SPANS:
+            return
+        if self.vm_name and span.attrs.get("vm") != self.vm_name:
+            return
+        requested = int(span.attrs.get("requested_bytes", 0))  # type: ignore[arg-type]
+        completed = int(span.attrs.get("completed_bytes", 0))  # type: ignore[arg-type]
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        if span.name == "device.plug":
+            self.record_plug(span.start_ns, end_ns, requested, completed)
+        else:
+            migrated = int(span.attrs.get("migrated_pages", 0))  # type: ignore[arg-type]
+            self.record_unplug(
+                span.start_ns, end_ns, requested, completed, migrated
+            )
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -65,7 +134,7 @@ class HypervisorTracer:
         return [e for e in self.events if e.kind == "plug"]
 
     def unplug_events(self) -> List[ResizeEvent]:
-        """All unplug events, oldest first."""
+        """All unplug events, oldest first (zero-completed included)."""
         return [e for e in self.events if e.kind == "unplug"]
 
     def total_unplugged_bytes(self) -> int:
@@ -73,7 +142,12 @@ class HypervisorTracer:
         return sum(e.completed_bytes for e in self.unplug_events())
 
     def total_unplug_busy_ns(self) -> int:
-        """Wall time spent inside unplug requests (sum of latencies)."""
+        """Wall time spent inside unplug requests (sum of latencies).
+
+        Zero-completed unplugs count: a request that found every block
+        quarantined still occupied the unplug machinery for its full
+        latency, and dropping it would overstate throughput.
+        """
         return sum(e.latency_ns for e in self.unplug_events())
 
     def reclaim_throughput_mib_per_sec(self) -> float:

@@ -27,6 +27,8 @@ from repro.mm.oom import OomKiller
 from repro.mm.pagecache import PageCache
 from repro.modes.base import ReclaimDatapath
 from repro.modes.datapaths import VirtioMemDatapath
+from repro.obs.context import NO_SCOPE, ObsScope
+from repro.obs.span import NULL_SPAN, SpanLike
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.cpu import CpuCore
 from repro.sim.engine import Process, Simulator
@@ -54,11 +56,17 @@ class VirtualMachine:
         seed: int = 0,
         faults: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[ObsScope] = None,
     ):
         self.sim = sim
         self.host = host
         self.config = config
         self.costs = costs
+        #: The VM's tracing scope (inert :data:`NO_SCOPE` by default):
+        #: stamps ``vm``/``mode``/``host`` labels on every span and
+        #: metric the datapath emits.  The fleet passes a live scope at
+        #: provision time when ``--trace`` is installed.
+        self.obs = obs if obs is not None else NO_SCOPE
         #: Attributed host-memory account: every charge this VM makes
         #: (boot, plugs, baseline mechanisms) flows through it, so host
         #: accounting always knows how many bytes this guest backs.
@@ -67,9 +75,11 @@ class VirtualMachine:
         #: which draws no RNG and adds no latency anywhere).
         self.faults = faults if faults is not None else NO_FAULTS
         self.faults.bind_sim(sim)
+        self.faults.bind_obs(self.obs)
         self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
-        #: Every recovery/degradation the datapath performs lands here.
-        self.recovery_log = RecoveryLog()
+        #: Every recovery/degradation the datapath performs lands here
+        #: (span-fed when tracing, direct appends otherwise).
+        self.recovery_log = RecoveryLog(obs=self.obs)
 
         boot_bytes = config.effective_boot_memory_bytes
         if hotmem_params is not None:
@@ -103,7 +113,9 @@ class VirtualMachine:
         # HotMem vs vanilla wiring.
         self.hotmem: Optional[HotMemManager] = None
         if hotmem_params is not None:
-            self.hotmem = HotMemManager(sim, self.manager, hotmem_params)
+            self.hotmem = HotMemManager(
+                sim, self.manager, hotmem_params, obs=self.obs
+            )
             backend = HotMemBackend(self.hotmem)
             shared_zones = self.hotmem.file_mapping_zones()
         else:
@@ -120,8 +132,14 @@ class VirtualMachine:
             shared_file_zones=shared_zones,
         )
 
-        # virtio-mem device/driver pair.
-        self.tracer = HypervisorTracer()
+        # virtio-mem device/driver pair.  When tracing, the tracer joins
+        # the fleet tracer's consumers: resize events are rebuilt from
+        # closed device spans instead of direct record_* calls.
+        self.tracer = HypervisorTracer(
+            vm_name=config.name, mode=str(self.obs.attrs.get("mode", ""))
+        )
+        if self.obs.enabled:
+            self.obs.context.tracer.add_consumer(self.tracer.consume_span)
         self.driver = VirtioMemDriver(
             sim,
             self.manager,
@@ -132,6 +150,7 @@ class VirtualMachine:
             faults=self.faults,
             retry=self.retry_policy,
             recovery=self.recovery_log,
+            obs=self.obs,
         )
         self.device = VirtioMemDevice(
             sim,
@@ -143,6 +162,7 @@ class VirtualMachine:
             tracer=self.tracer,
             faults=self.faults,
             recovery=self.recovery_log,
+            obs=self.obs,
         )
 
         # HotMem populates the shared partition at boot (Section 4.1).
@@ -191,19 +211,31 @@ class VirtualMachine:
     # ------------------------------------------------------------------
     # Resizing (the hypervisor-facing interface the runtime drives)
     # ------------------------------------------------------------------
-    def request_plug(self, size_bytes: int) -> Process:
-        """Start a plug request; returns the process (value: PlugResult)."""
+    def request_plug(
+        self, size_bytes: int, parent: SpanLike = NULL_SPAN
+    ) -> Process:
+        """Start a plug request; returns the process (value: PlugResult).
+
+        ``parent`` links the datapath's spans into the caller's trace
+        (e.g. the agent's ``agent.plug`` span) when tracing is enabled.
+        """
         return self.sim.spawn(
-            self.datapath.plug(size_bytes), name=f"{self.name}-plug"
+            self.datapath.plug(size_bytes, parent=parent),
+            name=f"{self.name}-plug",
         )
 
-    def request_unplug(self, size_bytes: int) -> Process:
+    def request_unplug(
+        self, size_bytes: int, parent: SpanLike = NULL_SPAN
+    ) -> Process:
         """Start an unplug request; returns the process (value: UnplugResult)."""
         return self.sim.spawn(
-            self.datapath.unplug(size_bytes), name=f"{self.name}-unplug"
+            self.datapath.unplug(size_bytes, parent=parent),
+            name=f"{self.name}-unplug",
         )
 
-    def request_resize(self, target_bytes: int) -> Optional[Process]:
+    def request_resize(
+        self, target_bytes: int, parent: SpanLike = NULL_SPAN
+    ) -> Optional[Process]:
         """Converge the plugged size toward ``target_bytes``.
 
         This is virtio-mem's actual protocol: the hypervisor sets a
@@ -221,9 +253,9 @@ class VirtualMachine:
             )
         delta = target - self.elastic_bytes
         if delta > 0:
-            return self.request_plug(delta)
+            return self.request_plug(delta, parent=parent)
         if delta < 0:
-            return self.request_unplug(-delta)
+            return self.request_unplug(-delta, parent=parent)
         return None
 
     def plug_all_at_boot(self) -> None:

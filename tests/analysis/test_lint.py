@@ -248,6 +248,38 @@ class TestNoModeBranching:
         assert not findings(src, "repro.faas.agent", "no-mode-branching")
 
 
+class TestNoPrintInSrc:
+    def test_print_in_library_module_flagged(self):
+        src = "def f():\n    print('debug')\n"
+        errors = findings(src, "repro.virtio.device", "no-print-in-src")
+        assert len(errors) == 1
+        assert errors[0].line == 2
+        assert "repro.obs" in errors[0].message
+
+    def test_print_in_experiments_allowed(self):
+        src = "def report():\n    print('fig5 done')\n"
+        assert not findings(
+            src, "repro.experiments.fig5_unplug_latency", "no-print-in-src"
+        )
+        assert not findings(src, "repro.experiments", "no-print-in-src")
+
+    def test_out_of_package_module_unflagged(self):
+        src = "print('cli output')\n"
+        assert not findings(src, "tools.lint", "no-print-in-src")
+
+    def test_shadowed_print_method_unflagged(self):
+        # Only the builtin: a method or local named print is not stdout.
+        src = "def f(report):\n    report.print()\n"
+        assert not findings(src, "repro.metrics.report", "no-print-in-src")
+
+    def test_allow_comment_silences(self):
+        src = (
+            "def f():\n"
+            "    print('x')  # lint: allow[no-print-in-src] debug hook\n"
+        )
+        assert not findings(src, "repro.mm.manager", "no-print-in-src")
+
+
 class TestSuppression:
     def test_allow_comment_silences_rule_on_line(self):
         src = "import time\nt = time.time()  # lint: allow[no-wallclock] display\n"
@@ -326,6 +358,7 @@ class TestDriversAndOutput:
             "module-all-required",
             "no-bare-except",
             "no-mode-branching",
+            "no-print-in-src",
         }
         assert all(RULES.values())
 

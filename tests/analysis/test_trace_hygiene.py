@@ -1,0 +1,70 @@
+"""Trace hygiene over whole experiments.
+
+Every experiment run under ``--trace`` must end with zero open spans:
+spans that close on their normal path do so before the run ends, and
+spans abandoned by a duration-budget run cut are force-closed (tagged
+``cut="run-end"``) by session finalization.  The exported report must
+then attribute every unplug exactly.
+"""
+
+from repro.experiments import (
+    FunctionLoad,
+    MicrobenchRig,
+    MicrobenchSetup,
+    ServerlessScenario,
+    run_scenario,
+)
+from repro.obs import build_report, export_session, read_trace, traced
+from repro.units import MIB
+
+SCENARIO = ServerlessScenario(
+    mode="hotmem",
+    loads=(FunctionLoad.for_function("html", base_rps=4.0),),
+    duration_s=20,
+    keep_alive_s=5,
+    recycle_interval_s=2,
+    drain_s=5,
+)
+
+
+class TestOpenSpansAfterExperiments:
+    def test_microbench_closes_every_span_on_path(self):
+        with traced() as session:
+            rig = MicrobenchRig(
+                MicrobenchSetup(
+                    mode="hotmem",
+                    total_bytes=768 * MIB,
+                    partition_bytes=384 * MIB,
+                )
+            )
+            rig.run_single_reclaim(384 * MIB)
+            assert session.finalize() == 0
+            assert session.open_spans() == 0
+
+    def test_serverless_run_cut_is_finalized_to_zero(self):
+        with traced() as session:
+            run = run_scenario(SCENARIO)
+            assert run.records
+            session.finalize()
+            assert session.open_spans() == 0
+            cut = [
+                span
+                for context in session.contexts
+                for span in context.tracer.spans()
+                if span.attrs.get("cut") == "run-end"
+            ]
+            # Anything the budget cut is tagged, closed, and accounted.
+            for span in cut:
+                assert span.closed
+
+    def test_report_over_a_serverless_run_is_exact(self, tmp_path):
+        with traced() as session:
+            run_scenario(SCENARIO)
+            session.finalize()
+        path = tmp_path / "trace.jsonl"
+        export_session(session, str(path))
+        report = build_report(read_trace(str(path)))
+        assert report.open_spans == 0
+        assert report.total_unplugs > 0
+        assert report.exact_matches == report.total_unplugs
+        assert [m.mode for m in report.modes] == ["hotmem"]

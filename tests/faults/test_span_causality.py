@@ -1,0 +1,151 @@
+"""Span causality under faults.
+
+The driver threads each block's span into every fault it fires and every
+recovery event it records, so a quarantined block's whole failure story
+— fault, retries, quarantine — lives in the trace of the unplug request
+that triggered it, and a traced run leaves nothing open and perturbs
+nothing (the legacy event logs stay byte-identical).
+"""
+
+from repro.cluster.provision import Fleet, VmSpec
+from repro.faults import (
+    DRIVER_MIGRATE_FAIL,
+    DRIVER_OFFLINE_UNMOVABLE,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.obs import traced
+from repro.obs.session import context_for
+from repro.sim import Simulator
+from repro.units import GIB, MEMORY_BLOCK_SIZE
+
+
+def build_vm(specs, retry):
+    """A fleet VM with a fault plan, on its own simulator.
+
+    The fleet must be constructed while the tracing session is
+    installed: contexts bind at provision time.
+    """
+    sim = Simulator()
+    fleet = Fleet(sim)
+    vm = fleet.provision(
+        VmSpec(
+            "fault-vm",
+            region_bytes=1 * GIB,
+            faults=FaultPlan(tuple(specs)),
+            retry=retry,
+        )
+    ).vm
+    return sim, vm
+
+
+def run_request(sim, process):
+    sim.run()
+    return process.value
+
+
+def spans_named(tracer, name):
+    return [s for s in tracer.spans() if s.name == name]
+
+
+class TestQuarantineCausality:
+    def drive_to_quarantine(self):
+        sim, vm = build_vm(
+            [FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0)],
+            retry=RetryPolicy(max_retries=0, quarantine_after=2),
+        )
+        tracer = context_for(sim).tracer
+        run_request(sim, vm.request_plug(2 * MEMORY_BLOCK_SIZE))
+        run_request(sim, vm.request_unplug(1 * MEMORY_BLOCK_SIZE))
+        run_request(sim, vm.request_unplug(1 * MEMORY_BLOCK_SIZE))
+        assert len(vm.manager.quarantined_blocks) == 1
+        return vm, tracer
+
+    def test_quarantine_spans_share_the_unplug_trace(self):
+        with traced():
+            vm, tracer = self.drive_to_quarantine()
+            unplugs = spans_named(tracer, "device.unplug")
+            assert len(unplugs) == 2
+            quarantine = next(
+                s
+                for s in spans_named(tracer, "recovery")
+                if s.attrs.get("path") == "quarantined"
+            )
+            # The quarantine decision is causally chained to the unplug
+            # request whose failure crossed the threshold (the second).
+            assert quarantine.trace_id == unplugs[1].trace_id
+            assert quarantine.trace_id != unplugs[0].trace_id
+            faults = [
+                s
+                for s in spans_named(tracer, "fault")
+                if s.attrs.get("site") == DRIVER_OFFLINE_UNMOVABLE
+            ]
+            assert len(faults) == 2
+            # Each fired fault belongs to the trace of its own request.
+            assert [f.trace_id for f in faults] == [
+                u.trace_id for u in unplugs
+            ]
+            block_spans = spans_named(tracer, "driver.unplug.block")
+            assert block_spans
+            assert {b.trace_id for b in block_spans} == {
+                u.trace_id for u in unplugs
+            }
+
+    def test_nothing_left_open_after_faulted_run(self):
+        with traced() as session:
+            vm, tracer = self.drive_to_quarantine()
+            del vm
+            assert tracer.open_spans() == 0
+            # finalize() has nothing to cut: every span closed on path.
+            assert session.finalize() == 0
+            assert session.open_spans() == 0
+
+
+class TestRetryCausality:
+    def test_retried_block_spans_share_the_unplug_trace(self):
+        with traced():
+            sim, vm = build_vm(
+                [FaultSpec(DRIVER_MIGRATE_FAIL, 1.0, max_fires=1)],
+                retry=RetryPolicy(max_retries=2),
+            )
+            tracer = context_for(sim).tracer
+            run_request(sim, vm.request_plug(2 * MEMORY_BLOCK_SIZE))
+            result = run_request(
+                sim, vm.request_unplug(1 * MEMORY_BLOCK_SIZE)
+            )
+            assert result.fully_unplugged
+            (unplug,) = spans_named(tracer, "device.unplug")
+            retried = next(
+                s
+                for s in spans_named(tracer, "recovery")
+                if s.attrs.get("path") == "retried"
+            )
+            assert retried.trace_id == unplug.trace_id
+            assert retried.attrs["attempts"] == 2
+            (fault,) = spans_named(tracer, "fault")
+            assert fault.trace_id == unplug.trace_id
+            assert fault.attrs["resolution"] == "retried"
+
+
+class TestConsumerEquivalence:
+    SPECS = (
+        FaultSpec(DRIVER_OFFLINE_UNMOVABLE, 1.0),
+    )
+
+    def drive(self, vm, sim):
+        run_request(sim, vm.request_plug(2 * MEMORY_BLOCK_SIZE))
+        run_request(sim, vm.request_unplug(1 * MEMORY_BLOCK_SIZE))
+        run_request(sim, vm.request_unplug(1 * MEMORY_BLOCK_SIZE))
+
+    def test_traced_run_leaves_legacy_logs_byte_identical(self):
+        retry = RetryPolicy(max_retries=0, quarantine_after=2)
+        with traced():
+            sim, traced_vm = build_vm(self.SPECS, retry)
+            self.drive(traced_vm, sim)
+        sim, plain_vm = build_vm(self.SPECS, retry)
+        self.drive(plain_vm, sim)
+        assert traced_vm.recovery_log.events == plain_vm.recovery_log.events
+        assert traced_vm.recovery_log.events
+        assert traced_vm.tracer.events == plain_vm.tracer.events
+        assert traced_vm.tracer.events

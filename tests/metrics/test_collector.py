@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import PeriodicSampler, TimeSeries
+from repro.metrics.collector import FleetCollector, PeriodicSampler, TimeSeries
 from repro.units import SEC
 
 
@@ -40,6 +40,32 @@ class TestTimeSeries:
         series.record(2 * SEC, 1.0)
         assert series.times_s() == [2.0]
 
+    def test_percentile_nearest_rank(self):
+        series = TimeSeries("t")
+        for t, v in enumerate([10.0, 40.0, 20.0, 30.0]):
+            series.record(t, v)
+        assert series.percentile(50) == 20.0
+        assert series.percentile(99) == 40.0
+        assert series.percentile(0) == 10.0
+        assert series.percentile(100) == 40.0
+
+    def test_percentile_is_an_actual_sample(self):
+        series = TimeSeries("t")
+        for t, v in enumerate([1.0, 1000.0]):
+            series.record(t, v)
+        # Nearest-rank, not interpolated: the result is a real sample.
+        assert series.percentile(50) in series.values()
+
+    def test_percentile_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            TimeSeries("t").percentile(50)
+        series = TimeSeries("t")
+        series.record(0, 1.0)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+        with pytest.raises(ValueError):
+            series.percentile(-1)
+
 
 class TestPeriodicSampler:
     def test_samples_on_period(self, sim):
@@ -67,3 +93,32 @@ class TestPeriodicSampler:
     def test_invalid_period_rejected(self, sim):
         with pytest.raises(ValueError):
             PeriodicSampler(sim, lambda: 0.0, period_ns=0)
+
+
+class TestFleetCollectorRollups:
+    def test_host_rollup_is_pointwise_sum(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector.start(until_ns=3 * SEC)
+        sim.run(until=3 * SEC)
+        rolled = collector.host_used_series(0)
+        parts = [s for (h, _), s in collector.used.items() if h == 0]
+        assert len(rolled) == len(parts[0])
+        for i, (_, value) in enumerate(rolled.samples):
+            assert value == sum(p.samples[i][1] for p in parts)
+
+    def test_unknown_host_raises(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        with pytest.raises(ValueError, match="no series for host 7"):
+            collector.host_used_series(7)
+
+    def test_misaligned_series_raise_with_lengths(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector.start(until_ns=3 * SEC)
+        sim.run(until=3 * SEC)
+        straggler = TimeSeries("used-h0n99")
+        straggler.record(0, 1.0)
+        collector.used[(0, 99)] = straggler
+        with pytest.raises(ValueError, match="misaligned per-node series"):
+            collector.host_used_series(0)
+        with pytest.raises(ValueError, match="used-h0n99=1"):
+            collector.host_used_series(0)

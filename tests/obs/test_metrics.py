@@ -1,0 +1,114 @@
+"""Unit tests for the unified metrics registry: counters, gauges,
+histograms, label handling, and deterministic snapshots."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("plug_requests_total", error="ok")
+        reg.inc("plug_requests_total", error="ok")
+        reg.inc("plug_requests_total", error="nack")
+        assert reg.counter_value("plug_requests_total", error="ok") == 2
+        assert reg.counter_value("plug_requests_total", error="nack") == 1
+        assert reg.counter_total("plug_requests_total") == 3
+
+    def test_inc_with_explicit_value(self):
+        reg = MetricsRegistry()
+        reg.inc("plugged_bytes_total", 4096, vm="vm0")
+        reg.inc("plugged_bytes_total", 8192, vm="vm0")
+        assert reg.counter_value("plugged_bytes_total", vm="vm0") == 12288
+
+    def test_missing_series_reads_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never_written_total") == 0
+        assert reg.counter_total("never_written_total") == 0
+
+    def test_label_values_coerced_to_strings(self):
+        reg = MetricsRegistry()
+        reg.inc("admissions_total", admitted=True, host=0)
+        assert reg.counter_value("admissions_total", admitted="True", host="0") == 1
+
+
+class TestGauges:
+    def test_latest_value_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("open_spans", 4)
+        reg.gauge_set("open_spans", 2)
+        assert reg.gauge_value("open_spans") == 2
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_count_sum_min_max(self):
+        reg = MetricsRegistry()
+        for value in (10, 30, 20):
+            reg.observe("unplug_latency_ns", value, mode="hotmem")
+        assert reg.histogram_count("unplug_latency_ns", mode="hotmem") == 3
+        row = next(
+            r for r in reg.snapshot() if r["kind"] == "histogram"
+        )
+        assert row["count"] == 3
+        assert row["sum"] == 60
+        assert row["min"] == 10
+        assert row["max"] == 30
+
+    def test_power_of_two_bucketing(self):
+        reg = MetricsRegistry()
+        # value v lands in bucket (v-1).bit_length(): v <= 2**exponent.
+        for value, exponent in ((1, 0), (2, 1), (1024, 10), (1025, 11)):
+            reg.observe("latency", value)
+        row = next(r for r in reg.snapshot() if r["kind"] == "histogram")
+        assert row["buckets"] == {"0": 1, "1": 1, "10": 1, "11": 1}
+
+    def test_missing_histogram_counts_zero(self):
+        assert MetricsRegistry().histogram_count("nope") == 0
+
+
+class TestRegistry:
+    def test_label_values_distinct_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("unplug_requests_total", mode="vanilla")
+        reg.inc("unplug_requests_total", mode="hotmem")
+        reg.observe("unplug_latency_ns", 5, mode="balloon")
+        assert reg.label_values("unplug_requests_total", "mode") == [
+            "hotmem",
+            "vanilla",
+        ]
+        assert reg.label_values("unplug_latency_ns", "mode") == ["balloon"]
+
+    def test_series_count_spans_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("c", vm="a")
+        reg.inc("c", vm="b")
+        reg.gauge_set("g", 1)
+        reg.observe("h", 1)
+        assert reg.series_count() == 4
+
+    def test_snapshot_is_deterministically_ordered(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1)
+        reg.inc("z_counter")
+        reg.inc("a_counter", vm="b")
+        reg.inc("a_counter", vm="a")
+        reg.gauge_set("g", 7)
+        kinds = [row["kind"] for row in reg.snapshot()]
+        assert kinds == ["counter", "counter", "counter", "gauge", "histogram"]
+        counters = [row for row in reg.snapshot() if row["kind"] == "counter"]
+        assert [(r["name"], r["labels"]) for r in counters] == [
+            ("a_counter", {"vm": "a"}),
+            ("a_counter", {"vm": "b"}),
+            ("z_counter", {}),
+        ]
+
+    def test_disabled_registry_is_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("c")
+        reg.gauge_set("g", 1)
+        reg.observe("h", 1)
+        assert reg.series_count() == 0
+        assert reg.snapshot() == []
+        assert reg.counter_value("c") == 0

@@ -1,0 +1,119 @@
+"""The global tracing session and the scope/context plumbing.
+
+Session tests must leave the module-level singleton uninstalled; every
+path here goes through ``traced()`` or an explicit try/finally.
+"""
+
+import pytest
+
+from repro.obs.context import NO_OBS, NO_SCOPE, ObsContext
+from repro.obs.session import (
+    context_for,
+    current_session,
+    install,
+    is_installed,
+    traced,
+    uninstall,
+)
+from repro.obs.span import NULL_SPAN
+from repro.sim import Simulator
+
+
+class TestInstall:
+    def test_install_uninstall_cycle(self):
+        assert not is_installed()
+        assert current_session() is None
+        session = install()
+        try:
+            assert is_installed()
+            assert current_session() is session
+        finally:
+            assert uninstall() is session
+        assert not is_installed()
+        assert uninstall() is None
+
+    def test_double_install_raises(self):
+        with traced():
+            with pytest.raises(RuntimeError):
+                install()
+
+    def test_traced_uninstalls_on_exception(self):
+        with pytest.raises(ValueError):
+            with traced():
+                raise ValueError("boom")
+        assert not is_installed()
+
+
+class TestContextFor:
+    def test_uninstalled_returns_inert_context(self):
+        context = context_for(Simulator())
+        assert context is NO_OBS
+        assert not context.enabled
+        assert context.scope() is NO_SCOPE
+
+    def test_one_context_per_simulator_in_creation_order(self):
+        with traced() as session:
+            sim_a, sim_b = Simulator(), Simulator()
+            ctx_a = context_for(sim_a)
+            ctx_b = context_for(sim_b)
+            assert context_for(sim_a) is ctx_a
+            assert ctx_a is not ctx_b
+            assert (ctx_a.index, ctx_b.index) == (0, 1)
+            assert session.contexts == [ctx_a, ctx_b]
+            assert ctx_a.sim is sim_a
+
+    def test_session_rollups(self):
+        with traced() as session:
+            context = context_for(Simulator())
+            scope = context.scope(vm="vm0")
+            span = scope.span("device.plug")
+            scope.event("partition.assign")
+            scope.inc("plug_requests_total", error="ok")
+            assert session.total_spans() == 1  # only the closed event
+            assert session.open_spans() == 1
+            assert session.metric_series() == 1
+            assert session.finalize() == 1
+            assert session.open_spans() == 0
+            assert span.attrs["cut"] == "run-end"
+
+
+class TestScope:
+    def test_scope_stamps_labels_on_spans_and_metrics(self):
+        context = ObsContext()
+        context.bind_sim(Simulator())
+        scope = context.scope(vm="vm3", mode="hotmem")
+        span = scope.span("device.unplug", requested_bytes=4096)
+        assert span.attrs == {
+            "vm": "vm3",
+            "mode": "hotmem",
+            "requested_bytes": 4096,
+        }
+        scope.inc("unplug_requests_total", outcome="full")
+        assert (
+            context.metrics.counter_value(
+                "unplug_requests_total",
+                vm="vm3",
+                mode="hotmem",
+                outcome="full",
+            )
+            == 1
+        )
+
+    def test_call_site_wins_on_label_collision(self):
+        context = ObsContext()
+        scope = context.scope(vm="provisioned")
+        span = scope.span("x", vm="override")
+        assert span.attrs["vm"] == "override"
+
+    def test_no_scope_is_inert(self):
+        assert NO_SCOPE.span("x") is NULL_SPAN
+        assert NO_SCOPE.event("x") is NULL_SPAN
+        NO_SCOPE.inc("c")
+        NO_SCOPE.observe("h", 1)
+        NO_SCOPE.gauge_set("g", 1)
+        assert NO_OBS.metrics.series_count() == 0
+        assert NO_OBS.tracer.spans() == []
+
+    def test_disabled_context_hands_out_the_no_scope_singleton(self):
+        context = ObsContext(enabled=False)
+        assert context.scope(vm="ignored") is NO_SCOPE
