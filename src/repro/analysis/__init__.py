@@ -1,6 +1,6 @@
-"""Correctness tooling: the memory-state sanitizer and the repo lint.
+"""Correctness tooling: runtime sanitizer, static lint, flow analysis.
 
-Two prongs, both described in ``docs/analysis.md``:
+Three prongs, all described in ``docs/analysis.md``:
 
 * :mod:`repro.analysis.invariants` + :mod:`repro.analysis.sanitizer` — a
   KASAN/lockdep-style runtime checker that sweeps a registry of named
@@ -8,11 +8,26 @@ Two prongs, both described in ``docs/analysis.md``:
   movability, HotMem exclusivity, refcounts, mirrors, leak detection) at
   configurable checkpoints; enabled fleet-wide with
   ``python -m repro.experiments ... --sanitize`` or ``pytest --sanitize``.
-* :mod:`repro.analysis.lint` — an AST lint pass enforcing repo-wide
-  determinism and encapsulation conventions, run as
-  ``python tools/lint.py src``.
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — a pluggable
+  lint-rule registry: syntactic AST rules and CFG/dataflow rules share
+  one walker pass, one suppression syntax and one finding model, run as
+  ``python tools/lint.py src`` (JSON and SARIF 2.1.0 output, baseline
+  support).
+* :mod:`repro.analysis.cfg` + :mod:`repro.analysis.flow` — per-function
+  control-flow graphs with yield-point nodes over the simulator's
+  cooperative coroutines, powering the race-detection rule families
+  (stale-guard-across-yield, unchecked-result, span-hygiene): properties
+  runtime probes can only sample per-seed are proven over *all*
+  interleavings.
 """
 
+from repro.analysis.baseline import (
+    fingerprint_errors,
+    load_baseline,
+    render_baseline,
+    split_baselined,
+)
+from repro.analysis.cfg import CFG, CFGNode, build_all, build_cfg
 from repro.analysis.invariants import (
     INVARIANTS,
     CheckContext,
@@ -23,7 +38,13 @@ from repro.analysis.invariants import (
     invariant,
     run_invariants,
 )
-from repro.analysis.lint import LintError, lint_paths, lint_source
+from repro.analysis.lint import RULES, LintError, lint_paths, lint_source
+from repro.analysis.rules import (
+    DEFAULT_REGISTRY,
+    FileContext,
+    Rule,
+    RuleRegistry,
+)
 from repro.analysis.sanitizer import (
     MemSanitizer,
     SanitizerConfig,
@@ -33,6 +54,7 @@ from repro.analysis.sanitizer import (
     sanitized,
     uninstall,
 )
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "CheckContext",
@@ -51,6 +73,20 @@ __all__ = [
     "installed_sanitizers",
     "sanitized",
     "LintError",
+    "RULES",
     "lint_source",
     "lint_paths",
+    "DEFAULT_REGISTRY",
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "build_all",
+    "render_sarif",
+    "fingerprint_errors",
+    "load_baseline",
+    "render_baseline",
+    "split_baselined",
 ]

@@ -1,0 +1,153 @@
+"""Accepted-findings baseline: grandfather old findings, gate new ones.
+
+A lint rule added to a living repo faces a bootstrap problem: the day it
+lands, every pre-existing violation would turn CI red at once.  The
+baseline file solves it the way ``ruff``'s and ``ESLint``'s do — known
+findings are recorded by a *content fingerprint* and subtracted from the
+gate, so new violations fail CI while grandfathered ones do not, and
+fixing a grandfathered finding never resurrects it.
+
+Fingerprints are deliberately line-number-free: a finding is identified
+by ``(rule, path, sha256(rule + path + stripped source line) [+ #n for
+the n-th identical line])``.  Adding or removing unrelated lines above a
+finding therefore does not invalidate the baseline, while editing the
+offending line itself does — exactly the sensitivity a review gate
+wants.  The same fingerprint is exported as SARIF
+``partialFingerprints``, so GitHub code scanning tracks findings across
+pushes identically.
+
+File format (``tools/lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "...", "path": "...", "fingerprint": "..."},
+        ...
+      ]
+    }
+
+sorted by (rule, path, fingerprint) — regeneration via ``tools/lint.py
+--update-baseline`` is byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.rules import LintError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineKey",
+    "fingerprint_errors",
+    "load_baseline",
+    "render_baseline",
+    "split_baselined",
+]
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: One accepted finding: (rule, path, fingerprint).
+BaselineKey = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    """Forward-slash the path so baselines travel across platforms."""
+    return path.replace("\\", "/")
+
+
+def fingerprint_errors(
+    errors: Sequence[LintError],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> List[str]:
+    """Content fingerprint for each error, positionally.
+
+    The digest covers the rule, the normalized path and the *stripped
+    text of the offending line* — not its number — so findings survive
+    unrelated edits above them.  When several findings of one rule land
+    on byte-identical lines of one file, an occurrence counter
+    disambiguates them deterministically (in (line, col) order, which is
+    how the drivers sort).
+    """
+    seen: Dict[str, int] = {}
+    out: List[str] = []
+    for error in errors:
+        path = _normalize_path(error.path)
+        lines = lines_by_path.get(error.path, ())
+        text = ""
+        if 1 <= error.line <= len(lines):
+            text = lines[error.line - 1].strip()
+        base = hashlib.sha256(
+            f"{error.rule}\x00{path}\x00{text}".encode("utf-8")
+        ).hexdigest()[:20]
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out.append(base if occurrence == 0 else f"{base}#{occurrence}")
+    return out
+
+
+def render_baseline(
+    errors: Sequence[LintError],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> str:
+    """The baseline file recording ``errors`` as accepted, as a string.
+
+    Output is sorted and newline-terminated: regenerating from the same
+    findings is byte-identical.
+    """
+    prints = fingerprint_errors(errors, lines_by_path)
+    records = sorted(
+        {
+            (error.rule, _normalize_path(error.path), fp)
+            for error, fp in zip(errors, prints)
+        }
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": path, "fingerprint": fp}
+            for rule, path, fp in records
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Accepted (rule, path, fingerprint) triples from a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: Set[BaselineKey] = set()
+    for record in payload.get("findings", []):
+        keys.add(
+            (
+                str(record["rule"]),
+                _normalize_path(str(record["path"])),
+                str(record["fingerprint"]),
+            )
+        )
+    return keys
+
+
+def split_baselined(
+    errors: Sequence[LintError],
+    accepted: Iterable[BaselineKey],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> Tuple[List[LintError], List[LintError]]:
+    """Partition findings into (new, grandfathered) against a baseline."""
+    accepted_set = set(accepted)
+    prints = fingerprint_errors(errors, lines_by_path)
+    new: List[LintError] = []
+    old: List[LintError] = []
+    for error, fp in zip(errors, prints):
+        key = (error.rule, _normalize_path(error.path), fp)
+        (old if key in accepted_set else new).append(error)
+    return new, old

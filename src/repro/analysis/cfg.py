@@ -1,0 +1,390 @@
+"""Per-function control-flow graphs over the AST, with yield points.
+
+The simulator's concurrency model makes one static property worth a
+whole analysis layer: a process runs *atomically between yields*.  Any
+invariant checked before a ``yield`` may be stale after it, because
+every other process in the calendar queue gets to run in between.  The
+flow rules in :mod:`repro.analysis.flow` therefore need to know, for
+every function, where the yield points are and which statements can
+execute between them — exactly what a control-flow graph expresses.
+
+The graph here is statement-level and deliberately conservative:
+
+* every statement becomes one node (compound statements contribute a
+  *head* node holding their test/iterator expression);
+* ``if``/``while``/``for``/``try``/``with``/``match`` produce the usual
+  branch, back-edge and join structure; ``break``/``continue``/
+  ``return``/``raise`` are routed through enclosing ``finally`` bodies
+  (cloned per abrupt exit, so path queries stay exact);
+* every node inside a ``try`` body gets an edge to each handler head
+  (any statement may raise);
+* a node is a **yield point** when its statement contains ``yield``,
+  ``yield from`` or ``await`` outside any nested function or lambda.
+
+Two distinguished sinks keep path queries honest: :attr:`CFG.exit` is
+normal completion (explicit or implicit return) and
+:attr:`CFG.raise_exit` is an exception escaping the function.  Rules
+that only care about normal control flow (span hygiene) query paths to
+``exit``; rules about interleaving (stale guards) traverse everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "FunctionInfo",
+    "build_all",
+    "build_cfg",
+    "contains_yield",
+    "contains_yield_in_stmt",
+    "iter_functions",
+]
+
+FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+_NESTED_SCOPE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit) in a function's graph."""
+
+    index: int
+    kind: str  # "entry" | "exit" | "raise-exit" | "stmt" | "test" | ...
+    stmt: Optional[ast.AST]
+    line: int
+    is_yield: bool = False
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = " yield" if self.is_yield else ""
+        return f"<CFGNode {self.index} {self.kind} L{self.line}{tag}>"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    func: ast.AST
+    name: str
+    nodes: List[CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    @property
+    def yield_nodes(self) -> List[int]:
+        """Indices of nodes whose statement suspends the coroutine."""
+        return [node.index for node in self.nodes if node.is_yield]
+
+    @property
+    def is_coroutine(self) -> bool:
+        """Whether this function can suspend (generator or async)."""
+        return bool(self.yield_nodes) or isinstance(
+            self.func, ast.AsyncFunctionDef
+        )
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        """Every non-synthetic node, in creation (roughly source) order."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """A function definition plus its dotted location inside the module."""
+
+    qualname: str
+    node: ast.AST  # ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def contains_yield(node: ast.AST) -> bool:
+    """``yield``/``yield from``/``await`` inside ``node``, ignoring
+    nested function/lambda bodies (their suspension is their own)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _NESTED_SCOPE):
+                continue
+            stack.append(child)
+    return False
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionInfo]:
+    """Every function in ``tree`` (methods and nested defs included)."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[FunctionInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, FunctionDef):
+                qualname = f"{prefix}{child.name}"
+                yield FunctionInfo(qualname, child)
+                yield from visit(child, f"{qualname}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    breaks: List[int]
+    finally_depth: int
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function body."""
+
+    def __init__(self, func: ast.AST, qualname: str):
+        self.func = func
+        self.qualname = qualname
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new("entry", None, getattr(func, "lineno", 1))
+        self.exit = self._new("exit", None, getattr(func, "lineno", 1))
+        self.raise_exit = self._new(
+            "raise-exit", None, getattr(func, "lineno", 1)
+        )
+        self.loops: List[_LoopFrame] = []
+        #: innermost-last stack of (handler head indices, finally stmts)
+        self.guards: List[Tuple[List[int], List[ast.stmt]]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new(
+        self, kind: str, stmt: Optional[ast.AST], line: int
+    ) -> int:
+        node = CFGNode(
+            index=len(self.nodes),
+            kind=kind,
+            stmt=stmt,
+            line=line,
+            is_yield=stmt is not None and contains_yield_in_stmt(stmt),
+        )
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    def _wire(self, preds: List[int], dst: int) -> None:
+        for pred in preds:
+            self._edge(pred, dst)
+
+    # -- finally routing -----------------------------------------------
+    def _route_abrupt(
+        self, preds: List[int], target: int, down_to_depth: int = 0
+    ) -> None:
+        """Send ``preds`` through clones of enclosing ``finally`` bodies
+        (innermost first, down to stack depth ``down_to_depth``) and then
+        to ``target``."""
+        current = preds
+        for _, final_body in reversed(self.guards[down_to_depth:]):
+            if not final_body:
+                continue
+            current = self._build_block(final_body, current)
+            if not current:  # the finally itself diverts control
+                return
+        self._wire(current, target)
+
+    # -- statement dispatch ----------------------------------------------
+    def _build_block(
+        self, stmts: List[ast.stmt], preds: List[int]
+    ) -> List[int]:
+        ends = preds
+        for stmt in stmts:
+            ends = self._build_stmt(stmt, ends)
+        return ends
+
+    def _build_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new("with", stmt, stmt.lineno)
+            self._wire(preds, head)
+            return self._build_block(stmt.body, [head])
+        if isinstance(stmt, ast.Return):
+            node = self._new("return", stmt, stmt.lineno)
+            self._wire(preds, node)
+            self._route_abrupt([node], self.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new("raise", stmt, stmt.lineno)
+            self._wire(preds, node)
+            handlers = self._innermost_handlers()
+            if handlers:
+                for head in handlers:
+                    self._edge(node, head)
+            else:
+                self._route_abrupt([node], self.raise_exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._new("break", stmt, stmt.lineno)
+            self._wire(preds, node)
+            if self.loops:
+                frame = self.loops[-1]
+                self._collect_break([node], frame)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._new("continue", stmt, stmt.lineno)
+            self._wire(preds, node)
+            if self.loops:
+                frame = self.loops[-1]
+                self._route_abrupt(
+                    [node], frame.head, down_to_depth=frame.finally_depth
+                )
+            return []
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            head = self._new("match", stmt, stmt.lineno)
+            self._wire(preds, head)
+            ends: List[int] = [head]  # no case may match
+            for case in stmt.cases:
+                ends.extend(self._build_block(case.body, [head]))
+            return ends
+        # Plain statement (including nested def/class, which get their
+        # own CFGs and contribute a single node here).
+        node = self._new("stmt", stmt, stmt.lineno)
+        self._wire(preds, node)
+        return [node]
+
+    def _collect_break(self, preds: List[int], frame: _LoopFrame) -> None:
+        """Route a break through finallys inside the loop, recording the
+        final predecessors for wiring to the loop exit."""
+        current = preds
+        for _, final_body in reversed(self.guards[frame.finally_depth:]):
+            if not final_body:
+                continue
+            current = self._build_block(final_body, current)
+            if not current:
+                return
+        frame.breaks.extend(current)
+
+    def _innermost_handlers(self) -> List[int]:
+        for handlers, _ in reversed(self.guards):
+            if handlers:
+                return handlers
+        return []
+
+    # -- compound statements ---------------------------------------------
+    def _build_if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        head = self._new("test", stmt, stmt.lineno)
+        self._wire(preds, head)
+        body_ends = self._build_block(stmt.body, [head])
+        if stmt.orelse:
+            else_ends = self._build_block(stmt.orelse, [head])
+        else:
+            else_ends = [head]
+        return body_ends + else_ends
+
+    def _build_loop(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        head = self._new("loop", stmt, stmt.lineno)
+        self._wire(preds, head)
+        frame = _LoopFrame(
+            head=head, breaks=[], finally_depth=len(self.guards)
+        )
+        self.loops.append(frame)
+        body_ends = self._build_block(stmt.body, [head])
+        self.loops.pop()
+        self._wire(body_ends, head)  # back edge
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            exit_preds = self._build_block(orelse, [head])
+        else:
+            exit_preds = [head]
+        return exit_preds + frame.breaks
+
+    def _build_try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        handler_heads = [
+            self._new("except", handler, handler.lineno)
+            for handler in stmt.handlers
+        ]
+        self.guards.append((handler_heads, stmt.finalbody))
+        first_body_node = len(self.nodes)
+        body_ends = self._build_block(stmt.body, preds)
+        # Any statement in the body may raise into any handler.
+        for index in range(first_body_node, len(self.nodes)):
+            for head in handler_heads:
+                if index != head:
+                    self._edge(index, head)
+        self.guards.pop()
+
+        # Handlers and the else block still run under the finally (but
+        # not under these handlers).
+        self.guards.append(([], stmt.finalbody))
+        handler_ends: List[int] = []
+        for handler, head in zip(stmt.handlers, handler_heads):
+            handler_ends.extend(self._build_block(handler.body, [head]))
+        if stmt.orelse:
+            body_ends = self._build_block(stmt.orelse, body_ends)
+        self.guards.pop()
+
+        normal = body_ends + handler_ends
+        if stmt.finalbody:
+            return self._build_block(stmt.finalbody, normal)
+        return normal
+
+    # -- driver ----------------------------------------------------------
+    def build(self) -> CFG:
+        body = list(getattr(self.func, "body", []))
+        ends = self._build_block(body, [self.entry])
+        self._wire(ends, self.exit)  # implicit return
+        return CFG(
+            func=self.func,
+            name=self.qualname,
+            nodes=self.nodes,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+
+def contains_yield_in_stmt(stmt: ast.AST) -> bool:
+    """Yield detection for one statement *head* (compound statements
+    only look at their test/iterator expression, not their body)."""
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        return contains_yield(stmt.test)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return isinstance(stmt, ast.AsyncFor) or contains_yield(stmt.iter)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return isinstance(stmt, ast.AsyncWith) or any(
+            contains_yield(item.context_expr) for item in stmt.items
+        )
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return contains_yield(stmt.subject)
+    if isinstance(stmt, ast.Try):
+        return False
+    if isinstance(stmt, ast.ExceptHandler):
+        return False
+    if isinstance(stmt, (*FunctionDef, ast.ClassDef)):
+        # A nested definition suspends its *own* body, not ours.
+        return False
+    return contains_yield(stmt)
+
+
+def build_cfg(func: ast.AST, qualname: Optional[str] = None) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    name = qualname or getattr(func, "name", "<function>")
+    return _Builder(func, name).build()
+
+
+def build_all(tree: ast.AST) -> Dict[str, CFG]:
+    """CFGs for every function in a module, keyed by qualified name."""
+    graphs: Dict[str, CFG] = {}
+    for info in iter_functions(tree):
+        graphs[info.qualname] = build_cfg(info.node, info.qualname)
+    return graphs

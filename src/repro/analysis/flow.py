@@ -1,0 +1,960 @@
+"""CFG/dataflow lint rules over simulator coroutines.
+
+The engine runs processes cooperatively: code between two ``yield``
+points is atomic, but *nothing* checked before a yield is guaranteed to
+hold after it.  PR 4 fixed exactly such a bug by hand (the concurrent
+DIMM plug slot race: ``free_dimms()`` counted, then the RTT yield, then
+blocks onlined into slots another request had claimed meanwhile).  The
+rules here prove the absence of that bug class statically, over *all*
+interleavings, instead of the handful a seeded chaos run happens to
+produce.
+
+Rule families
+-------------
+
+``stale-guard-across-yield`` (flow)
+    Inside a coroutine, a value derived from shared state (free/
+    plugged/reserved/ledger-style reads) guards a branch, control then
+    crosses a yield point, and the stale value still drives a mutation
+    of shared state — with neither a *reservation* (the value published
+    into shared state before the yield, e.g. ``self._reserved.update``)
+    nor a *re-validation* (a fresh shared-state read guarding the
+    post-yield path).  Flagged at the act line, naming the check line.
+
+``unchecked-result`` (flow)
+    The datapaths report failure as values (``PlugResult.error``,
+    ``UnplugResult.unplugged_bytes``, ``AdmissionResult.admitted``,
+    ``RouteRejection.reason``) because exceptions do not cross
+    simulated-process joins.  A produced result whose success field is
+    never read on some CFG path before the binding dies is a silently
+    swallowed failure.
+
+``span-hygiene`` (flow)
+    A ``Tracer.span(...)`` binding with some normal-completion CFG path
+    that neither ``close()``s the span nor hands it off (helper call,
+    return, container) — the static complement of the runtime
+    ``open_spans() == 0`` gate.
+
+``no-sim-sleep-side-effect`` (ast)
+    The syntactic cousin of the stale-guard rule: mutating shared
+    mm/cluster state in the same statement chain as a ``yield
+    Timeout(...)`` expression result fuses a suspension and a mutation
+    into one line, hiding the interleaving window.
+
+All four report plain :class:`LintError` findings, honour the standard
+``# lint: allow[rule-name]`` suppression, and register themselves on
+:data:`repro.analysis.rules.DEFAULT_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG, CFGNode, FunctionInfo
+from repro.analysis.rules import (
+    DEFAULT_REGISTRY,
+    FileContext,
+    LintError,
+)
+
+__all__ = [
+    "RESULT_PRODUCERS",
+    "SHARED_STATE_FRAGMENTS",
+    "shared_reads",
+]
+
+# ----------------------------------------------------------------------
+# Shared-state vocabulary
+# ----------------------------------------------------------------------
+#: Identifier fragments (snake_case segments) that mark an attribute or
+#: accessor as *shared simulation state*: guest occupancy, host ledger,
+#: arbiter commitments, pool membership.  A read of such an attribute
+#: feeding a guard is what can go stale across a yield.
+SHARED_STATE_FRAGMENTS = frozenset(
+    {
+        "free",
+        "plugged",
+        "unplugged",
+        "reserved",
+        "pending",
+        "reported",
+        "reportable",
+        "stealable",
+        "inflated",
+        "idle",
+        "live",
+        "elastic",
+        "populated",
+        "unassigned",
+        "committed",
+        "occupancy",
+        "watermark",
+        "flight",  # in_flight
+        "backlog",
+    }
+)
+
+#: Method names that mutate shared simulation state wherever they are
+#: called (host ledger, guest block states, page accounting, arbiter
+#: commitments).
+_DOMAIN_MUTATORS = frozenset(
+    {
+        "charge",
+        "discharge",
+        "online_block",
+        "offline_and_remove",
+        "isolate_block",
+        "unisolate_block",
+        "alloc_pages",
+        "free_pages",
+        "free_all",
+        "assign",
+        "unassign",
+        "release",
+        "commit",
+        "migrate",
+    }
+)
+
+#: Generic container mutators: these only count as shared-state
+#: mutations when the receiver attribute itself is shared-named
+#: (``self._reserved.add``, ``state.idle.remove``, ...).
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "remove",
+        "update",
+    }
+)
+
+
+def _is_shared_name(name: str) -> bool:
+    segments = name.lower().split("_")
+    return any(segment in SHARED_STATE_FRAGMENTS for segment in segments)
+
+
+def shared_reads(expr: ast.AST) -> List[str]:
+    """Names of shared-state attributes *read* inside ``expr``."""
+    reads: List[str] = []
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and _is_shared_name(node.attr)
+        ):
+            reads.append(node.attr)
+    return reads
+
+
+def _names_read(expr: ast.AST) -> Set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+    return names
+
+
+def _rhs_has_yield(expr: ast.AST) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await))
+        for node in ast.walk(expr)
+    )
+
+
+_SIMPLE_STMTS = (
+    ast.Expr,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Return,
+    ast.Delete,
+    ast.Assert,
+    ast.Raise,
+)
+
+
+def _stmt_parts(stmt: ast.AST) -> List[ast.AST]:
+    """The expressions *owned* by one CFG node.
+
+    Compound statements contribute only their head (test/iterator/item
+    expressions) — their bodies are separate CFG nodes — and nested
+    function/class definitions contribute nothing (their bodies get
+    their own CFGs).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Try)
+    ):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return []
+    return [stmt]
+
+
+@dataclass(frozen=True)
+class _Assignment:
+    """One name-binding statement inside a function body."""
+
+    node_index: int
+    targets: Tuple[str, ...]
+    value: ast.AST
+    via_yield: bool  # RHS awaits: the bound value is *fresh*, not stale
+
+
+def _assignments(graph: CFG) -> List[_Assignment]:
+    out: List[_Assignment] = []
+    for node in graph.stmt_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            targets: Set[str] = set()
+            for target in stmt.targets:
+                targets |= _target_names(target)
+            if targets:
+                out.append(
+                    _Assignment(
+                        node.index,
+                        tuple(sorted(targets)),
+                        stmt.value,
+                        _rhs_has_yield(stmt.value),
+                    )
+                )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = _target_names(stmt.target)
+            if targets:
+                out.append(
+                    _Assignment(
+                        node.index,
+                        tuple(sorted(targets)),
+                        stmt.value,
+                        _rhs_has_yield(stmt.value),
+                    )
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            targets = _target_names(stmt.target)
+            if targets:
+                out.append(
+                    _Assignment(
+                        node.index,
+                        tuple(sorted(targets)),
+                        stmt.value,
+                        _rhs_has_yield(stmt.value),
+                    )
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = _target_names(stmt.target)
+            if targets:
+                out.append(
+                    _Assignment(
+                        node.index,
+                        tuple(sorted(targets)),
+                        stmt.iter,
+                        False,
+                    )
+                )
+    return out
+
+
+def _taint_closure(
+    assignments: Sequence[_Assignment], seeds: Set[str]
+) -> Set[str]:
+    """Names transitively derived from ``seeds`` (flow-insensitive).
+
+    Bindings whose right-hand side contains a yield are *not*
+    propagated through: the awaited value is produced by fresh
+    execution after the suspension, so it cannot carry the stale
+    pre-yield observation.
+    """
+    tainted = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for assign in assignments:
+            if assign.via_yield:
+                continue
+            if tainted & _names_read(assign.value):
+                for name in assign.targets:
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return tainted
+
+
+def _shared_mutation_with(
+    stmt: ast.AST, tainted: Set[str]
+) -> Optional[str]:
+    """Does this CFG node mutate shared state using a tainted value?
+
+    Returns a short description of the mutation for the finding
+    message, or ``None``.  Yield-bearing statements are excluded: the
+    arguments of ``yield from helper(x)`` are captured before the
+    suspension, which is a hand-off, not a stale post-yield use.
+    """
+    for part in _stmt_parts(stmt):
+        if _rhs_has_yield(part):
+            return None
+        for node in ast.walk(part):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                method = node.func.attr
+                receiver = node.func.value
+                receiver_shared = (
+                    isinstance(receiver, ast.Attribute)
+                    and _is_shared_name(receiver.attr)
+                )
+                if method in _DOMAIN_MUTATORS or (
+                    method in _CONTAINER_MUTATORS and receiver_shared
+                ):
+                    arg_names: Set[str] = set()
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        arg_names |= _names_read(arg)
+                    if arg_names & tainted:
+                        return f".{method}()"
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        if value is not None and _names_read(value) & tainted:
+            for target in targets:
+                inner = target
+                if isinstance(inner, ast.Subscript):
+                    inner = inner.value
+                if isinstance(inner, ast.Attribute) and _is_shared_name(
+                    inner.attr
+                ):
+                    return f".{inner.attr} ="
+    return None
+
+
+# ----------------------------------------------------------------------
+# stale-guard-across-yield
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Root:
+    """One shared-state observation bound to local names."""
+
+    node_index: int
+    line: int
+    names: Tuple[str, ...]
+    read: str  # the shared attribute that was observed
+
+
+def _guard_test(stmt: Optional[ast.AST]) -> Optional[ast.AST]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return stmt.test
+    return None
+
+
+def _stale_guard_function(
+    ctx: FileContext, info: FunctionInfo
+) -> Iterator[LintError]:
+    graph = ctx.cfg(info)
+    if not graph.yield_nodes:
+        return
+    assignments = _assignments(graph)
+    nodes = graph.nodes
+
+    roots: List[_Root] = []
+    for assign in assignments:
+        if assign.via_yield:
+            continue
+        reads = shared_reads(assign.value)
+        observed: Optional[str] = reads[0] if reads else None
+        if observed is None:
+            # A snapshot can also be *named* for what it observes
+            # (``free_slots = [dimm for ... if blocks[i].state is
+            # ABSENT]``): a shared-named binding computed from object
+            # state is a shared observation too.
+            shared_targets = [
+                name for name in assign.targets if _is_shared_name(name)
+            ]
+            if shared_targets and any(
+                isinstance(node, ast.Attribute)
+                for node in ast.walk(assign.value)
+            ):
+                observed = shared_targets[0]
+        if observed is not None:
+            node = nodes[assign.node_index]
+            roots.append(
+                _Root(assign.node_index, node.line, assign.targets, observed)
+            )
+
+    flagged: Set[Tuple[int, int]] = set()
+    for root in roots:
+        tainted = _taint_closure(assignments, set(root.names))
+
+        # State: (node, stale, published, guard_line)
+        start = (root.node_index, False, False, 0)
+        seen: Set[Tuple[int, bool, bool, int]] = {start}
+        queue = deque([start])
+        while queue:
+            index, stale, published, guard_line = queue.popleft()
+            if index == root.node_index:
+                # Control re-reached the observation itself (loop back
+                # edge): the snapshot is recomputed fresh, so staleness
+                # and any guard taken on the old value reset.  A
+                # reservation published into shared state persists.
+                stale, guard_line = False, 0
+            else:
+                node = nodes[index]
+                stmt = node.stmt
+                if stmt is not None:
+                    mutation = _shared_mutation_with(stmt, tainted)
+                    if mutation is not None:
+                        if stale and not published and guard_line:
+                            key = (root.node_index, node.line)
+                            if key not in flagged:
+                                flagged.add(key)
+                                yield LintError(
+                                    ctx.path,
+                                    node.line,
+                                    getattr(stmt, "col_offset", 0),
+                                    "stale-guard-across-yield",
+                                    f"{info.qualname}: mutation {mutation} "
+                                    f"uses a value observed from shared "
+                                    f"state ({root.read!r}, line "
+                                    f"{root.line}) and checked at line "
+                                    f"{guard_line}, but a yield intervenes "
+                                    f"— re-validate after resuming or "
+                                    f"reserve before yielding (check line "
+                                    f"{guard_line}, act line {node.line})",
+                                )
+                        elif not stale:
+                            # Pre-yield shared-state write involving the
+                            # observed value: a reservation/claim.
+                            published = True
+                    test = _guard_test(stmt)
+                    if test is not None:
+                        if _names_read(test) & tainted or (
+                            not stale and shared_reads(test)
+                        ):
+                            guard_line = node.line
+                        if stale and shared_reads(test):
+                            # Fresh shared-state read guarding the
+                            # post-yield path: re-validation.
+                            stale = False
+                    if node.is_yield:
+                        stale = True
+            for succ in nodes[index].succs:
+                state = (succ, stale, published, guard_line)
+                if state not in seen:
+                    seen.add(state)
+                    queue.append(state)
+
+
+def _check_stale_guard(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_repro(ctx.module):
+        return
+    for info in ctx.functions:
+        yield from _stale_guard_function(ctx, info)
+
+
+# ----------------------------------------------------------------------
+# unchecked-result
+# ----------------------------------------------------------------------
+#: producer (method or constructor name) → the attributes whose read
+#: constitutes *checking* the result.  ``request_plug``/``request_unplug``
+#: return a Process whose ``.value`` carries the result; the obligation
+#: transfers through ``p.value`` and ``r = yield p``.
+RESULT_PRODUCERS: Dict[str, frozenset] = {
+    "request_plug": frozenset(
+        {"error", "fault", "fully_plugged", "plugged_bytes"}
+    ),
+    "request_unplug": frozenset(
+        {
+            "error",
+            "fault",
+            "fully_unplugged",
+            "unplugged_bytes",
+            "requested_bytes",
+            "shortfall",
+        }
+    ),
+    "request_resize": frozenset(
+        {"error", "fault", "fully_plugged", "fully_unplugged",
+         "plugged_bytes", "unplugged_bytes"}
+    ),
+    "admit": frozenset({"admitted", "reason"}),
+    "AdmissionResult": frozenset({"admitted", "reason"}),
+    "RouteRejection": frozenset({"reason"}),
+    "PlugResult": frozenset({"error", "fault", "fully_plugged"}),
+    "UnplugResult": frozenset(
+        {"fully_unplugged", "unplugged_bytes", "requested_bytes"}
+    ),
+}
+
+#: Producers whose binding is a Process handle: ``yield p`` schedules
+#: the join (it does not check anything), ``p.value`` is the result.
+_PROCESS_PRODUCERS = frozenset(
+    {"request_plug", "request_unplug", "request_resize"}
+)
+
+
+def _call_producer(expr: ast.AST) -> Optional[str]:
+    """Producer name if ``expr`` is (or awaits) a producing call."""
+    node = expr
+    while isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+        if node.value is None:
+            return None
+        node = node.value
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    return name if name in RESULT_PRODUCERS else None
+
+
+def _single_target(stmt: ast.AST) -> Optional[str]:
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    if isinstance(stmt, ast.AnnAssign) and isinstance(
+        stmt.target, ast.Name
+    ):
+        return stmt.target.id
+    return None
+
+
+def _uses_of(stmt: ast.AST, name: str) -> List[ast.AST]:
+    """Direct parents of Load-context occurrences of ``name`` in the
+    expressions this CFG node owns."""
+    uses = []
+    for part in _stmt_parts(stmt):
+        for node in ast.walk(part):
+            for child in ast.iter_child_nodes(node):
+                if (
+                    isinstance(child, ast.Name)
+                    and child.id == name
+                    and isinstance(child.ctx, ast.Load)
+                ):
+                    uses.append(node)
+    return uses
+
+
+def _classify_use(
+    stmt: ast.AST, name: str, success_attrs: frozenset, is_process: bool
+) -> str:
+    """'checked' | 'escaped' | 'none' for uses of ``name`` in ``stmt``."""
+    outcome = "none"
+    for parent in _uses_of(stmt, name):
+        if isinstance(parent, ast.Attribute):
+            if is_process:
+                if parent.attr == "value":
+                    return "checked"  # obligation transfers to the target
+                continue  # other process attributes are incidental
+            if parent.attr in success_attrs:
+                return "checked"
+            continue  # reading a non-success field is not a check
+        if is_process and isinstance(parent, (ast.Yield, ast.Expr)):
+            continue  # `yield p` only schedules the join
+        if isinstance(parent, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if is_process:
+                continue
+            outcome = "escaped"
+        elif isinstance(parent, ast.Call):
+            outcome = "escaped"  # handed to a helper that inspects it
+        elif isinstance(
+            parent,
+            (
+                ast.Return,
+                ast.Tuple,
+                ast.List,
+                ast.Dict,
+                ast.Set,
+                ast.Subscript,
+                ast.Starred,
+                ast.comprehension,
+                ast.Compare,
+                ast.BoolOp,
+            ),
+        ):
+            outcome = "escaped"
+        elif isinstance(parent, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = getattr(parent, "value", None)
+            if value is not None and name in _names_read(value):
+                targets = (
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target]
+                )
+                if any(
+                    not isinstance(target, ast.Name) for target in targets
+                ):
+                    outcome = "escaped"  # stored into attribute/container
+    return outcome
+
+
+def _rebinds(stmt: ast.AST, name: str) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        return any(name in _target_names(target) for target in targets)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return name in _target_names(stmt.target)
+    return False
+
+
+def _unchecked_result_function(
+    ctx: FileContext, info: FunctionInfo
+) -> Iterator[LintError]:
+    graph = ctx.cfg(info)
+    nodes = graph.nodes
+
+    # (def node, bound name, producer, is_process)
+    obligations: List[Tuple[int, str, str, bool]] = []
+    process_vars: Dict[str, str] = {}
+    for node in graph.stmt_nodes():
+        stmt = node.stmt
+        target = _single_target(stmt)
+        if target is None:
+            continue
+        value = getattr(stmt, "value", None)
+        if value is None:
+            continue
+        producer = _call_producer(value)
+        if producer is not None:
+            is_process = producer in _PROCESS_PRODUCERS and not isinstance(
+                value, (ast.Yield, ast.YieldFrom, ast.Await)
+            )
+            if is_process:
+                process_vars[target] = producer
+            obligations.append((node.index, target, producer, is_process))
+            continue
+        # r = p.value  /  r = yield p : the result of a tracked process.
+        source: Optional[str] = None
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "value"
+            and isinstance(value.value, ast.Name)
+        ):
+            source = value.value.id
+        elif isinstance(value, ast.Yield) and isinstance(
+            value.value, ast.Name
+        ):
+            source = value.value.id
+        if source is not None and source in process_vars:
+            obligations.append(
+                (node.index, target, process_vars[source], False)
+            )
+
+    for def_index, name, producer, is_process in obligations:
+        success = RESULT_PRODUCERS[producer]
+        # BFS: does some path reach a death point (rebinding or function
+        # exit) with the result neither checked nor escaped?
+        seen = {def_index}
+        queue = deque([def_index])
+        unchecked_path = False
+        while queue and not unchecked_path:
+            index = queue.popleft()
+            for succ in nodes[index].succs:
+                node = nodes[succ]
+                if node.index == graph.exit:
+                    unchecked_path = True
+                    break
+                if node.index == graph.raise_exit or node.stmt is None:
+                    if succ not in seen:
+                        seen.add(succ)
+                        queue.append(succ)
+                    continue
+                use = _classify_use(node.stmt, name, success, is_process)
+                if use in ("checked", "escaped"):
+                    continue  # obligation satisfied on this path
+                if _rebinds(node.stmt, name):
+                    unchecked_path = True
+                    break
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        if unchecked_path:
+            def_node = nodes[def_index]
+            attrs = ", ".join(f".{attr}" for attr in sorted(success)[:3])
+            yield LintError(
+                ctx.path,
+                def_node.line,
+                getattr(def_node.stmt, "col_offset", 0),
+                "unchecked-result",
+                f"{info.qualname}: result of {producer}(...) bound to "
+                f"{name!r} dies unchecked on some path — failures travel "
+                f"as values here, so read a success field ({attrs}) or "
+                f"propagate the result",
+            )
+
+
+def _check_unchecked_result(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_repro(ctx.module):
+        return
+    for info in ctx.functions:
+        yield from _unchecked_result_function(ctx, info)
+
+
+# ----------------------------------------------------------------------
+# span-hygiene
+# ----------------------------------------------------------------------
+def _span_bindings(graph: CFG) -> List[Tuple[int, str]]:
+    """(node, name) pairs for ``name = <tracer>.span(...)`` bindings."""
+    bindings = []
+    for node in graph.stmt_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            continue  # context managers close on exit by construction
+        target = _single_target(stmt)
+        if target is None:
+            continue
+        value = getattr(stmt, "value", None)
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "span"
+        ):
+            bindings.append((node.index, target))
+    return bindings
+
+
+def _span_settled(stmt: ast.AST, name: str) -> bool:
+    """Does ``stmt`` close the span or hand it off?
+
+    Only the expressions this CFG node *owns* count (compound
+    statements contribute their head): a ``close()`` inside one branch
+    of an ``if`` settles that branch's path, not the head node's.
+    """
+    for part in _stmt_parts(stmt):
+        if _part_settles(part, name):
+            return True
+    return False
+
+
+def _part_settles(part: ast.AST, name: str) -> bool:
+    for node in ast.walk(part):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "close"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True
+            operands = list(node.args) + [kw.value for kw in node.keywords]
+            for operand in operands:
+                if name in _names_read(operand):
+                    return True  # escaped to a helper that owns closing
+        elif isinstance(node, ast.Return):
+            if node.value is not None and name in _names_read(node.value):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            value = getattr(node, "value", None)
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if value is not None and name in _names_read(value):
+                if any(not isinstance(t, ast.Name) for t in targets):
+                    return True  # stored for later closing
+    return False
+
+
+def _span_hygiene_function(
+    ctx: FileContext, info: FunctionInfo
+) -> Iterator[LintError]:
+    graph = ctx.cfg(info)
+    nodes = graph.nodes
+    for def_index, name in _span_bindings(graph):
+        seen = {def_index}
+        queue = deque([def_index])
+        leaky = False
+        while queue and not leaky:
+            index = queue.popleft()
+            for succ in nodes[index].succs:
+                if succ == graph.exit:
+                    leaky = True
+                    break
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                node = nodes[succ]
+                if node.stmt is not None and (
+                    _span_settled(node.stmt, name)
+                    or _rebinds(node.stmt, name)
+                ):
+                    continue  # path settled; do not walk past it
+                queue.append(succ)
+        if leaky:
+            def_node = nodes[def_index]
+            yield LintError(
+                ctx.path,
+                def_node.line,
+                getattr(def_node.stmt, "col_offset", 0),
+                "span-hygiene",
+                f"{info.qualname}: span {name!r} is opened here but some "
+                f"exit path never close()s or hands it off — leaked spans "
+                f"trip the open_spans()==0 runtime gate; close in a "
+                f"finally or use `with tracer.span(...)`",
+            )
+
+
+def _check_span_hygiene(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_repro(ctx.module):
+        return
+    for info in ctx.functions:
+        yield from _span_hygiene_function(ctx, info)
+
+
+# ----------------------------------------------------------------------
+# no-sim-sleep-side-effect
+# ----------------------------------------------------------------------
+_TIMEOUT_CALL_NAMES = frozenset({"Timeout", "timeout"})
+
+
+def _yields_timeout(stmt: ast.AST) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Yield, ast.Await)) and isinstance(
+            node.value, ast.Call
+        ):
+            func = node.value.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _TIMEOUT_CALL_NAMES:
+                return True
+    return False
+
+
+def _mutates_shared_state(stmt: ast.AST) -> Optional[str]:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            method = node.func.attr
+            receiver = node.func.value
+            receiver_shared = isinstance(
+                receiver, ast.Attribute
+            ) and _is_shared_name(receiver.attr)
+            if method in _DOMAIN_MUTATORS or (
+                method in _CONTAINER_MUTATORS and receiver_shared
+            ):
+                return f".{method}()"
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            inner = target
+            if isinstance(inner, ast.Subscript):
+                inner = inner.value
+            if isinstance(inner, ast.Attribute) and _is_shared_name(
+                inner.attr
+            ):
+                return f".{inner.attr} ="
+    return None
+
+
+def _check_sim_sleep_side_effect(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_repro(ctx.module):
+        return
+    for node in ctx.nodes:
+        # Only *simple* statements form one expression chain: compound
+        # statements (and nested scopes) contain their bodies, which
+        # would make "same statement" span whole functions.
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        if not _yields_timeout(node):
+            continue
+        mutation = _mutates_shared_state(node)
+        if mutation is not None:
+            yield LintError(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "no-sim-sleep-side-effect",
+                f"statement mutates shared state ({mutation}) in the same "
+                f"expression chain as a `yield Timeout(...)` — split the "
+                f"sleep from the mutation so the interleaving window is "
+                f"visible (state read before the yield is stale after it)",
+            )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def _in_repro(module: str) -> bool:
+    return module == "repro" or module.startswith("repro.")
+
+
+_register = DEFAULT_REGISTRY.rule
+
+_register(
+    "stale-guard-across-yield",
+    (
+        "a guard computed from shared state must not drive a mutation "
+        "on the far side of a yield without a reservation or "
+        "re-validation (the PR-4 DIMM slot race, as a rule)"
+    ),
+    kind="flow",
+)(_check_stale_guard)
+
+_register(
+    "unchecked-result",
+    (
+        "PlugResult/UnplugResult/AdmissionResult/RouteRejection carry "
+        "failure as values; every produced result must have a success "
+        "field read (or be propagated) on every CFG path"
+    ),
+    kind="flow",
+)(_check_unchecked_result)
+
+_register(
+    "span-hygiene",
+    (
+        "every Tracer span opened outside a `with` must be close()d or "
+        "handed off on every normal exit path (static complement of "
+        "the open_spans()==0 runtime gate)"
+    ),
+    kind="flow",
+)(_check_span_hygiene)
+
+_register(
+    "no-sim-sleep-side-effect",
+    (
+        "never mutate shared mm/cluster state in the same statement "
+        "chain as a `yield Timeout(...)` result; split the sleep from "
+        "the mutation"
+    ),
+    kind="ast",
+)(_check_sim_sleep_side_effect)

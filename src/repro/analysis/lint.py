@@ -1,12 +1,17 @@
-"""AST-based repository lint: determinism and encapsulation conventions.
+"""Repository lint: determinism, encapsulation and flow rules.
 
 The simulator's claim to reproducibility is structural: all randomness
 flows through seeded streams (:mod:`repro.sim.rng`), all time comes from
 the engine clock, and mm accounting structures are only mutated by their
 owning modules.  Nothing in Python enforces any of that — one stray
 ``random.random()`` in an experiment silently makes a figure
-unreproducible.  This lint pass walks the AST of every source file and
-enforces the conventions as hard rules:
+unreproducible.  This module registers the *syntactic* rules on the
+shared :data:`~repro.analysis.rules.DEFAULT_REGISTRY` and hosts the
+drivers that run every registered rule — AST and CFG/dataflow alike —
+over one parsed :class:`~repro.analysis.rules.FileContext` per file
+(the AST is parsed once and walked once; see ``docs/analysis.md``).
+
+Syntactic rules registered here:
 
 ``no-direct-random``
     No ``random``-module calls (or ``from random import ...``) inside
@@ -60,6 +65,12 @@ enforces the conventions as hard rules:
     :mod:`repro.obs` — observability that is structured, deterministic
     and exportable instead of interleaved stdout noise.
 
+The CFG/dataflow rule families (``stale-guard-across-yield``,
+``unchecked-result``, ``span-hygiene``, ``no-sim-sleep-side-effect``)
+live in :mod:`repro.analysis.flow` and register on the same registry;
+importing this module pulls them in so every driver below runs the full
+set.
+
 Suppression
 -----------
 Append ``# lint: allow[rule-name]`` (comma-separated names allowed, with
@@ -68,7 +79,9 @@ optional trailing rationale) to the offending line::
     started = time.time()  # lint: allow[no-wallclock] wall-clock display
 
 Machine-readable output: every error is a :class:`LintError`;
-:func:`render_json` emits them as a JSON array for tooling.
+:func:`render_json` emits them as a JSON array, and
+:func:`repro.analysis.sarif.render_sarif` as a SARIF 2.1.0 log for CI
+code-scanning annotations.
 """
 
 from __future__ import annotations
@@ -76,9 +89,16 @@ from __future__ import annotations
 import ast
 import json
 import re
-from dataclasses import asdict, dataclass
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.rules import (
+    DEFAULT_REGISTRY,
+    FileContext,
+    LintError,
+    RuleRegistry,
+)
 
 __all__ = [
     "LintError",
@@ -90,53 +110,6 @@ __all__ = [
     "render_json",
 ]
 
-
-@dataclass(frozen=True)
-class LintError:
-    """One finding: precise location plus rule name and message."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-
-#: rule name → one-line description (the lintable contract).
-RULES: Dict[str, str] = {
-    "no-direct-random": (
-        "sim/mm/experiments/workloads must draw randomness from "
-        "repro.sim.rng.make_rng, never the bare random module"
-    ),
-    "no-wallclock": (
-        "sim/mm/experiments/workloads must take time from the engine "
-        "clock, never time.time()/datetime.now()"
-    ),
-    "no-float-page-eq": (
-        "page/byte/ns quantities are integers; never compare them to "
-        "float literals with == or !="
-    ),
-    "mm-encapsulation": (
-        "mm accounting structures are only mutated by their owning "
-        "modules (repro.mm.zone/block/owner/manager)"
-    ),
-    "module-all-required": (
-        "every repro module declares __all__ (explicit public surface)"
-    ),
-    "no-bare-except": (
-        "never catch with a bare `except:`; name the exceptions a "
-        "recovery path actually handles (a bare handler swallows "
-        "InvariantViolation and friends)"
-    ),
-    "no-mode-branching": (
-        "never branch on DeploymentMode membership outside repro.modes; "
-        "behaviour belongs on the registered backend object"
-    ),
-    "no-print-in-src": (
-        "library code never print()s; emit spans/metrics through "
-        "repro.obs (experiments and tools keep their report output)"
-    ),
-}
 
 #: Packages the determinism rules apply to.
 _DETERMINISM_SCOPE = (
@@ -192,8 +165,6 @@ _WALLCLOCK_CALLS = {
 #: Identifier fragments that mark a page/byte/time quantity.
 _QUANTITY_RE = re.compile(r"(page|byte|block|_ns$|^ns_|latency|bytes)", re.I)
 
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_,\s-]+)\]")
-
 
 # ----------------------------------------------------------------------
 # Helpers
@@ -242,29 +213,31 @@ def _mentions_quantity(node: ast.AST) -> bool:
     return False
 
 
-def _suppressed_rules(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """line number (1-based) → rule names allowed on that line."""
-    allowed: Dict[int, Set[str]] = {}
-    for number, line in enumerate(lines, start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match:
-            names = {name.strip() for name in match.group(1).split(",")}
-            allowed[number] = {name for name in names if name}
-    return allowed
+# ----------------------------------------------------------------------
+# Syntactic rules (registered on the shared registry, kind="ast").
+# Each receives the per-file FileContext: ``ctx.nodes`` is the one
+# cached walk of the module — rules never re-walk the tree themselves.
+# ----------------------------------------------------------------------
+_register = DEFAULT_REGISTRY.rule
 
 
-# ----------------------------------------------------------------------
-# Rules
-# ----------------------------------------------------------------------
-def _rule_no_direct_random(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, _DETERMINISM_SCOPE) or module == _RNG_ENTRYPOINT:
+@_register(
+    "no-direct-random",
+    (
+        "sim/mm/experiments/workloads must draw randomness from "
+        "repro.sim.rng.make_rng, never the bare random module"
+    ),
+)
+def _rule_no_direct_random(ctx: FileContext) -> Iterator[LintError]:
+    if (
+        not _in_scope(ctx.module, _DETERMINISM_SCOPE)
+        or ctx.module == _RNG_ENTRYPOINT
+    ):
         return
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if isinstance(node, ast.ImportFrom) and node.module == "random":
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-direct-random",
@@ -277,7 +250,7 @@ def _rule_no_direct_random(
                 dotted == "random" or dotted.startswith("random.")
             ):
                 yield LintError(
-                    path,
+                    ctx.path,
                     node.lineno,
                     node.col_offset,
                     "no-direct-random",
@@ -286,12 +259,17 @@ def _rule_no_direct_random(
                 )
 
 
-def _rule_no_wallclock(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, _DETERMINISM_SCOPE):
+@_register(
+    "no-wallclock",
+    (
+        "sim/mm/experiments/workloads must take time from the engine "
+        "clock, never time.time()/datetime.now()"
+    ),
+)
+def _rule_no_wallclock(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, _DETERMINISM_SCOPE):
         return
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if not isinstance(node, ast.Call):
             continue
         dotted = _dotted(node.func)
@@ -300,7 +278,7 @@ def _rule_no_wallclock(
         tail2 = ".".join(dotted.split(".")[-2:])
         if dotted in _WALLCLOCK_CALLS or tail2 in _WALLCLOCK_CALLS:
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-wallclock",
@@ -309,12 +287,17 @@ def _rule_no_wallclock(
             )
 
 
-def _rule_no_float_page_eq(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)):
+@_register(
+    "no-float-page-eq",
+    (
+        "page/byte/ns quantities are integers; never compare them to "
+        "float literals with == or !="
+    ),
+)
+def _rule_no_float_page_eq(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro",)):
         return
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if not isinstance(node, ast.Compare):
             continue
         if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
@@ -327,7 +310,7 @@ def _rule_no_float_page_eq(
         )
         if has_float and any(_mentions_quantity(operand) for operand in operands):
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-float-page-eq",
@@ -336,10 +319,18 @@ def _rule_no_float_page_eq(
             )
 
 
-def _rule_mm_encapsulation(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)) or module in _MM_OWNING_MODULES:
+@_register(
+    "mm-encapsulation",
+    (
+        "mm accounting structures are only mutated by their owning "
+        "modules (repro.mm.zone/block/owner/manager)"
+    ),
+)
+def _rule_mm_encapsulation(ctx: FileContext) -> Iterator[LintError]:
+    if (
+        not _in_scope(ctx.module, ("repro",))
+        or ctx.module in _MM_OWNING_MODULES
+    ):
         return
 
     def guarded_attr(node: ast.AST) -> Optional[str]:
@@ -350,7 +341,7 @@ def _rule_mm_encapsulation(
             return node.attr
         return None
 
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         targets: List[ast.AST] = []
         if isinstance(node, ast.Assign):
             targets = list(node.targets)
@@ -365,7 +356,7 @@ def _rule_mm_encapsulation(
             # inside mm modules; elsewhere the names are reserved.
             if attr is not None:
                 yield LintError(
-                    path,
+                    ctx.path,
                     node.lineno,
                     node.col_offset,
                     "mm-encapsulation",
@@ -381,7 +372,7 @@ def _rule_mm_encapsulation(
                 and container.attr in _GUARDED_CONTAINER_ATTRS
             ):
                 yield LintError(
-                    path,
+                    ctx.path,
                     node.lineno,
                     node.col_offset,
                     "mm-encapsulation",
@@ -391,12 +382,15 @@ def _rule_mm_encapsulation(
                 )
 
 
-def _rule_module_all_required(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)):
+@_register(
+    "module-all-required",
+    "every repro module declares __all__ (explicit public surface)",
+)
+def _rule_module_all_required(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro",)):
         return
-    if not isinstance(tree, ast.Module) or not tree.body:
+    tree = ctx.tree
+    if not tree.body:
         return  # empty files (namespace placeholders) have no surface
     for node in tree.body:
         if isinstance(node, ast.Assign):
@@ -414,23 +408,29 @@ def _rule_module_all_required(
             ):
                 return
     yield LintError(
-        path,
+        ctx.path,
         1,
         0,
         "module-all-required",
-        f"module {module} does not declare __all__",
+        f"module {ctx.module} does not declare __all__",
     )
 
 
-def _rule_no_bare_except(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)):
+@_register(
+    "no-bare-except",
+    (
+        "never catch with a bare `except:`; name the exceptions a "
+        "recovery path actually handles (a bare handler swallows "
+        "InvariantViolation and friends)"
+    ),
+)
+def _rule_no_bare_except(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro",)):
         return
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-bare-except",
@@ -440,10 +440,17 @@ def _rule_no_bare_except(
             )
 
 
-def _rule_no_mode_branching(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)) or _in_scope(module, ("repro.modes",)):
+@_register(
+    "no-mode-branching",
+    (
+        "never branch on DeploymentMode membership outside repro.modes; "
+        "behaviour belongs on the registered backend object"
+    ),
+)
+def _rule_no_mode_branching(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro",)) or _in_scope(
+        ctx.module, ("repro.modes",)
+    ):
         return
 
     def names_mode_member(operand: ast.AST) -> bool:
@@ -454,7 +461,7 @@ def _rule_no_mode_branching(
                     return True
         return False
 
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if not isinstance(node, ast.Compare):
             continue
         branching_ops = (ast.Is, ast.IsNot, ast.Eq, ast.NotEq, ast.In, ast.NotIn)
@@ -463,7 +470,7 @@ def _rule_no_mode_branching(
         operands = [node.left] + list(node.comparators)
         if any(names_mode_member(operand) for operand in operands):
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-mode-branching",
@@ -473,21 +480,26 @@ def _rule_no_mode_branching(
             )
 
 
-def _rule_no_print_in_src(
-    tree: ast.AST, module: str, path: str
-) -> Iterator[LintError]:
-    if not _in_scope(module, ("repro",)) or _in_scope(
-        module, ("repro.experiments",)
+@_register(
+    "no-print-in-src",
+    (
+        "library code never print()s; emit spans/metrics through "
+        "repro.obs (experiments and tools keep their report output)"
+    ),
+)
+def _rule_no_print_in_src(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro",)) or _in_scope(
+        ctx.module, ("repro.experiments",)
     ):
         return
-    for node in ast.walk(tree):
+    for node in ctx.nodes:
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Name)
             and node.func.id == "print"
         ):
             yield LintError(
-                path,
+                ctx.path,
                 node.lineno,
                 node.col_offset,
                 "no-print-in-src",
@@ -496,29 +508,38 @@ def _rule_no_print_in_src(
             )
 
 
-_RULE_FUNCTIONS = (
-    _rule_no_direct_random,
-    _rule_no_wallclock,
-    _rule_no_float_page_eq,
-    _rule_mm_encapsulation,
-    _rule_module_all_required,
-    _rule_no_bare_except,
-    _rule_no_mode_branching,
-    _rule_no_print_in_src,
-)
+# Importing the flow module registers the CFG/dataflow rule families on
+# the same registry, so every driver below runs the full set.  The
+# import sits *after* the AST rules so a fresh process always lists
+# rules in the same order (AST first, flow second).
+import repro.analysis.flow  # noqa: E402,F401  (registration side effect)
+
+#: rule name → one-line description, for every registered rule (the
+#: lintable contract; kept as a plain dict for back-compat with callers
+#: that predate the registry).
+RULES: Dict[str, str] = DEFAULT_REGISTRY.descriptions()
 
 
 # ----------------------------------------------------------------------
 # Drivers
 # ----------------------------------------------------------------------
 def lint_source(
-    source: str, path: str = "<string>", module: Optional[str] = None
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    registry: Optional[RuleRegistry] = None,
 ) -> List[LintError]:
-    """Lint one source string; returns findings after suppression."""
+    """Lint one source string; returns findings after suppression.
+
+    Every registered rule — syntactic and flow — runs over one shared
+    :class:`FileContext` (one parse, one AST walk, CFGs built lazily).
+    """
     if module is None:
         module = module_name_for(Path(path))
+    if registry is None:
+        registry = DEFAULT_REGISTRY
     try:
-        tree = ast.parse(source, filename=path)
+        ctx = FileContext(source, path, module)
     except SyntaxError as error:
         return [
             LintError(
@@ -529,43 +550,57 @@ def lint_source(
                 f"cannot parse: {error.msg}",
             )
         ]
-    lines = source.splitlines()
-    allowed = _suppressed_rules(lines)
     errors: List[LintError] = []
-    for rule_fn in _RULE_FUNCTIONS:
-        for error in rule_fn(tree, module, path):
-            if error.rule in allowed.get(error.line, ()):
+    for rule in registry:
+        for error in rule.check(ctx):
+            if error.rule in ctx.suppressed.get(error.line, ()):
                 continue
             errors.append(error)
     errors.sort(key=lambda e: (e.path, e.line, e.col, e.rule))
     return errors
 
 
-def lint_file(path: Path) -> List[LintError]:
+def lint_file(
+    path: Path, registry: Optional[RuleRegistry] = None
+) -> List[LintError]:
     """Lint one file on disk."""
     return lint_source(
-        path.read_text(encoding="utf-8"), str(path), module_name_for(path)
+        path.read_text(encoding="utf-8"),
+        str(path),
+        module_name_for(path),
+        registry=registry,
     )
 
 
-def lint_paths(paths: Iterable[Path]) -> List[LintError]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    errors: List[LintError] = []
+def iter_py_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files or directories), in the
+    deterministic order the lint drivers visit them."""
+    files: List[Path] = []
     for path in paths:
         path = Path(path)
         if path.is_dir():
-            files: Iterable[Path] = sorted(
-                candidate
-                for candidate in path.rglob("*.py")
-                if not any(
-                    part.startswith(".") or part.endswith(".egg-info")
-                    for part in candidate.parts
+            files.extend(
+                sorted(
+                    candidate
+                    for candidate in path.rglob("*.py")
+                    if not any(
+                        part.startswith(".") or part.endswith(".egg-info")
+                        for part in candidate.parts
+                    )
                 )
             )
         else:
-            files = [path]
-        for file in files:
-            errors.extend(lint_file(file))
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[Path], registry: Optional[RuleRegistry] = None
+) -> List[LintError]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    errors: List[LintError] = []
+    for file in iter_py_files(paths):
+        errors.extend(lint_file(file, registry=registry))
     return errors
 
 

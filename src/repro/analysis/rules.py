@@ -1,0 +1,176 @@
+"""Pluggable lint-rule framework: one walker pass, one error model.
+
+Historically every lint rule lived as a hardcoded function inside
+:mod:`repro.analysis.lint` and re-walked the AST for itself.  This
+module factors the machinery out so that plain AST rules and the
+CFG/dataflow rules in :mod:`repro.analysis.flow` plug into the same
+driver:
+
+* :class:`LintError` — the one finding model (shared by text, JSON and
+  SARIF output, suppression and baselines);
+* :class:`FileContext` — one parsed file: the AST is parsed once and
+  walked once (``ctx.nodes``), function CFGs are built lazily and
+  cached (``ctx.cfg``), suppression comments are collected once;
+* :class:`RuleRegistry` — ordered name → :class:`Rule` mapping with a
+  decorator for registration.  ``kind`` distinguishes syntactic AST
+  rules from flow (CFG/dataflow) rules, purely for documentation and
+  selective runs; both receive the same :class:`FileContext`.
+
+Suppression uses the one historical syntax for every rule kind::
+
+    risky_line()  # lint: allow[rule-name, other-rule] rationale
+
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis import cfg as cfg_mod
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "FileContext",
+    "LintError",
+    "Rule",
+    "RuleRegistry",
+    "suppressed_rules",
+]
+
+
+@dataclass(frozen=True)
+class LintError:
+    """One finding: precise location plus rule name and message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_,\s-]+)\]")
+
+
+def suppressed_rules(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """line number (1-based) → rule names allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            names = {name.strip() for name in match.group(1).split(",")}
+            allowed[number] = {name for name in names if name}
+    return allowed
+
+
+class FileContext:
+    """One parsed source file, shared by every rule in a lint run.
+
+    Parsing and the full ``ast.walk`` happen exactly once per file;
+    rules iterate :attr:`nodes` instead of re-walking, and flow rules
+    get per-function CFGs through :meth:`cfg` (built on first use and
+    cached).  Raises :class:`SyntaxError` if the source does not parse;
+    the driver turns that into a ``syntax-error`` finding.
+    """
+
+    def __init__(self, source: str, path: str, module: str):
+        self.source = source
+        self.path = path
+        self.module = module
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.lines: List[str] = source.splitlines()
+        self.suppressed: Dict[int, Set[str]] = suppressed_rules(self.lines)
+        self._nodes: Optional[List[ast.AST]] = None
+        self._functions: Optional[List[cfg_mod.FunctionInfo]] = None
+        self._cfgs: Dict[int, cfg_mod.CFG] = {}
+
+    @property
+    def nodes(self) -> List[ast.AST]:
+        """Every AST node, from a single cached walk of the module."""
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
+
+    @property
+    def functions(self) -> List[cfg_mod.FunctionInfo]:
+        """Every function definition in the module (with qualnames)."""
+        if self._functions is None:
+            self._functions = list(cfg_mod.iter_functions(self.tree))
+        return self._functions
+
+    def cfg(self, info: cfg_mod.FunctionInfo) -> cfg_mod.CFG:
+        """The (cached) control-flow graph of one function."""
+        key = id(info.node)
+        graph = self._cfgs.get(key)
+        if graph is None:
+            graph = cfg_mod.build_cfg(info.node, info.qualname)
+            self._cfgs[key] = graph
+        return graph
+
+
+RuleCheck = Callable[[FileContext], Iterator[LintError]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: metadata plus its check function."""
+
+    name: str
+    description: str
+    kind: str  # "ast" | "flow"
+    check: RuleCheck
+
+
+class RuleRegistry:
+    """Ordered, name-unique collection of lint rules."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.name in self._rules:
+            raise ValueError(f"duplicate lint rule {rule.name!r}")
+        if rule.kind not in ("ast", "flow"):
+            raise ValueError(f"unknown rule kind {rule.kind!r}")
+        self._rules[rule.name] = rule
+        return rule
+
+    def rule(
+        self, name: str, description: str, kind: str = "ast"
+    ) -> Callable[[RuleCheck], RuleCheck]:
+        """Decorator: register ``check`` under ``name``."""
+
+        def decorate(check: RuleCheck) -> RuleCheck:
+            self.register(Rule(name, description, kind, check))
+            return check
+
+        return decorate
+
+    def get(self, name: str) -> Rule:
+        return self._rules[name]
+
+    def names(self) -> List[str]:
+        return list(self._rules)
+
+    def descriptions(self) -> Dict[str, str]:
+        return {rule.name: rule.description for rule in self}
+
+    def by_kind(self, kind: str) -> List[Rule]:
+        return [rule for rule in self if rule.kind == kind]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._rules
+
+
+#: The registry the repo-wide lint drivers run.  `repro.analysis.lint`
+#: registers the syntactic rules, `repro.analysis.flow` the CFG rules.
+DEFAULT_REGISTRY = RuleRegistry()

@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 output for lint findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+the wire format GitHub code scanning ingests: uploading a SARIF log from
+the CI lint job turns every finding into an inline annotation on the
+pull request, at the exact line the rule flagged.  The renderer here
+emits the minimal valid subset — ``version``, one ``run`` with a
+``tool.driver`` (name, rules) and ``results`` carrying ``ruleId``,
+``message.text``, a physical location with a 1-based region, and the
+same content ``partialFingerprints`` the baseline machinery uses, so
+code scanning tracks a finding across pushes exactly as the local
+baseline does.
+
+Determinism: rules are listed sorted by id, results in the drivers'
+(path, line, col, rule) order; rendering the same findings twice is
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import fingerprint_errors
+from repro.analysis.rules import DEFAULT_REGISTRY, LintError, RuleRegistry
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "sarif_log"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``tool.driver.name`` in emitted logs.
+_TOOL_NAME = "repro-lint"
+_TOOL_INFO_URI = "https://example.invalid/repro/docs/analysis.md"
+
+
+def _rule_descriptor(name: str, registry: RuleRegistry) -> Dict[str, object]:
+    descriptor: Dict[str, object] = {"id": name}
+    if name in registry:
+        rule = registry.get(name)
+        descriptor["shortDescription"] = {"text": rule.description}
+        descriptor["properties"] = {"kind": rule.kind}
+    else:  # synthetic rules (syntax-error) have no registry entry
+        descriptor["shortDescription"] = {"text": name}
+    return descriptor
+
+
+def sarif_log(
+    errors: Sequence[LintError],
+    lines_by_path: Optional[Dict[str, Sequence[str]]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> Dict[str, object]:
+    """The findings as a SARIF 2.1.0 log object (JSON-serialisable).
+
+    ``lines_by_path`` (path → source lines) enables content
+    fingerprints; without it results simply omit
+    ``partialFingerprints``.
+    """
+    if registry is None:
+        registry = DEFAULT_REGISTRY
+    rule_ids = sorted({error.rule for error in errors})
+    rule_index = {name: index for index, name in enumerate(rule_ids)}
+    prints = (
+        fingerprint_errors(errors, lines_by_path)
+        if lines_by_path is not None
+        else None
+    )
+    results: List[Dict[str, object]] = []
+    for position, error in enumerate(errors):
+        result: Dict[str, object] = {
+            "ruleId": error.rule,
+            "ruleIndex": rule_index[error.rule],
+            "level": "error",
+            "message": {"text": error.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": error.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": error.line,
+                            # SARIF columns are 1-based; LintError's are
+                            # the AST's 0-based offsets.
+                            "startColumn": error.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if prints is not None:
+            result["partialFingerprints"] = {
+                "reproLint/v1": prints[position]
+            }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_INFO_URI,
+                        "rules": [
+                            _rule_descriptor(name, registry)
+                            for name in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    errors: Sequence[LintError],
+    lines_by_path: Optional[Dict[str, Sequence[str]]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> str:
+    """Findings as a SARIF 2.1.0 JSON string (byte-deterministic)."""
+    return (
+        json.dumps(
+            sarif_log(errors, lines_by_path, registry=registry), indent=2
+        )
+        + "\n"
+    )

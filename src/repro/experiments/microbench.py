@@ -151,7 +151,7 @@ class MicrobenchRig:
         """Issue an unplug of ``size_bytes`` and measure it (Section 5.4)."""
         cpu_before = self.vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL)
         unplug = self.vm.request_unplug(size_bytes)
-        result = yield unplug
+        yield unplug
         result = unplug.value
         cpu_after = self.vm.irq_vcpu.busy_ns_for(VIRTIO_MEM_LABEL)
         return ReclaimMeasurement(

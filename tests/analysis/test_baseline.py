@@ -1,0 +1,104 @@
+"""Baseline fingerprints: content-addressed, line-number-free."""
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    fingerprint_errors,
+    load_baseline,
+    render_baseline,
+    split_baselined,
+)
+from repro.analysis.rules import LintError
+
+
+def err(line, rule="no-wallclock", path="src/repro/x.py"):
+    return LintError(path, line, 0, rule, "msg")
+
+
+class TestFingerprints:
+    def test_stable_under_insertion_above(self):
+        # The same offending line, shifted down two lines by unrelated
+        # edits, keeps its fingerprint.
+        before = {"src/repro/x.py": ["import time", "t = time.time()"]}
+        after = {
+            "src/repro/x.py": [
+                "import time",
+                "",
+                "x = 1",
+                "t = time.time()",
+            ]
+        }
+        (old,) = fingerprint_errors([err(2)], before)
+        (new,) = fingerprint_errors([err(4)], after)
+        assert old == new
+
+    def test_changes_when_the_offending_line_changes(self):
+        lines_a = {"src/repro/x.py": ["t = time.time()"]}
+        lines_b = {"src/repro/x.py": ["t = time.monotonic()"]}
+        (a,) = fingerprint_errors([err(1)], lines_a)
+        (b,) = fingerprint_errors([err(1)], lines_b)
+        assert a != b
+
+    def test_differs_by_rule_and_path(self):
+        lines = {
+            "src/repro/x.py": ["t = time.time()"],
+            "src/repro/y.py": ["t = time.time()"],
+        }
+        (by_rule_a,) = fingerprint_errors([err(1)], lines)
+        (by_rule_b,) = fingerprint_errors([err(1, rule="no-print-in-src")], lines)
+        (by_path,) = fingerprint_errors([err(1, path="src/repro/y.py")], lines)
+        assert len({by_rule_a, by_rule_b, by_path}) == 3
+
+    def test_identical_lines_get_occurrence_suffixes(self):
+        lines = {"src/repro/x.py": ["t = time.time()", "t = time.time()"]}
+        first, second = fingerprint_errors([err(1), err(2)], lines)
+        assert second == f"{first}#1"
+
+    def test_whitespace_only_edits_do_not_invalidate(self):
+        lines_a = {"src/repro/x.py": ["t = time.time()"]}
+        lines_b = {"src/repro/x.py": ["        t = time.time()"]}
+        (a,) = fingerprint_errors([err(1)], lines_a)
+        (b,) = fingerprint_errors([err(1)], lines_b)
+        assert a == b
+
+
+class TestBaselineFile:
+    LINES = {"src/repro/x.py": ["t = time.time()", "print(1)"]}
+
+    def test_render_load_round_trip(self, tmp_path):
+        errors = [err(1), err(2, rule="no-print-in-src")]
+        text = render_baseline(errors, self.LINES)
+        path = tmp_path / "baseline.json"
+        path.write_text(text, encoding="utf-8")
+        accepted = load_baseline(path)
+        prints = fingerprint_errors(errors, self.LINES)
+        assert accepted == {
+            (e.rule, e.path, fp) for e, fp in zip(errors, prints)
+        }
+
+    def test_render_is_byte_deterministic_and_sorted(self):
+        errors = [err(2, rule="no-print-in-src"), err(1)]
+        text = render_baseline(errors, self.LINES)
+        assert text == render_baseline(list(reversed(errors)), self.LINES)
+        assert text.endswith("\n")
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_split_partitions_new_and_grandfathered(self):
+        old = err(1)
+        new = err(2, rule="no-print-in-src")
+        prints = fingerprint_errors([old], self.LINES)
+        accepted = {(old.rule, old.path, prints[0])}
+        fresh, grandfathered = split_baselined(
+            [old, new], accepted, self.LINES
+        )
+        assert fresh == [new]
+        assert grandfathered == [old]
+
+    def test_current_version_is_one(self):
+        assert BASELINE_VERSION == 1

@@ -1,0 +1,195 @@
+"""Structural tests for the per-function CFG builder."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.cfg import build_all, build_cfg, iter_functions
+from repro.analysis.lint import iter_py_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def cfg_of(source: str, name: str = "f"):
+    tree = ast.parse(source)
+    graphs = build_all(tree)
+    return graphs[name]
+
+
+def node_by_line(graph, line):
+    matches = [n for n in graph.nodes if n.stmt is not None and n.line == line]
+    assert matches, f"no CFG node at line {line}"
+    return matches[0]
+
+
+class TestWholeRepo:
+    def test_cfgs_build_for_every_function_in_src(self):
+        """Acceptance: the builder handles every function in the tree."""
+        functions = 0
+        for path in iter_py_files([REPO_ROOT / "src" / "repro"]):
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+            for info in iter_functions(tree):
+                graph = build_cfg(info.node, info.qualname)
+                functions += 1
+                indices = {node.index for node in graph.nodes}
+                for node in graph.nodes:
+                    assert set(node.succs) <= indices
+                    assert set(node.preds) <= indices
+                # Entry reaches somewhere; sinks never continue.
+                assert graph.nodes[graph.entry].succs
+                assert graph.nodes[graph.exit].succs == []
+                assert graph.nodes[graph.raise_exit].succs == []
+        assert functions > 300  # the tree is large; a stub scan is a bug
+
+
+class TestStructure:
+    def test_straight_line_reaches_exit(self):
+        graph = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        a = node_by_line(graph, 2)
+        b = node_by_line(graph, 3)
+        assert graph.entry in a.preds
+        assert b.index in a.succs
+        assert graph.exit in b.succs  # implicit return
+
+    def test_if_else_branches_join(self):
+        graph = cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    b = 3\n"
+        )
+        head = node_by_line(graph, 2)
+        then = node_by_line(graph, 3)
+        other = node_by_line(graph, 5)
+        join = node_by_line(graph, 6)
+        assert {then.index, other.index} <= set(head.succs)
+        assert join.index in then.succs
+        assert join.index in other.succs
+
+    def test_if_without_else_falls_through(self):
+        graph = cfg_of("def f(c):\n    if c:\n        a = 1\n    b = 2\n")
+        head = node_by_line(graph, 2)
+        after = node_by_line(graph, 4)
+        assert after.index in head.succs  # the false edge
+
+    def test_loop_back_edge_and_exit(self):
+        graph = cfg_of("def f(n):\n    while n:\n        n -= 1\n    return n\n")
+        head = node_by_line(graph, 2)
+        body = node_by_line(graph, 3)
+        ret = node_by_line(graph, 4)
+        assert body.index in head.succs
+        assert head.index in body.succs  # back edge
+        assert ret.index in head.succs  # loop exit
+        assert graph.exit in ret.succs
+
+    def test_break_exits_loop_continue_returns_to_head(self):
+        graph = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    return 0\n"
+        )
+        head = node_by_line(graph, 2)
+        brk = node_by_line(graph, 4)
+        cont = node_by_line(graph, 5)
+        ret = node_by_line(graph, 6)
+        assert ret.index in brk.succs  # break jumps past the loop
+        assert head.index in cont.succs  # continue re-enters the head
+        assert head.index not in brk.succs
+
+    def test_try_body_edges_into_handler(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "    except ValueError:\n"
+            "        a = 0\n"
+            "    return a\n"
+        )
+        body = node_by_line(graph, 3)
+        handler_head = next(
+            n for n in graph.nodes if isinstance(n.stmt, ast.ExceptHandler)
+        )
+        recover = node_by_line(graph, 5)
+        ret = node_by_line(graph, 6)
+        assert handler_head.index in body.succs  # any stmt may raise
+        assert recover.index in handler_head.succs
+        assert ret.index in body.succs
+        assert ret.index in recover.succs
+
+    def test_return_routes_through_finally(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        ret = node_by_line(graph, 3)
+        # The return must pass through a clone of the finally body
+        # before reaching the exit — never jump straight out.
+        assert graph.exit not in ret.succs
+        finals = [
+            n
+            for n in graph.nodes
+            if n.stmt is not None and n.line == 5 and n.index in ret.succs
+        ]
+        assert finals
+        assert any(graph.exit in graph.nodes[f.index].succs for f in finals)
+
+    def test_raise_without_handler_reaches_raise_exit(self):
+        graph = cfg_of("def f():\n    raise ValueError(1)\n")
+        rse = node_by_line(graph, 2)
+        assert graph.raise_exit in rse.succs
+        assert graph.exit not in rse.succs
+
+
+class TestYieldPoints:
+    def test_yield_statements_are_marked(self):
+        graph = cfg_of(
+            "def f(core):\n"
+            "    a = 1\n"
+            "    yield core.submit(10)\n"
+            "    b = yield from helper()\n"
+            "    return b\n"
+        )
+        assert node_by_line(graph, 3).is_yield
+        assert node_by_line(graph, 4).is_yield
+        assert not node_by_line(graph, 2).is_yield
+        assert set(graph.yield_nodes) == {
+            node_by_line(graph, 3).index,
+            node_by_line(graph, 4).index,
+        }
+        assert graph.is_coroutine
+
+    def test_await_counts_as_yield_point(self):
+        graph = cfg_of(
+            "async def f(dev):\n    await dev.flush()\n    return 0\n"
+        )
+        assert node_by_line(graph, 2).is_yield
+        assert graph.is_coroutine
+
+    def test_nested_function_yield_does_not_leak_out(self):
+        graph = cfg_of(
+            "def f():\n"
+            "    def inner():\n"
+            "        yield 1\n"
+            "    return inner\n"
+        )
+        assert graph.yield_nodes == []
+        assert not graph.is_coroutine
+
+    def test_compound_heads_only_own_their_test_expression(self):
+        # The yield lives in the while *body*, not its head: the head
+        # node must not be a yield point.
+        graph = cfg_of(
+            "def f(n):\n"
+            "    while n:\n"
+            "        yield n\n"
+            "    return 0\n"
+        )
+        assert not node_by_line(graph, 2).is_yield
+        assert node_by_line(graph, 3).is_yield

@@ -1,0 +1,415 @@
+"""Precision fixtures for the CFG/dataflow lint rules.
+
+Each rule gets minimal positive *and* negative snippets so its
+behaviour is pinned: the true-positive patterns it exists to catch
+(headlined by the pre-PR-4 DIMM slot race, reconstructed verbatim) and
+the disciplined patterns it must stay quiet about (re-validated guards,
+reservation tokens, results checked on all paths, spans closed in a
+``finally``).
+"""
+
+from repro.analysis.lint import lint_source
+
+# Flow rules only run over repro modules; fixtures pose as one.
+FIXTURE_MODULE = "repro.fixtures.flow"
+
+
+def findings(source: str, rule: str, module: str = FIXTURE_MODULE):
+    return [
+        error
+        for error in lint_source(source, path="fixture.py", module=module)
+        if error.rule == rule
+    ]
+
+
+def line_of(source: str, needle: str) -> int:
+    for number, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return number
+    raise AssertionError(f"fixture does not contain {needle!r}")
+
+
+# ----------------------------------------------------------------------
+# stale-guard-across-yield
+# ----------------------------------------------------------------------
+#: The pre-PR-4 DIMM plug path: snapshot free slots, guard on the
+#: snapshot, cross the device RTT yield, then online blocks into slots
+#: that another request may have claimed meanwhile.
+RACY_DIMM_PLUG = '''\
+__all__ = []
+
+
+class RacyDimmHotplug:
+    """Pre-PR-4 reconstruction: snapshot, guard, yield, act."""
+
+    def plug(self, dimm_count):
+        free_slots = self.free_dimms()
+        if dimm_count > len(free_slots):
+            raise HotplugError("not enough free DIMM slots")
+        claimed = free_slots[:dimm_count]
+        yield self.vmm_core.submit(self.costs.dimm_plug_rtt_ns, "dimm")
+        for dimm in claimed:
+            for index in self.dimm_block_indices(dimm):
+                self.manager.online_block(index, zone_movable=True)
+        return claimed
+'''
+
+
+class TestStaleGuardAcrossYield:
+    def test_dimm_slot_race_flagged_at_check_and_act_lines(self):
+        errors = findings(RACY_DIMM_PLUG, "stale-guard-across-yield")
+        assert len(errors) == 1
+        error = errors[0]
+        check = line_of(RACY_DIMM_PLUG, "if dimm_count > len(free_slots)")
+        act = line_of(RACY_DIMM_PLUG, "online_block")
+        assert error.line == act
+        assert f"check line {check}, act line {act}" in error.message
+        assert "'free_dimms'" in error.message
+        assert "yield intervenes" in error.message
+
+    def test_reservation_token_published_before_yield_passes(self):
+        # The PR-4 fix: claim the slots into shared state *before* the
+        # yield, so concurrent requests see them as taken.
+        fixed = RACY_DIMM_PLUG.replace(
+            "        yield self.vmm_core.submit",
+            "        self._reserved.update(claimed)\n"
+            "        yield self.vmm_core.submit",
+        )
+        assert findings(fixed, "stale-guard-across-yield") == []
+
+    def test_revalidated_guard_after_yield_passes(self):
+        # The other disciplined shape: re-read shared state after the
+        # resume and guard the mutation on the fresh read.
+        revalidated = RACY_DIMM_PLUG.replace(
+            "        for dimm in claimed:\n"
+            "            for index in self.dimm_block_indices(dimm):\n"
+            "                self.manager.online_block",
+            "        for dimm in claimed:\n"
+            "            if dimm not in self.free_dimms():\n"
+            "                continue\n"
+            "            for index in self.dimm_block_indices(dimm):\n"
+            "                self.manager.online_block",
+        )
+        assert revalidated != RACY_DIMM_PLUG
+        assert findings(revalidated, "stale-guard-across-yield") == []
+
+    def test_mutation_before_the_yield_passes(self):
+        source = '''\
+__all__ = []
+
+
+class EagerPlug:
+    def plug(self, dimm_count):
+        free_slots = self.free_dimms()
+        if dimm_count > len(free_slots):
+            raise HotplugError("not enough free DIMM slots")
+        for dimm in free_slots[:dimm_count]:
+            self.manager.online_block(dimm, zone_movable=True)
+        yield self.vmm_core.submit(10, "dimm")
+        return None
+'''
+        assert findings(source, "stale-guard-across-yield") == []
+
+    def test_loop_recomputed_snapshot_passes(self):
+        # The balloon inflate shape: the observation sits inside the
+        # loop, so every iteration acts on a fresh snapshot even though
+        # a yield separates iterations.
+        source = '''\
+__all__ = []
+
+
+class Inflater:
+    def inflate(self, target_pages):
+        done = 0
+        while done < target_pages:
+            take = min(self._stealable_pages(), target_pages - done)
+            if take > 0:
+                self.manager.alloc_pages(self.owner, take)
+                done += take
+                continue
+            yield Timeout(self.retry_ns)
+        return done
+'''
+        assert findings(source, "stale-guard-across-yield") == []
+
+    def test_suppression_comment_silences_the_finding(self):
+        suppressed = RACY_DIMM_PLUG.replace(
+            "self.manager.online_block(index, zone_movable=True)",
+            "self.manager.online_block(index, zone_movable=True)"
+            "  # lint: allow[stale-guard-across-yield] fixture",
+        )
+        assert findings(suppressed, "stale-guard-across-yield") == []
+
+    def test_rule_scoped_to_repro_modules(self):
+        assert (
+            findings(RACY_DIMM_PLUG, "stale-guard-across-yield", module="scratch")
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# unchecked-result
+# ----------------------------------------------------------------------
+class TestUncheckedResult:
+    def test_result_dying_unchecked_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def forget(self, nbytes):
+        result = yield from self.datapath.request_unplug(nbytes)
+        self.counter = self.counter + 1
+        return None
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, "request_unplug")
+        assert "request_unplug" in errors[0].message
+        assert "dies unchecked" in errors[0].message
+
+    def test_result_checked_on_one_path_only_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def sometimes(self, nbytes):
+        result = yield from self.datapath.request_unplug(nbytes)
+        if self.fast_path:
+            return 0
+        if result.fully_unplugged:
+            return result.unplugged_bytes
+        return 0
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, "request_unplug")
+
+    def test_result_checked_on_all_paths_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def checked(self, nbytes):
+        result = yield from self.datapath.request_unplug(nbytes)
+        if result.fully_unplugged:
+            return result.unplugged_bytes
+        return 0
+'''
+        assert findings(source, "unchecked-result") == []
+
+    def test_result_propagated_by_return_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def propagate(self, nbytes):
+        result = yield from self.datapath.request_unplug(nbytes)
+        return result
+'''
+        assert findings(source, "unchecked-result") == []
+
+    def test_process_handle_value_transfer_passes(self):
+        # The request_* producers return a Process; `yield p` only joins
+        # it, `p.value` transfers the checking obligation to the target.
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def via_handle(self, nbytes):
+        unplug = self.vm.request_unplug(nbytes)
+        yield unplug
+        result = unplug.value
+        return result.unplugged_bytes
+'''
+        assert findings(source, "unchecked-result") == []
+
+    def test_process_handle_never_read_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Rig:
+    def fire_and_forget(self, nbytes):
+        unplug = self.vm.request_unplug(nbytes)
+        yield unplug
+        return None
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, "request_unplug")
+
+    def test_admission_result_flagged_too(self):
+        source = '''\
+__all__ = []
+
+
+class Gate:
+    def route(self, invocation):
+        decision = self.arbiter.admit(invocation)
+        self.routed = self.routed + 1
+        return None
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert ".admitted" in errors[0].message
+
+
+# ----------------------------------------------------------------------
+# span-hygiene
+# ----------------------------------------------------------------------
+class TestSpanHygiene:
+    def test_early_return_skipping_close_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def leaky(self, tracer, cond):
+        span = tracer.span("op")
+        if cond:
+            return None
+        span.close()
+        return None
+'''
+        errors = findings(source, "span-hygiene")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, 'tracer.span("op")')
+        assert "'span'" in errors[0].message
+
+    def test_close_in_only_one_branch_is_flagged(self):
+        # A close() inside one branch must not settle the other branch:
+        # this pins the compound-statement-head handling.
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def half(self, tracer, cond):
+        span = tracer.span("op")
+        if cond:
+            span.close()
+        return None
+'''
+        errors = findings(source, "span-hygiene")
+        assert len(errors) == 1
+
+    def test_close_in_every_branch_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def branchy(self, tracer, cond):
+        span = tracer.span("op")
+        if cond:
+            span.close()
+        else:
+            span.close()
+        return None
+'''
+        assert findings(source, "span-hygiene") == []
+
+    def test_close_in_finally_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def safe(self, tracer):
+        span = tracer.span("op")
+        try:
+            yield from self.work()
+        finally:
+            span.close()
+        return None
+'''
+        assert findings(source, "span-hygiene") == []
+
+    def test_with_statement_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def scoped(self, tracer):
+        with tracer.span("op") as span:
+            yield from self.work(span)
+        return None
+'''
+        assert findings(source, "span-hygiene") == []
+
+    def test_handoff_to_helper_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Worker:
+    def handoff(self, tracer):
+        span = tracer.span("op")
+        self.finisher.finish(span)
+        return None
+'''
+        assert findings(source, "span-hygiene") == []
+
+
+# ----------------------------------------------------------------------
+# no-sim-sleep-side-effect
+# ----------------------------------------------------------------------
+class TestNoSimSleepSideEffect:
+    def test_mutation_fused_with_timeout_yield_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Device:
+    def refill(self):
+        self._pending_blocks.append((yield Timeout(10)))
+        return None
+'''
+        errors = findings(source, "no-sim-sleep-side-effect")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, "_pending_blocks")
+
+    def test_shared_attribute_store_of_timeout_result_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Device:
+    def mark(self):
+        self._idle_since = (yield Timeout(5))
+        return None
+'''
+        errors = findings(source, "no-sim-sleep-side-effect")
+        assert len(errors) == 1
+        assert "._idle_since =" in errors[0].message
+
+    def test_split_sleep_then_mutation_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Device:
+    def refill(self):
+        block = yield Timeout(10)
+        self._pending_blocks.append(block)
+        return None
+'''
+        assert findings(source, "no-sim-sleep-side-effect") == []
+
+    def test_non_timeout_yield_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Device:
+    def refill(self):
+        self._pending_blocks.append((yield self.core.submit(5, "x")))
+        return None
+'''
+        assert findings(source, "no-sim-sleep-side-effect") == []

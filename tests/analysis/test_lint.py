@@ -350,6 +350,8 @@ class TestDriversAndOutput:
         assert lint_paths([REPO_ROOT / "src"]) == []
 
     def test_every_rule_documented(self):
+        # The original 8 syntactic rules stay enforced alongside the
+        # CFG/dataflow families from repro.analysis.flow.
         assert set(RULES) == {
             "no-direct-random",
             "no-wallclock",
@@ -359,8 +361,46 @@ class TestDriversAndOutput:
             "no-bare-except",
             "no-mode-branching",
             "no-print-in-src",
+            "stale-guard-across-yield",
+            "unchecked-result",
+            "span-hygiene",
+            "no-sim-sleep-side-effect",
         }
         assert all(RULES.values())
+
+    def test_rule_kinds_partition_the_registry(self):
+        from repro.analysis.rules import DEFAULT_REGISTRY
+
+        ast_rules = {r.name for r in DEFAULT_REGISTRY.by_kind("ast")}
+        flow_rules = {r.name for r in DEFAULT_REGISTRY.by_kind("flow")}
+        assert flow_rules == {
+            "stale-guard-across-yield",
+            "unchecked-result",
+            "span-hygiene",
+        }
+        assert "no-sim-sleep-side-effect" in ast_rules
+        assert len(ast_rules) + len(flow_rules) == len(DEFAULT_REGISTRY)
+
+    def test_json_output_byte_identical_across_runs(self, tmp_path):
+        # The CI gate requires deterministic ordering: two runs over the
+        # same tree render byte-identical JSON.
+        bad = tmp_path / "src" / "repro" / "sim" / "multi.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random, time\n"
+            "a = random.random()\n"
+            "b = time.time()\n",
+            encoding="utf-8",
+        )
+        first = render_json(lint_paths([tmp_path / "src"]))
+        second = render_json(lint_paths([tmp_path / "src"]))
+        assert first == second
+        rules = [e["rule"] for e in json.loads(first)]
+        assert rules == [
+            "module-all-required",
+            "no-direct-random",
+            "no-wallclock",
+        ]
 
 
 class TestCli:

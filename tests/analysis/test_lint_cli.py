@@ -1,0 +1,221 @@
+"""End-to-end tests of the ``tools/lint.py`` gate.
+
+These run the real CLI in a subprocess: seeded violations in each flow
+rule family must turn the exit code red, SARIF must come out valid,
+the baseline must grandfather without un-gating new findings, and
+``--changed`` must honour the git merge-base.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+LINT = REPO_ROOT / "tools" / "lint.py"
+
+#: One violation per flow rule family (plus a clean method as control).
+SEEDED = '''\
+__all__ = []
+
+
+class Seeded:
+    def racy_plug(self, count):
+        free_slots = self.free_dimms()
+        if count > len(free_slots):
+            raise ValueError("full")
+        yield self.core.submit(10, "dimm")
+        self.manager.online_block(free_slots[0], zone_movable=True)
+        return None
+
+    def forget(self, nbytes):
+        result = yield from self.datapath.request_unplug(nbytes)
+        return None
+
+    def leaky(self, tracer, cond):
+        span = tracer.span("op")
+        if cond:
+            return None
+        span.close()
+        return None
+
+    def fine(self):
+        return 0
+'''
+
+CLEAN = '''\
+__all__ = []
+
+
+def fine():
+    return 0
+'''
+
+
+def run_lint(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+    )
+
+
+def seed_tree(tmp_path):
+    package = tmp_path / "repro"
+    package.mkdir()
+    (package / "seeded.py").write_text(SEEDED, encoding="utf-8")
+    return package
+
+
+class TestGate:
+    def test_seeded_violations_in_all_three_families_fail(self, tmp_path):
+        package = seed_tree(tmp_path)
+        proc = run_lint(str(package), "--no-baseline", "--json")
+        assert proc.returncode == 1
+        rules = {finding["rule"] for finding in json.loads(proc.stdout)}
+        assert {
+            "stale-guard-across-yield",
+            "unchecked-result",
+            "span-hygiene",
+        } <= rules
+
+    def test_repo_as_shipped_is_clean(self):
+        proc = run_lint("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "lint clean" in proc.stdout
+
+    def test_bad_path_exits_two(self):
+        proc = run_lint("no/such/tree")
+        assert proc.returncode == 2
+
+    def test_list_rules_names_both_kinds(self):
+        proc = run_lint("--list-rules")
+        assert proc.returncode == 0
+        assert "stale-guard-across-yield" in proc.stdout
+        assert "[flow]" in proc.stdout
+        assert "[ast" in proc.stdout
+
+
+class TestSarifOutput:
+    def test_sarif_file_is_written_and_valid(self, tmp_path):
+        package = seed_tree(tmp_path)
+        out = tmp_path / "lint.sarif"
+        proc = run_lint(str(package), "--no-baseline", "--sarif", str(out))
+        assert proc.returncode == 1  # the gate still gates
+        log = json.loads(out.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert results
+        for result in results:
+            assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_sarif_to_stdout(self, tmp_path):
+        package = seed_tree(tmp_path)
+        proc = run_lint(str(package), "--no-baseline", "--sarif", "-")
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"
+
+
+class TestBaselineWorkflow:
+    def test_update_then_rerun_grandfathers(self, tmp_path):
+        package = seed_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        proc = run_lint(
+            str(package), "--update-baseline", "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0
+        assert baseline.is_file()
+
+        proc = run_lint(str(package), "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "grandfathered" in proc.stderr
+
+    def test_new_violation_still_gates(self, tmp_path):
+        package = seed_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        run_lint(str(package), "--update-baseline", "--baseline", str(baseline))
+
+        (package / "fresh.py").write_text(
+            CLEAN + "\n\nspan = tracer.span  # placeholder\n",
+            encoding="utf-8",
+        )
+        (package / "fresh.py").write_text(
+            SEEDED.replace("class Seeded", "class Fresh"), encoding="utf-8"
+        )
+        proc = run_lint(str(package), "--baseline", str(baseline))
+        assert proc.returncode == 1
+        assert "seeded.py" not in proc.stdout  # old findings stay silent
+        assert "fresh.py" in proc.stdout
+
+    def test_update_baseline_is_byte_deterministic(self, tmp_path):
+        package = seed_tree(tmp_path)
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run_lint(str(package), "--update-baseline", "--baseline", str(first))
+        run_lint(str(package), "--update-baseline", "--baseline", str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestChangedMode:
+    def make_repo(self, tmp_path):
+        """A scratch clone: the CLI script resolves its repo root from
+        its own location, so --changed is exercised against a copied
+        ``tools/lint.py`` inside a fresh git history."""
+        (tmp_path / "tools").mkdir()
+        shutil.copy(LINT, tmp_path / "tools" / "lint.py")
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "base.py").write_text(CLEAN, encoding="utf-8")
+
+        def git(*args):
+            proc = subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+                capture_output=True,
+                text=True,
+                cwd=tmp_path,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return proc
+
+        git("init", "-q", "-b", "main")
+        git("add", "-A")
+        git("commit", "-q", "-m", "base")
+        return package, git
+
+    def run_scratch_lint(self, tmp_path, *args):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, str(tmp_path / "tools" / "lint.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=tmp_path,
+            env=env,
+        )
+
+    def test_changed_lints_only_files_off_the_merge_base(self, tmp_path):
+        package, git = self.make_repo(tmp_path)
+        git("checkout", "-q", "-b", "feature")
+        (package / "new.py").write_text(SEEDED, encoding="utf-8")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed a violation")
+
+        proc = self.run_scratch_lint(
+            tmp_path, "--changed", "repro", "--no-baseline"
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "new.py" in proc.stdout
+        assert "base.py" not in proc.stdout
+
+    def test_changed_with_no_diff_passes(self, tmp_path):
+        self.make_repo(tmp_path)
+        proc = self.run_scratch_lint(
+            tmp_path, "--changed", "repro", "--no-baseline"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no python files differ" in proc.stdout

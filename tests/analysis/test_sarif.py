@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output: schema-required fields and determinism."""
+
+import json
+
+from repro.analysis.baseline import fingerprint_errors
+from repro.analysis.rules import LintError
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    sarif_log,
+)
+
+ERRORS = [
+    LintError(
+        "src/repro/x.py",
+        3,
+        4,
+        "stale-guard-across-yield",
+        "guard went stale",
+    ),
+    LintError("src/repro/x.py", 9, 0, "span-hygiene", "span leaked"),
+    LintError("src/repro/y.py", 2, 8, "span-hygiene", "span leaked too"),
+]
+
+LINES = {
+    "src/repro/x.py": ["l1", "l2", "the guard line", "", "", "", "", "", "x"],
+    "src/repro/y.py": ["a", "the span line"],
+}
+
+
+class TestSchemaRequiredFields:
+    def test_log_skeleton(self):
+        log = sarif_log(ERRORS, LINES)
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert "informationUri" in driver
+
+    def test_rules_are_sorted_and_indexed(self):
+        log = sarif_log(ERRORS, LINES)
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(ids)
+        assert set(ids) == {"stale-guard-across-yield", "span-hygiene"}
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_results_carry_message_and_location(self):
+        log = sarif_log(ERRORS, LINES)
+        results = log["runs"][0]["results"]
+        assert len(results) == len(ERRORS)
+        first = results[0]
+        assert first["level"] == "error"
+        assert first["message"]["text"] == "guard went stale"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        region = location["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] == 5  # 0-based col 4, SARIF is 1-based
+
+    def test_fingerprints_match_the_baseline_machinery(self):
+        log = sarif_log(ERRORS, LINES)
+        prints = fingerprint_errors(ERRORS, LINES)
+        got = [
+            result["partialFingerprints"]["reproLint/v1"]
+            for result in log["runs"][0]["results"]
+        ]
+        assert got == prints
+
+    def test_fingerprints_omitted_without_sources(self):
+        log = sarif_log(ERRORS)
+        for result in log["runs"][0]["results"]:
+            assert "partialFingerprints" not in result
+
+    def test_synthetic_rules_still_get_descriptors(self):
+        errors = [LintError("x.py", 1, 0, "syntax-error", "cannot parse")]
+        rules = sarif_log(errors)["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[0]["id"] == "syntax-error"
+        assert rules[0]["shortDescription"]["text"]
+
+
+class TestRendering:
+    def test_render_is_byte_deterministic(self):
+        assert render_sarif(ERRORS, LINES) == render_sarif(ERRORS, LINES)
+
+    def test_render_round_trips_through_json(self):
+        text = render_sarif(ERRORS, LINES)
+        assert text.endswith("\n")
+        assert json.loads(text) == sarif_log(ERRORS, LINES)
+
+    def test_empty_findings_are_a_valid_log(self):
+        log = sarif_log([], {})
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []

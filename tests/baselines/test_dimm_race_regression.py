@@ -1,0 +1,161 @@
+"""Regression tests for the DIMM slot race (the pre-PR-4 bug).
+
+The flow lint's ``stale-guard-across-yield`` rule exists because of one
+concrete interleaving: ``plug()`` snapshotting ``free_dimms()``, guarding
+on the snapshot, yielding for the device RTT, then onlining blocks into
+slots a concurrent request claimed meanwhile.  These tests reconstruct
+the unfixed pattern as a subclass and show it collide, show the shipped
+reservation-token code survive the *same* schedule, and reproduce the
+fixed interleaving end-to-end through the fault injector's recycle-race
+site on a DIMM-mode VM.
+"""
+
+import pytest
+
+from repro.baselines.dimm import DIMM_LABEL, DimmHotplug
+from repro.cluster.provision import VmSpec
+from repro.errors import HotplugError
+from repro.faas.agent import FunctionDeployment
+from repro.faas.policy import KeepAlivePolicy
+from repro.faults import AGENT_RECYCLE_RACE, FaultPlan, FaultSpec
+from repro.mm.block import BlockState
+from repro.sim.engine import Timeout
+from repro.units import GIB, MIB, SEC
+from repro.workloads.functions import get_function
+
+
+class RacyDimmHotplug(DimmHotplug):
+    """The pre-PR-4 plug path: snapshot, guard, yield, act.
+
+    No reservation token is published before the RTT yield and nothing
+    is re-validated after it — exactly the pattern the
+    ``stale-guard-across-yield`` rule flags (see
+    ``tests/analysis/test_flow_rules.py``, which lints this shape).
+    """
+
+    def plug(self, dimm_count: int):
+        free_slots = [
+            dimm
+            for dimm in range(self.dimm_slots)
+            if all(
+                self.manager.blocks[i].state is BlockState.ABSENT
+                for i in self.dimm_block_indices(dimm)
+            )
+        ]
+        if dimm_count > len(free_slots):
+            raise HotplugError(
+                f"only {len(free_slots)} free DIMM slots, need {dimm_count}"
+            )
+        start = self.sim.now
+        self.host_node.charge(dimm_count * self.dimm_bytes)
+        claimed = free_slots[:dimm_count]
+        # The stale window: between here and the resume, a concurrent
+        # plug sees the same free slots.
+        yield self.vmm_core.submit(self.costs.virtio_request_rtt_ns, DIMM_LABEL)
+        for dimm in claimed:
+            for index in self.dimm_block_indices(dimm):
+                self.manager.online_block(index, self.manager.zone_movable)
+                yield self.irq_core.submit(
+                    self.costs.plug_block_ns(zero_pages=0), DIMM_LABEL
+                )
+        return self.sim.now - start
+
+
+@pytest.fixture
+def vm(fleet):
+    return fleet.provision(VmSpec("dimm-vm", region_bytes=4 * GIB)).vm
+
+
+def hotplug(cls, sim, vm):
+    return cls(
+        sim,
+        vm.manager,
+        vm.costs,
+        irq_core=vm.irq_vcpu,
+        vmm_core=vm.vmm_core,
+        host_node=vm.node,
+    )
+
+
+class TestSlotRaceReconstruction:
+    def test_unfixed_concurrent_plugs_collide_on_one_slot(self, sim, vm):
+        racy = hotplug(RacyDimmHotplug, sim, vm)
+        sim.spawn(racy.plug(1))
+        sim.spawn(racy.plug(1))
+        # Both snapshots see slot 0 free; the second online_block of the
+        # loser lands on a block the winner already onlined.
+        with pytest.raises(HotplugError, match="already"):
+            sim.run()
+
+    def test_shipped_code_survives_the_same_schedule(self, sim, vm):
+        dimm = hotplug(DimmHotplug, sim, vm)
+        sim.spawn(dimm.plug(1))
+        sim.spawn(dimm.plug(1))
+        sim.run()
+        # The reservation token published before the yield steered the
+        # second request to a disjoint slot.
+        assert dimm.plugged_dimms() == [0, 1]
+        assert dimm._reserved == set()
+        vm.manager.check_consistency()
+
+    def test_concurrent_unplugs_revalidate_and_take_disjoint_dimms(
+        self, sim, vm
+    ):
+        dimm = hotplug(DimmHotplug, sim, vm)
+        sim.run_process(dimm.plug(4))
+        first = sim.spawn(dimm.unplug(1 * GIB))
+        second = sim.spawn(dimm.unplug(1 * GIB))
+        sim.run()
+        # Both candidate lists were snapshotted before the RTT; the
+        # per-DIMM re-validation makes the loser skip the slot the
+        # winner already drained instead of double-unplugging it.
+        assert first.value.unplugged_dimms == 1
+        assert second.value.unplugged_dimms == 1
+        assert dimm.plugged_dimms() == [0, 1]
+        assert dimm._reserved == set()
+        vm.manager.check_consistency()
+
+
+class TestInjectorDrivenRace:
+    def test_recycle_race_on_dimm_vm_respects_reservations(self, sim, fleet):
+        """The fixed interleaving, reproduced through the fault injector.
+
+        ``AGENT_RECYCLE_RACE`` makes a second recycle pass size its
+        unplug from pre-race state while the first pass's unplug is
+        still in flight — concurrent ``DimmHotplug.unplug`` calls over
+        one slot set, the exact shape the reservation token serializes.
+        """
+        function = get_function("html")
+        spec = VmSpec.for_function(
+            "dimm-race-vm",
+            "dimm",
+            function.memory_limit_bytes,
+            concurrency=8,
+            shared_bytes=function.shared_deps_bytes,
+            boot_memory_bytes=256 * MIB,
+            faults=FaultPlan((FaultSpec(AGENT_RECYCLE_RACE, 1.0, max_fires=1),)),
+        )
+        handle = fleet.provision(spec)
+        vm = handle.vm
+        agent = handle.deploy(
+            [FunctionDeployment(function, max_instances=2)],
+            KeepAlivePolicy(keep_alive_ns=5 * SEC, recycle_interval_ns=3 * SEC),
+        )
+        sim.run_process(agent.handle("html", 0))
+        sim.run_process(agent.handle("html", sim.now))
+
+        def staggered():
+            # The first pass starts a fire-and-forget unplug; the second
+            # pass while it is in flight gives the race site its window.
+            yield Timeout(6 * SEC)
+            yield from agent.recycle_pass()
+            yield from agent.recycle_pass()
+
+        sim.run_process(staggered())
+        sim.run()
+        # No HotplugError escaped (sim.run would have raised), the fault
+        # was resolved by a recovery path, no slot stayed reserved, and
+        # the block/zone/owner accounting all reconcile.
+        assert vm.faults.unresolved() == []
+        assert vm.datapath.dimm._reserved == set()
+        vm.check_consistency()

@@ -1,40 +1,98 @@
 #!/usr/bin/env python3
-"""Repo lint gate: run the AST rule pass over source trees.
+"""Repo lint gate: AST + CFG/dataflow rules over source trees.
 
 Usage::
 
-    python tools/lint.py                # lint src/ (the CI gate)
-    python tools/lint.py src tests      # explicit paths
-    python tools/lint.py --json src     # machine-readable findings
-    python tools/lint.py --list-rules   # show the enforced conventions
+    python tools/lint.py                      # lint src/ (the CI gate)
+    python tools/lint.py src tests            # explicit paths
+    python tools/lint.py --json src           # machine-readable findings
+    python tools/lint.py --sarif lint.sarif   # SARIF 2.1.0 (code scanning)
+    python tools/lint.py --changed            # only files differing from main
+    python tools/lint.py --update-baseline    # accept current findings
+    python tools/lint.py --list-rules         # show the enforced conventions
 
-Exits 0 when no rule fires, 1 otherwise (2 on bad usage).  Rules,
-scoping and the ``# lint: allow[rule]`` suppression syntax are
-documented in ``docs/analysis.md`` and ``repro/analysis/lint.py``.
+Exits 0 when no *non-baselined* rule fires, 1 otherwise (2 on bad
+usage).  Findings recorded in ``tools/lint-baseline.json`` (by rule,
+path and content fingerprint — see ``repro.analysis.baseline``) are
+reported separately and do not gate; regenerate the file with
+``--update-baseline`` (deterministic output).  Rules, scoping and the
+``# lint: allow[rule]`` suppression syntax are documented in
+``docs/analysis.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 # Make the src layout importable when running from a bare checkout.
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from repro.analysis.lint import (  # noqa: E402  (path bootstrap above)
+from repro.analysis.baseline import (  # noqa: E402  (path bootstrap above)
+    load_baseline,
+    render_baseline,
+    split_baselined,
+)
+from repro.analysis.lint import (  # noqa: E402
     RULES,
+    iter_py_files,
     lint_paths,
     render_json,
     render_text,
 )
+from repro.analysis.rules import DEFAULT_REGISTRY  # noqa: E402
+from repro.analysis.sarif import render_sarif  # noqa: E402
+
+#: Default location of the accepted-findings baseline.
+DEFAULT_BASELINE = _REPO_ROOT / "tools" / "lint-baseline.json"
 
 
-def main(argv=None) -> int:
+def changed_files(base: str = "main") -> List[Path]:
+    """Python files differing from ``base`` (staged, unstaged or
+    committed), for fast local iteration.  Deleted files are skipped."""
+    merge_base = subprocess.run(
+        ["git", "merge-base", "HEAD", base],
+        capture_output=True,
+        text=True,
+        cwd=_REPO_ROOT,
+    )
+    anchor = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", anchor, "--"],
+        capture_output=True,
+        text=True,
+        cwd=_REPO_ROOT,
+    )
+    if diff.returncode != 0:
+        raise RuntimeError(
+            f"git diff against {base!r} failed: {diff.stderr.strip()}"
+        )
+    return [
+        Path(line)
+        for line in diff.stdout.splitlines()
+        if line.endswith(".py") and Path(line).exists()
+    ]
+
+
+def _read_lines(paths: Sequence[Path]) -> Dict[str, Sequence[str]]:
+    return {
+        str(path): path.read_text(encoding="utf-8").splitlines()
+        for path in paths
+        if path.is_file()
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python tools/lint.py",
-        description="AST lint for determinism and mm-encapsulation rules.",
+        description=(
+            "AST + CFG/dataflow lint for determinism, encapsulation and "
+            "yield-race rules."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -48,6 +106,32 @@ def main(argv=None) -> int:
         help="emit findings as a JSON array instead of text",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write findings as SARIF 2.1.0 to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only .py files differing from main (fast local loop)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=str(DEFAULT_BASELINE),
+        help="accepted-findings baseline (default: tools/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; every finding gates",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings as accepted and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list rule names and what they enforce, then exit",
@@ -55,31 +139,91 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for name, description in RULES.items():
-            print(f"{name:22} {description}")
+        for name in RULES:
+            kind = DEFAULT_REGISTRY.get(name).kind
+            print(f"{name:26} [{kind:4}] {RULES[name]}")
         return 0
 
-    paths = [Path(p) for p in args.paths]
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        print(
-            f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr
-        )
-        return 2
+    if args.changed:
+        try:
+            files = changed_files()
+        except RuntimeError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        # Honour the path filter: only changed files under the requested
+        # trees (resolved relative to the repo root, where git reports).
+        roots = [(_REPO_ROOT / p).resolve() for p in args.paths]
+        paths = [
+            _REPO_ROOT / f
+            for f in files
+            if any(
+                (_REPO_ROOT / f).resolve().is_relative_to(root)
+                for root in roots
+            )
+        ]
+        if not paths:
+            print("lint --changed: no python files differ from main")
+            return 0
+    else:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"no such path(s): {', '.join(map(str, missing))}",
+                file=sys.stderr,
+            )
+            return 2
 
     errors = lint_paths(paths)
+    lines_by_path = _read_lines(iter_py_files(paths))
+
+    if args.update_baseline:
+        Path(args.baseline).write_text(
+            render_baseline(errors, lines_by_path), encoding="utf-8"
+        )
+        print(
+            f"baseline: recorded {len(errors)} accepted finding(s) in "
+            f"{args.baseline}"
+        )
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and baseline_path.is_file():
+        accepted = load_baseline(baseline_path)
+        errors, grandfathered = split_baselined(
+            errors, accepted, lines_by_path
+        )
+    else:
+        grandfathered = []
+
+    if args.sarif:
+        sarif = render_sarif(errors, lines_by_path)
+        if args.sarif == "-":
+            print(sarif, end="")
+        else:
+            Path(args.sarif).write_text(sarif, encoding="utf-8")
+
     if args.json:
         print(render_json(errors))
     elif errors:
-        print(render_text(errors))
+        # Keep stdout machine-readable when the SARIF log went there.
+        findings_stream = sys.stderr if args.sarif == "-" else sys.stdout
+        print(render_text(errors), file=findings_stream)
+    if grandfathered:
+        print(
+            f"[baseline] {len(grandfathered)} grandfathered finding(s) "
+            f"not gating (see {baseline_path})",
+            file=sys.stderr,
+        )
     if errors:
         print(
             f"\n{len(errors)} lint finding(s); suppress intentional ones "
-            f"with '# lint: allow[rule-name]'",
+            f"with '# lint: allow[rule-name]' or accept them with "
+            f"--update-baseline",
             file=sys.stderr,
         )
         return 1
-    if not args.json:
+    if not args.json and args.sarif != "-":
         print(f"lint clean: {', '.join(map(str, args.paths))}")
     return 0
 
