@@ -41,7 +41,16 @@ Rule families
     Timeout(...)`` expression result fuses a suspension and a mutation
     into one line, hiding the interleaving window.
 
-All four report plain :class:`LintError` findings, honour the standard
+``no-unbounded-retry`` (ast)
+    A ``while True`` loop whose body speaks the retry vocabulary
+    (attempt counters, backoff, failover) must reference an explicit
+    bounded budget knob (``max_retries``, ``plug_retries``,
+    ``max_failovers``, ``failure_threshold``, ...) somewhere in the
+    loop.  A retry loop with no bound spins forever against a host
+    that died — the fleet layer's recovery paths all terminate
+    *because* every budget is finite.
+
+All five report plain :class:`LintError` findings, honour the standard
 ``# lint: allow[rule-name]`` suppression, and register themselves on
 :data:`repro.analysis.rules.DEFAULT_REGISTRY`.
 """
@@ -510,6 +519,16 @@ RESULT_PRODUCERS: Dict[str, frozenset] = {
     "UnplugResult": frozenset(
         {"fully_unplugged", "unplugged_bytes", "requested_bytes"}
     ),
+    # Fleet failure domains: evacuation outcomes and circuit-breaker
+    # state transitions are values too — a dropped EvacuationResult is
+    # a silently lost VM, a dropped BreakerTransition is a breaker trip
+    # that never reaches traces or reports.
+    "evacuate": frozenset({"evacuated", "rejected", "ok"}),
+    "EvacuationResult": frozenset({"evacuated", "rejected", "ok"}),
+    "poll": frozenset({"from_state", "to_state"}),
+    "record_success": frozenset({"from_state", "to_state"}),
+    "record_failure": frozenset({"from_state", "to_state"}),
+    "BreakerTransition": frozenset({"from_state", "to_state"}),
 }
 
 #: Producers whose binding is a Process handle: ``yield p`` schedules
@@ -911,6 +930,95 @@ def _check_sim_sleep_side_effect(ctx: FileContext) -> Iterator[LintError]:
 
 
 # ----------------------------------------------------------------------
+# no-unbounded-retry
+# ----------------------------------------------------------------------
+#: Attribute/name spellings whose presence inside a retry loop proves
+#: the retry count is capped by an explicit policy knob.  Every bound
+#: the simulator's resilience layers expose is spelled here; a new
+#: budget field joins this set when it is introduced.
+_BOUNDED_BUDGET_NAMES = frozenset(
+    {
+        "max_retries",
+        "plug_retries",
+        "max_attempts",
+        "deferred_attempts",
+        "max_fires",
+        "max_failovers",
+        "failure_threshold",
+        "half_open_probes",
+        "quarantine_after",
+        "degrade_after",
+    }
+)
+
+#: Identifier fragments (snake_case segments) that mark a loop body as
+#: retry-shaped: it counts attempts, backs off, or re-dispatches.
+_RETRY_FRAGMENTS = frozenset(
+    {
+        "retry",
+        "retries",
+        "retried",
+        "attempt",
+        "attempts",
+        "failover",
+        "failovers",
+        "backoff",
+        "redispatch",
+    }
+)
+
+
+def _loop_runs_forever(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _identifiers(tree: ast.AST) -> Iterator[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _check_no_unbounded_retry(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_repro(ctx.module):
+        return
+    for node in ctx.nodes:
+        if not isinstance(node, ast.While):
+            continue
+        if not _loop_runs_forever(node.test):
+            continue
+        retry_names = sorted(
+            {
+                ident
+                for ident in _identifiers(node)
+                if any(
+                    segment in _RETRY_FRAGMENTS
+                    for segment in ident.lower().split("_")
+                )
+            }
+        )
+        if not retry_names:
+            continue  # an event/service loop, not a retry loop
+        if any(
+            ident in _BOUNDED_BUDGET_NAMES for ident in _identifiers(node)
+        ):
+            continue  # references an explicit bound: terminates
+        mentioned = ", ".join(retry_names[:3])
+        yield LintError(
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            "no-unbounded-retry",
+            f"`while True` retry loop (mentions {mentioned}) never "
+            f"references a bounded budget "
+            f"(max_retries/plug_retries/max_failovers/...) — an "
+            f"unbounded retry spins forever against a dead host; gate "
+            f"the loop on an explicit policy knob",
+        )
+
+
+# ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
 def _in_repro(module: str) -> bool:
@@ -932,9 +1040,10 @@ _register(
 _register(
     "unchecked-result",
     (
-        "PlugResult/UnplugResult/AdmissionResult/RouteRejection carry "
-        "failure as values; every produced result must have a success "
-        "field read (or be propagated) on every CFG path"
+        "PlugResult/UnplugResult/AdmissionResult/RouteRejection/"
+        "EvacuationResult/BreakerTransition carry failure as values; "
+        "every produced result must have a success field read (or be "
+        "propagated) on every CFG path"
     ),
     kind="flow",
 )(_check_unchecked_result)
@@ -958,3 +1067,13 @@ _register(
     ),
     kind="ast",
 )(_check_sim_sleep_side_effect)
+
+_register(
+    "no-unbounded-retry",
+    (
+        "`while True` loops that retry (attempt counters, backoff, "
+        "failover) must reference a bounded budget knob — unbounded "
+        "retries spin forever against dead hosts"
+    ),
+    kind="ast",
+)(_check_no_unbounded_retry)

@@ -596,6 +596,9 @@ def _check_host_conservation(ctx: CheckContext) -> Iterator[Failure]:
         return
     for host_index, node, residents in fleet.node_views():
         backed = sum(vm.backed_bytes for vm in residents)
+        # Non-VM charges (injected pressure spikes) are attributed to the
+        # fleet's external accounts; conservation covers them too.
+        backed += fleet.external_bytes(host_index, node.node_id)
         if backed != node.used_bytes:
             names = ", ".join(vm.name for vm in residents) or "<none>"
             yield Failure(
@@ -604,6 +607,26 @@ def _check_host_conservation(ctx: CheckContext) -> Iterator[Failure]:
                 f"({names}) back {backed} bytes but the node accounts "
                 f"{node.used_bytes} used (delta {backed - node.used_bytes:+d})",
             )
+
+
+@invariant(
+    "ledger-conservation",
+    "the density arbiter's per-node committed/resident ledger equals the "
+    "ground truth recomputed from alive VMs (zero drift after any fault "
+    "storm)",
+)
+def _check_ledger_conservation(ctx: CheckContext) -> Iterator[Failure]:
+    fleet = ctx.fleet
+    if fleet is None:
+        return
+    for (host_index, node_id), delta in sorted(
+        fleet.ledger_drift_report().items()
+    ):
+        yield Failure(
+            "ledger-conservation",
+            f"host {host_index} node {node_id}: arbiter ledger drifts "
+            f"{delta:+d} bytes from the committed sum of alive VMs",
+        )
 
 
 # ----------------------------------------------------------------------

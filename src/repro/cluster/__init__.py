@@ -18,6 +18,15 @@ from repro.cluster.admission import (
     ArbitrationPolicy,
     DensityArbiter,
 )
+from repro.cluster.failover import (
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+    EvacuationResult,
+    FailoverCoordinator,
+    FailoverPolicy,
+    Watchdog,
+)
 from repro.cluster.placement import (
     BestFitPlacement,
     FirstFitPlacement,
@@ -61,4 +70,11 @@ __all__ = [
     "LeastLoaded",
     "MemoryHeadroom",
     "get_routing_policy",
+    "BreakerPolicy",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "EvacuationResult",
+    "FailoverCoordinator",
+    "FailoverPolicy",
+    "Watchdog",
 ]

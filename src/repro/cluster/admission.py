@@ -38,7 +38,7 @@ agents' recyclers when the bet starts to come due.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.placement import NodeCandidate
 from repro.errors import ConfigError
@@ -127,6 +127,9 @@ class DensityArbiter:
         self._committed: Dict[Tuple[int, int], int] = {}
         #: (host_index, node_id) → resident VM count.
         self._resident: Dict[Tuple[int, int], int] = {}
+        #: Hosts removed from arbitration after a crash (their nodes are
+        #: never admission candidates again).
+        self._down: set = set()
         for host_index, host in enumerate(self.hosts):
             for node in host.nodes:
                 self._committed[(host_index, node.node_id)] = 0
@@ -157,9 +160,11 @@ class DensityArbiter:
         return self._committed[(host_index, node_id)]
 
     def candidates(self) -> List[NodeCandidate]:
-        """Arbitration views of every node, in (host, node) order."""
+        """Arbitration views of every *up* node, in (host, node) order."""
         views: List[NodeCandidate] = []
         for host_index, host in enumerate(self.hosts):
+            if host_index in self._down:
+                continue
             for node in host.nodes:
                 key = (host_index, node.node_id)
                 views.append(
@@ -178,6 +183,10 @@ class DensityArbiter:
     # ------------------------------------------------------------------
     def charge(self, host_index: int, node_id: int, committed: int) -> None:
         """Record an admitted VM's committed bytes on its node."""
+        if host_index in self._down:
+            raise ConfigError(
+                f"cannot charge host {host_index}: it is down"
+            )
         key = (host_index, node_id)
         after = self._committed[key] + committed
         if after > self.limit_bytes(host_index, node_id):
@@ -197,6 +206,71 @@ class DensityArbiter:
             )
         self._committed[key] -= committed
         self._resident[key] -= 1
+
+    # ------------------------------------------------------------------
+    # Failure domains (see repro.cluster.failover)
+    # ------------------------------------------------------------------
+    def mark_host_down(self, host_index: int) -> None:
+        """Remove a crashed host from arbitration (idempotent).
+
+        Its nodes stop appearing in :meth:`candidates` and refuse new
+        charges; the ledger rows themselves are repaired by
+        :meth:`reconcile`.
+        """
+        if not 0 <= host_index < len(self.hosts):
+            raise ConfigError(f"no host {host_index} in the fleet")
+        self._down.add(host_index)
+
+    def host_is_down(self, host_index: int) -> bool:
+        """Whether a host has been marked down."""
+        return host_index in self._down
+
+    def drift_report(
+        self, residents: Iterable[Tuple[int, int, int]]
+    ) -> Dict[Tuple[int, int], int]:
+        """Per-node ledger drift against the ground truth, read-only.
+
+        ``residents`` is ``(host_index, node_id, committed_bytes)`` for
+        every VM that is actually alive; the report maps each node key
+        to ``ledger − truth`` (only nonzero entries).  The
+        ``ledger-conservation`` invariant gates on this being empty.
+        """
+        truth: Dict[Tuple[int, int], int] = {
+            key: 0 for key in self._committed
+        }
+        for host_index, node_id, committed in residents:
+            truth[(host_index, node_id)] += committed
+        return {
+            key: self._committed[key] - truth[key]
+            for key in self._committed
+            if self._committed[key] != truth[key]
+        }
+
+    def reconcile(
+        self, residents: Iterable[Tuple[int, int, int]]
+    ) -> int:
+        """Rebuild the ledger from the VMs that actually survive.
+
+        After a host crash the crashed VMs' charges are still on the
+        books; rather than trusting incremental release arithmetic
+        through a fault storm, the ledger is rebuilt from scratch from
+        ``residents`` (``(host_index, node_id, committed_bytes)`` per
+        surviving VM).  Returns the total absolute drift repaired in
+        bytes — zero when the incremental ledger was already exact.
+        """
+        residents = list(residents)
+        report = self.drift_report(residents)
+        drift = sum(abs(delta) for delta in report.values())
+        committed: Dict[Tuple[int, int], int] = {
+            key: 0 for key in self._committed
+        }
+        count: Dict[Tuple[int, int], int] = {key: 0 for key in self._resident}
+        for host_index, node_id, charge in residents:
+            committed[(host_index, node_id)] += charge
+            count[(host_index, node_id)] += 1
+        self._committed = committed
+        self._resident = count
+        return drift
 
     # ------------------------------------------------------------------
     # Pressure

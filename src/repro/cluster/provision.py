@@ -27,8 +27,8 @@ experiment onto the fleet leaves its event trace byte-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.cluster.admission import (
     DEFAULT_ARBITRATION,
@@ -36,6 +36,7 @@ from repro.cluster.admission import (
     ArbitrationPolicy,
     DensityArbiter,
 )
+from repro.cluster.failover import EvacuationResult
 from repro.cluster.placement import PlacementPolicy, get_placement_policy
 from repro.core.config import HotMemBootParams
 from repro.errors import AdmissionRejected, ClusterError, ConfigError
@@ -43,7 +44,7 @@ from repro.faas.agent import Agent, FunctionDeployment
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
 from repro.faults.injector import FaultInjector, FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
-from repro.host.machine import HostMachine, NumaNode
+from repro.host.machine import HostAccount, HostMachine, NumaNode
 from repro.modes import DeploymentBackend, get_mode
 from repro.obs.session import context_for
 from repro.sim.costs import DEFAULT_COSTS, CostModel
@@ -171,6 +172,11 @@ class VmHandle:
     admission: AdmissionResult
     fleet: "Fleet"
     agent: Optional[Agent] = None
+    #: Deploy-time arguments, remembered so an evacuation can rebuild an
+    #: equivalent agent on the replacement VM (see :meth:`Fleet.reprovision`).
+    deployments: Optional[List[FunctionDeployment]] = None
+    keep_alive: Optional[KeepAlivePolicy] = None
+    resilience: Optional[ResiliencePolicy] = None
 
     @property
     def name(self) -> str:
@@ -193,6 +199,9 @@ class VmHandle:
             self.spec.mode,
             resilience=resilience,
         )
+        self.deployments = deployments
+        self.keep_alive = policy
+        self.resilience = resilience
         return self.agent
 
     def shutdown(self) -> None:
@@ -250,6 +259,14 @@ class Fleet:
         #: (time_ns, host_index, node_id) pressure-monitor firings.
         self.pressure_events: List[Tuple[int, int, int]] = []
         self._pressure_monitor: Optional[Process] = None
+        #: Hosts lost to a crash; mirrors the arbiter's down set.
+        self.down_hosts: Set[int] = set()
+        #: (host_index, node_id) → account for non-VM memory pressure
+        #: (the ``host.pressure.spike`` fault charges through these, so
+        #: host-conservation stays checkable during a spike).
+        self._external: Dict[Tuple[int, int], HostAccount] = {}
+        #: Bumped per evacuation so replacement VMs get fresh names.
+        self._evac_generation = 0
 
     # ------------------------------------------------------------------
     # Admission + provisioning
@@ -373,6 +390,185 @@ class Fleet:
         self.arbiter.release(
             handle.host_index, handle.node_id, handle.admission.committed_bytes
         )
+
+    # ------------------------------------------------------------------
+    # Failure domains (see repro.cluster.failover)
+    # ------------------------------------------------------------------
+    def residents(self, host_index: int) -> List[VmHandle]:
+        """Alive handles resident on one host, in admission order."""
+        return [
+            h
+            for h in self.handles
+            if h.host_index == host_index and h.vm._alive
+        ]
+
+    def _kill_handle(self, handle: VmHandle) -> None:
+        # Kill order matters: the agent's background processes first
+        # (they reference containers backed by the VM's memory), then
+        # the VM's in-flight plug/unplug work and its host account.
+        # Router-side in-flight requests are the coordinator's job and
+        # were already failed over before we get here.
+        if handle.agent is not None:
+            handle.agent.kill()
+        handle.vm.kill()
+
+    def kill_vm(self, name: str) -> VmHandle:
+        """Abruptly kill one VM (OOM-kill): no graceful shutdown.
+
+        Unlike :meth:`VmHandle.shutdown` nothing drains; in-flight
+        simulated work is terminated and the admission charge is
+        returned exactly.  The handle stays in ``handles`` (dead) so
+        history and naming are preserved.
+        """
+        handle = self.handle(name)
+        if not handle.vm._alive:
+            return handle
+        self._kill_handle(handle)
+        self.arbiter.release(
+            handle.host_index, handle.node_id, handle.admission.committed_bytes
+        )
+        self.obs.event("cluster.vm-killed", vm=name, host=handle.host_index)
+        return handle
+
+    def crash_host(self, host_index: int) -> List[VmHandle]:
+        """Take a whole host down, atomically from the sim's viewpoint.
+
+        Kills every resident VM, removes the host from arbitration and
+        rebuilds the committed-memory ledger from the survivors — all in
+        one callback (no yields), so sanitizer probes never observe a
+        half-crashed ledger.  Returns the victims for evacuation.
+        """
+        if host_index in self.down_hosts:
+            return []
+        victims = self.residents(host_index)
+        for handle in victims:
+            self._kill_handle(handle)
+        self.down_hosts.add(host_index)
+        self.arbiter.mark_host_down(host_index)
+        self.arbiter.reconcile(self._resident_commitments())
+        self.obs.event(
+            "cluster.host-crash",
+            host=host_index,
+            victims=len(victims),
+        )
+        return victims
+
+    def _resident_commitments(self) -> List[Tuple[int, int, int]]:
+        """Ground truth for the arbiter: one triple per alive VM."""
+        return [
+            (h.host_index, h.node_id, h.admission.committed_bytes)
+            for h in self.handles
+            if h.vm._alive
+        ]
+
+    def ledger_drift_report(self) -> Dict[Tuple[int, int], int]:
+        """Per-node arbiter drift vs. the alive handles (empty = exact)."""
+        return self.arbiter.drift_report(self._resident_commitments())
+
+    def ledger_drift_bytes(self) -> int:
+        """Total absolute arbiter drift vs. the alive handles."""
+        return sum(abs(delta) for delta in self.ledger_drift_report().values())
+
+    def reprovision(
+        self, dead: VmHandle
+    ) -> Tuple[Optional[VmHandle], AdmissionResult]:
+        """Re-admit a killed VM's spec on a surviving host.
+
+        The replacement runs the same spec under a generation-suffixed
+        name (``web~e1``), goes through normal placement/admission (it
+        can be rejected — evacuation does not override density limits),
+        and gets an equivalent agent re-deployed from the dead handle's
+        remembered deploy arguments, including a restarted recycler.
+        """
+        if dead.vm._alive:
+            raise ClusterError(f"{dead.name}: cannot reprovision a live VM")
+        self._evac_generation += 1
+        base = dead.spec.name.split("~", 1)[0]
+        spec = replace(dead.spec, name=f"{base}~e{self._evac_generation}")
+        handle, admission = self.try_provision(spec)
+        if handle is None:
+            return None, admission
+        if dead.deployments is not None and dead.keep_alive is not None:
+            handle.deploy(
+                dead.deployments, dead.keep_alive, resilience=dead.resilience
+            )
+        if (
+            handle.agent is not None
+            and dead.agent is not None
+            and dead.agent._recycler is not None
+        ):
+            handle.agent.start_recycler(dead.agent._recycler_until)
+        return handle, admission
+
+    def evacuate(
+        self,
+        host_index: int,
+        victims: List[VmHandle],
+        coldstart_ns: int,
+        on_replacement=None,
+    ):
+        """Process generator: re-home a crashed host's VMs, one by one.
+
+        Each victim pays ``coldstart_ns`` (boot + image pull on its new
+        host), then goes through :meth:`reprovision` — normal placement
+        and admission, which may *reject* it when the survivors lack
+        density headroom.  ``on_replacement(dead, replacement)`` fires
+        per successful re-admission (the coordinator uses it to register
+        the replacement with the router and stamp recovery records).
+        Returns an :class:`~repro.cluster.failover.EvacuationResult`.
+        """
+        if coldstart_ns < 0:
+            raise ConfigError(f"coldstart_ns must be >= 0, got {coldstart_ns}")
+        evacuated: List[str] = []
+        rejected: List[str] = []
+        for dead in victims:
+            if coldstart_ns > 0:
+                yield Timeout(coldstart_ns)
+            replacement, _admission = self.reprovision(dead)
+            if replacement is None:
+                rejected.append(dead.name)
+                continue
+            evacuated.append(replacement.name)
+            if on_replacement is not None:
+                on_replacement(dead, replacement)
+        return EvacuationResult(
+            host_index=host_index,
+            evacuated=tuple(evacuated),
+            rejected=tuple(rejected),
+            completed_ns=self.sim.now,
+        )
+
+    def external_charge(self, host_index: int, node_id: int, nbytes: int) -> int:
+        """Charge non-VM memory against a node (pressure spike).
+
+        Clamped to the node's free bytes so the spike squeezes the node
+        hard without tripping :class:`~repro.errors.OutOfMemory`; the
+        granted amount is returned for the matching release.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"external charge must be >= 0, got {nbytes}")
+        node = self.hosts[host_index].node(node_id)
+        granted = min(nbytes, node.free_bytes)
+        if granted <= 0:
+            return 0
+        account = self._external.get((host_index, node_id))
+        if account is None:
+            account = HostAccount(node)
+            self._external[(host_index, node_id)] = account
+        account.charge(granted)
+        return granted
+
+    def external_release(self, host_index: int, node_id: int, nbytes: int) -> None:
+        """Return previously granted external bytes to the node."""
+        if nbytes <= 0:
+            return
+        account = self._external[(host_index, node_id)]
+        account.discharge(nbytes)
+
+    def external_bytes(self, host_index: int, node_id: int) -> int:
+        """External (non-VM) bytes currently charged against a node."""
+        account = self._external.get((host_index, node_id))
+        return account.charged_bytes if account is not None else 0
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,17 @@ Policies:
   invocations.
 * **memory-headroom** — the eligible VM whose device region has the most
   room above its current sizing target (spreads plug pressure).
+
+Failure domains (see ``docs/faults.md``): with a
+:class:`~repro.faults.RetryBudget` the router sheds invocations queued
+past their deadline as ``RouteRejection(reason="deadline")`` and, when a
+VM dies under it (host crash, OOM-kill), kills the victims' in-flight
+request processes and re-dispatches each to a sibling VM — bounded by
+``max_failovers`` hops.  With a
+:class:`~repro.cluster.failover.BreakerPolicy` each slot additionally
+gets a per-VM circuit breaker (closed → open → half-open) that takes a
+failing VM out of rotation and probes it back in.  Both default to off,
+which reproduces the pre-failover router byte for byte.
 """
 
 from __future__ import annotations
@@ -29,9 +40,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.cluster.failover import (
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+)
 from repro.errors import ClusterError, ConfigError
 from repro.faas.agent import Agent
 from repro.faas.records import InvocationRecord
+from repro.faults.policy import NO_FAILOVER, RetryBudget
+from repro.faults.recovery import RecoveryLog
 from repro.obs.session import context_for
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.workloads.traces import InvocationTrace
@@ -39,6 +57,7 @@ from repro.workloads.traces import InvocationTrace
 __all__ = [
     "VmSlot",
     "RouteRejection",
+    "FailoverOutcome",
     "RoutingPolicy",
     "StickyByFunction",
     "LeastLoaded",
@@ -49,16 +68,45 @@ __all__ = [
 ]
 
 
+@dataclass
+class _InFlight:
+    """One invocation currently placed on a slot (failover bookkeeping)."""
+
+    function: str
+    arrival_ns: int
+    #: Failover hops already taken (0 = first placement).
+    attempt: int
+    process: Optional[Process] = None
+
+
 class VmSlot:
     """The router's view of one registered VM/agent."""
 
-    def __init__(self, agent: Agent, order: int, max_queue: int):
+    def __init__(
+        self,
+        agent: Agent,
+        order: int,
+        max_queue: int,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self.agent = agent
         #: Registration order (deterministic tie-break).
         self.order = order
         #: Invocations currently inside this VM (serving or queued).
         self.in_flight = 0
         self._budget = self.max_concurrency + max_queue
+        #: False while the router↔VM link is injected down: the VM is
+        #: healthy and keeps serving what it has, but takes nothing new.
+        self.link_up = True
+        #: True once the VM died under the router (crash/OOM-kill);
+        #: retired slots never serve again but keep their history.
+        self.retired = False
+        #: Per-VM circuit breaker (None unless the router has a
+        #: :class:`~repro.cluster.failover.BreakerPolicy`).
+        self.breaker = breaker
+        #: Live entries for invocations placed here, so a VM death can
+        #: fail each one over individually.
+        self.inflight: List[_InFlight] = []
 
     @property
     def name(self) -> str:
@@ -84,8 +132,26 @@ class RouteRejection:
 
     time_ns: int
     function: str
-    #: ``"saturated"`` (every eligible VM at budget) or
-    #: ``"no-deployment"`` (no registered VM deploys the function).
+    #: ``"saturated"`` (every eligible VM at budget), ``"no-deployment"``
+    #: (no registered VM deploys the function), ``"deadline"`` (queued
+    #: past its :class:`~repro.faults.RetryBudget` deadline), or
+    #: ``"vm-lost"`` / ``"oom-kill"`` (the serving VM died and the
+    #: failover budget was exhausted).
+    reason: str
+
+
+@dataclass(frozen=True)
+class FailoverOutcome:
+    """What happened to one in-flight invocation when its VM died."""
+
+    function: str
+    arrival_ns: int
+    #: Hops already taken when the VM died.
+    attempt: int
+    #: True when the invocation was re-dispatched to a sibling VM;
+    #: False when it was rejected (budget exhausted or nowhere to go).
+    rerouted: bool
+    #: Why the VM died (``"vm-lost"`` / ``"oom-kill"``).
     reason: str
 
 
@@ -103,6 +169,10 @@ class RoutingPolicy:
         rejects the invocation.  Policies must be deterministic.
         """
         raise NotImplementedError
+
+    def invalidate(self, vm_name: str) -> None:
+        """Forget any state pinned to a VM that just died (no-op by
+        default; sticky policies drop their bindings here)."""
 
 
 class StickyByFunction(RoutingPolicy):
@@ -136,6 +206,12 @@ class StickyByFunction(RoutingPolicy):
     def bound_vm(self, function_name: str) -> Optional[str]:
         """The VM a function is bound to (``None`` before first route)."""
         return self._bound.get(function_name)
+
+    def invalidate(self, vm_name: str) -> None:
+        """Drop every binding to a dead VM so functions re-bind."""
+        self._bound = {
+            fn: vm for fn, vm in self._bound.items() if vm != vm_name
+        }
 
 
 class LeastLoaded(RoutingPolicy):
@@ -209,6 +285,8 @@ class TraceRouter:
         sim: Simulator,
         policy: str = "sticky",
         max_queue_per_vm: int = 0,
+        budget: RetryBudget = NO_FAILOVER,
+        breakers: Optional[BreakerPolicy] = None,
     ):
         if max_queue_per_vm < 0:
             raise ConfigError("max_queue_per_vm must be non-negative")
@@ -219,6 +297,12 @@ class TraceRouter:
             else get_routing_policy(policy)
         )
         self.max_queue_per_vm = max_queue_per_vm
+        #: Queue deadlines + failover hops (inert :data:`NO_FAILOVER`
+        #: default: wait forever, fail in place).
+        self.budget = budget
+        #: Per-VM circuit breakers (None = no breakers, the historical
+        #: behaviour).
+        self.breakers = breakers
         #: Routing decisions are recorded through the simulator's tracing
         #: context (inert unless a trace session is installed).
         self.obs = context_for(sim).scope()
@@ -226,6 +310,11 @@ class TraceRouter:
         self._by_name: Dict[str, VmSlot] = {}
         self.records: List[InvocationRecord] = []
         self.rejections: List[RouteRejection] = []
+        #: Every breaker state change, in simulation order.
+        self.transitions: List[BreakerTransition] = []
+        #: Router-side recovery events (deadline sheds, failovers) land
+        #: here when the failover coordinator wires a log in.
+        self.recovery: Optional[RecoveryLog] = None
         self._served: Dict[str, List[InvocationRecord]] = {}
         self._dispatchers: List[Process] = []
 
@@ -240,10 +329,106 @@ class TraceRouter:
         name = agent.vm.name
         if name in self._by_name:
             raise ClusterError(f"VM {name} already registered with the router")
-        slot = VmSlot(agent, order=len(self.slots), max_queue=self.max_queue_per_vm)
+        breaker = (
+            CircuitBreaker(name, self.breakers)
+            if self.breakers is not None
+            else None
+        )
+        slot = VmSlot(
+            agent,
+            order=len(self.slots),
+            max_queue=self.max_queue_per_vm,
+            breaker=breaker,
+        )
         self.slots.append(slot)
         self._by_name[name] = slot
         return slot
+
+    # ------------------------------------------------------------------
+    # Failure domains (driven by the FailoverCoordinator)
+    # ------------------------------------------------------------------
+    def is_registered(self, vm_name: str) -> bool:
+        """Whether a VM was ever registered (retired slots included)."""
+        return vm_name in self._by_name
+
+    def slot(self, vm_name: str) -> VmSlot:
+        """The slot registered under ``vm_name``."""
+        try:
+            return self._by_name[vm_name]
+        except KeyError:
+            raise ClusterError(
+                f"VM {vm_name!r} not registered with the router"
+            ) from None
+
+    def retire(self, vm_name: str) -> None:
+        """Take a dead VM out of rotation permanently.
+
+        Sticky bindings to it are dropped so functions re-bind to a
+        surviving VM on their next arrival.
+        """
+        self.slot(vm_name).retired = True
+        self.policy.invalidate(vm_name)
+
+    def set_link(self, vm_name: str, up: bool) -> None:
+        """Flip the router↔VM link state (injected outage / heal).
+
+        A downed link stops *new* placements only: in-flight work on the
+        VM completes normally, because the VM itself is healthy.
+        """
+        self.slot(vm_name).link_up = up
+
+    def fail_over(self, vm_name: str, reason: str) -> List[FailoverOutcome]:
+        """A VM died: terminate its in-flight work and move it.
+
+        Each in-flight invocation's request process is killed at its
+        current yield point (``finally`` blocks unwind spans and
+        accounting), then the invocation either re-dispatches to a
+        sibling VM (while hops remain under ``budget.max_failovers``) or
+        becomes a structured rejection with ``reason`` — never an
+        exception across a join.  Call :meth:`retire` first so the
+        re-dispatch can't pick the dying VM or its doomed siblings.
+        """
+        slot = self.slot(vm_name)
+        outcomes: List[FailoverOutcome] = []
+        for entry in list(slot.inflight):
+            if entry.process is not None:
+                entry.process.kill()
+            if entry.attempt < self.budget.max_failovers:
+                placed = self._route_one(
+                    entry.function, entry.arrival_ns, attempt=entry.attempt + 1
+                )
+                rerouted = placed is not None
+                if rerouted and self.recovery is not None:
+                    self.recovery.record(
+                        site="router.failover",
+                        path="failed-over",
+                        detect_ns=self.sim.now,
+                        resolve_ns=self.sim.now,
+                    )
+            else:
+                self._reject(entry.function, entry.arrival_ns, reason)
+                rerouted = False
+            outcomes.append(
+                FailoverOutcome(
+                    function=entry.function,
+                    arrival_ns=entry.arrival_ns,
+                    attempt=entry.attempt,
+                    rerouted=rerouted,
+                    reason=reason,
+                )
+            )
+        slot.inflight = []
+        return outcomes
+
+    def _note_transition(self, transition: BreakerTransition) -> None:
+        self.transitions.append(transition)
+        self.obs.event(
+            "cluster.breaker",
+            vm=transition.vm,
+            from_state=transition.from_state,
+            to_state=transition.to_state,
+            consecutive_failures=transition.consecutive_failures,
+        )
 
     # ------------------------------------------------------------------
     # Trace replay
@@ -264,44 +449,123 @@ class TraceRouter:
             self._route_one(trace.function_name, arrival_ns)
         return None
 
-    def _route_one(self, function_name: str, arrival_ns: int) -> None:
-        deployers = [s for s in self.slots if s.deploys(function_name)]
-        eligible = [s for s in deployers if s.has_budget]
+    def _route_one(
+        self, function_name: str, arrival_ns: int, attempt: int = 0
+    ) -> Optional[str]:
+        """Place (or reject) one arrival; returns the serving VM's name.
+
+        ``attempt`` counts failover hops already taken — it rides along
+        on the in-flight entry so a re-dispatched invocation whose new
+        VM *also* dies keeps consuming the same bounded budget.
+        """
+        deployers = [
+            s for s in self.slots if s.deploys(function_name) and not s.retired
+        ]
+        eligible = []
+        for s in deployers:
+            if not s.link_up or not s.has_budget:
+                continue
+            if s.breaker is not None:
+                transition = s.breaker.poll(self.sim.now)
+                if transition is not None:
+                    self._note_transition(transition)
+                if not s.breaker.allows():
+                    continue
+            eligible.append(s)
         slot = self.policy.select(function_name, eligible)
+        decision = "placed"
+        if slot is None and eligible and self.budget.max_failovers > 0:
+            # The policy's preferred VM is gone/ineligible but siblings
+            # can serve: a failover-enabled router spills rather than
+            # strands (sticky locality resumes once the function
+            # re-binds).
+            slot = min(eligible, key=lambda s: (s.in_flight, s.order))
+            decision = "rerouted"
+            if self.recovery is not None:
+                self.recovery.record(
+                    site="router.route",
+                    path="rerouted",
+                    detect_ns=self.sim.now,
+                    resolve_ns=self.sim.now,
+                )
         if slot is None:
-            reason = "no-deployment" if not deployers else "saturated"
-            self.obs.event(
-                "cluster.route",
-                function=function_name,
-                decision="rejected",
-                reason=reason,
+            deploys_anywhere = any(
+                s.deploys(function_name) for s in self.slots
             )
-            self.obs.inc("routes_total", decision="rejected")
+            reason = "no-deployment" if not deploys_anywhere else "saturated"
             self._reject(function_name, arrival_ns, reason)
-            return
+            return None
         self.obs.event(
             "cluster.route",
             function=function_name,
-            decision="placed",
+            decision=decision,
             vm=slot.name,
         )
         self.obs.inc("routes_total", decision="placed")
+        if slot.breaker is not None:
+            slot.breaker.on_dispatch()
+        entry = _InFlight(
+            function=function_name, arrival_ns=arrival_ns, attempt=attempt
+        )
         slot.in_flight += 1
-        self.sim.spawn(
-            self._handle_one(slot, function_name, arrival_ns),
+        slot.inflight.append(entry)
+        entry.process = self.sim.spawn(
+            self._handle_one(slot, entry),
             name=f"req-{function_name}@{slot.name}",
         )
+        return slot.name
 
-    def _handle_one(self, slot: VmSlot, function_name: str, arrival_ns: int):
+    def _handle_one(self, slot: VmSlot, entry: _InFlight):
         try:
-            record = yield from slot.agent.handle(function_name, arrival_ns)
+            record = yield from slot.agent.handle(
+                entry.function, entry.arrival_ns, deadline_ns=self.budget.deadline_ns
+            )
         finally:
+            # Runs on normal completion AND when fail_over kills this
+            # process: the slot's accounting never leaks either way.
             slot.in_flight -= 1
+            if entry in slot.inflight:
+                slot.inflight.remove(entry)
+        if slot.breaker is not None:
+            transition = (
+                slot.breaker.record_success(self.sim.now)
+                if record.ok
+                else slot.breaker.record_failure(self.sim.now)
+            )
+            if transition is not None:
+                self._note_transition(transition)
+        if record.error == "deadline":
+            # The agent shed this invocation from its queue: surface it
+            # as a structured rejection alongside the failed record.
+            self.rejections.append(
+                RouteRejection(
+                    time_ns=self.sim.now,
+                    function=entry.function,
+                    reason="deadline",
+                )
+            )
+            self.obs.event(
+                "cluster.deadline", function=entry.function, vm=slot.name
+            )
+            if self.recovery is not None:
+                self.recovery.record(
+                    site="router.queue",
+                    path="deadline",
+                    detect_ns=entry.arrival_ns,
+                    resolve_ns=self.sim.now,
+                )
         self.records.append(record)
         self._served.setdefault(slot.name, []).append(record)
         return record
 
     def _reject(self, function_name: str, arrival_ns: int, reason: str) -> None:
+        self.obs.event(
+            "cluster.route",
+            function=function_name,
+            decision="rejected",
+            reason=reason,
+        )
+        self.obs.inc("routes_total", decision="rejected")
         now = self.sim.now
         self.rejections.append(
             RouteRejection(time_ns=now, function=function_name, reason=reason)

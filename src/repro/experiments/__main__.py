@@ -40,6 +40,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.experiments import (
     ablations,
     chaos,
+    cluster_chaos,
     density,
     fig2_interleaving,
     baselines_comparison,
@@ -178,6 +179,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
         "R1 fault-rate sweep: recovery paths and degradation",
         _figure_runner(chaos),
     ),
+    "cluster-chaos": (
+        "R2 fleet failure domains: availability, MTTR and density "
+        "under host/VM crash injection",
+        _figure_runner(cluster_chaos),
+    ),
     "density": (
         "D1 VMs-per-host at the P99 SLO across deployment modes",
         _figure_runner(density),
@@ -185,7 +191,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
 }
 
 #: Experiments whose config sweeps deployment modes (accept ``--modes``).
-MODE_SWEEPING = frozenset({"chaos", "density"})
+MODE_SWEEPING = frozenset({"chaos", "cluster-chaos", "density"})
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -20,7 +20,7 @@ seed, so two runs at the same seed produce bit-identical tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.experiments.serverless import (
     FunctionLoad,
@@ -29,7 +29,8 @@ from repro.experiments.serverless import (
 )
 from repro.faults.injector import FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
-from repro.faults.sites import ALL_SITES
+from repro.faults.recovery import RecoveryLog
+from repro.faults.sites import DATAPATH_SITES
 from repro.modes import DeploymentBackend, resolve_modes
 from repro.metrics.latency import p99_ms
 from repro.metrics.report import render_table
@@ -86,7 +87,7 @@ class ChaosConfig:
         """
         if rate <= 0.0:
             return None
-        sites = mode.fault_sites if mode is not None else ALL_SITES
+        sites = mode.fault_sites if mode is not None else DATAPATH_SITES
         return FaultPlan.uniform(rate, sites=sites, delay_ns=self.response_delay_ns)
 
     def resilience(self) -> ResiliencePolicy:
@@ -117,6 +118,10 @@ class ChaosCell:
     unresolved: int
     #: Whether the agent fell back to static (no-elastic) mode.
     static_fallback: bool
+    #: Per-site recovery rollup (site → counts by outcome + MTTR).
+    recovery_summary: Dict[str, Dict[str, object]] = field(
+        default_factory=dict
+    )
 
 
 @dataclass
@@ -161,8 +166,27 @@ class ChaosResult:
             )
         return out
 
+    def recovery_rows(self) -> List[List[object]]:
+        """Per-site recovery rollup rows across the faulted cells."""
+        out: List[List[object]] = []
+        for c in self.cells:
+            for site, stats in c.recovery_summary.items():
+                out.append(
+                    [
+                        c.mode,
+                        c.rate,
+                        site,
+                        stats["events"],
+                        stats["recovered"],
+                        stats["failed_over"],
+                        stats["degraded"],
+                        round(float(stats["mttr_ms"]), 2),  # type: ignore[arg-type]
+                    ]
+                )
+        return out
+
     def render(self) -> str:
-        return render_table(
+        table = render_table(
             "Chaos: reclamation throughput and P99 under injected faults",
             [
                 "mode",
@@ -178,6 +202,24 @@ class ChaosResult:
             ],
             self.rows(),
         )
+        recovery = self.recovery_rows()
+        if not recovery:
+            return table
+        summary = render_table(
+            "Recovery paths by failure site",
+            [
+                "mode",
+                "rate",
+                "site",
+                "events",
+                "recovered",
+                "failed_over",
+                "degraded",
+                "mttr ms",
+            ],
+            recovery,
+        )
+        return table + "\n\n" + summary
 
 
 def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
@@ -199,6 +241,8 @@ def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
             run_result = run_scenario(scenario)
             records = run_result.records_for(config.function)
             recovered = sum(1 for e in run_result.recovery_events if e.recovered)
+            log = RecoveryLog()
+            log.events.extend(run_result.recovery_events)
             result.cells.append(
                 ChaosCell(
                     mode=mode.value,
@@ -211,6 +255,7 @@ def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
                     degraded=len(run_result.recovery_events) - recovered,
                     unresolved=run_result.unresolved_faults,
                     static_fallback=run_result.degraded,
+                    recovery_summary=log.summary(),
                 )
             )
     return result

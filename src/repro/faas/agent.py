@@ -52,6 +52,10 @@ from repro.workloads.functions import FunctionSpec
 
 __all__ = ["Agent", "FunctionDeployment", "ShrinkEvent"]
 
+#: Sentinel handed to a queued request whose queue-wait deadline expired
+#: (distinct from ``None``, which means "retry acquisition").
+_DEADLINE = object()
+
 
 @dataclass(frozen=True)
 class FunctionDeployment:
@@ -166,11 +170,21 @@ class Agent:
         self._pending_plug_bytes = 0
         self._pending_unplug_bytes = 0
         self._recycler: Optional[Process] = None
+        self._recycler_until: Optional[int] = None
         self._stopped = False
+        self._killed = False
         #: Fleet-pressure reclamation passes performed (see
         #: :meth:`request_reclaim`).
         self.pressure_reclaims = 0
         self._pressure_pass: Optional[Process] = None
+        #: Background processes the agent spawned (recycler, pressure and
+        #: shrink passes, deferred retries) so :meth:`kill` can end them.
+        self._background: List[Process] = []
+        #: Injected ``agent.wedge``: the recycler silently stops making
+        #: progress (and stops beating) until the watchdog intervenes.
+        self._wedged = False
+        #: Last time the recycler proved liveness (None until started).
+        self.last_heartbeat_ns: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Sizing targets
@@ -216,66 +230,118 @@ class Agent:
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
-    def handle(self, function_name: str, arrival_ns: int):
+    def handle(
+        self,
+        function_name: str,
+        arrival_ns: int,
+        deadline_ns: Optional[int] = None,
+    ):
         """Process generator: serve one request end to end.
 
         Returns an :class:`InvocationRecord`.  Requests queue when the
         function is at its concurrency limit; a finishing container is
-        handed directly to the oldest waiter.
+        handed directly to the oldest waiter.  ``deadline_ns`` bounds the
+        queue wait (measured from ``arrival_ns``): a request still queued
+        past it fails with ``error="deadline"`` instead of waiting
+        forever — the router turns that into a structured
+        ``RouteRejection``.  The outer ``finally`` re-closes the root
+        span (idempotently), so an invocation killed mid-flight by a
+        host crash never leaks an open span.
         """
         state = self._state(function_name)
         span = self.obs.span(
             "faas.invoke", function=function_name, arrival_ns=arrival_ns
         )
-        container: Optional[Container] = None
-        cold = False
-        while container is None:
-            if state.idle:
-                if state.deployment.reuse == "fifo":
-                    container = state.idle.pop(0)
-                else:
-                    container = state.idle.pop()
-            elif state.live < state.deployment.max_instances:
-                state.live += 1
-                cold = True
-                try:
-                    container = yield from self._spawn(state, parent=span)
-                except (OutOfMemory, SpawnFailed) as exc:
-                    state.live -= 1
-                    if isinstance(exc, OutOfMemory):
-                        state.oom_failures += 1
-                        error = "oom"
-                    else:
-                        state.spawn_failures += 1
-                        error = "spawn-failed"
-                    self._kick_one_waiter(state)
-                    now = self.sim.now
-                    return self._finish_invoke(
-                        span,
-                        InvocationRecord(
-                            function=function_name,
-                            arrival_ns=arrival_ns,
-                            start_ns=now,
-                            end_ns=now,
-                            cold=True,
-                            ok=False,
-                            error=error,
-                        ),
-                    )
-            else:
-                gate = self.sim.event()
-                state.waiters.append(gate)
-                handed = yield gate
-                if handed is not None:
-                    container = handed
-        start_ns = self.sim.now
         try:
-            yield from container.invoke()
-        except OutOfMemory:
-            state.live -= 1
-            state.oom_failures += 1
-            container.destroy_after_oom()
-            self._kick_one_waiter(state)
+            container: Optional[Container] = None
+            cold = False
+            while container is None:
+                if state.idle:
+                    if state.deployment.reuse == "fifo":
+                        container = state.idle.pop(0)
+                    else:
+                        container = state.idle.pop()
+                elif state.live < state.deployment.max_instances:
+                    state.live += 1
+                    cold = True
+                    try:
+                        container = yield from self._spawn(state, parent=span)
+                    except (OutOfMemory, SpawnFailed) as exc:
+                        state.live -= 1
+                        if isinstance(exc, OutOfMemory):
+                            state.oom_failures += 1
+                            error = "oom"
+                        else:
+                            state.spawn_failures += 1
+                            error = "spawn-failed"
+                        self._kick_one_waiter(state)
+                        now = self.sim.now
+                        return self._finish_invoke(
+                            span,
+                            InvocationRecord(
+                                function=function_name,
+                                arrival_ns=arrival_ns,
+                                start_ns=now,
+                                end_ns=now,
+                                cold=True,
+                                ok=False,
+                                error=error,
+                            ),
+                        )
+                else:
+                    timer = None
+                    gate = self.sim.event()
+                    if deadline_ns is not None:
+                        remaining = arrival_ns + deadline_ns - self.sim.now
+                        if remaining <= 0:
+                            handed = _DEADLINE
+                        else:
+                            state.waiters.append(gate)
+                            timer = self.sim.schedule(
+                                remaining, self._expire_waiter, state, gate
+                            )
+                            handed = yield gate
+                            timer.cancel()
+                    else:
+                        state.waiters.append(gate)
+                        handed = yield gate
+                    if handed is _DEADLINE:
+                        now = self.sim.now
+                        return self._finish_invoke(
+                            span,
+                            InvocationRecord(
+                                function=function_name,
+                                arrival_ns=arrival_ns,
+                                start_ns=now,
+                                end_ns=now,
+                                cold=False,
+                                ok=False,
+                                error="deadline",
+                            ),
+                        )
+                    if handed is not None:
+                        container = handed
+            start_ns = self.sim.now
+            try:
+                yield from container.invoke()
+            except OutOfMemory:
+                state.live -= 1
+                state.oom_failures += 1
+                container.destroy_after_oom()
+                self._kick_one_waiter(state)
+                return self._finish_invoke(
+                    span,
+                    InvocationRecord(
+                        function=function_name,
+                        arrival_ns=arrival_ns,
+                        start_ns=start_ns,
+                        end_ns=self.sim.now,
+                        cold=cold,
+                        ok=False,
+                        error="oom",
+                    ),
+                )
+            self._release(state, container)
             return self._finish_invoke(
                 span,
                 InvocationRecord(
@@ -284,22 +350,21 @@ class Agent:
                     start_ns=start_ns,
                     end_ns=self.sim.now,
                     cold=cold,
-                    ok=False,
-                    error="oom",
+                    ok=True,
                 ),
             )
-        self._release(state, container)
-        return self._finish_invoke(
-            span,
-            InvocationRecord(
-                function=function_name,
-                arrival_ns=arrival_ns,
-                start_ns=start_ns,
-                end_ns=self.sim.now,
-                cold=cold,
-                ok=True,
-            ),
-        )
+        finally:
+            span.close()
+
+    def _expire_waiter(self, state: _FunctionState, gate: Event) -> None:
+        """Deadline timer callback: shed one still-queued request."""
+        if gate.triggered:
+            return
+        try:
+            state.waiters.remove(gate)
+        except ValueError:
+            pass
+        gate.trigger(_DEADLINE)
 
     def _finish_invoke(
         self, span: SpanLike, record: InvocationRecord
@@ -502,7 +567,9 @@ class Agent:
         """Start the periodic keep-alive recycler."""
         if self._recycler is not None:
             raise FaasError("recycler already started")
-        self._recycler = self.sim.spawn(
+        self._recycler_until = until_ns
+        self.last_heartbeat_ns = self.sim.now
+        self._recycler = self._spawn_background(
             self._recycle_loop(until_ns), name=f"{self.vm.name}-recycler"
         )
         return self._recycler
@@ -511,9 +578,64 @@ class Agent:
         """Stop the recycler loop after its current pass."""
         self._stopped = True
 
+    def kill(self) -> None:
+        """Abrupt death (host crash, OOM-kill): end all background work.
+
+        In-flight *request* processes belong to the router, which fails
+        them over before the fleet calls this; everything the agent
+        itself spawned — recycler, pressure and shrink passes, deferred
+        retries — is terminated here, ahead of the VM account closing.
+        """
+        self._stopped = True
+        self._killed = True
+        for process in self._background:
+            process.kill()
+        self._background = []
+
+    def wedge(self) -> None:
+        """Injected ``agent.wedge``: the recycler hangs silently.
+
+        The loop parks without recycling or heartbeating; nothing inside
+        the VM notices.  Detection is the fleet watchdog's job (stale
+        :attr:`last_heartbeat_ns`), remediation is :meth:`force_recycle`.
+        """
+        self._wedged = True
+
+    @property
+    def wedged(self) -> bool:
+        return self._wedged
+
+    def force_recycle(self) -> Optional[Process]:
+        """Watchdog remediation: replace a wedged recycler.
+
+        Clears the wedge, starts a fresh recycler loop (same horizon as
+        the one that hung) and runs one immediate catch-up pass so
+        memory idle during the wedge window is reclaimed right away.
+        """
+        if self._stopped or not self.vm._alive:
+            return None
+        self._wedged = False
+        self._recycler = None
+        self.start_recycler(self._recycler_until)
+        return self._spawn_background(
+            self.recycle_pass(), name=f"{self.vm.name}-force-recycle"
+        )
+
+    def _spawn_background(self, generator, name: str) -> Process:
+        self._background = [p for p in self._background if not p.finished]
+        process = self.sim.spawn(generator, name=name)
+        self._background.append(process)
+        return process
+
     def _recycle_loop(self, until_ns: Optional[int]):
         while not self._stopped:
             yield Timeout(self.policy.recycle_interval_ns)
+            if self._wedged:
+                # Wedged: die silently *before* the heartbeat, so the
+                # watchdog sees the staleness.
+                return None
+            self.last_heartbeat_ns = self.sim.now
+            self.obs.event("agent.heartbeat")
             if until_ns is not None and self.sim.now > until_ns:
                 return None
             yield from self.recycle_pass()
@@ -532,7 +654,7 @@ class Agent:
         if self._pressure_pass is not None and not self._pressure_pass.finished:
             return self._pressure_pass
         self.pressure_reclaims += 1
-        self._pressure_pass = self.sim.spawn(
+        self._pressure_pass = self._spawn_background(
             self.recycle_pass(min_idle_ns=0),
             name=f"{self.vm.name}-pressure-reclaim",
         )
@@ -596,7 +718,7 @@ class Agent:
                     unplug_bytes = excess
                     # Fire-and-forget: reclamation proceeds in the background
                     # while the agent keeps serving requests.
-                    self.sim.spawn(
+                    self._spawn_background(
                         self._unplug_async(excess, parent=span),
                         name=f"{self.vm.name}-shrink",
                     )
@@ -688,7 +810,7 @@ class Agent:
             attempts=attempt,
             parent=parent,
         )
-        self.sim.spawn(
+        self._spawn_background(
             self._deferred_retry(entry), name=f"{self.vm.name}-deferred-reclaim"
         )
 

@@ -24,9 +24,11 @@ from repro.faults.injector import (
     InjectedFault,
 )
 from repro.faults.policy import (
+    NO_FAILOVER,
     NO_RESILIENCE,
     NO_RETRY,
     ResiliencePolicy,
+    RetryBudget,
     RetryPolicy,
 )
 from repro.faults.sites import (
@@ -34,15 +36,22 @@ from repro.faults.sites import (
     AGENT_SITES,
     AGENT_SPAWN_FAIL,
     AGENT_SPAWN_OOM,
+    AGENT_WEDGE,
     ALL_SITES,
+    DATAPATH_SITES,
     DEVICE_PLUG_NACK,
     DEVICE_PLUG_PARTIAL,
     DEVICE_RESPONSE_DELAY,
     DEVICE_SITES,
+    DOMAIN_SITES,
     DRIVER_BLOCK_TIMEOUT,
     DRIVER_MIGRATE_FAIL,
     DRIVER_OFFLINE_UNMOVABLE,
     DRIVER_SITES,
+    HOST_CRASH,
+    HOST_PRESSURE_SPIKE,
+    ROUTER_LINK_DOWN,
+    VM_OOM_KILL,
 )
 
 __all__ = [
@@ -53,8 +62,10 @@ __all__ = [
     "NO_FAULTS",
     "RetryPolicy",
     "ResiliencePolicy",
+    "RetryBudget",
     "NO_RETRY",
     "NO_RESILIENCE",
+    "NO_FAILOVER",
     "DEVICE_PLUG_NACK",
     "DEVICE_PLUG_PARTIAL",
     "DEVICE_RESPONSE_DELAY",
@@ -64,8 +75,15 @@ __all__ = [
     "AGENT_SPAWN_FAIL",
     "AGENT_SPAWN_OOM",
     "AGENT_RECYCLE_RACE",
+    "HOST_CRASH",
+    "HOST_PRESSURE_SPIKE",
+    "VM_OOM_KILL",
+    "AGENT_WEDGE",
+    "ROUTER_LINK_DOWN",
     "ALL_SITES",
+    "DATAPATH_SITES",
     "DEVICE_SITES",
     "DRIVER_SITES",
     "AGENT_SITES",
+    "DOMAIN_SITES",
 ]

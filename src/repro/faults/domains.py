@@ -1,0 +1,217 @@
+"""Fleet-level failure domains: the scheduler that breaks whole hosts.
+
+The datapath sites in :mod:`repro.faults.sites` fire *inside* one VM's
+plug/unplug/spawn machinery — each VM owns a private
+:class:`~repro.faults.injector.FaultInjector` and trips its own faults.
+Domain faults are different: a host crash or a router link loss is an
+event *about* the fleet, not about any one operation, so nobody on the
+datapath ever reaches a natural injection opportunity for it.
+
+:class:`DomainScheduler` supplies those opportunities.  It is a plain
+simulation process that ticks on a fixed cadence; every tick is one
+injection opportunity per armed domain site, drawn through the same
+seeded :class:`~repro.faults.injector.FaultInjector` plane (so domain
+chaos composes with datapath chaos without perturbing its streams).
+When a site fires, the scheduler picks a victim — a live host or a live
+VM — from a *separate* RNG stream (``faults/domains/victims``) and hands
+the fault to a :class:`DomainTarget` (in practice the
+:class:`~repro.cluster.failover.FailoverCoordinator`), which owns the
+actual crash/evacuate/reroute mechanics and must eventually resolve the
+fault.
+
+Determinism: the per-site firing streams and the victim stream are all
+derived from the run seed, the tick cadence is fixed, and victims are
+chosen by index into a sorted snapshot of the live population — two runs
+at the same seed kill the same host at the same nanosecond.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector, FaultPlan, FaultSpec, InjectedFault
+from repro.faults.sites import (
+    AGENT_WEDGE,
+    DOMAIN_SITES,
+    HOST_CRASH,
+    HOST_PRESSURE_SPIKE,
+    ROUTER_LINK_DOWN,
+    VM_OOM_KILL,
+)
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "DomainTarget",
+    "DomainScheduler",
+    "domain_plan",
+    "DEFAULT_DOMAIN_CAPS",
+]
+
+
+#: Per-site ``max_fires`` caps for :func:`domain_plan`.  A chaos run that
+#: crashed hosts without bound would converge on an empty fleet and tell
+#: us nothing; capping each domain site keeps the storm survivable while
+#: still exercising every recovery path.  ``host.crash`` is capped at 1
+#: so a 3-host fleet always retains a quorum of survivors to evacuate
+#: onto.
+DEFAULT_DOMAIN_CAPS: Dict[str, int] = {
+    HOST_CRASH: 1,
+    HOST_PRESSURE_SPIKE: 2,
+    VM_OOM_KILL: 2,
+    AGENT_WEDGE: 1,
+    ROUTER_LINK_DOWN: 2,
+}
+
+
+def domain_plan(
+    probability: float,
+    caps: Optional[Dict[str, int]] = None,
+    sites: tuple = DOMAIN_SITES,
+) -> FaultPlan:
+    """A domain-site plan at a shared per-tick probability.
+
+    ``caps`` overrides :data:`DEFAULT_DOMAIN_CAPS` per site; sites absent
+    from the merged cap table are uncapped.
+    """
+    merged = dict(DEFAULT_DOMAIN_CAPS)
+    if caps:
+        merged.update(caps)
+    return FaultPlan(
+        tuple(
+            FaultSpec(site, probability=probability, max_fires=merged.get(site))
+            for site in sites
+        )
+    )
+
+
+class DomainTarget(Protocol):
+    """What the scheduler breaks: the fleet-facing recovery surface.
+
+    Implemented by :class:`~repro.cluster.failover.FailoverCoordinator`.
+    Every handler receives the fired :class:`InjectedFault` and is
+    responsible for eventually resolving it through the injector (the
+    ``unresolved() == 0`` completeness gate covers domain faults too).
+    """
+
+    def live_hosts(self) -> List[int]:
+        """Indices of hosts currently up (crash/pressure victims)."""
+        ...
+
+    def live_vms(self) -> List[str]:
+        """Names of VMs currently serving (OOM/wedge/link victims)."""
+        ...
+
+    def crash_host(self, host_index: int, fault: InjectedFault) -> None: ...
+
+    def pressure_spike(self, host_index: int, fault: InjectedFault) -> None: ...
+
+    def oom_kill(self, vm_name: str, fault: InjectedFault) -> None: ...
+
+    def wedge_agent(self, vm_name: str, fault: InjectedFault) -> None: ...
+
+    def link_down(self, vm_name: str, fault: InjectedFault) -> None: ...
+
+
+class DomainScheduler:
+    """Tick-driven injection opportunities for fleet failure domains.
+
+    Each tick offers every armed domain site one chance to fire; a fired
+    fault picks its victim from the live population and is dispatched to
+    the :class:`DomainTarget`.  The process is bounded by ``until_ns``
+    so draining the event queue always terminates.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        injector: FaultInjector,
+        target: DomainTarget,
+        tick_ns: int,
+        until_ns: int,
+        seed: int = 0,
+    ):
+        if tick_ns <= 0:
+            raise ConfigError(f"tick_ns must be positive, got {tick_ns}")
+        if until_ns < 0:
+            raise ConfigError(f"until_ns must be >= 0, got {until_ns}")
+        self.sim = sim
+        self.injector = injector
+        self.target = target
+        self.tick_ns = int(tick_ns)
+        self.until_ns = int(until_ns)
+        #: Victim selection draws from its own stream so adding a domain
+        #: site never shifts which host an already-armed site picks.
+        self._victims = make_rng(seed, "faults/domains/victims")
+        self._stopped = False
+        self.process: Optional[Process] = None
+        #: Faults that fired with no live victim left (resolved
+        #: ``absorbed`` on the spot); kept for report visibility.
+        self.absorbed = 0
+
+    def start(self) -> Process:
+        """Spawn the tick process (idempotent)."""
+        if self.process is None:
+            self.injector.bind_sim(self.sim)
+            self.process = self.sim.spawn(self._run(), name="domain-scheduler")
+        return self.process
+
+    def stop(self) -> None:
+        """Stop ticking after the current tick (storm wind-down)."""
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped and self.sim.now + self.tick_ns <= self.until_ns:
+            yield Timeout(self.tick_ns)
+            if self._stopped:
+                break
+            self._tick()
+        return self.injector.count()
+
+    def _tick(self) -> None:
+        for site in DOMAIN_SITES:
+            fault = self.injector.fire(site, tick_ns=self.sim.now)
+            if fault is None:
+                continue
+            self._dispatch(site, fault)
+
+    def _pick(self, population: List) -> Optional[object]:
+        if not population:
+            return None
+        return population[self._victims.randrange(len(population))]
+
+    def _dispatch(self, site: str, fault: InjectedFault) -> None:
+        if site in (HOST_CRASH, HOST_PRESSURE_SPIKE):
+            victim = self._pick(sorted(self.target.live_hosts()))
+            if victim is None:
+                self._absorb(fault)
+                return
+            fault.context["host"] = victim
+            if site == HOST_CRASH:
+                self.target.crash_host(victim, fault)
+            else:
+                self.target.pressure_spike(victim, fault)
+            return
+        victim = self._pick(sorted(self.target.live_vms()))
+        if victim is None:
+            self._absorb(fault)
+            return
+        fault.context["vm"] = victim
+        if site == VM_OOM_KILL:
+            self.target.oom_kill(victim, fault)
+        elif site == AGENT_WEDGE:
+            self.target.wedge_agent(victim, fault)
+        else:
+            self.target.link_down(victim, fault)
+
+    def _absorb(self, fault: InjectedFault) -> None:
+        # Fired with nobody left to break (every host already down, or
+        # no VM serving): account for it immediately so the storm still
+        # passes the completeness gate.
+        self.absorbed += 1
+        self.injector.resolve(fault, "absorbed")
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else "ticking"
+        return f"<DomainScheduler {state} tick={self.tick_ns} until={self.until_ns}>"

@@ -22,7 +22,14 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.units import MS
 
-__all__ = ["RetryPolicy", "ResiliencePolicy", "NO_RETRY", "NO_RESILIENCE"]
+__all__ = [
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "NO_RETRY",
+    "NO_RESILIENCE",
+    "NO_FAILOVER",
+]
 
 
 @dataclass(frozen=True)
@@ -115,3 +122,38 @@ class ResiliencePolicy:
 
 #: The inert default: no retries, no deferral, never degrade.
 NO_RESILIENCE = ResiliencePolicy()
+
+
+@dataclass(frozen=True)
+class RetryBudget:
+    """Router-side failover budget for one invocation.
+
+    Bounds how far the :class:`~repro.cluster.routing.TraceRouter` will
+    go to keep an invocation alive when its VM dies or its link drops:
+    at most ``max_failovers`` re-dispatches to sibling VMs, and at most
+    ``deadline_ns`` of queue wait before the invocation is shed as a
+    structured ``RouteRejection(reason="deadline")``.  Every retry loop
+    in the failover layer must be bounded by one of these fields (the
+    ``no-unbounded-retry`` lint rule enforces the shape).
+    """
+
+    #: Re-dispatches to a sibling VM after a failed-over invocation
+    #: (0 = fail in place, preserving pre-failover behaviour).
+    max_failovers: int = 0
+    #: Maximum queue wait before deadline shedding (None = wait forever,
+    #: the pre-deadline behaviour).
+    deadline_ns: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_failovers < 0:
+            raise ConfigError(
+                f"max_failovers must be >= 0, got {self.max_failovers}"
+            )
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ConfigError(
+                f"deadline_ns must be positive, got {self.deadline_ns}"
+            )
+
+
+#: The inert default: no failover, no deadline.
+NO_FAILOVER = RetryBudget()

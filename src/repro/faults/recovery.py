@@ -24,11 +24,20 @@ __all__ = [
     "RecoveryLog",
     "RECOVERED_PATHS",
     "DEGRADED_PATHS",
+    "FAILED_OVER_PATHS",
 ]
 
 #: Paths where the operation eventually succeeded (the fault was masked).
 RECOVERED_PATHS = frozenset(
-    {"retried", "absorbed", "serialized", "healed", "deferred", "deferred-done"}
+    {
+        "retried",
+        "absorbed",
+        "serialized",
+        "healed",
+        "deferred",
+        "deferred-done",
+        "force-recycled",
+    }
 )
 #: Paths where the system gave up something (graceful degradation).
 DEGRADED_PATHS = frozenset(
@@ -40,7 +49,16 @@ DEGRADED_PATHS = frozenset(
         "dropped",
         "oom-failfast",
         "invocation-failed",
+        "deadline",
+        "link-down",
+        "evacuation-rejected",
     }
+)
+#: Paths where the work survived by *moving* — to a sibling VM (router
+#: failover) or to a surviving host (evacuation/re-provisioning) — and
+#: so paid a relocation cost rather than completing in place.
+FAILED_OVER_PATHS = frozenset(
+    {"failed-over", "rerouted", "evacuated", "reprovisioned"}
 )
 
 
@@ -76,6 +94,11 @@ class RecoveryEvent:
     def recovered(self) -> bool:
         """Whether the operation ultimately succeeded."""
         return self.path in RECOVERED_PATHS
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether the work survived by moving elsewhere."""
+        return self.path in FAILED_OVER_PATHS
 
 
 class RecoveryLog:
@@ -184,9 +207,17 @@ class RecoveryLog:
         """Events whose operation ultimately succeeded."""
         return sum(1 for event in self.events if event.recovered)
 
+    def failed_over_count(self) -> int:
+        """Events where the work survived by moving elsewhere."""
+        return sum(1 for event in self.events if event.failed_over)
+
     def degraded_count(self) -> int:
         """Events where the system degraded instead of recovering."""
-        return sum(1 for event in self.events if not event.recovered)
+        return sum(
+            1
+            for event in self.events
+            if not event.recovered and not event.failed_over
+        )
 
     def latencies_ms(self, path: Optional[str] = None) -> List[float]:
         """Recovery latencies in ms (optionally for one path)."""
@@ -206,6 +237,49 @@ class RecoveryLog:
         if not latencies:
             return 0.0
         return percentile(latencies, 99.0)
+
+    def mttr_ms(self, site: Optional[str] = None) -> float:
+        """Mean time-to-recovery in ms (optionally for one site).
+
+        Detection-to-resolution, averaged over every event at the site
+        (0 when no events) — the fleet-availability headline the
+        ``cluster-chaos`` sweep reports per fault rate.
+        """
+        latencies = [
+            event.latency_ms
+            for event in self.events
+            if site is None or event.site == site
+        ]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    def mttr_by_site(self) -> Dict[str, float]:
+        """Site → mean time-to-recovery in ms, sorted by site name."""
+        sites = sorted({event.site for event in self.events})
+        return {site: self.mttr_ms(site) for site in sites}
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-site rollup: counts by outcome category plus MTTR.
+
+        Keys are site names in sorted order; each value carries
+        ``events``, ``recovered``, ``degraded``, ``failed_over`` counts
+        and ``mttr_ms``.  Rendered by the ``chaos`` and
+        ``cluster-chaos`` reports.
+        """
+        rollup: Dict[str, Dict[str, object]] = {}
+        for site in sorted({event.site for event in self.events}):
+            at_site = [event for event in self.events if event.site == site]
+            rollup[site] = {
+                "events": len(at_site),
+                "recovered": sum(1 for e in at_site if e.recovered),
+                "failed_over": sum(1 for e in at_site if e.failed_over),
+                "degraded": sum(
+                    1 for e in at_site if not e.recovered and not e.failed_over
+                ),
+                "mttr_ms": self.mttr_ms(site),
+            }
+        return rollup
 
     def __repr__(self) -> str:
         return f"<RecoveryLog events={len(self.events)} paths={self.by_path()}>"

@@ -12,11 +12,18 @@ inject a failure.  Sites are grouped by layer:
 * **agent** (:mod:`repro.faas.agent`, the control plane): a container
   spawn fails, an elastic scale-up runs out of memory, or the recycler
   races an in-flight unplug and computes its shrink target from stale
-  device state.
+  device state;
+* **domain** (:mod:`repro.faults.domains`, the fleet): a whole host
+  crashes, a host degrades under an external memory-pressure spike, the
+  host OOM killer takes out one VM, an agent's recycler wedges and stops
+  heartbeating, or the router loses its link to a host.
 
-Site names double as RNG stream names (``faults/<site>``), so enabling
-one site never perturbs the draws of another — the property that makes
-chaos runs bit-reproducible and composable.
+The first three groups are the *datapath* sites (fired by one VM's
+device/driver/agent stack); the domain group is fired by the fleet-level
+:class:`~repro.faults.domains.DomainScheduler` against whole hosts and
+VMs.  Site names double as RNG stream names (``faults/<site>``), so
+enabling one site never perturbs the draws of another — the property
+that makes chaos runs bit-reproducible and composable.
 """
 
 from __future__ import annotations
@@ -31,10 +38,17 @@ __all__ = [
     "AGENT_SPAWN_FAIL",
     "AGENT_SPAWN_OOM",
     "AGENT_RECYCLE_RACE",
+    "HOST_CRASH",
+    "HOST_PRESSURE_SPIKE",
+    "VM_OOM_KILL",
+    "AGENT_WEDGE",
+    "ROUTER_LINK_DOWN",
     "ALL_SITES",
+    "DATAPATH_SITES",
     "DEVICE_SITES",
     "DRIVER_SITES",
     "AGENT_SITES",
+    "DOMAIN_SITES",
 ]
 
 #: The host backend refuses a plug request (no memory granted).
@@ -59,10 +73,35 @@ AGENT_SPAWN_OOM = "agent.spawn.oom"
 #: unplug (the classic check-then-act race).
 AGENT_RECYCLE_RACE = "agent.recycle.race"
 
+#: An entire host dies: every resident VM is killed mid-flight and the
+#: fleet must evacuate its workload through admission on the survivors.
+HOST_CRASH = "host.crash"
+#: An external tenant's memory spike degrades a host, shrinking the
+#: headroom the arbiter thought it had.
+HOST_PRESSURE_SPIKE = "host.pressure.spike"
+#: The host OOM killer takes out a single VM (its host survives).
+VM_OOM_KILL = "vm.oom.kill"
+#: An agent's recycler wedges — it stops heartbeating but the VM keeps
+#: serving, so only the watchdog notices.
+AGENT_WEDGE = "agent.wedge"
+#: The router loses its link to one VM; invocations must fail over to
+#: siblings until the link heals.
+ROUTER_LINK_DOWN = "router.link.down"
+
 DEVICE_SITES = (DEVICE_PLUG_NACK, DEVICE_PLUG_PARTIAL, DEVICE_RESPONSE_DELAY)
 DRIVER_SITES = (DRIVER_OFFLINE_UNMOVABLE, DRIVER_MIGRATE_FAIL, DRIVER_BLOCK_TIMEOUT)
 AGENT_SITES = (AGENT_SPAWN_FAIL, AGENT_SPAWN_OOM, AGENT_RECYCLE_RACE)
+DOMAIN_SITES = (
+    HOST_CRASH,
+    HOST_PRESSURE_SPIKE,
+    VM_OOM_KILL,
+    AGENT_WEDGE,
+    ROUTER_LINK_DOWN,
+)
+
+#: The per-VM datapath sites (what a single VM's injector arms).
+DATAPATH_SITES = DEVICE_SITES + DRIVER_SITES + AGENT_SITES
 
 #: Every known injection site (the universe :class:`FaultSpec` validates
 #: against).
-ALL_SITES = DEVICE_SITES + DRIVER_SITES + AGENT_SITES
+ALL_SITES = DATAPATH_SITES + DOMAIN_SITES

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.config import HotMemBootParams
 from repro.errors import ConfigError
-from repro.faults.sites import ALL_SITES
+from repro.faults.sites import DATAPATH_SITES
 from repro.modes.base import DeploymentBackend
 from repro.modes.datapaths import VirtioMemDatapath
 from repro.modes.registry import register
@@ -41,7 +41,7 @@ class HotMemMode(DeploymentBackend):
     elastic = True
     reclaim_credit = 0.75
     uses_hotmem = True
-    fault_sites = ALL_SITES
+    fault_sites = DATAPATH_SITES
     cpu_labels = (VIRTIO_MEM_LABEL,)
     reclaim_granularity_bytes = MEMORY_BLOCK_SIZE
     reclaim_semantics = (
@@ -77,7 +77,7 @@ class VanillaMode(DeploymentBackend):
     name = "vanilla"
     elastic = True
     reclaim_credit = 0.25
-    fault_sites = ALL_SITES
+    fault_sites = DATAPATH_SITES
     cpu_labels = (VIRTIO_MEM_LABEL,)
     reclaim_granularity_bytes = MEMORY_BLOCK_SIZE
     reclaim_semantics = (

@@ -127,7 +127,26 @@ class Process:
         """The generator's return value (``None`` until finished)."""
         return self.done_event.value
 
+    def kill(self, value: Any = None) -> None:
+        """Terminate the process abruptly (a crashed host, a dead VM).
+
+        Closes the generator at its current yield point — ``finally``
+        blocks run, so spans close and in-flight accounting unwinds —
+        and completes :attr:`done_event` with ``value`` so joiners
+        resume.  Killing a finished process is a no-op.  The generator
+        must not yield from a ``finally`` block reached by a kill.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self._generator.close()
+        self.done_event.trigger(value)
+
     def _resume(self, sent_value: Any) -> None:
+        if self._finished:
+            # Killed while parked on a timeout/event that later fired;
+            # the wakeup has nothing left to resume.
+            return
         try:
             target = self._generator.send(sent_value)
         except StopIteration as stop:

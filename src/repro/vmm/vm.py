@@ -177,6 +177,10 @@ class VirtualMachine:
         #: VM's deployment mode uses (balloon, DIMM hotplug, ...).
         self.datapath: ReclaimDatapath = VirtioMemDatapath(self)
 
+        #: In-flight plug/unplug/resize processes, so an abrupt kill can
+        #: terminate them (finished entries are pruned as new ones start).
+        self.inflight: List[Process] = []
+
         self._alive = True
 
     # ------------------------------------------------------------------
@@ -219,19 +223,28 @@ class VirtualMachine:
         ``parent`` links the datapath's spans into the caller's trace
         (e.g. the agent's ``agent.plug`` span) when tracing is enabled.
         """
-        return self.sim.spawn(
-            self.datapath.plug(size_bytes, parent=parent),
-            name=f"{self.name}-plug",
+        return self._track(
+            self.sim.spawn(
+                self.datapath.plug(size_bytes, parent=parent),
+                name=f"{self.name}-plug",
+            )
         )
 
     def request_unplug(
         self, size_bytes: int, parent: SpanLike = NULL_SPAN
     ) -> Process:
         """Start an unplug request; returns the process (value: UnplugResult)."""
-        return self.sim.spawn(
-            self.datapath.unplug(size_bytes, parent=parent),
-            name=f"{self.name}-unplug",
+        return self._track(
+            self.sim.spawn(
+                self.datapath.unplug(size_bytes, parent=parent),
+                name=f"{self.name}-unplug",
+            )
         )
+
+    def _track(self, process: Process) -> Process:
+        self.inflight = [p for p in self.inflight if not p.finished]
+        self.inflight.append(process)
+        return process
 
     def request_resize(
         self, target_bytes: int, parent: SpanLike = NULL_SPAN
@@ -291,6 +304,22 @@ class VirtualMachine:
         """Release the VM's host memory (boot + everything still plugged)."""
         if not self._alive:
             return
+        self.node.close()
+        self._alive = False
+
+    def kill(self) -> None:
+        """Abrupt death (host crash, OOM-kill): no graceful drain.
+
+        In-flight plug/unplug processes are terminated at their current
+        yield point (their ``finally`` blocks close spans and unwind
+        pending-byte accounting) before the host account closes, so the
+        host-conservation invariant holds in the very next probe.
+        """
+        if not self._alive:
+            return
+        for process in self.inflight:
+            process.kill()
+        self.inflight = []
         self.node.close()
         self._alive = False
 

@@ -413,3 +413,153 @@ class Device:
         return None
 '''
         assert findings(source, "no-sim-sleep-side-effect") == []
+
+
+# ----------------------------------------------------------------------
+# no-unbounded-retry
+# ----------------------------------------------------------------------
+class TestNoUnboundedRetry:
+    def test_unbounded_retry_loop_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Driver:
+    def plug(self, request):
+        attempt = 0
+        while True:
+            attempt += 1
+            result = yield self.device.submit(request)
+            if result.error:
+                yield Timeout(self.backoff_ns)
+                continue
+            return result.error
+'''
+        errors = findings(source, "no-unbounded-retry")
+        assert len(errors) == 1
+        assert errors[0].line == line_of(source, "while True:")
+        assert "attempt" in errors[0].message
+
+    def test_budget_gated_retry_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Driver:
+    def plug(self, request):
+        attempt = 0
+        while True:
+            attempt += 1
+            result = yield self.device.submit(request)
+            if not result.error:
+                return result.error
+            if attempt > self.retry.max_retries:
+                return result.error
+            yield Timeout(self.backoff_ns)
+'''
+        assert findings(source, "no-unbounded-retry") == []
+
+    def test_event_loop_without_retry_vocabulary_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Monitor:
+    def run(self, period_ns):
+        while True:
+            yield Timeout(period_ns)
+            self.scan_hosts()
+'''
+        assert findings(source, "no-unbounded-retry") == []
+
+    def test_bounded_while_condition_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Driver:
+    def plug(self, request):
+        attempt = 0
+        while attempt < 5:
+            attempt += 1
+            yield Timeout(10)
+        return None
+'''
+        assert findings(source, "no-unbounded-retry") == []
+
+    def test_suppression_comment_silences_the_finding(self):
+        source = '''\
+__all__ = []
+
+
+class Driver:
+    def drain(self):
+        while True:  # lint: allow[no-unbounded-retry]
+            retry = yield self.queue.get()
+            if retry is None:
+                return None
+'''
+        assert findings(source, "no-unbounded-retry") == []
+
+
+# ----------------------------------------------------------------------
+# failure-domain result producers
+# ----------------------------------------------------------------------
+class TestFailureDomainProducers:
+    def test_evacuation_result_dying_unchecked_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Coordinator:
+    def recover(self, host_index, victims):
+        result = yield from self.fleet.evacuate(host_index, victims, 0)
+        self.done = True
+        return None
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert ".evacuated" in errors[0].message
+
+    def test_evacuation_result_checked_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Coordinator:
+    def recover(self, host_index, victims):
+        result = yield from self.fleet.evacuate(host_index, victims, 0)
+        if not result.ok:
+            self.alert(host_index)
+        return None
+'''
+        assert findings(source, "unchecked-result") == []
+
+    def test_breaker_transition_dying_unchecked_is_flagged(self):
+        source = '''\
+__all__ = []
+
+
+class Router:
+    def settle(self, slot, ok):
+        transition = slot.breaker.record_failure(self.sim.now)
+        self.settled = True
+        return None
+'''
+        errors = findings(source, "unchecked-result")
+        assert len(errors) == 1
+        assert ".to_state" in errors[0].message
+
+    def test_breaker_transition_handed_off_passes(self):
+        source = '''\
+__all__ = []
+
+
+class Router:
+    def settle(self, slot, ok):
+        transition = slot.breaker.record_failure(self.sim.now)
+        if transition is not None:
+            self.note(transition)
+        return None
+'''
+        assert findings(source, "unchecked-result") == []

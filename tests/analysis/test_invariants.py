@@ -486,6 +486,50 @@ class TestHostConservation:
         check_now(manager, rules=["host-conservation"])
 
 
+class TestLedgerConservation:
+    """Fleet-level rule: the density arbiter's committed ledger must
+    equal the ground truth recomputed from alive VMs (zero drift)."""
+
+    @staticmethod
+    def _fleet_with_vms():
+        from repro.cluster import Fleet, VmSpec
+
+        sim = Simulator()
+        fleet = Fleet(sim, hosts=1, nodes_per_host=1, memory_per_node=8 * GIB)
+        a = fleet.provision(VmSpec(name="lc-a", region_bytes=1 * GIB, vcpus=2))
+        b = fleet.provision(VmSpec(name="lc-b", region_bytes=1 * GIB, vcpus=2))
+        return fleet, a, b
+
+    def test_clean_fleet_passes(self):
+        fleet, a, b = self._fleet_with_vms()
+        check_now(a.vm.manager, rules=["ledger-conservation"])
+
+    def test_overstated_arbiter_ledger_is_detected(self):
+        fleet, a, b = self._fleet_with_vms()
+        fleet.arbiter._committed[(0, 0)] += 64 * MIB  # corrupt the ledger
+        failure = violation(a.vm.manager, rules=["ledger-conservation"])
+        assert "ledger-conservation" in failure.rules
+
+    def test_dead_vm_left_in_ledger_is_detected(self):
+        fleet, a, b = self._fleet_with_vms()
+        # Kill the VM behind the arbiter's back: the committed charge
+        # survives with no alive VM backing it — exactly the drift a
+        # crash leaves behind until reconcile() runs.
+        if b.agent is not None:
+            b.agent.kill()
+        b.vm.kill()
+        failure = violation(a.vm.manager, rules=["ledger-conservation"])
+        assert "ledger-conservation" in failure.rules
+
+    def test_reconcile_repairs_the_drift(self):
+        fleet, a, b = self._fleet_with_vms()
+        fleet.kill_vm("lc-b")
+        check_now(a.vm.manager, rules=["ledger-conservation"])
+
+    def test_rule_skips_without_fleet_context(self, manager):
+        check_now(manager, rules=["ledger-conservation"])
+
+
 def test_every_rule_has_a_seeded_violation_test():
     """Meta-test: each registered rule name appears in an assertion above."""
     import pathlib

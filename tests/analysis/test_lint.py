@@ -365,6 +365,7 @@ class TestDriversAndOutput:
             "unchecked-result",
             "span-hygiene",
             "no-sim-sleep-side-effect",
+            "no-unbounded-retry",
         }
         assert all(RULES.values())
 

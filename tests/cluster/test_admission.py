@@ -126,3 +126,61 @@ class TestStructuredRejection:
         with pytest.raises(AdmissionRejected) as excinfo:
             fleet.provision(VmSpec("huge", region_bytes=4 * GIB))
         assert excinfo.value.result.reason == "oversized"
+
+
+class TestFailureDomains:
+    def test_mark_host_down_excludes_its_nodes_from_candidates(self):
+        arbiter = make_arbiter(hosts=3)
+        arbiter.mark_host_down(1)
+        assert arbiter.host_is_down(1)
+        assert not arbiter.host_is_down(0)
+        assert all(c.host_index != 1 for c in arbiter.candidates())
+        assert {c.host_index for c in arbiter.candidates()} == {0, 2}
+
+    def test_mark_host_down_is_idempotent_and_bounds_checked(self):
+        arbiter = make_arbiter(hosts=2)
+        arbiter.mark_host_down(0)
+        arbiter.mark_host_down(0)
+        assert arbiter.host_is_down(0)
+        with pytest.raises(ConfigError):
+            arbiter.mark_host_down(5)
+
+    def test_charging_a_down_host_is_refused(self):
+        arbiter = make_arbiter(hosts=2)
+        arbiter.mark_host_down(0)
+        with pytest.raises(ConfigError):
+            arbiter.charge(0, 0, 1 * GIB)
+        arbiter.charge(1, 0, 1 * GIB)  # survivors still admit
+
+    def test_drift_report_is_empty_when_the_ledger_is_exact(self):
+        arbiter = make_arbiter()
+        arbiter.charge(0, 0, 1 * GIB)
+        assert arbiter.drift_report([(0, 0, 1 * GIB)]) == {}
+
+    def test_drift_report_spots_stale_charges(self):
+        arbiter = make_arbiter()
+        arbiter.charge(0, 0, 1 * GIB)
+        arbiter.charge(0, 0, 2 * GIB)
+        # One of the two VMs died without releasing: 2 GiB stale.
+        assert arbiter.drift_report([(0, 0, 1 * GIB)]) == {(0, 0): 2 * GIB}
+
+    def test_reconcile_rebuilds_the_ledger_and_reports_repaired_bytes(self):
+        arbiter = make_arbiter(hosts=2)
+        arbiter.charge(0, 0, 1 * GIB)
+        arbiter.charge(1, 0, 2 * GIB)
+        # Host 0 crashed: its VM is gone but its charge is on the books.
+        survivors = [(1, 0, 2 * GIB)]
+        repaired = arbiter.reconcile(survivors)
+        assert repaired == 1 * GIB
+        assert arbiter.drift_report(survivors) == {}
+        assert arbiter.reconcile(survivors) == 0  # now exact
+
+    def test_reconcile_restores_resident_counts(self):
+        arbiter = make_arbiter()
+        arbiter.charge(0, 0, 1 * GIB)
+        arbiter.charge(0, 0, 1 * GIB)
+        arbiter.reconcile([(0, 0, 1 * GIB)])
+        # Exactly one resident survives; releasing it empties the node.
+        arbiter.release(0, 0, 1 * GIB)
+        with pytest.raises(ConfigError):
+            arbiter.release(0, 0, 1 * GIB)

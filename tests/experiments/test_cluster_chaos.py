@@ -1,0 +1,107 @@
+"""Tests for the cluster-chaos sweep: determinism, fault-accounting
+completeness, zero ledger drift, and the density edge under failure."""
+
+import pytest
+
+from repro.experiments import cluster_chaos
+from repro.faults.policy import RetryBudget
+from repro.units import MS
+
+
+CONFIG = cluster_chaos.ClusterChaosConfig(
+    fault_rates=(0.0, 0.2),
+    duration_s=16,
+    drain_s=10,
+    keep_alive_s=6,
+    stagger_s=8.0,
+    burst_len_s=4.0,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cluster_chaos.run(CONFIG)
+
+
+def test_two_runs_are_bit_identical(result):
+    again = cluster_chaos.run(CONFIG)
+    assert again.cells == result.cells
+
+
+def test_every_domain_fault_is_accounted_for(result):
+    assert result.total_unresolved() == 0
+    for mode in CONFIG.modes:
+        faulted = result.cell(mode, 0.2)
+        assert faulted.injected > 0
+        assert faulted.unresolved == 0
+
+
+def test_ledger_reconciles_to_zero_drift(result):
+    assert result.total_ledger_drift() == 0
+    for cell in result.cells:
+        assert cell.ledger_drift_bytes == 0
+
+
+def test_control_row_sees_no_storm(result):
+    for mode in CONFIG.modes:
+        control = result.cell(mode, 0.0)
+        assert control.injected == 0
+        assert control.evacuated == 0 and control.evacuation_rejected == 0
+        assert control.retained_frac == 1.0
+        assert control.availability > 0.9
+
+
+def test_storm_triggers_evacuation_but_fleet_keeps_serving(result):
+    faulted = result.cell("hotmem", 0.2)
+    assert faulted.evacuated > 0
+    assert 0.0 < faulted.availability <= 1.0
+    assert faulted.invocations > 0
+    assert faulted.mttr_ms >= 0.0
+    assert faulted.recovery_summary  # per-site rollup present
+
+
+def test_density_edge_holds_under_failure(result):
+    assert result.density_edge_holds()
+    hot = result.cell("hotmem", 0.2)
+    van = result.cell("vanilla", 0.2)
+    assert hot.retained_frac >= van.retained_frac
+
+
+def test_render_includes_the_gate_columns(result):
+    table = result.render()
+    for needle in (
+        "avail",
+        "mttr ms",
+        "retained",
+        "unresolved",
+        "drift",
+        "Recovery paths by failure site",
+        "density edge under failure",
+    ):
+        assert needle in table
+
+
+def test_cell_lookup_raises_on_missing(result):
+    with pytest.raises(KeyError):
+        result.cell("hotmem", 0.5)
+
+
+def test_budget_derives_from_the_config():
+    budget = CONFIG.budget()
+    assert isinstance(budget, RetryBudget)
+    assert budget.max_failovers == CONFIG.max_failovers
+    assert budget.deadline_ns == int(CONFIG.deadline_ms * MS)
+
+
+def test_paper_scale_widens_the_sweep():
+    config = cluster_chaos.ClusterChaosConfig.paper_scale()
+    default = cluster_chaos.ClusterChaosConfig()
+    assert len(config.fault_rates) > len(default.fault_rates)
+    assert config.duration_s > default.duration_s
+
+
+def test_cli_registration():
+    from repro.experiments.__main__ import EXPERIMENTS, MODE_SWEEPING
+
+    assert "cluster-chaos" in EXPERIMENTS
+    assert "cluster-chaos" in MODE_SWEEPING

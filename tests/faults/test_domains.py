@@ -1,0 +1,184 @@
+"""Fleet failure domains: the plan builder and the tick scheduler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.domains import (
+    DEFAULT_DOMAIN_CAPS,
+    DomainScheduler,
+    domain_plan,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.sites import (
+    AGENT_WEDGE,
+    ALL_SITES,
+    DATAPATH_SITES,
+    DOMAIN_SITES,
+    HOST_CRASH,
+    HOST_PRESSURE_SPIKE,
+    ROUTER_LINK_DOWN,
+    VM_OOM_KILL,
+)
+from repro.units import SEC
+
+
+class RecordingTarget:
+    """A DomainTarget that only records what the scheduler dispatches."""
+
+    def __init__(self, injector, hosts=3, vms=("vm-a", "vm-b", "vm-c")):
+        self.injector = injector
+        self.hosts = list(range(hosts))
+        self.vms = list(vms)
+        #: (site, victim, time_ns) in dispatch order.
+        self.dispatched = []
+
+    def live_hosts(self):
+        return list(self.hosts)
+
+    def live_vms(self):
+        return list(self.vms)
+
+    def _note(self, site, victim, fault):
+        self.dispatched.append((site, victim, fault.time_ns))
+        self.injector.resolve(fault, "absorbed")
+
+    def crash_host(self, host_index, fault):
+        self._note(HOST_CRASH, host_index, fault)
+
+    def pressure_spike(self, host_index, fault):
+        self._note(HOST_PRESSURE_SPIKE, host_index, fault)
+
+    def oom_kill(self, vm_name, fault):
+        self._note(VM_OOM_KILL, vm_name, fault)
+
+    def wedge_agent(self, vm_name, fault):
+        self._note(AGENT_WEDGE, vm_name, fault)
+
+    def link_down(self, vm_name, fault):
+        self._note(ROUTER_LINK_DOWN, vm_name, fault)
+
+
+def run_storm(sim, probability=1.0, seed=0, hosts=3, vms=("vm-a", "vm-b")):
+    injector = FaultInjector(domain_plan(probability), seed=seed)
+    target = RecordingTarget(injector, hosts=hosts, vms=vms)
+    scheduler = DomainScheduler(
+        sim, injector, target, tick_ns=2 * SEC, until_ns=20 * SEC, seed=seed
+    )
+    scheduler.start()
+    sim.run()
+    return injector, target, scheduler
+
+
+class TestSiteTaxonomy:
+    def test_domain_and_datapath_sites_are_disjoint(self):
+        assert not set(DOMAIN_SITES) & set(DATAPATH_SITES)
+
+    def test_all_sites_is_the_union(self):
+        assert set(ALL_SITES) == set(DOMAIN_SITES) | set(DATAPATH_SITES)
+
+    def test_every_domain_site_has_a_default_cap(self):
+        assert set(DEFAULT_DOMAIN_CAPS) == set(DOMAIN_SITES)
+
+
+class TestDomainPlan:
+    def test_applies_the_default_caps(self):
+        plan = domain_plan(0.5)
+        assert {spec.site for spec in plan.specs} == set(DOMAIN_SITES)
+        for spec in plan.specs:
+            assert spec.probability == 0.5
+            assert spec.max_fires == DEFAULT_DOMAIN_CAPS[spec.site]
+
+    def test_caps_override_and_uncap(self):
+        plan = domain_plan(0.1, caps={HOST_CRASH: 5, VM_OOM_KILL: None})
+        by_site = {spec.site: spec for spec in plan.specs}
+        assert by_site[HOST_CRASH].max_fires == 5
+        assert by_site[VM_OOM_KILL].max_fires is None
+        assert (
+            by_site[AGENT_WEDGE].max_fires == DEFAULT_DOMAIN_CAPS[AGENT_WEDGE]
+        )
+
+    def test_site_subset(self):
+        plan = domain_plan(1.0, sites=(HOST_CRASH,))
+        assert [spec.site for spec in plan.specs] == [HOST_CRASH]
+
+
+class TestDomainScheduler:
+    def test_rejects_bad_cadence(self, sim):
+        injector = FaultInjector(domain_plan(1.0))
+        target = RecordingTarget(injector)
+        with pytest.raises(ConfigError):
+            DomainScheduler(
+                sim, injector, target, tick_ns=0, until_ns=10, seed=0
+            )
+        with pytest.raises(ConfigError):
+            DomainScheduler(
+                sim, injector, target, tick_ns=1, until_ns=-1, seed=0
+            )
+
+    def test_fires_respect_the_per_site_caps(self, sim):
+        injector, target, _ = run_storm(sim, probability=1.0)
+        for site in DOMAIN_SITES:
+            assert injector.count(site) == DEFAULT_DOMAIN_CAPS[site]
+        assert injector.unresolved() == []
+
+    def test_every_dispatch_names_a_live_victim(self, sim):
+        injector, target, _ = run_storm(sim, probability=1.0)
+        for site, victim, _time in target.dispatched:
+            if site in (HOST_CRASH, HOST_PRESSURE_SPIKE):
+                assert victim in target.hosts
+            else:
+                assert victim in target.vms
+
+    def test_same_seed_reproduces_the_same_storm(self):
+        from repro.sim.engine import Simulator
+
+        def one():
+            sim = Simulator()
+            _, target, _ = run_storm(sim, probability=0.7, seed=11)
+            return target.dispatched
+
+        assert one() == one()
+
+    def test_different_seeds_differ(self):
+        from repro.sim.engine import Simulator
+
+        def one(seed):
+            sim = Simulator()
+            _, target, _ = run_storm(sim, probability=0.7, seed=seed)
+            return target.dispatched
+
+        assert one(1) != one(2)
+
+    def test_empty_population_absorbs_the_fault(self, sim):
+        injector = FaultInjector(domain_plan(1.0))
+        target = RecordingTarget(injector, hosts=0, vms=())
+        scheduler = DomainScheduler(
+            sim, injector, target, tick_ns=2 * SEC, until_ns=10 * SEC, seed=0
+        )
+        scheduler.start()
+        sim.run()
+        assert target.dispatched == []
+        assert scheduler.absorbed == injector.count() > 0
+        assert injector.unresolved() == []
+
+    def test_stop_ends_the_storm_early(self, sim):
+        injector = FaultInjector(domain_plan(1.0))
+        target = RecordingTarget(injector)
+        scheduler = DomainScheduler(
+            sim, injector, target, tick_ns=2 * SEC, until_ns=60 * SEC, seed=0
+        )
+        scheduler.start()
+        sim.schedule(3 * SEC, scheduler.stop)
+        sim.run()
+        # Only the first tick (t=2s) got to fire.
+        assert all(t <= 2 * SEC for _, _, t in target.dispatched)
+
+    def test_disabled_plan_never_fires(self, sim):
+        injector = FaultInjector(domain_plan(0.0))
+        target = RecordingTarget(injector)
+        DomainScheduler(
+            sim, injector, target, tick_ns=2 * SEC, until_ns=10 * SEC, seed=0
+        ).start()
+        sim.run()
+        assert injector.count() == 0
+        assert target.dispatched == []

@@ -51,3 +51,76 @@ def test_log_counts_and_percentile():
     assert log.by_path() == {"retried": 2, "quarantined": 1}
     assert log.latencies_ms() == [1.0, 2.0, 3.0]
     assert log.latency_p99_ms() >= 2.0
+
+
+def test_failed_over_paths_are_their_own_category():
+    from repro.faults.recovery import FAILED_OVER_PATHS
+
+    assert FAILED_OVER_PATHS
+    assert not FAILED_OVER_PATHS & RECOVERED_PATHS
+    assert not FAILED_OVER_PATHS & DEGRADED_PATHS
+    moved = RecoveryEvent(
+        site="host.crash", path="evacuated", detect_ns=0, resolve_ns=MS
+    )
+    assert moved.failed_over and not moved.recovered
+
+
+def test_failed_over_count_is_separate_from_recovered_and_degraded():
+    log = RecoveryLog()
+    log.record(site="host.crash", path="evacuated", detect_ns=0, resolve_ns=MS)
+    log.record(
+        site="router.failover", path="failed-over", detect_ns=0, resolve_ns=0
+    )
+    log.record(site="agent.wedge", path="force-recycled", detect_ns=0, resolve_ns=0)
+    log.record(site="router.queue", path="deadline", detect_ns=0, resolve_ns=0)
+    assert log.failed_over_count() == 2
+    assert log.recovered_count() == 1
+    assert log.degraded_count() == 1
+
+
+def test_mttr_per_site_and_overall():
+    log = RecoveryLog()
+    log.record(site="host.crash", path="evacuated", detect_ns=0, resolve_ns=2 * MS)
+    log.record(site="host.crash", path="evacuated", detect_ns=0, resolve_ns=4 * MS)
+    log.record(
+        site="router.link.down", path="healed", detect_ns=MS, resolve_ns=2 * MS
+    )
+    assert log.mttr_ms("host.crash") == 3.0
+    assert log.mttr_ms("router.link.down") == 1.0
+    assert log.mttr_ms() == (2.0 + 4.0 + 1.0) / 3
+    assert log.mttr_ms("vm.oom.kill") == 0.0
+    assert log.mttr_by_site() == {
+        "host.crash": 3.0,
+        "router.link.down": 1.0,
+    }
+
+
+def test_summary_rolls_up_per_site():
+    log = RecoveryLog()
+    log.record(site="host.crash", path="evacuated", detect_ns=0, resolve_ns=2 * MS)
+    log.record(
+        site="host.crash",
+        path="evacuation-rejected",
+        detect_ns=0,
+        resolve_ns=4 * MS,
+    )
+    log.record(
+        site="agent.wedge", path="force-recycled", detect_ns=0, resolve_ns=MS
+    )
+    summary = log.summary()
+    assert list(summary) == ["agent.wedge", "host.crash"]  # sorted
+    crash = summary["host.crash"]
+    assert crash["events"] == 2
+    assert crash["failed_over"] == 1
+    assert crash["degraded"] == 1
+    assert crash["recovered"] == 0
+    assert crash["mttr_ms"] == 3.0
+    wedge = summary["agent.wedge"]
+    assert wedge["recovered"] == 1 and wedge["mttr_ms"] == 1.0
+
+
+def test_empty_log_summaries_are_empty():
+    log = RecoveryLog()
+    assert log.mttr_ms() == 0.0
+    assert log.mttr_by_site() == {}
+    assert log.summary() == {}

@@ -275,3 +275,71 @@ class TestDeterminism:
             return seen
 
         assert build() == build()
+
+
+class TestKill:
+    def test_kill_runs_finally_blocks(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield Timeout(100)
+                log.append("ran")
+            finally:
+                log.append("cleanup")
+
+        process = sim.spawn(victim())
+        sim.schedule(10, process.kill)
+        sim.run()
+        assert log == ["cleanup"]
+        assert process.finished
+
+    def test_joiner_receives_the_kill_value(self, sim):
+        def victim():
+            yield Timeout(100)
+            return "never"
+
+        def joiner(process, out):
+            out.append((yield process))
+
+        out = []
+        process = sim.spawn(victim())
+        sim.spawn(joiner(process, out))
+        sim.schedule(5, process.kill, "killed")
+        sim.run()
+        assert out == ["killed"]
+
+    def test_kill_after_completion_is_a_noop(self, sim):
+        def body():
+            yield Timeout(1)
+            return "done"
+
+        process = sim.spawn(body())
+        sim.run()
+        assert process.finished
+        process.kill()  # must not raise or re-trigger the done event
+        assert process.finished
+
+    def test_dangling_wakeup_after_kill_is_absorbed(self, sim):
+        # The parked Timeout's wakeup stays queued after the kill; when
+        # it fires at t=100 the resume guard must absorb it silently.
+        def victim():
+            yield Timeout(100)
+
+        process = sim.spawn(victim())
+        sim.schedule(10, process.kill)
+        sim.run()  # drains past t=100 without raising
+        assert sim.now == 100
+
+    def test_kill_mid_chain_kills_only_the_target(self, sim):
+        log = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            log.append(tag)
+
+        doomed = sim.spawn(worker("doomed", 50))
+        sim.spawn(worker("survivor", 60))
+        sim.schedule(5, doomed.kill)
+        sim.run()
+        assert log == ["survivor"]
