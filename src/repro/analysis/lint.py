@@ -65,6 +65,17 @@ Syntactic rules registered here:
     :mod:`repro.obs` — observability that is structured, deterministic
     and exportable instead of interleaved stdout noise.
 
+``no-adhoc-sweep``
+    Experiment modules never hand-roll sweep loops: a ``for``/``while``
+    whose body builds or runs whole scenarios (``run_scenario``,
+    ``MicrobenchRig``, ``Simulator``, ``Fleet``, ...) bypasses
+    :mod:`repro.sweep` — losing the stable cell ids, ``--workers``
+    sharding and deterministic merge the engine provides.  Declare the
+    points as a :class:`~repro.sweep.grid.SweepGrid` and iterate
+    ``run_sweep`` results instead.  The scenario/rig engines themselves
+    (``repro.experiments.serverless``/``microbench``) and the CLI
+    dispatch are exempt.
+
 The CFG/dataflow rule families (``stale-guard-across-yield``,
 ``unchecked-result``, ``span-hygiene``, ``no-sim-sleep-side-effect``)
 live in :mod:`repro.analysis.flow` and register on the same registry;
@@ -164,6 +175,17 @@ _WALLCLOCK_CALLS = {
 }
 #: Identifier fragments that mark a page/byte/time quantity.
 _QUANTITY_RE = re.compile(r"(page|byte|block|_ns$|^ns_|latency|bytes)", re.I)
+#: Calls that mark a loop body as running whole scenarios/sims — the
+#: shapes no-adhoc-sweep bans from hand-rolled experiment loops.
+_SCENARIO_ENTRYPOINTS = {
+    "run_scenario",
+    "run_single_reclaim",
+    "run_reclaim_after_freeing",
+    "MicrobenchRig",
+    "Simulator",
+    "Fleet",
+    "ServerlessScenario",
+}
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +528,44 @@ def _rule_no_print_in_src(ctx: FileContext) -> Iterator[LintError]:
                 "print() in library code; emit a span/event/metric through "
                 "repro.obs (or move the report to repro.experiments)",
             )
+
+
+@_register(
+    "no-adhoc-sweep",
+    (
+        "experiment modules iterate sweep points through repro.sweep "
+        "(grid + run_sweep), never hand-rolled scenario loops"
+    ),
+)
+def _rule_no_adhoc_sweep(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro.experiments",)) or ctx.module in (
+        "repro.experiments.serverless",  # the scenario engine itself
+        "repro.experiments.microbench",  # the rig the cells build
+        "repro.experiments.__main__",  # dispatch, not a sweep
+    ):
+        return
+    for node in ctx.nodes:
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            name = _dotted(child.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _SCENARIO_ENTRYPOINTS:
+                yield LintError(
+                    ctx.path,
+                    child.lineno,
+                    child.col_offset,
+                    "no-adhoc-sweep",
+                    f"{leaf}() inside a hand-rolled sweep loop; declare "
+                    "the points as a SweepGrid and run them through "
+                    "repro.sweep.run_sweep (cells shard across --workers "
+                    "and merge deterministically)",
+                )
+                break  # one finding per loop is enough
 
 
 # Importing the flow module registers the CFG/dataflow rule families on

@@ -6,6 +6,7 @@ Regenerate any table or figure of the paper from the shell::
     python -m repro.experiments fig5
     python -m repro.experiments fig10 --paper-scale
     python -m repro.experiments all --sanitize
+    python -m repro.experiments density --workers 8
 
 ``--paper-scale`` switches to the full-size configuration where one is
 defined (the defaults are scaled down to run in seconds).
@@ -13,6 +14,11 @@ defined (the defaults are scaled down to run in seconds).
 ``--modes`` restricts mode-sweeping experiments (density, chaos) to a
 comma-separated list of registered deployment modes, e.g.
 ``--modes hotmem,vanilla,balloon,dimm,fpr``.
+
+``--workers N`` shards each experiment's sweep cells across ``N``
+processes (:mod:`repro.sweep`).  Results merge in cell order, so the
+output — including ``--trace`` export digests and ``--sanitize``
+summaries — is byte-identical for any worker count.
 
 ``--sanitize`` attaches the memory-state sanitizer
 (:mod:`repro.analysis.sanitizer`) to every guest memory manager the
@@ -28,6 +34,11 @@ Analyze the export with::
 
     python -m repro.experiments fig5 --trace
     python -m repro.experiments trace-report
+
+The dispatch table itself is declarative: every experiment module ends
+with a :func:`repro.sweep.register_experiment` call, and this entry
+point only imports the modules in canonical order and reads the
+registry.
 """
 
 from __future__ import annotations
@@ -37,161 +48,41 @@ import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.experiments import (
-    ablations,
-    chaos,
-    cluster_chaos,
-    density,
+# Imported for self-registration side effects, in the canonical display
+# order of the dispatch table (the paper's table/figure order).
+from repro.experiments import (  # noqa: F401  (registration imports)
+    table1,
     fig2_interleaving,
-    baselines_comparison,
     fig5_unplug_latency,
     fig6_usage_sweep,
     fig7_cpu_usage,
     fig8_reclaim_throughput,
     fig9_p99_latency,
     fig10_interference,
-    policy_tradeoff,
+    ablations,
+    baselines_comparison,
     stranding,
+    policy_tradeoff,
     tracking,
-    table1,
+    chaos,
+    cluster_chaos,
+    density,
 )
+from repro.sweep import RunContext, collecting, registry
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "MODE_SWEEPING"]
 
-
-def _figure_runner(module, has_paper_scale: bool = True):
-    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
-        import dataclasses
-
-        config_cls = next(
-            obj
-            for name, obj in module.__dict__.items()
-            if name.endswith("Config")
-            and isinstance(obj, type)
-            and obj.__module__ == module.__name__
-        )
-        config = (
-            config_cls.paper_scale()
-            if paper_scale and has_paper_scale
-            else config_cls()
-        )
-        if modes is not None:
-            field_names = {f.name for f in dataclasses.fields(config_cls)}
-            if "modes" not in field_names:
-                raise SystemExit(
-                    f"{module.__name__.rsplit('.', 1)[-1]} does not sweep "
-                    f"deployment modes (--modes not applicable)"
-                )
-            config = dataclasses.replace(config, modes=modes)
-        return module.run(config).render()
-
-    return run
-
-
-def _simple_runner(fn: Callable[[], object]):
-    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
-        del paper_scale, modes
-        result = fn()
-        return result.render() if hasattr(result, "render") else str(result)
-
-    return run
-
-
-def _ablation_runner():
-    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
-        del paper_scale, modes
-        parts = [
-            ablations.run_placement_ablation().render(),
-            ablations.run_zeroing_ablation().render(),
-            ablations.run_selection_ablation().render(),
-            ablations.run_concurrency_ablation().render(),
-            ablations.run_batching_ablation().render(),
-        ]
-        return "\n\n".join(parts)
-
-    return run
-
-
-def _baselines_runner():
-    def run(paper_scale: bool, modes: Optional[Tuple[str, ...]] = None) -> str:
-        del paper_scale, modes
-        relaxed = baselines_comparison.run().render()
-        pressure = baselines_comparison.run(
-            baselines_comparison.BaselinesConfig.pressure()
-        ).render()
-        return relaxed + "\n\nUnder pressure:\n" + pressure
-
-    return run
-
-
-#: name → (description, runner(paper_scale, modes) -> str)
+#: name → (description, runner(paper_scale, modes) -> str), from the
+#: self-registration calls at the bottom of each experiment module.
 EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
-    "table1": (
-        "Function resource limits",
-        _simple_runner(lambda: table1.render()),
-    ),
-    "fig2": (
-        "Figure 2 quantified: interleaving after an instance exits",
-        _figure_runner(fig2_interleaving, has_paper_scale=False),
-    ),
-    "fig5": (
-        "Unplug latency vs reclaim size",
-        _figure_runner(fig5_unplug_latency),
-    ),
-    "fig6": (
-        "Unplug latency vs guest memory usage",
-        _figure_runner(fig6_usage_sweep),
-    ),
-    "fig7": (
-        "Cumulative unplug-vCPU time during stepped shrink",
-        _figure_runner(fig7_cpu_usage),
-    ),
-    "fig8": (
-        "Trace-driven reclamation throughput",
-        _figure_runner(fig8_reclaim_throughput),
-    ),
-    "fig9": (
-        "P99 latency across deployment modes",
-        _figure_runner(fig9_p99_latency),
-    ),
-    "fig10": (
-        "Co-location interference during shrink",
-        _figure_runner(fig10_interference),
-    ),
-    "ablations": ("A1-A4 design-choice ablations", _ablation_runner()),
-    "baselines": (
-        "A5 four-interface comparison (incl. balloon, DIMM)",
-        _baselines_runner(),
-    ),
-    "stranding": (
-        "M1 host memory stranding (Figure 1 motivation)",
-        _simple_runner(lambda: stranding.run()),
-    ),
-    "policy": (
-        "P1 spare-slot policy: cold-start latency vs memory held",
-        _simple_runner(lambda: policy_tradeoff.run()),
-    ),
-    "tracking": (
-        "E1 memory tracking under a diurnal load cycle",
-        _figure_runner(tracking),
-    ),
-    "chaos": (
-        "R1 fault-rate sweep: recovery paths and degradation",
-        _figure_runner(chaos),
-    ),
-    "cluster-chaos": (
-        "R2 fleet failure domains: availability, MTTR and density "
-        "under host/VM crash injection",
-        _figure_runner(cluster_chaos),
-    ),
-    "density": (
-        "D1 VMs-per-host at the P99 SLO across deployment modes",
-        _figure_runner(density),
-    ),
+    spec.name: (spec.description, spec.runner)
+    for spec in registry().values()
 }
 
 #: Experiments whose config sweeps deployment modes (accept ``--modes``).
-MODE_SWEEPING = frozenset({"chaos", "cluster-chaos", "density"})
+MODE_SWEEPING = frozenset(
+    spec.name for spec in registry().values() if spec.mode_sweeping
+)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -216,6 +107,14 @@ def main(argv: Optional[list] = None) -> int:
         help="comma-separated registered deployment modes to sweep "
         "(experiments with a mode sweep only), e.g. "
         "hotmem,vanilla,overprovisioned,balloon,dimm,fpr",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard sweep cells across N processes (default 1: serial; "
+        "output is byte-identical for any worker count)",
     )
     parser.add_argument(
         "--sanitize",
@@ -264,11 +163,6 @@ def main(argv: Optional[list] = None) -> int:
             )
             return 2
 
-    if args.sanitize:
-        from repro.analysis.sanitizer import SanitizerConfig, install
-
-        install(SanitizerConfig(every_n_events=args.sanitize_every))
-
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:12} {description}")
@@ -290,11 +184,6 @@ def main(argv: Optional[list] = None) -> int:
         print(report.render())
         return 0
 
-    if args.trace:
-        from repro.obs import install as install_tracing
-
-        install_tracing()
-
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -307,33 +196,26 @@ def main(argv: Optional[list] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        started = time.time()  # lint: allow[no-wallclock] progress display only
-        output = runner(args.paper_scale, modes if name in MODE_SWEEPING else None)
-        elapsed = time.time() - started  # lint: allow[no-wallclock] progress display only
-        print(output)
-        print(f"[{name}: {elapsed:.1f}s]")
-        print()
-    if args.sanitize:
-        from repro.analysis.sanitizer import installed_sanitizers, uninstall
 
-        sweeps = sum(s.checks_run for s in installed_sanitizers())
-        managers = len(installed_sanitizers())
-        print(
-            f"[sanitizer: {sweeps} sweeps across {managers} guest memory "
-            f"manager(s), no violations]"
-        )
-        uninstall()
-    if args.trace:
-        from repro.obs import current_session, export_session
-        from repro.obs import uninstall as uninstall_tracing
-
-        session = current_session()
-        if session is not None:
-            session.finalize()
-            print(export_session(session, args.trace_file).render())
-        uninstall_tracing()
+    context = RunContext(
+        workers=max(1, args.workers),
+        sanitize=args.sanitize,
+        sanitize_every=args.sanitize_every,
+        trace=args.trace,
+    )
+    with collecting(context) as report:
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            started = time.time()  # lint: allow[no-wallclock] progress display only
+            output = runner(args.paper_scale, modes if name in MODE_SWEEPING else None)
+            elapsed = time.time() - started  # lint: allow[no-wallclock] progress display only
+            print(output)
+            print(f"[{name}: {elapsed:.1f}s]")
+            print()
+        if args.sanitize:
+            print(report.sanitizer_line())
+        if args.trace:
+            print(report.write_trace(args.trace_file).render())
     return 0
 
 

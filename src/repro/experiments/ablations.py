@@ -8,7 +8,7 @@ mode, unplug block selection, and the HotMem concurrency factor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
 from repro.experiments.serverless import (
@@ -19,6 +19,7 @@ from repro.experiments.serverless import (
 from repro.faas.policy import DeploymentMode
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel, ZeroingMode
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB
 
 __all__ = [
@@ -61,22 +62,31 @@ def run_placement_ablation(
         title="A1: vanilla unplug latency vs allocator placement policy",
         headers=("placement", "latency_ms", "migrated_pages"),
     )
-    for placement in ("sequential", "scatter", "random"):
-        rig = MicrobenchRig(
-            MicrobenchSetup(
-                mode="vanilla",
-                total_bytes=total_bytes,
-                partition_bytes=384 * MIB,
-                placement=placement,
-                costs=costs,
-            )
-        )
-        measurement = rig.run_single_reclaim(reclaim_bytes)
-        result.rows_data.append(
-            [placement, measurement.latency_ms, measurement.migrated_pages]
-        )
-        result.values[placement] = measurement.latency_ms
+    grid = SweepGrid("a1").axis(
+        "placement", ("sequential", "scatter", "random")
+    )
+    config = (total_bytes, reclaim_bytes, costs)
+    for cell_result in run_sweep(grid, _placement_cell, config):
+        placement = cell_result["placement"]
+        latency_ms, migrated = cell_result.payload
+        result.rows_data.append([placement, latency_ms, migrated])
+        result.values[placement] = latency_ms
     return result
+
+
+def _placement_cell(config, cell: Cell) -> Tuple[float, int]:
+    total_bytes, reclaim_bytes, costs = config
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode="vanilla",
+            total_bytes=total_bytes,
+            partition_bytes=384 * MIB,
+            placement=cell["placement"],
+            costs=costs,
+        )
+    )
+    measurement = rig.run_single_reclaim(reclaim_bytes)
+    return measurement.latency_ms, measurement.migrated_pages
 
 
 def run_zeroing_ablation(
@@ -100,37 +110,45 @@ def run_zeroing_ablation(
             "zeroed_pages",
         ),
     )
-    for zeroing in ZeroingMode.ALL:
-        costs = DEFAULT_COSTS.replace(zeroing_mode=zeroing)
-        for mode in ("vanilla", "hotmem"):
-            rig = MicrobenchRig(
-                MicrobenchSetup(
-                    mode=mode,
-                    total_bytes=total_bytes,
-                    partition_bytes=384 * MIB,
-                    costs=costs,
-                )
-            )
-
-            def scenario(rig=rig):
-                plug = yield from rig.plug_all()
-                hogs = yield from rig.start_memhogs()
-                yield from rig.stop_memhogs(hogs[-2:])
-                unplug = yield from rig.measure_reclaim(reclaim_bytes)
-                yield from rig.stop_all()
-                return plug, unplug
-
-            plug, unplug = rig.sim.run_process(scenario(), name="a2")
-            plug_ms_per_gib = (
-                plug.latency_ns / 1e6 / (total_bytes / GIB)
-            )
-            result.rows_data.append(
-                [zeroing, mode, plug_ms_per_gib, unplug.latency_ms,
-                 plug.zeroed_pages]
-            )
-            result.values[f"{zeroing}/{mode}/plug"] = plug_ms_per_gib
-            result.values[f"{zeroing}/{mode}/unplug"] = unplug.latency_ms
+    grid = (
+        SweepGrid("a2")
+        .axis("zeroing", ZeroingMode.ALL)
+        .axis("mode", ("vanilla", "hotmem"))
+    )
+    config = (total_bytes, reclaim_bytes)
+    for cell_result in run_sweep(grid, _zeroing_cell, config):
+        zeroing, mode = cell_result["zeroing"], cell_result["mode"]
+        plug_ms_per_gib, unplug_ms, zeroed_pages = cell_result.payload
+        result.rows_data.append(
+            [zeroing, mode, plug_ms_per_gib, unplug_ms, zeroed_pages]
+        )
+        result.values[f"{zeroing}/{mode}/plug"] = plug_ms_per_gib
+        result.values[f"{zeroing}/{mode}/unplug"] = unplug_ms
     return result
+
+
+def _zeroing_cell(config, cell: Cell) -> Tuple[float, float, int]:
+    total_bytes, reclaim_bytes = config
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode=cell["mode"],
+            total_bytes=total_bytes,
+            partition_bytes=384 * MIB,
+            costs=DEFAULT_COSTS.replace(zeroing_mode=cell["zeroing"]),
+        )
+    )
+
+    def scenario():
+        plug = yield from rig.plug_all()
+        hogs = yield from rig.start_memhogs()
+        yield from rig.stop_memhogs(hogs[-2:])
+        unplug = yield from rig.measure_reclaim(reclaim_bytes)
+        yield from rig.stop_all()
+        return plug, unplug
+
+    plug, unplug = rig.sim.run_process(scenario(), name="a2")
+    plug_ms_per_gib = plug.latency_ns / 1e6 / (total_bytes / GIB)
+    return plug_ms_per_gib, unplug.latency_ms, plug.zeroed_pages
 
 
 def run_selection_ablation(
@@ -150,28 +168,34 @@ def run_selection_ablation(
         title="A3: vanilla unplug latency vs block-selection policy",
         headers=("placement", "selection", "latency_ms", "migrated_pages"),
     )
-    for placement in ("scatter", "sequential"):
-        for selection in ("linear", "emptiest_first"):
-            rig = MicrobenchRig(
-                MicrobenchSetup(
-                    mode="vanilla",
-                    total_bytes=total_bytes,
-                    partition_bytes=384 * MIB,
-                    placement=placement,
-                    unplug_selection=selection,
-                )
-            )
-            measurement = rig.run_single_reclaim(reclaim_bytes)
-            result.rows_data.append(
-                [
-                    placement,
-                    selection,
-                    measurement.latency_ms,
-                    measurement.migrated_pages,
-                ]
-            )
-            result.values[f"{placement}/{selection}"] = measurement.latency_ms
+    grid = (
+        SweepGrid("a3")
+        .axis("placement", ("scatter", "sequential"))
+        .axis("selection", ("linear", "emptiest_first"))
+    )
+    config = (total_bytes, reclaim_bytes)
+    for cell_result in run_sweep(grid, _selection_cell, config):
+        placement = cell_result["placement"]
+        selection = cell_result["selection"]
+        latency_ms, migrated = cell_result.payload
+        result.rows_data.append([placement, selection, latency_ms, migrated])
+        result.values[f"{placement}/{selection}"] = latency_ms
     return result
+
+
+def _selection_cell(config, cell: Cell) -> Tuple[float, int]:
+    total_bytes, reclaim_bytes = config
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode="vanilla",
+            total_bytes=total_bytes,
+            partition_bytes=384 * MIB,
+            placement=cell["placement"],
+            unplug_selection=cell["selection"],
+        )
+    )
+    measurement = rig.run_single_reclaim(reclaim_bytes)
+    return measurement.latency_ms, measurement.migrated_pages
 
 
 def run_batching_ablation(
@@ -192,28 +216,42 @@ def run_batching_ablation(
         title="A6: HotMem unplug latency, per-block vs batched runs",
         headers=("reclaim", "per_block_ms", "batched_ms", "speedup"),
     )
+    grid = (
+        SweepGrid("a6")
+        .axis("slots", reclaim_slots)
+        .axis("batched", (False, True))
+    )
+    config = (partition_bytes, total_slots, costs)
+    latencies: Dict[Tuple[int, bool], float] = {}
+    for cell_result in run_sweep(grid, _batching_cell, config):
+        key = (cell_result["slots"], cell_result["batched"])
+        latencies[key] = cell_result.payload
     for slots in reclaim_slots:
-        latencies = {}
-        for batched in (False, True):
-            rig = MicrobenchRig(
-                MicrobenchSetup(
-                    mode="hotmem",
-                    total_bytes=total_slots * partition_bytes,
-                    partition_bytes=partition_bytes,
-                    costs=costs,
-                    batch_unplug=batched,
-                )
-            )
-            measurement = rig.run_single_reclaim(slots * partition_bytes)
-            latencies[batched] = measurement.latency_ms
         label = f"{slots}x{partition_bytes // MIB}MiB"
-        speedup = latencies[False] / latencies[True]
+        per_block = latencies[(slots, False)]
+        batched = latencies[(slots, True)]
+        speedup = per_block / batched
         result.rows_data.append(
-            [label, latencies[False], latencies[True], f"{speedup:.1f}x"]
+            [label, per_block, batched, f"{speedup:.1f}x"]
         )
-        result.values[f"{slots}/per_block"] = latencies[False]
-        result.values[f"{slots}/batched"] = latencies[True]
+        result.values[f"{slots}/per_block"] = per_block
+        result.values[f"{slots}/batched"] = batched
     return result
+
+
+def _batching_cell(config, cell: Cell) -> float:
+    partition_bytes, total_slots, costs = config
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode="hotmem",
+            total_bytes=total_slots * partition_bytes,
+            partition_bytes=partition_bytes,
+            costs=costs,
+            batch_unplug=cell["batched"],
+        )
+    )
+    measurement = rig.run_single_reclaim(cell["slots"] * partition_bytes)
+    return measurement.latency_ms
 
 
 def run_concurrency_ablation(
@@ -230,24 +268,50 @@ def run_concurrency_ablation(
         title="A4: HotMem behaviour vs concurrency factor N",
         headers=("N", "reclaim_mib_s", "cold_starts", "oom_failures"),
     )
-    for n in concurrencies:
-        scenario = ServerlessScenario(
-            mode=DeploymentMode.HOTMEM,
-            loads=(
-                FunctionLoad.for_function("html", max_instances=n),
-            ),
-            duration_s=duration_s,
-            keep_alive_s=20,
-            recycle_interval_s=10,
-        )
-        run_result = run_scenario(scenario)
-        result.rows_data.append(
-            [
-                n,
-                run_result.reclaim_mib_per_s,
-                run_result.cold_starts["html"],
-                run_result.oom_failures,
-            ]
-        )
-        result.values[str(n)] = run_result.reclaim_mib_per_s
+    grid = SweepGrid("a4").axis("n", concurrencies)
+    for cell_result in run_sweep(grid, _concurrency_cell, duration_s):
+        n = cell_result["n"]
+        mib_per_s, cold_starts, oom_failures = cell_result.payload
+        result.rows_data.append([n, mib_per_s, cold_starts, oom_failures])
+        result.values[str(n)] = mib_per_s
     return result
+
+
+def _concurrency_cell(duration_s: int, cell: Cell) -> Tuple[float, int, int]:
+    scenario = ServerlessScenario(
+        mode=DeploymentMode.HOTMEM,
+        loads=(
+            FunctionLoad.for_function("html", max_instances=cell["n"]),
+        ),
+        duration_s=duration_s,
+        keep_alive_s=20,
+        recycle_interval_s=10,
+    )
+    run_result = run_scenario(scenario)
+    return (
+        run_result.reclaim_mib_per_s,
+        run_result.cold_starts["html"],
+        run_result.oom_failures,
+    )
+
+
+def _render_all(
+    paper_scale: bool, modes: Optional[Tuple[str, ...]]
+) -> str:
+    del paper_scale, modes
+    return "\n\n".join(
+        [
+            run_placement_ablation().render(),
+            run_zeroing_ablation().render(),
+            run_selection_ablation().render(),
+            run_concurrency_ablation().render(),
+            run_batching_ablation().render(),
+        ]
+    )
+
+
+register_experiment(
+    "ablations",
+    "A1-A4 design-choice ablations",
+    render=_render_all,
+)

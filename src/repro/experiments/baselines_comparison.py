@@ -19,7 +19,7 @@ its motivation on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.balloon import VirtioBalloon
 from repro.baselines.dimm import DimmHotplug
@@ -28,6 +28,7 @@ from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Timeout
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB, MS, format_bytes
 
 __all__ = ["BaselinesConfig", "BaselinesResult", "MechanismRow", "run"]
@@ -285,12 +286,44 @@ def _measure_fpr(config: BaselinesConfig) -> MechanismRow:
     )
 
 
+def _cell(config: BaselinesConfig, cell: Cell) -> MechanismRow:
+    """Dispatch one mechanism's measurement in a fresh rig."""
+    mechanism = cell["mechanism"]
+    if mechanism == "hotmem":
+        return _measure_hotplug(config, "hotmem")
+    if mechanism == "virtio-mem":
+        return _measure_hotplug(config, "vanilla")
+    if mechanism == "balloon":
+        return _measure_balloon(config)
+    if mechanism == "dimm":
+        return _measure_dimm(config)
+    return _measure_fpr(config)
+
+
+def _grid(config: BaselinesConfig) -> SweepGrid:
+    del config
+    return SweepGrid("baselines").axis("mechanism", MECHANISMS)
+
+
 def run(config: BaselinesConfig = BaselinesConfig()) -> BaselinesResult:
     """Measure every mechanism on the shared scenario."""
     result = BaselinesResult(config)
-    result.by_mechanism["hotmem"] = _measure_hotplug(config, "hotmem")
-    result.by_mechanism["virtio-mem"] = _measure_hotplug(config, "vanilla")
-    result.by_mechanism["balloon"] = _measure_balloon(config)
-    result.by_mechanism["dimm"] = _measure_dimm(config)
-    result.by_mechanism["fpr"] = _measure_fpr(config)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        result.by_mechanism[cell_result["mechanism"]] = cell_result.payload
     return result
+
+
+def _render_both(
+    paper_scale: bool, modes: Optional[Tuple[str, ...]]
+) -> str:
+    del paper_scale, modes
+    relaxed = run().render()
+    pressure = run(BaselinesConfig.pressure()).render()
+    return relaxed + "\n\nUnder pressure:\n" + pressure
+
+
+register_experiment(
+    "baselines",
+    "A5 four-interface comparison (incl. balloon, DIMM)",
+    render=_render_both,
+)

@@ -31,10 +31,11 @@ from repro.faults.injector import FaultPlan
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
 from repro.faults.recovery import RecoveryLog
 from repro.faults.sites import DATAPATH_SITES
-from repro.modes import DeploymentBackend, resolve_modes
+from repro.modes import DeploymentBackend, get_mode, resolve_modes
 from repro.metrics.latency import p99_ms
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import MS
 
 __all__ = ["ChaosConfig", "ChaosCell", "ChaosResult", "run"]
@@ -222,40 +223,65 @@ class ChaosResult:
         return table + "\n\n" + summary
 
 
+def _run_cell(
+    config: ChaosConfig, mode: DeploymentBackend, rate: float
+) -> ChaosCell:
+    """One (mode, rate) point: fresh scenario, fresh simulator."""
+    scenario = ServerlessScenario(
+        mode=mode,
+        loads=(FunctionLoad.for_function(config.function),),
+        duration_s=config.duration_s,
+        keep_alive_s=config.keep_alive_s,
+        recycle_interval_s=config.recycle_interval_s,
+        seed=config.seed,
+        costs=config.costs,
+        faults=config.plan(rate, mode),
+        resilience=config.resilience() if rate > 0.0 else None,
+    )
+    run_result = run_scenario(scenario)
+    records = run_result.records_for(config.function)
+    recovered = sum(1 for e in run_result.recovery_events if e.recovered)
+    log = RecoveryLog()
+    log.events.extend(run_result.recovery_events)
+    return ChaosCell(
+        mode=mode.value,
+        rate=rate,
+        reclaim_mib_s=run_result.reclaim_mib_per_s,
+        p99_ms=p99_ms(records) if records else 0.0,
+        invocations=len(records),
+        injected=run_result.injected_faults,
+        recovered=recovered,
+        degraded=len(run_result.recovery_events) - recovered,
+        unresolved=run_result.unresolved_faults,
+        static_fallback=run_result.degraded,
+        recovery_summary=log.summary(),
+    )
+
+
+def _cell(config: ChaosConfig, cell: Cell) -> ChaosCell:
+    return _run_cell(config, get_mode(cell["mode"]), cell["rate"])
+
+
+def _grid(config: ChaosConfig) -> SweepGrid:
+    return (
+        SweepGrid("chaos")
+        .axis("mode", tuple(m.value for m in resolve_modes(config.modes)))
+        .axis("rate", config.fault_rates)
+    )
+
+
 def run(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     """Sweep fault rates for each deployment mode."""
     result = ChaosResult(config)
-    for mode in resolve_modes(config.modes):
-        for rate in config.fault_rates:
-            scenario = ServerlessScenario(
-                mode=mode,
-                loads=(FunctionLoad.for_function(config.function),),
-                duration_s=config.duration_s,
-                keep_alive_s=config.keep_alive_s,
-                recycle_interval_s=config.recycle_interval_s,
-                seed=config.seed,
-                costs=config.costs,
-                faults=config.plan(rate, mode),
-                resilience=config.resilience() if rate > 0.0 else None,
-            )
-            run_result = run_scenario(scenario)
-            records = run_result.records_for(config.function)
-            recovered = sum(1 for e in run_result.recovery_events if e.recovered)
-            log = RecoveryLog()
-            log.events.extend(run_result.recovery_events)
-            result.cells.append(
-                ChaosCell(
-                    mode=mode.value,
-                    rate=rate,
-                    reclaim_mib_s=run_result.reclaim_mib_per_s,
-                    p99_ms=p99_ms(records) if records else 0.0,
-                    invocations=len(records),
-                    injected=run_result.injected_faults,
-                    recovered=recovered,
-                    degraded=len(run_result.recovery_events) - recovered,
-                    unresolved=run_result.unresolved_faults,
-                    static_fallback=run_result.degraded,
-                    recovery_summary=log.summary(),
-                )
-            )
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        result.cells.append(cell_result.payload)
     return result
+
+
+register_experiment(
+    "chaos",
+    "R1 fault-rate sweep: recovery paths and degradation",
+    config=ChaosConfig,
+    run=run,
+    mode_sweeping=True,
+)

@@ -49,9 +49,10 @@ from repro.faults.injector import FaultInjector
 from repro.faults.policy import ResiliencePolicy, RetryBudget, RetryPolicy
 from repro.metrics.latency import merged_percentile_ms
 from repro.metrics.report import render_table
-from repro.modes import DeploymentBackend, resolve_modes
+from repro.modes import DeploymentBackend, get_mode, resolve_modes
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB, MS, SEC
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import get_function
@@ -425,10 +426,31 @@ def _run_cell(
     )
 
 
+def _cell(config: ClusterChaosConfig, cell: Cell) -> ClusterChaosCell:
+    return _run_cell(config, get_mode(cell["mode"]), cell["rate"])
+
+
+def _grid(config: ClusterChaosConfig) -> SweepGrid:
+    return (
+        SweepGrid("cluster-chaos")
+        .axis("mode", tuple(m.value for m in config.mode_objects()))
+        .axis("rate", config.fault_rates)
+    )
+
+
 def run(config: ClusterChaosConfig = ClusterChaosConfig()) -> ClusterChaosResult:
     """Sweep domain-fault rates for every configured deployment mode."""
     result = ClusterChaosResult(config)
-    for mode in config.mode_objects():
-        for rate in config.fault_rates:
-            result.cells.append(_run_cell(config, mode, rate))
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        result.cells.append(cell_result.payload)
     return result
+
+
+register_experiment(
+    "cluster-chaos",
+    "R2 fleet failure domains: availability, MTTR and density "
+    "under host/VM crash injection",
+    config=ClusterChaosConfig,
+    run=run,
+    mode_sweeping=True,
+)

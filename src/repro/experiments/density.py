@@ -41,6 +41,7 @@ from repro.metrics.report import render_fleet_latency, render_table
 from repro.modes import DeploymentBackend, get_mode, resolve_modes
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB, SEC
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import get_function
@@ -392,9 +393,33 @@ def _run_mode(config: DensityConfig, mode: DeploymentBackend) -> DensityModeResu
     return result
 
 
+def _cell(config: DensityConfig, cell: Cell) -> DensityModeResult:
+    # One cell per mode: the whole downward VMs-per-host search.  The
+    # search is inherently sequential (each step depends on whether the
+    # denser one met the SLO), so the mode is the parallelism grain —
+    # and the per-mode work profile stays identical to a serial sweep.
+    return _run_mode(config, get_mode(cell["mode"]))
+
+
+def _grid(config: DensityConfig) -> SweepGrid:
+    return SweepGrid("density").axis(
+        "mode", tuple(m.value for m in config.mode_objects())
+    )
+
+
 def run(config: DensityConfig = DensityConfig()) -> DensityResult:
     """Sweep VMs-per-host for every configured deployment mode."""
     result = DensityResult(config)
-    for mode in config.mode_objects():
-        result.modes[mode.value] = _run_mode(config, mode)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        mode_result: DensityModeResult = cell_result.payload
+        result.modes[mode_result.mode.value] = mode_result
     return result
+
+
+register_experiment(
+    "density",
+    "D1 VMs-per-host at the P99 SLO across deployment modes",
+    config=DensityConfig,
+    run=run,
+    mode_sweeping=True,
+)

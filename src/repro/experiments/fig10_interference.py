@@ -29,6 +29,7 @@ from repro.metrics.latency import (
 )
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import SEC
 
 __all__ = ["Fig10Config", "Fig10Result", "run"]
@@ -161,29 +162,58 @@ def _scenario(config: Fig10Config, mode: DeploymentMode) -> ServerlessScenario:
     )
 
 
+def _cell(config: Fig10Config, cell: Cell) -> Dict[str, object]:
+    """One mode's co-location run, with spike factors computed in-cell."""
+    run_result: ServerlessRun = run_scenario(
+        _scenario(config, DeploymentMode(cell["mode"]))
+    )
+    series = per_second_average_ms(
+        run_result.records_for("cnn"), config.duration_s
+    )
+    shrink_times = [e.time_ns / SEC for e in run_result.shrink_events]
+    if shrink_times:
+        first = int(shrink_times[0])
+        window = (
+            max(0, first),
+            min(config.duration_s, first + config.spike_window_s),
+        )
+    else:
+        window = (0, 1)
+    finite = sorted(v for _, v in series if not math.isnan(v))
+    return {
+        "series": series,
+        "shrink_times": shrink_times,
+        "spike": spike_factor(series, window),
+        "window_mean": window_mean_factor(series, window),
+        "baseline": finite[len(finite) // 2] if finite else float("nan"),
+    }
+
+
+def _grid(config: Fig10Config) -> SweepGrid:
+    del config
+    return SweepGrid("fig10").axis(
+        "mode",
+        (DeploymentMode.VANILLA.value, DeploymentMode.HOTMEM.value),
+    )
+
+
 def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
     """Run the co-location experiment for both mechanisms."""
     result = Fig10Result(config)
-    for mode in (DeploymentMode.VANILLA, DeploymentMode.HOTMEM):
-        run_result: ServerlessRun = run_scenario(_scenario(config, mode))
-        series = per_second_average_ms(
-            run_result.records_for("cnn"), config.duration_s
-        )
-        shrink_times = [e.time_ns / SEC for e in run_result.shrink_events]
-        result.cnn_series[mode.value] = series
-        result.shrink_times_s[mode.value] = shrink_times
-        if shrink_times:
-            first = int(shrink_times[0])
-            window = (
-                max(0, first),
-                min(config.duration_s, first + config.spike_window_s),
-            )
-        else:
-            window = (0, 1)
-        result.spike[mode.value] = spike_factor(series, window)
-        result.window_mean[mode.value] = window_mean_factor(series, window)
-        finite = sorted(v for _, v in series if not math.isnan(v))
-        result.baseline_ms[mode.value] = (
-            finite[len(finite) // 2] if finite else float("nan")
-        )
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        mode = cell_result["mode"]
+        payload = cell_result.payload
+        result.cnn_series[mode] = payload["series"]
+        result.shrink_times_s[mode] = payload["shrink_times"]
+        result.spike[mode] = payload["spike"]
+        result.window_mean[mode] = payload["window_mean"]
+        result.baseline_ms[mode] = payload["baseline"]
     return result
+
+
+register_experiment(
+    "fig10",
+    "Co-location interference during shrink",
+    config=Fig10Config,
+    run=run,
+)

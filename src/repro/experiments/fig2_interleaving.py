@@ -28,6 +28,7 @@ from repro.mm.manager import GuestMemoryManager
 from repro.mm.mm_struct import MmStruct
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.engine import Simulator
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MEMORY_BLOCK_SIZE, MIB, bytes_to_blocks, bytes_to_pages
 
 __all__ = ["Fig2Config", "Fig2Result", "run"]
@@ -86,66 +87,84 @@ class Fig2Result:
         )
 
 
-def run(config: Fig2Config = Fig2Config()) -> Fig2Result:
-    """Reproduce the Figure 2 scenario under every allocator variant."""
-    result = Fig2Result(config)
+def _cell(config: Fig2Config, cell: Cell):
+    """One allocator variant's exit scenario in a fresh guest."""
+    variant = cell["variant"]
     slot_blocks = bytes_to_blocks(config.slot_bytes)
     total_bytes = config.instances * slot_blocks * MEMORY_BLOCK_SIZE
     pages = bytes_to_pages(config.instance_bytes)
 
-    for variant in VARIANTS:
-        placement = "scatter" if variant == "hotmem" else variant
-        manager = GuestMemoryManager(
-            1 * GIB, total_bytes, placement=placement
+    placement = "scatter" if variant == "hotmem" else variant
+    manager = GuestMemoryManager(
+        1 * GIB, total_bytes, placement=placement
+    )
+    handler = FaultHandler(manager, DEFAULT_COSTS)
+    hotmem = None
+    if variant == "hotmem":
+        hotmem = HotMemManager(
+            Simulator(),
+            manager,
+            HotMemBootParams(
+                partition_bytes=slot_blocks * MEMORY_BLOCK_SIZE,
+                concurrency=config.instances,
+                shared_bytes=0,
+            ),
         )
-        handler = FaultHandler(manager, DEFAULT_COSTS)
-        hotmem = None
-        if variant == "hotmem":
-            hotmem = HotMemManager(
-                Simulator(),
-                manager,
-                HotMemBootParams(
-                    partition_bytes=slot_blocks * MEMORY_BLOCK_SIZE,
-                    concurrency=config.instances,
-                    shared_bytes=0,
-                ),
-            )
-            free = list(manager.hotplug_block_indices())
-            cursor = 0
-            for partition in hotmem.partitions:
-                for _ in range(partition.size_blocks):
-                    manager.online_block(free[cursor], partition.zone)
-                    cursor += 1
-        else:
-            for index in manager.hotplug_block_indices():
-                manager.online_block(index, manager.zone_movable)
+        free = list(manager.hotplug_block_indices())
+        cursor = 0
+        for partition in hotmem.partitions:
+            for _ in range(partition.size_blocks):
+                manager.online_block(free[cursor], partition.zone)
+                cursor += 1
+    else:
+        for index in manager.hotplug_block_indices():
+            manager.online_block(index, manager.zone_movable)
 
-        instances = []
-        for i in range(config.instances):
-            mm = MmStruct(f"fn{i}")
-            if hotmem is not None:
-                hotmem.try_attach(mm)
-            handler.fault_anon(mm, pages)
-            instances.append(mm)
-        # The last instance exits (the paper's F2).
-        exiting = instances[-1]
+    instances = []
+    for i in range(config.instances):
+        mm = MmStruct(f"fn{i}")
         if hotmem is not None:
-            hotmem.process_exit(handler, exiting)
-        else:
-            handler.release_address_space(exiting)
+            hotmem.try_attach(mm)
+        handler.fault_anon(mm, pages)
+        instances.append(mm)
+    # The last instance exits (the paper's F2).
+    exiting = instances[-1]
+    if hotmem is not None:
+        hotmem.process_exit(handler, exiting)
+    else:
+        handler.release_address_space(exiting)
 
-        if hotmem is not None:
-            blocks = [
-                b for p in hotmem.partitions for b in p.zone.blocks
-            ]
-        else:
-            blocks = list(manager.zone_movable.blocks)
-        result.reports[variant] = fragmentation_report(blocks)
-        if hotmem is not None:
-            # Reclaiming a free partition migrates nothing by construction.
-            result.migration_pages[variant] = 0
-        else:
-            result.migration_pages[variant] = migration_cost_to_reclaim(
-                manager, slot_blocks
-            )
+    if hotmem is not None:
+        blocks = [
+            b for p in hotmem.partitions for b in p.zone.blocks
+        ]
+        # Reclaiming a free partition migrates nothing by construction.
+        migration_pages = 0
+    else:
+        blocks = list(manager.zone_movable.blocks)
+        migration_pages = migration_cost_to_reclaim(manager, slot_blocks)
+    return fragmentation_report(blocks), migration_pages
+
+
+def _grid(config: Fig2Config) -> SweepGrid:
+    del config
+    return SweepGrid("fig2").axis("variant", VARIANTS)
+
+
+def run(config: Fig2Config = Fig2Config()) -> Fig2Result:
+    """Reproduce the Figure 2 scenario under every allocator variant."""
+    result = Fig2Result(config)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        report, migration_pages = cell_result.payload
+        result.reports[cell_result["variant"]] = report
+        result.migration_pages[cell_result["variant"]] = migration_pages
     return result
+
+
+register_experiment(
+    "fig2",
+    "Figure 2 quantified: interleaving after an instance exits",
+    config=Fig2Config,
+    run=run,
+    paper_scale_config=False,
+)

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
 from repro.metrics.report import format_ratio, render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB, format_bytes
 
 __all__ = ["Fig5Config", "Fig5Result", "run"]
@@ -87,29 +88,55 @@ class Fig5Result:
         )
 
 
+def _cell(config: Fig5Config, cell: Cell) -> Tuple[float, int]:
+    """One (size, mode, trial) reclaim in a fresh rig."""
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode=cell["mode"],
+            total_bytes=config.total_bytes,
+            partition_bytes=config.partition_bytes,
+            usage_fraction=config.usage_fraction,
+            costs=config.costs,
+            seed=cell["trial"],
+        )
+    )
+    measurement = rig.run_single_reclaim(cell["size"])
+    return measurement.latency_ms, measurement.migrated_pages
+
+
+def _grid(config: Fig5Config) -> SweepGrid:
+    return (
+        SweepGrid("fig5")
+        .axis("size", config.reclaim_sizes)
+        .axis("mode", ("vanilla", "hotmem"))
+        .axis("trial", range(config.trials))
+    )
+
+
 def run(config: Fig5Config = Fig5Config()) -> Fig5Result:
     """Run the Figure 5 sweep and return averaged measurements."""
     result = Fig5Result(config)
+    samples: Dict[Tuple[int, str], List[Tuple[float, int]]] = {}
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        key = (cell_result["size"], cell_result["mode"])
+        samples.setdefault(key, []).append(cell_result.payload)
     for size in config.reclaim_sizes:
         result.latency_ms[size] = {}
         result.migrated_pages[size] = {}
         for mode in ("vanilla", "hotmem"):
-            latencies: List[float] = []
-            migrations: List[int] = []
-            for trial in range(config.trials):
-                rig = MicrobenchRig(
-                    MicrobenchSetup(
-                        mode=mode,
-                        total_bytes=config.total_bytes,
-                        partition_bytes=config.partition_bytes,
-                        usage_fraction=config.usage_fraction,
-                        costs=config.costs,
-                        seed=trial,
-                    )
-                )
-                measurement = rig.run_single_reclaim(size)
-                latencies.append(measurement.latency_ms)
-                migrations.append(measurement.migrated_pages)
-            result.latency_ms[size][mode] = sum(latencies) / len(latencies)
-            result.migrated_pages[size][mode] = sum(migrations) / len(migrations)
+            trials = samples[(size, mode)]
+            result.latency_ms[size][mode] = sum(
+                latency for latency, _ in trials
+            ) / len(trials)
+            result.migrated_pages[size][mode] = sum(
+                migrated for _, migrated in trials
+            ) / len(trials)
     return result
+
+
+register_experiment(
+    "fig5",
+    "Unplug latency vs reclaim size",
+    config=Fig5Config,
+    run=run,
+)

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, format_bytes
 
 __all__ = ["Fig6Config", "Fig6Result", "run"]
@@ -93,24 +94,44 @@ class Fig6Result:
         )
 
 
+def _cell(config: Fig6Config, cell: Cell) -> Tuple[float, int]:
+    """One (usage fraction, mode) reclaim in a fresh rig."""
+    rig = MicrobenchRig(
+        MicrobenchSetup(
+            mode=cell["mode"],
+            total_bytes=config.total_bytes,
+            partition_bytes=config.partition_bytes,
+            usage_fraction=cell["fraction"],
+            costs=config.costs,
+            seed=config.seed,
+        )
+    )
+    measurement = rig.run_single_reclaim(config.reclaim_bytes)
+    return measurement.latency_ms, measurement.migrated_pages
+
+
+def _grid(config: Fig6Config) -> SweepGrid:
+    return (
+        SweepGrid("fig6")
+        .axis("fraction", config.usage_fractions)
+        .axis("mode", ("vanilla", "hotmem"))
+    )
+
+
 def run(config: Fig6Config = Fig6Config()) -> Fig6Result:
     """Run the Figure 6 usage sweep."""
     result = Fig6Result(config)
-    for fraction in config.usage_fractions:
-        result.latency_ms[fraction] = {}
-        result.migrated_pages[fraction] = {}
-        for mode in ("vanilla", "hotmem"):
-            rig = MicrobenchRig(
-                MicrobenchSetup(
-                    mode=mode,
-                    total_bytes=config.total_bytes,
-                    partition_bytes=config.partition_bytes,
-                    usage_fraction=fraction,
-                    costs=config.costs,
-                    seed=config.seed,
-                )
-            )
-            measurement = rig.run_single_reclaim(config.reclaim_bytes)
-            result.latency_ms[fraction][mode] = measurement.latency_ms
-            result.migrated_pages[fraction][mode] = measurement.migrated_pages
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        fraction, mode = cell_result["fraction"], cell_result["mode"]
+        latency_ms, migrated = cell_result.payload
+        result.latency_ms.setdefault(fraction, {})[mode] = latency_ms
+        result.migrated_pages.setdefault(fraction, {})[mode] = migrated
     return result
+
+
+register_experiment(
+    "fig6",
+    "Unplug latency vs guest memory usage",
+    config=Fig6Config,
+    run=run,
+)

@@ -15,6 +15,7 @@ from repro.experiments.microbench import MicrobenchRig, MicrobenchSetup
 from repro.metrics.report import format_ratio, render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Timeout
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, MIB, MS, SEC
 from repro.virtio.driver import VIRTIO_MEM_LABEL
 
@@ -121,11 +122,30 @@ def _run_mode(config: Fig7Config, mode: str) -> Tuple[List[Tuple[float, float]],
     return samples, duration_s
 
 
+def _cell(
+    config: Fig7Config, cell: Cell
+) -> Tuple[List[Tuple[float, float]], float]:
+    return _run_mode(config, cell["mode"])
+
+
+def _grid(config: Fig7Config) -> SweepGrid:
+    del config
+    return SweepGrid("fig7").axis("mode", ("vanilla", "hotmem"))
+
+
 def run(config: Fig7Config = Fig7Config()) -> Fig7Result:
     """Run the Figure 7 stepped shrink for both mechanisms."""
     result = Fig7Result(config)
-    for mode in ("vanilla", "hotmem"):
-        series, duration = _run_mode(config, mode)
-        result.cpu_series[mode] = series
-        result.duration_s[mode] = duration
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        series, duration = cell_result.payload
+        result.cpu_series[cell_result["mode"]] = series
+        result.duration_s[cell_result["mode"]] = duration
     return result
+
+
+register_experiment(
+    "fig7",
+    "Cumulative unplug-vCPU time during stepped shrink",
+    config=Fig7Config,
+    run=run,
+)

@@ -18,6 +18,7 @@ from repro.experiments.serverless import (
 from repro.faas.policy import DeploymentMode
 from repro.metrics.report import format_ratio, render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 
 __all__ = ["Fig8Config", "Fig8Result", "run"]
 
@@ -90,28 +91,51 @@ class Fig8Result:
         )
 
 
+def _cell(config: Fig8Config, cell: Cell) -> Tuple[float, float]:
+    """One (function, mode) trace replay in a fresh scenario."""
+    scenario = ServerlessScenario(
+        mode=DeploymentMode(cell["mode"]),
+        loads=(FunctionLoad.for_function(cell["function"]),),
+        duration_s=config.duration_s,
+        keep_alive_s=config.keep_alive_s,
+        recycle_interval_s=config.recycle_interval_s,
+        seed=config.seed,
+        costs=config.costs,
+    )
+    run_result = run_scenario(scenario)
+    unplugged = sum(
+        e.completed_bytes
+        for e in run_result.resize_events
+        if e.kind == "unplug"
+    )
+    return run_result.reclaim_mib_per_s, unplugged / (1024 * 1024)
+
+
+def _grid(config: Fig8Config) -> SweepGrid:
+    return (
+        SweepGrid("fig8")
+        .axis("function", config.functions)
+        .axis(
+            "mode",
+            (DeploymentMode.VANILLA.value, DeploymentMode.HOTMEM.value),
+        )
+    )
+
+
 def run(config: Fig8Config = Fig8Config()) -> Fig8Result:
     """Replay each function's trace under both elastic mechanisms."""
     result = Fig8Result(config)
-    for fn in config.functions:
-        result.throughput[fn] = {}
-        result.reclaimed_mib[fn] = {}
-        for mode in (DeploymentMode.VANILLA, DeploymentMode.HOTMEM):
-            scenario = ServerlessScenario(
-                mode=mode,
-                loads=(FunctionLoad.for_function(fn),),
-                duration_s=config.duration_s,
-                keep_alive_s=config.keep_alive_s,
-                recycle_interval_s=config.recycle_interval_s,
-                seed=config.seed,
-                costs=config.costs,
-            )
-            run_result = run_scenario(scenario)
-            unplugged = sum(
-                e.completed_bytes
-                for e in run_result.resize_events
-                if e.kind == "unplug"
-            )
-            result.throughput[fn][mode.value] = run_result.reclaim_mib_per_s
-            result.reclaimed_mib[fn][mode.value] = unplugged / (1024 * 1024)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        fn, mode = cell_result["function"], cell_result["mode"]
+        throughput, reclaimed = cell_result.payload
+        result.throughput.setdefault(fn, {})[mode] = throughput
+        result.reclaimed_mib.setdefault(fn, {})[mode] = reclaimed
     return result
+
+
+register_experiment(
+    "fig8",
+    "Trace-driven reclamation throughput",
+    config=Fig8Config,
+    run=run,
+)

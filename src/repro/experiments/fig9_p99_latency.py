@@ -20,6 +20,7 @@ from repro.faas.policy import DeploymentMode
 from repro.metrics.latency import p99_ms
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 
 __all__ = ["Fig9Config", "Fig9Result", "run", "MODES"]
 
@@ -95,29 +96,51 @@ class Fig9Result:
         )
 
 
+def _cell(config: Fig9Config, cell: Cell) -> Tuple[float, float, int]:
+    """One (function, mode) trace replay in a fresh scenario."""
+    fn = cell["function"]
+    scenario = ServerlessScenario(
+        mode=DeploymentMode(cell["mode"]),
+        loads=(FunctionLoad.for_function(fn),),
+        duration_s=config.duration_s,
+        keep_alive_s=config.keep_alive_s,
+        recycle_interval_s=config.recycle_interval_s,
+        seed=config.seed,
+        costs=config.costs,
+    )
+    run_result = run_scenario(scenario)
+    records = run_result.records_for(fn)
+    plugs = run_result.plug_latencies_ms()
+    return (
+        p99_ms(records),
+        sum(plugs) / len(plugs) if plugs else 0.0,
+        len(records),
+    )
+
+
+def _grid(config: Fig9Config) -> SweepGrid:
+    return (
+        SweepGrid("fig9")
+        .axis("function", config.functions)
+        .axis("mode", tuple(m.value for m in MODES))
+    )
+
+
 def run(config: Fig9Config = Fig9Config()) -> Fig9Result:
     """Replay each function's trace under all three configurations."""
     result = Fig9Result(config)
-    for fn in config.functions:
-        result.p99[fn] = {}
-        result.plug_ms[fn] = {}
-        result.invocations[fn] = {}
-        for mode in MODES:
-            scenario = ServerlessScenario(
-                mode=mode,
-                loads=(FunctionLoad.for_function(fn),),
-                duration_s=config.duration_s,
-                keep_alive_s=config.keep_alive_s,
-                recycle_interval_s=config.recycle_interval_s,
-                seed=config.seed,
-                costs=config.costs,
-            )
-            run_result = run_scenario(scenario)
-            records = run_result.records_for(fn)
-            plugs = run_result.plug_latencies_ms()
-            result.p99[fn][mode.value] = p99_ms(records)
-            result.plug_ms[fn][mode.value] = (
-                sum(plugs) / len(plugs) if plugs else 0.0
-            )
-            result.invocations[fn][mode.value] = len(records)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        fn, mode = cell_result["function"], cell_result["mode"]
+        p99, plug_ms, invocations = cell_result.payload
+        result.p99.setdefault(fn, {})[mode] = p99
+        result.plug_ms.setdefault(fn, {})[mode] = plug_ms
+        result.invocations.setdefault(fn, {})[mode] = invocations
     return result
+
+
+register_experiment(
+    "fig9",
+    "P99 latency across deployment modes",
+    config=Fig9Config,
+    run=run,
+)

@@ -32,6 +32,7 @@ from repro.faas.policy import DeploymentMode
 from repro.metrics.latency import percentile
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB
 
 __all__ = ["PolicyConfig", "PolicyResult", "run"]
@@ -132,8 +133,8 @@ class PolicyResult:
         )
 
 
-def _measure(config: PolicyConfig, mode: DeploymentMode, spare: int, label: str,
-             result: PolicyResult, costs: CostModel = None) -> None:
+def _cell(config: PolicyConfig, cell: Cell) -> Tuple[int, float, float, float]:
+    """One policy variant: (colds, mean ms, p95 ms, avg plugged GiB)."""
     # Modest bursts (≈3 concurrent instances): most of each burst's cold
     # starts can then be absorbed by the spare slots under test.
     load = FunctionLoad.for_function(
@@ -144,51 +145,75 @@ def _measure(config: PolicyConfig, mode: DeploymentMode, spare: int, label: str,
     )
     run = run_scenario(
         ServerlessScenario(
-            mode=mode,
+            mode=DeploymentMode(cell["mode"]),
             loads=(load,),
             duration_s=config.duration_s,
             keep_alive_s=config.keep_alive_s,
             recycle_interval_s=config.recycle_interval_s,
-            spare_slots=spare,
+            spare_slots=cell["spare"],
             sample_plugged_s=1,
             drain_s=15,
             seed=config.seed,
-            costs=costs if costs is not None else config.costs,
+            costs=config.slow_costs() if cell["slow"] else config.costs,
         )
     )
     colds = [r for r in run.records if r.ok and r.cold]
     latencies = [r.latency_ns / 1e6 for r in colds]
-    result.cold_count[label] = len(colds)
-    result.cold_mean_ms[label] = sum(latencies) / len(latencies)
-    result.cold_p95_ms[label] = percentile(latencies, 95)
     values = [v for _, v in run.plugged_series]
-    result.avg_plugged_gib[label] = sum(values) / len(values) / GIB
+    return (
+        len(colds),
+        sum(latencies) / len(latencies),
+        percentile(latencies, 95),
+        sum(values) / len(values) / GIB,
+    )
+
+
+def _variant_rows(config: PolicyConfig) -> List[Dict[str, object]]:
+    """Explicit (ragged) rows: the variant labels drive the grid."""
+    rows: List[Dict[str, object]] = [
+        {"mode": DeploymentMode.HOTMEM.value, "spare": k, "slow": False,
+         "label": f"spare={k}"}
+        for k in config.spare_slots
+    ]
+    if config.slow_plug_factor:
+        rows.extend(
+            {"mode": DeploymentMode.HOTMEM.value, "spare": k, "slow": True,
+             "label": f"slow-plug spare={k}"}
+            for k in config.spare_slots
+        )
+    if config.include_overprovisioned:
+        rows.append(
+            {"mode": DeploymentMode.OVERPROVISIONED.value, "spare": 0,
+             "slow": False, "label": "overprovisioned"}
+        )
+    return rows
+
+
+def _grid(config: PolicyConfig) -> SweepGrid:
+    return SweepGrid.explicit(
+        ("mode", "spare", "slow", "label"),
+        _variant_rows(config),
+        name="policy",
+    )
 
 
 def run(config: PolicyConfig = PolicyConfig()) -> PolicyResult:
     """Measure every spare-slot variant (plus the static limit case)."""
     result = PolicyResult(config)
-    for spare in config.spare_slots:
-        _measure(
-            config, DeploymentMode.HOTMEM, spare, f"spare={spare}", result
-        )
-    if config.slow_plug_factor:
-        slow = config.slow_costs()
-        for spare in config.spare_slots:
-            _measure(
-                config,
-                DeploymentMode.HOTMEM,
-                spare,
-                f"slow-plug spare={spare}",
-                result,
-                costs=slow,
-            )
-    if config.include_overprovisioned:
-        _measure(
-            config,
-            DeploymentMode.OVERPROVISIONED,
-            0,
-            "overprovisioned",
-            result,
-        )
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        label = cell_result["label"]
+        count, mean_ms, p95_ms, plugged_gib = cell_result.payload
+        result.cold_count[label] = count
+        result.cold_mean_ms[label] = mean_ms
+        result.cold_p95_ms[label] = p95_ms
+        result.avg_plugged_gib[label] = plugged_gib
     return result
+
+
+register_experiment(
+    "policy",
+    "P1 spare-slot policy: cold-start latency vs memory held",
+    config=PolicyConfig,
+    run=run,
+    paper_scale_config=False,
+)

@@ -27,6 +27,7 @@ from repro.metrics.collector import PeriodicSampler
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, SEC
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import get_function
@@ -151,16 +152,36 @@ def _run_mode(config: StrandingConfig, mode: DeploymentMode) -> List[Tuple[int, 
     return sampler.series.samples
 
 
+def _cell(config: StrandingConfig, cell: Cell) -> List[Tuple[int, float]]:
+    return _run_mode(config, DeploymentMode(cell["mode"]))
+
+
+def _grid(config: StrandingConfig) -> SweepGrid:
+    del config
+    return SweepGrid("stranding").axis(
+        "mode", tuple(m.value for m in MODES)
+    )
+
+
 def run(config: StrandingConfig = StrandingConfig()) -> StrandingResult:
     """Sample host memory commitment for all three deployment modes."""
     result = StrandingResult(config)
-    for mode in MODES:
-        samples = _run_mode(config, mode)
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        samples = cell_result.payload
         values = [v for _, v in samples]
-        key = mode.value
+        key = cell_result["mode"]
         result.series[key] = samples
         result.avg_gib[key] = sum(values) / len(values) / GIB
         result.peak_gib[key] = max(values) / GIB
         tail = values[-max(1, len(values) // 4):]
         result.tail_gib[key] = sum(tail) / len(tail) / GIB
     return result
+
+
+register_experiment(
+    "stranding",
+    "M1 host memory stranding (Figure 1 motivation)",
+    config=StrandingConfig,
+    run=run,
+    paper_scale_config=False,
+)

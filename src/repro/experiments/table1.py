@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.metrics.report import render_table
+from repro.sweep import register_experiment
 from repro.units import MIB
 from repro.workloads.functions import TABLE1_FUNCTIONS
 
@@ -41,3 +42,11 @@ def render() -> str:
         ["Function", "Description", "Assigned vCPUs", "Assigned Memory (MiB)"],
         rows(),
     )
+
+
+def _render(paper_scale: bool, modes: Optional[Tuple[str, ...]]) -> str:
+    del paper_scale, modes
+    return render()
+
+
+register_experiment("table1", "Function resource limits", render=_render)

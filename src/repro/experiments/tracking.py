@@ -24,6 +24,7 @@ from repro.metrics.collector import PeriodicSampler
 from repro.metrics.report import render_table
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
+from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
 from repro.units import GIB, SEC
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.functions import get_function
@@ -148,12 +149,23 @@ def _run_mode(config: TrackingConfig, mode: DeploymentMode):
     return plugged.series.samples, required.series.samples
 
 
+def _cell(config: TrackingConfig, cell: Cell):
+    return _run_mode(config, DeploymentMode(cell["mode"]))
+
+
+def _grid(config: TrackingConfig) -> SweepGrid:
+    del config
+    return SweepGrid("tracking").axis(
+        "mode", tuple(m.value for m in MODES)
+    )
+
+
 def run(config: TrackingConfig = TrackingConfig()) -> TrackingResult:
     """Measure tracking for every deployment mode."""
     result = TrackingResult(config)
-    for mode in MODES:
-        plugged, required = _run_mode(config, mode)
-        key = mode.value
+    for cell_result in run_sweep(_grid(config), _cell, config):
+        plugged, required = cell_result.payload
+        key = cell_result["mode"]
         result.plugged[key] = plugged
         result.required[key] = required
         plugged_values = [v for _, v in plugged]
@@ -172,3 +184,11 @@ def run(config: TrackingConfig = TrackingConfig()) -> TrackingResult:
             else float("inf")
         )
     return result
+
+
+register_experiment(
+    "tracking",
+    "E1 memory tracking under a diurnal load cycle",
+    config=TrackingConfig,
+    run=run,
+)

@@ -20,9 +20,15 @@ from repro.sim.cpu import CpuCore
 from repro.vmm.vm import VirtualMachine
 from repro.workloads.functions import FunctionSpec
 
-__all__ = ["Container", "ContainerState"]
+__all__ = ["Container", "ContainerState", "reset_container_ids"]
 
 _container_ids = itertools.count(1)
+
+
+def reset_container_ids() -> None:
+    """Restart container-id allocation at 1 (a fresh simulation run)."""
+    global _container_ids
+    _container_ids = itertools.count(1)
 
 
 class ContainerState(enum.Enum):

@@ -17,9 +17,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.mm.owner import PageOwner
 
-__all__ = ["MmStruct"]
+__all__ = ["MmStruct", "reset_pid_counter"]
 
 _pid_counter = itertools.count(1)
+
+
+def reset_pid_counter() -> None:
+    """Restart pid allocation at 1 (a fresh simulation run).
+
+    Pids are documented unique *per run*; the sweep runner resets them
+    before every cell so that a cell's owner labels do not depend on
+    which process — or how many prior cells — ran before it.
+    """
+    global _pid_counter
+    _pid_counter = itertools.count(1)
 
 
 class MmStruct(PageOwner):

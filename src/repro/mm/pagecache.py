@@ -16,9 +16,15 @@ from typing import Dict
 from repro.errors import MemoryError_
 from repro.mm.owner import PageOwner
 
-__all__ = ["CachedFile", "PageCache", "FileFaultOutcome"]
+__all__ = ["CachedFile", "PageCache", "FileFaultOutcome", "reset_file_ids"]
 
 _file_id_counter = itertools.count(1)
+
+
+def reset_file_ids() -> None:
+    """Restart file-id allocation at 1 (a fresh simulation run)."""
+    global _file_id_counter
+    _file_id_counter = itertools.count(1)
 
 
 class CachedFile:

@@ -11,6 +11,7 @@ function instance each.
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from typing import Dict, List, Optional, Set
 
 from repro.errors import MemoryError_, OutOfMemory
@@ -92,8 +93,10 @@ class Zone:
         if block.state is not BlockState.ONLINE:
             raise MemoryError_(f"block {block.index} is not online")
         block.zone = self
-        self.blocks.append(block)
-        self.blocks.sort(key=lambda b: b.index)
+        # The list stays sorted by block index; an insort is O(n) per
+        # add instead of the O(n log n) re-sort this replaced (plug
+        # loops add blocks one at a time).
+        insort(self.blocks, block, key=lambda b: b.index)
         self._free_pages += block.free_pages
 
     def detach_block(self, block: MemoryBlock) -> None:

@@ -19,9 +19,13 @@ every latency — is unchanged.
 from repro.obs.context import NO_OBS, NO_SCOPE, ObsContext, ObsScope
 from repro.obs.export import (
     TraceExportSummary,
+    context_rows,
+    encode_rows,
     export_session,
     read_trace,
+    session_rows,
     span_row,
+    write_rows,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import TraceReport, build_report, load_report
@@ -31,6 +35,7 @@ from repro.obs.session import (
     current_session,
     install,
     is_installed,
+    scoped_session,
     traced,
     uninstall,
 )
@@ -56,11 +61,16 @@ __all__ = [
     "current_session",
     "context_for",
     "traced",
+    "scoped_session",
     # export + report
     "TraceExportSummary",
     "export_session",
     "read_trace",
     "span_row",
+    "context_rows",
+    "session_rows",
+    "encode_rows",
+    "write_rows",
     "TraceReport",
     "build_report",
     "load_report",

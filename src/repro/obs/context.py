@@ -91,6 +91,8 @@ class ObsScope:
         start_ns: Optional[int] = None,
         **attrs: object,
     ) -> SpanLike:
+        if not self.enabled:
+            return NULL_SPAN
         span = self.span(name, parent=parent, start_ns=start_ns, **attrs)
         return span.close(end_ns=span.start_ns)
 

@@ -20,12 +20,22 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.context import ObsContext
 from repro.obs.session import ObsSession
 from repro.obs.span import Span
 
-__all__ = ["TraceExportSummary", "export_session", "read_trace", "span_row"]
+__all__ = [
+    "TraceExportSummary",
+    "context_rows",
+    "encode_rows",
+    "export_session",
+    "read_trace",
+    "session_rows",
+    "span_row",
+    "write_rows",
+]
 
 _JSON_SCALARS = (int, float, str, bool, type(None))
 
@@ -71,41 +81,83 @@ class TraceExportSummary:
         )
 
 
-def export_session(session: ObsSession, path: str) -> TraceExportSummary:
-    """Write every context's spans and metric snapshot as JSONL."""
-    lines: List[str] = []
+def context_rows(
+    context: ObsContext, index: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """One context's export records: meta, then spans by id, then metrics.
+
+    ``index`` overrides the context's own index in the emitted rows —
+    the sweep runner uses this to renumber per-cell contexts into one
+    merged, globally-indexed stream.
+    """
+    i = context.index if index is None else index
+    spans = sorted(context.tracer.spans(), key=lambda s: s.span_id)
+    rows: List[Dict[str, object]] = [
+        {
+            "type": "meta",
+            "context": i,
+            "spans": len(spans),
+            "metrics": context.metrics.series_count(),
+        }
+    ]
+    rows.extend(span_row(i, span) for span in spans)
+    for metric in context.metrics.snapshot():
+        row: Dict[str, object] = {"type": "metric", "context": i}
+        row.update(metric)
+        rows.append(row)
+    return rows
+
+
+def session_rows(session: ObsSession) -> List[Dict[str, object]]:
+    """All of a session's export records, contexts in creation order."""
+    rows: List[Dict[str, object]] = []
     for context in session.contexts:
-        spans = sorted(context.tracer.spans(), key=lambda s: s.span_id)
-        rows: List[Dict[str, object]] = [
-            {
-                "type": "meta",
-                "context": context.index,
-                "spans": len(spans),
-                "metrics": context.metrics.series_count(),
-            }
-        ]
-        rows.extend(span_row(context.index, span) for span in spans)
-        for metric in context.metrics.snapshot():
-            row: Dict[str, object] = {
-                "type": "metric",
-                "context": context.index,
-            }
-            row.update(metric)
-            rows.append(row)
-        lines.extend(
-            json.dumps(row, sort_keys=True, separators=(",", ":"))
-            for row in rows
-        )
-    payload = "\n".join(lines) + ("\n" if lines else "")
+        rows.extend(context_rows(context))
+    return rows
+
+
+def encode_rows(rows: List[Dict[str, object]]) -> str:
+    """The canonical JSONL payload for ``rows`` (digest input)."""
+    lines = [
+        json.dumps(row, sort_keys=True, separators=(",", ":"))
+        for row in rows
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_rows(
+    rows: List[Dict[str, object]],
+    path: str,
+    contexts: int,
+    open_spans: int,
+) -> TraceExportSummary:
+    """Write pre-built export records as JSONL and summarise them.
+
+    ``spans``/``metric_series`` counts are derived from the rows
+    themselves; ``contexts`` and ``open_spans`` come from the caller
+    (the rows of an empty context are just its meta line, and open
+    spans are by design never exported).
+    """
+    payload = encode_rows(rows)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)
     return TraceExportSummary(
         path=path,
-        contexts=len(session.contexts),
-        spans=session.total_spans(),
-        open_spans=session.open_spans(),
-        metric_series=session.metric_series(),
+        contexts=contexts,
+        spans=sum(1 for row in rows if row.get("type") == "span"),
+        open_spans=open_spans,
+        metric_series=sum(1 for row in rows if row.get("type") == "metric"),
         digest=hashlib.sha256(payload.encode()).hexdigest(),
+    )
+
+
+def export_session(session: ObsSession, path: str) -> TraceExportSummary:
+    """Write every context's spans and metric snapshot as JSONL."""
+    return write_rows(
+        session_rows(session),
+        path,
+        contexts=len(session.contexts),
+        open_spans=session.open_spans(),
     )
 
 

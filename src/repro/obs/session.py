@@ -29,6 +29,7 @@ __all__ = [
     "current_session",
     "install",
     "is_installed",
+    "scoped_session",
     "traced",
     "uninstall",
 ]
@@ -110,3 +111,24 @@ def traced() -> Iterator[ObsSession]:
         yield session
     finally:
         uninstall()
+
+
+@contextmanager
+def scoped_session() -> Iterator[ObsSession]:
+    """A fresh session for the duration of the block, shadowing any
+    active one (restored on exit).
+
+    This is how the sweep runner (:mod:`repro.sweep.runner`) captures
+    one cell's trace in isolation: each cell gets its own session whose
+    contexts index from zero, and the runner renumbers them into the
+    merged export — which is what makes trace digests identical for any
+    worker count.  Unlike :func:`traced`, an already-installed session
+    is not an error; it is simply shadowed.
+    """
+    global _session
+    prior = _session
+    _session = ObsSession()
+    try:
+        yield _session
+    finally:
+        _session = prior

@@ -213,6 +213,8 @@ class Tracer:
         **attrs: object,
     ) -> SpanLike:
         """Open and immediately close a zero-duration (instant) span."""
+        if not self.enabled:
+            return NULL_SPAN
         span = self.span(name, parent=parent, start_ns=start_ns, **attrs)
         return span.close(end_ns=span.start_ns)
 

@@ -211,7 +211,11 @@ class _ScheduledCall:
         self.cancelled = True
 
     def __lt__(self, other: "_ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Compared O(log n) times per heap operation — attribute
+        # comparisons, not tuple construction, keep the loop churn-free.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Simulator:
@@ -279,14 +283,17 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next pending callback; return ``False`` if none is left."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            call = heappop(queue)
             if call.cancelled:
                 continue
             self._now = call.time
             call.callback(*call.args)
-            for probe in self._probes:
-                probe()
+            if self._probes:
+                for probe in self._probes:
+                    probe()
             return True
         return False
 
@@ -300,19 +307,28 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # The hottest loop in the repository: locals for the queue, the
+        # heap pop and the probe list shave an attribute lookup from
+        # every event (probes is aliased, not copied, so probes attached
+        # mid-run — e.g. by a sanitizer on a VM provisioned during the
+        # run — are still picked up).
+        queue = self._queue
+        heappop = heapq.heappop
+        probes = self._probes
         try:
-            while self._queue:
-                head = self._queue[0]
+            while queue:
+                head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
                 if until is not None and head.time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 self._now = head.time
                 head.callback(*head.args)
-                for probe in self._probes:
-                    probe()
+                if probes:
+                    for probe in probes:
+                        probe()
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -1,0 +1,59 @@
+"""``repro.sweep`` — the declarative sweep engine behind every experiment.
+
+Three layers:
+
+* :mod:`repro.sweep.grid` — axes → frozen :class:`Cell`\\ s with stable
+  ids, plus the canonical payload encoding used to prove worker-count
+  invariance;
+* :mod:`repro.sweep.runner` — the serial and fork-sharded cell runners
+  whose merge order (cell index) makes result payloads *and* exported
+  trace/metric digests byte-identical for any worker count, and the
+  ambient :class:`RunContext`/:class:`SweepReport` that carry the CLI's
+  cross-cutting ``--sanitize``/``--trace``/``--workers`` flags;
+* :mod:`repro.sweep.cli` — experiment self-registration into the
+  declarative dispatch table consumed by ``python -m repro.experiments``.
+
+See ``docs/sweeps.md`` for the grid model, the determinism contract,
+and the recipe for adding an experiment.
+"""
+
+from repro.sweep.cli import ExperimentSpec, register_experiment, registry
+from repro.sweep.grid import (
+    Cell,
+    CellResult,
+    SweepGrid,
+    canonical,
+    payload_digest,
+)
+from repro.sweep.runner import (
+    CellOutcome,
+    RunContext,
+    SweepReport,
+    ambient_context,
+    ambient_report,
+    collecting,
+    execute_cell,
+    run_sweep,
+)
+
+__all__ = [
+    # grid
+    "Cell",
+    "CellResult",
+    "SweepGrid",
+    "canonical",
+    "payload_digest",
+    # runner
+    "CellOutcome",
+    "RunContext",
+    "SweepReport",
+    "ambient_context",
+    "ambient_report",
+    "collecting",
+    "execute_cell",
+    "run_sweep",
+    # registration
+    "ExperimentSpec",
+    "register_experiment",
+    "registry",
+]

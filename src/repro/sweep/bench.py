@@ -1,0 +1,281 @@
+"""Microbenchmarks over the sweep hot paths.
+
+Each job times one layer the sweep engine leans on per cell — the
+discrete-event loop, the untraced observability path, per-block
+occupancy accounting, and the sweep runner itself (serial and sharded)
+— and reports a throughput plus, for the untraced obs path, the *net*
+bytes retained per operation (which must stay at zero: ``NO_OBS`` /
+``NO_SCOPE`` / ``NULL_SPAN`` may not accumulate label dicts or span
+objects when ``--trace`` is off).
+
+The committed snapshot lives in ``BENCH_sweep.json`` at the repo root
+(schema in ``docs/sweeps.md``); ``tools/bench.py`` regenerates it
+(``--update``) and gates regressions against it (``--check``).
+Wall-clock numbers are hardware-dependent, so the gate is soft — a job
+fails only when it drops below ``min_ratio`` of the committed value —
+while the bytes-per-op job is an absolute invariant and gates exactly.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mm.block import BlockState, MemoryBlock
+from repro.mm.owner import PageOwner
+from repro.mm.zone import Zone, ZoneType
+from repro.obs import NO_OBS
+from repro.sim.engine import Simulator, Timeout
+from repro.sweep.grid import SweepGrid
+from repro.sweep.runner import RunContext, run_sweep
+from repro.units import PAGES_PER_BLOCK
+
+__all__ = [
+    "BenchResult",
+    "bench_engine",
+    "bench_obs_untraced",
+    "bench_mm_occupancy",
+    "bench_sweep_runner",
+    "run_all",
+    "snapshot",
+    "render_snapshot",
+    "compare",
+    "load_snapshot",
+]
+
+#: Schema version of ``BENCH_sweep.json``.
+SNAPSHOT_VERSION = 1
+#: Absolute ceiling for the untraced-obs retained-bytes job: the path
+#: is allocation-free, so anything above rounding noise is a leak into
+#: a tracer buffer or metrics registry.
+MAX_UNTRACED_BYTES_PER_OP = 1.0
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured job: a value with a unit (``.../s`` or ``bytes/op``)."""
+
+    name: str
+    value: float
+    unit: str
+
+
+def _timed(fn: Callable[[], int]) -> float:
+    """Run ``fn`` and return its reported op count per wall second."""
+    gc.collect()
+    started = time.perf_counter()
+    ops = fn()
+    elapsed = time.perf_counter() - started
+    return ops / elapsed if elapsed > 0 else float(ops)
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+def bench_engine(events: int = 100_000) -> BenchResult:
+    """Events/sec through the calendar queue (the hottest repo loop)."""
+
+    def job() -> int:
+        sim = Simulator()
+
+        def ticker():
+            timeout = Timeout(10)
+            for _ in range(events):
+                yield timeout
+
+        sim.run_process(ticker(), name="bench-ticker")
+        return events
+
+    return BenchResult("engine_events_per_s", _timed(job), "events/s")
+
+
+def _obs_untraced_loop(ops: int) -> int:
+    """The per-op bundle every traced call site pays when tracing is off."""
+    scope = NO_OBS.scope(vm="vm-0", mode="hotmem", host="host-0")
+    for index in range(ops):
+        span = scope.span("driver.unplug_block", block=index)
+        scope.inc("mm.blocks_unplugged")
+        scope.observe("mm.unplug_latency_ns", 1_000)
+        span.close()
+    return ops
+
+
+def bench_obs_untraced(
+    ops: int = 200_000,
+) -> Tuple[BenchResult, BenchResult]:
+    """Untraced obs bundles/sec, plus net bytes *retained* per bundle.
+
+    The retained-bytes figure is the satellite invariant: with tracing
+    off the scope/span singletons must not hold onto anything, so the
+    traced-memory delta across the loop divides out to ~0 bytes per op.
+    """
+    throughput = BenchResult(
+        "obs_untraced_ops_per_s", _timed(lambda: _obs_untraced_loop(ops)), "ops/s"
+    )
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        _obs_untraced_loop(ops)
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    net_per_op = max(0, after - before) / ops
+    retained = BenchResult("obs_untraced_bytes_per_op", net_per_op, "bytes/op")
+    return throughput, retained
+
+
+def bench_mm_occupancy(
+    rounds: int = 2_000, blocks: int = 16, chunk_pages: int = 4_096
+) -> BenchResult:
+    """Pages/sec through zone charge/uncharge (per-block accounting)."""
+
+    def job() -> int:
+        zone = Zone("bench", ZoneType.HOTMEM)
+        for index in range(blocks):
+            block = MemoryBlock(index)
+            block.state = BlockState.ONLINE
+            # The bench isolates the zone accounting layer, so blocks
+            # are onlined by hand instead of through a manager.
+            block.free_pages = PAGES_PER_BLOCK  # lint: allow[mm-encapsulation] bench rig setup
+            zone.add_block(block)
+        owner = PageOwner("bench-fn")
+        pages = 0
+        for _ in range(rounds):
+            plan = zone.allocate(owner, chunk_pages)
+            for block, count in plan.items():
+                zone.release(owner, block, count)
+            pages += 2 * chunk_pages
+        return pages
+
+    return BenchResult("mm_occupancy_pages_per_s", _timed(job), "pages/s")
+
+
+def _bench_cell(config: int, cell) -> int:
+    """One sweep cell: a small simulator run (picklable for sharding)."""
+    sim = Simulator()
+
+    def ticker():
+        timeout = Timeout(10)
+        for _ in range(config):
+            yield timeout
+        return cell["index"]
+
+    return sim.run_process(ticker(), name="bench-cell")
+
+
+def bench_sweep_runner(
+    cells: int = 8, events_per_cell: int = 5_000, workers: int = 1
+) -> BenchResult:
+    """Cells/sec through :func:`repro.sweep.run_sweep` end to end."""
+    grid = SweepGrid("bench").axis("index", tuple(range(cells)))
+    context = RunContext(workers=workers)
+
+    def job() -> int:
+        run_sweep(grid, _bench_cell, events_per_cell, context=context)
+        return cells
+
+    suffix = "serial" if workers <= 1 else "sharded"
+    return BenchResult(f"sweep_cells_per_s_{suffix}", _timed(job), "cells/s")
+
+
+def run_all() -> List[BenchResult]:
+    """Run every job at its default size, in snapshot order."""
+    obs_throughput, obs_retained = bench_obs_untraced()
+    return [
+        bench_engine(),
+        obs_throughput,
+        obs_retained,
+        bench_mm_occupancy(),
+        bench_sweep_runner(workers=1),
+        bench_sweep_runner(workers=2),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Snapshot + regression gate
+# ----------------------------------------------------------------------
+def snapshot(results: List[BenchResult]) -> Dict[str, object]:
+    """The ``BENCH_sweep.json`` document for ``results``."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count() or 1,
+        },
+        "jobs": {
+            result.name: {"value": round(result.value, 2), "unit": result.unit}
+            for result in results
+        },
+    }
+
+
+def render_snapshot(doc: Dict[str, object]) -> str:
+    """Deterministic serialization of a snapshot document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def compare(
+    current: List[BenchResult],
+    committed: Dict[str, object],
+    min_ratio: float = 0.5,
+    max_bytes_per_op: float = MAX_UNTRACED_BYTES_PER_OP,
+) -> List[str]:
+    """Regressions of ``current`` against a committed snapshot.
+
+    Returns one human-readable line per failure (empty list = pass).
+    Throughput jobs (``.../s``) gate softly: a failure means dropping
+    below ``min_ratio`` of the committed value, absorbing host-to-host
+    variance.  ``bytes/op`` jobs gate absolutely against
+    ``max_bytes_per_op`` — the allocation-free invariant does not
+    depend on hardware.
+    """
+    failures: List[str] = []
+    jobs = committed.get("jobs")
+    if not isinstance(jobs, dict):
+        return ["snapshot has no 'jobs' table; regenerate with --update"]
+    current_names = {result.name for result in current}
+    for name in jobs:
+        if name not in current_names:
+            failures.append(
+                f"{name}: in snapshot but not measured; regenerate with --update"
+            )
+    for result in current:
+        entry = jobs.get(result.name)
+        if result.unit == "bytes/op":
+            if result.value > max_bytes_per_op:
+                failures.append(
+                    f"{result.name}: {result.value:.2f} bytes/op retained; "
+                    f"the untraced obs path must stay allocation-free "
+                    f"(ceiling {max_bytes_per_op:g})"
+                )
+            continue
+        if entry is None:
+            failures.append(
+                f"{result.name}: not in snapshot; regenerate with --update"
+            )
+            continue
+        committed_value = float(entry["value"])
+        if committed_value > 0 and result.value < committed_value * min_ratio:
+            failures.append(
+                f"{result.name}: {result.value:.0f} {result.unit} is below "
+                f"{min_ratio:.0%} of the committed {committed_value:.0f}"
+            )
+    return failures
+
+
+def load_snapshot(path: str) -> Optional[Dict[str, object]]:
+    """Parse a committed snapshot; ``None`` when the file is absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,340 @@
+"""Serial and sharded cell runners with deterministic merge semantics.
+
+:func:`run_sweep` executes every cell of a :class:`~repro.sweep.grid.SweepGrid`
+through one cell function ``fn(config, cell) -> payload`` and returns
+:class:`~repro.sweep.grid.CellResult` objects **in grid order**, no
+matter how the cells were scheduled.  With ``workers > 1`` the cells are
+partitioned across forked worker processes (each cell still runs in a
+fresh simulator — experiments build their rigs inside the cell
+function), and the parent merges outcomes back by cell index.  The
+determinism contract, verified by ``tests/sweep/test_shard_invariance.py``:
+
+* the result payloads are byte-identical for any worker count, and
+* so are the exported trace/metrics digests, because each cell captures
+  its trace in an isolated :func:`~repro.obs.session.scoped_session`
+  whose contexts the parent renumbers into one global stream in cell
+  order — exactly the stream a single serial session would have
+  produced.
+
+Cross-cutting CLI concerns ride along per cell: ``--sanitize`` attaches
+the memory-state sanitizer inside each cell (and accounts its sweeps
+deterministically), ``--trace`` captures per-cell spans/metrics.  The
+experiments CLI wraps a whole invocation in :func:`collecting`, which
+installs an ambient :class:`RunContext` plus a :class:`SweepReport`
+accumulator; experiment ``run()`` functions stay context-free and the
+flags are inherited uniformly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.sweep.grid import Cell, CellResult, SweepGrid
+
+__all__ = [
+    "CellOutcome",
+    "RunContext",
+    "SweepReport",
+    "ambient_context",
+    "ambient_report",
+    "collecting",
+    "execute_cell",
+    "run_sweep",
+]
+
+#: Cell function contract: ``fn(config, cell) -> picklable payload``.
+CellFn = Callable[[Any, Cell], Any]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """How a sweep invocation executes its cells.
+
+    One frozen context serves a whole CLI invocation; experiments never
+    see it — :func:`run_sweep` resolves the ambient one installed by
+    :func:`collecting` (tests may also pass one explicitly).
+    """
+
+    #: Worker processes; <= 1 runs serially in-process.
+    workers: int = 1
+    #: Attach the memory-state sanitizer inside every cell.
+    sanitize: bool = False
+    #: Periodic sanitizer sweep interval (mm mutations).
+    sanitize_every: int = 256
+    #: Capture per-cell spans/metrics for a merged deterministic export.
+    trace: bool = False
+
+
+@dataclass
+class CellOutcome:
+    """Everything one executed cell sends back across a process boundary.
+
+    Plain data only: the payload plus the cell's trace rows (context
+    indices local to the cell, renumbered by the merger) and sanitizer
+    accounting — so an 8-worker run carries exactly the same information
+    home as a serial run.
+    """
+
+    index: int
+    cell_id: str
+    payload: Any
+    #: Export records with cell-local ``context`` indices.
+    trace_rows: List[Dict[str, object]] = field(default_factory=list)
+    trace_contexts: int = 0
+    trace_open_spans: int = 0
+    sanitizer_sweeps: int = 0
+    sanitizer_managers: int = 0
+
+
+def _sanitizer_totals() -> Tuple[int, int]:
+    from repro.analysis.sanitizer import installed_sanitizers
+
+    sanitizers = installed_sanitizers()
+    return sum(s.checks_run for s in sanitizers), len(sanitizers)
+
+
+def _reset_run_ids() -> None:
+    """Restart the process-global id allocators (pids, file ids,
+    container ids) so every cell labels its entities exactly as a fresh
+    process would.  Without this, a cell's labels depend on how many
+    cells ran before it in the same process — which would make serial
+    and sharded trace exports differ."""
+    from repro.faas.container import reset_container_ids
+    from repro.mm.mm_struct import reset_pid_counter
+    from repro.mm.pagecache import reset_file_ids
+
+    reset_pid_counter()
+    reset_file_ids()
+    reset_container_ids()
+
+
+def execute_cell(
+    fn: CellFn, config: Any, cell: Cell, context: RunContext
+) -> CellOutcome:
+    """Run one cell under the context's cross-cutting concerns.
+
+    Sanitizer sweeps are counted as the delta this cell contributed
+    (against the ambient installation when one is active — e.g. under
+    ``pytest --sanitize`` — or a per-cell installation otherwise), so
+    the aggregate is identical however cells are partitioned.
+    """
+    from repro.analysis import sanitizer as san
+
+    install_state = None
+    sweeps_before = managers_before = 0
+    if context.sanitize:
+        if san.is_installed():
+            sweeps_before, managers_before = _sanitizer_totals()
+        else:
+            install_state = san.install(
+                san.SanitizerConfig(every_n_events=context.sanitize_every)
+            )
+    outcome = CellOutcome(index=cell.index, cell_id=cell.cell_id, payload=None)
+    _reset_run_ids()
+    try:
+        if context.trace:
+            from repro.obs.export import context_rows
+            from repro.obs.session import scoped_session
+
+            with scoped_session() as session:
+                outcome.payload = fn(config, cell)
+                session.finalize()
+                for obs_context in session.contexts:
+                    outcome.trace_rows.extend(context_rows(obs_context))
+                outcome.trace_contexts = len(session.contexts)
+                outcome.trace_open_spans = session.open_spans()
+        else:
+            outcome.payload = fn(config, cell)
+        if context.sanitize:
+            sweeps_after, managers_after = _sanitizer_totals()
+            outcome.sanitizer_sweeps = sweeps_after - sweeps_before
+            outcome.sanitizer_managers = managers_after - managers_before
+    finally:
+        if install_state is not None:
+            san.uninstall()
+    return outcome
+
+
+@dataclass
+class SweepReport:
+    """Cross-sweep accumulator for one CLI invocation.
+
+    Absorbs cell outcomes in cell order (the runner guarantees the
+    order), renumbering each cell's trace contexts into one global
+    stream, and renders the same sanitizer/trace summaries the CLI
+    printed before the sweep engine existed.
+    """
+
+    cells_run: int = 0
+    sweeps_run: int = 0
+    trace_rows: List[Dict[str, object]] = field(default_factory=list)
+    trace_contexts: int = 0
+    trace_open_spans: int = 0
+    sanitizer_sweeps: int = 0
+    sanitizer_managers: int = 0
+
+    def absorb(self, outcome: CellOutcome) -> None:
+        offset = self.trace_contexts
+        for row in outcome.trace_rows:
+            row["context"] = int(row["context"]) + offset  # type: ignore[arg-type]
+        self.trace_rows.extend(outcome.trace_rows)
+        self.trace_contexts += outcome.trace_contexts
+        self.trace_open_spans += outcome.trace_open_spans
+        self.sanitizer_sweeps += outcome.sanitizer_sweeps
+        self.sanitizer_managers += outcome.sanitizer_managers
+        self.cells_run += 1
+
+    def sanitizer_line(self) -> str:
+        """The CLI's post-run sanitizer summary (format is load-bearing:
+        tests grep for the ``no violations`` suffix)."""
+        return (
+            f"[sanitizer: {self.sanitizer_sweeps} sweeps across "
+            f"{self.sanitizer_managers} guest memory manager(s), "
+            f"no violations]"
+        )
+
+    def write_trace(self, path: str) -> "Any":
+        """Write the merged trace export; returns a
+        :class:`~repro.obs.export.TraceExportSummary`."""
+        from repro.obs.export import write_rows
+
+        return write_rows(
+            self.trace_rows,
+            path,
+            contexts=self.trace_contexts,
+            open_spans=self.trace_open_spans,
+        )
+
+
+_ambient_context: Optional[RunContext] = None
+_ambient_report: Optional[SweepReport] = None
+
+
+def ambient_context() -> RunContext:
+    """The invocation-wide context, or serial defaults outside one."""
+    return _ambient_context if _ambient_context is not None else RunContext()
+
+
+def ambient_report() -> Optional[SweepReport]:
+    """The active accumulator, if a :func:`collecting` block is open."""
+    return _ambient_report
+
+
+@contextmanager
+def collecting(context: RunContext) -> Iterator[SweepReport]:
+    """Install ``context`` as the ambient one and accumulate outcomes.
+
+    The experiments CLI wraps each invocation in this; every
+    :func:`run_sweep` under it inherits the flags and feeds the yielded
+    :class:`SweepReport`.
+    """
+    global _ambient_context, _ambient_report
+    prior = (_ambient_context, _ambient_report)
+    _ambient_context = context
+    _ambient_report = SweepReport()
+    try:
+        yield _ambient_report
+    finally:
+        _ambient_context, _ambient_report = prior
+
+
+# ----------------------------------------------------------------------
+# Shard workers (fork-based)
+# ----------------------------------------------------------------------
+#: Work table inherited by forked workers; only indices cross the pipe.
+_WORK: Optional[Tuple[CellFn, Any, Sequence[Cell], RunContext]] = None
+
+
+def _run_index(index: int) -> CellOutcome:
+    assert _WORK is not None
+    fn, config, cells, context = _WORK
+    return execute_cell(fn, config, cells[index], context)
+
+
+def _fork_pool_available() -> bool:
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return False
+    return True
+
+
+def _run_sharded(
+    fn: CellFn, config: Any, cells: Sequence[Cell], context: RunContext
+) -> List[CellOutcome]:
+    import multiprocessing
+
+    global _WORK
+    mp = multiprocessing.get_context("fork")
+    workers = min(context.workers, len(cells))
+    # Workers execute cells one at a time; their own context is serial.
+    cell_context = RunContext(
+        workers=1,
+        sanitize=context.sanitize,
+        sanitize_every=context.sanitize_every,
+        trace=context.trace,
+    )
+    _WORK = (fn, config, cells, cell_context)
+    try:
+        with mp.Pool(processes=workers) as pool:
+            # chunksize=1 interleaves cells across workers; merge order
+            # is by index regardless (map preserves input order).
+            return pool.map(_run_index, range(len(cells)), chunksize=1)
+    finally:
+        _WORK = None
+
+
+def run_sweep(
+    grid: SweepGrid,
+    fn: CellFn,
+    config: Any,
+    context: Optional[RunContext] = None,
+) -> List[CellResult]:
+    """Execute every cell of ``grid``; results come back in grid order.
+
+    ``context`` falls back to the ambient one (see :func:`collecting`).
+    Sharding is skipped when it could not be faithful: a single cell,
+    no fork support, or an ambient tracing/sanitizer installation that
+    only per-cell capture (``context.trace`` / ``context.sanitize``)
+    would carry across a process boundary.
+    """
+    if context is None:
+        context = ambient_context()
+    cells = grid.cells()
+    serial = context.workers <= 1 or len(cells) <= 1
+    if not serial and not _fork_pool_available():  # pragma: no cover
+        serial = True
+    if not serial and not context.trace:
+        from repro.obs.session import is_installed as obs_installed
+
+        if obs_installed():
+            # An ambient traced() session cannot see forked children;
+            # run serially so its capture stays complete.
+            serial = True
+    if serial:
+        outcomes = [
+            execute_cell(fn, config, cell, context) for cell in cells
+        ]
+    else:
+        outcomes = _run_sharded(fn, config, cells, context)
+    report = ambient_report()
+    if report is not None:
+        for outcome in outcomes:
+            report.absorb(outcome)
+    return [
+        CellResult(outcome.index, outcome.cell_id, cell.params, outcome.payload)
+        for outcome, cell in zip(outcomes, cells)
+    ]

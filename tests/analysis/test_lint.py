@@ -280,6 +280,84 @@ class TestNoPrintInSrc:
         assert not findings(src, "repro.mm.manager", "no-print-in-src")
 
 
+class TestNoAdhocSweep:
+    def test_scenario_loop_in_experiment_flagged(self):
+        src = (
+            "def run(config):\n"
+            "    for mode in ('vanilla', 'hotmem'):\n"
+            "        result = run_scenario(make(mode))\n"
+        )
+        errors = findings(
+            src, "repro.experiments.fig8_reclaim_throughput", "no-adhoc-sweep"
+        )
+        assert len(errors) == 1
+        assert errors[0].line == 3
+        assert "run_sweep" in errors[0].message
+
+    def test_rig_construction_in_while_flagged(self):
+        src = (
+            "def probe():\n"
+            "    while budget:\n"
+            "        rig = MicrobenchRig(setup)\n"
+        )
+        assert findings(
+            src, "repro.experiments.density", "no-adhoc-sweep"
+        )
+
+    def test_dotted_entrypoint_flagged(self):
+        src = (
+            "def run():\n"
+            "    for n in counts:\n"
+            "        out = rig.run_single_reclaim(n)\n"
+        )
+        assert findings(src, "repro.experiments.fig5", "no-adhoc-sweep")
+
+    def test_run_sweep_iteration_unflagged(self):
+        src = (
+            "def run(config):\n"
+            "    for cell_result in run_sweep(grid(config), _cell, config):\n"
+            "        collect(cell_result.payload)\n"
+        )
+        assert not findings(
+            src, "repro.experiments.chaos", "no-adhoc-sweep"
+        )
+
+    def test_loop_without_scenario_calls_unflagged(self):
+        src = (
+            "def reduce(samples):\n"
+            "    for size in sizes:\n"
+            "        totals[size] = sum(samples[size])\n"
+        )
+        assert not findings(
+            src, "repro.experiments.fig6_usage_sweep", "no-adhoc-sweep"
+        )
+
+    def test_scenario_engine_modules_exempt(self):
+        src = (
+            "def drive():\n"
+            "    for load in loads:\n"
+            "        run_scenario(load)\n"
+        )
+        assert not findings(
+            src, "repro.experiments.serverless", "no-adhoc-sweep"
+        )
+        assert not findings(
+            src, "repro.experiments.microbench", "no-adhoc-sweep"
+        )
+        assert not findings(src, "repro.sim.engine", "no-adhoc-sweep")
+
+    def test_allow_comment_silences(self):
+        src = (
+            "def run():\n"
+            "    for seed in seeds:\n"
+            "        sim = Simulator()"
+            "  # lint: allow[no-adhoc-sweep] calibration probe\n"
+        )
+        assert not findings(
+            src, "repro.experiments.calibrate", "no-adhoc-sweep"
+        )
+
+
 class TestSuppression:
     def test_allow_comment_silences_rule_on_line(self):
         src = "import time\nt = time.time()  # lint: allow[no-wallclock] display\n"
@@ -350,7 +428,7 @@ class TestDriversAndOutput:
         assert lint_paths([REPO_ROOT / "src"]) == []
 
     def test_every_rule_documented(self):
-        # The original 8 syntactic rules stay enforced alongside the
+        # The original syntactic rules stay enforced alongside the
         # CFG/dataflow families from repro.analysis.flow.
         assert set(RULES) == {
             "no-direct-random",
@@ -361,6 +439,7 @@ class TestDriversAndOutput:
             "no-bare-except",
             "no-mode-branching",
             "no-print-in-src",
+            "no-adhoc-sweep",
             "stale-guard-across-yield",
             "unchecked-result",
             "span-hygiene",

@@ -1,0 +1,84 @@
+"""Microbenchmark jobs and the snapshot regression gate."""
+
+from repro.sweep.bench import (
+    MAX_UNTRACED_BYTES_PER_OP,
+    BenchResult,
+    bench_engine,
+    bench_mm_occupancy,
+    bench_obs_untraced,
+    bench_sweep_runner,
+    compare,
+    snapshot,
+)
+
+
+class TestJobs:
+    def test_engine_job_reports_positive_throughput(self):
+        result = bench_engine(events=2_000)
+        assert result.unit == "events/s"
+        assert result.value > 0
+
+    def test_untraced_obs_path_is_allocation_free(self):
+        throughput, retained = bench_obs_untraced(ops=20_000)
+        assert throughput.value > 0
+        assert retained.unit == "bytes/op"
+        # The satellite invariant: NO_OBS/NO_SCOPE/NULL_SPAN retain
+        # nothing per operation when tracing is off.
+        assert retained.value <= MAX_UNTRACED_BYTES_PER_OP
+
+    def test_mm_occupancy_job_round_trips_pages(self):
+        result = bench_mm_occupancy(rounds=50)
+        assert result.unit == "pages/s"
+        assert result.value > 0
+
+    def test_sweep_runner_job_names_by_worker_count(self):
+        serial = bench_sweep_runner(cells=2, events_per_cell=100, workers=1)
+        sharded = bench_sweep_runner(cells=2, events_per_cell=100, workers=2)
+        assert serial.name == "sweep_cells_per_s_serial"
+        assert sharded.name == "sweep_cells_per_s_sharded"
+
+
+class TestSnapshot:
+    def test_schema_has_version_host_and_jobs(self):
+        doc = snapshot([BenchResult("job_a", 123.456, "ops/s")])
+        assert doc["version"] == 1
+        assert set(doc["host"]) == {"python", "platform", "cpus"}
+        assert doc["jobs"] == {"job_a": {"value": 123.46, "unit": "ops/s"}}
+
+
+def _committed(**jobs):
+    return {
+        "version": 1,
+        "jobs": {
+            name: {"value": value, "unit": unit}
+            for name, (value, unit) in jobs.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        committed = _committed(job_a=(100.0, "ops/s"))
+        current = [BenchResult("job_a", 60.0, "ops/s")]
+        assert compare(current, committed, min_ratio=0.5) == []
+
+    def test_throughput_regression_fails_softly(self):
+        committed = _committed(job_a=(100.0, "ops/s"))
+        current = [BenchResult("job_a", 40.0, "ops/s")]
+        failures = compare(current, committed, min_ratio=0.5)
+        assert len(failures) == 1 and "job_a" in failures[0]
+
+    def test_bytes_per_op_gates_absolutely(self):
+        committed = _committed(leaky=(0.0, "bytes/op"))
+        current = [BenchResult("leaky", 8.0, "bytes/op")]
+        failures = compare(current, committed)
+        assert len(failures) == 1 and "allocation-free" in failures[0]
+
+    def test_job_set_mismatch_fails_both_ways(self):
+        committed = _committed(gone=(10.0, "ops/s"))
+        current = [BenchResult("new", 10.0, "ops/s")]
+        failures = compare(current, committed)
+        assert len(failures) == 2
+
+    def test_missing_jobs_table_fails(self):
+        assert compare([], {"version": 1}) != []

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Sweep microbenchmark runner and regression gate.
+
+Usage::
+
+    python tools/bench.py                 # run jobs, print the table
+    python tools/bench.py --update        # refresh BENCH_sweep.json
+    python tools/bench.py --check         # gate against the snapshot
+
+``--check`` exits 1 when any throughput job drops below ``--min-ratio``
+of its committed value (soft: wall-clock numbers absorb host variance)
+or when the untraced-obs path retains memory (absolute: that path must
+stay allocation-free).  Job definitions and the snapshot schema live in
+:mod:`repro.sweep.bench` and ``docs/sweeps.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+# Make the src layout importable when running from a bare checkout.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.sweep.bench import (  # noqa: E402  (path bootstrap above)
+    compare,
+    load_snapshot,
+    render_snapshot,
+    run_all,
+    snapshot,
+)
+
+#: Default location of the committed snapshot.
+DEFAULT_SNAPSHOT = _REPO_ROOT / "BENCH_sweep.json"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench.py",
+        description="Run the sweep microbenchmarks; snapshot or gate.",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured values to the snapshot file and exit 0",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed snapshot; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        default=str(DEFAULT_SNAPSHOT),
+        help="snapshot path (default: BENCH_sweep.json at the repo root)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        metavar="R",
+        help="soft gate: fail a throughput job below R of its committed "
+        "value (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.update and args.check:
+        print("--update and --check are mutually exclusive", file=sys.stderr)
+        return 2
+
+    results = run_all()
+    committed = load_snapshot(args.snapshot)
+    committed_jobs = (committed or {}).get("jobs", {})
+    for result in results:
+        entry = committed_jobs.get(result.name)
+        reference = (
+            f" (committed {float(entry['value']):.2f})" if entry else ""
+        )
+        print(f"[bench: {result.name}={result.value:.2f} {result.unit}{reference}]")
+
+    if args.update:
+        Path(args.snapshot).write_text(
+            render_snapshot(snapshot(results)), encoding="utf-8"
+        )
+        print(f"[bench: snapshot written to {args.snapshot}]")
+        return 0
+
+    if args.check:
+        if committed is None:
+            print(
+                f"no snapshot at {args.snapshot!r}; create one with "
+                f"--update and commit it",
+                file=sys.stderr,
+            )
+            return 2
+        failures = compare(results, committed, min_ratio=args.min_ratio)
+        for failure in failures:
+            print(f"[bench: REGRESSION {failure}]", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"[bench: ok, {len(results)} job(s) within threshold]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
