@@ -48,11 +48,17 @@ from repro.experiments import (
 )
 from repro.faas import (
     Agent,
+    ContainerStats,
     DeploymentMode,
+    EvictionPolicy,
+    EvictionRecord,
     FaasRuntime,
     FunctionDeployment,
     InvocationRecord,
     KeepAlivePolicy,
+    get_policy,
+    policy_names,
+    register_policy,
 )
 from repro.faults import (
     FaultInjector,
@@ -135,11 +141,17 @@ __all__ = [
     "resolve_modes",
     # serverless runtime
     "Agent",
+    "ContainerStats",
     "DeploymentMode",
+    "EvictionPolicy",
+    "EvictionRecord",
     "FaasRuntime",
     "FunctionDeployment",
     "InvocationRecord",
     "KeepAlivePolicy",
+    "get_policy",
+    "policy_names",
+    "register_policy",
     # workloads
     "TABLE1_FUNCTIONS",
     "FunctionSpec",

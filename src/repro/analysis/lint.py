@@ -76,6 +76,17 @@ Syntactic rules registered here:
     (``repro.experiments.serverless``/``microbench``) and the CLI
     dispatch are exempt.
 
+``no-direct-evict``
+    Container eviction is the lifecycle layer's monopoly: outside the
+    agent internals (``repro.faas.agent``/``lifecycle``/``container``),
+    nothing mutates an agent's idle pools (``.idle`` assignment or
+    in-place mutator calls) or tears containers down directly
+    (``.teardown()``/``.destroy_after_oom()``).  Ad-hoc eviction
+    bypasses the pluggable :class:`~repro.faas.lifecycle.EvictionPolicy`
+    ranking, the eviction records trace-report attributes cold starts
+    to, and the unplug coupling — go through
+    ``Agent.recycle_pass``/``request_reclaim``.
+
 The CFG/dataflow rule families (``stale-guard-across-yield``,
 ``unchecked-result``, ``span-hygiene``, ``no-sim-sleep-side-effect``)
 live in :mod:`repro.analysis.flow` and register on the same registry;
@@ -186,6 +197,16 @@ _SCENARIO_ENTRYPOINTS = {
     "Fleet",
     "ServerlessScenario",
 }
+#: Modules that own container eviction (exempt from no-direct-evict):
+#: the agent drives it, the lifecycle layer ranks it, the container
+#: implements it.
+_EVICTION_OWNING_MODULES = {
+    "repro.faas.agent",
+    "repro.faas.lifecycle",
+    "repro.faas.container",
+}
+#: Teardown entry points only the eviction owners may call.
+_TEARDOWN_METHODS = {"teardown", "destroy_after_oom"}
 
 
 # ----------------------------------------------------------------------
@@ -566,6 +587,70 @@ def _rule_no_adhoc_sweep(ctx: FileContext) -> Iterator[LintError]:
                     "and merge deterministically)",
                 )
                 break  # one finding per loop is enough
+
+
+@_register(
+    "no-direct-evict",
+    (
+        "container eviction goes through the lifecycle layer: never "
+        "mutate an agent's idle pools or call container teardown "
+        "outside repro.faas.agent/lifecycle/container"
+    ),
+)
+def _rule_no_direct_evict(ctx: FileContext) -> Iterator[LintError]:
+    if (
+        not _in_scope(ctx.module, ("repro",))
+        or ctx.module in _EVICTION_OWNING_MODULES
+    ):
+        return
+
+    def is_idle_pool(node: ast.AST) -> bool:
+        # x.idle = ..., x.idle[k] = ..., del x.idle[k]
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return isinstance(node, ast.Attribute) and node.attr == "idle"
+
+    for node in ctx.nodes:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if is_idle_pool(target):
+                yield LintError(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "no-direct-evict",
+                    "write to an agent idle pool outside the lifecycle "
+                    "layer; evict through Agent.recycle_pass/"
+                    "request_reclaim",
+                )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in _TEARDOWN_METHODS:
+                yield LintError(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "no-direct-evict",
+                    f".{method}() outside the lifecycle layer bypasses "
+                    f"eviction ranking, records and the unplug coupling; "
+                    f"go through Agent.recycle_pass/request_reclaim",
+                )
+            elif method in _MUTATOR_METHODS and is_idle_pool(node.func.value):
+                yield LintError(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "no-direct-evict",
+                    f"in-place mutation .idle.{method}() outside the "
+                    f"lifecycle layer; evict through Agent.recycle_pass/"
+                    f"request_reclaim",
+                )
 
 
 # Importing the flow module registers the CFG/dataflow rule families on

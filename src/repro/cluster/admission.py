@@ -71,8 +71,19 @@ class ArbitrationPolicy:
     #: Real node usage fraction above which the fleet applies
     #: reclamation pressure to resident agents.
     pressure_watermark: float = 0.9
+    #: How much a pressured node sheds: ``"all"`` (historical — every
+    #: resident agent evicts everything idle) or ``"bounded"`` (each
+    #: agent's eviction policy ranks its idle containers and only the
+    #: prefix covering the node's watermark overage dies, so warm
+    #: capacity survives pressure in policy order).
+    pressure_shed: str = "all"
 
     def __post_init__(self) -> None:
+        if self.pressure_shed not in ("all", "bounded"):
+            raise ConfigError(
+                f"pressure_shed must be 'all' or 'bounded', "
+                f"got {self.pressure_shed!r}"
+            )
         for name in (
             "limit_fraction",
             "overprovisioned_credit",
@@ -279,6 +290,18 @@ class DensityArbiter:
         """Whether *real* node usage exceeds the pressure watermark."""
         node = self.hosts[host_index].node(node_id)
         return node.used_bytes > self.policy.pressure_watermark * node.memory_bytes
+
+    def overage_bytes(self, host_index: int, node_id: int) -> int:
+        """How far *real* node usage sits above the pressure watermark.
+
+        The bounded pressure-shed budget: the fleet hands this to each
+        resident agent's :meth:`~repro.faas.agent.Agent.request_reclaim`
+        so the eviction policy only kills the ranked prefix of idle
+        containers covering the overage (0 when under the watermark).
+        """
+        node = self.hosts[host_index].node(node_id)
+        watermark = int(self.policy.pressure_watermark * node.memory_bytes)
+        return max(0, node.used_bytes - watermark)
 
     def __repr__(self) -> str:
         total = sum(self._committed.values())

@@ -619,6 +619,7 @@ class Fleet:
         return self._pressure_monitor
 
     def _pressure_loop(self, period_ns: int, until_ns: Optional[int]):
+        bounded = self.arbiter.policy.pressure_shed == "bounded"
         while True:
             yield Timeout(period_ns)
             if until_ns is not None and self.sim.now > until_ns:
@@ -631,6 +632,16 @@ class Fleet:
                 self.pressure_events.append(
                     (self.sim.now, host_index, node.node_id)
                 )
+                # Under bounded shedding every resident agent gets the
+                # node's overage as its budget: each agent's eviction
+                # policy ranks its own idle containers and only the
+                # prefix covering the overage dies.  ``None`` keeps the
+                # historical evict-everything nudge.
+                need_bytes = (
+                    self.arbiter.overage_bytes(host_index, node.node_id)
+                    if bounded
+                    else None
+                )
                 for handle in self.handles:
                     if (
                         handle.host_index == host_index
@@ -638,7 +649,7 @@ class Fleet:
                         and handle.agent is not None
                         and handle.vm._alive
                     ):
-                        handle.agent.request_reclaim()
+                        handle.agent.request_reclaim(need_bytes=need_bytes)
 
     def __repr__(self) -> str:
         return f"<Fleet hosts={len(self.hosts)} vms={len(self.handles)}>"

@@ -67,6 +67,7 @@ from repro.experiments import (  # noqa: F401  (registration imports)
     chaos,
     cluster_chaos,
     density,
+    keepalive,
 )
 from repro.sweep import RunContext, collecting, registry
 

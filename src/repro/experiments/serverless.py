@@ -47,7 +47,8 @@ class FunctionLoad:
     base_rps: float
     bursts: Tuple[Tuple[float, float], ...] = ((0.0, 10.0),)
     vcpu_indices: Optional[Tuple[int, ...]] = None
-    reuse: str = "lifo"
+    #: Idle-pool order override; ``None`` defers to the eviction policy.
+    reuse: Optional[str] = None
 
     @classmethod
     def for_function(
@@ -59,7 +60,7 @@ class FunctionLoad:
         burst_rps: Optional[float] = None,
         max_instances: Optional[int] = None,
         vcpu_indices: Optional[Tuple[int, ...]] = None,
-        reuse: str = "lifo",
+        reuse: Optional[str] = None,
     ) -> "FunctionLoad":
         """Table 1 defaults: max instances from the vCPU weight, a burst
         sized to spawn most of them over a ~10 s ramp (production bursts

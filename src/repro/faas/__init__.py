@@ -8,8 +8,16 @@ request for the freed memory.
 
 from repro.faas.agent import Agent, FunctionDeployment, ShrinkEvent
 from repro.faas.container import Container, ContainerState
+from repro.faas.lifecycle import (
+    ContainerStats,
+    EvictionPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+    registered_policies,
+)
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
-from repro.faas.records import InvocationRecord
+from repro.faas.records import EvictionRecord, InvocationRecord
 from repro.faas.runtime import FaasRuntime
 
 __all__ = [
@@ -18,8 +26,15 @@ __all__ = [
     "ShrinkEvent",
     "Container",
     "ContainerState",
+    "ContainerStats",
+    "EvictionPolicy",
+    "EvictionRecord",
     "DeploymentMode",
     "KeepAlivePolicy",
     "InvocationRecord",
     "FaasRuntime",
+    "get_policy",
+    "policy_names",
+    "register_policy",
+    "registered_policies",
 ]

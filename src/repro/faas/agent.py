@@ -2,14 +2,18 @@
 
 The Agent dispatches incoming requests to containers inside one VM:
 
-* it keeps a per-function pool of idle containers (LIFO, so the coldest
-  instances age out);
+* it keeps a per-function pool of idle containers (LIFO by default, so
+  the coldest instances age out; the pool order is a property of the
+  agent's :mod:`~repro.faas.lifecycle` eviction policy unless the
+  deployment pins its own);
 * when no idle container exists and the concurrency limit allows it, it
   scales up — in elastic modes this couples a plug request (sized to the
   function's memory limit) with the container spawn;
 * a periodic recycler evicts containers idle past the keep-alive window
-  and couples the eviction with an unplug request sized to the memory
-  the recycle freed;
+  — *which* evictable containers die, and in what order, is delegated
+  to the pluggable eviction policy named by
+  :attr:`KeepAlivePolicy.eviction` — and couples the eviction with an
+  unplug request sized to the memory the recycle freed;
 * instances are pinned to vCPUs according to the function's assigned
   vCPU weight (or an explicit pin list, as the interference experiment
   requires).
@@ -33,8 +37,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, FaasError, OutOfMemory, SpawnFailed
 from repro.faas.container import Container
+from repro.faas.lifecycle import ContainerStats, get_policy
 from repro.faas.policy import DeploymentMode, KeepAlivePolicy
-from repro.faas.records import InvocationRecord
+from repro.faas.records import EvictionRecord, InvocationRecord
 from repro.faults.injector import InjectedFault
 from repro.faults.policy import NO_RESILIENCE, ResiliencePolicy
 from repro.faults.sites import (
@@ -68,17 +73,19 @@ class FunctionDeployment:
     spec: FunctionSpec
     max_instances: int
     vcpu_indices: Optional[Tuple[int, ...]] = None
-    #: Idle-pool reuse order: ``"lifo"`` (stack; coldest instances age out
-    #: and get recycled, the OpenWhisk default) or ``"fifo"`` (rotate
-    #: through every instance, keeping the whole pool warm).
-    reuse: str = "lifo"
+    #: Idle-pool reuse order override: ``"lifo"`` (stack; coldest
+    #: instances age out and get recycled, the OpenWhisk default) or
+    #: ``"fifo"`` (rotate through every instance, keeping the whole pool
+    #: warm).  ``None`` defers to the agent's eviction policy
+    #: (:attr:`repro.faas.lifecycle.EvictionPolicy.reuse`).
+    reuse: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_instances <= 0:
             raise ConfigError(
                 f"{self.spec.name}: max_instances must be positive"
             )
-        if self.reuse not in ("lifo", "fifo"):
+        if self.reuse not in (None, "lifo", "fifo"):
             raise ConfigError(f"{self.spec.name}: unknown reuse {self.reuse!r}")
 
     @property
@@ -94,6 +101,8 @@ class ShrinkEvent:
     time_ns: int
     evicted: int
     unplug_requested_bytes: int
+    #: Name of the lifecycle policy that ranked this pass's victims.
+    policy: str = "ttl"
 
 
 @dataclass
@@ -141,6 +150,10 @@ class Agent:
         self.sim = sim
         self.vm = vm
         self.policy = policy
+        #: The pluggable eviction engine: a fresh policy instance per
+        #: agent (stateful policies like greedy-dual keep a per-agent
+        #: clock), resolved from :attr:`KeepAlivePolicy.eviction`.
+        self.lifecycle = get_policy(policy.eviction)
         self.mode = mode
         self.resilience = resilience if resilience is not None else NO_RESILIENCE
         self.faults = vm.faults
@@ -161,6 +174,10 @@ class Agent:
             )
             self.functions[spec.name] = _FunctionState(deployment, deps)
         self.shrink_events: List[ShrinkEvent] = []
+        #: Per-victim eviction log: which policy chose each container,
+        #: and at what rank — trace-report joins this against cold
+        #: starts to attribute them to eviction decisions.
+        self.eviction_records: List[EvictionRecord] = []
         #: True once the agent gave up on the backend and stopped
         #: resizing (graceful degradation to a statically sized VM).
         self.degraded = False
@@ -257,7 +274,7 @@ class Agent:
             cold = False
             while container is None:
                 if state.idle:
-                    if state.deployment.reuse == "fifo":
+                    if self._reuse(state) == "fifo":
                         container = state.idle.pop(0)
                     else:
                         container = state.idle.pop()
@@ -377,6 +394,10 @@ class Agent:
             error=record.error or "ok",
         )
         return record
+
+    def _reuse(self, state: _FunctionState) -> str:
+        """Effective idle-pool order: deployment override, else policy."""
+        return state.deployment.reuse or self.lifecycle.reuse
 
     def _state(self, function_name: str) -> _FunctionState:
         try:
@@ -641,13 +662,18 @@ class Agent:
             yield from self.recycle_pass()
         return None
 
-    def request_reclaim(self) -> Optional[Process]:
+    def request_reclaim(
+        self, need_bytes: Optional[int] = None
+    ) -> Optional[Process]:
         """Fleet-pressure hook: run one immediate reclamation pass.
 
-        Evicts *every* idle container (``min_idle_ns=0``) rather than
+        Considers *every* idle container (``min_idle_ns=0``) rather than
         only those past the keep-alive window — the host is over its
-        pressure watermark, so warmth is traded for memory.  At most one
-        pressure pass runs at a time; overlapping requests coalesce.
+        pressure watermark, so warmth is traded for memory.
+        ``need_bytes`` bounds the shed: the eviction policy's ranking is
+        cut to the prefix covering that much memory (``None`` keeps the
+        historical evict-everything behaviour).  At most one pressure
+        pass runs at a time; overlapping requests coalesce.
         """
         if self._stopped:
             return None
@@ -655,40 +681,107 @@ class Agent:
             return self._pressure_pass
         self.pressure_reclaims += 1
         self._pressure_pass = self._spawn_background(
-            self.recycle_pass(min_idle_ns=0),
+            self.recycle_pass(min_idle_ns=0, need_bytes=need_bytes),
             name=f"{self.vm.name}-pressure-reclaim",
         )
         return self._pressure_pass
 
-    def recycle_pass(self, min_idle_ns: Optional[int] = None):
+    def _candidate_stats(self, now_ns: int) -> List[ContainerStats]:
+        """Snapshot every idle container as an eviction candidate.
+
+        Scan order (function insertion order, then idle-pool position)
+        is recorded as ``pool_index`` — the ``ttl`` policy orders by it,
+        reproducing the pre-refactor recycler exactly.
+        """
+        candidates: List[ContainerStats] = []
+        for state in self.functions.values():
+            deployment = state.deployment
+            for container in state.idle:
+                candidates.append(
+                    ContainerStats(
+                        container=container,
+                        function=deployment.spec.name,
+                        cid=container.cid,
+                        idle_ns=container.idle_for_ns(now_ns),
+                        invocations=container.invocations,
+                        lifetime_ns=now_ns - container.created_ns,
+                        memory_bytes=deployment.partition_bytes,
+                        spawn_cost_ns=deployment.spec.cold_start_cpu_ns,
+                        pool_index=len(candidates),
+                    )
+                )
+        return candidates
+
+    def recycle_pass(
+        self,
+        min_idle_ns: Optional[int] = None,
+        need_bytes: Optional[int] = None,
+    ):
         """Process generator: evict idle-past-keep-alive containers, then
         shrink the VM to its new target size (steps 5-7 of Figure 4).
 
+        Candidate *selection and ordering* is delegated to the agent's
+        :mod:`~repro.faas.lifecycle` policy; this pass owns the
+        mechanics (atomic pool removal, teardown, unplug coupling).
         ``min_idle_ns`` overrides the keep-alive threshold for this pass
-        only (the fleet's pressure monitor passes 0 to evict everything
-        idle right now).
+        only (the fleet's pressure monitor passes 0 to consider
+        everything idle right now); ``need_bytes`` caps the eviction at
+        the ranked prefix freeing that much memory (bounded pressure
+        shedding).
         """
+        pressure = min_idle_ns is not None
         threshold = (
-            self.policy.keep_alive_ns if min_idle_ns is None else min_idle_ns
+            min_idle_ns if min_idle_ns is not None else self.policy.keep_alive_ns
         )
         now = self.sim.now
         evicted = 0
         unplug_bytes = 0
-        span = self.obs.span("agent.recycle", pressure=min_idle_ns is not None)
-        victims: List[Tuple[_FunctionState, Container]] = []
-        # Partition idle pools atomically (no yields) so concurrent request
-        # handling never races with the eviction below.
-        for state in self.functions.values():
-            expired = [
-                c for c in state.idle if c.idle_for_ns(now) >= threshold
-            ]
-            state.idle = [c for c in state.idle if c not in expired]
-            victims.extend((state, c) for c in expired)
+        span = self.obs.span(
+            "agent.recycle", pressure=pressure, policy=self.lifecycle.name
+        )
+        # Snapshot candidates and pick victims atomically (no yields) so
+        # concurrent request handling never races with the eviction
+        # below: a chosen victim leaves its pool before the first yield.
+        chosen = self.lifecycle.victims(
+            self._candidate_stats(now), now, threshold, need_bytes
+        )
+        victims: List[Tuple[_FunctionState, ContainerStats]] = []
+        for stats in chosen:
+            state = self.functions[stats.function]
+            state.idle.remove(stats.container)
+            victims.append((state, stats))
         try:
-            for state, container in victims:
-                yield from container.teardown()
+            for rank, (state, stats) in enumerate(victims):
+                yield from stats.container.teardown()
                 state.live -= 1
                 evicted += 1
+                self.lifecycle.note_eviction(stats, now)
+                self.eviction_records.append(
+                    EvictionRecord(
+                        time_ns=now,
+                        function=stats.function,
+                        cid=stats.cid,
+                        policy=self.lifecycle.name,
+                        rank=rank,
+                        idle_ns=stats.idle_ns,
+                        memory_bytes=stats.memory_bytes,
+                        pressure=pressure,
+                    )
+                )
+                self.obs.event(
+                    "agent.evict",
+                    function=stats.function,
+                    cid=stats.cid,
+                    policy=self.lifecycle.name,
+                    rank=rank,
+                    idle_ns=stats.idle_ns,
+                    pressure=pressure,
+                )
+                self.obs.inc(
+                    "evictions_total",
+                    function=stats.function,
+                    policy=self.lifecycle.name,
+                )
             if evicted and self.elastic:
                 spare_bytes = self._spare_bytes()
                 pending_unplug = self._pending_unplug_bytes
@@ -728,6 +821,7 @@ class Agent:
                         time_ns=now,
                         evicted=evicted,
                         unplug_requested_bytes=unplug_bytes,
+                        policy=self.lifecycle.name,
                     )
                 )
             return evicted

@@ -62,6 +62,9 @@ class Container:
         self.worker_mms: list[MmStruct] = []
         self.idle_since_ns: Optional[int] = None
         self.invocations = 0
+        #: Birth time — lifecycle policies divide invocations by age to
+        #: get an invocation frequency.
+        self.created_ns: int = vm.sim.now
         self.label = f"fn:{spec.name}:{self.cid}"
 
     # ------------------------------------------------------------------
@@ -187,6 +190,11 @@ class Container:
             self.mm.total_pages or self.mm.hotmem_partition is not None
         ):
             self.vm.exit_process(self.mm)
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the container is parked in an idle pool (evictable)."""
+        return self.state is ContainerState.IDLE
 
     def idle_for_ns(self, now_ns: int) -> int:
         """How long the container has been idle (0 if not idle)."""

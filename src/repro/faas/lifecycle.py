@@ -1,0 +1,361 @@
+"""Pluggable container-lifecycle policies: one eviction engine.
+
+Before this module existed, "which idle container dies next" was decided
+in three unrelated places: the :class:`~repro.faas.agent.Agent`'s
+recycler hard-coded a TTL scan over its idle pools, the fleet pressure
+monitor blindly nudged every resident recycler, and
+:class:`~repro.faas.policy.KeepAlivePolicy` was only a knob bag.  HotMem
+makes reclaiming an idle instance's partition cheap, which turns
+keep-alive from a fixed TTL into a real density-vs-cold-start trade-off
+— and the container-caching literature (GreedyDual keep-alive, CLOUD'21)
+shows frequency/size-aware eviction beats plain TTL.  Neither was
+expressible while the decision was scattered.
+
+This module is the one place that decision lives now:
+
+* :class:`ContainerStats` is the structured per-candidate view every
+  policy ranks over — idle time, invocation count and frequency, memory
+  footprint, spawn cost, and the pool position the historical recycler
+  ordered by;
+* :class:`EvictionPolicy` is the contract: ``rank(candidates, now_ns)``
+  returns the candidates in eviction order (most evictable first), and
+  the :meth:`~EvictionPolicy.victims` template method applies the
+  keep-alive threshold and an optional byte budget around it;
+* a string-keyed registry (mirroring :mod:`repro.modes`) maps policy
+  names to classes; :func:`get_policy` hands out a **fresh instance** per
+  call so stateful policies (greedy-dual's inflation clock) never share
+  state between agents;
+* the built-ins: ``ttl`` (the default — byte-identical to the
+  pre-refactor recycler, golden-gated), ``rand``, ``least-used``,
+  ``max-mem``, and ``greedy-dual`` (CLOUD'21-style priority =
+  clock + frequency × cost / size).
+
+Every caller goes through this layer: the agent's routine recycler and
+the fleet's pressure evictions rank through the same policy object, so
+under-pressure shedding uses the same ordering as routine recycling.
+The idle-pool *reuse* order (LIFO vs FIFO) is a policy property too
+(:attr:`EvictionPolicy.reuse`); a
+:class:`~repro.faas.agent.FunctionDeployment` may still pin its own.
+
+See ``docs/policies.md`` for the contract and an add-a-policy recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.errors import ConfigError, FaasError
+from repro.sim.rng import make_rng
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faas.container import Container
+
+__all__ = [
+    "ContainerStats",
+    "EvictionPolicy",
+    "TtlPolicy",
+    "RandomPolicy",
+    "LeastUsedPolicy",
+    "MaxMemPolicy",
+    "GreedyDualPolicy",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "registered_policies",
+    "resolve_policies",
+]
+
+
+@dataclass(frozen=True)
+class ContainerStats:
+    """The structured view of one eviction candidate.
+
+    Policies rank over these, never over raw containers: the stats are
+    snapshotted atomically (no yields) at the start of a recycle pass,
+    so a policy can never observe a container that went busy mid-pass.
+    ``pool_index`` is the historical recycler's scan position (function
+    insertion order, then idle-list order) — the ``ttl`` policy orders
+    by exactly this, which is what makes it byte-identical to the
+    pre-refactor recycler.
+    """
+
+    #: The live container handle (excluded from equality/ordering).
+    container: "Container" = field(compare=False)
+    function: str = ""
+    cid: int = 0
+    #: How long the candidate has been idle at snapshot time.
+    idle_ns: int = 0
+    #: Completed invocations over the container's whole life.
+    invocations: int = 0
+    #: Age since cold start (denominator of :attr:`frequency`).
+    lifetime_ns: int = 0
+    #: Memory recycling this candidate frees (its partition, block-rounded).
+    memory_bytes: int = 0
+    #: What a replacement cold start costs (CPU; the re-imposed latency).
+    spawn_cost_ns: int = 0
+    #: Scan position of the pre-refactor recycler (function order, then
+    #: idle-pool order).
+    pool_index: int = 0
+
+    @property
+    def frequency_hz(self) -> float:
+        """Invocations per second of lifetime (0 for a newborn)."""
+        if self.lifetime_ns <= 0:
+            return 0.0
+        return self.invocations * SEC / self.lifetime_ns
+
+
+class EvictionPolicy:
+    """Ranks idle containers for eviction.
+
+    Subclasses set :attr:`name` (the registry key), optionally
+    :attr:`reuse` (the idle-pool order this policy wants), and implement
+    :meth:`rank`.  ``rank`` must return a permutation of its input —
+    eligibility (keep-alive threshold, byte budget) is
+    :meth:`victims`'s job, ordering is the policy's.
+    """
+
+    #: Registry key; subclasses must override with a lowercase string.
+    name: str = ""
+    #: Idle-pool reuse order: ``"lifo"`` (stack; coldest instances age
+    #: out, the OpenWhisk default) or ``"fifo"`` (rotate through every
+    #: instance, keeping the whole pool warm).
+    reuse: str = "lifo"
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        """Candidates in eviction order (most evictable first).
+
+        Must return a permutation of ``candidates``; must not mutate it.
+        """
+        raise NotImplementedError
+
+    def victims(
+        self,
+        candidates: Sequence[ContainerStats],
+        now_ns: int,
+        min_idle_ns: int,
+        need_bytes: Optional[int] = None,
+    ) -> List[ContainerStats]:
+        """The containers this pass evicts, in eviction order.
+
+        Filters to candidates idle at least ``min_idle_ns``, ranks the
+        survivors, and — when ``need_bytes`` is given (pressure
+        shedding) — stops once the evicted memory covers the budget.
+        Validates the policy contract: only idle candidates are ever
+        ranked, and ``rank`` returned a permutation of its input.
+        """
+        for stats in candidates:
+            if not stats.container.is_idle:
+                raise FaasError(
+                    f"policy {self.name!r} offered non-idle container "
+                    f"{stats.cid} ({stats.container.state.value})"
+                )
+        eligible = [s for s in candidates if s.idle_ns >= min_idle_ns]
+        if not eligible:
+            return []
+        ranked = self.rank(eligible, now_ns)
+        if len(ranked) != len(eligible) or {id(s) for s in ranked} != {
+            id(s) for s in eligible
+        }:
+            raise FaasError(
+                f"policy {self.name!r} rank() did not return a "
+                f"permutation of its candidates"
+            )
+        if need_bytes is None:
+            return ranked
+        chosen: List[ContainerStats] = []
+        freed = 0
+        for stats in ranked:
+            if freed >= need_bytes:
+                break
+            chosen.append(stats)
+            freed += stats.memory_bytes
+        return chosen
+
+    def note_eviction(self, stats: ContainerStats, now_ns: int) -> None:
+        """Hook: called once per actually-evicted container.
+
+        Stateless policies ignore it; greedy-dual advances its
+        inflation clock here.
+        """
+
+    def __repr__(self) -> str:
+        return f"<EvictionPolicy {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors repro.modes.registry, but keyed to *classes*: every
+# get_policy() call returns a fresh instance so stateful policies never
+# leak ranking state between agents or sweep cells).
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[EvictionPolicy]] = {}
+
+
+def register_policy(
+    cls: Type[EvictionPolicy], replace: bool = False
+) -> Type[EvictionPolicy]:
+    """Register a policy class under ``cls.name``.
+
+    Validates the declarative contract; pass ``replace=True`` to
+    overwrite an existing registration (tests).  Usable as a decorator.
+    """
+    name = cls.name
+    if not isinstance(name, str) or not name or name != name.lower():
+        raise ConfigError(
+            f"policy name must be a non-empty lowercase string: {name!r}"
+        )
+    if cls.reuse not in ("lifo", "fifo"):
+        raise ConfigError(f"{name}: unknown reuse order {cls.reuse!r}")
+    if name in _REGISTRY and not replace:
+        raise ConfigError(f"eviction policy {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_policy(policy: Union[str, EvictionPolicy]) -> EvictionPolicy:
+    """Resolve a policy by name (fresh instance); instances pass through."""
+    if isinstance(policy, EvictionPolicy):
+        return policy
+    try:
+        return _REGISTRY[policy]()
+    except (KeyError, TypeError):
+        raise ConfigError(
+            f"unknown eviction policy {policy!r} "
+            f"(registered: {', '.join(policy_names())})"
+        ) from None
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def registered_policies() -> Tuple[EvictionPolicy, ...]:
+    """One fresh instance per registered policy, in registration order."""
+    return tuple(cls() for cls in _REGISTRY.values())
+
+
+def resolve_policies(
+    policies: Iterable[Union[str, EvictionPolicy]],
+) -> Tuple[EvictionPolicy, ...]:
+    """Resolve a sweep list (config field or CLI flag)."""
+    resolved = tuple(get_policy(policy) for policy in policies)
+    if not resolved:
+        raise ConfigError("empty eviction-policy list")
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+@register_policy
+class TtlPolicy(EvictionPolicy):
+    """The pre-refactor recycler: evict in pool-scan order.
+
+    Ordering is by :attr:`ContainerStats.pool_index` — function
+    insertion order, then idle-list position — which reproduces the
+    historical ``for state / for container in state.idle`` scan exactly
+    (golden-gated in ``tests/faas/test_lifecycle.py``).
+    """
+
+    name = "ttl"
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        return sorted(candidates, key=lambda s: s.pool_index)
+
+
+@register_policy
+class RandomPolicy(EvictionPolicy):
+    """Uniform-random eviction order (the RAND baseline).
+
+    Deterministic for a fixed pass: the shuffle draws from a seeded
+    stream keyed by the pass time and candidate set, so reruns and
+    worker-sharded sweeps stay byte-identical.
+    """
+
+    name = "rand"
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        order = list(candidates)
+        cids = ",".join(str(s.cid) for s in order)
+        rng = make_rng(now_ns, f"lifecycle/rand/{cids}")
+        rng.shuffle(order)
+        return order
+
+
+@register_policy
+class LeastUsedPolicy(EvictionPolicy):
+    """Evict the least-invoked container first (LEAST_USED baseline).
+
+    Ties break by pool position, so equal-use candidates fall back to
+    the TTL scan order.
+    """
+
+    name = "least-used"
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        return sorted(candidates, key=lambda s: (s.invocations, s.pool_index))
+
+
+@register_policy
+class MaxMemPolicy(EvictionPolicy):
+    """Evict the largest container first (MAX_MEM baseline).
+
+    Frees the most memory per eviction; ties break by pool position.
+    """
+
+    name = "max-mem"
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        return sorted(candidates, key=lambda s: (-s.memory_bytes, s.pool_index))
+
+
+@register_policy
+class GreedyDualPolicy(EvictionPolicy):
+    """GreedyDual keep-alive (CLOUD'21 container caching).
+
+    Each candidate gets ``priority = clock + frequency × cost / size``:
+    frequently-invoked containers whose cold start is expensive relative
+    to the memory they hold are kept; cold, large, cheap-to-respawn ones
+    go first.  The inflation ``clock`` rises to each victim's priority
+    on eviction, so long-idle containers cannot squat on inherited
+    priority forever — the classic aging mechanism of the GreedyDual
+    family.  Stateful: every agent gets its own instance (and its own
+    clock) through :func:`get_policy`.
+    """
+
+    name = "greedy-dual"
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+
+    def priority(self, stats: ContainerStats) -> float:
+        """The keep-priority of one candidate (higher = keep longer)."""
+        size = max(1, stats.memory_bytes)
+        # Frequency in Hz keeps cost/size dimensionally stable across
+        # function mixes; +1 counts the cold start that built the
+        # container so a newborn never has priority exactly clock.
+        value = (stats.invocations + 1) * stats.frequency_hz
+        return self._clock + (1.0 + value) * stats.spawn_cost_ns / size
+
+    def rank(
+        self, candidates: Sequence[ContainerStats], now_ns: int
+    ) -> List[ContainerStats]:
+        return sorted(
+            candidates, key=lambda s: (self.priority(s), s.pool_index)
+        )
+
+    def note_eviction(self, stats: ContainerStats, now_ns: int) -> None:
+        self._clock = max(self._clock, self.priority(stats))

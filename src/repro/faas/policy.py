@@ -30,11 +30,18 @@ class KeepAlivePolicy:
     start skips its plug entirely (and, under HotMem, attaches to an
     already-populated partition), trading host memory for cold-start
     latency.
+
+    ``eviction`` names the :mod:`repro.faas.lifecycle` policy that
+    orders evictions within a recycle pass (``ttl``, the default, is
+    the historical pool-scan order; see ``docs/policies.md``).  The
+    keep-alive window decides *when* a container becomes evictable; the
+    eviction policy decides *which order* evictable containers die in.
     """
 
     keep_alive_ns: int = 120 * SEC
     recycle_interval_ns: int = 15 * SEC
     spare_slots: int = 0
+    eviction: str = "ttl"
 
     def __post_init__(self) -> None:
         if self.keep_alive_ns < 0:
@@ -43,3 +50,8 @@ class KeepAlivePolicy:
             raise ConfigError("recycle interval must be positive")
         if self.spare_slots < 0:
             raise ConfigError("spare_slots must be non-negative")
+        # Fail fast on unknown policy names (the agent would otherwise
+        # only notice at construction time, deep inside a sweep cell).
+        from repro.faas.lifecycle import get_policy
+
+        get_policy(self.eviction)

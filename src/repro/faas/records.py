@@ -1,11 +1,12 @@
-"""Invocation records produced by the runtime (inputs to every latency
-metric in the evaluation)."""
+"""Invocation and eviction records produced by the runtime (inputs to
+every latency metric in the evaluation, and to trace-report's
+cold-start attribution)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["InvocationRecord"]
+__all__ = ["InvocationRecord", "EvictionRecord"]
 
 
 @dataclass
@@ -26,6 +27,11 @@ class InvocationRecord:
     error: str = ""
 
     @property
+    def cold_start(self) -> bool:
+        """Whether serving this request required a cold start."""
+        return self.cold
+
+    @property
     def latency_ns(self) -> int:
         """End-to-end latency (arrival → completion)."""
         return self.end_ns - self.arrival_ns
@@ -34,3 +40,25 @@ class InvocationRecord:
     def queue_ns(self) -> int:
         """Time spent before a container started working on the request."""
         return self.start_ns - self.arrival_ns
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One container eviction, attributed to the policy that chose it.
+
+    ``policy`` and ``rank`` say *which* lifecycle policy picked the
+    victim and where in its eviction order the victim sat (0 = most
+    evictable), so trace-report can tie later cold starts of
+    ``function`` back to the eviction decision that caused them.
+    ``pressure`` marks fleet-watermark sheds (as opposed to routine
+    keep-alive expiry).
+    """
+
+    time_ns: int
+    function: str
+    cid: int
+    policy: str
+    rank: int
+    idle_ns: int
+    memory_bytes: int
+    pressure: bool = False

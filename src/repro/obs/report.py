@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "EvictionAttribution",
     "ModeBreakdown",
     "TraceReport",
     "UnplugAttribution",
@@ -58,6 +59,30 @@ class UnplugAttribution:
 
 
 @dataclass
+class EvictionAttribution:
+    """Cold starts attributed to one lifecycle policy's evictions.
+
+    ``agent.evict`` events carry the policy name and rank that chose
+    each victim; a later ``faas.spawn`` of the same function is a cold
+    start that eviction re-imposed.  ``recolds`` counts evictions whose
+    function cold-started again afterwards (matched earliest-first),
+    and ``median_recold_ns`` is the median eviction→respawn gap — the
+    warmth the policy actually gave up.
+    """
+
+    policy: str
+    evictions: int
+    pressure_evictions: int
+    recolds: int
+    median_recold_ns: int
+
+    @property
+    def recold_frac(self) -> float:
+        """Fraction of evictions later paid back as a cold start."""
+        return self.recolds / self.evictions if self.evictions else 0.0
+
+
+@dataclass
 class ModeBreakdown:
     """Per-mode unplug latency attribution."""
 
@@ -85,6 +110,9 @@ class TraceReport:
     metric_modes: List[str]
     total_spans: int
     open_spans: int
+    #: Per-policy eviction → cold-start attribution (empty when the
+    #: trace holds no ``agent.evict`` events).
+    eviction_policies: List[EvictionAttribution] = field(default_factory=list)
 
     @property
     def total_unplugs(self) -> int:
@@ -134,6 +162,19 @@ class TraceReport:
             f"  phase sums match unplug latencies: {exact}/{total}"
             f" ({verdict})"
         )
+        if self.eviction_policies:
+            lines.append("  eviction -> cold-start attribution by policy:")
+            lines.append(
+                f"    {'policy':<12} {'evicted':>7} {'pressure':>8} "
+                f"{'recold':>6} {'recold%':>7} {'p50_gap_ms':>10}"
+            )
+            for policy in self.eviction_policies:
+                lines.append(
+                    f"    {policy.policy:<12} {policy.evictions:>7} "
+                    f"{policy.pressure_evictions:>8} {policy.recolds:>6} "
+                    f"{policy.recold_frac:>6.1%} "
+                    f"{policy.median_recold_ns / 1e6:>10.3f}"
+                )
         if self.metric_modes:
             lines.append(
                 "  modes with labeled metrics: "
@@ -243,7 +284,70 @@ def build_report(records: List[Dict[str, object]]) -> TraceReport:
         metric_modes=sorted(metric_modes),
         total_spans=len(spans),
         open_spans=open_spans,
+        eviction_policies=_attribute_evictions(spans),
     )
+
+
+def _attribute_evictions(
+    spans: Dict[Tuple[int, int], Dict[str, object]],
+) -> List[EvictionAttribution]:
+    """Join ``agent.evict`` events against later same-function spawns.
+
+    Each eviction carries the policy and rank that chose it; the first
+    ``faas.spawn`` of the same function *after* the eviction (within
+    the same trace context, matched earliest-first, each spawn consumed
+    once) is the cold start that eviction re-imposed.
+    """
+    evicts: List[Tuple[int, int, str, str, bool]] = []
+    spawns: Dict[Tuple[int, str], List[int]] = {}
+    for (context, _), record in spans.items():
+        name = record["name"]
+        attrs = record.get("attrs") or {}
+        if name == "agent.evict":
+            evicts.append(
+                (
+                    int(record["start_ns"]),
+                    context,
+                    str(attrs.get("policy", "?")),
+                    str(attrs.get("function", "?")),
+                    bool(attrs.get("pressure", False)),
+                )
+            )
+        elif name == "faas.spawn":
+            key = (context, str(attrs.get("function", "?")))
+            spawns.setdefault(key, []).append(int(record["start_ns"]))
+    for times in spawns.values():
+        times.sort()
+    evicts.sort()
+
+    gaps: Dict[str, List[int]] = {}
+    totals: Dict[str, int] = {}
+    pressures: Dict[str, int] = {}
+    for time_ns, context, policy, function, pressure in evicts:
+        totals[policy] = totals.get(policy, 0) + 1
+        if pressure:
+            pressures[policy] = pressures.get(policy, 0) + 1
+        pending = spawns.get((context, function), [])
+        for position, spawn_ns in enumerate(pending):
+            if spawn_ns > time_ns:
+                gaps.setdefault(policy, []).append(spawn_ns - time_ns)
+                del pending[position]
+                break
+
+    out: List[EvictionAttribution] = []
+    for policy in sorted(totals):
+        matched = sorted(gaps.get(policy, []))
+        median = matched[len(matched) // 2] if matched else 0
+        out.append(
+            EvictionAttribution(
+                policy=policy,
+                evictions=totals[policy],
+                pressure_evictions=pressures.get(policy, 0),
+                recolds=len(matched),
+                median_recold_ns=median,
+            )
+        )
+    return out
 
 
 def _enclosing_unplug(

@@ -42,6 +42,7 @@ __all__ = [
     "bench_engine",
     "bench_obs_untraced",
     "bench_mm_occupancy",
+    "bench_policy_rank",
     "bench_sweep_runner",
     "run_all",
     "snapshot",
@@ -159,6 +160,51 @@ def bench_mm_occupancy(
     return BenchResult("mm_occupancy_pages_per_s", _timed(job), "pages/s")
 
 
+def bench_policy_rank(
+    rounds: int = 2_000, candidates: int = 64
+) -> BenchResult:
+    """``rank()`` calls/sec across every registered eviction policy.
+
+    The recycler ranks its full idle pool on every pass (and on every
+    fleet pressure tick), so ranking sits on the keepalive sweep's per-
+    cell hot path.  The pool is synthetic but shaped like the keepalive
+    experiment's (mixed sizes, frequencies and spawn costs).
+    """
+    from repro.faas.lifecycle import ContainerStats, registered_policies
+    from repro.units import MIB, SEC
+
+    class _IdleStub:
+        is_idle = True
+
+    stub = _IdleStub()
+    pool = [
+        ContainerStats(
+            container=stub,  # type: ignore[arg-type]  (rank never touches it)
+            function=f"f{index % 4}",
+            cid=index,
+            idle_ns=(index + 1) * SEC,
+            invocations=(7 * index) % 23,
+            lifetime_ns=(index + 2) * 3 * SEC,
+            memory_bytes=(128 + 128 * (index % 5)) * MIB,
+            spawn_cost_ns=(40 + 30 * (index % 7)) * 10**6,
+            pool_index=index,
+        )
+        for index in range(candidates)
+    ]
+
+    def job() -> int:
+        policies = registered_policies()
+        ops = 0
+        for round_index in range(rounds):
+            now_ns = (round_index + 1) * SEC
+            for policy in policies:
+                policy.rank(pool, now_ns)
+                ops += 1
+        return ops
+
+    return BenchResult("policy_rank_ops_per_s", _timed(job), "ops/s")
+
+
 def _bench_cell(config: int, cell) -> int:
     """One sweep cell: a small simulator run (picklable for sharding)."""
     sim = Simulator()
@@ -195,6 +241,7 @@ def run_all() -> List[BenchResult]:
         obs_throughput,
         obs_retained,
         bench_mm_occupancy(),
+        bench_policy_rank(),
         bench_sweep_runner(workers=1),
         bench_sweep_runner(workers=2),
     ]

@@ -440,6 +440,7 @@ class TestDriversAndOutput:
             "no-mode-branching",
             "no-print-in-src",
             "no-adhoc-sweep",
+            "no-direct-evict",
             "stale-guard-across-yield",
             "unchecked-result",
             "span-hygiene",
@@ -530,3 +531,51 @@ class TestCli:
         result = self.run_cli("no/such/dir")
         assert result.returncode == 2
         assert "no such path" in result.stderr
+
+
+class TestNoDirectEvict:
+    def test_idle_pool_assignment_flagged(self):
+        src = "def f(state):\n    state.idle = []\n"
+        errors = findings(src, "repro.cluster.provision", "no-direct-evict")
+        assert len(errors) == 1
+        assert "recycle_pass" in errors[0].message
+
+    def test_idle_pool_mutator_flagged(self):
+        src = "def f(state, c):\n    state.idle.append(c)\n"
+        assert findings(src, "repro.experiments.foo", "no-direct-evict")
+
+    def test_idle_subscript_delete_flagged(self):
+        src = "def f(state):\n    del state.idle[0]\n"
+        assert findings(src, "repro.cluster.routing", "no-direct-evict")
+
+    def test_teardown_call_flagged(self):
+        src = "def f(container):\n    container.teardown()\n"
+        assert findings(src, "repro.metrics.collector", "no-direct-evict")
+
+    def test_destroy_after_oom_flagged(self):
+        src = "def f(c):\n    c.destroy_after_oom()\n"
+        assert findings(src, "repro.cluster.failover", "no-direct-evict")
+
+    def test_owning_modules_exempt(self):
+        src = "def f(state, c):\n    state.idle.remove(c)\n    c.teardown()\n"
+        for module in (
+            "repro.faas.agent",
+            "repro.faas.lifecycle",
+            "repro.faas.container",
+        ):
+            assert not findings(src, module, "no-direct-evict")
+
+    def test_non_repro_module_unflagged(self):
+        src = "def f(c):\n    c.teardown()\n"
+        assert not findings(src, "tests.faas.test_container", "no-direct-evict")
+
+    def test_allow_escape(self):
+        src = (
+            "def f(c):\n"
+            "    c.teardown()  # lint: allow[no-direct-evict] test helper\n"
+        )
+        assert not findings(src, "repro.faults.injector", "no-direct-evict")
+
+    def test_unrelated_idle_read_unflagged(self):
+        src = "def f(state):\n    return len(state.idle)\n"
+        assert not findings(src, "repro.cluster.provision", "no-direct-evict")

@@ -184,3 +184,69 @@ class TestFailureDomains:
         arbiter.release(0, 0, 1 * GIB)
         with pytest.raises(ConfigError):
             arbiter.release(0, 0, 1 * GIB)
+
+
+class TestPressureShed:
+    def test_unknown_shed_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            ArbitrationPolicy(pressure_shed="most")
+
+    def test_overage_is_usage_above_the_watermark(self, fleet):
+        node = fleet.hosts[0].node(0)
+        arbiter = DensityArbiter(
+            fleet.hosts, ArbitrationPolicy(pressure_watermark=0.5)
+        )
+        assert arbiter.overage_bytes(0, 0) == 0
+        node.charge(node.memory_bytes // 2 + 64 * MIB)
+        assert arbiter.overage_bytes(0, 0) == 64 * MIB
+        node.discharge(node.memory_bytes // 2 + 64 * MIB)
+
+    def test_bounded_shed_passes_the_overage_budget(self):
+        """Under ``bounded`` the pressure loop hands each resident agent
+        the node's overage; under ``all`` it passes no budget and every
+        evictable container dies."""
+        from repro.faas.agent import Agent
+
+        captured = {}
+        original = Agent.request_reclaim
+
+        def spy(self, need_bytes=None):
+            captured.setdefault(self.vm.name, []).append(need_bytes)
+            return original(self, need_bytes=need_bytes)
+
+        for shed in ("all", "bounded"):
+            captured.clear()
+            sim = Simulator()
+            fleet = Fleet(
+                sim,
+                hosts=1,
+                nodes_per_host=1,
+                memory_per_node=4 * GIB,
+                arbitration=ArbitrationPolicy(
+                    pressure_watermark=0.05, pressure_shed=shed
+                ),
+            )
+            handle = fleet.provision(
+                VmSpec("pressured", region_bytes=GIB)
+            )
+            from repro.faas.agent import FunctionDeployment
+            from repro.faas.policy import KeepAlivePolicy
+            from repro.units import SEC
+            from repro.workloads.functions import get_function
+
+            handle.deploy(
+                [FunctionDeployment(get_function("html"), max_instances=1)],
+                KeepAlivePolicy(keep_alive_ns=60 * SEC),
+            )
+            Agent.request_reclaim = spy
+            try:
+                fleet.start_pressure_monitor(period_ns=SEC, until_ns=2 * SEC)
+                sim.run(until=3 * SEC)
+            finally:
+                Agent.request_reclaim = original
+            budgets = captured["pressured"]
+            assert budgets, f"no pressure pass under {shed!r}"
+            if shed == "all":
+                assert all(b is None for b in budgets)
+            else:
+                assert all(b is not None and b > 0 for b in budgets)

@@ -1,0 +1,117 @@
+"""Tests for the K1 keep-alive × eviction-policy sweep.
+
+The acceptance gates of the lifecycle refactor live here: the sweep
+reports a cold-start-vs-density frontier for every deployment mode,
+greedy-dual measurably diverges from plain ttl on at least one trace
+shape, and the sweep payload is byte-identical for any worker count
+({1, 2} fast, {1, 2, 8} in the slow matrix).
+"""
+
+import pytest
+
+from repro.experiments import keepalive
+from repro.sweep import RunContext, collecting, payload_digest, registry
+
+FAST = keepalive.KeepAliveConfig(
+    policies=("ttl", "greedy-dual"),
+    horizons_s=(4,),
+)
+
+TINY = keepalive.KeepAliveConfig(
+    modes=("hotmem",),
+    policies=("ttl", "greedy-dual"),
+    horizons_s=(4,),
+    traces=("bursty",),
+)
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    return keepalive.run(FAST)
+
+
+class TestFrontier:
+    def test_every_mode_reports_a_frontier(self, fast_result):
+        for mode in FAST.modes:
+            points = fast_result.frontier(mode)
+            assert points, f"no frontier points for {mode}"
+            assert fast_result.pareto(mode)
+
+    def test_frontier_points_are_densest_first(self, fast_result):
+        for mode in FAST.modes:
+            densities = [p[0] for p in fast_result.frontier(mode)]
+            assert densities == sorted(densities, reverse=True)
+
+    def test_pareto_rates_strictly_improve(self, fast_result):
+        for mode in FAST.modes:
+            rates = [p[1] for p in fast_result.pareto(mode)]
+            assert rates == sorted(rates, reverse=True)
+            assert len(set(rates)) == len(rates)
+
+    def test_cells_cover_the_full_grid(self, fast_result):
+        assert len(fast_result.cells) == (
+            len(FAST.modes)
+            * len(FAST.policies)
+            * len(FAST.horizons_s)
+            * len(FAST.traces)
+        )
+        for cell in fast_result.cells:
+            assert cell.invocations > 0
+            assert cell.peak_used_bytes > 0
+
+    def test_cell_lookup_raises_on_missing(self, fast_result):
+        with pytest.raises(KeyError):
+            fast_result.cell("hotmem", "ttl", 999, "diurnal")
+
+    def test_render_names_every_mode_frontier(self, fast_result):
+        rendered = fast_result.render()
+        for mode in FAST.modes:
+            assert f"{mode} frontier:" in rendered
+        assert "greedy-dual vs ttl diverges on:" in rendered
+
+
+class TestDivergence:
+    def test_greedy_dual_diverges_from_ttl(self, fast_result):
+        """The refactor's acceptance gate: the ranking must change
+        measured outcomes on at least one trace shape."""
+        assert fast_result.divergent_traces()
+
+    def test_divergence_is_observable_in_evictions(self, fast_result):
+        diverged = False
+        for trace in FAST.traces:
+            for mode in FAST.modes:
+                a = fast_result.cell(mode, "greedy-dual", 4, trace)
+                b = fast_result.cell(mode, "ttl", 4, trace)
+                if a.cold_function_evictions != b.cold_function_evictions:
+                    diverged = True
+        assert diverged
+
+
+class TestShardInvariance:
+    @staticmethod
+    def _digest(config, workers):
+        with collecting(RunContext(workers=workers)):
+            return payload_digest(keepalive.run(config))
+
+    def test_workers_1_and_2_are_byte_identical(self):
+        assert self._digest(TINY, 2) == self._digest(TINY, 1)
+
+    @pytest.mark.slow
+    def test_full_matrix_workers_1_2_8(self):
+        digests = {w: self._digest(FAST, w) for w in (1, 2, 8)}
+        assert digests[2] == digests[1]
+        assert digests[8] == digests[1]
+
+
+class TestRegistration:
+    def test_registered_as_mode_sweeping_experiment(self):
+        spec = registry()["keepalive"]
+        assert spec.mode_sweeping
+        assert "frontier" in spec.description
+
+    def test_paper_scale_grows_the_grid(self):
+        config = keepalive.KeepAliveConfig.paper_scale()
+        assert config.hosts > keepalive.KeepAliveConfig().hosts
+        assert len(config.horizons_s) > len(
+            keepalive.KeepAliveConfig().horizons_s
+        )

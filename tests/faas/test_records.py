@@ -14,3 +14,26 @@ def test_failed_record_carries_error():
     record = InvocationRecord("f", 0, 0, 0, cold=True, ok=False, error="oom")
     assert not record.ok
     assert record.error == "oom"
+
+
+def test_cold_start_aliases_cold():
+    record = InvocationRecord("f", 0, 0, 0, cold=True, ok=True)
+    assert record.cold_start is True
+    assert InvocationRecord("f", 0, 0, 0, cold=False, ok=True).cold_start is False
+
+
+def test_eviction_record_carries_policy_attribution():
+    from repro.faas.records import EvictionRecord
+
+    record = EvictionRecord(
+        time_ns=10,
+        function="bert",
+        cid=3,
+        policy="greedy-dual",
+        rank=0,
+        idle_ns=5,
+        memory_bytes=640,
+        pressure=True,
+    )
+    assert record.policy == "greedy-dual"
+    assert record.pressure
