@@ -115,6 +115,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.analysis import cfg as cfg_mod
 from repro.analysis.rules import (
     DEFAULT_REGISTRY,
     FileContext,
@@ -651,6 +652,93 @@ def _rule_no_direct_evict(ctx: FileContext) -> Iterator[LintError]:
                     f"lifecycle layer; evict through Agent.recycle_pass/"
                     f"request_reclaim",
                 )
+
+
+@_register(
+    "no-unbounded-series",
+    (
+        "telemetry recorded from simulator loops in cluster//metrics "
+        "must stream through bounded RollupSeries, not raw TimeSeries/"
+        "list appends (exact-mode paths carry an explicit allow)"
+    ),
+)
+def _rule_no_unbounded_series(ctx: FileContext) -> Iterator[LintError]:
+    if not _in_scope(ctx.module, ("repro.cluster", "repro.metrics")):
+        return
+
+    # Finding A: raw TimeSeries construction anywhere in scope — every
+    # instance is either a short-horizon exact-mode path (annotate it)
+    # or a bounded-memory bug waiting for a long trace.
+    for node in ctx.nodes:
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name is not None and name.rsplit(".", 1)[-1] == "TimeSeries":
+                yield LintError(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "no-unbounded-series",
+                    "TimeSeries() retains every sample; collect through "
+                    "repro.obs.rollup.RollupSeries (O(buckets) resident) "
+                    "or annotate the exact-mode path",
+                )
+
+    def is_series_record(call: ast.Call) -> bool:
+        # x.series.record(...), x.used[key].record(...), *_series.record
+        receiver = call.func.value  # type: ignore[union-attr]
+        if isinstance(receiver, ast.Subscript):
+            return True
+        return isinstance(receiver, ast.Attribute) and (
+            receiver.attr in ("series", "samples")
+            or receiver.attr.endswith("_series")
+        )
+
+    def is_accumulator_append(call: ast.Call) -> bool:
+        # x.samples.append(...), *_events.append, *_series.append
+        receiver = call.func.value  # type: ignore[union-attr]
+        return isinstance(receiver, ast.Attribute) and (
+            receiver.attr == "samples"
+            or receiver.attr.endswith("_events")
+            or receiver.attr.endswith("_series")
+        )
+
+    # Finding B: per-tick appends inside simulator coroutines — any
+    # loop in a generator function samples on the simulated clock, so
+    # unbounded appends there grow with the horizon.
+    for info in ctx.functions:
+        if not cfg_mod.contains_yield(info.node):
+            continue
+        for loop in ast.walk(info.node):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for child in ast.walk(loop):
+                if not isinstance(child, ast.Call) or not isinstance(
+                    child.func, ast.Attribute
+                ):
+                    continue
+                method = child.func.attr
+                if method == "record" and is_series_record(child):
+                    yield LintError(
+                        ctx.path,
+                        child.lineno,
+                        child.col_offset,
+                        "no-unbounded-series",
+                        f"{info.qualname}: per-tick .record() into an "
+                        "append-only series inside a simulator loop; "
+                        "record into a RollupSeries or annotate the "
+                        "exact-mode path",
+                    )
+                elif method == "append" and is_accumulator_append(child):
+                    yield LintError(
+                        ctx.path,
+                        child.lineno,
+                        child.col_offset,
+                        "no-unbounded-series",
+                        f"{info.qualname}: per-tick .append() onto an "
+                        "unbounded accumulator inside a simulator loop; "
+                        "aggregate through a RollupSeries/counter or "
+                        "annotate the bounded path",
+                    )
 
 
 # Importing the flow module registers the CFG/dataflow rule families on

@@ -259,6 +259,9 @@ class Fleet:
         #: (time_ns, host_index, node_id) pressure-monitor firings.
         self.pressure_events: List[Tuple[int, int, int]] = []
         self._pressure_monitor: Optional[Process] = None
+        #: Attached SLO burn-rate monitor (observation-only: pressure
+        #: firings are attributed to its open windows).
+        self.slo_monitor = None
         #: Hosts lost to a crash; mirrors the arbiter's down set.
         self.down_hosts: Set[int] = set()
         #: (host_index, node_id) → account for non-VM memory pressure
@@ -604,6 +607,13 @@ class Fleet:
     # ------------------------------------------------------------------
     # Reclamation pressure
     # ------------------------------------------------------------------
+    def attach_slo_monitor(self, monitor) -> None:
+        """Feed pressure firings into an SLO monitor's burn windows.
+
+        Observation-only: attaching a monitor never changes what the
+        pressure loop sheds, so golden outputs are unaffected."""
+        self.slo_monitor = monitor
+
     def start_pressure_monitor(
         self, period_ns: int, until_ns: Optional[int] = None
     ) -> Process:
@@ -629,9 +639,13 @@ class Fleet:
                     continue
                 if not self.arbiter.over_watermark(host_index, node.node_id):
                     continue
-                self.pressure_events.append(
+                self.pressure_events.append(  # lint: allow[no-unbounded-series] bounded by horizon/period; consumed whole by chaos gates
                     (self.sim.now, host_index, node.node_id)
                 )
+                if self.slo_monitor is not None:
+                    self.slo_monitor.note_pressure(
+                        self.sim.now, host_index, node.node_id
+                    )
                 # Under bounded shedding every resident agent gets the
                 # node's overage as its budget: each agent's eviction
                 # policy ranks its own idle containers and only the

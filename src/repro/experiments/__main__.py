@@ -34,6 +34,7 @@ Analyze the export with::
 
     python -m repro.experiments fig5 --trace
     python -m repro.experiments trace-report
+    python -m repro.experiments obs-report
 
 The dispatch table itself is declarative: every experiment module ends
 with a :func:`repro.sweep.register_experiment` call, and this entry
@@ -168,6 +169,7 @@ def main(argv: Optional[list] = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:12} {description}")
         print("trace-report per-mode unplug phase attribution from a --trace export")
+        print("obs-report   fleet streaming-telemetry dashboard from a --trace export")
         return 0
 
     if args.experiment == "trace-report":
@@ -183,6 +185,22 @@ def main(argv: Optional[list] = None) -> int:
             )
             return 2
         print(report.render())
+        return 0
+
+    if args.experiment == "obs-report":
+        from repro.obs import load_obs_report
+
+        try:
+            obs_report = load_obs_report(args.trace_file)
+        except FileNotFoundError:
+            print(
+                f"no trace export at {args.trace_file!r}; run an "
+                f"experiment with --trace first",
+                file=sys.stderr,
+            )
+            return 2
+        print(obs_report.render())
+        print(obs_report.summary_line(args.trace_file))
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -39,6 +39,7 @@ from repro.metrics.collector import FleetCollector
 from repro.metrics.latency import merged_percentile_ms
 from repro.metrics.report import render_fleet_latency, render_table
 from repro.modes import DeploymentBackend, get_mode, resolve_modes
+from repro.obs.slo import SloMonitor, fleet_slo_specs
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
 from repro.sweep import Cell, SweepGrid, register_experiment, run_sweep
@@ -92,6 +93,8 @@ class DensityConfig:
     arbitration: ArbitrationPolicy = ArbitrationPolicy(limit_fraction=0.95)
     pressure_period_s: int = 2
     sample_period_s: int = 2
+    #: Error-budget window width for the SLO burn-rate monitors.
+    slo_window_s: int = 8
     seed: int = 0
     costs: CostModel = DEFAULT_COSTS
     #: Registry names of the deployment modes to sweep, in report order.
@@ -125,6 +128,13 @@ class DensityCell:
     #: Committed bytes on the fullest node at admission time (bytes).
     committed_bytes: int
     per_vm_records: Dict[str, List[InvocationRecord]] = field(default_factory=dict)
+    #: Streaming-sketch percentiles over successful latencies (the
+    #: bounded-memory estimate; ``p50_ms``/``p99_ms`` stay exact and
+    #: remain the SLO decision inputs).
+    sketch_p50_ms: float = float("nan")
+    sketch_p99_ms: float = float("nan")
+    #: Closed burn-rate windows that breached (latency + cold-start).
+    slo_breaches: int = 0
 
     @property
     def failure_frac(self) -> float:
@@ -193,6 +203,8 @@ class DensityResult:
                     best.total_vms if best else 0,
                     best.p50_ms if best else float("nan"),
                     best.p99_ms if best else float("nan"),
+                    best.sketch_p99_ms if best else float("nan"),
+                    best.slo_breaches if best else 0,
                     f"{best.failure_frac:.1%}" if best else "-",
                     best.rejections if best else 0,
                     round(best.peak_used_bytes / GIB, 2) if best else 0.0,
@@ -213,6 +225,8 @@ class DensityResult:
                 "vms",
                 "p50 ms",
                 "p99 ms",
+                "sk_p99 ms",
+                "breach",
                 "fail",
                 "rejected",
                 "peak_used_gib",
@@ -339,14 +353,28 @@ def _run_cell(
         )
         router.drive(trace)
 
+    labels = {"mode": mode.value, "vms_per_host": vms_per_host}
+    monitor = SloMonitor(
+        sim,
+        router,
+        specs=fleet_slo_specs(
+            latency_objective_ns=int(config.slo_p99_ms * 1e6),
+            window_ns=config.slo_window_s * SEC,
+        ),
+        period_ns=config.sample_period_s * SEC,
+        labels=labels,
+    )
+    monitor.start(until_ns=horizon_ns)
+    fleet.attach_slo_monitor(monitor)
     fleet.start_pressure_monitor(
         period_ns=config.pressure_period_s * SEC, until_ns=horizon_ns
     )
     collector = FleetCollector(
-        sim, fleet, period_ns=config.sample_period_s * SEC
+        sim, fleet, period_ns=config.sample_period_s * SEC, labels=labels
     )
     collector.start(until_ns=horizon_ns)
     router.run(until_ns=horizon_ns)
+    monitor.finish()
     for handle in fleet.handles:
         handle.vm.check_consistency()
 
@@ -376,6 +404,17 @@ def _run_cell(
         peak_used_bytes=peak_used,
         committed_bytes=committed,
         per_vm_records=per_vm,
+        sketch_p50_ms=(
+            monitor.sketch.quantile(50.0) / 1e6
+            if len(monitor.sketch)
+            else float("nan")
+        ),
+        sketch_p99_ms=(
+            monitor.sketch.quantile(99.0) / 1e6
+            if len(monitor.sketch)
+            else float("nan")
+        ),
+        slo_breaches=monitor.breach_count(),
     )
 
 

@@ -43,6 +43,7 @@ from repro.faas.policy import KeepAlivePolicy
 from repro.faults.policy import ResiliencePolicy, RetryPolicy
 from repro.metrics.collector import FleetCollector
 from repro.metrics.report import render_table
+from repro.obs.slo import SloMonitor, fleet_slo_specs
 from repro.modes import DeploymentBackend, resolve_modes
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.engine import Simulator
@@ -107,6 +108,10 @@ class KeepAliveConfig:
     )
     pressure_period_s: int = 2
     sample_period_s: int = 2
+    #: Latency objective for the SLO burn-rate monitor (observation
+    #: only — K1's acceptance axes stay cold-start rate and density).
+    slo_p99_ms: float = 1500.0
+    slo_window_s: int = 8
     seed: int = 0
     costs: CostModel = DEFAULT_COSTS
     #: Registry names of the deployment modes swept, in report order.
@@ -150,6 +155,10 @@ class KeepAliveCell:
     cold_function_evictions: int
     #: Peak *real* host memory across hosts (bytes).
     peak_used_bytes: int
+    #: Closed SLO burn-rate windows that breached (latency + cold-start).
+    slo_breaches: int = 0
+    #: Streaming-sketch P99 over successful latencies (ms).
+    sketch_p99_ms: float = float("nan")
 
     @property
     def cold_start_rate(self) -> float:
@@ -267,6 +276,7 @@ class KeepAliveResult:
                     cell.cold_function_evictions,
                     round(cell.peak_used_bytes / GIB, 2),
                     cell.vms_per_host_estimate(self.config),
+                    cell.slo_breaches,
                 ]
             )
         return out
@@ -289,6 +299,7 @@ class KeepAliveResult:
                 f"{config.cold_function}_evicted",
                 "peak_gib",
                 "est_vms/host",
+                "breach",
             ],
             self.rows(),
         )
@@ -433,12 +444,33 @@ def _run_cell(
     for trace in _traces(config, trace_shape, stream):
         router.drive(trace)
 
+    labels = {
+        "mode": mode.value,
+        "policy": policy,
+        "horizon_s": horizon_s,
+        "trace": trace_shape,
+    }
+    monitor = SloMonitor(
+        sim,
+        router,
+        specs=fleet_slo_specs(
+            latency_objective_ns=int(config.slo_p99_ms * 1e6),
+            window_ns=config.slo_window_s * SEC,
+        ),
+        period_ns=config.sample_period_s * SEC,
+        labels=labels,
+    )
+    monitor.start(until_ns=horizon_ns)
+    fleet.attach_slo_monitor(monitor)
     fleet.start_pressure_monitor(
         period_ns=config.pressure_period_s * SEC, until_ns=horizon_ns
     )
-    collector = FleetCollector(sim, fleet, period_ns=config.sample_period_s * SEC)
+    collector = FleetCollector(
+        sim, fleet, period_ns=config.sample_period_s * SEC, labels=labels
+    )
     collector.start(until_ns=horizon_ns)
     router.run(until_ns=horizon_ns)
+    monitor.finish()
     for handle in fleet.handles:
         handle.vm.check_consistency()
 
@@ -465,6 +497,12 @@ def _run_cell(
             1 for e in evictions if e.function == config.cold_function
         ),
         peak_used_bytes=peak_used,
+        slo_breaches=monitor.breach_count(),
+        sketch_p99_ms=(
+            monitor.sketch.quantile(99.0) / 1e6
+            if len(monitor.sketch)
+            else float("nan")
+        ),
     )
 
 

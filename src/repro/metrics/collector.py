@@ -1,9 +1,25 @@
-"""Generic time-series collection for experiment instrumentation."""
+"""Generic time-series collection for experiment instrumentation.
+
+Two storage models live here:
+
+- :class:`TimeSeries` — the exact append-only ``(time_ns, value)`` log.
+  Memory grows with samples, so it is reserved for short-horizon rigs
+  and the fleet collector's explicit *exact mode*; the
+  ``no-unbounded-series`` lint rule flags any new use inside simulator
+  loops under ``cluster/``/``metrics/``.
+- :class:`~repro.obs.rollup.RollupSeries` — the bounded-memory rollup
+  the fleet collector records into by default (``bounded=True``):
+  per-bucket aggregates with deterministic compaction, O(buckets)
+  resident no matter the horizon.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.rollup import RollupSeries
+from repro.obs.session import context_for
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.units import SEC
 
@@ -14,14 +30,24 @@ __all__ = ["TimeSeries", "PeriodicSampler", "FleetCollector"]
 
 
 class TimeSeries:
-    """An append-only ``(time_ns, value)`` series."""
+    """An append-only ``(time_ns, value)`` series (exact, unbounded).
 
-    def __init__(self, name: str = ""):
+    ``kind`` names the measured quantity (``used``, ``committed``, ...)
+    so rollup consumers never have to parse display names.
+    """
+
+    def __init__(self, name: str = "", kind: str = ""):
         self.name = name
+        self.kind = kind
         self.samples: List[Tuple[int, float]] = []
 
     def record(self, time_ns: int, value: float) -> None:
-        """Append one sample (times must be non-decreasing)."""
+        """Append one sample (times must be non-decreasing, values finite)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"{self.name}: non-finite sample {value!r} at {time_ns}"
+            )
         if self.samples and time_ns < self.samples[-1][0]:
             raise ValueError(
                 f"{self.name}: sample at {time_ns} before {self.samples[-1][0]}"
@@ -69,7 +95,11 @@ class TimeSeries:
 
 
 class PeriodicSampler:
-    """Samples a callable into a :class:`TimeSeries` on a fixed period."""
+    """Samples a callable into a :class:`TimeSeries` on a fixed period.
+
+    Exact by design: small rigs want every sample back.  Long-horizon
+    collection belongs to :class:`FleetCollector` in bounded mode.
+    """
 
     def __init__(
         self,
@@ -83,7 +113,7 @@ class PeriodicSampler:
         self.sim = sim
         self.probe = probe
         self.period_ns = period_ns
-        self.series = TimeSeries(name)
+        self.series = TimeSeries(name)  # lint: allow[no-unbounded-series] exact-mode rig sampler, horizon-bounded
         self._stop = False
         self._process: Optional[Process] = None
 
@@ -100,7 +130,7 @@ class PeriodicSampler:
         while not self._stop:
             if until_ns is not None and self.sim.now > until_ns:
                 break
-            self.series.record(self.sim.now, float(self.probe()))
+            self.series.record(self.sim.now, float(self.probe()))  # lint: allow[no-unbounded-series] exact-mode rig sampler, horizon-bounded
             yield Timeout(self.period_ns)
         return self.series
 
@@ -110,30 +140,95 @@ class FleetCollector:
 
     One sampling loop records, for every NUMA node of every host, both
     the *used* bytes (what VMs actually back right now) and the
-    *committed* bytes (what admission has promised) at the same instants
-    — so per-host rollups are plain pointwise sums, with no
-    interpolation between misaligned series.
+    *committed* bytes (what admission has promised) at the same
+    instants.
+
+    In the default **bounded** mode every series is a
+    :class:`~repro.obs.rollup.RollupSeries` capped at ``max_buckets``
+    resident buckets, and per-host sums are recorded *at sample time*
+    (in the same host→node iteration order an exact pointwise sum
+    uses, so ``peak_used_bytes`` is bit-identical to exact mode) —
+    resident memory is O(hosts × nodes × buckets), independent of the
+    simulated horizon.  All bounded series register with the
+    simulator's obs context, so ``--trace`` exports them as ``rollup``
+    rows for ``obs-report``.
+
+    ``bounded=False`` keeps the historical exact :class:`TimeSeries`
+    log with lazily pointwise-summed host rollups — the golden-test
+    mode, and the equivalence oracle for the bounded path.
     """
 
-    def __init__(self, sim: Simulator, fleet: "Fleet", period_ns: int):
+    def __init__(
+        self,
+        sim: Simulator,
+        fleet: "Fleet",
+        period_ns: int,
+        bounded: bool = True,
+        max_buckets: int = 256,
+        labels: Optional[Dict[str, object]] = None,
+    ):
         if period_ns <= 0:
             raise ValueError("period must be positive")
         self.sim = sim
         self.fleet = fleet
         self.period_ns = period_ns
+        self.bounded = bounded
+        self.max_buckets = max_buckets
+        self.labels: Dict[str, object] = dict(labels or {})
         #: (host_index, node_id) → used-bytes series.
-        self.used: Dict[Tuple[int, int], TimeSeries] = {}
+        self.used: Dict[Tuple[int, int], object] = {}
         #: (host_index, node_id) → committed-bytes series.
-        self.committed: Dict[Tuple[int, int], TimeSeries] = {}
+        self.committed: Dict[Tuple[int, int], object] = {}
+        #: host_index → directly-recorded host-sum series (bounded mode).
+        self._host_used: Dict[int, RollupSeries] = {}
+        self._host_committed: Dict[int, RollupSeries] = {}
+        obs = context_for(sim)
         for host_index, host in enumerate(fleet.hosts):
             for node in host.nodes:
                 key = (host_index, node.node_id)
-                self.used[key] = TimeSeries(f"used-h{host_index}n{node.node_id}")
-                self.committed[key] = TimeSeries(
-                    f"committed-h{host_index}n{node.node_id}"
+                if bounded:
+                    self.used[key] = self._rollup(
+                        "used", host_index, node.node_id
+                    )
+                    self.committed[key] = self._rollup(
+                        "committed", host_index, node.node_id
+                    )
+                    obs.register_rollup(self.used[key])
+                    obs.register_rollup(self.committed[key])
+                else:
+                    self.used[key] = TimeSeries(  # lint: allow[no-unbounded-series] exact mode keeps the full sample log
+                        f"used-h{host_index}n{node.node_id}", kind="used"
+                    )
+                    self.committed[key] = TimeSeries(  # lint: allow[no-unbounded-series] exact mode keeps the full sample log
+                        f"committed-h{host_index}n{node.node_id}",
+                        kind="committed",
+                    )
+            if bounded:
+                self._host_used[host_index] = self._rollup(
+                    "used", host_index, None
                 )
+                self._host_committed[host_index] = self._rollup(
+                    "committed", host_index, None
+                )
+                obs.register_rollup(self._host_used[host_index])
+                obs.register_rollup(self._host_committed[host_index])
         self._stop = False
         self._process: Optional[Process] = None
+
+    def _rollup(
+        self, kind: str, host_index: int, node_id: Optional[int]
+    ) -> RollupSeries:
+        suffix = f"h{host_index}" if node_id is None else f"h{host_index}n{node_id}"
+        labels: Dict[str, object] = dict(self.labels)
+        labels["host"] = host_index
+        if node_id is not None:
+            labels["node"] = node_id
+        return RollupSeries(
+            f"{kind}-{suffix}",
+            kind=kind,
+            max_buckets=self.max_buckets,
+            labels=labels,
+        )
 
     def start(self, until_ns: Optional[int] = None) -> Process:
         """Start sampling (one sample immediately, then every period)."""
@@ -148,28 +243,39 @@ class FleetCollector:
         while not self._stop:
             if until_ns is not None and self.sim.now > until_ns:
                 break
-            now = self.sim.now
-            for host_index, host in enumerate(self.fleet.hosts):
-                for node in host.nodes:
-                    key = (host_index, node.node_id)
-                    self.used[key].record(now, float(node.used_bytes))
-                    self.committed[key].record(
-                        now,
-                        float(
-                            self.fleet.arbiter.committed_bytes(
-                                host_index, node.node_id
-                            )
-                        ),
-                    )
+            self._sample(self.sim.now)
             yield Timeout(self.period_ns)
         return None
 
+    def _sample(self, now: int) -> None:
+        """Record one aligned snapshot of every node (and host sums)."""
+        for host_index, host in enumerate(self.fleet.hosts):
+            used_total = 0.0
+            committed_total = 0.0
+            for node in host.nodes:
+                key = (host_index, node.node_id)
+                used = float(node.used_bytes)
+                committed = float(
+                    self.fleet.arbiter.committed_bytes(
+                        host_index, node.node_id
+                    )
+                )
+                self.used[key].record(now, used)  # type: ignore[attr-defined]
+                self.committed[key].record(now, committed)  # type: ignore[attr-defined]
+                # Summed in node order: identical float accumulation to
+                # exact mode's pointwise sum, so peaks agree bit-for-bit.
+                used_total += used
+                committed_total += committed
+            if self.bounded:
+                self._host_used[host_index].record(now, used_total)
+                self._host_committed[host_index].record(now, committed_total)
+
     # -- rollups -------------------------------------------------------
     def _host_sum(
-        self, table: Dict[Tuple[int, int], TimeSeries], host_index: int
+        self, table: Dict[Tuple[int, int], object], host_index: int
     ) -> TimeSeries:
-        parts = [
-            series
+        parts: List[TimeSeries] = [
+            series  # type: ignore[misc]
             for (h, _), series in table.items()
             if h == host_index
         ]
@@ -182,19 +288,48 @@ class FleetCollector:
                 f"host {host_index}: misaligned per-node series — a "
                 f"pointwise sum needs equal lengths, got {detail}"
             )
-        rolled = TimeSeries(f"{parts[0].name.split('-')[0]}-h{host_index}")
+        rolled = TimeSeries(  # lint: allow[no-unbounded-series] exact-mode rollup, derived once per query
+            f"{parts[0].kind}-h{host_index}", kind=parts[0].kind
+        )
         for i, (time_ns, _) in enumerate(parts[0].samples):
             rolled.record(time_ns, sum(p.samples[i][1] for p in parts))
         return rolled
 
-    def host_used_series(self, host_index: int) -> TimeSeries:
-        """Pointwise-summed used bytes across one host's nodes."""
+    def host_used_series(self, host_index: int):
+        """Summed used bytes across one host's nodes.
+
+        Bounded mode returns the directly-recorded
+        :class:`~repro.obs.rollup.RollupSeries`; exact mode computes
+        the pointwise :class:`TimeSeries` sum on demand.
+        """
+        if self.bounded:
+            if host_index not in self._host_used:
+                raise ValueError(f"no series for host {host_index}")
+            return self._host_used[host_index]
         return self._host_sum(self.used, host_index)
 
-    def host_committed_series(self, host_index: int) -> TimeSeries:
-        """Pointwise-summed committed bytes across one host's nodes."""
+    def host_committed_series(self, host_index: int):
+        """Summed committed bytes across one host's nodes."""
+        if self.bounded:
+            if host_index not in self._host_committed:
+                raise ValueError(f"no series for host {host_index}")
+            return self._host_committed[host_index]
         return self._host_sum(self.committed, host_index)
 
     def peak_used_bytes(self, host_index: int) -> float:
         """Peak of the host's summed used-bytes timeline."""
         return self.host_used_series(host_index).max_value()
+
+    def bucket_count(self) -> int:
+        """Total resident rollup buckets (bounded mode memory bound)."""
+        if not self.bounded:
+            raise ValueError("bucket_count is a bounded-mode invariant")
+        series: List[RollupSeries] = [
+            s for s in self.used.values() if isinstance(s, RollupSeries)
+        ]
+        series += [
+            s for s in self.committed.values() if isinstance(s, RollupSeries)
+        ]
+        series += list(self._host_used.values())
+        series += list(self._host_committed.values())
+        return sum(s.bucket_count() for s in series)

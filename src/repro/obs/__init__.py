@@ -9,6 +9,12 @@ faults (:mod:`repro.obs.context`), the global ``--trace`` session
 (:mod:`repro.obs.export`) and the unplug phase-attribution report
 (:mod:`repro.obs.report`).
 
+The streaming layer rides on top: bounded-memory rollup series
+(:mod:`repro.obs.rollup`), mergeable quantile sketches
+(:mod:`repro.obs.sketch`), windowed SLO burn-rate monitors
+(:mod:`repro.obs.slo`) and the ``obs-report`` fleet dashboard
+(:mod:`repro.obs.dashboard`).
+
 Everything is opt-in: with no session installed the datapath threads
 the inert ``NO_OBS``/``NO_SCOPE``/``NULL_SPAN`` singletons and runs
 byte-identical to an unobserved tree.  Even when tracing is on, spans
@@ -17,6 +23,11 @@ every latency — is unchanged.
 """
 
 from repro.obs.context import NO_OBS, NO_SCOPE, ObsContext, ObsScope
+from repro.obs.dashboard import (
+    ObsReport,
+    build_obs_report,
+    load_obs_report,
+)
 from repro.obs.export import (
     TraceExportSummary,
     context_rows,
@@ -29,6 +40,9 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import TraceReport, build_report, load_report
+from repro.obs.rollup import RollupSeries
+from repro.obs.sketch import SKETCH_RELATIVE_ERROR, QuantileSketch
+from repro.obs.slo import SloMonitor, SloSpec, SloWindow
 from repro.obs.session import (
     ObsSession,
     context_for,
@@ -62,6 +76,13 @@ __all__ = [
     "context_for",
     "traced",
     "scoped_session",
+    # streaming telemetry
+    "RollupSeries",
+    "QuantileSketch",
+    "SKETCH_RELATIVE_ERROR",
+    "SloMonitor",
+    "SloSpec",
+    "SloWindow",
     # export + report
     "TraceExportSummary",
     "export_session",
@@ -74,4 +95,7 @@ __all__ = [
     "TraceReport",
     "build_report",
     "load_report",
+    "ObsReport",
+    "build_obs_report",
+    "load_obs_report",
 ]

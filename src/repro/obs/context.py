@@ -15,12 +15,14 @@ code paths at near-zero cost, and emitted spans degrade to
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import NULL_SPAN, SpanLike, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.rollup import RollupSeries
+    from repro.obs.sketch import QuantileSketch
     from repro.sim.engine import Simulator
 
 __all__ = ["NO_OBS", "NO_SCOPE", "ObsContext", "ObsScope"]
@@ -37,6 +39,10 @@ class ObsContext:
         self.label = label
         self.tracer = Tracer(enabled=enabled)
         self.metrics = MetricsRegistry(enabled=enabled)
+        #: Streaming telemetry registered for export, in registration
+        #: order (deterministic: collectors register at construction).
+        self.rollups: List["RollupSeries"] = []
+        self.sketches: List["QuantileSketch"] = []
         self.sim: Optional["Simulator"] = None
 
     def bind_sim(self, sim: "Simulator") -> None:
@@ -48,6 +54,19 @@ class ObsContext:
         if not self.enabled:
             return NO_SCOPE
         return ObsScope(self, dict(attrs))
+
+    def register_rollup(self, series: "RollupSeries") -> None:
+        """Export ``series`` with this context's trace (no-op untraced).
+
+        The disabled singleton must stay inert — registering on
+        ``NO_OBS`` would leak every run's series into a global."""
+        if self.enabled:
+            self.rollups.append(series)
+
+    def register_sketch(self, sketch: "QuantileSketch") -> None:
+        """Export ``sketch`` with this context's trace (no-op untraced)."""
+        if self.enabled:
+            self.sketches.append(sketch)
 
     def finalize(self) -> int:
         """Force-close spans left open by a run cut at its time budget."""

@@ -1,0 +1,356 @@
+"""Fleet telemetry dashboard over an exported trace.
+
+``python -m repro.experiments obs-report`` is ``trace-report``'s
+streaming sibling: instead of attributing individual unplug spans, it
+renders the *continuous* telemetry the streaming layer exported —
+per-host used/committed memory timelines (``rollup`` rows), merged
+quantile-sketch percentile tables (``sketch`` rows, merged across
+contexts with :meth:`QuantileSketch.merge`), SLO breach windows
+(``slo.breach`` spans), and the eviction → cold-start attribution the
+trace report also shows.
+
+Rendering is deterministic — rows sort by ``(name, labels, context)``
+and every number formats through fixed-width format specs — so the
+report's SHA-256 digest is byte-stable across reruns and sweep worker
+counts; CI gates on exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.report import EvictionAttribution, _attribute_evictions
+from repro.obs.rollup import RollupSeries
+from repro.obs.sketch import QuantileSketch
+from repro.units import GIB, SEC
+
+__all__ = [
+    "BreachWindow",
+    "ObsReport",
+    "RollupSummary",
+    "SketchSummary",
+    "build_obs_report",
+    "load_obs_report",
+]
+
+#: Sparkline glyphs, low to high (ASCII so CI logs stay clean).
+SPARK_LEVELS = ".:-=+*#%@"
+#: Sparkline width cap (buckets re-chunk into at most this many cells).
+SPARK_WIDTH = 40
+
+
+def _labels_key(labels: Dict[str, object]) -> str:
+    return json.dumps(labels, sort_keys=True, separators=(",", ":"))
+
+
+def _spark(series: RollupSeries) -> str:
+    """A fixed-width ASCII sparkline of the per-bucket means."""
+    timeline = series.timeline()
+    if not timeline:
+        return ""
+    means = [mean for _, _, _, mean, _ in timeline]
+    if len(means) > SPARK_WIDTH:
+        chunked: List[float] = []
+        for cell in range(SPARK_WIDTH):
+            lo = cell * len(means) // SPARK_WIDTH
+            hi = max(lo + 1, (cell + 1) * len(means) // SPARK_WIDTH)
+            chunk = means[lo:hi]
+            chunked.append(sum(chunk) / len(chunk))
+        means = chunked
+    lo = min(means)
+    hi = max(means)
+    if hi <= lo:
+        return SPARK_LEVELS[0] * len(means)
+    scale = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[int((value - lo) / (hi - lo) * scale)]
+        for value in means
+    )
+
+
+@dataclass
+class RollupSummary:
+    """One rendered rollup timeline row."""
+
+    context: int
+    name: str
+    kind: str
+    labels: Dict[str, object]
+    samples: int
+    buckets: int
+    width_ns: int
+    vmin: float
+    mean: float
+    vmax: float
+    last: float
+    spark: str
+
+
+@dataclass
+class SketchSummary:
+    """One merged sketch percentile row (possibly many contexts)."""
+
+    name: str
+    unit: str
+    labels: Dict[str, object]
+    contexts: int
+    count: int
+    p50: int
+    p90: int
+    p99: int
+    p999: int
+    vmax: int
+
+
+@dataclass
+class BreachWindow:
+    """One ``slo.breach`` span from the trace."""
+
+    context: int
+    slo: str
+    kind: str
+    start_ns: int
+    end_ns: int
+    bad: int
+    total: int
+    pressure: int
+    burn_x1000: int
+
+
+@dataclass
+class ObsReport:
+    """Everything ``obs-report`` renders."""
+
+    rollups: List[RollupSummary]
+    sketches: List[SketchSummary]
+    breaches: List[BreachWindow]
+    eviction_policies: List[EvictionAttribution] = field(default_factory=list)
+    contexts: int = 0
+    #: Every rollup row in the trace (host-level + per-node).
+    rollup_rows: int = 0
+
+    def render(self) -> str:
+        lines = ["obs-report: fleet streaming telemetry"]
+        lines.extend(self._render_rollups())
+        lines.extend(self._render_sketches())
+        lines.extend(self._render_breaches())
+        lines.extend(self._render_evictions())
+        lines.append(
+            f"  contexts={self.contexts} rollups={self.rollup_rows} "
+            f"sketches={len(self.sketches)} breaches={len(self.breaches)}"
+        )
+        return "\n".join(lines)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the rendered report (the CI rerun gate)."""
+        return hashlib.sha256(self.render().encode()).hexdigest()
+
+    def summary_line(self, path: str) -> str:
+        return (
+            f"[obs-report: sha256={self.digest} "
+            f"rollups={self.rollup_rows} sketches={len(self.sketches)} "
+            f"breaches={len(self.breaches)} file={path}]"
+        )
+
+    # -- sections ------------------------------------------------------
+    def _render_rollups(self) -> List[str]:
+        lines = ["  host memory timelines (per-host rollups):"]
+        if not self.rollups:
+            lines.append("    (no rollup rows in this trace)")
+            return lines
+        lines.append(
+            f"    {'series':<14} {'ctx':>3} {'mode':<16} {'samples':>7} "
+            f"{'bkts':>4} {'min_gib':>8} {'mean_gib':>9} {'max_gib':>8} "
+            f"{'last_gib':>9}  timeline"
+        )
+        for row in self.rollups:
+            mode = str(row.labels.get("mode", "-"))
+            lines.append(
+                f"    {row.name:<14} {row.context:>3} {mode:<16} "
+                f"{row.samples:>7} {row.buckets:>4} "
+                f"{row.vmin / GIB:>8.3f} {row.mean / GIB:>9.3f} "
+                f"{row.vmax / GIB:>8.3f} {row.last / GIB:>9.3f}  "
+                f"|{row.spark}|"
+            )
+        hidden = self.rollup_rows - len(self.rollups)
+        if hidden > 0:
+            lines.append(
+                f"    (+{hidden} per-node rollup series"
+                f" summarised into the host rows above)"
+            )
+        return lines
+
+    def _render_sketches(self) -> List[str]:
+        lines = ["  sketch percentiles (merged across contexts):"]
+        if not self.sketches:
+            lines.append("    (no sketch rows in this trace)")
+            return lines
+        lines.append(
+            f"    {'sketch':<28} {'mode':<16} {'ctxs':>4} {'count':>7} "
+            f"{'p50_ms':>8} {'p90_ms':>8} {'p99_ms':>8} {'p99.9_ms':>9} "
+            f"{'max_ms':>8}"
+        )
+        for row in self.sketches:
+            mode = str(row.labels.get("mode", "all"))
+            lines.append(
+                f"    {row.name:<28} {mode:<16} {row.contexts:>4} "
+                f"{row.count:>7} {row.p50 / 1e6:>8.3f} {row.p90 / 1e6:>8.3f} "
+                f"{row.p99 / 1e6:>8.3f} {row.p999 / 1e6:>9.3f} "
+                f"{row.vmax / 1e6:>8.3f}"
+            )
+        return lines
+
+    def _render_breaches(self) -> List[str]:
+        lines = ["  slo breach windows:"]
+        if not self.breaches:
+            lines.append("    (none)")
+            return lines
+        lines.append(
+            f"    {'ctx':>3} {'slo':<14} {'kind':<10} {'window_s':>17} "
+            f"{'bad/total':>10} {'burn':>6} {'pressure':>8}"
+        )
+        for b in self.breaches:
+            window = f"{b.start_ns / SEC:.1f}-{b.end_ns / SEC:.1f}"
+            lines.append(
+                f"    {b.context:>3} {b.slo:<14} {b.kind:<10} {window:>17} "
+                f"{f'{b.bad}/{b.total}':>10} {b.burn_x1000 / 1000:>6.2f} "
+                f"{b.pressure:>8}"
+            )
+        return lines
+
+    def _render_evictions(self) -> List[str]:
+        if not self.eviction_policies:
+            return []
+        lines = ["  eviction -> cold-start attribution by policy:"]
+        lines.append(
+            f"    {'policy':<12} {'evicted':>7} {'pressure':>8} "
+            f"{'recold':>6} {'recold%':>7} {'p50_gap_ms':>10}"
+        )
+        for policy in self.eviction_policies:
+            lines.append(
+                f"    {policy.policy:<12} {policy.evictions:>7} "
+                f"{policy.pressure_evictions:>8} {policy.recolds:>6} "
+                f"{policy.recold_frac:>6.1%} "
+                f"{policy.median_recold_ns / 1e6:>10.3f}"
+            )
+        return lines
+
+
+def build_obs_report(records: List[Dict[str, object]]) -> ObsReport:
+    """Assemble the dashboard from parsed JSONL trace records."""
+    spans: Dict[Tuple[int, int], Dict[str, object]] = {}
+    contexts = set()
+    rollup_rows: List[Dict[str, object]] = []
+    sketch_rows: List[Dict[str, object]] = []
+    breaches: List[BreachWindow] = []
+    for record in records:
+        kind = record.get("type")
+        if "context" in record:
+            contexts.add(int(record["context"]))
+        if kind == "span":
+            key = (int(record["context"]), int(record["id"]))
+            spans[key] = record
+            if record.get("name") == "slo.breach":
+                attrs = record.get("attrs") or {}
+                breaches.append(
+                    BreachWindow(
+                        context=key[0],
+                        slo=str(attrs.get("slo", "?")),
+                        kind=str(attrs.get("kind", "?")),
+                        start_ns=int(record["start_ns"]),
+                        end_ns=int(record["end_ns"] or record["start_ns"]),
+                        bad=int(attrs.get("bad", 0)),
+                        total=int(attrs.get("total", 0)),
+                        pressure=int(attrs.get("pressure", 0)),
+                        burn_x1000=int(attrs.get("burn_x1000", 0)),
+                    )
+                )
+        elif kind == "rollup":
+            rollup_rows.append(record)
+        elif kind == "sketch":
+            sketch_rows.append(record)
+
+    rollups: List[RollupSummary] = []
+    for row in sorted(
+        rollup_rows,
+        key=lambda r: (
+            str(r.get("name", "")),
+            _labels_key(r.get("labels") or {}),  # type: ignore[arg-type]
+            int(r.get("context", 0)),
+        ),
+    ):
+        labels = dict(row.get("labels") or {})  # type: ignore[arg-type]
+        if "node" in labels:
+            continue  # host-level rows carry the per-node sums already
+        series = RollupSeries.from_row(row)
+        if not series.buckets:
+            continue
+        rollups.append(
+            RollupSummary(
+                context=int(row.get("context", 0)),
+                name=series.name,
+                kind=series.kind,
+                labels=labels,
+                samples=series.count,
+                buckets=series.bucket_count(),
+                width_ns=series.width_ns,
+                vmin=series.min_value(),
+                mean=series.mean(),
+                vmax=series.max_value(),
+                last=series.last()[1],
+                spark=_spark(series),
+            )
+        )
+
+    merged: Dict[Tuple[str, str], Tuple[QuantileSketch, set]] = {}
+    for row in sketch_rows:
+        sketch = QuantileSketch.from_row(row)
+        key = (sketch.name, _labels_key(sketch.labels))
+        if key not in merged:
+            merged[key] = (sketch, set())
+        else:
+            merged[key][0].merge(sketch)
+        merged[key][1].add(int(row.get("context", 0)))
+
+    sketches: List[SketchSummary] = []
+    for key in sorted(merged):
+        sketch, ctxs = merged[key]
+        if not sketch.count:
+            continue
+        sketches.append(
+            SketchSummary(
+                name=sketch.name,
+                unit=sketch.unit,
+                labels=dict(sketch.labels),
+                contexts=len(ctxs),
+                count=sketch.count,
+                p50=sketch.quantile(50),
+                p90=sketch.quantile(90),
+                p99=sketch.quantile(99),
+                p999=sketch.quantile(99.9),
+                vmax=sketch.vmax,
+            )
+        )
+
+    breaches.sort(
+        key=lambda b: (b.context, b.slo, b.start_ns, b.end_ns)
+    )
+    return ObsReport(
+        rollups=rollups,
+        sketches=sketches,
+        breaches=breaches,
+        eviction_policies=_attribute_evictions(spans),
+        contexts=len(contexts),
+        rollup_rows=len(rollup_rows),
+    )
+
+
+def load_obs_report(path: str) -> ObsReport:
+    """Read an exported JSONL trace and build its dashboard."""
+    from repro.obs.export import read_trace
+
+    return build_obs_report(read_trace(path))

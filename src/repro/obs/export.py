@@ -13,6 +13,16 @@ Schema (see ``docs/observability.md``):
   "attrs": {...}}``
 - ``{"type": "metric", "context": i, "kind": "counter"|"gauge"|
   "histogram", "name": ..., "labels": {...}, ...}``
+- ``{"type": "rollup", "context": i, "name": ..., "kind": ...,
+  "labels": {...}, "width_ns": ..., "samples": ...,
+  "buckets": [[start_ns, count, sum, min, max, first, last], ...]}``
+- ``{"type": "sketch", "context": i, "name": ..., "unit": ...,
+  "labels": {...}, "subbuckets": ..., "count": ..., "total": ...,
+  "min": ..., "max": ..., "buckets": {"exp:sub": n, ...}}``
+
+Rollup and sketch rows appear only for contexts that registered
+streaming telemetry (``ObsContext.register_rollup`` /
+``register_sketch``), sorted by ``(name, labels)`` within the context.
 """
 
 from __future__ import annotations
@@ -105,7 +115,26 @@ def context_rows(
         row: Dict[str, object] = {"type": "metric", "context": i}
         row.update(metric)
         rows.append(row)
+    for body in _telemetry_rows(context):
+        body["context"] = i
+        rows.append(body)
     return rows
+
+
+def _sorted_bodies(items) -> List[Dict[str, object]]:
+    bodies = [item.to_row() for item in items]
+    bodies.sort(
+        key=lambda body: (
+            str(body.get("name", "")),
+            json.dumps(body.get("labels", {}), sort_keys=True),
+        )
+    )
+    return bodies
+
+
+def _telemetry_rows(context: ObsContext) -> List[Dict[str, object]]:
+    """Registered rollup/sketch rows, sorted for byte-stable export."""
+    return _sorted_bodies(context.rollups) + _sorted_bodies(context.sketches)
 
 
 def session_rows(session: ObsSession) -> List[Dict[str, object]]:

@@ -1,0 +1,257 @@
+"""Bounded-memory, multi-resolution rollup series.
+
+:class:`RollupSeries` is the streaming replacement for the unbounded
+``TimeSeries`` append log: samples land in fixed-width time buckets
+that keep only the aggregates a fleet dashboard needs — ``count``,
+``sum``, ``min``, ``max``, ``first``, ``last`` — so memory is
+O(buckets), not O(samples), no matter how long the simulated horizon
+runs.
+
+When the bucket list would exceed ``max_buckets``, the series
+*compacts*: the bucket width doubles and adjacent buckets merge
+pairwise (aligned on the new width).  Compaction is a pure function of
+the samples recorded so far, so two runs that record the same
+``(time_ns, value)`` stream hold byte-identical bucket lists —
+the property the sweep runner's shard-invariance gate relies on.
+
+At the finest resolution (``width_ns=1`` and enough buckets that no
+compaction fires) every bucket holds exactly one sample and the
+aggregates are *exactly* those of a ``TimeSeries`` over the same
+stream; ``tests/obs/test_rollup.py`` proves the equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.units import SEC
+
+__all__ = ["RollupSeries", "RollupBucket"]
+
+
+class RollupBucket:
+    """Aggregates of every sample in one ``[start, start+width)`` slot."""
+
+    __slots__ = (
+        "index",
+        "count",
+        "total",
+        "vmin",
+        "vmax",
+        "first",
+        "last",
+        "first_ns",
+        "last_ns",
+    )
+
+    def __init__(self, index: int, time_ns: int, value: float) -> None:
+        self.index = index
+        self.count = 1
+        self.total = value
+        self.vmin = value
+        self.vmax = value
+        self.first = value
+        self.last = value
+        self.first_ns = time_ns
+        self.last_ns = time_ns
+
+    def add(self, time_ns: int, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        self.last = value
+        self.last_ns = time_ns
+
+    def absorb(self, other: "RollupBucket") -> None:
+        """Merge a later bucket into this one (compaction step)."""
+        self.count += other.count
+        self.total += other.total
+        if other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if other.vmax > self.vmax:
+            self.vmax = other.vmax
+        self.last = other.last
+        self.last_ns = other.last_ns
+
+
+class RollupSeries:
+    """A bounded-memory time series of per-bucket aggregates.
+
+    ``kind`` names what the series measures (``used``, ``committed``,
+    ...) independently of the display ``name`` — rollup consumers key
+    on it instead of parsing names.  ``labels`` ride into the exported
+    row untouched.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        kind: str = "",
+        max_buckets: int = 256,
+        width_ns: int = 1,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if max_buckets < 2:
+            raise ValueError(f"{name}: max_buckets must be >= 2")
+        if width_ns < 1:
+            raise ValueError(f"{name}: width_ns must be >= 1")
+        self.name = name
+        self.kind = kind
+        self.max_buckets = max_buckets
+        self.width_ns = width_ns
+        self.labels: Dict[str, object] = dict(labels or {})
+        self.buckets: List[RollupBucket] = []
+        self.count = 0
+        self._last_ns = 0
+
+    # -- recording -----------------------------------------------------
+    def record(self, time_ns: int, value: float) -> None:
+        """Fold one sample in (times must be non-decreasing)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"{self.name}: non-finite sample {value!r} at {time_ns}"
+            )
+        if self.count and time_ns < self._last_ns:
+            raise ValueError(
+                f"{self.name}: sample at {time_ns} before {self._last_ns}"
+            )
+        self._last_ns = time_ns
+        self.count += 1
+        index = time_ns // self.width_ns
+        if self.buckets and self.buckets[-1].index == index:
+            self.buckets[-1].add(time_ns, value)
+        else:
+            self.buckets.append(RollupBucket(index, time_ns, value))
+            while len(self.buckets) > self.max_buckets:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Double the bucket width and merge pairwise (deterministic)."""
+        self.width_ns *= 2
+        merged: List[RollupBucket] = []
+        for bucket in self.buckets:
+            bucket.index //= 2
+            if merged and merged[-1].index == bucket.index:
+                merged[-1].absorb(bucket)
+            else:
+                merged.append(bucket)
+        self.buckets = merged
+
+    # -- aggregates (exact under any amount of compaction) -------------
+    def __len__(self) -> int:
+        return self.count
+
+    def bucket_count(self) -> int:
+        """Resident buckets — the memory bound, ``<= max_buckets``."""
+        return len(self.buckets)
+
+    def last(self) -> Tuple[int, float]:
+        """The most recent sample (exact)."""
+        if not self.buckets:
+            raise ValueError(f"{self.name}: empty series")
+        tail = self.buckets[-1]
+        return tail.last_ns, tail.last
+
+    def first(self) -> Tuple[int, float]:
+        """The oldest sample (exact)."""
+        if not self.buckets:
+            raise ValueError(f"{self.name}: empty series")
+        head = self.buckets[0]
+        return head.first_ns, head.first
+
+    def max_value(self) -> float:
+        """Largest sampled value (exact)."""
+        if not self.buckets:
+            raise ValueError(f"{self.name}: empty series")
+        return max(b.vmax for b in self.buckets)
+
+    def min_value(self) -> float:
+        """Smallest sampled value (exact)."""
+        if not self.buckets:
+            raise ValueError(f"{self.name}: empty series")
+        return min(b.vmin for b in self.buckets)
+
+    def total(self) -> float:
+        """Sum of every sampled value (exact)."""
+        return sum(b.total for b in self.buckets)
+
+    def mean(self) -> float:
+        """Mean of every sampled value (exact)."""
+        if not self.count:
+            raise ValueError(f"{self.name}: empty series")
+        return self.total() / self.count
+
+    def delta(self) -> float:
+        """Last value minus first value (exact; cumulative series)."""
+        if not self.buckets:
+            return 0.0
+        return self.buckets[-1].last - self.buckets[0].first
+
+    # -- rendering / export --------------------------------------------
+    def timeline(self) -> List[Tuple[int, int, float, float, float]]:
+        """``(start_ns, count, min, mean, max)`` per resident bucket."""
+        return [
+            (
+                b.index * self.width_ns,
+                b.count,
+                b.vmin,
+                b.total / b.count,
+                b.vmax,
+            )
+            for b in self.buckets
+        ]
+
+    def times_s(self) -> List[float]:
+        """Bucket start times in seconds (rendering axis)."""
+        return [b.index * self.width_ns / SEC for b in self.buckets]
+
+    def to_row(self) -> Dict[str, object]:
+        """The exported JSONL record body (``context`` added by export)."""
+        return {
+            "type": "rollup",
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "width_ns": self.width_ns,
+            "samples": self.count,
+            "buckets": [
+                [
+                    b.index * self.width_ns,
+                    b.count,
+                    b.total,
+                    b.vmin,
+                    b.vmax,
+                    b.first,
+                    b.last,
+                ]
+                for b in self.buckets
+            ],
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "RollupSeries":
+        """Rebuild a (read-only) series from an exported record."""
+        series = cls(
+            name=str(row.get("name", "")),
+            kind=str(row.get("kind", "")),
+            width_ns=int(row.get("width_ns", 1)),
+            labels=dict(row.get("labels") or {}),  # type: ignore[arg-type]
+        )
+        for raw in row.get("buckets") or []:  # type: ignore[union-attr]
+            start_ns, count, total, vmin, vmax, first, last = raw
+            bucket = RollupBucket(
+                int(start_ns) // series.width_ns, int(start_ns), float(first)
+            )
+            bucket.count = int(count)
+            bucket.total = float(total)
+            bucket.vmin = float(vmin)
+            bucket.vmax = float(vmax)
+            bucket.last = float(last)
+            series.buckets.append(bucket)
+        series.count = int(row.get("samples", 0))
+        return series

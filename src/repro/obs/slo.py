@@ -1,0 +1,322 @@
+"""Windowed SLO burn-rate monitors over the invocation stream.
+
+:class:`SloMonitor` is the continuous-monitoring half of the obs
+stack: a simulator process that tails a router's completed
+:class:`~repro.faas.records.InvocationRecord` stream, folds successful
+latencies into a mergeable :class:`~repro.obs.sketch.QuantileSketch`,
+and buckets every completion into fixed-width *error-budget windows*
+per :class:`SloSpec`.  When a window closes, its **burn rate** is
+
+    burn = (bad / total) / budget
+
+— how many times faster than allowed the window spent its error
+budget.  A window with ``burn >= burn_threshold`` (and at least
+``min_requests`` completions) is a *breach*: the monitor emits an
+``slo.breach`` span covering exactly the window (parented under one
+long-lived ``slo.monitor`` root span) and bumps the labeled
+``slo.breach_total`` counter, so breaches land in the exported trace
+next to the rollups and sketches that explain them.
+
+Two SLO kinds ship:
+
+- ``latency`` — bad means the invocation failed or its end-to-end
+  latency exceeded ``objective_ns``.
+- ``cold-start`` — bad means the invocation cold-started.
+
+Everything is driven by the simulated clock and the deterministic
+record stream, so breach windows are byte-identical across reruns and
+worker counts.  Experiments call :meth:`SloMonitor.finish` after the
+router drains: it ingests the tail, closes every remaining window at
+known instants, and closes the root span — keeping the ``--trace``
+open-span gate at zero without relying on run-cut hygiene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.session import context_for
+from repro.obs.sketch import QuantileSketch
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.routing import TraceRouter
+
+__all__ = ["SloMonitor", "SloSpec", "SloWindow", "fleet_slo_specs"]
+
+#: Valid ``SloSpec.kind`` values.
+SLO_KINDS = ("latency", "cold-start")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One objective: what counts as bad, and how much bad is budgeted."""
+
+    name: str
+    kind: str = "latency"
+    #: Latency threshold (``latency`` kind only); ignored for cold-start.
+    objective_ns: int = 0
+    #: Allowed bad fraction per window (the error budget).
+    budget: float = 0.01
+    window_ns: int = 8 * SEC
+    #: Breach when the window burns its budget this many times over.
+    burn_threshold: float = 1.0
+    #: Windows with fewer completions than this never breach.
+    min_requests: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(
+                f"{self.name}: unknown SLO kind {self.kind!r} "
+                f"(expected one of {SLO_KINDS})"
+            )
+        if not 0 < self.budget <= 1:
+            raise ValueError(f"{self.name}: budget must be in (0, 1]")
+        if self.window_ns <= 0:
+            raise ValueError(f"{self.name}: window must be positive")
+
+
+def fleet_slo_specs(
+    latency_objective_ns: int,
+    window_ns: int = 8 * SEC,
+    latency_budget: float = 0.01,
+    cold_budget: float = 0.25,
+    min_requests: int = 10,
+) -> Tuple[SloSpec, SloSpec]:
+    """The standard fleet pair: a latency SLO and a cold-start SLO.
+
+    A P99-style latency objective budgets 1% bad per window; cold
+    starts budget 25% — keepalive is supposed to absorb the rest."""
+    return (
+        SloSpec(
+            name="latency",
+            kind="latency",
+            objective_ns=latency_objective_ns,
+            budget=latency_budget,
+            window_ns=window_ns,
+            min_requests=min_requests,
+        ),
+        SloSpec(
+            name="cold-start",
+            kind="cold-start",
+            budget=cold_budget,
+            window_ns=window_ns,
+            min_requests=min_requests,
+        ),
+    )
+
+
+@dataclass
+class SloWindow:
+    """One closed error-budget window."""
+
+    slo: str
+    index: int
+    start_ns: int
+    end_ns: int
+    bad: int
+    total: int
+    pressure: int
+    burn: float
+    breached: bool
+
+
+@dataclass
+class _OpenWindow:
+    bad: int = 0
+    total: int = 0
+    pressure: int = 0
+
+
+class SloMonitor:
+    """Tails ``router.records`` and closes burn-rate windows on a period."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: "TraceRouter",
+        specs: Sequence[SloSpec],
+        period_ns: int,
+        labels: Optional[Dict[str, object]] = None,
+        sketch_name: str = "fleet.invocation_latency_ns",
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.sim = sim
+        self.router = router
+        self.specs = tuple(specs)
+        self.period_ns = period_ns
+        self.labels: Dict[str, object] = dict(labels or {})
+        self._obs = context_for(sim)
+        self._scope = self._obs.scope(**self.labels)
+        #: Successful-invocation latencies, exported and shard-merged.
+        self.sketch = QuantileSketch(
+            name=sketch_name, unit="ns", labels=dict(self.labels)
+        )
+        self._obs.register_sketch(self.sketch)
+        self.windows: List[SloWindow] = []
+        self._open: Dict[str, Dict[int, _OpenWindow]] = {
+            spec.name: {} for spec in self.specs
+        }
+        self._cursor = 0
+        self._root = None
+        self._stop = False
+        self._finished = False
+        self._process: Optional[Process] = None
+
+    # -- results -------------------------------------------------------
+    @property
+    def breaches(self) -> List[SloWindow]:
+        return [w for w in self.windows if w.breached]
+
+    def breach_count(self, slo: Optional[str] = None) -> int:
+        return sum(
+            1
+            for w in self.windows
+            if w.breached and (slo is None or w.slo == slo)
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, until_ns: Optional[int] = None) -> Process:
+        """Start the periodic tick (first flush after one period)."""
+        if self._process is not None:
+            raise ValueError("SLO monitor already started")
+        self._root = self._scope.span(
+            "slo.monitor", slo_count=len(self.specs)
+        )
+        self._process = self.sim.spawn(
+            self._loop(until_ns), name="slo-monitor"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        """Stop after the current period elapses."""
+        self._stop = True
+
+    def _loop(self, until_ns: Optional[int]):
+        while not self._stop:
+            if until_ns is not None and self.sim.now > until_ns:
+                break
+            self._ingest()
+            self._close_elapsed(self.sim.now)
+            yield Timeout(self.period_ns)
+        return None
+
+    def finish(self) -> None:
+        """Drain the record tail and close every remaining window.
+
+        Idempotent.  Partial final windows close at the simulated *now*
+        instead of their nominal boundary — the run was cut there, so
+        that is the last instant the window describes.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self._stop = True
+        self._ingest()
+        now = self.sim.now
+        for spec in self.specs:
+            open_windows = self._open[spec.name]
+            for index in sorted(open_windows):
+                boundary = (index + 1) * spec.window_ns
+                self._close_window(spec, index, min(boundary, now))
+            open_windows.clear()
+        if self._root is not None:
+            self._root.close(end_ns=now, windows=len(self.windows))
+
+    # -- pressure hook (called by Fleet._pressure_loop) ----------------
+    def note_pressure(
+        self, time_ns: int, host_index: int, node_id: int
+    ) -> None:
+        """Attribute one fleet pressure event to its open windows."""
+        del host_index, node_id  # per-window counts only, for now
+        for spec in self.specs:
+            window = self._open[spec.name].setdefault(
+                time_ns // spec.window_ns, _OpenWindow()
+            )
+            window.pressure += 1
+
+    # -- internals -----------------------------------------------------
+    def _ingest(self) -> None:
+        records = self.router.records
+        while self._cursor < len(records):
+            record = records[self._cursor]
+            self._cursor += 1
+            if record.ok:
+                self.sketch.observe(max(0, record.latency_ns))
+            for spec in self.specs:
+                window = self._open[spec.name].setdefault(
+                    record.end_ns // spec.window_ns, _OpenWindow()
+                )
+                window.total += 1
+                if spec.kind == "latency":
+                    bad = (not record.ok) or (
+                        record.latency_ns > spec.objective_ns
+                    )
+                else:
+                    bad = record.cold
+                if bad:
+                    window.bad += 1
+
+    def _close_elapsed(self, now: int) -> None:
+        """Close every window whose nominal end has fully passed."""
+        for spec in self.specs:
+            open_windows = self._open[spec.name]
+            elapsed = [
+                index
+                for index in sorted(open_windows)
+                if (index + 1) * spec.window_ns <= now
+            ]
+            for index in elapsed:
+                self._close_window(
+                    spec, index, (index + 1) * spec.window_ns
+                )
+                del open_windows[index]
+
+    def _close_window(
+        self, spec: SloSpec, index: int, end_ns: int
+    ) -> None:
+        window = self._open[spec.name][index]
+        start_ns = index * spec.window_ns
+        eligible = window.total >= spec.min_requests
+        burn = (
+            (window.bad / window.total) / spec.budget
+            if eligible and window.total
+            else 0.0
+        )
+        breached = eligible and burn >= spec.burn_threshold
+        self.windows.append(
+            SloWindow(
+                slo=spec.name,
+                index=index,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                bad=window.bad,
+                total=window.total,
+                pressure=window.pressure,
+                burn=burn,
+                breached=breached,
+            )
+        )
+        self._scope.observe(
+            "slo.window_burn_x1000", int(burn * 1000), slo=spec.name
+        )
+        if breached:
+            span = self._scope.span(
+                "slo.breach",
+                parent=self._root,
+                start_ns=start_ns,
+                slo=spec.name,
+                kind=spec.kind,
+                bad=window.bad,
+                total=window.total,
+                pressure=window.pressure,
+                burn_x1000=int(burn * 1000),
+            )
+            span.close(end_ns=end_ns)
+            self._scope.inc("slo.breach_total", slo=spec.name)

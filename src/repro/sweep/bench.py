@@ -43,6 +43,7 @@ __all__ = [
     "bench_obs_untraced",
     "bench_mm_occupancy",
     "bench_policy_rank",
+    "bench_rollup",
     "bench_sweep_runner",
     "run_all",
     "snapshot",
@@ -57,6 +58,11 @@ SNAPSHOT_VERSION = 1
 #: is allocation-free, so anything above rounding noise is a leak into
 #: a tracer buffer or metrics registry.
 MAX_UNTRACED_BYTES_PER_OP = 1.0
+#: Absolute ceiling for rollup resident memory after 10**6 samples:
+#: a 256-bucket series holds ~256 slotted bucket objects regardless of
+#: sample count, so a quarter MiB is generous headroom — anything above
+#: it means compaction stopped bounding the series.
+MAX_ROLLUP_RESIDENT_BYTES = 256 * 1024
 
 
 @dataclass(frozen=True)
@@ -205,6 +211,48 @@ def bench_policy_rank(
     return BenchResult("policy_rank_ops_per_s", _timed(job), "ops/s")
 
 
+def _rollup_loop(samples: int, max_buckets: int):
+    from repro.obs.rollup import RollupSeries
+
+    series = RollupSeries("bench", kind="bench", max_buckets=max_buckets)
+    for index in range(samples):
+        series.record(index * 1_000, float(index & 1023))
+    return series
+
+
+def bench_rollup(
+    samples: int = 1_000_000, max_buckets: int = 256
+) -> Tuple[BenchResult, BenchResult]:
+    """Rollup samples/sec, plus resident bytes after 10**6 samples.
+
+    The resident-bytes figure is the streaming-telemetry invariant:
+    compaction keeps a :class:`~repro.obs.rollup.RollupSeries` at
+    O(buckets) memory no matter how many samples fold in, so the series
+    retained after a million records must fit under an absolute ceiling
+    (``MAX_ROLLUP_RESIDENT_BYTES``) that no sample-proportional
+    representation could meet.
+    """
+    throughput = BenchResult(
+        "rollup_samples_per_s",
+        _timed(lambda: len(_rollup_loop(samples, max_buckets))),
+        "samples/s",
+    )
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        series = _rollup_loop(samples, max_buckets)
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del series
+    resident = BenchResult(
+        "rollup_resident_bytes", float(max(0, after - before)), "bytes"
+    )
+    return throughput, resident
+
+
 def _bench_cell(config: int, cell) -> int:
     """One sweep cell: a small simulator run (picklable for sharding)."""
     sim = Simulator()
@@ -236,12 +284,15 @@ def bench_sweep_runner(
 def run_all() -> List[BenchResult]:
     """Run every job at its default size, in snapshot order."""
     obs_throughput, obs_retained = bench_obs_untraced()
+    rollup_throughput, rollup_resident = bench_rollup()
     return [
         bench_engine(),
         obs_throughput,
         obs_retained,
         bench_mm_occupancy(),
         bench_policy_rank(),
+        rollup_throughput,
+        rollup_resident,
         bench_sweep_runner(workers=1),
         bench_sweep_runner(workers=2),
     ]
@@ -282,9 +333,11 @@ def compare(
     Returns one human-readable line per failure (empty list = pass).
     Throughput jobs (``.../s``) gate softly: a failure means dropping
     below ``min_ratio`` of the committed value, absorbing host-to-host
-    variance.  ``bytes/op`` jobs gate absolutely against
-    ``max_bytes_per_op`` — the allocation-free invariant does not
-    depend on hardware.
+    variance.  Memory jobs (any non-throughput unit) gate *absolutely*
+    against a per-job ceiling — ``bytes/op`` against
+    ``max_bytes_per_op``, ``rollup_resident_bytes`` against
+    ``MAX_ROLLUP_RESIDENT_BYTES`` — because boundedness invariants do
+    not depend on hardware.
     """
     failures: List[str] = []
     jobs = committed.get("jobs")
@@ -296,14 +349,25 @@ def compare(
             failures.append(
                 f"{name}: in snapshot but not measured; regenerate with --update"
             )
+    absolute_ceilings = {
+        "obs_untraced_bytes_per_op": max_bytes_per_op,
+        "rollup_resident_bytes": MAX_ROLLUP_RESIDENT_BYTES,
+    }
     for result in current:
         entry = jobs.get(result.name)
-        if result.unit == "bytes/op":
-            if result.value > max_bytes_per_op:
+        if not result.unit.endswith("/s"):
+            ceiling = absolute_ceilings.get(result.name)
+            if ceiling is None:
                 failures.append(
-                    f"{result.name}: {result.value:.2f} bytes/op retained; "
-                    f"the untraced obs path must stay allocation-free "
-                    f"(ceiling {max_bytes_per_op:g})"
+                    f"{result.name}: absolute-gated unit "
+                    f"{result.unit!r} has no registered ceiling; add one "
+                    f"to compare()"
+                )
+            elif result.value > ceiling:
+                failures.append(
+                    f"{result.name}: {result.value:.2f} {result.unit} "
+                    f"exceeds the absolute ceiling {ceiling:g} — the "
+                    f"bounded-memory invariant broke"
                 )
             continue
         if entry is None:

@@ -446,6 +446,7 @@ class TestDriversAndOutput:
             "span-hygiene",
             "no-sim-sleep-side-effect",
             "no-unbounded-retry",
+            "no-unbounded-series",
         }
         assert all(RULES.values())
 
@@ -531,6 +532,119 @@ class TestCli:
         result = self.run_cli("no/such/dir")
         assert result.returncode == 2
         assert "no such path" in result.stderr
+
+
+class TestNoUnboundedSeries:
+    def test_timeseries_construction_in_scope_flagged(self):
+        src = "def f():\n    return TimeSeries('used-h0')\n"
+        for module in ("repro.cluster.provision", "repro.metrics.collector"):
+            errors = findings(src, module, "no-unbounded-series")
+            assert len(errors) == 1
+            assert "RollupSeries" in errors[0].message
+
+    def test_dotted_timeseries_construction_flagged(self):
+        src = (
+            "import repro.metrics.collector as collector\n"
+            "def f():\n"
+            "    return collector.TimeSeries('t')\n"
+        )
+        assert findings(
+            src, "repro.cluster.routing", "no-unbounded-series"
+        )
+
+    def test_series_record_in_simulator_loop_flagged(self):
+        src = (
+            "def loop(self):\n"
+            "    while True:\n"
+            "        self.series.record(self.sim.now, probe())\n"
+            "        yield Timeout(self.period_ns)\n"
+        )
+        errors = findings(
+            src, "repro.metrics.sampler2", "no-unbounded-series"
+        )
+        assert len(errors) == 1
+        assert ".record()" in errors[0].message
+
+    def test_subscripted_series_record_in_loop_flagged(self):
+        src = (
+            "def loop(self):\n"
+            "    while True:\n"
+            "        for key in self.used:\n"
+            "            self.used[key].record(self.sim.now, 1.0)\n"
+            "        yield Timeout(self.period_ns)\n"
+        )
+        assert findings(
+            src, "repro.metrics.collector2", "no-unbounded-series"
+        )
+
+    def test_event_append_in_simulator_loop_flagged(self):
+        src = (
+            "def pressure_loop(self):\n"
+            "    while True:\n"
+            "        self.pressure_events.append((self.sim.now, 1))\n"
+            "        yield Timeout(self.period_ns)\n"
+        )
+        errors = findings(
+            src, "repro.cluster.provision2", "no-unbounded-series"
+        )
+        assert len(errors) == 1
+        assert ".append()" in errors[0].message
+
+    def test_record_outside_a_generator_unflagged(self):
+        # Non-coroutine code does not tick on the simulated clock, so a
+        # loop there is bounded by its own inputs.
+        src = (
+            "def replay(self, samples):\n"
+            "    for time_ns, value in samples:\n"
+            "        self.series.record(time_ns, value)\n"
+        )
+        assert not findings(
+            src, "repro.metrics.replay", "no-unbounded-series"
+        )
+
+    def test_rollup_series_construction_unflagged(self):
+        src = "def f():\n    return RollupSeries('used-h0', kind='used')\n"
+        assert not findings(
+            src, "repro.metrics.collector2", "no-unbounded-series"
+        )
+
+    def test_plain_list_append_in_loop_unflagged(self):
+        # Router records are the experiment's primary output, not
+        # telemetry; only telemetry-named receivers are flagged.
+        src = (
+            "def loop(self):\n"
+            "    while True:\n"
+            "        self.records.append(make_record())\n"
+            "        yield Timeout(1)\n"
+        )
+        assert not findings(
+            src, "repro.cluster.routing2", "no-unbounded-series"
+        )
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "def f():\n    return TimeSeries('t')\n"
+        assert not findings(src, "repro.faas.agent", "no-unbounded-series")
+        assert not findings(src, "tools.lint", "no-unbounded-series")
+
+    def test_allow_comment_silences(self):
+        src = (
+            "def f():\n"
+            "    return TimeSeries('t')"
+            "  # lint: allow[no-unbounded-series] exact-mode rig\n"
+        )
+        assert not findings(
+            src, "repro.metrics.collector2", "no-unbounded-series"
+        )
+
+    def test_committed_tree_carries_only_annotated_uses(self):
+        # The baseline stays empty: every in-repo exact-mode path is
+        # explicitly annotated, so the rule reports nothing.
+        errors = [
+            e
+            for e in lint_paths([REPO_ROOT / "src"])
+            if e.rule == "no-unbounded-series"
+        ]
+        assert errors == []
 
 
 class TestNoDirectEvict:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.metrics.collector import FleetCollector, PeriodicSampler, TimeSeries
+from repro.obs.rollup import RollupSeries
 from repro.units import SEC
 
 
@@ -95,9 +96,20 @@ class TestPeriodicSampler:
             PeriodicSampler(sim, lambda: 0.0, period_ns=0)
 
 
-class TestFleetCollectorRollups:
+class TestTimeSeriesRejectsNonFinite:
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_samples_raise_with_series_name(self, bad):
+        series = TimeSeries("mem-used")
+        with pytest.raises(ValueError, match="mem-used: non-finite sample"):
+            series.record(5, bad)
+        assert len(series) == 0
+
+
+class TestFleetCollectorExactMode:
     def test_host_rollup_is_pointwise_sum(self, sim, fleet):
-        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
         collector.start(until_ns=3 * SEC)
         sim.run(until=3 * SEC)
         rolled = collector.host_used_series(0)
@@ -106,13 +118,22 @@ class TestFleetCollectorRollups:
         for i, (_, value) in enumerate(rolled.samples):
             assert value == sum(p.samples[i][1] for p in parts)
 
+    def test_rolled_series_names_come_from_kind(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
+        collector.start(until_ns=2 * SEC)
+        sim.run(until=2 * SEC)
+        assert collector.host_used_series(0).name == "used-h0"
+        assert collector.host_used_series(0).kind == "used"
+        assert collector.host_committed_series(0).name == "committed-h0"
+        assert collector.host_committed_series(0).kind == "committed"
+
     def test_unknown_host_raises(self, sim, fleet):
-        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
         with pytest.raises(ValueError, match="no series for host 7"):
             collector.host_used_series(7)
 
     def test_misaligned_series_raise_with_lengths(self, sim, fleet):
-        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
         collector.start(until_ns=3 * SEC)
         sim.run(until=3 * SEC)
         straggler = TimeSeries("used-h0n99")
@@ -122,3 +143,67 @@ class TestFleetCollectorRollups:
             collector.host_used_series(0)
         with pytest.raises(ValueError, match="used-h0n99=1"):
             collector.host_used_series(0)
+
+
+class TestFleetCollectorBoundedMode:
+    def test_bounded_is_the_default(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        assert collector.bounded
+
+    def test_host_series_is_a_rollup(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        collector.start(until_ns=3 * SEC)
+        sim.run(until=3 * SEC)
+        series = collector.host_used_series(0)
+        assert isinstance(series, RollupSeries)
+        assert series.kind == "used"
+        assert series.labels["host"] == 0
+        assert "node" not in series.labels
+
+    def test_unknown_host_raises(self, sim, fleet):
+        collector = FleetCollector(sim, fleet, period_ns=SEC)
+        with pytest.raises(ValueError, match="no series for host 7"):
+            collector.host_used_series(7)
+
+    def test_peak_matches_exact_mode_bitwise(self, sim, fleet):
+        bounded = FleetCollector(sim, fleet, period_ns=SEC)
+        exact = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
+        bounded.start(until_ns=5 * SEC)
+        exact.start(until_ns=5 * SEC)
+        sim.run(until=5 * SEC)
+        for host_index in range(len(fleet.hosts)):
+            assert bounded.peak_used_bytes(host_index) == exact.peak_used_bytes(
+                host_index
+            )
+
+    def test_resident_buckets_stay_bounded_over_long_horizons(
+        self, sim, fleet
+    ):
+        max_buckets = 8
+        collector = FleetCollector(
+            sim, fleet, period_ns=SEC, max_buckets=max_buckets
+        )
+        collector.start(until_ns=200 * SEC)
+        sim.run(until=200 * SEC)
+        series_count = (
+            len(collector.used)
+            + len(collector.committed)
+            + 2 * len(fleet.hosts)
+        )
+        assert collector.bucket_count() <= series_count * max_buckets
+        # Sample counts keep growing even though residency does not.
+        host = collector.host_used_series(0)
+        assert len(host) > max_buckets
+
+    def test_bucket_count_is_bounded_mode_only(self, sim, fleet):
+        exact = FleetCollector(sim, fleet, period_ns=SEC, bounded=False)
+        with pytest.raises(ValueError, match="bounded-mode"):
+            exact.bucket_count()
+
+    def test_labels_propagate_to_every_series(self, sim, fleet):
+        collector = FleetCollector(
+            sim, fleet, period_ns=SEC, labels={"mode": "hotmem"}
+        )
+        for series in collector.used.values():
+            assert series.labels["mode"] == "hotmem"
+        assert collector.host_used_series(0).labels["mode"] == "hotmem"

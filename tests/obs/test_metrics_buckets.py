@@ -1,0 +1,107 @@
+"""Histogram bucket-edge math and label canonicalization.
+
+The power-of-two bucketing (``max(0, v - 1).bit_length()``) is shared
+with :class:`~repro.obs.sketch.QuantileSketch` — exponent ``e >= 1``
+covers ``(2^(e-1), 2^e]`` and exponent ``0`` covers ``{0, 1}`` — so
+its edge behaviour is gated here once for both consumers.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _histogram_row(registry, name):
+    return next(
+        row
+        for row in registry.snapshot()
+        if row["kind"] == "histogram" and row["name"] == name
+    )
+
+
+class TestBucketEdges:
+    def test_zero_and_one_share_the_bottom_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0)
+        registry.observe("lat", 1)
+        row = _histogram_row(registry, "lat")
+        assert row["buckets"] == {"0": 2}
+        assert row["min"] == 0 and row["max"] == 1
+
+    def test_exact_powers_of_two_land_in_their_own_bucket(self):
+        registry = MetricsRegistry()
+        for exponent in (1, 4, 10, 30):
+            registry.observe("lat", 1 << exponent)
+        row = _histogram_row(registry, "lat")
+        # 2^e is the inclusive top of bucket e: (2^(e-1), 2^e].
+        assert row["buckets"] == {"1": 1, "4": 1, "10": 1, "30": 1}
+
+    def test_one_past_a_power_of_two_spills_to_the_next_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1024)
+        registry.observe("lat", 1025)
+        row = _histogram_row(registry, "lat")
+        assert row["buckets"] == {"10": 1, "11": 1}
+
+    def test_huge_values_do_not_overflow(self):
+        registry = MetricsRegistry()
+        huge = 1 << 200
+        registry.observe("lat", huge)
+        registry.observe("lat", huge + 1)
+        row = _histogram_row(registry, "lat")
+        assert row["buckets"] == {"200": 1, "201": 1}
+        assert row["max"] == huge + 1
+        assert row["sum"] == 2 * huge + 1
+
+    def test_count_sum_min_max_are_exact(self):
+        registry = MetricsRegistry()
+        for value in (7, 3, 900):
+            registry.observe("lat", value)
+        row = _histogram_row(registry, "lat")
+        assert row["count"] == 3
+        assert row["sum"] == 910
+        assert row["min"] == 3
+        assert row["max"] == 900
+
+    def test_bucket_keys_export_sorted_numerically(self):
+        registry = MetricsRegistry()
+        for value in (1 << 12, 2, 1 << 33):
+            registry.observe("lat", value)
+        keys = list(_histogram_row(registry, "lat")["buckets"])
+        assert [int(k) for k in keys] == sorted(int(k) for k in keys)
+
+
+class TestLabelCanonicalization:
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", mode="hotmem", host=0)
+        registry.inc("hits", host=0, mode="hotmem")
+        assert registry.counter_value("hits", host=0, mode="hotmem") == 2
+        assert registry.series_count() == 1
+
+    def test_label_values_coerce_to_strings(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", host=0)
+        assert registry.counter_value("hits", host="0") == 2 - 1
+        snapshot = registry.snapshot()
+        assert snapshot[0]["labels"] == {"host": "0"}
+
+    def test_histograms_share_series_across_label_orderings(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 5, a=1, b=2)
+        registry.observe("lat", 6, b=2, a=1)
+        assert registry.histogram_count("lat", b=2, a=1) == 2
+
+    def test_snapshot_sorts_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("b_metric")
+        registry.inc("a_metric", z=1)
+        registry.inc("a_metric", a=1)
+        names = [
+            (row["name"], row["labels"])
+            for row in registry.snapshot()
+            if row["kind"] == "counter"
+        ]
+        assert names == [
+            ("a_metric", {"a": "1"}),
+            ("a_metric", {"z": "1"}),
+            ("b_metric", {}),
+        ]

@@ -1,0 +1,146 @@
+"""Quantile sketch: error bound, merge invariance, serialization."""
+
+import pytest
+
+from repro.metrics.latency import percentile
+from repro.obs.sketch import SKETCH_RELATIVE_ERROR, QuantileSketch
+
+
+def _gaussian_latencies(n, mean_ns, sigma_ns, seed=7):
+    """A deterministic latency-shaped sample set (no stdlib random)."""
+    values = []
+    state = seed
+    for _ in range(n):
+        total = 0
+        for _ in range(12):  # Irwin-Hall approximation of a gaussian
+            state = (state * 6364136223846793005 + 1442695040888963407) % (
+                1 << 64
+            )
+            total += state >> 40
+        # 12 uniforms on [0, 2^24) sum to ~N(6*2^24, 2^24).
+        z = (total - 6 * (1 << 24)) / (1 << 24)
+        values.append(max(1, int(mean_ns + z * sigma_ns)))
+    return values
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("q", [50.0, 90.0, 99.0, 99.9])
+    def test_quantiles_within_documented_bound(self, q):
+        values = _gaussian_latencies(5_000, mean_ns=40_000_000, sigma_ns=9_000_000)
+        sketch = QuantileSketch.from_values(values, name="lat")
+        exact = percentile(values, q)
+        approx = sketch.quantile(q)
+        # Documented: relative error <= 1/subbuckets (+1 unit of slack).
+        assert abs(approx - exact) <= SKETCH_RELATIVE_ERROR * exact + 1
+
+    def test_powers_of_two_are_exact(self):
+        sketch = QuantileSketch("p2")
+        for _ in range(10):
+            sketch.observe(4096)
+        assert sketch.quantile(50) == 4096
+        assert sketch.quantile(99.9) == 4096
+
+    def test_extremes_are_exact(self):
+        values = [17, 999_983, 5, 123_456]
+        sketch = QuantileSketch.from_values(values)
+        assert sketch.quantile(0) == 5
+        assert sketch.quantile(100) == 999_983
+        assert sketch.vmin == 5
+        assert sketch.vmax == 999_983
+
+    def test_small_values_including_zero_and_one(self):
+        sketch = QuantileSketch.from_values([0, 0, 1, 1, 2])
+        assert sketch.quantile(0) == 0
+        assert sketch.quantile(100) == 2
+        assert sketch.count == 5
+
+    def test_mean_is_exact(self):
+        values = [10, 20, 30, 40]
+        sketch = QuantileSketch.from_values(values)
+        assert sketch.mean() == 25.0
+
+
+class TestValidation:
+    def test_negative_samples_rejected(self):
+        sketch = QuantileSketch("lat")
+        with pytest.raises(ValueError, match="lat: negative sample"):
+            sketch.observe(-1)
+
+    def test_non_finite_floats_rejected(self):
+        sketch = QuantileSketch("lat")
+        with pytest.raises(ValueError, match="non-finite"):
+            sketch.observe(float("nan"))
+
+    def test_empty_sketch_queries_raise(self):
+        sketch = QuantileSketch("lat")
+        with pytest.raises(ValueError, match="empty sketch"):
+            sketch.quantile(50)
+        with pytest.raises(ValueError, match="empty sketch"):
+            sketch.mean()
+
+    def test_out_of_range_percentile_rejected(self):
+        sketch = QuantileSketch.from_values([1])
+        with pytest.raises(ValueError, match="out of range"):
+            sketch.quantile(101)
+        with pytest.raises(ValueError, match="out of range"):
+            sketch.quantile(-1)
+
+    def test_subbucket_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="subbuckets"):
+            QuantileSketch(subbuckets=0)
+
+
+class TestMerge:
+    def test_sharded_merge_is_byte_identical_to_serial(self):
+        values = _gaussian_latencies(3_000, 25_000_000, 6_000_000)
+        serial = QuantileSketch.from_values(values, name="lat")
+        merged = QuantileSketch(name="lat")
+        for shard in range(8):
+            part = QuantileSketch(name="lat")
+            part.observe_many(values[shard::8])
+            merged.merge(part)
+        assert merged.to_row()["buckets"] == serial.to_row()["buckets"]
+        assert merged.count == serial.count
+        assert merged.total == serial.total
+        assert merged.vmin == serial.vmin
+        assert merged.vmax == serial.vmax
+
+    def test_merge_order_does_not_matter(self):
+        a = QuantileSketch.from_values([1, 2, 3])
+        b = QuantileSketch.from_values([1000, 2000])
+        ab = QuantileSketch().merge(a).merge(b)
+        ba = QuantileSketch().merge(b).merge(a)
+        assert ab.to_row()["buckets"] == ba.to_row()["buckets"]
+        assert ab.vmin == ba.vmin and ab.vmax == ba.vmax
+
+    def test_merging_empty_is_a_no_op(self):
+        sketch = QuantileSketch.from_values([5, 6])
+        before = sketch.to_row()
+        sketch.merge(QuantileSketch())
+        assert sketch.to_row() == before
+
+    def test_mismatched_subbuckets_rejected(self):
+        sketch = QuantileSketch("lat")
+        other = QuantileSketch(subbuckets=8)
+        with pytest.raises(ValueError, match="16 vs 8 sub-buckets"):
+            sketch.merge(other)
+
+
+class TestSerialization:
+    def test_row_round_trip_is_lossless(self):
+        values = _gaussian_latencies(1_000, 30_000_000, 5_000_000)
+        sketch = QuantileSketch.from_values(values, name="lat", unit="ns")
+        sketch.labels["mode"] = "hotmem"
+        row = sketch.to_row()
+        assert row["type"] == "sketch"
+        back = QuantileSketch.from_row(row)
+        assert back.to_row() == row
+        for q in (50.0, 99.0, 99.9):
+            assert back.quantile(q) == sketch.quantile(q)
+
+    def test_bucket_keys_are_sorted_strings(self):
+        sketch = QuantileSketch.from_values([3, 100, 7])
+        keys = list(sketch.to_row()["buckets"])
+        assert keys == sorted(
+            keys, key=lambda k: tuple(int(p) for p in k.split(":"))
+        )

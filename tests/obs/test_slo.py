@@ -1,0 +1,243 @@
+"""SLO burn-rate monitor: window math, breach spans, finish hygiene."""
+
+import pytest
+
+from repro.faas.records import InvocationRecord
+from repro.obs.session import context_for, traced
+from repro.obs.slo import SloMonitor, SloSpec, fleet_slo_specs
+from repro.sim import Simulator
+from repro.units import MS, SEC
+
+
+class FakeRouter:
+    """Just the record stream the monitor tails."""
+
+    def __init__(self):
+        self.records = []
+
+    def complete(self, end_ns, latency_ns, cold=False, ok=True):
+        self.records.append(
+            InvocationRecord(
+                function="f",
+                arrival_ns=end_ns - latency_ns,
+                start_ns=end_ns - latency_ns,
+                end_ns=end_ns,
+                cold=cold,
+                ok=ok,
+            )
+        )
+
+
+def _latency_spec(**overrides):
+    spec = {
+        "name": "latency",
+        "kind": "latency",
+        "objective_ns": 100 * MS,
+        "budget": 0.1,
+        "window_ns": SEC,
+        "min_requests": 1,
+    }
+    spec.update(overrides)
+    return SloSpec(**spec)
+
+
+class TestSloSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SloSpec(name="x", kind="throughput")
+
+    def test_budget_bounds(self):
+        with pytest.raises(ValueError, match="budget"):
+            SloSpec(name="x", budget=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            SloSpec(name="x", budget=1.5)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            SloSpec(name="x", window_ns=0)
+
+    def test_fleet_pair_covers_both_kinds(self):
+        latency, cold = fleet_slo_specs(latency_objective_ns=SEC)
+        assert latency.kind == "latency"
+        assert latency.objective_ns == SEC
+        assert cold.kind == "cold-start"
+
+
+class TestWindowMath:
+    def _run(self, router, specs, until_s=4):
+        sim = Simulator()
+        monitor = SloMonitor(
+            sim, router, specs, period_ns=SEC // 2
+        )
+        monitor.start(until_ns=until_s * SEC)
+        sim.run(until=until_s * SEC)
+        monitor.finish()
+        return monitor
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        router = FakeRouter()
+        # Window 0: 10 requests, 2 slow -> burn = 0.2 / 0.1 = 2.0.
+        for i in range(8):
+            router.complete(end_ns=100 * MS + i, latency_ns=10 * MS)
+        for i in range(2):
+            router.complete(end_ns=200 * MS + i, latency_ns=500 * MS)
+        monitor = self._run(router, [_latency_spec()])
+        window = monitor.windows[0]
+        assert (window.bad, window.total) == (2, 10)
+        assert window.burn == pytest.approx(2.0)
+        assert window.breached
+
+    def test_failures_count_as_bad_latency(self):
+        router = FakeRouter()
+        router.complete(end_ns=100 * MS, latency_ns=1 * MS, ok=False)
+        monitor = self._run(router, [_latency_spec()])
+        assert monitor.windows[0].bad == 1
+
+    def test_cold_start_kind_counts_cold_invocations(self):
+        router = FakeRouter()
+        router.complete(end_ns=100 * MS, latency_ns=1 * MS, cold=True)
+        router.complete(end_ns=200 * MS, latency_ns=1 * MS)
+        spec = _latency_spec(name="cold", kind="cold-start", budget=0.25)
+        monitor = self._run(router, [spec])
+        window = monitor.windows[0]
+        assert (window.bad, window.total) == (1, 2)
+        assert window.burn == pytest.approx(2.0)
+
+    def test_min_requests_gates_breaches(self):
+        router = FakeRouter()
+        router.complete(end_ns=100 * MS, latency_ns=500 * MS)
+        spec = _latency_spec(min_requests=10)
+        monitor = self._run(router, [spec])
+        window = monitor.windows[0]
+        assert window.total == 1
+        assert window.burn == 0.0
+        assert not window.breached
+
+    def test_windows_key_on_completion_time(self):
+        router = FakeRouter()
+        router.complete(end_ns=int(0.5 * SEC), latency_ns=1 * MS)
+        router.complete(end_ns=int(1.5 * SEC), latency_ns=1 * MS)
+        router.complete(end_ns=int(2.5 * SEC), latency_ns=1 * MS)
+        monitor = self._run(router, [_latency_spec()])
+        indices = [w.index for w in monitor.windows]
+        assert indices == [0, 1, 2]
+        for w in monitor.windows:
+            assert w.start_ns == w.index * SEC
+            assert w.end_ns == (w.index + 1) * SEC
+
+    def test_sketch_observes_only_successful_latencies(self):
+        router = FakeRouter()
+        router.complete(end_ns=100 * MS, latency_ns=7 * MS)
+        router.complete(end_ns=200 * MS, latency_ns=9 * MS, ok=False)
+        monitor = self._run(router, [_latency_spec()])
+        assert len(monitor.sketch) == 1
+
+    def test_deterministic_across_identical_streams(self):
+        def run():
+            router = FakeRouter()
+            for i in range(50):
+                slow = i % 7 == 0
+                router.complete(
+                    end_ns=(i + 1) * 60 * MS,
+                    latency_ns=400 * MS if slow else 10 * MS,
+                )
+            monitor = self._run(router, [_latency_spec()])
+            return [
+                (w.slo, w.index, w.bad, w.total, w.burn, w.breached)
+                for w in monitor.windows
+            ]
+
+        assert run() == run()
+
+
+class TestLifecycle:
+    def test_finish_is_idempotent_and_closes_partial_windows(self):
+        sim = Simulator()
+        router = FakeRouter()
+        monitor = SloMonitor(sim, router, [_latency_spec()], period_ns=SEC)
+        monitor.start(until_ns=10 * SEC)
+        router.complete(end_ns=int(2.3 * SEC), latency_ns=1 * MS)
+        sim.run(until=int(2.5 * SEC))
+        monitor.finish()
+        count = len(monitor.windows)
+        assert count == 1
+        # The run was cut mid-window: it closes at now, not the boundary.
+        assert monitor.windows[0].end_ns == int(2.5 * SEC)
+        monitor.finish()
+        assert len(monitor.windows) == count
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        monitor = SloMonitor(
+            sim, FakeRouter(), [_latency_spec()], period_ns=SEC
+        )
+        monitor.start()
+        with pytest.raises(ValueError, match="already started"):
+            monitor.start()
+
+    def test_duplicate_spec_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate SLO names"):
+            SloMonitor(
+                Simulator(),
+                FakeRouter(),
+                [_latency_spec(), _latency_spec()],
+                period_ns=SEC,
+            )
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            SloMonitor(
+                Simulator(), FakeRouter(), [_latency_spec()], period_ns=0
+            )
+
+    def test_note_pressure_lands_in_the_open_window(self):
+        sim = Simulator()
+        router = FakeRouter()
+        monitor = SloMonitor(sim, router, [_latency_spec()], period_ns=SEC)
+        monitor.start(until_ns=4 * SEC)
+        router.complete(end_ns=100 * MS, latency_ns=500 * MS)
+        monitor.note_pressure(150 * MS, host_index=0, node_id=0)
+        sim.run(until=4 * SEC)
+        monitor.finish()
+        assert monitor.windows[0].pressure == 1
+
+
+class TestTracing:
+    def test_breach_spans_close_under_the_monitor_root(self):
+        with traced() as session:
+            sim = Simulator()
+            router = FakeRouter()
+            monitor = SloMonitor(
+                sim, router, [_latency_spec()], period_ns=SEC
+            )
+            monitor.start(until_ns=3 * SEC)
+            for i in range(10):
+                router.complete(
+                    end_ns=100 * MS + i, latency_ns=500 * MS
+                )
+            sim.run(until=3 * SEC)
+            monitor.finish()
+            assert monitor.breach_count() == 1
+            spans = context_for(sim).tracer.spans()
+            names = [span.name for span in spans]
+            assert "slo.monitor" in names
+            assert "slo.breach" in names
+            assert session.open_spans() == 0
+            breach = next(s for s in spans if s.name == "slo.breach")
+            root = next(s for s in spans if s.name == "slo.monitor")
+            assert breach.parent_id == root.span_id
+
+    def test_sketch_registers_with_the_traced_context(self):
+        with traced():
+            sim = Simulator()
+            monitor = SloMonitor(
+                sim, FakeRouter(), [_latency_spec()], period_ns=SEC
+            )
+            assert monitor.sketch in context_for(sim).sketches
+
+    def test_untraced_monitor_registers_nothing_globally(self):
+        from repro.obs.context import NO_OBS
+
+        sim = Simulator()
+        SloMonitor(sim, FakeRouter(), [_latency_spec()], period_ns=SEC)
+        assert NO_OBS.sketches == []

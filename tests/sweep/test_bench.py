@@ -1,11 +1,13 @@
 """Microbenchmark jobs and the snapshot regression gate."""
 
 from repro.sweep.bench import (
+    MAX_ROLLUP_RESIDENT_BYTES,
     MAX_UNTRACED_BYTES_PER_OP,
     BenchResult,
     bench_engine,
     bench_mm_occupancy,
     bench_obs_untraced,
+    bench_rollup,
     bench_sweep_runner,
     compare,
     snapshot,
@@ -30,6 +32,15 @@ class TestJobs:
         result = bench_mm_occupancy(rounds=50)
         assert result.unit == "pages/s"
         assert result.value > 0
+
+    def test_rollup_job_stays_under_the_memory_ceiling(self):
+        throughput, resident = bench_rollup(samples=50_000, max_buckets=64)
+        assert throughput.unit == "samples/s"
+        assert throughput.value > 0
+        assert resident.unit == "bytes"
+        # The streaming invariant: resident memory is O(buckets), so a
+        # 50k-sample run already sits under the 10**6-sample ceiling.
+        assert resident.value <= MAX_ROLLUP_RESIDENT_BYTES
 
     def test_sweep_runner_job_names_by_worker_count(self):
         serial = bench_sweep_runner(cells=2, events_per_cell=100, workers=1)
@@ -69,10 +80,30 @@ class TestCompare:
         assert len(failures) == 1 and "job_a" in failures[0]
 
     def test_bytes_per_op_gates_absolutely(self):
-        committed = _committed(leaky=(0.0, "bytes/op"))
-        current = [BenchResult("leaky", 8.0, "bytes/op")]
+        committed = _committed(obs_untraced_bytes_per_op=(0.0, "bytes/op"))
+        current = [BenchResult("obs_untraced_bytes_per_op", 8.0, "bytes/op")]
         failures = compare(current, committed)
-        assert len(failures) == 1 and "allocation-free" in failures[0]
+        assert len(failures) == 1 and "ceiling" in failures[0]
+
+    def test_rollup_resident_bytes_gate_is_absolute(self):
+        committed = _committed(rollup_resident_bytes=(40_000.0, "bytes"))
+        ok = [BenchResult("rollup_resident_bytes", 50_000.0, "bytes")]
+        assert compare(ok, committed) == []
+        blown = [
+            BenchResult(
+                "rollup_resident_bytes",
+                MAX_ROLLUP_RESIDENT_BYTES + 1.0,
+                "bytes",
+            )
+        ]
+        failures = compare(blown, committed)
+        assert len(failures) == 1 and "bounded-memory" in failures[0]
+
+    def test_unknown_absolute_unit_requires_a_ceiling(self):
+        committed = _committed(leaky=(0.0, "bytes/op"))
+        current = [BenchResult("leaky", 0.0, "bytes/op")]
+        failures = compare(current, committed)
+        assert len(failures) == 1 and "no registered ceiling" in failures[0]
 
     def test_job_set_mismatch_fails_both_ways(self):
         committed = _committed(gone=(10.0, "ops/s"))

@@ -63,6 +63,28 @@ def test_chaos_is_worker_count_invariant(tmp_path):
     assert digests[2] == digests[1]
 
 
+def test_streaming_telemetry_is_worker_count_invariant(tmp_path):
+    """Rollups, sketches and the obs-report digest survive sharding.
+
+    Trace byte-identity already implies this, but the dashboard is the
+    artifact CI gates on — so compare what ``obs-report`` actually
+    renders, and prove the trace carries telemetry rows at all.
+    """
+    from repro.obs.dashboard import load_obs_report
+    from repro.obs.export import read_trace
+
+    reports = {}
+    for workers in (1, 2):
+        path = tmp_path / f"density-{workers}.jsonl"
+        _run_with_workers(density.run, DENSITY_FAST, workers, path)
+        rows = read_trace(str(path))
+        assert any(row["type"] == "rollup" for row in rows)
+        assert any(row["type"] == "sketch" for row in rows)
+        reports[workers] = load_obs_report(str(path))
+    assert reports[2].digest == reports[1].digest
+    assert reports[1].sketches, "density trace must carry latency sketches"
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize(
     "run_fn, config",
